@@ -1,0 +1,249 @@
+//! Seeded trial runners for the experiment harness (Chapter 5 methodology).
+//!
+//! Each experiment point is "success rate (or error) at fault rate r": run
+//! `trials` independent solves, each with a freshly seeded fault-injecting
+//! FPU, and aggregate. Seeds are derived deterministically from a base seed
+//! so every figure is exactly reproducible.
+
+use stochastic_fpu::{BitFaultModel, FaultRate, NoisyFpu};
+
+/// Configuration for one sweep point: how many trials, at what fault rate,
+/// with which bit-fault model.
+///
+/// # Examples
+///
+/// ```
+/// use robustify_apps::harness::TrialConfig;
+/// use stochastic_fpu::{BitFaultModel, FaultRate};
+///
+/// let cfg = TrialConfig::new(100, FaultRate::percent_of_flops(1.0), BitFaultModel::emulated(), 42);
+/// let rate = cfg.success_rate(|fpu| {
+///     use stochastic_fpu::Fpu;
+///     fpu.add(1.0, 1.0) == 2.0
+/// });
+/// assert!((0.0..=100.0).contains(&rate));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialConfig {
+    trials: usize,
+    rate: FaultRate,
+    model: BitFaultModel,
+    base_seed: u64,
+}
+
+impl TrialConfig {
+    /// Creates a sweep-point configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials == 0`.
+    pub fn new(trials: usize, rate: FaultRate, model: BitFaultModel, base_seed: u64) -> Self {
+        assert!(trials > 0, "need at least one trial");
+        TrialConfig { trials, rate, model, base_seed }
+    }
+
+    /// Number of trials per point.
+    pub fn trials(&self) -> usize {
+        self.trials
+    }
+
+    /// The fault rate of this point.
+    pub fn rate(&self) -> FaultRate {
+        self.rate
+    }
+
+    /// The FPU for trial index `i` (deterministic per base seed).
+    pub fn fpu_for_trial(&self, i: usize) -> NoisyFpu {
+        // SplitMix-style seed derivation keeps per-trial streams decorrelated.
+        let seed = self
+            .base_seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((i as u64 + 1).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        NoisyFpu::new(self.rate, self.model.clone(), seed)
+    }
+
+    /// Runs `trial` once per seed and returns the success percentage in
+    /// `[0, 100]` — the y-axis of Figures 6.1, 6.4 and 6.5.
+    pub fn success_rate(&self, mut trial: impl FnMut(&mut NoisyFpu) -> bool) -> f64 {
+        let mut successes = 0usize;
+        for i in 0..self.trials {
+            let mut fpu = self.fpu_for_trial(i);
+            if trial(&mut fpu) {
+                successes += 1;
+            }
+        }
+        100.0 * successes as f64 / self.trials as f64
+    }
+
+    /// Runs `trial` once per seed and returns the [`MetricSummary`] of the
+    /// returned quality metric — the y-axis of Figures 6.2, 6.3 and 6.6
+    /// (lower is better; non-finite outcomes are tallied as failures).
+    pub fn metric_summary(&self, mut trial: impl FnMut(&mut NoisyFpu) -> f64) -> MetricSummary {
+        let mut values = Vec::with_capacity(self.trials);
+        let mut failures = 0usize;
+        for i in 0..self.trials {
+            let mut fpu = self.fpu_for_trial(i);
+            let v = trial(&mut fpu);
+            if v.is_finite() {
+                values.push(v);
+            } else {
+                failures += 1;
+            }
+        }
+        MetricSummary::from_values(values, failures)
+    }
+}
+
+/// Aggregate statistics of a quality metric over a batch of trials.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSummary {
+    /// Finite metric values, sorted ascending.
+    values: Vec<f64>,
+    /// Trials whose metric was non-finite (breakdowns, NaN outputs).
+    pub failures: usize,
+}
+
+impl MetricSummary {
+    /// Builds a summary from raw values (non-finite entries should already
+    /// have been counted into `failures`).
+    pub fn from_values(mut values: Vec<f64>, failures: usize) -> Self {
+        values.sort_by(|a, b| a.partial_cmp(b).expect("values are finite"));
+        MetricSummary { values, failures }
+    }
+
+    /// Number of trials with a finite metric.
+    pub fn count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Geometric-mean-friendly central tendency: the median of the finite
+    /// values, or `∞` when every trial failed.
+    pub fn median(&self) -> f64 {
+        if self.values.is_empty() {
+            return f64::INFINITY;
+        }
+        let n = self.values.len();
+        if n % 2 == 1 {
+            self.values[n / 2]
+        } else {
+            0.5 * (self.values[n / 2 - 1] + self.values[n / 2])
+        }
+    }
+
+    /// The arithmetic mean of the finite values, or `∞` when every trial
+    /// failed.
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return f64::INFINITY;
+        }
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// The worst finite value, or `∞` when every trial failed.
+    pub fn max(&self) -> f64 {
+        self.values.last().copied().unwrap_or(f64::INFINITY)
+    }
+
+    /// Fraction of all trials (finite + failed) that failed, in `[0, 1]`.
+    pub fn failure_fraction(&self) -> f64 {
+        let total = self.values.len() + self.failures;
+        if total == 0 {
+            0.0
+        } else {
+            self.failures as f64 / total as f64
+        }
+    }
+}
+
+/// The fault-rate sweep used by the paper's accuracy figures, as
+/// percentages of FLOPs: `0.1, 0.5, 1, 2, 5, 10`.
+pub fn paper_fault_rates() -> Vec<f64> {
+    vec![0.1, 0.5, 1.0, 2.0, 5.0, 10.0]
+}
+
+/// The extended sweep of Figure 6.5 (`0–50%` of FLOPs).
+pub fn extended_fault_rates() -> Vec<f64> {
+    vec![0.0, 1.0, 5.0, 10.0, 20.0, 30.0, 40.0, 50.0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stochastic_fpu::Fpu;
+
+    fn config(trials: usize) -> TrialConfig {
+        TrialConfig::new(trials, FaultRate::per_flop(0.5), BitFaultModel::emulated(), 7)
+    }
+
+    #[test]
+    fn success_rate_bounds() {
+        let cfg = config(50);
+        assert_eq!(cfg.success_rate(|_| true), 100.0);
+        assert_eq!(cfg.success_rate(|_| false), 0.0);
+    }
+
+    /// Advances the FPU a few ops and fingerprints the (fault-perturbed)
+    /// results, distinguishing fault streams without exposing internals.
+    fn stream_fingerprint(fpu: &mut NoisyFpu) -> u64 {
+        let mut acc = 0u64;
+        for i in 0..32 {
+            acc = acc.rotate_left(7) ^ fpu.add(i as f64, 0.125).to_bits();
+        }
+        acc
+    }
+
+    #[test]
+    fn trials_are_deterministic_and_distinct() {
+        let cfg = config(10);
+        let a: Vec<u64> =
+            (0..10).map(|i| stream_fingerprint(&mut cfg.fpu_for_trial(i))).collect();
+        let b: Vec<u64> =
+            (0..10).map(|i| stream_fingerprint(&mut cfg.fpu_for_trial(i))).collect();
+        assert_eq!(a, b, "same seeds give same streams");
+        let distinct: std::collections::HashSet<u64> = a.iter().copied().collect();
+        assert!(distinct.len() >= 9, "per-trial streams should differ");
+    }
+
+    #[test]
+    fn metric_summary_statistics() {
+        let s = MetricSummary::from_values(vec![3.0, 1.0, 2.0], 1);
+        assert_eq!(s.median(), 2.0);
+        assert_eq!(s.mean(), 2.0);
+        assert_eq!(s.max(), 3.0);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.failure_fraction(), 0.25);
+        let even = MetricSummary::from_values(vec![1.0, 3.0], 0);
+        assert_eq!(even.median(), 2.0);
+    }
+
+    #[test]
+    fn all_failed_summary_is_infinite() {
+        let s = MetricSummary::from_values(vec![], 5);
+        assert_eq!(s.median(), f64::INFINITY);
+        assert_eq!(s.mean(), f64::INFINITY);
+        assert_eq!(s.failure_fraction(), 1.0);
+    }
+
+    #[test]
+    fn metric_summary_counts_non_finite_trials() {
+        let cfg = config(10);
+        let mut k = 0;
+        let s = cfg.metric_summary(|fpu| {
+            k += 1;
+            let _ = fpu.add(1.0, 1.0);
+            if k % 2 == 0 {
+                f64::NAN
+            } else {
+                k as f64
+            }
+        });
+        assert_eq!(s.failures, 5);
+        assert_eq!(s.count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_panics() {
+        TrialConfig::new(0, FaultRate::ZERO, BitFaultModel::emulated(), 1);
+    }
+}

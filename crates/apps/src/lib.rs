@@ -1,0 +1,36 @@
+//! The paper's transformed applications (Chapter 4) and their deterministic
+//! baselines.
+//!
+//! Each module pairs a *robustified* implementation — the application recast
+//! as a numerical optimization problem and solved with the stochastic
+//! engines of [`robustify_core`] — with the *state-of-the-art deterministic
+//! baseline* the paper compares against, both executed through the same
+//! fault-injected [`Fpu`](stochastic_fpu::Fpu):
+//!
+//! | Module | Robust form | Baseline |
+//! |---|---|---|
+//! | [`least_squares`] | SGD / CG on `‖Ax−b‖²` (§4.1) | SVD, QR, Cholesky |
+//! | [`iir`] | banded least squares `‖Bx−Au‖²` (§4.2) | direct-form recursion |
+//! | [`sorting`] | LP over doubly stochastic matrices (§4.3) | quicksort / mergesort |
+//! | [`matching`] | LP over doubly stochastic matrices (§4.4) | Hungarian |
+//! | [`maxflow`] | flow LP (§4.5) | Ford–Fulkerson |
+//! | [`apsp`] | distance LP (§4.6) | Floyd–Warshall |
+//! | [`eigen`] | penalized Rayleigh quotient + deflation (§4.7) | power iteration |
+//! | [`svm`] | hinge-loss data fitting (§4.7) | reliable SGD reference |
+//!
+//! The [`harness`] module provides the seeded trial runners used by the
+//! experiment binaries and integration tests.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod apsp;
+pub mod doubly_stochastic;
+pub mod eigen;
+pub mod harness;
+pub mod iir;
+pub mod least_squares;
+pub mod matching;
+pub mod maxflow;
+pub mod sorting;
+pub mod svm;

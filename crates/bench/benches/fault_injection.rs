@@ -1,0 +1,47 @@
+//! Overhead of the fault-injection substrate itself: a `NoisyFpu` must be
+//! cheap enough that experiment wall-clock is dominated by the algorithms,
+//! not the emulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use robustify_linalg::dot;
+use std::hint::black_box;
+use stochastic_fpu::{BitFaultModel, BitWidth, FaultRate, NoisyFpu, ReliableFpu};
+
+fn bench_fault_injection(c: &mut Criterion) {
+    let x: Vec<f64> = (0..1024).map(|i| (i as f64 * 0.37).sin()).collect();
+    let y: Vec<f64> = (0..1024).map(|i| (i as f64 * 0.71).cos()).collect();
+
+    let mut group = c.benchmark_group("dot1024_fpu_overhead");
+    group.sample_size(50);
+
+    group.bench_function("reliable", |b| {
+        let mut fpu = ReliableFpu::new();
+        b.iter(|| black_box(dot(&mut fpu, &x, &y).expect("equal lengths")))
+    });
+    group.bench_function("noisy_rate_0", |b| {
+        let mut fpu = NoisyFpu::new(FaultRate::ZERO, BitFaultModel::emulated(), 7);
+        b.iter(|| black_box(dot(&mut fpu, &x, &y).expect("equal lengths")))
+    });
+    group.bench_function("noisy_rate_1pct_emulated", |b| {
+        let mut fpu =
+            NoisyFpu::new(FaultRate::per_flop(0.01), BitFaultModel::emulated(), 7);
+        b.iter(|| black_box(dot(&mut fpu, &x, &y).expect("equal lengths")))
+    });
+    group.bench_function("noisy_rate_50pct_emulated", |b| {
+        let mut fpu =
+            NoisyFpu::new(FaultRate::per_flop(0.5), BitFaultModel::emulated(), 7);
+        b.iter(|| black_box(dot(&mut fpu, &x, &y).expect("equal lengths")))
+    });
+    group.bench_function("noisy_rate_1pct_f32", |b| {
+        let mut fpu = NoisyFpu::new(
+            FaultRate::per_flop(0.01),
+            BitFaultModel::emulated_with_width(BitWidth::F32),
+            7,
+        );
+        b.iter(|| black_box(dot(&mut fpu, &x, &y).expect("equal lengths")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fault_injection);
+criterion_main!(benches);

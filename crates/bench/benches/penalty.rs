@@ -1,0 +1,63 @@
+//! Ablation: exact-penalty forms and gradient-path cost.
+//!
+//! Compares (a) the L1 vs squared-hinge penalty gradient cost on the
+//! matching LP and (b) the specialized doubly stochastic gradient
+//! (paper eq. 4.5, `O(r·c)`) against the generic dense-LP penalty gradient
+//! — the ~5× FLOP gap that decides whether preconditioning pays off under
+//! per-FLOP fault injection (see Figure 6.5's reproduction note).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use robustify_bench::workloads::paper_matching;
+use robustify_core::{CostFunction, PenaltyKind};
+use std::hint::black_box;
+use stochastic_fpu::ReliableFpu;
+
+fn bench_penalty(c: &mut Criterion) {
+    let problem = paper_matching(42);
+    let mut group = c.benchmark_group("matching_gradient_paths");
+    group.sample_size(30);
+
+    for kind in [PenaltyKind::Abs, PenaltyKind::Squared] {
+        let cost = problem.robust_cost(8.0, 8.0, kind);
+        let x = cost.initial_iterate();
+        let mut grad = vec![0.0; cost.dim()];
+        group.bench_function(format!("specialized_{kind:?}"), |b| {
+            b.iter(|| {
+                let mut fpu = ReliableFpu::new();
+                cost.gradient(black_box(&x), &mut fpu, &mut grad);
+                black_box(&grad);
+            })
+        });
+    }
+
+    let cost = problem.robust_cost(8.0, 8.0, PenaltyKind::Squared);
+    let lp = cost.to_lp();
+    let generic = lp.penalized(8.0, PenaltyKind::Squared).expect("valid mu");
+    let x = cost.initial_iterate();
+    let mut grad = vec![0.0; generic.dim()];
+    group.bench_function("generic_lp_Squared", |b| {
+        b.iter(|| {
+            let mut fpu = ReliableFpu::new();
+            generic.gradient(black_box(&x), &mut fpu, &mut grad);
+            black_box(&grad);
+        })
+    });
+
+    // The FLOP gap itself (printed once, deterministic).
+    let mut fpu = ReliableFpu::new();
+    let mut g = vec![0.0; cost.dim()];
+    cost.gradient(&x, &mut fpu, &mut g);
+    let specialized_flops = stochastic_fpu::Fpu::flops(&fpu);
+    let mut fpu = ReliableFpu::new();
+    generic.gradient(&x, &mut fpu, &mut g);
+    let generic_flops = stochastic_fpu::Fpu::flops(&fpu);
+    println!(
+        "gradient FLOPs: specialized {specialized_flops}, generic LP {generic_flops} \
+         ({:.1}x)",
+        generic_flops as f64 / specialized_flops as f64
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_penalty);
+criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! Chapter 7 (limitations): the FLOP cost of robustification.
+//!
+//! "We observed that the number of floating point operations required by
+//! our applications could be up to 10 to 1000 times higher than that for
+//! the baseline implementations." This harness measures exactly that ratio
+//! for every application, on a reliable FPU so both sides run their
+//! nominal FLOP counts.
+
+use rand::SeedableRng;
+use robustify_apps::apsp::ApspProblem;
+use robustify_apps::matching::MatchingProblem;
+use robustify_apps::maxflow::MaxFlowProblem;
+use robustify_apps::sorting::{quicksort_baseline, SortProblem};
+use robustify_bench::workloads::{paper_iir, paper_least_squares};
+use robustify_bench::{ExperimentOptions, Table};
+use robustify_core::{Annealing, Sgd, StepSchedule};
+use robustify_graph::generators::{random_flow_network, random_strongly_connected};
+use stochastic_fpu::{Fpu, ReliableFpu};
+
+fn main() {
+    let opts = ExperimentOptions::parse();
+    let mut table = Table::new(
+        "Chapter 7 — FLOP overhead of robustification (reliable FPU)",
+        &["application", "baseline_flops", "robust_flops", "overhead_x"],
+    );
+
+    let mut add_row = |name: &str, baseline: u64, robust: u64| {
+        table.row(&[
+            name.to_string(),
+            baseline.to_string(),
+            robust.to_string(),
+            format!("{:.0}", robust as f64 / baseline.max(1) as f64),
+        ]);
+    };
+
+    // Least squares: SVD baseline vs 1000-iteration SGD.
+    {
+        let p = paper_least_squares(opts.seed);
+        let mut fpu = ReliableFpu::new();
+        let _ = p.solve_svd(&mut fpu);
+        let baseline = fpu.flops();
+        let mut fpu = ReliableFpu::new();
+        let _ = p.solve_sgd_default(&mut fpu);
+        add_row("least_squares (vs SVD)", baseline, fpu.flops());
+        let mut fpu = ReliableFpu::new();
+        let _ = p.solve_cg(10, &mut fpu);
+        add_row("least_squares CG (vs SVD)", baseline, fpu.flops());
+    }
+
+    // IIR: direct form vs 1000-iteration banded SGD.
+    {
+        let (filter, u) = paper_iir(opts.seed);
+        let mut fpu = ReliableFpu::new();
+        let _ = filter.apply_direct(&mut fpu, &u);
+        let baseline = fpu.flops();
+        let gamma0 = filter.default_gamma0(u.len()).expect("signal longer than taps");
+        let sgd = Sgd::new(1000, StepSchedule::Sqrt { gamma0 });
+        let mut fpu = ReliableFpu::new();
+        let _ = filter.solve_sgd(&u, &sgd, &mut fpu);
+        add_row("iir", baseline, fpu.flops());
+    }
+
+    // Sorting: quicksort vs 10000-iteration LP relaxation.
+    {
+        let p = SortProblem::random(&mut rand::rngs::StdRng::seed_from_u64(opts.seed), 5);
+        let mut fpu = ReliableFpu::new();
+        let _ = quicksort_baseline(&mut fpu, p.input());
+        let baseline = fpu.flops();
+        let sgd = Sgd::new(10_000, StepSchedule::Sqrt { gamma0: 0.1 });
+        let mut fpu = ReliableFpu::new();
+        let _ = p.solve_sgd(&sgd, &mut fpu);
+        add_row("sorting", baseline, fpu.flops());
+    }
+
+    // Matching: Hungarian vs 10000-iteration LP relaxation.
+    {
+        let p = MatchingProblem::new(robustify_graph::generators::random_bipartite(
+            &mut rand::rngs::StdRng::seed_from_u64(opts.seed),
+            5,
+            6,
+            30,
+        ));
+        let mut fpu = ReliableFpu::new();
+        let _ = p.solve_baseline(&mut fpu);
+        let baseline = fpu.flops();
+        let sgd = Sgd::new(10_000, StepSchedule::Sqrt { gamma0: 0.05 });
+        let mut fpu = ReliableFpu::new();
+        let _ = p.solve_sgd(&sgd, &mut fpu);
+        add_row("matching", baseline, fpu.flops());
+    }
+
+    // Max flow: Ford–Fulkerson vs flow-LP SGD.
+    {
+        let p = MaxFlowProblem::new(random_flow_network(
+            &mut rand::rngs::StdRng::seed_from_u64(opts.seed),
+            8,
+            13,
+        ))
+        .expect("non-empty network");
+        let mut fpu = ReliableFpu::new();
+        let _ = p.solve_baseline(&mut fpu);
+        let baseline = fpu.flops();
+        let sgd = Sgd::new(8000, StepSchedule::Sqrt { gamma0: 0.02 })
+            .with_annealing(Annealing::default());
+        let mut fpu = ReliableFpu::new();
+        let _ = p.solve_sgd(&sgd, &mut fpu);
+        add_row("maxflow", baseline, fpu.flops());
+    }
+
+    // APSP: Floyd–Warshall vs distance-LP SGD.
+    {
+        let p = ApspProblem::new(random_strongly_connected(
+            &mut rand::rngs::StdRng::seed_from_u64(opts.seed),
+            6,
+            9,
+        ))
+        .expect("strongly connected");
+        let mut fpu = ReliableFpu::new();
+        let _ = p.solve_baseline(&mut fpu);
+        let baseline = fpu.flops();
+        let sgd = Sgd::new(8000, StepSchedule::Sqrt { gamma0: 0.02 })
+            .with_annealing(Annealing::default());
+        let mut fpu = ReliableFpu::new();
+        let _ = p.solve_sgd(&sgd, &mut fpu);
+        add_row("apsp", baseline, fpu.flops());
+    }
+
+    table.print();
+    println!("paper, Ch. 7: robust FLOP counts are 10-1000x the baselines'.");
+}

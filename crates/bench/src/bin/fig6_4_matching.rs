@@ -1,0 +1,88 @@
+//! Figure 6.4: success rate of bipartite matching implementations vs fault
+//! rate (10 000 SGD iterations, 11-node / 30-edge graphs).
+//!
+//! Series: the Hungarian baseline ("Base"; the paper used OpenCV), plain
+//! SGD with `1/t` steps ("SGD,LS"), and SGD+AS under `1/t` and `1/√t`
+//! schedules.
+//!
+//! Expected shape (paper): matching "showed little performance degradation
+//! with increasing fault rates. However, the maximum success rate obtained,
+//! even using aggressive stepping and step scaling, was limited" — the
+//! enhancements of Figure 6.5 are needed to push it to 100%.
+
+use rand::SeedableRng;
+use robustify_apps::harness::{paper_fault_rates, TrialConfig};
+use robustify_apps::matching::MatchingProblem;
+use robustify_bench::{ExperimentOptions, Table};
+use robustify_core::{AggressiveStepping, Sgd, StepSchedule};
+use robustify_graph::generators::random_bipartite;
+use stochastic_fpu::FaultRate;
+
+const ITERATIONS: usize = 10_000;
+
+fn main() {
+    let opts = ExperimentOptions::parse();
+    let trials = opts.trials(100, 15);
+    let model = opts.model();
+
+    let variants: Vec<(&str, Option<Sgd>)> = vec![
+        ("Base", None),
+        ("SGD,LS", Some(Sgd::new(ITERATIONS, StepSchedule::Linear { gamma0: 0.05 }))),
+        (
+            "SGD+AS,LS",
+            Some(
+                Sgd::new(ITERATIONS, StepSchedule::Linear { gamma0: 0.05 })
+                    .with_aggressive_stepping(AggressiveStepping::default()),
+            ),
+        ),
+        (
+            "SGD+AS,SQS",
+            Some(
+                Sgd::new(ITERATIONS, StepSchedule::Sqrt { gamma0: 0.05 })
+                    .with_aggressive_stepping(AggressiveStepping::default()),
+            ),
+        ),
+    ];
+
+    let mut table = Table::new(
+        &format!(
+            "Figure 6.4 — Accuracy of Matching, {ITERATIONS} iterations ({trials} trials/point)"
+        ),
+        &["fault_rate_%", "Base", "SGD,LS", "SGD+AS,LS", "SGD+AS,SQS"],
+    );
+
+    for rate_pct in paper_fault_rates() {
+        let mut row = vec![format!("{rate_pct}")];
+        for (_, sgd) in &variants {
+            let cfg = TrialConfig::new(
+                trials,
+                FaultRate::percent_of_flops(rate_pct),
+                model.clone(),
+                opts.seed,
+            );
+            let mut trial_idx = 0u64;
+            let success = cfg.success_rate(|fpu| {
+                trial_idx += 1;
+                let problem = MatchingProblem::new(random_bipartite(
+                    &mut rand::rngs::StdRng::seed_from_u64(opts.seed ^ (trial_idx * 6007)),
+                    5,
+                    6,
+                    30,
+                ));
+                match sgd {
+                    None => match problem.solve_baseline(fpu) {
+                        Ok(m) => problem.is_success(&m),
+                        Err(_) => false,
+                    },
+                    Some(sgd) => {
+                        let (m, _) = problem.solve_sgd(sgd, fpu);
+                        problem.is_success(&m)
+                    }
+                }
+            });
+            row.push(format!("{success:.1}"));
+        }
+        table.row(&row);
+    }
+    table.print();
+}

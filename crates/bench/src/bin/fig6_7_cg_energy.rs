@@ -1,0 +1,106 @@
+//! Figure 6.7: FPU energy of the CG-based least squares solver under
+//! voltage overscaling, as a function of the accuracy target, against the
+//! error-free Cholesky baseline.
+//!
+//! For each accuracy target the harness sweeps the operating voltage:
+//! lower voltage means cheaper FLOPs (`P ∝ V²`) but a higher FPU fault
+//! rate (Figure 5.2), which CG compensates with more iterations. The
+//! reported energy is the cheapest `(voltage, iterations)` pair that still
+//! meets the target in at least 80% of trials; the Cholesky baseline runs
+//! at the nominal voltage, where the FPU is effectively error-free.
+//!
+//! Expected shape (paper): CG's energy sits below the Cholesky baseline
+//! across the sweep because voltage and iteration count can be scaled
+//! concurrently; targets tighter than ~1e-7 are unreachable for CG.
+
+use robustify_apps::harness::TrialConfig;
+use robustify_bench::workloads::paper_least_squares;
+use robustify_bench::{fmt_metric, ExperimentOptions, Table};
+use stochastic_fpu::{Fpu, ReliableFpu, VoltageErrorModel};
+
+fn main() {
+    let opts = ExperimentOptions::parse();
+    let trials = opts.trials(10, 4);
+    let problem = paper_least_squares(opts.seed);
+    let model = VoltageErrorModel::paper_figure_5_2();
+
+    // Baseline: Cholesky at the nominal voltage (error-free guardbanded
+    // operation; its accuracy is machine precision, meeting every target).
+    let chol_flops = {
+        let mut fpu = ReliableFpu::new();
+        problem.solve_cholesky(&mut fpu).expect("full-rank workload");
+        fpu.flops()
+    };
+    let chol_energy = model.energy(chol_flops, model.nominal_voltage());
+
+    let voltages: Vec<f64> = (0..17).map(|i| 1.0 - 0.025 * i as f64).collect();
+    let iteration_grid: Vec<usize> = vec![2, 3, 5, 7, 10, 14, 20, 28, 40];
+
+    let mut table = Table::new(
+        &format!(
+            "Figure 6.7 — Least Squares energy vs accuracy target \
+             (power × FLOP units; {trials} trials per point)"
+        ),
+        &["accuracy_target", "Base:Cholesky", "CG_energy", "CG_voltage", "CG_iters", "saving_%"],
+    );
+
+    for exp in 1..=7 {
+        let target = 10f64.powi(-exp);
+        // Find the cheapest (voltage, N) meeting the target reliably.
+        let mut best: Option<(f64, f64, usize)> = None; // (energy, voltage, iters)
+        for &v in &voltages {
+            let rate = model.fault_rate_at(v);
+            for &n in &iteration_grid {
+                let cfg = TrialConfig::new(trials, rate, opts.model(), opts.seed);
+                let mut flops_total: u64 = 0;
+                let mut met = 0usize;
+                for i in 0..trials {
+                    let mut fpu = cfg.fpu_for_trial(i);
+                    let report = problem.solve_cg(n, &mut fpu);
+                    flops_total += report.flops;
+                    if problem.residual_relative_error(&report.x) <= target {
+                        met += 1;
+                    }
+                }
+                if met * 10 >= trials * 8 {
+                    let energy = model.energy(flops_total / trials as u64, v);
+                    if best.map(|(e, _, _)| energy < e).unwrap_or(true) {
+                        best = Some((energy, v, n));
+                    }
+                    break; // smallest sufficient N for this voltage
+                }
+            }
+        }
+        match best {
+            Some((energy, v, n)) => {
+                table.row(&[
+                    format!("1e-{exp}"),
+                    format!("{chol_energy:.0}"),
+                    format!("{energy:.0}"),
+                    format!("{v:.3}"),
+                    n.to_string(),
+                    format!("{:.0}", 100.0 * (1.0 - energy / chol_energy)),
+                ]);
+            }
+            None => {
+                table.row(&[
+                    format!("1e-{exp}"),
+                    format!("{chol_energy:.0}"),
+                    "unreachable".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                ]);
+            }
+        }
+    }
+    table.print();
+    println!(
+        "baseline Cholesky: {} FLOPs at {:.2} V (accuracy ~machine precision, rel err {})",
+        chol_flops,
+        model.nominal_voltage(),
+        fmt_metric(problem.residual_relative_error(
+            &problem.solve_cholesky(&mut ReliableFpu::new()).expect("full-rank workload")
+        )),
+    );
+}

@@ -1,0 +1,243 @@
+//! Shared plumbing for the experiment binaries: a tiny CLI parser, table
+//! and CSV printers.
+//!
+//! Each binary in `src/bin/` regenerates one figure of the paper; see the
+//! per-experiment index in `DESIGN.md` and the recorded outcomes in
+//! `EXPERIMENTS.md`.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod workloads;
+
+use stochastic_fpu::{BitFaultModel, BitWidth};
+
+/// Options common to every experiment binary.
+///
+/// # Examples
+///
+/// ```
+/// use robustify_bench::ExperimentOptions;
+///
+/// let opts = ExperimentOptions::parse_from(["--fast", "--seed", "7"].iter().map(|s| s.to_string()));
+/// assert!(opts.fast);
+/// assert_eq!(opts.seed, 7);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentOptions {
+    /// Reduced trial counts for smoke runs / CI.
+    pub fast: bool,
+    /// Base seed for workload and fault-stream generation.
+    pub seed: u64,
+    /// Bit-fault model preset name (`emulated`, `uniform`, `msb`, `lsb`).
+    pub fault_model: String,
+}
+
+impl Default for ExperimentOptions {
+    fn default() -> Self {
+        ExperimentOptions { fast: false, seed: 42, fault_model: "emulated".to_string() }
+    }
+}
+
+impl ExperimentOptions {
+    /// Parses options from `std::env::args()` (skipping the binary name).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on unknown flags or malformed values.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses options from an explicit iterator (for tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on unknown flags or malformed values.
+    pub fn parse_from(args: impl Iterator<Item = String>) -> Self {
+        let mut opts = Self::default();
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--fast" => opts.fast = true,
+                "--seed" => {
+                    let v = args.next().unwrap_or_else(|| usage("--seed needs a value"));
+                    opts.seed = v.parse().unwrap_or_else(|_| usage("--seed must be an integer"));
+                }
+                "--fault-model" => {
+                    opts.fault_model =
+                        args.next().unwrap_or_else(|| usage("--fault-model needs a value"));
+                }
+                "--help" | "-h" => usage("
+"),
+                other => usage(&format!("unknown flag {other}")),
+            }
+        }
+        opts
+    }
+
+    /// Resolves the fault-model preset.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on unknown preset names.
+    pub fn model(&self) -> BitFaultModel {
+        match self.fault_model.as_str() {
+            "emulated" => BitFaultModel::emulated(),
+            "uniform" => BitFaultModel::uniform(BitWidth::F64),
+            "msb" => BitFaultModel::msb_only(BitWidth::F64),
+            "lsb" => BitFaultModel::lsb_only(BitWidth::F64),
+            other => usage(&format!("unknown fault model {other}")),
+        }
+    }
+
+    /// Chooses between full and reduced trial counts.
+    pub fn trials(&self, full: usize, fast: usize) -> usize {
+        if self.fast {
+            fast
+        } else {
+            full
+        }
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!(
+        "{msg}\nusage: <experiment> [--fast] [--seed N] [--fault-model emulated|uniform|msb|lsb]"
+    );
+    std::process::exit(2)
+}
+
+/// A column-aligned results table that also emits machine-readable CSV.
+///
+/// # Examples
+///
+/// ```
+/// use robustify_bench::Table;
+///
+/// let mut t = Table::new("demo", &["fault_rate", "success"]);
+/// t.row(&[format!("{:.1}", 1.0), format!("{:.1}", 99.5)]);
+/// let csv = t.to_csv();
+/// assert!(csv.contains("fault_rate,success"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row width must match headers");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// The CSV rendering (headers + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = self.headers.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the aligned human-readable table followed by the CSV block.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        println!("\n== {} ==", self.title);
+        let header_line: Vec<String> = self
+            .headers
+            .iter()
+            .zip(&widths)
+            .map(|(h, w)| format!("{h:>w$}"))
+            .collect();
+        println!("{}", header_line.join("  "));
+        for row in &self.rows {
+            let line: Vec<String> =
+                row.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect();
+            println!("{}", line.join("  "));
+        }
+        println!("\n-- csv --\n{}", self.to_csv());
+    }
+}
+
+/// Formats a metric that may be infinite (failed trials) for table cells.
+pub fn fmt_metric(v: f64) -> String {
+    if !v.is_finite() {
+        "fail".to_string()
+    } else if v != 0.0 && (v.abs() < 1e-3 || v.abs() >= 1e4) {
+        format!("{v:.3e}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let opts = ExperimentOptions::parse_from(std::iter::empty());
+        assert!(!opts.fast);
+        assert_eq!(opts.seed, 42);
+        assert_eq!(opts.model(), BitFaultModel::emulated());
+        assert_eq!(opts.trials(100, 10), 100);
+    }
+
+    #[test]
+    fn parse_all_flags() {
+        let opts = ExperimentOptions::parse_from(
+            ["--fast", "--seed", "9", "--fault-model", "lsb"].iter().map(|s| s.to_string()),
+        );
+        assert!(opts.fast);
+        assert_eq!(opts.seed, 9);
+        assert_eq!(opts.model(), BitFaultModel::lsb_only(BitWidth::F64));
+        assert_eq!(opts.trials(100, 10), 10);
+    }
+
+    #[test]
+    fn table_roundtrip() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(&["1".into(), "2".into()]);
+        t.row(&["3".into(), "4".into()]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n3,4\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_rejects_ragged_rows() {
+        Table::new("t", &["a", "b"]).row(&["1".into()]);
+    }
+
+    #[test]
+    fn metric_formatting() {
+        assert_eq!(fmt_metric(f64::INFINITY), "fail");
+        assert_eq!(fmt_metric(f64::NAN), "fail");
+        assert_eq!(fmt_metric(0.5), "0.5000");
+        assert_eq!(fmt_metric(1e-9), "1.000e-9");
+        assert_eq!(fmt_metric(0.0), "0.0000");
+    }
+}

@@ -1,0 +1,96 @@
+//! The paper's experiment workloads (Chapter 5/6 scales), seeded and
+//! reproducible.
+//!
+//! "For sorting, array size is 5 elements. For the LSQ problem, A is
+//! 100 × 10 and B is 100 × 1. Bipartite graph matching is performed for a
+//! graph with 11 nodes and 30 edges. IIR filter uses a 10-tap filter for
+//! 500 input samples."
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use robustify_apps::apsp::ApspProblem;
+use robustify_apps::iir::{random_signal, IirFilter};
+use robustify_apps::least_squares::LeastSquares;
+use robustify_apps::matching::MatchingProblem;
+use robustify_apps::maxflow::MaxFlowProblem;
+use robustify_apps::sorting::SortProblem;
+use robustify_graph::generators::{
+    random_bipartite, random_flow_network, random_strongly_connected,
+};
+
+/// The paper's least squares workload: a random well-conditioned
+/// `100 × 10` system.
+pub fn paper_least_squares(seed: u64) -> LeastSquares {
+    LeastSquares::random(&mut StdRng::seed_from_u64(seed), 100, 10)
+}
+
+/// An ill-conditioned variant of the least squares workload (condition
+/// number `cond`), for the Figure 6.6 accuracy comparison.
+pub fn ill_conditioned_least_squares(seed: u64, cond: f64) -> LeastSquares {
+    LeastSquares::random_with_condition(&mut StdRng::seed_from_u64(seed), 100, 10, cond)
+}
+
+/// The paper's sorting workload: a 5-element random array.
+pub fn paper_sort(seed: u64) -> SortProblem {
+    SortProblem::random(&mut StdRng::seed_from_u64(seed), 5)
+}
+
+/// The paper's matching workload: a bipartite graph with 11 nodes
+/// (5 + 6) and 30 edges.
+pub fn paper_matching(seed: u64) -> MatchingProblem {
+    MatchingProblem::new(random_bipartite(&mut StdRng::seed_from_u64(seed), 5, 6, 30))
+}
+
+/// The paper's IIR workload: a stable ~10-tap filter and a 500-sample
+/// input signal.
+pub fn paper_iir(seed: u64) -> (IirFilter, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let filter = IirFilter::random_stable(&mut rng, 4, 2);
+    let u = random_signal(&mut rng, 500);
+    (filter, u)
+}
+
+/// A max-flow workload: a random 8-vertex, ~20-edge network.
+pub fn paper_maxflow(seed: u64) -> MaxFlowProblem {
+    MaxFlowProblem::new(random_flow_network(&mut StdRng::seed_from_u64(seed), 8, 13))
+        .expect("generated networks are non-empty")
+}
+
+/// An all-pairs shortest path workload: a random strongly connected
+/// 6-vertex digraph.
+pub fn paper_apsp(seed: u64) -> ApspProblem {
+    ApspProblem::new(random_strongly_connected(&mut StdRng::seed_from_u64(seed), 6, 9))
+        .expect("cycle-backbone graphs are strongly connected")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_match_paper_scales() {
+        let lsq = paper_least_squares(1);
+        assert_eq!((lsq.a().rows(), lsq.a().cols()), (100, 10));
+        assert_eq!(paper_sort(1).len(), 5);
+        let m = paper_matching(1);
+        assert_eq!(m.graph().left_count() + m.graph().right_count(), 11);
+        assert_eq!(m.graph().edges().len(), 30);
+        let (f, u) = paper_iir(1);
+        assert_eq!(u.len(), 500);
+        assert!(f.denominator().len() >= 9);
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        assert_eq!(paper_sort(7).input(), paper_sort(7).input());
+        assert_eq!(paper_least_squares(7), paper_least_squares(7));
+        assert_ne!(paper_sort(7).input(), paper_sort(8).input());
+    }
+
+    #[test]
+    fn ill_conditioned_workload_has_target_condition() {
+        let p = ill_conditioned_least_squares(3, 1e4);
+        let cond = robustify_linalg::condition_number(p.a()).expect("full rank");
+        assert!((cond / 1e4 - 1.0).abs() < 0.1, "cond {cond}");
+    }
+}

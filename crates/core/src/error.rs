@@ -1,0 +1,90 @@
+//! Error type for the robustification framework.
+
+use robustify_linalg::LinalgError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the robustification framework.
+///
+/// # Examples
+///
+/// ```
+/// use robustify_core::CoreError;
+///
+/// let err = CoreError::invalid_config("iterations must be positive");
+/// assert!(err.to_string().contains("iterations"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A solver or transform was configured inconsistently.
+    InvalidConfig(String),
+    /// Operand shapes are incompatible.
+    DimensionMismatch {
+        /// What the operation expected.
+        expected: String,
+        /// What it received.
+        found: String,
+    },
+    /// An underlying linear algebra routine failed.
+    Linalg(LinalgError),
+}
+
+impl CoreError {
+    /// Convenience constructor for configuration errors.
+    pub fn invalid_config(msg: impl Into<String>) -> Self {
+        CoreError::InvalidConfig(msg.into())
+    }
+
+    /// Convenience constructor for shape mismatches.
+    pub fn shape(expected: impl Into<String>, found: impl Into<String>) -> Self {
+        CoreError::DimensionMismatch { expected: expected.into(), found: found.into() }
+    }
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CoreError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            CoreError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for CoreError {
+    fn from(e: LinalgError) -> Self {
+        CoreError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let inner = LinalgError::Singular;
+        let err = CoreError::from(inner.clone());
+        assert!(err.to_string().contains("singular"));
+        assert!(err.source().is_some());
+        assert!(CoreError::invalid_config("x").source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,70 @@
+//! Application robustification by numerical optimization — the core
+//! framework of the DSN 2010 paper *"A Numerical Optimization-Based
+//! Methodology for Application Robustification"*.
+//!
+//! The methodology: recast an application as the minimization of a cost
+//! function `f` whose minimum encodes the application's output, then solve
+//! it with an optimizer that provably tolerates *unbiased* gradient noise —
+//! here, noise injected by a fault-prone FPU rather than by data
+//! subsampling. Constrained forms are mechanically converted to
+//! unconstrained ones by an exact penalty transform (the paper's Theorem 2).
+//!
+//! The pieces:
+//!
+//! * [`CostFunction`] — the variational interface; gradients are evaluated
+//!   through an [`Fpu`](stochastic_fpu::Fpu) (the noisy *data plane*), while
+//!   solver bookkeeping stays native (the protected *control plane*).
+//! * [`PenaltyCost`] / [`AffineConstraints`] — exact penalty transform with
+//!   L1 (Theorem 2) and squared-hinge penalty forms and annealable `μ`.
+//! * [`LinearProgram`] — the generic combinatorial engine: sorting,
+//!   matching, max-flow and shortest paths all reduce to LPs (§4.3–4.7).
+//! * [`Sgd`] — stochastic (sub)gradient descent with the paper's step-size
+//!   schedules (`1/t`, `1/√t`, fixed), aggressive stepping, momentum,
+//!   and penalty annealing (§3.2, §6.2).
+//! * [`CgLeastSquares`] — conjugate gradient with periodic direction resets
+//!   for noisy gradients (§3.3, §6.3).
+//! * [`precondition_lp`] — QR preconditioning of ill-conditioned LPs
+//!   (§6.2.1).
+//!
+//! # Quickstart: a robust least squares solve
+//!
+//! ```
+//! use robustify_core::{Sgd, StepSchedule, QuadraticResidualCost};
+//! use robustify_linalg::Matrix;
+//! use stochastic_fpu::{BitFaultModel, FaultRate, NoisyFpu};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // f(x) = ||Ax - b||^2 for A = I, b = [3, 4]: minimum at x = b.
+//! let a = Matrix::identity(2);
+//! let mut cost = QuadraticResidualCost::new(a, vec![3.0, 4.0])?;
+//! let mut fpu = NoisyFpu::new(FaultRate::per_flop(0.001), BitFaultModel::emulated(), 1);
+//! let report = Sgd::new(500, StepSchedule::Fixed(0.2)).run(&mut cost, &[0.0, 0.0], &mut fpu);
+//! assert!((report.x[0] - 3.0).abs() < 0.1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod cg;
+mod cost;
+mod error;
+mod lp;
+mod penalty;
+mod precondition;
+mod schedule;
+mod sgd;
+#[cfg(test)]
+pub(crate) mod test_util;
+mod trace;
+
+pub use cg::{CgLeastSquares, CgReport};
+pub use cost::{CostFunction, LinearCost, QuadraticCost, QuadraticResidualCost};
+pub use error::CoreError;
+pub use lp::LinearProgram;
+pub use penalty::{AffineConstraints, PenaltyCost, PenaltyKind};
+pub use precondition::{precondition_lp, PreconditionedLp};
+pub use schedule::StepSchedule;
+pub use sgd::{AggressiveStepping, Annealing, GradientGuard, GuardState, Sgd, SolveReport};
+pub use trace::Trace;

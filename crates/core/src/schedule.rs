@@ -1,0 +1,104 @@
+//! Step-size schedules (§3.2, §6.2.3 of the paper).
+
+/// How the SGD step size `γₜ` evolves with the iteration count `t`
+/// (1-based).
+///
+/// The paper evaluates *linear scaling* `γ₀/t` (their "LS"; optimal-rate for
+/// strongly convex objectives per Theorem 1), *sqrt scaling* `γ₀/√t` (their
+/// "SQS"; the convex-case schedule that "allows the step size to remain
+/// larger while still causing it to continuously decrease"), and fixed
+/// steps.
+///
+/// # Examples
+///
+/// ```
+/// use robustify_core::StepSchedule;
+///
+/// assert_eq!(StepSchedule::Fixed(0.5).step(10), 0.5);
+/// assert_eq!(StepSchedule::Linear { gamma0: 1.0 }.step(4), 0.25);
+/// assert_eq!(StepSchedule::Sqrt { gamma0: 1.0 }.step(4), 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StepSchedule {
+    /// Constant step size `γ₀`.
+    Fixed(f64),
+    /// Linear scaling `γ₀ / t` — the paper's "LS".
+    Linear {
+        /// Initial step size `γ₀`.
+        gamma0: f64,
+    },
+    /// Square-root scaling `γ₀ / √t` — the paper's "SQS".
+    Sqrt {
+        /// Initial step size `γ₀`.
+        gamma0: f64,
+    },
+}
+
+impl StepSchedule {
+    /// The step size at 1-based iteration `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t == 0`.
+    pub fn step(&self, t: usize) -> f64 {
+        assert!(t > 0, "iterations are 1-based");
+        match *self {
+            StepSchedule::Fixed(g) => g,
+            StepSchedule::Linear { gamma0 } => gamma0 / t as f64,
+            StepSchedule::Sqrt { gamma0 } => gamma0 / (t as f64).sqrt(),
+        }
+    }
+
+    /// The initial step size `γ₀`.
+    pub fn gamma0(&self) -> f64 {
+        match *self {
+            StepSchedule::Fixed(g) => g,
+            StepSchedule::Linear { gamma0 } | StepSchedule::Sqrt { gamma0 } => gamma0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_decrease_monotonically() {
+        for sched in [StepSchedule::Linear { gamma0: 2.0 }, StepSchedule::Sqrt { gamma0: 2.0 }] {
+            let mut prev = f64::INFINITY;
+            for t in 1..100 {
+                let g = sched.step(t);
+                assert!(g > 0.0 && g < prev, "{sched:?} at t={t}");
+                prev = g;
+            }
+        }
+    }
+
+    #[test]
+    fn sqrt_decays_slower_than_linear() {
+        let ls = StepSchedule::Linear { gamma0: 1.0 };
+        let sqs = StepSchedule::Sqrt { gamma0: 1.0 };
+        for t in 2..1000 {
+            assert!(sqs.step(t) > ls.step(t));
+        }
+    }
+
+    #[test]
+    fn fixed_never_decays() {
+        let f = StepSchedule::Fixed(0.3);
+        assert_eq!(f.step(1), f.step(1_000_000));
+    }
+
+    #[test]
+    fn gamma0_accessor() {
+        assert_eq!(StepSchedule::Fixed(0.1).gamma0(), 0.1);
+        assert_eq!(StepSchedule::Linear { gamma0: 0.2 }.gamma0(), 0.2);
+        assert_eq!(StepSchedule::Sqrt { gamma0: 0.3 }.gamma0(), 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn zero_iteration_panics() {
+        StepSchedule::Fixed(1.0).step(0);
+    }
+}

@@ -1,0 +1,692 @@
+//! Stochastic (sub)gradient descent with the paper's enhancements.
+//!
+//! The iteration is `xₜ ← xₜ₋₁ − γₜ dₜ` where `dₜ` is the (possibly
+//! momentum-smoothed) gradient evaluated *through a fault-prone FPU*. As in
+//! the paper, "the remaining operations, including computing the step size,
+//! updating `x` with the step, and testing for convergence, are assumed to
+//! be carried out reliably as they are critical for convergence" — those run
+//! in native arithmetic here (the control plane).
+//!
+//! Enhancements from §3.2 / §6.2:
+//!
+//! * **Step-size schedules** — `1/t` (LS), `1/√t` (SQS), fixed.
+//! * **Aggressive stepping (AS)** — after the fixed iteration budget, a
+//!   phase of adaptive stepping grows the step on success and shrinks it on
+//!   failure until progress stalls.
+//! * **Momentum** — `dₜ = β ∇f + (1−β) dₜ₋₁` smooths oscillating gradients.
+//! * **Annealing** — the penalty parameter `μ` of a
+//!   [`PenaltyCost`](crate::PenaltyCost) is periodically increased.
+//! * **Gradient guard** — a cheap control-plane sanitization of the noisy
+//!   gradient (zeroing non-finite lanes, norm clipping). The paper assumes
+//!   gradient noise with bounded variance (Theorem 1); raw exponent-bit
+//!   flips violate that, and the guard is the software knob that restores
+//!   it. Set [`GradientGuard::Off`] to study the unguarded behaviour.
+
+use crate::cost::CostFunction;
+use crate::schedule::StepSchedule;
+use crate::trace::Trace;
+use stochastic_fpu::{Fpu, FpuExt, ReliableFpu};
+
+/// The adaptive step-size phase appended after the main loop (§3.2:
+/// "aggressive stepping").
+///
+/// # Examples
+///
+/// ```
+/// use robustify_core::AggressiveStepping;
+///
+/// let aggressive = AggressiveStepping::default();
+/// assert!(aggressive.success_factor > 1.0 && aggressive.fail_factor < 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AggressiveStepping {
+    /// Multiplier applied to the step size after a cost decrease.
+    pub success_factor: f64,
+    /// Multiplier applied after a cost increase (the move is rolled back).
+    pub fail_factor: f64,
+    /// The phase stops once the relative cost change between consecutive
+    /// accepted steps falls below this threshold.
+    pub rel_tolerance: f64,
+    /// Upper bound on the number of adaptive steps.
+    pub max_steps: usize,
+}
+
+impl Default for AggressiveStepping {
+    fn default() -> Self {
+        AggressiveStepping {
+            success_factor: 1.2,
+            fail_factor: 0.5,
+            rel_tolerance: 1e-6,
+            max_steps: 200,
+        }
+    }
+}
+
+/// Periodic scaling of a cost's penalty parameter (§6.2.4: "the parameter μ
+/// is periodically increased as the solver moves closer towards the
+/// minimum").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Annealing {
+    /// Anneal every `period` iterations.
+    pub period: usize,
+    /// Factor by which `μ` grows at each annealing event.
+    pub factor: f64,
+}
+
+impl Default for Annealing {
+    fn default() -> Self {
+        // A doubling every 1000 iterations: slow enough that the shrinking
+        // step size keeps the penalized objective's growing curvature
+        // stable at the paper's 1000–10000-iteration budgets.
+        Annealing { period: 1000, factor: 2.0 }
+    }
+}
+
+/// Control-plane sanitization applied to each noisy gradient before the
+/// iterate update.
+///
+/// Theorem 1 requires the gradient noise to be unbiased with *bounded
+/// variance*. A raw exponent-bit flip violates that — a single corrupted
+/// FPU result can be astronomically large — so without some guard a fault
+/// in almost any iteration destroys the iterate. The guard is the cheap
+/// `O(d)` native-arithmetic step that restores the bounded-variance regime;
+/// the paper folds this into its "control phases are protected" assumption,
+/// and the `ablation_guard` experiment binary quantifies each policy's effect.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GradientGuard {
+    /// Use the gradient exactly as the FPU produced it.
+    Off,
+    /// Replace NaN/±∞ components with zero (skipping the corrupted lane).
+    ZeroNonFinite,
+    /// Zero non-finite components, then rescale the gradient if its
+    /// Euclidean norm exceeds the bound.
+    Clip {
+        /// Maximum allowed gradient norm.
+        max_norm: f64,
+    },
+    /// Zero non-finite components, then clamp each component's magnitude to
+    /// a fixed bound (preserves the uncorrupted lanes, unlike norm
+    /// rescaling).
+    ClampComponents {
+        /// Maximum allowed component magnitude.
+        max_abs: f64,
+    },
+    /// Self-tuning outlier rejection plus component clamp. A running
+    /// median-absolute-component scale `s` is maintained from accepted
+    /// gradients; a gradient whose median magnitude exceeds `reject × s`
+    /// is *rejected outright* (the iteration makes no move — a corrupted
+    /// shared subexpression, e.g. one huge residual entry, poisons every
+    /// lane coherently and no per-lane repair can save it). Accepted
+    /// gradients update `s` and have each lane clamped to `factor × s`.
+    ///
+    /// Caveat: the scale bootstraps from the first gradient, so a solve
+    /// started at a near-optimal iterate (tiny first gradient) can freeze.
+    /// Prefer [`Clip`](GradientGuard::Clip) for warm-started problems.
+    Adaptive {
+        /// Clamp multiplier over the running scale estimate (default 10).
+        factor: f64,
+        /// Rejection multiplier over the running scale estimate
+        /// (default 100).
+        reject: f64,
+    },
+}
+
+impl Default for GradientGuard {
+    /// Norm clipping at 10 — the empirically strongest general policy for
+    /// costs scaled to `O(1)` gradients, which every cost constructor in
+    /// this workspace produces. Beyond the clip radius it behaves like
+    /// normalized gradient descent: direction preserved, magnitude bounded.
+    fn default() -> Self {
+        GradientGuard::Clip { max_norm: 10.0 }
+    }
+}
+
+impl GradientGuard {
+    /// The default adaptive guard (`factor = 10`, `reject = 100`).
+    pub fn default_adaptive() -> Self {
+        GradientGuard::Adaptive { factor: 10.0, reject: 100.0 }
+    }
+
+    /// Applies the guard statelessly (the adaptive variant needs
+    /// [`GuardState`]; through this entry point it behaves like a
+    /// first-iteration application).
+    pub fn apply(&self, grad: &mut [f64]) {
+        GuardState::new(*self).apply(grad);
+    }
+}
+
+/// Mutable state carried by a [`GradientGuard`] across iterations (the
+/// running scale estimate of the adaptive variant).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GuardState {
+    guard: GradientGuard,
+    /// Running median-absolute-component scale (adaptive variant only).
+    scale: Option<f64>,
+}
+
+impl GuardState {
+    /// Creates fresh state for a guard policy.
+    pub fn new(guard: GradientGuard) -> Self {
+        GuardState { guard, scale: None }
+    }
+
+    /// Applies the guard to `grad` in place (native arithmetic).
+    pub fn apply(&mut self, grad: &mut [f64]) {
+        match self.guard {
+            GradientGuard::Off => {}
+            GradientGuard::ZeroNonFinite => zero_non_finite(grad),
+            GradientGuard::Clip { max_norm } => {
+                zero_non_finite(grad);
+                let norm = grad.iter().map(|g| g * g).sum::<f64>().sqrt();
+                if norm > max_norm {
+                    let s = max_norm / norm;
+                    for g in grad.iter_mut() {
+                        *g *= s;
+                    }
+                }
+            }
+            GradientGuard::ClampComponents { max_abs } => {
+                zero_non_finite(grad);
+                for g in grad.iter_mut() {
+                    *g = g.clamp(-max_abs, max_abs);
+                }
+            }
+            GradientGuard::Adaptive { factor, reject } => {
+                zero_non_finite(grad);
+                let med = median_abs(grad);
+                let scale = match self.scale {
+                    Some(s) => {
+                        if med > reject * s {
+                            // Coherently corrupted gradient: reject the whole
+                            // step and leave the scale estimate untouched.
+                            grad.fill(0.0);
+                            return;
+                        }
+                        0.9 * s + 0.1 * med
+                    }
+                    None => med,
+                };
+                self.scale = Some(scale);
+                if scale > 0.0 {
+                    let bound = factor * scale;
+                    for g in grad.iter_mut() {
+                        *g = g.clamp(-bound, bound);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The current adaptive scale estimate, if any.
+    pub fn scale(&self) -> Option<f64> {
+        self.scale
+    }
+}
+
+fn zero_non_finite(grad: &mut [f64]) {
+    for g in grad.iter_mut() {
+        if !g.is_finite() {
+            *g = 0.0;
+        }
+    }
+}
+
+/// Median of absolute values (native arithmetic; `0` for an empty slice).
+fn median_abs(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    let mut abs: Vec<f64> = v.iter().map(|x| x.abs()).collect();
+    abs.sort_by(|a, b| a.partial_cmp(b).expect("non-finite lanes were zeroed"));
+    let n = abs.len();
+    if n % 2 == 1 {
+        abs[n / 2]
+    } else {
+        0.5 * (abs[n / 2 - 1] + abs[n / 2])
+    }
+}
+
+/// The outcome of a stochastic solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveReport {
+    /// The final iterate.
+    pub x: Vec<f64>,
+    /// Total iterations executed (main loop + aggressive stepping).
+    pub iterations: usize,
+    /// Data-plane FLOPs charged to the provided FPU during the solve.
+    pub flops: u64,
+    /// Faults the FPU injected during the solve.
+    pub faults: u64,
+    /// Final cost, measured reliably.
+    pub final_cost: f64,
+    /// Optional convergence trace (reliable cost samples).
+    pub trace: Option<Trace>,
+}
+
+/// Stochastic gradient descent configured with the paper's enhancements.
+///
+/// Construct with [`Sgd::new`], then chain the builder methods. The solver
+/// is reusable: [`run`](Sgd::run) borrows it immutably.
+///
+/// # Examples
+///
+/// ```
+/// use robustify_core::{Sgd, StepSchedule, QuadraticResidualCost};
+/// use robustify_linalg::Matrix;
+/// use stochastic_fpu::ReliableFpu;
+///
+/// # fn main() -> Result<(), robustify_core::CoreError> {
+/// let mut cost = QuadraticResidualCost::new(Matrix::identity(2), vec![1.0, -1.0])?;
+/// let sgd = Sgd::new(200, StepSchedule::Sqrt { gamma0: 0.4 })
+///     .with_momentum(0.5)
+///     .with_aggressive_stepping(Default::default());
+/// let report = sgd.run(&mut cost, &[0.0, 0.0], &mut ReliableFpu::new());
+/// assert!(report.final_cost < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sgd {
+    iterations: usize,
+    schedule: StepSchedule,
+    momentum: Option<f64>,
+    aggressive: Option<AggressiveStepping>,
+    annealing: Option<Annealing>,
+    guard: GradientGuard,
+    trace_stride: Option<usize>,
+}
+
+impl Sgd {
+    /// Creates a solver running `iterations` main-loop steps with the given
+    /// step-size schedule and the default gradient guard.
+    pub fn new(iterations: usize, schedule: StepSchedule) -> Self {
+        Sgd {
+            iterations,
+            schedule,
+            momentum: None,
+            aggressive: None,
+            annealing: None,
+            guard: GradientGuard::default(),
+            trace_stride: None,
+        }
+    }
+
+    /// Enables momentum smoothing `dₜ = β ∇f + (1−β) dₜ₋₁` (the paper uses
+    /// `β = 0.5`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beta` is outside `(0, 1]`.
+    pub fn with_momentum(mut self, beta: f64) -> Self {
+        assert!(beta > 0.0 && beta <= 1.0, "momentum β must be in (0, 1], got {beta}");
+        self.momentum = Some(beta);
+        self
+    }
+
+    /// Appends an aggressive-stepping phase after the main loop.
+    pub fn with_aggressive_stepping(mut self, config: AggressiveStepping) -> Self {
+        self.aggressive = Some(config);
+        self
+    }
+
+    /// Enables periodic penalty annealing (effective only for costs whose
+    /// [`anneal`](CostFunction::anneal) is not a no-op).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.period == 0` or `config.factor <= 1.0`.
+    pub fn with_annealing(mut self, config: Annealing) -> Self {
+        assert!(config.period > 0, "annealing period must be positive");
+        assert!(config.factor > 1.0, "annealing factor must exceed 1.0");
+        self.annealing = Some(config);
+        self
+    }
+
+    /// Replaces the gradient guard.
+    pub fn with_guard(mut self, guard: GradientGuard) -> Self {
+        self.guard = guard;
+        self
+    }
+
+    /// Records a reliable cost sample every `stride` iterations.
+    pub fn with_trace(mut self, stride: usize) -> Self {
+        self.trace_stride = Some(stride.max(1));
+        self
+    }
+
+    /// Runs the solve from `x0`, evaluating gradients through `fpu`.
+    ///
+    /// The returned report's FLOP/fault counts are the *deltas* accrued on
+    /// `fpu` during this call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0.len() != cost.dim()`.
+    pub fn run<C: CostFunction, F: Fpu>(
+        &self,
+        cost: &mut C,
+        x0: &[f64],
+        fpu: &mut F,
+    ) -> SolveReport {
+        assert_eq!(x0.len(), cost.dim(), "initial iterate has the wrong dimension");
+        let snapshot = fpu.snapshot();
+        let dim = cost.dim();
+        let mut x = x0.to_vec();
+        let mut grad = vec![0.0; dim];
+        let mut direction = vec![0.0; dim];
+        let mut trace = self.trace_stride.map(Trace::new);
+        let mut measure = ReliableFpu::new();
+        let mut guard = GuardState::new(self.guard);
+
+        if let Some(tr) = &mut trace {
+            tr.record(0, cost.cost(&x, &mut measure));
+        }
+
+        let mut executed = 0;
+        for t in 1..=self.iterations {
+            cost.gradient(&x, fpu, &mut grad);
+            guard.apply(&mut grad);
+            match self.momentum {
+                Some(beta) => {
+                    for (d, &g) in direction.iter_mut().zip(&grad) {
+                        *d = beta * g + (1.0 - beta) * *d;
+                    }
+                }
+                None => direction.copy_from_slice(&grad),
+            }
+            let gamma = self.schedule.step(t);
+            for (xi, &di) in x.iter_mut().zip(&direction) {
+                *xi -= gamma * di;
+            }
+            if let Some(ann) = self.annealing {
+                if t % ann.period == 0 {
+                    cost.anneal(ann.factor);
+                }
+            }
+            if let Some(tr) = &mut trace {
+                if tr.due(t) {
+                    tr.record(t, cost.cost(&x, &mut measure));
+                }
+            }
+            executed = t;
+        }
+
+        if let Some(aggressive) = self.aggressive {
+            executed +=
+                self.aggressive_phase(cost, &mut x, &mut grad, fpu, aggressive, &mut guard);
+        }
+
+        let final_cost = cost.cost(&x, &mut measure);
+        if let Some(tr) = &mut trace {
+            tr.record(executed, final_cost);
+        }
+        SolveReport {
+            x,
+            iterations: executed,
+            flops: snapshot.flops_since(fpu),
+            faults: snapshot.faults_since(fpu),
+            final_cost,
+            trace,
+        }
+    }
+
+    /// The variable step-size phase: grow the step after each cost decrease,
+    /// shrink it (and roll back) after each increase; stop when the relative
+    /// change between consecutive evaluations falls below the tolerance.
+    /// Cost evaluations here are control-plane (reliable); gradients remain
+    /// noisy.
+    fn aggressive_phase<C: CostFunction, F: Fpu>(
+        &self,
+        cost: &mut C,
+        x: &mut Vec<f64>,
+        grad: &mut [f64],
+        fpu: &mut F,
+        config: AggressiveStepping,
+        guard: &mut GuardState,
+    ) -> usize {
+        let mut measure = ReliableFpu::new();
+        let mut gamma = self.schedule.step(self.iterations.max(1));
+        let mut f_current = cost.cost(x, &mut measure);
+        let mut steps = 0;
+        // The phase ends once progress stalls *repeatedly*: a single
+        // sub-tolerance step right after entry (where γ is still the tiny
+        // tail of the main schedule) must not abort the phase before the
+        // success factor has had a chance to grow the step.
+        let mut stall_streak = 0;
+        for _ in 0..config.max_steps {
+            cost.gradient(x, fpu, grad);
+            guard.apply(grad);
+            let candidate: Vec<f64> =
+                x.iter().zip(grad.iter()).map(|(xi, gi)| xi - gamma * gi).collect();
+            let f_candidate = cost.cost(&candidate, &mut measure);
+            steps += 1;
+            if f_candidate.is_finite() && f_candidate < f_current {
+                let rel = (f_current - f_candidate).abs() / f_current.abs().max(1e-12);
+                *x = candidate;
+                f_current = f_candidate;
+                gamma *= config.success_factor;
+                if rel < config.rel_tolerance {
+                    stall_streak += 1;
+                    if stall_streak >= 5 {
+                        break;
+                    }
+                } else {
+                    stall_streak = 0;
+                }
+            } else {
+                gamma *= config.fail_factor;
+                if gamma < 1e-18 {
+                    break;
+                }
+            }
+        }
+        steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{QuadraticCost, QuadraticResidualCost};
+    use robustify_linalg::Matrix;
+    use stochastic_fpu::{BitFaultModel, BitWidth, FaultRate, NoisyFpu};
+
+    fn residual_cost() -> QuadraticResidualCost {
+        // Minimum at x = (2, -1).
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]).expect("valid rows");
+        let b = vec![2.0, -1.0, 1.0];
+        QuadraticResidualCost::new(a, b).expect("consistent")
+    }
+
+    #[test]
+    fn converges_on_reliable_fpu() {
+        let mut cost = residual_cost();
+        let report = Sgd::new(300, StepSchedule::Fixed(0.1)).run(
+            &mut cost,
+            &[0.0, 0.0],
+            &mut ReliableFpu::new(),
+        );
+        assert!((report.x[0] - 2.0).abs() < 1e-6, "x = {:?}", report.x);
+        assert!((report.x[1] + 1.0).abs() < 1e-6);
+        assert!(report.final_cost < 1e-10);
+        assert_eq!(report.iterations, 300);
+        assert!(report.flops > 0);
+        assert_eq!(report.faults, 0);
+    }
+
+    #[test]
+    fn converges_under_low_order_faults() {
+        // LSB-only faults keep the gradient noise bounded: Theorem 1 applies
+        // and the solve should still land near the optimum.
+        let mut cost = residual_cost();
+        let mut fpu = NoisyFpu::new(
+            FaultRate::per_flop(0.05),
+            BitFaultModel::lsb_only(BitWidth::F64),
+            3,
+        );
+        let report = Sgd::new(2000, StepSchedule::Linear { gamma0: 0.5 })
+            .run(&mut cost, &[0.0, 0.0], &mut fpu);
+        assert!(report.faults > 0, "no faults were injected");
+        assert!((report.x[0] - 2.0).abs() < 1e-2, "x = {:?}", report.x);
+        assert!((report.x[1] + 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn survives_exponent_faults_with_clip_guard() {
+        let mut cost = residual_cost();
+        let mut fpu =
+            NoisyFpu::new(FaultRate::per_flop(0.01), BitFaultModel::emulated(), 17);
+        let report = Sgd::new(3000, StepSchedule::Linear { gamma0: 0.5 })
+            .with_guard(GradientGuard::Clip { max_norm: 1e3 })
+            .run(&mut cost, &[0.0, 0.0], &mut fpu);
+        assert!(report.x.iter().all(|v| v.is_finite()));
+        assert!(
+            (report.x[0] - 2.0).abs() < 0.5 && (report.x[1] + 1.0).abs() < 0.5,
+            "x = {:?}",
+            report.x
+        );
+    }
+
+    #[test]
+    fn momentum_still_converges() {
+        let mut cost = residual_cost();
+        let report = Sgd::new(500, StepSchedule::Fixed(0.05))
+            .with_momentum(0.5)
+            .run(&mut cost, &[0.0, 0.0], &mut ReliableFpu::new());
+        assert!(report.final_cost < 1e-8);
+    }
+
+    #[test]
+    fn aggressive_stepping_refines_the_solution() {
+        let mut cost = residual_cost();
+        let base = Sgd::new(20, StepSchedule::Linear { gamma0: 0.3 }).run(
+            &mut cost,
+            &[0.0, 0.0],
+            &mut ReliableFpu::new(),
+        );
+        let mut cost2 = residual_cost();
+        let with_as = Sgd::new(20, StepSchedule::Linear { gamma0: 0.3 })
+            .with_aggressive_stepping(AggressiveStepping::default())
+            .run(&mut cost2, &[0.0, 0.0], &mut ReliableFpu::new());
+        assert!(
+            with_as.final_cost <= base.final_cost,
+            "AS {} vs base {}",
+            with_as.final_cost,
+            base.final_cost
+        );
+        assert!(with_as.iterations > base.iterations);
+    }
+
+    #[test]
+    fn annealing_calls_cost_anneal() {
+        use crate::penalty::{AffineConstraints, PenaltyCost, PenaltyKind};
+        let ineq = AffineConstraints::new(
+            Matrix::from_rows(&[&[1.0, 1.0]]).expect("valid rows"),
+            vec![1.0],
+        )
+        .expect("consistent");
+        let mut cost = PenaltyCost::new(
+            crate::cost::LinearCost::new(vec![-1.0, -1.0]),
+            1.0,
+            PenaltyKind::Squared,
+        )
+        .expect("valid mu")
+        .with_inequalities(ineq)
+        .expect("dims match")
+        .with_nonneg();
+        let mu_before = cost.mu();
+        Sgd::new(100, StepSchedule::Sqrt { gamma0: 0.1 })
+            .with_annealing(Annealing { period: 10, factor: 2.0 })
+            .run(&mut cost, &[0.0, 0.0], &mut ReliableFpu::new());
+        assert_eq!(cost.mu(), mu_before * 2f64.powi(10));
+    }
+
+    #[test]
+    fn trace_records_decreasing_costs() {
+        let mut cost = residual_cost();
+        let report = Sgd::new(100, StepSchedule::Fixed(0.1))
+            .with_trace(10)
+            .run(&mut cost, &[0.0, 0.0], &mut ReliableFpu::new());
+        let trace = report.trace.expect("trace was requested");
+        assert!(trace.len() >= 10);
+        let first = trace.entries()[0].1;
+        let last = trace.last().expect("non-empty");
+        assert!(last < first, "cost did not decrease: {first} -> {last}");
+    }
+
+    #[test]
+    fn guard_zeroes_non_finite_components() {
+        let mut g = vec![1.0, f64::NAN, f64::INFINITY, -2.0];
+        GradientGuard::ZeroNonFinite.apply(&mut g);
+        assert_eq!(g, vec![1.0, 0.0, 0.0, -2.0]);
+    }
+
+    #[test]
+    fn guard_clips_norm() {
+        let mut g = vec![30.0, 40.0]; // norm 50
+        GradientGuard::Clip { max_norm: 5.0 }.apply(&mut g);
+        let norm = (g[0] * g[0] + g[1] * g[1]).sqrt();
+        assert!((norm - 5.0).abs() < 1e-12);
+        assert!((g[0] / g[1] - 0.75).abs() < 1e-12, "direction preserved");
+    }
+
+    #[test]
+    fn guard_off_is_identity() {
+        let mut g = vec![f64::NAN, 1e300];
+        GradientGuard::Off.apply(&mut g);
+        assert!(g[0].is_nan());
+        assert_eq!(g[1], 1e300);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong dimension")]
+    fn run_rejects_bad_x0() {
+        let mut cost = residual_cost();
+        Sgd::new(1, StepSchedule::Fixed(0.1)).run(&mut cost, &[0.0], &mut ReliableFpu::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum")]
+    fn invalid_momentum_panics() {
+        Sgd::new(1, StepSchedule::Fixed(0.1)).with_momentum(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "annealing factor")]
+    fn invalid_annealing_panics() {
+        Sgd::new(1, StepSchedule::Fixed(0.1))
+            .with_annealing(Annealing { period: 5, factor: 1.0 });
+    }
+
+    #[test]
+    fn strongly_convex_rate_improves_with_iterations() {
+        // Theorem 1 sanity: for a strongly convex quadratic under bounded
+        // noise, E[f(x_T) - f*] shrinks as T grows.
+        let q = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 2.0]]).expect("valid rows");
+        let mean_gap = |iters: usize| -> f64 {
+            let mut total = 0.0;
+            let runs = 20;
+            for seed in 0..runs {
+                let mut cost =
+                    QuadraticCost::new(q.clone(), vec![2.0, -2.0]).expect("consistent");
+                let mut fpu = NoisyFpu::new(
+                    FaultRate::per_flop(0.05),
+                    BitFaultModel::lsb_only(BitWidth::F64),
+                    seed,
+                );
+                let report = Sgd::new(iters, StepSchedule::Linear { gamma0: 0.9 }).run(
+                    &mut cost,
+                    &[5.0, 5.0],
+                    &mut fpu,
+                );
+                // f* = -b'Q^{-1}b/2 = -(1+1) = -2 for this system.
+                total += report.final_cost - (-2.0);
+            }
+            total / runs as f64
+        };
+        let short = mean_gap(30);
+        let long = mean_gap(1000);
+        assert!(long < short, "gap did not shrink: {short} -> {long}");
+        assert!(long < 1e-3, "long-run gap {long} too large");
+    }
+}

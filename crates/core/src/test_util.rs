@@ -1,0 +1,25 @@
+//! Shared helpers for unit tests.
+
+use crate::cost::CostFunction;
+use stochastic_fpu::ReliableFpu;
+
+/// Central finite-difference check of `gradient` against `cost` at a point
+/// where the function is differentiable.
+pub(crate) fn check_gradient<C: CostFunction>(cost: &C, x: &[f64]) {
+    let mut fpu = ReliableFpu::new();
+    let mut grad = vec![0.0; cost.dim()];
+    cost.gradient(x, &mut fpu, &mut grad);
+    let h = 1e-6;
+    for i in 0..cost.dim() {
+        let mut xp = x.to_vec();
+        let mut xm = x.to_vec();
+        xp[i] += h;
+        xm[i] -= h;
+        let fd = (cost.cost(&xp, &mut fpu) - cost.cost(&xm, &mut fpu)) / (2.0 * h);
+        assert!(
+            (grad[i] - fd).abs() < 1e-4 * (1.0 + fd.abs()),
+            "component {i}: analytic {} vs fd {fd}",
+            grad[i]
+        );
+    }
+}

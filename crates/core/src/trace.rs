@@ -1,0 +1,117 @@
+//! Convergence traces recorded during a solve.
+
+/// A record of (reliably measured) cost values along an optimization run.
+///
+/// Costs are evaluated with an exact FPU purely for observability — they do
+/// not influence the solve and are not charged to the data-plane FLOP
+/// budget.
+///
+/// # Examples
+///
+/// ```
+/// use robustify_core::Trace;
+///
+/// let mut trace = Trace::new(2);
+/// trace.record(0, 10.0);
+/// trace.record(2, 4.0);
+/// assert_eq!(trace.best(), Some(4.0));
+/// assert_eq!(trace.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    stride: usize,
+    entries: Vec<(usize, f64)>,
+}
+
+impl Trace {
+    /// Creates a trace that intends to record every `stride` iterations
+    /// (`stride` is advisory; [`record`](Self::record) accepts any point).
+    pub fn new(stride: usize) -> Self {
+        Trace { stride: stride.max(1), entries: Vec::new() }
+    }
+
+    /// The recording stride.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Whether iteration `t` falls on the recording stride.
+    pub fn due(&self, t: usize) -> bool {
+        t.is_multiple_of(self.stride)
+    }
+
+    /// Appends a `(iteration, cost)` sample.
+    pub fn record(&mut self, iteration: usize, cost: f64) {
+        self.entries.push((iteration, cost));
+    }
+
+    /// The recorded `(iteration, cost)` samples in order.
+    pub fn entries(&self) -> &[(usize, f64)] {
+        &self.entries
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The lowest recorded cost.
+    pub fn best(&self) -> Option<f64> {
+        self.entries.iter().map(|&(_, c)| c).fold(None, |acc, c| match acc {
+            Some(b) if b <= c || c.is_nan() => Some(b),
+            _ if c.is_nan() => acc,
+            _ => Some(c),
+        })
+    }
+
+    /// The last recorded cost.
+    pub fn last(&self) -> Option<f64> {
+        self.entries.last().map(|&(_, c)| c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stride_is_at_least_one() {
+        assert_eq!(Trace::new(0).stride(), 1);
+        assert!(Trace::new(1).due(7));
+        let t = Trace::new(5);
+        assert!(t.due(10));
+        assert!(!t.due(11));
+    }
+
+    #[test]
+    fn best_ignores_nan() {
+        let mut t = Trace::new(1);
+        t.record(0, 5.0);
+        t.record(1, 3.0);
+        t.record(2, f64::NAN);
+        assert_eq!(t.best(), Some(3.0));
+        assert!(t.last().expect("non-empty").is_nan());
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::new(1);
+        assert!(t.is_empty());
+        assert_eq!(t.best(), None);
+        assert_eq!(t.last(), None);
+    }
+
+    #[test]
+    fn entries_preserve_order() {
+        let mut t = Trace::new(1);
+        t.record(0, 2.0);
+        t.record(10, 1.0);
+        assert_eq!(t.entries(), &[(0, 2.0), (10, 1.0)]);
+        assert_eq!(t.len(), 2);
+    }
+}

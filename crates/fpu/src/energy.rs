@@ -1,0 +1,312 @@
+//! Voltage, error-rate and energy modelling (Figures 5.2 and 6.7).
+//!
+//! Application robustification saves energy by *voltage overscaling*: the
+//! supply voltage is dropped below the guardbanded minimum, the FPU starts
+//! producing timing errors at a voltage-dependent rate, and the robustified
+//! software tolerates them. Reproducing Figure 6.7 therefore needs two
+//! models, both provided here:
+//!
+//! * the FPU **error rate as a function of voltage** (Figure 5.2 — in the
+//!   paper this was fit from circuit-level simulation), and
+//! * the **dynamic power as a function of voltage** (`P ∝ V²` at fixed
+//!   frequency), so that `energy = power(V) × #FLOPs`, matching the paper's
+//!   y-axis "Energy (Power * # of FLOP)".
+
+use crate::fault::FaultRate;
+
+/// A monotone map between FPU supply voltage and timing-error rate, with the
+/// inverse map and a dynamic-power model.
+///
+/// The default calibration reproduces the shape of the paper's Figure 5.2:
+/// the error rate climbs from ~1e-9 errors/op at the nominal 1.0 V to ~1e-1
+/// errors/op at 0.6 V, exponentially in the voltage deficit. Calibration
+/// points are interpolated log-linearly and the model is pluggable, so a
+/// measured curve can be substituted verbatim.
+///
+/// # Examples
+///
+/// ```
+/// use stochastic_fpu::VoltageErrorModel;
+///
+/// let model = VoltageErrorModel::paper_figure_5_2();
+/// let rate = model.error_rate(0.8);
+/// assert!(rate > model.error_rate(0.9), "lower voltage, more errors");
+/// let v = model.voltage_for_rate(rate);
+/// assert!((v - 0.8).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct VoltageErrorModel {
+    /// Calibration points `(voltage, error_rate)` sorted by descending
+    /// voltage; rates strictly increase as voltage decreases.
+    points: Vec<(f64, f64)>,
+    /// Nominal (guardbanded) supply voltage; power is normalized to 1.0
+    /// at this voltage.
+    nominal_voltage: f64,
+}
+
+impl VoltageErrorModel {
+    /// Builds a model from `(voltage, error_rate)` calibration points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two points are given, if voltages are not
+    /// strictly decreasing, or if error rates are not strictly increasing
+    /// and positive.
+    pub fn from_points(nominal_voltage: f64, points: Vec<(f64, f64)>) -> Self {
+        assert!(points.len() >= 2, "need at least two calibration points");
+        assert!(
+            nominal_voltage > 0.0 && nominal_voltage.is_finite(),
+            "nominal voltage must be positive"
+        );
+        for w in points.windows(2) {
+            assert!(w[0].0 > w[1].0, "voltages must be strictly decreasing");
+            assert!(
+                w[0].1 < w[1].1,
+                "error rates must strictly increase as voltage drops"
+            );
+        }
+        for &(v, r) in &points {
+            assert!(v > 0.0 && r > 0.0 && r <= 1.0, "invalid calibration point ({v}, {r})");
+        }
+        VoltageErrorModel { points, nominal_voltage }
+    }
+
+    /// The calibration shaped like the paper's Figure 5.2: error rate
+    /// 1e-9 → 1e-1 errors/op as the supply scales 1.0 V → 0.60 V.
+    pub fn paper_figure_5_2() -> Self {
+        // log10(rate) rises linearly from -9 at 1.0 V to -1 at 0.60 V,
+        // one decade per 50 mV of overscaling.
+        let points: Vec<(f64, f64)> = (0..9)
+            .map(|i| {
+                let v = 1.0 - 0.05 * i as f64;
+                let log10 = -9.0 + i as f64;
+                (v, 10f64.powf(log10))
+            })
+            .collect();
+        Self::from_points(1.0, points)
+    }
+
+    /// The nominal (guardbanded) voltage.
+    pub fn nominal_voltage(&self) -> f64 {
+        self.nominal_voltage
+    }
+
+    /// Lowest calibrated voltage.
+    pub fn min_voltage(&self) -> f64 {
+        self.points.last().expect("at least two points").0
+    }
+
+    /// FPU error rate (errors per FLOP) at the given supply voltage.
+    ///
+    /// Voltages above the highest calibration point clamp to its (lowest)
+    /// rate; voltages below the lowest point clamp to its (highest) rate.
+    /// Interpolation is linear in `log10(rate)`.
+    pub fn error_rate(&self, voltage: f64) -> f64 {
+        let first = self.points[0];
+        if voltage >= first.0 {
+            return first.1;
+        }
+        let last = *self.points.last().expect("at least two points");
+        if voltage <= last.0 {
+            return last.1;
+        }
+        for w in self.points.windows(2) {
+            let (v_hi, r_hi) = w[0];
+            let (v_lo, r_lo) = w[1];
+            if voltage <= v_hi && voltage >= v_lo {
+                let t = (v_hi - voltage) / (v_hi - v_lo);
+                let log10 = r_hi.log10() * (1.0 - t) + r_lo.log10() * t;
+                return 10f64.powf(log10);
+            }
+        }
+        unreachable!("voltage {voltage} not bracketed by calibration points")
+    }
+
+    /// The highest voltage at which the FPU's error rate reaches `rate`
+    /// (i.e. the most aggressive overscale admissible for a solver that
+    /// tolerates that rate). Clamps to the calibrated range.
+    pub fn voltage_for_rate(&self, rate: f64) -> f64 {
+        let first = self.points[0];
+        if rate <= first.1 {
+            return first.0;
+        }
+        let last = *self.points.last().expect("at least two points");
+        if rate >= last.1 {
+            return last.0;
+        }
+        for w in self.points.windows(2) {
+            let (v_hi, r_hi) = w[0];
+            let (v_lo, r_lo) = w[1];
+            if rate >= r_hi && rate <= r_lo {
+                let t = (rate.log10() - r_hi.log10()) / (r_lo.log10() - r_hi.log10());
+                return v_hi + (v_lo - v_hi) * t;
+            }
+        }
+        unreachable!("rate {rate} not bracketed by calibration points")
+    }
+
+    /// The [`FaultRate`] the FPU exhibits at `voltage`, for wiring a
+    /// [`NoisyFpu`](crate::NoisyFpu) to a chosen operating point.
+    pub fn fault_rate_at(&self, voltage: f64) -> FaultRate {
+        FaultRate::per_flop(self.error_rate(voltage).min(1.0))
+    }
+
+    /// Dynamic power at `voltage`, normalized so the nominal voltage draws
+    /// power 1.0 (`P ∝ V²` at fixed frequency).
+    pub fn power(&self, voltage: f64) -> f64 {
+        let r = voltage / self.nominal_voltage;
+        r * r
+    }
+
+    /// Energy (in normalized `power × FLOP` units, the paper's Figure 6.7
+    /// y-axis) of executing `flops` operations at `voltage`.
+    pub fn energy(&self, flops: u64, voltage: f64) -> f64 {
+        self.power(voltage) * flops as f64
+    }
+
+    /// Full energy accounting for an execution at a chosen voltage.
+    pub fn report(&self, flops: u64, voltage: f64) -> EnergyReport {
+        EnergyReport {
+            voltage,
+            error_rate: self.error_rate(voltage),
+            flops,
+            energy: self.energy(flops, voltage),
+        }
+    }
+}
+
+impl Default for VoltageErrorModel {
+    fn default() -> Self {
+        Self::paper_figure_5_2()
+    }
+}
+
+/// Energy accounting for one execution at a fixed operating point.
+///
+/// # Examples
+///
+/// ```
+/// use stochastic_fpu::VoltageErrorModel;
+///
+/// let model = VoltageErrorModel::paper_figure_5_2();
+/// let report = model.report(1_000, 1.0);
+/// assert_eq!(report.energy, 1_000.0); // nominal power is normalized to 1
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyReport {
+    /// Supply voltage of the run.
+    pub voltage: f64,
+    /// FPU error rate at that voltage.
+    pub error_rate: f64,
+    /// FLOPs executed.
+    pub flops: u64,
+    /// Energy in normalized `power × FLOP` units.
+    pub energy: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_5_2_endpoints() {
+        let m = VoltageErrorModel::paper_figure_5_2();
+        assert!((m.error_rate(1.0) - 1e-9).abs() < 1e-12);
+        assert!((m.error_rate(0.60).log10() - (-1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn error_rate_monotone_in_voltage() {
+        let m = VoltageErrorModel::paper_figure_5_2();
+        let mut prev = m.error_rate(1.05);
+        let mut v = 1.0;
+        while v > 0.55 {
+            let r = m.error_rate(v);
+            assert!(r >= prev, "rate decreased at {v}");
+            prev = r;
+            v -= 0.01;
+        }
+    }
+
+    #[test]
+    fn voltage_for_rate_inverts_error_rate() {
+        let m = VoltageErrorModel::paper_figure_5_2();
+        for &v in &[0.62, 0.7, 0.775, 0.85, 0.93, 0.99] {
+            let r = m.error_rate(v);
+            let back = m.voltage_for_rate(r);
+            assert!((back - v).abs() < 1e-9, "v {v} -> rate {r} -> v {back}");
+        }
+    }
+
+    #[test]
+    fn clamping_outside_calibration() {
+        let m = VoltageErrorModel::paper_figure_5_2();
+        assert_eq!(m.error_rate(1.2), m.error_rate(1.0));
+        assert_eq!(m.error_rate(0.4), m.error_rate(0.6));
+        assert_eq!(m.voltage_for_rate(1e-12), 1.0);
+        assert_eq!(m.voltage_for_rate(0.9), 0.6);
+    }
+
+    #[test]
+    fn power_is_quadratic() {
+        let m = VoltageErrorModel::paper_figure_5_2();
+        assert_eq!(m.power(1.0), 1.0);
+        assert!((m.power(0.5) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_scales_with_flops_and_voltage() {
+        let m = VoltageErrorModel::paper_figure_5_2();
+        assert_eq!(m.energy(100, 1.0), 100.0);
+        assert!(m.energy(100, 0.7) < 100.0 * 0.5 + 1.0);
+        // Halving voltage quarters energy per FLOP: a 4x-iteration overscaled
+        // run at 0.5x voltage breaks even.
+        let base = m.energy(1000, 1.0);
+        let overscaled = m.energy(4000, 0.5);
+        assert!((base - overscaled).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fault_rate_at_is_clamped_to_valid_rate() {
+        let m = VoltageErrorModel::paper_figure_5_2();
+        let r = m.fault_rate_at(0.3);
+        assert!(r.fraction() <= 1.0);
+        assert_eq!(m.fault_rate_at(1.0).fraction(), 1e-9);
+    }
+
+    #[test]
+    fn report_bundles_fields() {
+        let m = VoltageErrorModel::paper_figure_5_2();
+        let rep = m.report(500, 0.8);
+        assert_eq!(rep.flops, 500);
+        assert_eq!(rep.voltage, 0.8);
+        assert!((rep.energy - 500.0 * 0.64).abs() < 1e-9);
+        assert_eq!(rep.error_rate, m.error_rate(0.8));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn from_points_needs_two() {
+        VoltageErrorModel::from_points(1.0, vec![(1.0, 1e-9)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly decreasing")]
+    fn from_points_rejects_unsorted_voltage() {
+        VoltageErrorModel::from_points(1.0, vec![(0.8, 1e-9), (0.9, 1e-8)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increase")]
+    fn from_points_rejects_non_monotone_rates() {
+        VoltageErrorModel::from_points(1.0, vec![(1.0, 1e-3), (0.9, 1e-5)]);
+    }
+
+    #[test]
+    fn custom_model_interpolates() {
+        let m = VoltageErrorModel::from_points(1.2, vec![(1.2, 1e-8), (0.8, 1e-2)]);
+        let mid = m.error_rate(1.0);
+        assert!((mid.log10() - (-5.0)).abs() < 1e-9);
+        assert_eq!(m.power(1.2), 1.0);
+    }
+}

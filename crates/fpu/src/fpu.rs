@@ -1,0 +1,495 @@
+//! The [`Fpu`] capability trait and its reliable / noisy implementations.
+//!
+//! Every numerical kernel in this workspace performs arithmetic through an
+//! `Fpu` value rather than with native operators. This is the software
+//! analogue of the paper's FPGA framework: the same application binary runs
+//! against either an exact FPU or one whose results are stochastically
+//! corrupted, and FLOPs are accounted identically in both cases so energy
+//! comparisons are fair.
+
+use crate::fault::{BitFaultModel, FaultRate, FaultStats};
+use crate::lfsr::Lfsr;
+
+/// The floating point operations an FPU executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlopOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Square root (unary; the second operand is ignored).
+    Sqrt,
+}
+
+impl FlopOp {
+    /// Computes the exact IEEE-754 result of the operation.
+    pub fn exact(self, a: f64, b: f64) -> f64 {
+        match self {
+            FlopOp::Add => a + b,
+            FlopOp::Sub => a - b,
+            FlopOp::Mul => a * b,
+            FlopOp::Div => a / b,
+            FlopOp::Sqrt => a.sqrt(),
+        }
+    }
+}
+
+/// A floating point unit: the single point through which all data-plane
+/// arithmetic flows.
+///
+/// Implementations count FLOPs and may corrupt results. The *control plane*
+/// of an optimizer (step-size logic, convergence tests, decode steps) uses
+/// native arithmetic instead, mirroring the paper's assumption that those
+/// phases are protected.
+///
+/// # Examples
+///
+/// ```
+/// use stochastic_fpu::{Fpu, ReliableFpu};
+///
+/// let mut fpu = ReliableFpu::new();
+/// assert_eq!(fpu.add(2.0, 3.0), 5.0);
+/// assert_eq!(fpu.flops(), 1);
+/// ```
+pub trait Fpu {
+    /// Executes `op` on the operands, counting one FLOP and possibly
+    /// corrupting the result.
+    fn execute(&mut self, op: FlopOp, a: f64, b: f64) -> f64;
+
+    /// Total floating point operations executed.
+    fn flops(&self) -> u64;
+
+    /// Total faults injected so far (zero for reliable FPUs).
+    fn faults(&self) -> u64 {
+        0
+    }
+
+    /// Addition through the FPU.
+    fn add(&mut self, a: f64, b: f64) -> f64 {
+        self.execute(FlopOp::Add, a, b)
+    }
+
+    /// Subtraction through the FPU.
+    fn sub(&mut self, a: f64, b: f64) -> f64 {
+        self.execute(FlopOp::Sub, a, b)
+    }
+
+    /// Multiplication through the FPU.
+    fn mul(&mut self, a: f64, b: f64) -> f64 {
+        self.execute(FlopOp::Mul, a, b)
+    }
+
+    /// Division through the FPU.
+    fn div(&mut self, a: f64, b: f64) -> f64 {
+        self.execute(FlopOp::Div, a, b)
+    }
+
+    /// Square root through the FPU.
+    fn sqrt(&mut self, a: f64) -> f64 {
+        self.execute(FlopOp::Sqrt, a, 0.0)
+    }
+}
+
+impl<F: Fpu + ?Sized> Fpu for &mut F {
+    fn execute(&mut self, op: FlopOp, a: f64, b: f64) -> f64 {
+        (**self).execute(op, a, b)
+    }
+
+    fn flops(&self) -> u64 {
+        (**self).flops()
+    }
+
+    fn faults(&self) -> u64 {
+        (**self).faults()
+    }
+}
+
+/// Convenience comparisons and compound operations built on [`Fpu`]
+/// primitives.
+///
+/// Comparisons are implemented as FPU subtractions followed by a sign test,
+/// matching how comparison-heavy baselines (e.g. sorting) exercise the FPU
+/// on the Leon3.
+pub trait FpuExt: Fpu {
+    /// `a < b` computed through a (possibly faulty) FPU subtraction.
+    fn lt(&mut self, a: f64, b: f64) -> bool {
+        self.sub(a, b) < 0.0
+    }
+
+    /// `a > b` computed through a (possibly faulty) FPU subtraction.
+    fn gt(&mut self, a: f64, b: f64) -> bool {
+        self.sub(a, b) > 0.0
+    }
+
+    /// `a <= b` computed through a (possibly faulty) FPU subtraction.
+    fn le(&mut self, a: f64, b: f64) -> bool {
+        self.sub(a, b) <= 0.0
+    }
+
+    /// Fused multiply-add `a * b + c` executed as two FPU operations.
+    fn mul_add(&mut self, a: f64, b: f64, c: f64) -> f64 {
+        let p = self.mul(a, b);
+        self.add(p, c)
+    }
+
+    /// Captures the current FLOP/fault counters for later deltas.
+    fn snapshot(&self) -> FpuSnapshot {
+        FpuSnapshot { flops: self.flops(), faults: self.faults() }
+    }
+}
+
+impl<F: Fpu + ?Sized> FpuExt for F {}
+
+/// A point-in-time capture of an FPU's counters.
+///
+/// # Examples
+///
+/// ```
+/// use stochastic_fpu::{Fpu, FpuExt, ReliableFpu};
+///
+/// let mut fpu = ReliableFpu::new();
+/// let before = fpu.snapshot();
+/// fpu.add(1.0, 2.0);
+/// assert_eq!(before.flops_since(&fpu), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FpuSnapshot {
+    /// FLOP counter at capture time.
+    pub flops: u64,
+    /// Fault counter at capture time.
+    pub faults: u64,
+}
+
+impl FpuSnapshot {
+    /// FLOPs executed on `fpu` since this snapshot was taken.
+    pub fn flops_since<F: Fpu + ?Sized>(&self, fpu: &F) -> u64 {
+        fpu.flops() - self.flops
+    }
+
+    /// Faults injected on `fpu` since this snapshot was taken.
+    pub fn faults_since<F: Fpu + ?Sized>(&self, fpu: &F) -> u64 {
+        fpu.faults() - self.faults
+    }
+}
+
+/// An exact FPU with FLOP accounting: the error-free baseline processor and
+/// the "reliable control plane" of the paper.
+///
+/// # Examples
+///
+/// ```
+/// use stochastic_fpu::{Fpu, ReliableFpu};
+///
+/// let mut fpu = ReliableFpu::new();
+/// assert_eq!(fpu.div(1.0, 4.0), 0.25);
+/// assert_eq!(fpu.faults(), 0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReliableFpu {
+    flops: u64,
+}
+
+impl ReliableFpu {
+    /// Creates a reliable FPU with zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets the FLOP counter to zero.
+    pub fn reset(&mut self) {
+        self.flops = 0;
+    }
+}
+
+impl Fpu for ReliableFpu {
+    fn execute(&mut self, op: FlopOp, a: f64, b: f64) -> f64 {
+        self.flops += 1;
+        op.exact(a, b)
+    }
+
+    fn flops(&self) -> u64 {
+        self.flops
+    }
+}
+
+/// The fault-injecting FPU of the paper's FPGA framework.
+///
+/// At LFSR-scheduled random intervals — uniform with mean equal to the
+/// configured [`FaultRate`]'s mean interval — the injector flips one
+/// randomly chosen bit (per the [`BitFaultModel`]) in the result of an
+/// operation before it is "committed".
+///
+/// # Examples
+///
+/// ```
+/// use stochastic_fpu::{BitFaultModel, FaultRate, Fpu, NoisyFpu};
+///
+/// // Every second FLOP is corrupted on average.
+/// let mut fpu = NoisyFpu::new(FaultRate::per_flop(0.5), BitFaultModel::emulated(), 7);
+/// for _ in 0..1000 {
+///     fpu.add(1.0, 1.0);
+/// }
+/// assert!(fpu.faults() > 300, "expected roughly half the ops faulted");
+/// ```
+#[derive(Debug, Clone)]
+pub struct NoisyFpu {
+    rate: FaultRate,
+    model: BitFaultModel,
+    lfsr: Lfsr,
+    /// FLOPs remaining until the next injection (0 when rate is zero).
+    countdown: u64,
+    flops: u64,
+    stats: FaultStats,
+}
+
+impl NoisyFpu {
+    /// Creates a fault-injecting FPU.
+    ///
+    /// `seed` initializes the LFSR that schedules faults and samples bit
+    /// positions; a fixed seed makes an experiment exactly reproducible.
+    pub fn new(rate: FaultRate, model: BitFaultModel, seed: u64) -> Self {
+        let mut fpu = NoisyFpu {
+            rate,
+            model,
+            lfsr: Lfsr::new(seed),
+            countdown: 0,
+            flops: 0,
+            stats: FaultStats::default(),
+        };
+        fpu.countdown = fpu.draw_interval();
+        fpu
+    }
+
+    /// The configured fault rate.
+    pub fn rate(&self) -> FaultRate {
+        self.rate
+    }
+
+    /// The bit-fault model in use.
+    pub fn model(&self) -> &BitFaultModel {
+        &self.model
+    }
+
+    /// Detailed fault statistics.
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    /// Resets FLOP and fault counters (the fault schedule continues).
+    pub fn reset_counters(&mut self) {
+        self.flops = 0;
+        self.stats = FaultStats::default();
+    }
+
+    /// Draws the number of FLOPs until the next fault: uniform on
+    /// `[1, 2/rate - 1]` so the mean interval is `1/rate`, generated by the
+    /// LFSR as in the paper's methodology.
+    fn draw_interval(&mut self) -> u64 {
+        if self.rate.is_zero() {
+            return 0;
+        }
+        let mean = self.rate.mean_interval();
+        let upper = (2.0 * mean - 1.0).round().max(1.0) as u64;
+        self.lfsr.uniform_1_to(upper)
+    }
+}
+
+impl Fpu for NoisyFpu {
+    fn execute(&mut self, op: FlopOp, a: f64, b: f64) -> f64 {
+        self.flops += 1;
+        let exact = op.exact(a, b);
+        if self.rate.is_zero() {
+            return exact;
+        }
+        self.countdown -= 1;
+        if self.countdown > 0 {
+            return exact;
+        }
+        self.countdown = self.draw_interval();
+        let bit = self.model.sample_bit(&mut self.lfsr);
+        self.stats.record(self.model.width(), bit);
+        match self.model.width() {
+            crate::fault::BitWidth::F32 => {
+                let bits = (exact as f32).to_bits() ^ (1u32 << bit);
+                f32::from_bits(bits) as f64
+            }
+            crate::fault::BitWidth::F64 => f64::from_bits(exact.to_bits() ^ (1u64 << bit)),
+        }
+    }
+
+    fn flops(&self) -> u64 {
+        self.flops
+    }
+
+    fn faults(&self) -> u64 {
+        self.stats.faults
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::BitWidth;
+
+    #[test]
+    fn reliable_fpu_is_exact() {
+        let mut fpu = ReliableFpu::new();
+        assert_eq!(fpu.add(1.5, 2.5), 4.0);
+        assert_eq!(fpu.sub(1.5, 2.5), -1.0);
+        assert_eq!(fpu.mul(1.5, 2.0), 3.0);
+        assert_eq!(fpu.div(3.0, 2.0), 1.5);
+        assert_eq!(fpu.sqrt(9.0), 3.0);
+        assert_eq!(fpu.flops(), 5);
+        assert_eq!(fpu.faults(), 0);
+    }
+
+    #[test]
+    fn reliable_fpu_reset() {
+        let mut fpu = ReliableFpu::new();
+        fpu.add(1.0, 1.0);
+        fpu.reset();
+        assert_eq!(fpu.flops(), 0);
+    }
+
+    #[test]
+    fn zero_rate_noisy_fpu_is_exact() {
+        let mut fpu = NoisyFpu::new(FaultRate::ZERO, BitFaultModel::emulated(), 1);
+        for i in 0..10_000 {
+            let x = i as f64;
+            assert_eq!(fpu.add(x, 1.0), x + 1.0);
+        }
+        assert_eq!(fpu.faults(), 0);
+        assert_eq!(fpu.flops(), 10_000);
+    }
+
+    #[test]
+    fn fault_rate_is_respected() {
+        for &rate in &[0.001, 0.01, 0.1, 0.5] {
+            let mut fpu = NoisyFpu::new(FaultRate::per_flop(rate), BitFaultModel::emulated(), 42);
+            let n = 200_000;
+            for _ in 0..n {
+                fpu.mul(1.0, 1.0);
+            }
+            let observed = fpu.faults() as f64 / n as f64;
+            assert!(
+                (observed - rate).abs() < rate * 0.15 + 1e-4,
+                "rate {rate}: observed {observed}"
+            );
+        }
+    }
+
+    #[test]
+    fn faults_flip_exactly_one_bit() {
+        let mut fpu = NoisyFpu::new(
+            FaultRate::per_flop(1.0),
+            BitFaultModel::uniform(BitWidth::F64),
+            7,
+        );
+        // Rate 1.0 -> every op faulted.
+        for _ in 0..100 {
+            let exact = 3.0f64 * 5.0;
+            let got = fpu.mul(3.0, 5.0);
+            let flipped = (exact.to_bits() ^ got.to_bits()).count_ones();
+            assert_eq!(flipped, 1);
+        }
+        assert_eq!(fpu.faults(), 100);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let run = |seed| {
+            let mut fpu =
+                NoisyFpu::new(FaultRate::per_flop(0.1), BitFaultModel::emulated(), seed);
+            (0..1000).map(|i| fpu.add(i as f64, 0.5)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn stats_track_fields() {
+        let mut fpu = NoisyFpu::new(
+            FaultRate::per_flop(0.5),
+            BitFaultModel::msb_only(BitWidth::F64),
+            3,
+        );
+        for _ in 0..1000 {
+            fpu.add(1.0, 1.0);
+        }
+        assert!(fpu.stats().faults > 0);
+        assert_eq!(fpu.stats().mantissa_faults, 0);
+        assert_eq!(fpu.stats().high_bit_faults, fpu.stats().faults);
+    }
+
+    #[test]
+    fn fpu_ext_comparisons() {
+        let mut fpu = ReliableFpu::new();
+        assert!(fpu.lt(1.0, 2.0));
+        assert!(!fpu.lt(2.0, 1.0));
+        assert!(fpu.gt(2.0, 1.0));
+        assert!(fpu.le(2.0, 2.0));
+        assert_eq!(fpu.flops(), 4);
+    }
+
+    #[test]
+    fn fpu_ext_mul_add() {
+        let mut fpu = ReliableFpu::new();
+        assert_eq!(fpu.mul_add(2.0, 3.0, 4.0), 10.0);
+        assert_eq!(fpu.flops(), 2);
+    }
+
+    #[test]
+    fn snapshot_deltas() {
+        let mut fpu = NoisyFpu::new(FaultRate::per_flop(1.0), BitFaultModel::emulated(), 5);
+        fpu.add(1.0, 1.0);
+        let snap = fpu.snapshot();
+        fpu.add(1.0, 1.0);
+        fpu.add(1.0, 1.0);
+        assert_eq!(snap.flops_since(&fpu), 2);
+        assert_eq!(snap.faults_since(&fpu), 2);
+    }
+
+    #[test]
+    fn fpu_usable_through_mut_reference() {
+        fn run<F: Fpu>(mut f: F) -> f64 {
+            f.add(1.0, 2.0)
+        }
+        let mut fpu = ReliableFpu::new();
+        assert_eq!(run(&mut fpu), 3.0);
+        assert_eq!(fpu.flops(), 1);
+    }
+
+    #[test]
+    fn f32_mode_values_on_f32_grid() {
+        let mut fpu = NoisyFpu::new(
+            FaultRate::per_flop(1.0),
+            BitFaultModel::uniform(BitWidth::F32),
+            11,
+        );
+        for _ in 0..100 {
+            let v = fpu.add(1.0, 0.5);
+            // NaN never compares equal to itself; check bit patterns instead.
+            assert_eq!(
+                v.to_bits(),
+                (v as f32 as f64).to_bits(),
+                "value {v} not representable in f32"
+            );
+        }
+    }
+
+    #[test]
+    fn mean_interval_statistics() {
+        // With rate 0.02 the mean gap between faults should be ~50 FLOPs.
+        let mut fpu = NoisyFpu::new(FaultRate::per_flop(0.02), BitFaultModel::emulated(), 21);
+        let n = 500_000;
+        for _ in 0..n {
+            fpu.add(1.0, 1.0);
+        }
+        let mean_gap = n as f64 / fpu.faults() as f64;
+        assert!((mean_gap - 50.0).abs() < 5.0, "mean gap {mean_gap}");
+    }
+}

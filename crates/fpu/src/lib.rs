@@ -1,0 +1,50 @@
+//! Software emulation of a *stochastic processor's* floating point unit.
+//!
+//! The DSN 2010 paper ["A Numerical Optimization-Based Methodology for
+//! Application Robustification"] evaluates its approach on an FPGA hosting a
+//! Leon3 soft core whose FPU results are perturbed by a software-controlled
+//! fault injector: *"At random times, the fault injector perturbs one
+//! randomly chosen bit in the output of the FPU before it is committed to a
+//! register."* This crate reproduces that substrate in software:
+//!
+//! * [`Fpu`] — the arithmetic capability every numerical kernel in the
+//!   workspace is written against. Implementations decide whether results
+//!   are exact or perturbed.
+//! * [`ReliableFpu`] — exact IEEE-754 arithmetic with FLOP accounting; the
+//!   "control plane" and the error-free baseline.
+//! * [`NoisyFpu`] — the fault injector: flips one randomly chosen bit of an
+//!   operation's result at LFSR-scheduled random intervals, following a
+//!   configurable [`BitFaultModel`] (the paper's Figure 5.1 distribution is
+//!   the [`BitFaultModel::emulated`] preset).
+//! * [`Lfsr`] — the Galois linear feedback shift register used to draw
+//!   inter-fault intervals, mirroring the paper's methodology chapter.
+//! * [`VoltageErrorModel`] — the voltage ↦ FPU-error-rate curve of Figure
+//!   5.2 together with a dynamic-power model, used for the energy results of
+//!   Figure 6.7.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use stochastic_fpu::{Fpu, NoisyFpu, BitFaultModel, FaultRate};
+//!
+//! // An FPU where on average 1% of floating point operations are faulty.
+//! let mut fpu = NoisyFpu::new(FaultRate::per_flop(0.01), BitFaultModel::emulated(), 42);
+//! let x = fpu.mul(3.0, 7.0); // usually 21.0, occasionally bit-corrupted
+//! assert!(x == 21.0 || x != 21.0); // value depends on the fault schedule
+//! assert_eq!(fpu.flops(), 1);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod energy;
+mod fault;
+mod fpu;
+mod lfsr;
+mod processor;
+
+pub use energy::{EnergyReport, VoltageErrorModel};
+pub use fault::{BitFaultModel, BitWidth, FaultRate, FaultStats};
+pub use fpu::{FlopOp, Fpu, FpuExt, FpuSnapshot, NoisyFpu, ReliableFpu};
+pub use lfsr::Lfsr;
+pub use processor::{StochasticProcessor, SystemEnergyReport};

@@ -1,0 +1,275 @@
+//! A whole-processor view: voltage control, protected sections, and
+//! system-level energy accounting.
+//!
+//! The paper assumes "certain control phases of execution are error-free",
+//! realized "e.g. [by] increasing the voltage during these steps". This
+//! module makes that mechanism explicit and *charges for it*: a
+//! [`StochasticProcessor`] runs data-plane work on a fault-injecting FPU at
+//! the overscaled voltage and control-plane work in [`protected`]
+//! sections at nominal voltage, accumulating the energy of both. That is
+//! the accounting needed to reason about the paper's Chapter 7 caveat —
+//! robust solvers execute 10–1000× more FLOPs than their baselines, so the
+//! *system* energy verdict depends on where those FLOPs run.
+//!
+//! [`protected`]: StochasticProcessor::protected
+
+use crate::energy::VoltageErrorModel;
+use crate::fault::BitFaultModel;
+use crate::fpu::{FlopOp, Fpu, NoisyFpu, ReliableFpu};
+
+/// A voltage-overscaled processor with a fault-prone data plane and a
+/// nominal-voltage protected mode.
+///
+/// The processor itself implements [`Fpu`] (the data plane), so it can be
+/// handed directly to any solver; control-plane work goes through
+/// [`protected`](Self::protected).
+///
+/// # Examples
+///
+/// ```
+/// use stochastic_fpu::{BitFaultModel, Fpu, StochasticProcessor, VoltageErrorModel};
+///
+/// let mut cpu = StochasticProcessor::new(
+///     VoltageErrorModel::paper_figure_5_2(),
+///     BitFaultModel::emulated(),
+///     42,
+/// );
+/// cpu.set_voltage(0.7); // overscale: ~1e-3 errors/FLOP
+/// let _ = cpu.add(1.0, 2.0); // data plane: cheap and risky
+/// let exact = cpu.protected(|fpu| fpu.add(1.0, 2.0)); // control plane: full price
+/// assert_eq!(exact, 3.0);
+/// let report = cpu.energy_report();
+/// assert_eq!(report.data_flops, 1);
+/// assert_eq!(report.protected_flops, 1);
+/// assert!(report.data_energy < report.protected_energy);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StochasticProcessor {
+    model: VoltageErrorModel,
+    bit_model: BitFaultModel,
+    seed: u64,
+    voltage: f64,
+    data: NoisyFpu,
+    /// FLOPs executed in protected (nominal-voltage) sections.
+    protected_flops: u64,
+    /// Data energy accumulated by completed operating points.
+    banked_data_energy: f64,
+    /// Counter bases carried across `set_voltage` re-creations.
+    rebase_flops: u64,
+    rebase_faults: u64,
+}
+
+/// System-level energy accounting for a [`StochasticProcessor`] run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemEnergyReport {
+    /// FLOPs executed on the overscaled data plane.
+    pub data_flops: u64,
+    /// FLOPs executed in protected sections at nominal voltage.
+    pub protected_flops: u64,
+    /// Energy of the data plane (power × FLOP units).
+    pub data_energy: f64,
+    /// Energy of the protected sections.
+    pub protected_energy: f64,
+    /// Faults injected on the data plane.
+    pub faults: u64,
+}
+
+impl SystemEnergyReport {
+    /// Total system energy.
+    pub fn total_energy(&self) -> f64 {
+        self.data_energy + self.protected_energy
+    }
+}
+
+impl StochasticProcessor {
+    /// Creates a processor at the model's nominal voltage.
+    pub fn new(model: VoltageErrorModel, bit_model: BitFaultModel, seed: u64) -> Self {
+        let voltage = model.nominal_voltage();
+        let data = NoisyFpu::new(model.fault_rate_at(voltage), bit_model.clone(), seed);
+        StochasticProcessor {
+            model,
+            bit_model,
+            seed,
+            voltage,
+            data,
+            protected_flops: 0,
+            banked_data_energy: 0.0,
+            rebase_flops: 0,
+            rebase_faults: 0,
+        }
+    }
+
+    /// The current supply voltage.
+    pub fn voltage(&self) -> f64 {
+        self.voltage
+    }
+
+    /// The voltage/error/energy model in use.
+    pub fn model(&self) -> &VoltageErrorModel {
+        &self.model
+    }
+
+    /// Changes the supply voltage. The data plane's fault rate follows the
+    /// model; energy spent so far at the old operating point is banked and
+    /// the FLOP/fault counters carry over.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `voltage` is not positive and finite.
+    pub fn set_voltage(&mut self, voltage: f64) {
+        assert!(voltage > 0.0 && voltage.is_finite(), "voltage must be positive, got {voltage}");
+        self.banked_data_energy += self.model.energy(self.data.flops(), self.voltage);
+        self.rebase_flops += self.data.flops();
+        self.rebase_faults += self.data.faults();
+        self.voltage = voltage;
+        // A fresh fault stream at the new rate; the seed evolves so streams
+        // differ across operating points but stay reproducible.
+        self.seed = self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        self.data = NoisyFpu::new(
+            self.model.fault_rate_at(voltage),
+            self.bit_model.clone(),
+            self.seed,
+        );
+    }
+
+    /// Runs control-plane work on an exact FPU at nominal voltage,
+    /// charging its FLOPs at full price.
+    pub fn protected<R>(&mut self, f: impl FnOnce(&mut ReliableFpu) -> R) -> R {
+        let mut fpu = ReliableFpu::new();
+        let out = f(&mut fpu);
+        self.protected_flops += fpu.flops();
+        out
+    }
+
+    /// The system-level energy accounting so far.
+    pub fn energy_report(&self) -> SystemEnergyReport {
+        let data_energy =
+            self.banked_data_energy + self.model.energy(self.data.flops(), self.voltage);
+        SystemEnergyReport {
+            data_flops: self.flops(),
+            protected_flops: self.protected_flops,
+            data_energy,
+            protected_energy: self
+                .model
+                .energy(self.protected_flops, self.model.nominal_voltage()),
+            faults: self.faults(),
+        }
+    }
+}
+
+impl Fpu for StochasticProcessor {
+    fn execute(&mut self, op: FlopOp, a: f64, b: f64) -> f64 {
+        self.data.execute(op, a, b)
+    }
+
+    fn flops(&self) -> u64 {
+        self.rebase_flops + self.data.flops()
+    }
+
+    fn faults(&self) -> u64 {
+        self.rebase_faults + self.data.faults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn processor(seed: u64) -> StochasticProcessor {
+        StochasticProcessor::new(
+            VoltageErrorModel::paper_figure_5_2(),
+            BitFaultModel::emulated(),
+            seed,
+        )
+    }
+
+    #[test]
+    fn starts_at_nominal_voltage_with_negligible_faults() {
+        let mut cpu = processor(1);
+        assert_eq!(cpu.voltage(), 1.0);
+        for _ in 0..10_000 {
+            cpu.add(1.0, 1.0);
+        }
+        assert_eq!(cpu.faults(), 0, "1e-9 errors/op should not fire in 1e4 ops");
+    }
+
+    #[test]
+    fn overscaling_raises_the_fault_rate() {
+        let mut cpu = processor(2);
+        cpu.set_voltage(0.6); // 0.1 errors/op
+        for _ in 0..10_000 {
+            cpu.mul(1.0, 1.0);
+        }
+        let faults = cpu.faults();
+        assert!((500..2000).contains(&faults), "faults {faults} at 0.6 V");
+    }
+
+    #[test]
+    fn counters_carry_across_voltage_changes() {
+        let mut cpu = processor(3);
+        cpu.set_voltage(0.6);
+        for _ in 0..100 {
+            cpu.add(1.0, 1.0);
+        }
+        let before = (cpu.flops(), cpu.faults());
+        cpu.set_voltage(0.8);
+        assert_eq!((cpu.flops(), cpu.faults()), before);
+        cpu.add(1.0, 1.0);
+        assert_eq!(cpu.flops(), before.0 + 1);
+    }
+
+    #[test]
+    fn protected_sections_are_exact_and_charged_at_nominal() {
+        let mut cpu = processor(4);
+        cpu.set_voltage(0.6);
+        // 1000 data-plane FLOPs at 0.36 power, 1000 protected at 1.0.
+        for _ in 0..1000 {
+            cpu.add(1.0, 1.0);
+        }
+        let sum = cpu.protected(|fpu| {
+            let mut acc = 0.0;
+            for i in 0..1000 {
+                acc = fpu.add(acc, i as f64);
+            }
+            acc
+        });
+        assert_eq!(sum, 499_500.0);
+        let report = cpu.energy_report();
+        assert_eq!(report.data_flops, 1000);
+        assert_eq!(report.protected_flops, 1000);
+        assert!((report.data_energy - 360.0).abs() < 1e-9);
+        assert!((report.protected_energy - 1000.0).abs() < 1e-9);
+        assert!((report.total_energy() - 1360.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_banks_across_operating_points() {
+        let mut cpu = processor(5);
+        for _ in 0..100 {
+            cpu.add(1.0, 1.0); // 100 FLOPs at power 1.0
+        }
+        cpu.set_voltage(0.6);
+        for _ in 0..100 {
+            cpu.add(1.0, 1.0); // 100 FLOPs at power 0.36
+        }
+        let report = cpu.energy_report();
+        assert!((report.data_energy - 136.0).abs() < 1e-9, "energy {}", report.data_energy);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut cpu = processor(seed);
+            cpu.set_voltage(0.65);
+            (0..500).map(|i| cpu.mul(i as f64, 1.5)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "voltage must be positive")]
+    fn rejects_bad_voltage() {
+        processor(1).set_voltage(-1.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests for the fault-injection substrate.
+
+use proptest::prelude::*;
+use stochastic_fpu::{
+    BitFaultModel, BitWidth, FaultRate, FlopOp, Fpu, Lfsr, NoisyFpu, ReliableFpu,
+    VoltageErrorModel,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn reliable_fpu_matches_native_arithmetic(
+        a in -1e6f64..1e6,
+        b in -1e6f64..1e6,
+    ) {
+        let mut fpu = ReliableFpu::new();
+        prop_assert_eq!(fpu.add(a, b), a + b);
+        prop_assert_eq!(fpu.sub(a, b), a - b);
+        prop_assert_eq!(fpu.mul(a, b), a * b);
+        prop_assert_eq!(fpu.div(a, b), a / b);
+        prop_assert_eq!(fpu.sqrt(a.abs()), a.abs().sqrt());
+        prop_assert_eq!(fpu.flops(), 5);
+    }
+
+    #[test]
+    fn zero_rate_noisy_fpu_is_transparent(
+        seed in any::<u64>(),
+        a in -1e6f64..1e6,
+        b in -1e6f64..1e6,
+    ) {
+        let mut fpu = NoisyFpu::new(FaultRate::ZERO, BitFaultModel::emulated(), seed);
+        prop_assert_eq!(fpu.mul(a, b), a * b);
+        prop_assert_eq!(fpu.faults(), 0);
+    }
+
+    #[test]
+    fn faults_flip_exactly_one_bit(
+        seed in any::<u64>(),
+        a in -1e3f64..1e3,
+        b in 0.1f64..10.0,
+    ) {
+        let mut fpu = NoisyFpu::new(
+            FaultRate::per_flop(1.0),
+            BitFaultModel::uniform(BitWidth::F64),
+            seed,
+        );
+        let exact = FlopOp::Mul.exact(a, b);
+        let got = fpu.mul(a, b);
+        prop_assert_eq!((exact.to_bits() ^ got.to_bits()).count_ones(), 1);
+    }
+
+    #[test]
+    fn fault_counts_are_monotone_in_rate(seed in any::<u64>()) {
+        let count = |rate: f64| {
+            let mut fpu =
+                NoisyFpu::new(FaultRate::per_flop(rate), BitFaultModel::emulated(), seed);
+            for _ in 0..20_000 {
+                fpu.add(1.0, 1.0);
+            }
+            fpu.faults()
+        };
+        let low = count(0.01);
+        let high = count(0.2);
+        prop_assert!(high > low, "low {low} vs high {high}");
+    }
+
+    #[test]
+    fn lfsr_streams_are_reproducible(seed in any::<u64>()) {
+        let mut a = Lfsr::new(seed);
+        let mut b = Lfsr::new(seed);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn lfsr_unit_draws_stay_in_range(seed in any::<u64>(), upper in 1u64..1000) {
+        let mut lfsr = Lfsr::new(seed);
+        for _ in 0..100 {
+            let v = lfsr.uniform_1_to(upper);
+            prop_assert!((1..=upper).contains(&v));
+            let f = lfsr.next_f64();
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn voltage_model_inverse_is_consistent(v in 0.6f64..1.0) {
+        let model = VoltageErrorModel::paper_figure_5_2();
+        let rate = model.error_rate(v);
+        let back = model.voltage_for_rate(rate);
+        prop_assert!((back - v).abs() < 1e-6);
+        prop_assert!(model.power(v) <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn energy_is_monotone_in_flops_and_voltage(
+        flops_small in 1u64..10_000,
+        extra in 1u64..10_000,
+        v in 0.6f64..1.0,
+    ) {
+        let model = VoltageErrorModel::paper_figure_5_2();
+        prop_assert!(model.energy(flops_small, v) < model.energy(flops_small + extra, v));
+        prop_assert!(model.energy(flops_small, v) <= model.energy(flops_small, 1.0));
+    }
+
+    #[test]
+    fn fault_rate_roundtrips(pct in 0.0f64..100.0) {
+        let r = FaultRate::percent_of_flops(pct);
+        prop_assert!((r.percent() - pct).abs() < 1e-12);
+        prop_assert!((r.fraction() * 100.0 - pct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn custom_weight_models_are_normalized(
+        weights in proptest::collection::vec(0.0f64..10.0, 64)
+            .prop_filter("some positive weight", |w| w.iter().sum::<f64>() > 0.0),
+    ) {
+        let model = BitFaultModel::from_weights(BitWidth::F64, &weights);
+        let sum: f64 = model.weights().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+    }
+}

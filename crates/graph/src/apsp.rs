@@ -1,0 +1,285 @@
+//! Shortest paths: the Floyd–Warshall baseline (§4.6) and a reliable
+//! Dijkstra reference.
+//!
+//! "Floyd-Warshall's algorithm is a fast dynamic programming solution and is
+//! used as the baseline implementation" for all-pairs shortest paths. The
+//! `|V|³` relaxation arithmetic runs through the FPU.
+
+use crate::error::GraphError;
+use stochastic_fpu::{Fpu, FpuExt};
+
+/// A directed graph with non-negative edge lengths.
+///
+/// # Examples
+///
+/// ```
+/// use robustify_graph::{floyd_warshall, DiGraph};
+/// use stochastic_fpu::ReliableFpu;
+///
+/// # fn main() -> Result<(), robustify_graph::GraphError> {
+/// let g = DiGraph::new(3, vec![(0, 1, 1.0), (1, 2, 2.0), (0, 2, 5.0)])?;
+/// let d = floyd_warshall(&mut ReliableFpu::new(), &g)?;
+/// assert_eq!(d[0][2], 3.0); // via vertex 1
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiGraph {
+    n: usize,
+    edges: Vec<(usize, usize, f64)>,
+}
+
+impl DiGraph {
+    /// Creates a directed graph from `(from, to, length)` edges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidGraph`] if the vertex count is zero, an
+    /// endpoint is out of range, or a length is negative or non-finite.
+    pub fn new(n: usize, edges: Vec<(usize, usize, f64)>) -> Result<Self, GraphError> {
+        if n == 0 {
+            return Err(GraphError::invalid("vertex count must be positive"));
+        }
+        for &(u, v, w) in &edges {
+            if u >= n || v >= n {
+                return Err(GraphError::invalid(format!("edge ({u}, {v}) out of range")));
+            }
+            if !w.is_finite() || w < 0.0 {
+                return Err(GraphError::invalid(format!("edge ({u}, {v}) has length {w}")));
+            }
+        }
+        Ok(DiGraph { n, edges })
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// The `(from, to, length)` edge list.
+    pub fn edges(&self) -> &[(usize, usize, f64)] {
+        &self.edges
+    }
+
+    /// The dense length matrix: `0` on the diagonal, `∞` for absent edges,
+    /// the minimum length for parallel edges.
+    pub fn length_matrix(&self) -> Vec<Vec<f64>> {
+        let mut d = vec![vec![f64::INFINITY; self.n]; self.n];
+        for (i, row) in d.iter_mut().enumerate() {
+            row[i] = 0.0;
+        }
+        for &(u, v, w) in &self.edges {
+            if w < d[u][v] {
+                d[u][v] = w;
+            }
+        }
+        d
+    }
+}
+
+/// All-pairs shortest path distances by Floyd–Warshall, with relaxation
+/// arithmetic through `fpu`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::NumericalBreakdown`] if fault-corrupted arithmetic
+/// produces NaN distances (a failed baseline run). Negative corrupted
+/// distances are possible and left in place — they are part of the wrong
+/// answer the experiment measures.
+///
+/// # Examples
+///
+/// See [`DiGraph`].
+pub fn floyd_warshall<F: Fpu>(fpu: &mut F, g: &DiGraph) -> Result<Vec<Vec<f64>>, GraphError> {
+    let n = g.vertex_count();
+    let mut d = g.length_matrix();
+    for k in 0..n {
+        for i in 0..n {
+            if d[i][k] == f64::INFINITY {
+                continue;
+            }
+            for j in 0..n {
+                if d[k][j] == f64::INFINITY {
+                    continue;
+                }
+                let via = fpu.add(d[i][k], d[k][j]);
+                if fpu.lt(via, d[i][j]) {
+                    d[i][j] = via;
+                }
+            }
+        }
+    }
+    if d.iter().flatten().any(|v| v.is_nan()) {
+        return Err(GraphError::NumericalBreakdown);
+    }
+    Ok(d)
+}
+
+/// Single-source shortest path distances by Dijkstra's algorithm with a
+/// binary heap, using native arithmetic — the reliable reference used to
+/// score the robustified and baseline APSP implementations.
+///
+/// # Panics
+///
+/// Panics if `source >= g.vertex_count()`.
+///
+/// # Examples
+///
+/// ```
+/// use robustify_graph::{dijkstra, DiGraph};
+///
+/// # fn main() -> Result<(), robustify_graph::GraphError> {
+/// let g = DiGraph::new(3, vec![(0, 1, 1.0), (1, 2, 2.0), (0, 2, 5.0)])?;
+/// assert_eq!(dijkstra(&g, 0), vec![0.0, 1.0, 3.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn dijkstra(g: &DiGraph, source: usize) -> Vec<f64> {
+    let n = g.vertex_count();
+    assert!(source < n, "source {source} out of range for {n} vertices");
+    let mut adj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    for &(u, v, w) in g.edges() {
+        adj[u].push((v, w));
+    }
+    let mut dist = vec![f64::INFINITY; n];
+    dist[source] = 0.0;
+    // Max-heap of (negated distance, vertex) via ordered floats.
+    let mut heap = std::collections::BinaryHeap::new();
+    heap.push((std::cmp::Reverse(OrderedF64(0.0)), source));
+    while let Some((std::cmp::Reverse(OrderedF64(du)), u)) = heap.pop() {
+        if du > dist[u] {
+            continue;
+        }
+        for &(v, w) in &adj[u] {
+            let cand = du + w;
+            if cand < dist[v] {
+                dist[v] = cand;
+                heap.push((std::cmp::Reverse(OrderedF64(cand)), v));
+            }
+        }
+    }
+    dist
+}
+
+/// A total order on finite-or-infinite `f64` for heap keys.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrderedF64(f64);
+
+impl Eq for OrderedF64 {}
+
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("distances are never NaN")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::random_digraph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use stochastic_fpu::{BitFaultModel, FaultRate, NoisyFpu, ReliableFpu};
+
+    fn line() -> DiGraph {
+        DiGraph::new(4, vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 10.0)])
+            .expect("valid graph")
+    }
+
+    #[test]
+    fn floyd_warshall_finds_multi_hop_paths() {
+        let d = floyd_warshall(&mut ReliableFpu::new(), &line()).expect("reliable run");
+        assert_eq!(d[0][3], 3.0);
+        assert_eq!(d[3][0], f64::INFINITY);
+        assert_eq!(d[1][1], 0.0);
+    }
+
+    #[test]
+    fn agrees_with_dijkstra_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let g = random_digraph(&mut rng, 9, 25);
+            let fw = floyd_warshall(&mut ReliableFpu::new(), &g).expect("reliable run");
+            for s in 0..9 {
+                let dj = dijkstra(&g, s);
+                for t in 0..9 {
+                    let (a, b) = (fw[s][t], dj[t]);
+                    assert!(
+                        (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-9,
+                        "mismatch at ({s}, {t}): fw {a} vs dijkstra {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_holds() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let g = random_digraph(&mut rng, 8, 20);
+        let d = floyd_warshall(&mut ReliableFpu::new(), &g).expect("reliable run");
+        for i in 0..8 {
+            for j in 0..8 {
+                for k in 0..8 {
+                    assert!(
+                        d[i][j] <= d[i][k] + d[k][j] + 1e-9,
+                        "triangle inequality violated at ({i}, {j}, {k})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_edges_take_minimum() {
+        let g = DiGraph::new(2, vec![(0, 1, 5.0), (0, 1, 2.0)]).expect("valid graph");
+        let d = floyd_warshall(&mut ReliableFpu::new(), &g).expect("reliable run");
+        assert_eq!(d[0][1], 2.0);
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(DiGraph::new(0, vec![]).is_err());
+        assert!(DiGraph::new(2, vec![(0, 2, 1.0)]).is_err());
+        assert!(DiGraph::new(2, vec![(0, 1, -1.0)]).is_err());
+        assert!(DiGraph::new(2, vec![(0, 1, f64::NAN)]).is_err());
+    }
+
+    #[test]
+    fn faults_can_corrupt_distances() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = random_digraph(&mut rng, 8, 25);
+        let exact = floyd_warshall(&mut ReliableFpu::new(), &g).expect("reliable run");
+        let mut corrupted = 0;
+        for seed in 0..30 {
+            let mut fpu =
+                NoisyFpu::new(FaultRate::per_flop(0.05), BitFaultModel::emulated(), seed);
+            match floyd_warshall(&mut fpu, &g) {
+                Ok(d) => {
+                    let differs = d
+                        .iter()
+                        .flatten()
+                        .zip(exact.iter().flatten())
+                        .any(|(a, b)| (a - b).abs() > 1e-9 && !(a.is_infinite() && b.is_infinite()));
+                    if differs {
+                        corrupted += 1;
+                    }
+                }
+                Err(_) => corrupted += 1,
+            }
+        }
+        assert!(corrupted > 0, "faults never perturbed the baseline");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn dijkstra_validates_source() {
+        dijkstra(&line(), 9);
+    }
+}

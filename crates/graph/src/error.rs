@@ -1,0 +1,63 @@
+//! Error type for graph algorithms.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by graph construction and algorithms.
+///
+/// # Examples
+///
+/// ```
+/// use robustify_graph::{BipartiteGraph, GraphError};
+///
+/// let err = BipartiteGraph::new(2, 2, vec![(5, 0, 1.0)]).unwrap_err();
+/// assert!(matches!(err, GraphError::InvalidGraph(_)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// The graph description is malformed (out-of-range vertex, bad shape).
+    InvalidGraph(String),
+    /// A fault-corrupted value broke the algorithm's invariants (e.g. a NaN
+    /// potential in the Hungarian algorithm) and no meaningful answer can
+    /// be produced. In the paper's experiments this counts as a failed
+    /// baseline run.
+    NumericalBreakdown,
+}
+
+impl GraphError {
+    /// Convenience constructor for malformed-graph errors.
+    pub fn invalid(msg: impl Into<String>) -> Self {
+        GraphError::InvalidGraph(msg.into())
+    }
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::InvalidGraph(msg) => write!(f, "invalid graph: {msg}"),
+            GraphError::NumericalBreakdown => {
+                write!(f, "numerical breakdown: corrupted arithmetic broke the algorithm")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_meaningful() {
+        assert!(GraphError::invalid("vertex 9").to_string().contains("vertex 9"));
+        assert!(GraphError::NumericalBreakdown.to_string().contains("breakdown"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

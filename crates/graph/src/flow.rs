@@ -1,0 +1,369 @@
+//! Maximum flow: the Ford–Fulkerson (Edmonds–Karp) baseline (§4.5).
+//!
+//! "The baseline implementation of the maxflow problem is implemented using
+//! the Ford-Fulkerson algorithm." Augmenting paths are found by BFS
+//! (structural, integer-unit work); residual-capacity arithmetic and
+//! bottleneck comparisons go through the FPU.
+
+use crate::error::GraphError;
+use stochastic_fpu::{Fpu, FpuExt};
+
+/// A flow network: a directed graph with edge capacities, a source and a
+/// sink.
+///
+/// # Examples
+///
+/// ```
+/// use robustify_graph::{max_flow, FlowNetwork};
+/// use stochastic_fpu::ReliableFpu;
+///
+/// # fn main() -> Result<(), robustify_graph::GraphError> {
+/// let net = FlowNetwork::new(4, 0, 3, vec![
+///     (0, 1, 3.0), (0, 2, 2.0), (1, 3, 2.0), (2, 3, 3.0), (1, 2, 1.0),
+/// ])?;
+/// let result = max_flow(&mut ReliableFpu::new(), &net)?;
+/// assert_eq!(result.value, 5.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowNetwork {
+    n: usize,
+    source: usize,
+    sink: usize,
+    edges: Vec<(usize, usize, f64)>,
+}
+
+impl FlowNetwork {
+    /// Creates a flow network from `(from, to, capacity)` edges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidGraph`] if the vertex count is zero, the
+    /// source equals the sink, an endpoint is out of range, a capacity is
+    /// negative or non-finite, or an edge is a self-loop.
+    pub fn new(
+        n: usize,
+        source: usize,
+        sink: usize,
+        edges: Vec<(usize, usize, f64)>,
+    ) -> Result<Self, GraphError> {
+        if n == 0 {
+            return Err(GraphError::invalid("vertex count must be positive"));
+        }
+        if source >= n || sink >= n {
+            return Err(GraphError::invalid("source/sink out of range"));
+        }
+        if source == sink {
+            return Err(GraphError::invalid("source and sink must differ"));
+        }
+        for &(u, v, c) in &edges {
+            if u >= n || v >= n {
+                return Err(GraphError::invalid(format!("edge ({u}, {v}) out of range")));
+            }
+            if u == v {
+                return Err(GraphError::invalid(format!("self-loop at {u}")));
+            }
+            if !c.is_finite() || c < 0.0 {
+                return Err(GraphError::invalid(format!("edge ({u}, {v}) has capacity {c}")));
+            }
+        }
+        Ok(FlowNetwork { n, source, sink, edges })
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// The source vertex.
+    pub fn source(&self) -> usize {
+        self.source
+    }
+
+    /// The sink vertex.
+    pub fn sink(&self) -> usize {
+        self.sink
+    }
+
+    /// The `(from, to, capacity)` edge list.
+    pub fn edges(&self) -> &[(usize, usize, f64)] {
+        &self.edges
+    }
+
+    /// The dense capacity matrix (parallel edges are summed).
+    pub fn capacity_matrix(&self) -> Vec<Vec<f64>> {
+        let mut c = vec![vec![0.0; self.n]; self.n];
+        for &(u, v, cap) in &self.edges {
+            c[u][v] += cap;
+        }
+        c
+    }
+}
+
+/// The result of a max-flow computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaxFlowResult {
+    /// Total flow from source to sink.
+    pub value: f64,
+    /// Dense flow matrix: `flow[u][v]` is the flow pushed on `(u, v)`.
+    pub flow: Vec<Vec<f64>>,
+    /// Number of augmenting paths used.
+    pub augmentations: usize,
+}
+
+/// Computes the maximum flow with Edmonds–Karp (BFS Ford–Fulkerson),
+/// routing all capacity arithmetic through `fpu`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::NumericalBreakdown`] if corrupted arithmetic
+/// produces a non-finite or non-positive bottleneck, or exceeds the
+/// structural augmentation bound — a failed baseline run.
+///
+/// # Examples
+///
+/// See [`FlowNetwork`].
+pub fn max_flow<F: Fpu>(fpu: &mut F, net: &FlowNetwork) -> Result<MaxFlowResult, GraphError> {
+    let n = net.vertex_count();
+    let mut residual = net.capacity_matrix();
+    let mut flow = vec![vec![0.0; n]; n];
+    let mut value = 0.0;
+    let mut augmentations = 0;
+    // Edmonds–Karp needs at most O(V·E) augmentations on exact arithmetic;
+    // anything beyond a generous structural bound means faults wedged it.
+    let max_augmentations = 4 * n * net.edges().len().max(n) + 16;
+
+    loop {
+        // BFS over edges with positive residual (comparison via the FPU).
+        let mut parent = vec![usize::MAX; n];
+        parent[net.source()] = net.source();
+        let mut queue = std::collections::VecDeque::from([net.source()]);
+        while let Some(u) = queue.pop_front() {
+            for v in 0..n {
+                if parent[v] == usize::MAX && fpu.gt(residual[u][v], 0.0) {
+                    parent[v] = u;
+                    queue.push_back(v);
+                }
+            }
+        }
+        if parent[net.sink()] == usize::MAX {
+            break; // no augmenting path: done
+        }
+
+        // Bottleneck along the path (FPU comparisons).
+        let mut bottleneck = f64::INFINITY;
+        let mut v = net.sink();
+        while v != net.source() {
+            let u = parent[v];
+            if fpu.lt(residual[u][v], bottleneck) {
+                bottleneck = residual[u][v];
+            }
+            v = u;
+        }
+        if !bottleneck.is_finite() || bottleneck <= 0.0 {
+            return Err(GraphError::NumericalBreakdown);
+        }
+
+        // Push the flow (FPU adds/subs).
+        let mut v = net.sink();
+        while v != net.source() {
+            let u = parent[v];
+            residual[u][v] = fpu.sub(residual[u][v], bottleneck);
+            residual[v][u] = fpu.add(residual[v][u], bottleneck);
+            flow[u][v] = fpu.add(flow[u][v], bottleneck);
+            v = u;
+        }
+        value = fpu.add(value, bottleneck);
+        augmentations += 1;
+        if augmentations > max_augmentations {
+            return Err(GraphError::NumericalBreakdown);
+        }
+    }
+
+    if !value.is_finite() {
+        return Err(GraphError::NumericalBreakdown);
+    }
+    Ok(MaxFlowResult { value, flow, augmentations })
+}
+
+/// Extracts the minimum s–t cut certified by a max flow: the set of
+/// vertices reachable from the source in the final residual graph, and the
+/// saturated edges crossing it.
+///
+/// Returns `(source_side, cut_edges)` where `cut_edges` are `(u, v)` with
+/// `u` on the source side. Uses native arithmetic — this is a decode step.
+///
+/// # Examples
+///
+/// ```
+/// use robustify_graph::{max_flow, min_cut, FlowNetwork};
+/// use stochastic_fpu::ReliableFpu;
+///
+/// # fn main() -> Result<(), robustify_graph::GraphError> {
+/// let net = FlowNetwork::new(3, 0, 2, vec![(0, 1, 1.0), (1, 2, 5.0)])?;
+/// let result = max_flow(&mut ReliableFpu::new(), &net)?;
+/// let (side, cut) = min_cut(&net, &result);
+/// assert!(side[0] && !side[1]);
+/// assert_eq!(cut, vec![(0, 1)]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn min_cut(net: &FlowNetwork, result: &MaxFlowResult) -> (Vec<bool>, Vec<(usize, usize)>) {
+    let n = net.vertex_count();
+    let cap = net.capacity_matrix();
+    let mut reachable = vec![false; n];
+    reachable[net.source()] = true;
+    let mut queue = std::collections::VecDeque::from([net.source()]);
+    while let Some(u) = queue.pop_front() {
+        for v in 0..n {
+            let residual = cap[u][v] - result.flow[u][v] + result.flow[v][u];
+            if !reachable[v] && residual > 1e-12 {
+                reachable[v] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    let mut cut = Vec::new();
+    for &(u, v, c) in net.edges() {
+        if c > 0.0 && reachable[u] && !reachable[v] {
+            cut.push((u, v));
+        }
+    }
+    cut.sort_unstable();
+    cut.dedup();
+    (reachable, cut)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::random_flow_network;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use stochastic_fpu::{BitFaultModel, FaultRate, NoisyFpu, ReliableFpu};
+
+    fn classic() -> FlowNetwork {
+        // CLRS-style example with max flow 23.
+        FlowNetwork::new(
+            6,
+            0,
+            5,
+            vec![
+                (0, 1, 16.0),
+                (0, 2, 13.0),
+                (1, 2, 10.0),
+                (2, 1, 4.0),
+                (1, 3, 12.0),
+                (3, 2, 9.0),
+                (2, 4, 14.0),
+                (4, 3, 7.0),
+                (3, 5, 20.0),
+                (4, 5, 4.0),
+            ],
+        )
+        .expect("valid network")
+    }
+
+    #[test]
+    fn clrs_example_value() {
+        let result = max_flow(&mut ReliableFpu::new(), &classic()).expect("reliable run");
+        assert!((result.value - 23.0).abs() < 1e-12);
+        assert!(result.augmentations >= 2);
+    }
+
+    #[test]
+    fn flow_conservation_holds() {
+        let net = classic();
+        let result = max_flow(&mut ReliableFpu::new(), &net).expect("reliable run");
+        let n = net.vertex_count();
+        for v in 0..n {
+            if v == net.source() || v == net.sink() {
+                continue;
+            }
+            let inflow: f64 = (0..n).map(|u| result.flow[u][v]).sum();
+            let outflow: f64 = (0..n).map(|w| result.flow[v][w]).sum();
+            assert!((inflow - outflow).abs() < 1e-9, "conservation violated at {v}");
+        }
+    }
+
+    #[test]
+    fn flow_respects_capacities() {
+        let net = classic();
+        let result = max_flow(&mut ReliableFpu::new(), &net).expect("reliable run");
+        let cap = net.capacity_matrix();
+        for u in 0..6 {
+            for v in 0..6 {
+                assert!(
+                    result.flow[u][v] <= cap[u][v] + 1e-9,
+                    "capacity exceeded on ({u}, {v})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn min_cut_capacity_equals_flow_value() {
+        let net = classic();
+        let result = max_flow(&mut ReliableFpu::new(), &net).expect("reliable run");
+        let (_, cut) = min_cut(&net, &result);
+        let cut_capacity: f64 = cut
+            .iter()
+            .map(|&(u, v)| {
+                net.edges()
+                    .iter()
+                    .filter(|&&(eu, ev, _)| eu == u && ev == v)
+                    .map(|&(_, _, c)| c)
+                    .sum::<f64>()
+            })
+            .sum();
+        assert!((cut_capacity - result.value).abs() < 1e-9, "weak duality violated");
+    }
+
+    #[test]
+    fn disconnected_sink_has_zero_flow() {
+        let net = FlowNetwork::new(3, 0, 2, vec![(0, 1, 5.0)]).expect("valid network");
+        let result = max_flow(&mut ReliableFpu::new(), &net).expect("reliable run");
+        assert_eq!(result.value, 0.0);
+        assert_eq!(result.augmentations, 0);
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(FlowNetwork::new(0, 0, 1, vec![]).is_err());
+        assert!(FlowNetwork::new(3, 0, 0, vec![]).is_err());
+        assert!(FlowNetwork::new(3, 0, 5, vec![]).is_err());
+        assert!(FlowNetwork::new(3, 0, 2, vec![(0, 0, 1.0)]).is_err());
+        assert!(FlowNetwork::new(3, 0, 2, vec![(0, 1, -1.0)]).is_err());
+        assert!(FlowNetwork::new(3, 0, 2, vec![(0, 4, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn random_networks_satisfy_duality() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..20 {
+            let net = random_flow_network(&mut rng, 8, 18);
+            let result = max_flow(&mut ReliableFpu::new(), &net).expect("reliable run");
+            let (side, cut) = min_cut(&net, &result);
+            assert!(side[net.source()]);
+            assert!(!side[net.sink()]);
+            let cut_capacity: f64 =
+                cut.iter().map(|&(u, v)| net.capacity_matrix()[u][v]).sum();
+            assert!(
+                (cut_capacity - result.value).abs() < 1e-6,
+                "duality gap: cut {cut_capacity} vs flow {}",
+                result.value
+            );
+        }
+    }
+
+    #[test]
+    fn terminates_under_heavy_faults() {
+        let net = classic();
+        for seed in 0..20 {
+            let mut fpu =
+                NoisyFpu::new(FaultRate::per_flop(0.1), BitFaultModel::emulated(), seed);
+            let _ = max_flow(&mut fpu, &net);
+        }
+    }
+}

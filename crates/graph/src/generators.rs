@@ -1,0 +1,222 @@
+//! Seeded random workload generators for the experiment harness.
+//!
+//! The paper's matching workload is "a graph with 11 nodes and 30 edges";
+//! these generators produce that graph family (and flow/shortest-path
+//! analogues) reproducibly from a caller-provided RNG.
+
+use crate::apsp::DiGraph;
+use crate::bipartite::BipartiteGraph;
+use crate::flow::FlowNetwork;
+use rand::seq::SliceRandom;
+use rand::{Rng, RngExt};
+
+/// Generates a random bipartite graph with exactly `m` distinct edges and
+/// weights uniform in `[1, 10)`.
+///
+/// # Panics
+///
+/// Panics if `m > nu * nv` (more edges than vertex pairs) or either side is
+/// empty.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use robustify_graph::generators::random_bipartite;
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// // The paper's workload: 11 nodes (5 + 6), 30 edges.
+/// let g = random_bipartite(&mut rng, 5, 6, 30);
+/// assert_eq!(g.edges().len(), 30);
+/// ```
+pub fn random_bipartite<R: Rng>(rng: &mut R, nu: usize, nv: usize, m: usize) -> BipartiteGraph {
+    assert!(nu > 0 && nv > 0, "vertex sets must be non-empty");
+    assert!(m <= nu * nv, "cannot place {m} distinct edges in a {nu}x{nv} graph");
+    let mut pairs: Vec<(usize, usize)> =
+        (0..nu).flat_map(|u| (0..nv).map(move |v| (u, v))).collect();
+    pairs.shuffle(rng);
+    let edges: Vec<(usize, usize, f64)> = pairs
+        .into_iter()
+        .take(m)
+        .map(|(u, v)| (u, v, rng.random_range(1.0..10.0)))
+        .collect();
+    BipartiteGraph::new(nu, nv, edges).expect("generated edges are valid by construction")
+}
+
+/// Generates a random flow network on `n` vertices with `m` edges, source
+/// `0`, sink `n − 1`, capacities uniform in `[1, 10)`. A path from source
+/// to sink is always included so the max flow is positive.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use robustify_graph::generators::random_flow_network;
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let net = random_flow_network(&mut rng, 6, 12);
+/// assert_eq!(net.vertex_count(), 6);
+/// ```
+pub fn random_flow_network<R: Rng>(rng: &mut R, n: usize, m: usize) -> FlowNetwork {
+    assert!(n >= 2, "a flow network needs at least a source and a sink");
+    let mut edges: Vec<(usize, usize, f64)> = Vec::with_capacity(m + n);
+    // Backbone path source -> ... -> sink guarantees feasibility.
+    for v in 0..n - 1 {
+        edges.push((v, v + 1, rng.random_range(1.0..10.0)));
+    }
+    let mut placed = 0;
+    let mut guard = 0;
+    while placed < m && guard < 50 * m + 100 {
+        guard += 1;
+        let u = rng.random_range(0..n);
+        let v = rng.random_range(0..n);
+        if u == v {
+            continue;
+        }
+        edges.push((u, v, rng.random_range(1.0..10.0)));
+        placed += 1;
+    }
+    FlowNetwork::new(n, 0, n - 1, edges).expect("generated edges are valid by construction")
+}
+
+/// Generates a random directed graph on `n` vertices with `m` distinct
+/// edges and lengths uniform in `[1, 10)`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `m > n * (n − 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use robustify_graph::generators::random_digraph;
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let g = random_digraph(&mut rng, 8, 20);
+/// assert_eq!(g.edges().len(), 20);
+/// ```
+pub fn random_digraph<R: Rng>(rng: &mut R, n: usize, m: usize) -> DiGraph {
+    assert!(n > 0, "vertex count must be positive");
+    assert!(m <= n * (n - 1), "cannot place {m} distinct edges on {n} vertices");
+    let mut pairs: Vec<(usize, usize)> = (0..n)
+        .flat_map(|u| (0..n).filter(move |&v| v != u).map(move |v| (u, v)))
+        .collect();
+    pairs.shuffle(rng);
+    let edges: Vec<(usize, usize, f64)> = pairs
+        .into_iter()
+        .take(m)
+        .map(|(u, v)| (u, v, rng.random_range(1.0..10.0)))
+        .collect();
+    DiGraph::new(n, edges).expect("generated edges are valid by construction")
+}
+
+/// Generates a random *strongly connected* digraph: a Hamiltonian cycle
+/// backbone plus `extra` random distinct chords, lengths uniform in
+/// `[1, 10)`. Strong connectivity keeps the all-pairs shortest path LP
+/// (§4.6) bounded.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `extra > n * (n − 1) − n`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use robustify_graph::generators::random_strongly_connected;
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let g = random_strongly_connected(&mut rng, 6, 6);
+/// assert_eq!(g.edges().len(), 12); // 6 cycle edges + 6 chords
+/// ```
+pub fn random_strongly_connected<R: Rng>(rng: &mut R, n: usize, extra: usize) -> DiGraph {
+    assert!(n >= 2, "need at least two vertices");
+    assert!(
+        extra <= n * (n - 1) - n,
+        "cannot place {extra} chords on {n} vertices beyond the cycle"
+    );
+    let mut edges: Vec<(usize, usize, f64)> = (0..n)
+        .map(|v| (v, (v + 1) % n, rng.random_range(1.0..10.0)))
+        .collect();
+    let cycle: std::collections::HashSet<(usize, usize)> =
+        edges.iter().map(|&(u, v, _)| (u, v)).collect();
+    let mut chords: Vec<(usize, usize)> = (0..n)
+        .flat_map(|u| (0..n).filter(move |&v| v != u).map(move |v| (u, v)))
+        .filter(|p| !cycle.contains(p))
+        .collect();
+    chords.shuffle(rng);
+    edges.extend(chords.into_iter().take(extra).map(|(u, v)| (u, v, rng.random_range(1.0..10.0))));
+    DiGraph::new(n, edges).expect("generated edges are valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bipartite_has_exact_edge_count_and_valid_weights() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = random_bipartite(&mut rng, 5, 6, 30);
+        assert_eq!(g.left_count(), 5);
+        assert_eq!(g.right_count(), 6);
+        assert_eq!(g.edges().len(), 30);
+        assert!(g.edges().iter().all(|&(_, _, w)| (1.0..10.0).contains(&w)));
+    }
+
+    #[test]
+    fn bipartite_is_deterministic_per_seed() {
+        let g1 = random_bipartite(&mut StdRng::seed_from_u64(4), 4, 4, 10);
+        let g2 = random_bipartite(&mut StdRng::seed_from_u64(4), 4, 4, 10);
+        assert_eq!(g1, g2);
+        let g3 = random_bipartite(&mut StdRng::seed_from_u64(5), 4, 4, 10);
+        assert_ne!(g1, g3);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct edges")]
+    fn bipartite_rejects_too_many_edges() {
+        random_bipartite(&mut StdRng::seed_from_u64(1), 2, 2, 5);
+    }
+
+    #[test]
+    fn flow_network_always_has_positive_max_flow() {
+        use crate::flow::max_flow;
+        use stochastic_fpu::ReliableFpu;
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..10 {
+            let net = random_flow_network(&mut rng, 7, 10);
+            let result = max_flow(&mut ReliableFpu::new(), &net).expect("reliable run");
+            assert!(result.value > 0.0);
+        }
+    }
+
+    #[test]
+    fn strongly_connected_graphs_have_finite_apsp() {
+        use crate::apsp::floyd_warshall;
+        use stochastic_fpu::ReliableFpu;
+        let mut rng = StdRng::seed_from_u64(33);
+        for _ in 0..5 {
+            let g = random_strongly_connected(&mut rng, 6, 8);
+            let d = floyd_warshall(&mut ReliableFpu::new(), &g).expect("reliable run");
+            assert!(d.iter().flatten().all(|v| v.is_finite()), "unreachable pair found");
+        }
+    }
+
+    #[test]
+    fn digraph_has_no_self_loops_or_duplicates() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let g = random_digraph(&mut rng, 6, 20);
+        let mut seen = std::collections::HashSet::new();
+        for &(u, v, _) in g.edges() {
+            assert_ne!(u, v);
+            assert!(seen.insert((u, v)), "duplicate edge ({u}, {v})");
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! Maximum-weight bipartite matching: the Hungarian algorithm.
+//!
+//! This is the deterministic baseline the paper compares against (it used
+//! OpenCV's matcher, a Hungarian variant). The implementation is the
+//! `O(n³)` shortest-augmenting-path formulation with dual potentials. All
+//! floating point arithmetic — reduced costs, potential updates,
+//! comparisons — flows through the caller's [`Fpu`], so injected faults
+//! corrupt it the same way they corrupted the paper's baseline; breakdowns
+//! are detected and reported as [`GraphError::NumericalBreakdown`].
+
+use crate::bipartite::{BipartiteGraph, Matching};
+use crate::error::GraphError;
+use stochastic_fpu::{Fpu, FpuExt};
+
+/// Computes a maximum-weight matching of `g` with the Hungarian algorithm,
+/// executing all floating point work through `fpu`.
+///
+/// Weights must be non-negative (the assignment relaxation may otherwise
+/// prefer leaving vertices unmatched in ways the reduction does not model).
+/// Absent edges behave as zero-weight "skip" assignments and are omitted
+/// from the returned matching.
+///
+/// # Errors
+///
+/// * [`GraphError::InvalidGraph`] if any edge weight is negative.
+/// * [`GraphError::NumericalBreakdown`] if fault-corrupted arithmetic
+///   produces NaN potentials or prevents augmentation (a failed baseline
+///   run in the paper's experiments).
+///
+/// # Examples
+///
+/// ```
+/// use robustify_graph::{hungarian, BipartiteGraph};
+/// use stochastic_fpu::ReliableFpu;
+///
+/// # fn main() -> Result<(), robustify_graph::GraphError> {
+/// let g = BipartiteGraph::new(2, 2, vec![(0, 0, 3.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 3.0)])?;
+/// let m = hungarian(&mut ReliableFpu::new(), &g)?;
+/// assert_eq!(m.weight(), 6.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn hungarian<F: Fpu>(fpu: &mut F, g: &BipartiteGraph) -> Result<Matching, GraphError> {
+    if g.edges().iter().any(|&(_, _, w)| w < 0.0) {
+        return Err(GraphError::invalid("hungarian requires non-negative weights"));
+    }
+    // Pad to a square min-cost assignment: cost = max_w − w for real edges,
+    // max_w for skips, on an n × n matrix with n = max(|U|, |V|).
+    let n = g.left_count().max(g.right_count());
+    let max_w = g.edges().iter().map(|&(_, _, w)| w).fold(0.0, f64::max);
+    let mut cost = vec![vec![max_w; n]; n];
+    for &(u, v, w) in g.edges() {
+        cost[u][v] = max_w - w;
+    }
+
+    // Shortest-augmenting-path Hungarian with 1-based columns.
+    // p[j] = row assigned to column j (0 = none); u, v are dual potentials.
+    let mut pot_u = vec![0.0; n + 1];
+    let mut pot_v = vec![0.0; n + 1];
+    let mut p = vec![0usize; n + 1];
+    let mut way = vec![0usize; n + 1];
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![f64::INFINITY; n + 1];
+        let mut used = vec![false; n + 1];
+        // Each pass marks one column used, so at most n + 1 passes; anything
+        // more means corrupted comparisons wedged the search.
+        for _guard in 0..=n {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = f64::INFINITY;
+            let mut j1 = usize::MAX;
+            for j in 1..=n {
+                if used[j] {
+                    continue;
+                }
+                // cur = cost[i0-1][j-1] − u[i0] − v[j] through the FPU.
+                let t = fpu.sub(cost[i0 - 1][j - 1], pot_u[i0]);
+                let cur = fpu.sub(t, pot_v[j]);
+                if fpu.lt(cur, minv[j]) {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if fpu.lt(minv[j], delta) {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            if j1 == usize::MAX || !delta.is_finite() {
+                return Err(GraphError::NumericalBreakdown);
+            }
+            for j in 0..=n {
+                if used[j] {
+                    pot_u[p[j]] = fpu.add(pot_u[p[j]], delta);
+                    pot_v[j] = fpu.sub(pot_v[j], delta);
+                } else {
+                    minv[j] = fpu.sub(minv[j], delta);
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        if p[j0] != 0 {
+            return Err(GraphError::NumericalBreakdown);
+        }
+        // Unwind the augmenting path.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    // Decode: keep only assignments that correspond to real edges.
+    let mut pairs = Vec::new();
+    let mut weight = 0.0;
+    for j in 1..=n {
+        let i = p[j];
+        if i == 0 {
+            continue;
+        }
+        let (u, v) = (i - 1, j - 1);
+        if u < g.left_count() && v < g.right_count() {
+            if let Some(w) = g.weight(u, v) {
+                pairs.push((u, v));
+                weight += w;
+            }
+        }
+    }
+    Ok(Matching::new(pairs, weight))
+}
+
+/// Exhaustive maximum-weight matching by enumerating all assignments —
+/// exponential, reliable, for testing and for computing the ground-truth
+/// optimum of experiment workloads.
+///
+/// # Panics
+///
+/// Panics if `min(|U|, |V|) > 10` (the enumeration would be intractable).
+///
+/// # Examples
+///
+/// ```
+/// use robustify_graph::{brute_force_matching, BipartiteGraph};
+///
+/// # fn main() -> Result<(), robustify_graph::GraphError> {
+/// let g = BipartiteGraph::new(2, 2, vec![(0, 0, 3.0), (1, 1, 3.0)])?;
+/// assert_eq!(brute_force_matching(&g).weight(), 6.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn brute_force_matching(g: &BipartiteGraph) -> Matching {
+    let small = g.left_count().min(g.right_count());
+    assert!(small <= 10, "brute force limited to 10 vertices per side, got {small}");
+    // Recursive search over left vertices: match to any free right vertex
+    // or skip.
+    fn search(
+        g: &BipartiteGraph,
+        u: usize,
+        used_v: &mut Vec<bool>,
+        current: &mut Vec<(usize, usize)>,
+        current_w: f64,
+        best: &mut (Vec<(usize, usize)>, f64),
+    ) {
+        if u == g.left_count() {
+            if current_w > best.1 {
+                *best = (current.clone(), current_w);
+            }
+            return;
+        }
+        search(g, u + 1, used_v, current, current_w, best); // skip u
+        for &(eu, ev, w) in g.edges() {
+            if eu == u && !used_v[ev] {
+                used_v[ev] = true;
+                current.push((u, ev));
+                search(g, u + 1, used_v, current, current_w + w, best);
+                current.pop();
+                used_v[ev] = false;
+            }
+        }
+    }
+    let mut used_v = vec![false; g.right_count()];
+    let mut current = Vec::new();
+    let mut best = (Vec::new(), 0.0);
+    search(g, 0, &mut used_v, &mut current, 0.0, &mut best);
+    Matching::new(best.0, best.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::random_bipartite;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use stochastic_fpu::{BitFaultModel, FaultRate, NoisyFpu, ReliableFpu};
+
+    #[test]
+    fn simple_diagonal_case() {
+        let g = BipartiteGraph::new(
+            2,
+            2,
+            vec![(0, 0, 3.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 3.0)],
+        )
+        .expect("valid graph");
+        let m = hungarian(&mut ReliableFpu::new(), &g).expect("reliable run");
+        assert_eq!(m.weight(), 6.0);
+        assert_eq!(m.pairs(), &[(0, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn anti_diagonal_is_preferred_when_heavier() {
+        let g = BipartiteGraph::new(
+            2,
+            2,
+            vec![(0, 0, 1.0), (0, 1, 5.0), (1, 0, 5.0), (1, 1, 1.0)],
+        )
+        .expect("valid graph");
+        let m = hungarian(&mut ReliableFpu::new(), &g).expect("reliable run");
+        assert_eq!(m.weight(), 10.0);
+    }
+
+    #[test]
+    fn rectangular_graphs_are_handled() {
+        let g = BipartiteGraph::new(2, 3, vec![(0, 2, 4.0), (1, 0, 2.0), (1, 2, 5.0)])
+            .expect("valid graph");
+        let m = hungarian(&mut ReliableFpu::new(), &g).expect("reliable run");
+        assert_eq!(m.weight(), 6.0, "pairs = {:?}", m.pairs());
+    }
+
+    #[test]
+    fn skipping_is_allowed_for_sparse_graphs() {
+        // Only one edge exists; the matching is just that edge.
+        let g = BipartiteGraph::new(3, 3, vec![(1, 1, 7.0)]).expect("valid graph");
+        let m = hungarian(&mut ReliableFpu::new(), &g).expect("reliable run");
+        assert_eq!(m.weight(), 7.0);
+        assert_eq!(m.pairs(), &[(1, 1)]);
+    }
+
+    #[test]
+    fn negative_weights_rejected() {
+        let g = BipartiteGraph::new(1, 1, vec![(0, 0, -1.0)]).expect("valid graph");
+        assert!(matches!(
+            hungarian(&mut ReliableFpu::new(), &g),
+            Err(GraphError::InvalidGraph(_))
+        ));
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for trial in 0..30 {
+            let g = random_bipartite(&mut rng, 5, 6, 14);
+            let exact = brute_force_matching(&g);
+            let m = hungarian(&mut ReliableFpu::new(), &g).expect("reliable run");
+            assert!(
+                (m.weight() - exact.weight()).abs() < 1e-9,
+                "trial {trial}: hungarian {} vs brute force {}",
+                m.weight(),
+                exact.weight()
+            );
+        }
+    }
+
+    #[test]
+    fn terminates_under_heavy_faults() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = random_bipartite(&mut rng, 5, 6, 20);
+        for seed in 0..20 {
+            let mut fpu =
+                NoisyFpu::new(FaultRate::per_flop(0.2), BitFaultModel::emulated(), seed);
+            // Either a (possibly suboptimal) matching or a breakdown; never
+            // a hang or panic.
+            let _ = hungarian(&mut fpu, &g);
+        }
+    }
+
+    #[test]
+    fn faults_degrade_optimality() {
+        // At a high fault rate, at least one of many runs should fail to
+        // find the optimum (this is what Figure 6.4's baseline shows).
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = random_bipartite(&mut rng, 5, 6, 20);
+        let exact = brute_force_matching(&g).weight();
+        let mut suboptimal = 0;
+        for seed in 0..40 {
+            let mut fpu =
+                NoisyFpu::new(FaultRate::per_flop(0.05), BitFaultModel::emulated(), seed);
+            match hungarian(&mut fpu, &g) {
+                Ok(m) if (m.weight() - exact).abs() < 1e-9 => {}
+                _ => suboptimal += 1,
+            }
+        }
+        assert!(suboptimal > 0, "faults never degraded the baseline");
+    }
+
+    #[test]
+    fn brute_force_skips_when_beneficial() {
+        let g = BipartiteGraph::new(2, 1, vec![(0, 0, 1.0), (1, 0, 9.0)]).expect("valid graph");
+        let m = brute_force_matching(&g);
+        assert_eq!(m.weight(), 9.0);
+        assert_eq!(m.pairs(), &[(1, 0)]);
+    }
+}

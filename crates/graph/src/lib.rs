@@ -1,0 +1,35 @@
+//! Graph substrate and exact combinatorial baselines, all executed through
+//! a stochastic FPU.
+//!
+//! The paper's combinatorial benchmarks compare robustified (LP + SGD)
+//! implementations against "state-of-the-art deterministic" baselines run on
+//! the same fault-injected processor: OpenCV's bipartite matcher,
+//! Ford–Fulkerson max-flow and Floyd–Warshall all-pairs shortest paths.
+//! This crate provides those baselines from scratch:
+//!
+//! * [`BipartiteGraph`] and [`hungarian`] — maximum-weight bipartite
+//!   matching by the Hungarian (Kuhn–Munkres) algorithm.
+//! * [`FlowNetwork`] and [`max_flow`] — Ford–Fulkerson (Edmonds–Karp).
+//! * [`DiGraph`], [`floyd_warshall`] and [`dijkstra`] — shortest paths.
+//! * [`generators`] — seeded random workload generators.
+//!
+//! Every floating point comparison and accumulation goes through the
+//! [`Fpu`](stochastic_fpu::Fpu) argument, so these algorithms degrade under
+//! fault injection exactly like the paper's baselines; structural traversal
+//! (queues, indices) is native, as it would execute on integer units.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod apsp;
+mod bipartite;
+mod error;
+mod flow;
+pub mod generators;
+mod hungarian;
+
+pub use apsp::{dijkstra, floyd_warshall, DiGraph};
+pub use bipartite::{BipartiteGraph, Matching};
+pub use error::GraphError;
+pub use flow::{max_flow, min_cut, FlowNetwork, MaxFlowResult};
+pub use hungarian::{brute_force_matching, hungarian};

@@ -1,0 +1,115 @@
+//! Property-based tests for the graph substrate and baselines.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use robustify_graph::generators::{
+    random_bipartite, random_digraph, random_flow_network, random_strongly_connected,
+};
+use robustify_graph::{
+    brute_force_matching, dijkstra, floyd_warshall, hungarian, max_flow, min_cut,
+};
+use stochastic_fpu::ReliableFpu;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Hungarian equals brute force on random graphs of varying shape.
+    #[test]
+    fn hungarian_matches_brute_force(
+        seed in any::<u64>(),
+        nu in 2usize..6,
+        nv in 2usize..6,
+    ) {
+        let max_edges = nu * nv;
+        let m = (max_edges / 2).max(1);
+        let g = random_bipartite(&mut StdRng::seed_from_u64(seed), nu, nv, m);
+        let exact = brute_force_matching(&g).weight();
+        let got = hungarian(&mut ReliableFpu::new(), &g).expect("reliable run");
+        prop_assert!((got.weight() - exact).abs() < 1e-9);
+        // And the returned pairing is a valid matching of that weight.
+        let check = g.matching_weight(got.pairs()).expect("valid matching");
+        prop_assert!((check - got.weight()).abs() < 1e-9);
+    }
+
+    /// Max-flow/min-cut strong duality on random networks.
+    #[test]
+    fn maxflow_mincut_duality(seed in any::<u64>(), n in 3usize..9) {
+        let net = random_flow_network(&mut StdRng::seed_from_u64(seed), n, 2 * n);
+        let result = max_flow(&mut ReliableFpu::new(), &net).expect("reliable run");
+        let (side, cut) = min_cut(&net, &result);
+        prop_assert!(side[net.source()] && !side[net.sink()]);
+        let caps = net.capacity_matrix();
+        let cut_capacity: f64 = cut.iter().map(|&(u, v)| caps[u][v]).sum();
+        prop_assert!(
+            (cut_capacity - result.value).abs() < 1e-6,
+            "cut {} vs flow {}",
+            cut_capacity,
+            result.value
+        );
+    }
+
+    /// Max flow is bounded by the source's outgoing capacity.
+    #[test]
+    fn maxflow_bounded_by_source_capacity(seed in any::<u64>(), n in 3usize..8) {
+        let net = random_flow_network(&mut StdRng::seed_from_u64(seed), n, n);
+        let result = max_flow(&mut ReliableFpu::new(), &net).expect("reliable run");
+        let out_cap: f64 = net
+            .edges()
+            .iter()
+            .filter(|&&(u, _, _)| u == net.source())
+            .map(|&(_, _, c)| c)
+            .sum();
+        prop_assert!(result.value <= out_cap + 1e-9);
+        prop_assert!(result.value >= 0.0);
+    }
+
+    /// Floyd–Warshall agrees with Dijkstra from every source.
+    #[test]
+    fn apsp_agrees_with_dijkstra(seed in any::<u64>(), n in 2usize..8) {
+        let m = (n * (n - 1) / 2).max(1);
+        let g = random_digraph(&mut StdRng::seed_from_u64(seed), n, m);
+        let fw = floyd_warshall(&mut ReliableFpu::new(), &g).expect("reliable run");
+        for s in 0..n {
+            let dj = dijkstra(&g, s);
+            for t in 0..n {
+                let (a, b) = (fw[s][t], dj[t]);
+                prop_assert!(
+                    (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-9,
+                    "({s},{t}): fw {a} vs dijkstra {b}"
+                );
+            }
+        }
+    }
+
+    /// Strongly connected generators really are strongly connected, and
+    /// distances respect the triangle inequality.
+    #[test]
+    fn strongly_connected_invariants(seed in any::<u64>(), n in 2usize..8) {
+        let extra = (n * (n - 1) - n).min(n / 2);
+        let g = random_strongly_connected(&mut StdRng::seed_from_u64(seed), n, extra);
+        let d = floyd_warshall(&mut ReliableFpu::new(), &g).expect("reliable run");
+        for i in 0..n {
+            prop_assert_eq!(d[i][i], 0.0);
+            for j in 0..n {
+                prop_assert!(d[i][j].is_finite(), "({i},{j}) unreachable");
+                for k in 0..n {
+                    prop_assert!(d[i][j] <= d[i][k] + d[k][j] + 1e-9);
+                }
+            }
+        }
+    }
+
+    /// Matching weight is invariant under which side is called "left".
+    #[test]
+    fn matching_weight_is_symmetric(seed in any::<u64>()) {
+        let g = random_bipartite(&mut StdRng::seed_from_u64(seed), 3, 5, 8);
+        let flipped_edges: Vec<(usize, usize, f64)> =
+            g.edges().iter().map(|&(u, v, w)| (v, u, w)).collect();
+        let flipped = robustify_graph::BipartiteGraph::new(5, 3, flipped_edges)
+            .expect("flipped edges stay valid");
+        let a = hungarian(&mut ReliableFpu::new(), &g).expect("reliable run");
+        let b = hungarian(&mut ReliableFpu::new(), &flipped).expect("reliable run");
+        prop_assert!((a.weight() - b.weight()).abs() < 1e-9);
+    }
+}

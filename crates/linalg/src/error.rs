@@ -1,0 +1,97 @@
+//! Error type for linear algebra operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by linear algebra routines.
+///
+/// Numerical breakdown variants (`Singular`, `NotPositiveDefinite`,
+/// `DidNotConverge`, `NotFinite`) also fire when injected FPU faults corrupt
+/// a factorization badly enough — in the paper's experiments these count as
+/// failed baseline runs.
+///
+/// # Examples
+///
+/// ```
+/// use robustify_linalg::{LinalgError, Matrix};
+///
+/// let err = Matrix::from_rows(&[&[1.0], &[2.0, 3.0]]).unwrap_err();
+/// assert!(matches!(err, LinalgError::DimensionMismatch { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// Operand shapes are incompatible.
+    DimensionMismatch {
+        /// What the operation expected.
+        expected: String,
+        /// What it received.
+        found: String,
+    },
+    /// A pivot was exactly zero or the matrix is rank deficient.
+    Singular,
+    /// A Cholesky pivot was non-positive.
+    NotPositiveDefinite,
+    /// An iterative factorization failed to converge within its sweep budget.
+    DidNotConverge {
+        /// Number of sweeps/iterations attempted.
+        iterations: usize,
+    },
+    /// A non-finite value (NaN or infinity) surfaced where a finite one is
+    /// required.
+    NotFinite,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            LinalgError::Singular => write!(f, "matrix is singular or rank deficient"),
+            LinalgError::NotPositiveDefinite => {
+                write!(f, "matrix is not positive definite")
+            }
+            LinalgError::DidNotConverge { iterations } => {
+                write!(f, "factorization did not converge after {iterations} sweeps")
+            }
+            LinalgError::NotFinite => write!(f, "encountered a non-finite value"),
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+impl LinalgError {
+    /// Convenience constructor for shape mismatches.
+    pub fn shape(expected: impl Into<String>, found: impl Into<String>) -> Self {
+        LinalgError::DimensionMismatch { expected: expected.into(), found: found.into() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let cases: Vec<(LinalgError, &str)> = vec![
+            (LinalgError::shape("3x3", "2x3"), "dimension mismatch"),
+            (LinalgError::Singular, "singular"),
+            (LinalgError::NotPositiveDefinite, "positive definite"),
+            (LinalgError::DidNotConverge { iterations: 5 }, "did not converge"),
+            (LinalgError::NotFinite, "non-finite"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} missing {needle:?}");
+            assert!(!msg.ends_with('.'), "no trailing punctuation: {msg:?}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

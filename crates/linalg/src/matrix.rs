@@ -1,0 +1,470 @@
+//! Dense row-major matrices.
+//!
+//! Structural operations (construction, indexing, transposition) use native
+//! arithmetic: they move data without computing on it. Numerical products
+//! ([`Matrix::matvec`], [`Matrix::matmul`], …) go through an
+//! [`Fpu`](stochastic_fpu::Fpu) so faults reach them.
+
+use crate::error::LinalgError;
+use crate::kernels;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+use stochastic_fpu::Fpu;
+
+/// A dense row-major matrix of `f64` entries.
+///
+/// # Examples
+///
+/// ```
+/// use robustify_linalg::Matrix;
+/// use stochastic_fpu::ReliableFpu;
+///
+/// # fn main() -> Result<(), robustify_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]])?;
+/// let y = a.matvec(&mut ReliableFpu::new(), &[1.0, 1.0])?;
+/// assert_eq!(y, vec![3.0, 7.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if the rows have unequal
+    /// lengths or the input is empty.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self, LinalgError> {
+        if rows.is_empty() || rows[0].is_empty() {
+            return Err(LinalgError::shape("non-empty rows", "empty input"));
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != cols {
+                return Err(LinalgError::shape(
+                    format!("row of length {cols}"),
+                    format!("row {i} of length {}", row.len()),
+                ));
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Matrix { rows: rows.len(), cols, data })
+    }
+
+    /// Creates a matrix whose `(i, j)` entry is `f(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `data.len() != rows * cols`
+    /// or either dimension is zero.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, LinalgError> {
+        if rows == 0 || cols == 0 || data.len() != rows * cols {
+            return Err(LinalgError::shape(
+                format!("{rows}x{cols} buffer of length {}", rows * cols),
+                format!("length {}", data.len()),
+            ));
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Whether the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// A view of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row {i} out of bounds for {} rows", self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// A mutable view of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(i < self.rows, "row {i} out of bounds for {} rows", self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copies column `j` into a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.cols()`.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.cols, "column {j} out of bounds for {} columns", self.cols);
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// The flat row-major data buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Consumes the matrix, returning the flat row-major buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Returns the transpose (a data movement, not arithmetic).
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Whether all entries are finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// Matrix–vector product `A x` through the FPU.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `x.len() != self.cols()`.
+    pub fn matvec<F: Fpu>(&self, fpu: &mut F, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if x.len() != self.cols {
+            return Err(LinalgError::shape(
+                format!("vector of length {}", self.cols),
+                format!("length {}", x.len()),
+            ));
+        }
+        Ok((0..self.rows).map(|i| kernels::dot_unchecked(fpu, self.row(i), x)).collect())
+    }
+
+    /// Transposed matrix–vector product `Aᵀ y` through the FPU.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `y.len() != self.rows()`.
+    pub fn matvec_t<F: Fpu>(&self, fpu: &mut F, y: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if y.len() != self.rows {
+            return Err(LinalgError::shape(
+                format!("vector of length {}", self.rows),
+                format!("length {}", y.len()),
+            ));
+        }
+        let mut out = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            let yi = y[i];
+            if yi == 0.0 {
+                continue;
+            }
+            for j in 0..self.cols {
+                let p = fpu.mul(self[(i, j)], yi);
+                out[j] = fpu.add(out[j], p);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix product `A B` through the FPU.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `self.cols() != rhs.rows()`.
+    pub fn matmul<F: Fpu>(&self, fpu: &mut F, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::shape(
+                format!("rhs with {} rows", self.cols),
+                format!("{} rows", rhs.rows),
+            ));
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    let p = fpu.mul(aik, rhs[(k, j)]);
+                    out[(i, j)] = fpu.add(out[(i, j)], p);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Gram matrix `Aᵀ A` through the FPU (symmetric result computed once
+    /// per pair).
+    pub fn gram<F: Fpu>(&self, fpu: &mut F) -> Matrix {
+        let n = self.cols;
+        let mut g = Matrix::zeros(n, n);
+        for p in 0..n {
+            for q in p..n {
+                let mut acc = 0.0;
+                for i in 0..self.rows {
+                    let prod = fpu.mul(self[(i, p)], self[(i, q)]);
+                    acc = fpu.add(acc, prod);
+                }
+                g[(p, q)] = acc;
+                g[(q, p)] = acc;
+            }
+        }
+        g
+    }
+
+    /// Frobenius norm through the FPU.
+    pub fn frobenius_norm<F: Fpu>(&self, fpu: &mut F) -> f64 {
+        let mut acc = 0.0;
+        for &v in &self.data {
+            let sq = fpu.mul(v, v);
+            acc = fpu.add(acc, sq);
+        }
+        fpu.sqrt(acc)
+    }
+
+    /// Maximum absolute difference to another matrix (native arithmetic —
+    /// a measurement, not part of any algorithm).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "max_abs_diff requires equal shapes"
+        );
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        assert!(i < self.rows && j < self.cols, "index ({i}, {j}) out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        assert!(i < self.rows && j < self.cols, "index ({i}, {j}) out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows.min(8) {
+            write!(f, "  [")?;
+            for j in 0..self.cols.min(8) {
+                write!(f, "{:10.4}", self[(i, j)])?;
+                if j + 1 < self.cols.min(8) {
+                    write!(f, ", ")?;
+                }
+            }
+            if self.cols > 8 {
+                write!(f, ", …")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stochastic_fpu::ReliableFpu;
+
+    fn abc() -> Matrix {
+        Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).expect("valid rows")
+    }
+
+    #[test]
+    fn construction_and_shape() {
+        let m = abc();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert!(!m.is_square());
+        assert!(Matrix::identity(3).is_square());
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        assert!(Matrix::from_rows(&[&[1.0], &[2.0, 3.0]]).is_err());
+        assert!(Matrix::from_rows(&[]).is_err());
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+        assert!(Matrix::from_vec(0, 2, vec![]).is_err());
+    }
+
+    #[test]
+    fn indexing_and_rows() {
+        let mut m = abc();
+        assert_eq!(m[(1, 2)], 6.0);
+        m[(1, 2)] = 7.0;
+        assert_eq!(m.row(1), &[4.0, 5.0, 7.0]);
+        assert_eq!(m.col(0), vec![1.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn index_out_of_bounds_panics() {
+        let m = abc();
+        let _ = m[(2, 0)];
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = abc();
+        let t = m.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t[(2, 1)], 6.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn matvec_matches_hand_computation() {
+        let m = abc();
+        let y = m.matvec(&mut ReliableFpu::new(), &[1.0, 0.0, -1.0]).expect("shapes match");
+        assert_eq!(y, vec![-2.0, -2.0]);
+    }
+
+    #[test]
+    fn matvec_rejects_bad_shape() {
+        let m = abc();
+        assert!(m.matvec(&mut ReliableFpu::new(), &[1.0]).is_err());
+        assert!(m.matvec_t(&mut ReliableFpu::new(), &[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn matvec_t_is_transpose_matvec() {
+        let m = abc();
+        let mut fpu = ReliableFpu::new();
+        let a = m.matvec_t(&mut fpu, &[1.0, 2.0]).expect("shapes match");
+        let b = m.transpose().matvec(&mut fpu, &[1.0, 2.0]).expect("shapes match");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let m = abc();
+        let mut fpu = ReliableFpu::new();
+        let out = m.matmul(&mut fpu, &Matrix::identity(3)).expect("shapes match");
+        assert_eq!(out, m);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_shapes() {
+        let m = abc();
+        assert!(m.matmul(&mut ReliableFpu::new(), &Matrix::identity(2)).is_err());
+    }
+
+    #[test]
+    fn gram_is_ata() {
+        let m = abc();
+        let mut fpu = ReliableFpu::new();
+        let g = m.gram(&mut fpu);
+        let ata = m.transpose().matmul(&mut fpu, &m).expect("shapes match");
+        assert!(g.max_abs_diff(&ata) < 1e-12);
+    }
+
+    #[test]
+    fn frobenius_norm_value() {
+        let m = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]).expect("valid rows");
+        let n = m.frobenius_norm(&mut ReliableFpu::new());
+        assert!((n - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matvec_counts_flops() {
+        let m = abc();
+        let mut fpu = ReliableFpu::new();
+        m.matvec(&mut fpu, &[1.0, 1.0, 1.0]).expect("shapes match");
+        // Two rows of a length-3 dot product: 3 muls + 3 adds each.
+        assert_eq!(fpu.flops(), 12);
+    }
+
+    #[test]
+    fn is_finite_detects_nan() {
+        let mut m = abc();
+        assert!(m.is_finite());
+        m[(0, 0)] = f64::NAN;
+        assert!(!m.is_finite());
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let s = format!("{:?}", abc());
+        assert!(s.contains("Matrix 2x3"));
+    }
+}

@@ -1,0 +1,369 @@
+//! One-sided Jacobi singular value decomposition.
+//!
+//! The paper's most accurate least-squares baseline ("the SVD-based solver
+//! allows for the highest accuracy, even with ill-conditioned problems") and
+//! the decomposition the paper shows to be "disastrously unstable under
+//! numerical noise". One-sided Jacobi is chosen because it is simple,
+//! accurate, and — crucially for a fault-injection study — runs a *bounded*
+//! number of sweeps, so it terminates even when faults prevent convergence.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use stochastic_fpu::Fpu;
+
+/// Maximum number of Jacobi sweeps before giving up.
+const MAX_SWEEPS: usize = 30;
+
+/// Relative threshold below which a pair of columns counts as orthogonal.
+const ORTH_TOL: f64 = 1e-14;
+
+/// A thin singular value decomposition `A = U Σ Vᵀ` of an `m × n` matrix
+/// with `m ≥ n`.
+///
+/// `U` is `m × n` with orthonormal columns, `Σ` is diagonal (stored as a
+/// vector, descending), `V` is `n × n` orthogonal.
+///
+/// # Examples
+///
+/// ```
+/// use robustify_linalg::{Matrix, SvdFactorization};
+/// use stochastic_fpu::ReliableFpu;
+///
+/// # fn main() -> Result<(), robustify_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 1.0], &[0.0, 0.0]])?;
+/// let svd = SvdFactorization::compute(&mut ReliableFpu::new(), &a)?;
+/// assert!((svd.singular_values()[0] - 3.0).abs() < 1e-12);
+/// assert!((svd.singular_values()[1] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SvdFactorization {
+    u: Matrix,
+    sigma: Vec<f64>,
+    v: Matrix,
+}
+
+impl SvdFactorization {
+    /// Computes the thin SVD of `a` through the FPU by one-sided Jacobi
+    /// rotations.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::DimensionMismatch`] if `a` has fewer rows than
+    ///   columns.
+    /// * [`LinalgError::DidNotConverge`] if the sweep budget is exhausted
+    ///   with columns still non-orthogonal — on a reliable FPU this does not
+    ///   happen for well-posed inputs; under fault injection it marks a
+    ///   failed baseline run.
+    /// * [`LinalgError::NotFinite`] if corrupted arithmetic produced NaN or
+    ///   infinite column norms.
+    pub fn compute<F: Fpu>(fpu: &mut F, a: &Matrix) -> Result<Self, LinalgError> {
+        let (m, n) = (a.rows(), a.cols());
+        if m < n {
+            return Err(LinalgError::shape(
+                "at least as many rows as columns",
+                format!("{m}x{n}"),
+            ));
+        }
+        let mut work = a.clone();
+        let mut v = Matrix::identity(n);
+        let mut converged = false;
+        for _sweep in 0..MAX_SWEEPS {
+            let mut rotated = false;
+            for p in 0..n {
+                for q in p + 1..n {
+                    // Column inner products through the FPU.
+                    let mut app = 0.0;
+                    let mut aqq = 0.0;
+                    let mut apq = 0.0;
+                    for i in 0..m {
+                        let wip = work[(i, p)];
+                        let wiq = work[(i, q)];
+                        let pp = fpu.mul(wip, wip);
+                        app = fpu.add(app, pp);
+                        let qq = fpu.mul(wiq, wiq);
+                        aqq = fpu.add(aqq, qq);
+                        let pq = fpu.mul(wip, wiq);
+                        apq = fpu.add(apq, pq);
+                    }
+                    if !(app.is_finite() && aqq.is_finite() && apq.is_finite()) {
+                        return Err(LinalgError::NotFinite);
+                    }
+                    if apq.abs() <= ORTH_TOL * (app * aqq).sqrt() {
+                        continue;
+                    }
+                    rotated = true;
+                    // Two-by-two symmetric Schur decomposition (native
+                    // scalar math mirrors the rotation *parameters* being
+                    // computed in the sequencer; the O(m) column updates
+                    // below go through the FPU).
+                    let zeta = (aqq - app) / (2.0 * apq);
+                    let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = c * t;
+                    rotate_columns(fpu, &mut work, p, q, c, s);
+                    rotate_columns(fpu, &mut v, p, q, c, s);
+                }
+            }
+            if !rotated {
+                converged = true;
+                break;
+            }
+        }
+        if !converged {
+            return Err(LinalgError::DidNotConverge { iterations: MAX_SWEEPS });
+        }
+        // Singular values are the column norms of the rotated matrix; U is
+        // the normalized columns.
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut sigma_raw = vec![0.0; n];
+        for (j, s) in sigma_raw.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for i in 0..m {
+                let sq = fpu.mul(work[(i, j)], work[(i, j)]);
+                acc = fpu.add(acc, sq);
+            }
+            *s = fpu.sqrt(acc);
+            if !s.is_finite() {
+                return Err(LinalgError::NotFinite);
+            }
+        }
+        order.sort_by(|&a, &b| {
+            sigma_raw[b].partial_cmp(&sigma_raw[a]).expect("singular values are finite")
+        });
+        let mut u = Matrix::zeros(m, n);
+        let mut sigma = vec![0.0; n];
+        let mut v_sorted = Matrix::zeros(n, n);
+        for (new_j, &old_j) in order.iter().enumerate() {
+            sigma[new_j] = sigma_raw[old_j];
+            for i in 0..m {
+                u[(i, new_j)] = if sigma_raw[old_j] > 0.0 {
+                    fpu.div(work[(i, old_j)], sigma_raw[old_j])
+                } else {
+                    0.0
+                };
+            }
+            for i in 0..n {
+                v_sorted[(i, new_j)] = v[(i, old_j)];
+            }
+        }
+        Ok(SvdFactorization { u, sigma, v: v_sorted })
+    }
+
+    /// The left singular vectors `U` (`m × n`).
+    pub fn u(&self) -> &Matrix {
+        &self.u
+    }
+
+    /// The singular values in descending order.
+    pub fn singular_values(&self) -> &[f64] {
+        &self.sigma
+    }
+
+    /// The right singular vectors `V` (`n × n`).
+    pub fn v(&self) -> &Matrix {
+        &self.v
+    }
+
+    /// Solves `min ‖A x − b‖` via the pseudoinverse `x = V Σ⁺ Uᵀ b`.
+    ///
+    /// Singular values below `rcond × σ_max` are treated as zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != m`.
+    pub fn solve<F: Fpu>(
+        &self,
+        fpu: &mut F,
+        b: &[f64],
+        rcond: f64,
+    ) -> Result<Vec<f64>, LinalgError> {
+        let utb = self.u.matvec_t(fpu, b)?;
+        let cutoff = rcond * self.sigma.first().copied().unwrap_or(0.0);
+        let scaled: Vec<f64> = utb
+            .iter()
+            .zip(&self.sigma)
+            .map(|(&c, &s)| if s > cutoff { fpu.div(c, s) } else { 0.0 })
+            .collect();
+        self.v.matvec(fpu, &scaled)
+    }
+}
+
+/// Applies a Givens rotation to columns `p` and `q` through the FPU.
+fn rotate_columns<F: Fpu>(fpu: &mut F, a: &mut Matrix, p: usize, q: usize, c: f64, s: f64) {
+    for i in 0..a.rows() {
+        let aip = a[(i, p)];
+        let aiq = a[(i, q)];
+        let cp = fpu.mul(c, aip);
+        let sq = fpu.mul(s, aiq);
+        a[(i, p)] = fpu.sub(cp, sq);
+        let sp = fpu.mul(s, aip);
+        let cq = fpu.mul(c, aiq);
+        a[(i, q)] = fpu.add(sp, cq);
+    }
+}
+
+/// Solves `min ‖A x − b‖` by SVD — the paper's "Base: SVD" implementation,
+/// with the default pseudoinverse cutoff `rcond = 1e-12`.
+///
+/// # Errors
+///
+/// Propagates the errors of [`SvdFactorization::compute`] and
+/// [`SvdFactorization::solve`].
+///
+/// # Examples
+///
+/// ```
+/// use robustify_linalg::{lstsq_svd, Matrix};
+/// use stochastic_fpu::ReliableFpu;
+///
+/// # fn main() -> Result<(), robustify_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]])?;
+/// let x = lstsq_svd(&mut ReliableFpu::new(), &a, &[1.0, 2.0, 3.0])?;
+/// assert!((x[1] - 1.0).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+pub fn lstsq_svd<F: Fpu>(fpu: &mut F, a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    SvdFactorization::compute(fpu, a)?.solve(fpu, b, 1e-12)
+}
+
+/// The 2-norm condition number `σ_max / σ_min` of `a`, computed reliably.
+///
+/// # Errors
+///
+/// * [`LinalgError::Singular`] if the smallest singular value is zero.
+/// * Propagates [`SvdFactorization::compute`] errors.
+///
+/// # Examples
+///
+/// ```
+/// use robustify_linalg::{condition_number, Matrix};
+///
+/// # fn main() -> Result<(), robustify_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[10.0, 0.0], &[0.0, 0.1]])?;
+/// assert!((condition_number(&a)? - 100.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn condition_number(a: &Matrix) -> Result<f64, LinalgError> {
+    let mut fpu = stochastic_fpu::ReliableFpu::new();
+    let svd = SvdFactorization::compute(&mut fpu, a)?;
+    let max = svd.singular_values()[0];
+    let min = *svd.singular_values().last().expect("non-empty singular values");
+    if min == 0.0 {
+        return Err(LinalgError::Singular);
+    }
+    Ok(max / min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qr::lstsq_qr;
+    use stochastic_fpu::{BitFaultModel, FaultRate, NoisyFpu, ReliableFpu};
+
+    fn tall_matrix() -> Matrix {
+        Matrix::from_rows(&[
+            &[2.0, -1.0, 0.5],
+            &[1.0, 3.0, -2.0],
+            &[0.0, 1.0, 1.0],
+            &[4.0, 0.0, 2.0],
+            &[-1.0, 2.0, 0.0],
+        ])
+        .expect("valid rows")
+    }
+
+    #[test]
+    fn svd_reconstructs_a() {
+        let a = tall_matrix();
+        let mut fpu = ReliableFpu::new();
+        let svd = SvdFactorization::compute(&mut fpu, &a).expect("converges");
+        // Recompose U Σ Vᵀ.
+        let mut us = svd.u().clone();
+        for j in 0..3 {
+            for i in 0..5 {
+                us[(i, j)] *= svd.singular_values()[j];
+            }
+        }
+        let recon = us.matmul(&mut fpu, &svd.v().transpose()).expect("shapes match");
+        assert!(recon.max_abs_diff(&a) < 1e-10);
+    }
+
+    #[test]
+    fn u_and_v_are_orthonormal() {
+        let a = tall_matrix();
+        let mut fpu = ReliableFpu::new();
+        let svd = SvdFactorization::compute(&mut fpu, &a).expect("converges");
+        assert!(svd.u().gram(&mut fpu).max_abs_diff(&Matrix::identity(3)) < 1e-10);
+        assert!(svd.v().gram(&mut fpu).max_abs_diff(&Matrix::identity(3)) < 1e-10);
+    }
+
+    #[test]
+    fn singular_values_descend_and_match_diagonal_case() {
+        let a = Matrix::from_rows(&[&[0.5, 0.0], &[0.0, 7.0], &[0.0, 0.0]]).expect("valid rows");
+        let svd = SvdFactorization::compute(&mut ReliableFpu::new(), &a).expect("converges");
+        assert!((svd.singular_values()[0] - 7.0).abs() < 1e-12);
+        assert!((svd.singular_values()[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lstsq_agrees_with_qr() {
+        let a = tall_matrix();
+        let b = [1.0, 0.0, 2.0, -1.0, 3.0];
+        let mut fpu = ReliableFpu::new();
+        let x_svd = lstsq_svd(&mut fpu, &a, &b).expect("full rank");
+        let x_qr = lstsq_qr(&mut fpu, &a, &b).expect("full rank");
+        for (s, q) in x_svd.iter().zip(&x_qr) {
+            assert!((s - q).abs() < 1e-9, "svd {s} vs qr {q}");
+        }
+    }
+
+    #[test]
+    fn rank_deficient_solved_by_pseudoinverse() {
+        // Columns are linearly dependent; QR fails but SVD produces the
+        // minimum-norm solution.
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]).expect("valid rows");
+        let mut fpu = ReliableFpu::new();
+        let x = lstsq_svd(&mut fpu, &a, &[1.0, 2.0, 3.0]).expect("pseudoinverse");
+        // x = [0.2, 0.4] is the min-norm least squares solution.
+        assert!((x[0] - 0.2).abs() < 1e-10);
+        assert!((x[1] - 0.4).abs() < 1e-10);
+    }
+
+    #[test]
+    fn condition_number_of_identity_is_one() {
+        assert!((condition_number(&Matrix::identity(4)).expect("nonsingular") - 1.0) < 1e-12);
+    }
+
+    #[test]
+    fn condition_number_detects_singularity() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).expect("valid rows");
+        assert!(matches!(condition_number(&a), Err(LinalgError::Singular)));
+    }
+
+    #[test]
+    fn wide_matrix_rejected() {
+        assert!(SvdFactorization::compute(&mut ReliableFpu::new(), &Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn svd_terminates_under_heavy_faults() {
+        let a = tall_matrix();
+        for seed in 0..10 {
+            let mut fpu =
+                NoisyFpu::new(FaultRate::per_flop(0.3), BitFaultModel::emulated(), seed);
+            // Any outcome is fine — Ok with garbage, or a breakdown error —
+            // as long as it returns.
+            let _ = lstsq_svd(&mut fpu, &a, &[1.0, 0.0, 2.0, -1.0, 3.0]);
+        }
+    }
+
+    #[test]
+    fn zero_matrix_has_zero_singular_values() {
+        let a = Matrix::zeros(4, 2);
+        let svd = SvdFactorization::compute(&mut ReliableFpu::new(), &a).expect("trivial");
+        assert_eq!(svd.singular_values(), &[0.0, 0.0]);
+    }
+}

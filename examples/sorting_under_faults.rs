@@ -1,0 +1,54 @@
+//! A fragile application on a stochastic processor: sorting.
+//!
+//! Sorting is "traditionally not thought of as an application that is
+//! error tolerant" — one corrupted comparison and the output is wrong.
+//! This example runs quicksort and the robustified LP-based sort side by
+//! side across fault rates and reports success over repeated trials.
+//!
+//! ```sh
+//! cargo run --release --example sorting_under_faults
+//! ```
+
+use robustify::apps::harness::TrialConfig;
+use robustify::apps::sorting::{quicksort_baseline, SortProblem};
+use robustify::core::{AggressiveStepping, GradientGuard, Sgd, StepSchedule};
+use robustify::fpu::{BitFaultModel, FaultRate};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let problem = SortProblem::new(vec![7.5, -3.0, 142.0, 0.25, 11.0])?;
+    println!("input: {:?}", problem.input());
+    println!("{:>12} {:>14} {:>14}", "fault_rate_%", "quicksort_%", "robust_sgd_%");
+
+    for rate_pct in [0.5, 2.0, 5.0, 10.0, 20.0] {
+        let trials = 60;
+        let cfg = TrialConfig::new(
+            trials,
+            FaultRate::percent_of_flops(rate_pct),
+            BitFaultModel::emulated(),
+            7,
+        );
+        let baseline = cfg.success_rate(|fpu| {
+            let out = quicksort_baseline(fpu, problem.input());
+            problem.is_success(&out)
+        });
+
+        let cfg = TrialConfig::new(
+            trials,
+            FaultRate::percent_of_flops(rate_pct),
+            BitFaultModel::emulated(),
+            7,
+        );
+        // The paper's strongest sorting configuration: 1/sqrt(t) steps plus
+        // an aggressive-stepping tail.
+        let sgd = Sgd::new(10_000, StepSchedule::Sqrt { gamma0: 0.1 })
+            .with_guard(GradientGuard::Adaptive { factor: 3.0, reject: 30.0 })
+            .with_aggressive_stepping(AggressiveStepping::default());
+        let robust = cfg.success_rate(|fpu| {
+            let (out, _) = problem.solve_sgd(&sgd, fpu);
+            problem.is_success(&out)
+        });
+
+        println!("{rate_pct:>12} {baseline:>14.1} {robust:>14.1}");
+    }
+    Ok(())
+}

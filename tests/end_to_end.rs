@@ -1,0 +1,216 @@
+//! End-to-end robustification pipelines across every crate of the
+//! workspace, at fixed fault rates with fixed seeds.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use robustify::apps::apsp::ApspProblem;
+use robustify::apps::harness::TrialConfig;
+use robustify::apps::iir::IirFilter;
+use robustify::apps::least_squares::LeastSquares;
+use robustify::apps::matching::MatchingProblem;
+use robustify::apps::maxflow::MaxFlowProblem;
+use robustify::apps::sorting::SortProblem;
+use robustify::core::{
+    AggressiveStepping, Annealing, GradientGuard, Sgd, StepSchedule,
+};
+use robustify::fpu::{BitFaultModel, FaultRate, Fpu, NoisyFpu, ReliableFpu};
+use robustify::graph::generators::{
+    random_bipartite, random_flow_network, random_strongly_connected,
+};
+
+const RATE_2PCT: f64 = 0.02;
+
+#[test]
+fn robust_least_squares_beats_every_baseline_at_2pct() {
+    let problem = LeastSquares::random(&mut StdRng::seed_from_u64(1), 100, 10);
+    let cfg = TrialConfig::new(
+        8,
+        FaultRate::per_flop(RATE_2PCT),
+        BitFaultModel::emulated(),
+        77,
+    );
+    let sgd = Sgd::new(1000, StepSchedule::Linear { gamma0: problem.default_gamma0() })
+        .with_aggressive_stepping(AggressiveStepping::default());
+    let robust = cfg.metric_summary(|fpu| {
+        let report = problem.solve_sgd(&sgd, fpu);
+        problem.residual_relative_error(&report.x)
+    });
+    assert!(robust.median() < 0.1, "robust median error {}", robust.median());
+
+    for (name, solver) in [
+        ("svd", &LeastSquares::solve_svd::<NoisyFpu> as &dyn Fn(&LeastSquares, &mut NoisyFpu) -> _),
+        ("qr", &LeastSquares::solve_qr::<NoisyFpu>),
+        ("cholesky", &LeastSquares::solve_cholesky::<NoisyFpu>),
+    ] {
+        let cfg = TrialConfig::new(
+            8,
+            FaultRate::per_flop(RATE_2PCT),
+            BitFaultModel::emulated(),
+            77,
+        );
+        let baseline = cfg.metric_summary(|fpu| match solver(&problem, fpu) {
+            Ok(x) => problem.residual_relative_error(&x),
+            Err(_) => f64::INFINITY,
+        });
+        assert!(
+            baseline.median() > robust.median() * 10.0,
+            "{name} baseline median {} unexpectedly competitive with robust {}",
+            baseline.median(),
+            robust.median()
+        );
+    }
+}
+
+#[test]
+fn robust_sort_high_success_at_5pct() {
+    let cfg =
+        TrialConfig::new(20, FaultRate::per_flop(0.05), BitFaultModel::emulated(), 9);
+    let sgd = Sgd::new(10_000, StepSchedule::Sqrt { gamma0: 0.1 })
+        .with_guard(GradientGuard::Adaptive { factor: 3.0, reject: 30.0 })
+        .with_aggressive_stepping(AggressiveStepping::default());
+    let mut idx = 0u64;
+    let success = cfg.success_rate(|fpu| {
+        idx += 1;
+        let problem = SortProblem::random(&mut StdRng::seed_from_u64(idx * 101), 5);
+        let (out, _) = problem.solve_sgd(&sgd, fpu);
+        problem.is_success(&out)
+    });
+    assert!(success >= 70.0, "robust sort success {success}% at 5%");
+}
+
+#[test]
+fn robust_matching_high_success_at_10pct_with_annealing() {
+    let cfg =
+        TrialConfig::new(12, FaultRate::per_flop(0.10), BitFaultModel::emulated(), 5);
+    let sgd = Sgd::new(10_000, StepSchedule::Sqrt { gamma0: 0.05 })
+        .with_annealing(Annealing::default())
+        .with_aggressive_stepping(AggressiveStepping::default());
+    let mut idx = 0u64;
+    let success = cfg.success_rate(|fpu| {
+        idx += 1;
+        let problem =
+            MatchingProblem::new(random_bipartite(&mut StdRng::seed_from_u64(idx * 31), 5, 6, 30));
+        let (m, _) = problem.solve_sgd(&sgd, fpu);
+        problem.is_success(&m)
+    });
+    assert!(success >= 60.0, "robust matching success {success}% at 10%");
+}
+
+#[test]
+fn robust_iir_orders_of_magnitude_better_at_1pct() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let filter = IirFilter::random_stable(&mut rng, 4, 2);
+    let u: Vec<f64> = (0..300).map(|i| ((i as f64) * 0.31).sin()).collect();
+    let y_ref = filter.reference(&u);
+    let gamma0 = filter.default_gamma0(u.len()).expect("signal longer than taps");
+
+    let cfg =
+        TrialConfig::new(6, FaultRate::per_flop(0.01), BitFaultModel::emulated(), 13);
+    let baseline = cfg.metric_summary(|fpu| {
+        let y = filter.apply_direct(fpu, &u);
+        filter.error_to_signal(&y, &y_ref)
+    });
+    let cfg =
+        TrialConfig::new(6, FaultRate::per_flop(0.01), BitFaultModel::emulated(), 13);
+    let sgd = Sgd::new(1500, StepSchedule::Sqrt { gamma0 })
+        .with_guard(GradientGuard::ClampComponents { max_abs: 1.0 });
+    let robust = cfg.metric_summary(|fpu| {
+        let report = filter.solve_sgd(&u, &sgd, fpu).expect("signal longer than taps");
+        filter.error_to_signal(&report.x, &y_ref)
+    });
+    assert!(
+        robust.median() * 10.0 < baseline.median().min(1e12),
+        "robust {} vs baseline {}",
+        robust.median(),
+        baseline.median()
+    );
+}
+
+#[test]
+fn robust_maxflow_small_error_at_1pct() {
+    let problem = MaxFlowProblem::new(random_flow_network(
+        &mut StdRng::seed_from_u64(13),
+        6,
+        8,
+    ))
+    .expect("non-empty network");
+    let cfg =
+        TrialConfig::new(5, FaultRate::per_flop(0.01), BitFaultModel::emulated(), 3);
+    let sgd = Sgd::new(8000, StepSchedule::Sqrt { gamma0: 0.02 })
+        .with_annealing(Annealing::default());
+    let summary = cfg.metric_summary(|fpu| {
+        let (value, _) = problem.solve_sgd(&sgd, fpu);
+        problem.relative_error(value)
+    });
+    assert!(summary.median() < 0.3, "maxflow median error {}", summary.median());
+}
+
+#[test]
+fn robust_apsp_small_error_at_1pct() {
+    let problem = ApspProblem::new(random_strongly_connected(
+        &mut StdRng::seed_from_u64(11),
+        5,
+        5,
+    ))
+    .expect("strongly connected");
+    let cfg =
+        TrialConfig::new(5, FaultRate::per_flop(0.01), BitFaultModel::emulated(), 3);
+    let sgd = Sgd::new(8000, StepSchedule::Sqrt { gamma0: 0.02 })
+        .with_annealing(Annealing::default())
+        .with_guard(GradientGuard::Adaptive { factor: 10.0, reject: 100.0 });
+    let summary = cfg.metric_summary(|fpu| {
+        let (d, _) = problem.solve_sgd(&sgd, fpu);
+        problem.mean_relative_error(&d)
+    });
+    assert!(summary.median() < 0.3, "apsp median error {}", summary.median());
+}
+
+#[test]
+fn energy_pipeline_cg_beats_cholesky_for_loose_targets() {
+    // The Figure 6.7 conclusion as an assertion: at a loose accuracy target
+    // there is an overscaled operating point where CG costs less energy
+    // than nominal-voltage Cholesky.
+    let problem = LeastSquares::random(&mut StdRng::seed_from_u64(1), 100, 10);
+    let model = robustify::fpu::VoltageErrorModel::paper_figure_5_2();
+
+    let mut fpu = ReliableFpu::new();
+    problem.solve_cholesky(&mut fpu).expect("full rank");
+    let baseline_energy = model.energy(fpu.flops(), model.nominal_voltage());
+
+    let v = 0.8;
+    let mut fpu = NoisyFpu::new(model.fault_rate_at(v), BitFaultModel::emulated(), 2);
+    let report = problem.solve_cg(3, &mut fpu);
+    let energy = model.energy(report.flops, v);
+    assert!(
+        problem.residual_relative_error(&report.x) < 1e-2,
+        "accuracy target missed: {}",
+        problem.residual_relative_error(&report.x)
+    );
+    assert!(
+        energy < baseline_energy,
+        "overscaled CG energy {energy} not below baseline {baseline_energy}"
+    );
+}
+
+#[test]
+fn whole_stack_is_deterministic_per_seed() {
+    let run = |seed: u64| {
+        let problem = LeastSquares::random(&mut StdRng::seed_from_u64(3), 30, 5);
+        let mut fpu =
+            NoisyFpu::new(FaultRate::per_flop(0.02), BitFaultModel::emulated(), seed);
+        let report = problem.solve_sgd_default(&mut fpu);
+        (report.x, fpu.faults())
+    };
+    assert_eq!(run(9), run(9));
+    assert_ne!(run(9).0, run(10).0);
+}
+
+#[test]
+fn facade_reexports_are_usable() {
+    // Compile-time sanity that the facade exposes each crate.
+    let _ = robustify::fpu::ReliableFpu::new();
+    let _ = robustify::linalg::Matrix::identity(2);
+    let _ = robustify::core::StepSchedule::Fixed(0.1);
+    let _ = robustify::graph::DiGraph::new(2, vec![(0, 1, 1.0)]).expect("valid graph");
+    let _ = robustify::apps::sorting::SortProblem::new(vec![1.0]).expect("non-empty");
+}
