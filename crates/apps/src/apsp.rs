@@ -71,7 +71,11 @@ impl ApspProblem {
             .iter()
             .map(|&(_, _, w)| w)
             .fold(1e-12f64, f64::max);
-        Ok(ApspProblem { graph, reference, length_scale })
+        Ok(ApspProblem {
+            graph,
+            reference,
+            length_scale,
+        })
     }
 
     /// The underlying graph.
@@ -159,12 +163,11 @@ impl ApspProblem {
         }
         let mut total = 0.0;
         let mut count = 0usize;
-        for i in 0..n {
-            for j in 0..n {
+        for (i, row) in d.iter().enumerate() {
+            for (j, &got) in row.iter().enumerate() {
                 if i == j {
                     continue;
                 }
-                let got = d[i][j];
                 if !got.is_finite() {
                     return f64::INFINITY;
                 }
@@ -201,8 +204,7 @@ mod tests {
         // The true (scaled) distance matrix must be feasible with objective
         // −Σ D_ij; any larger D would violate a relaxation constraint.
         let scale = 5.0;
-        let flat: Vec<f64> =
-            p.reference().iter().flatten().map(|&v| v / scale).collect();
+        let flat: Vec<f64> = p.reference().iter().flatten().map(|&v| v / scale).collect();
         assert!(lp.violation(&flat) < 1e-12, "true distances infeasible");
         // Perturbing any entry upward violates feasibility.
         let n = 3;
@@ -221,8 +223,8 @@ mod tests {
     #[test]
     fn sgd_recovers_distances_reliably() {
         let p = triangle();
-        let sgd = Sgd::new(8000, StepSchedule::Sqrt { gamma0: 0.05 })
-            .with_annealing(Default::default());
+        let sgd =
+            Sgd::new(8000, StepSchedule::Sqrt { gamma0: 0.05 }).with_annealing(Default::default());
         let (d, _) = p.solve_sgd(&sgd, &mut ReliableFpu::new());
         let err = p.mean_relative_error(&d);
         assert!(err < 0.1, "mean relative error {err}, d = {d:?}");
@@ -236,18 +238,23 @@ mod tests {
         for seed in 0..runs {
             let sgd = Sgd::new(8000, StepSchedule::Sqrt { gamma0: 0.05 })
                 .with_annealing(Default::default());
-            let mut fpu =
-                NoisyFpu::new(FaultRate::per_flop(0.01), BitFaultModel::emulated(), seed);
+            let mut fpu = NoisyFpu::new(FaultRate::per_flop(0.01), BitFaultModel::emulated(), seed);
             let (d, _) = p.solve_sgd(&sgd, &mut fpu);
             total += p.mean_relative_error(&d).min(10.0);
         }
-        assert!(total / (runs as f64) < 1.0, "mean relative error {}", total / runs as f64);
+        assert!(
+            total / (runs as f64) < 1.0,
+            "mean relative error {}",
+            total / runs as f64
+        );
     }
 
     #[test]
     fn baseline_is_exact_reliably() {
         let p = triangle();
-        let d = p.solve_baseline(&mut ReliableFpu::new()).expect("reliable run");
+        let d = p
+            .solve_baseline(&mut ReliableFpu::new())
+            .expect("reliable run");
         assert_eq!(p.mean_relative_error(&d), 0.0);
     }
 

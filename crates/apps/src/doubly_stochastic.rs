@@ -65,20 +65,20 @@ impl DoublyStochasticCost {
     ///
     /// Returns [`CoreError::InvalidConfig`] if either penalty weight is not
     /// positive and finite.
-    pub fn new(
-        payoff: Matrix,
-        mu1: f64,
-        mu2: f64,
-        kind: PenaltyKind,
-    ) -> Result<Self, CoreError> {
+    pub fn new(payoff: Matrix, mu1: f64, mu2: f64, kind: PenaltyKind) -> Result<Self, CoreError> {
         for (name, mu) in [("mu1", mu1), ("mu2", mu2)] {
-            if !(mu > 0.0) || !mu.is_finite() {
+            if !mu.is_finite() || mu <= 0.0 {
                 return Err(CoreError::invalid_config(format!(
                     "{name} must be positive and finite, got {mu}"
                 )));
             }
         }
-        Ok(DoublyStochasticCost { payoff, mu1, mu2, kind })
+        Ok(DoublyStochasticCost {
+            payoff,
+            mu1,
+            mu2,
+            kind,
+        })
     }
 
     /// The payoff matrix `P`.
@@ -118,8 +118,7 @@ impl DoublyStochasticCost {
         let (r, c) = (self.rows(), self.cols());
         let n = r * c;
         let payoff = &self.payoff;
-        let neg_p: Vec<f64> =
-            (0..n).map(|k| -payoff[(k / c, k % c)]).collect();
+        let neg_p: Vec<f64> = (0..n).map(|k| -payoff[(k / c, k % c)]).collect();
         // Row-sum rows then column-sum rows, all ≤ 1.
         let a = Matrix::from_fn(r + c, n, |cons, k| {
             let (i, j) = (k / c, k % c);
@@ -294,7 +293,10 @@ impl CostFunction for DoublyStochasticCost {
     }
 
     fn anneal(&mut self, factor: f64) {
-        assert!(factor > 0.0 && factor.is_finite(), "anneal factor must be positive");
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "anneal factor must be positive"
+        );
         // Saturated as in `PenaltyCost::anneal`.
         self.mu1 = (self.mu1 * factor).min(1e9);
         self.mu2 = (self.mu2 * factor).min(1e9);
@@ -352,8 +354,7 @@ mod tests {
                 let mut xm = x.to_vec();
                 xp[i] += h;
                 xm[i] -= h;
-                let fd =
-                    (cost.cost(&xp, &mut fpu) - cost.cost(&xm, &mut fpu)) / (2.0 * h);
+                let fd = (cost.cost(&xp, &mut fpu) - cost.cost(&xm, &mut fpu)) / (2.0 * h);
                 assert!(
                     (grad[i] - fd).abs() < 1e-4 * (1.0 + fd.abs()),
                     "{kind:?} lane {i}: {} vs {fd}",
@@ -378,7 +379,10 @@ mod tests {
         ] {
             let a = cost.cost(&x, &mut fpu);
             let b = generic.cost(&x, &mut fpu);
-            assert!((a - b).abs() < 1e-9, "specialized {a} vs generic {b} at {x:?}");
+            assert!(
+                (a - b).abs() < 1e-9,
+                "specialized {a} vs generic {b} at {x:?}"
+            );
             let mut ga = vec![0.0; 4];
             let mut gb = vec![0.0; 4];
             cost.gradient(&x, &mut fpu, &mut ga);

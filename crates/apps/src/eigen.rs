@@ -50,7 +50,10 @@ impl RayleighCost {
     /// or `mu` is not positive and finite.
     pub fn new(a: Matrix, mu: f64) -> Result<Self, CoreError> {
         if !a.is_square() {
-            return Err(CoreError::shape("square matrix", format!("{}x{}", a.rows(), a.cols())));
+            return Err(CoreError::shape(
+                "square matrix",
+                format!("{}x{}", a.rows(), a.cols()),
+            ));
         }
         for i in 0..a.rows() {
             for j in 0..i {
@@ -59,7 +62,7 @@ impl RayleighCost {
                 }
             }
         }
-        if !(mu > 0.0) || !mu.is_finite() {
+        if !mu.is_finite() || mu <= 0.0 {
             return Err(CoreError::invalid_config(format!(
                 "penalty weight must be positive and finite, got {mu}"
             )));
@@ -107,7 +110,10 @@ impl CostFunction for RayleighCost {
     }
 
     fn anneal(&mut self, factor: f64) {
-        assert!(factor > 0.0 && factor.is_finite(), "anneal factor must be positive");
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "anneal factor must be positive"
+        );
         // Saturated as in `PenaltyCost::anneal`.
         self.mu = (self.mu * factor).min(1e9);
     }
@@ -150,7 +156,10 @@ impl EigenProblem {
         // Validate symmetry by constructing the cost once.
         let _ = RayleighCost::new(a.clone(), 1.0)?;
         let (lambda, _) = power_iteration(&mut ReliableFpu::new(), &a, 500);
-        Ok(EigenProblem { a, top_eigenvalue: lambda })
+        Ok(EigenProblem {
+            a,
+            top_eigenvalue: lambda,
+        })
     }
 
     /// Generates a random symmetric matrix problem with entries in
@@ -251,7 +260,10 @@ impl EigenProblem {
         fpu: &mut F,
     ) -> Vec<(f64, Vec<f64>)> {
         let n = self.a.rows();
-        assert!(k <= n, "cannot extract {k} eigenpairs from a {n}x{n} matrix");
+        assert!(
+            k <= n,
+            "cannot extract {k} eigenpairs from a {n}x{n} matrix"
+        );
         let mut pairs = Vec::with_capacity(k);
         let mut current = self.clone();
         for _ in 0..k {
@@ -304,10 +316,8 @@ mod tests {
 
     fn two_by_two() -> EigenProblem {
         // Eigenvalues 4 and 2, top eigenvector (1, 1)/√2.
-        EigenProblem::new(
-            Matrix::from_rows(&[&[3.0, 1.0], &[1.0, 3.0]]).expect("valid rows"),
-        )
-        .expect("symmetric")
+        EigenProblem::new(Matrix::from_rows(&[&[3.0, 1.0], &[1.0, 3.0]]).expect("valid rows"))
+            .expect("symmetric")
     }
 
     #[test]
@@ -360,12 +370,15 @@ mod tests {
         let runs = 5;
         for seed in 0..runs {
             let sgd = Sgd::new(4000, StepSchedule::Sqrt { gamma0: 0.02 });
-            let mut fpu =
-                NoisyFpu::new(FaultRate::per_flop(0.01), BitFaultModel::emulated(), seed);
+            let mut fpu = NoisyFpu::new(FaultRate::per_flop(0.01), BitFaultModel::emulated(), seed);
             let (lambda, _, _) = p.solve_sgd(&sgd, &mut fpu);
             total += p.relative_error(lambda).min(10.0);
         }
-        assert!(total / (runs as f64) < 0.5, "mean relative error {}", total / runs as f64);
+        assert!(
+            total / (runs as f64) < 0.5,
+            "mean relative error {}",
+            total / runs as f64
+        );
     }
 
     #[test]
@@ -387,8 +400,7 @@ mod tests {
         assert!((pairs[0].0 - 4.0).abs() < 0.05, "lambda1 {}", pairs[0].0);
         assert!((pairs[1].0 - 2.0).abs() < 0.05, "lambda2 {}", pairs[1].0);
         // Eigenvectors of a symmetric matrix are orthogonal.
-        let dot: f64 =
-            pairs[0].1.iter().zip(&pairs[1].1).map(|(a, b)| a * b).sum();
+        let dot: f64 = pairs[0].1.iter().zip(&pairs[1].1).map(|(a, b)| a * b).sum();
         assert!(dot.abs() < 0.05, "eigenvectors not orthogonal: {dot}");
     }
 
@@ -396,8 +408,7 @@ mod tests {
     fn deflation_survives_moderate_faults() {
         let p = EigenProblem::random(&mut StdRng::seed_from_u64(6), 5);
         let sgd = Sgd::new(3000, StepSchedule::Sqrt { gamma0: 0.02 });
-        let mut fpu =
-            NoisyFpu::new(FaultRate::per_flop(0.01), BitFaultModel::emulated(), 8);
+        let mut fpu = NoisyFpu::new(FaultRate::per_flop(0.01), BitFaultModel::emulated(), 8);
         let pairs = p.solve_top_k_sgd(2, &sgd, &mut fpu);
         // The top eigenvalue estimate stays in the ballpark.
         assert!(

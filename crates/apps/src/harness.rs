@@ -39,7 +39,12 @@ impl TrialConfig {
     /// Panics if `trials == 0`.
     pub fn new(trials: usize, rate: FaultRate, model: BitFaultModel, base_seed: u64) -> Self {
         assert!(trials > 0, "need at least one trial");
-        TrialConfig { trials, rate, model, base_seed }
+        TrialConfig {
+            trials,
+            rate,
+            model,
+            base_seed,
+        }
     }
 
     /// Number of trials per point.
@@ -172,7 +177,12 @@ mod tests {
     use stochastic_fpu::Fpu;
 
     fn config(trials: usize) -> TrialConfig {
-        TrialConfig::new(trials, FaultRate::per_flop(0.5), BitFaultModel::emulated(), 7)
+        TrialConfig::new(
+            trials,
+            FaultRate::per_flop(0.5),
+            BitFaultModel::emulated(),
+            7,
+        )
     }
 
     #[test]
@@ -195,10 +205,12 @@ mod tests {
     #[test]
     fn trials_are_deterministic_and_distinct() {
         let cfg = config(10);
-        let a: Vec<u64> =
-            (0..10).map(|i| stream_fingerprint(&mut cfg.fpu_for_trial(i))).collect();
-        let b: Vec<u64> =
-            (0..10).map(|i| stream_fingerprint(&mut cfg.fpu_for_trial(i))).collect();
+        let a: Vec<u64> = (0..10)
+            .map(|i| stream_fingerprint(&mut cfg.fpu_for_trial(i)))
+            .collect();
+        let b: Vec<u64> = (0..10)
+            .map(|i| stream_fingerprint(&mut cfg.fpu_for_trial(i)))
+            .collect();
         assert_eq!(a, b, "same seeds give same streams");
         let distinct: std::collections::HashSet<u64> = a.iter().copied().collect();
         assert!(distinct.len() >= 9, "per-trial streams should differ");

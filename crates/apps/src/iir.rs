@@ -51,7 +51,9 @@ impl IirFilter {
             return Err(CoreError::invalid_config("taps must be finite"));
         }
         if b[0] == 0.0 {
-            return Err(CoreError::invalid_config("leading denominator tap b0 must be non-zero"));
+            return Err(CoreError::invalid_config(
+                "leading denominator tap b0 must be non-zero",
+            ));
         }
         Ok(IirFilter { a, b })
     }
@@ -75,7 +77,9 @@ impl IirFilter {
             let quad = [1.0, -2.0 * r * theta.cos(), r * r];
             b = convolve(&b, &quad);
         }
-        let a = (0..numerator_taps).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let a = (0..numerator_taps)
+            .map(|_| rng.random_range(-1.0..1.0))
+            .collect();
         Self::new(a, b).expect("constructed taps are finite with b0 = 1")
     }
 
@@ -157,15 +161,54 @@ impl IirFilter {
     ) -> Result<SolveReport, CoreError> {
         let (b_mat, au) = self.to_least_squares(u)?;
         let mut x0 = self.apply_direct(fpu, u);
-        // Control-plane sanitization of the warm start: a fault in the
-        // feedback recursion poisons every later sample (an astronomic but
-        // *finite* tail no clipped gradient could walk back). The output of
-        // a stable filter is bounded by a modest multiple of its input
-        // drive `Au`, so anything far beyond that scale is surely corrupt.
-        let drive = au.iter().fold(0.0f64, |m, v| m.max(v.abs()));
-        let cap = 1e3 * (drive + 1.0);
+        // Control-plane sanitization of the warm start, in two stages.
+        //
+        // Stage 1 — magnitude cap: the true output obeys
+        // `‖y‖∞ ≤ ‖h‖₁ ‖u‖∞` with `h` the filter's impulse response
+        // (computed reliably over the signal length). Samples beyond that
+        // bound are surely corrupt and would overflow the residual check
+        // below; they restart from zero.
+        let h = self.reference(&unit_impulse(u.len()));
+        let gain: f64 = h.iter().map(|v| v.abs()).sum();
+        let peak = u.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        let cap = 1.001 * gain * peak + 1e-9;
         for v in &mut x0 {
             if !v.is_finite() || v.abs() > cap {
+                *v = 0.0;
+            }
+        }
+        // Stage 2 — fault rollback: every FPU fault in the feed-forward
+        // recursion lands as an additive error on exactly one output sample
+        // and then propagates homogeneously through the feedback taps — so
+        // the reliable residual `r = B x0 − A u` is a spike train with one
+        // spike of height `b0 δ` per fault (and per sample zeroed above).
+        // Rolling back the spikes beyond the solver's reach
+        // (`e = B⁻¹ r_spikes` by banded forward substitution) removes
+        // exactly the corrupt tails a clipped gradient could never walk
+        // back within its iteration budget, while sub-threshold faults are
+        // left for SGD — the data-plane solve the methodology is about.
+        let mut setup = ReliableFpu::new();
+        let residual = b_mat.residual(&mut setup, &x0, &au)?;
+        let drive = au.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        // A residual spike of height `b0 δ` grows into a tail of peak
+        // `≈ δ ‖B⁻¹‖` — resonant filters amplify it well beyond δ — while a
+        // clipped-gradient solver moves each component at most
+        // `Σ γ_t · max_abs` over its whole budget. 1% of the drive scale
+        // keeps the surviving tails inside a typical budget without
+        // repairing the small-fault noise SGD is there to absorb.
+        let threshold = 0.01 * self.b[0].abs() * (1.0 + drive);
+        let spikes: Vec<f64> = residual
+            .iter()
+            .map(|&r| if r.abs() > threshold { r } else { 0.0 })
+            .collect();
+        if spikes.iter().any(|&s| s != 0.0) {
+            let tails = b_mat.forward_solve(&mut setup, &spikes)?;
+            for (x, e) in x0.iter_mut().zip(&tails) {
+                *x -= e;
+            }
+        }
+        for v in &mut x0 {
+            if !v.is_finite() {
                 *v = 0.0;
             }
         }
@@ -258,13 +301,20 @@ impl BandedResidualCost {
     ///
     /// Panics if `rhs.len() != b.dim()`.
     pub fn new(b: BandedMatrix, rhs: Vec<f64>) -> Self {
-        assert_eq!(rhs.len(), b.dim(), "rhs length must match the matrix dimension");
+        assert_eq!(
+            rhs.len(),
+            b.dim(),
+            "rhs length must match the matrix dimension"
+        );
         BandedResidualCost { b, rhs }
     }
 
     fn residual<F: Fpu>(&self, x: &[f64], fpu: &mut F) -> Vec<f64> {
         let bx = self.b.matvec(fpu, x).expect("x has dim() entries");
-        bx.iter().zip(&self.rhs).map(|(&bxi, &ri)| fpu.sub(bxi, ri)).collect()
+        bx.iter()
+            .zip(&self.rhs)
+            .map(|(&bxi, &ri)| fpu.sub(bxi, ri))
+            .collect()
     }
 }
 
@@ -285,6 +335,16 @@ impl CostFunction for BandedResidualCost {
             *g = fpu.mul(2.0, v);
         }
     }
+}
+
+/// A length-`t` unit impulse — probe signal for the reliable impulse
+/// response used to bound the warm start.
+fn unit_impulse(t: usize) -> Vec<f64> {
+    let mut e = vec![0.0; t];
+    if let Some(first) = e.first_mut() {
+        *first = 1.0;
+    }
+    e
 }
 
 /// Polynomial (tap) convolution with native arithmetic — used only during
@@ -404,7 +464,11 @@ mod tests {
         let y_ref = vec![3.0, 4.0];
         assert_eq!(f.error_to_signal(&y_ref, &y_ref), 0.0);
         assert_eq!(f.error_to_signal(&[f64::NAN, 0.0], &y_ref), f64::INFINITY);
-        assert_eq!(f.error_to_signal(&[0.0], &y_ref), f64::INFINITY, "length mismatch");
+        assert_eq!(
+            f.error_to_signal(&[0.0], &y_ref),
+            f64::INFINITY,
+            "length mismatch"
+        );
         assert!((f.error_to_signal(&[3.0, 5.0], &y_ref) - 0.2).abs() < 1e-12);
     }
 
@@ -415,6 +479,9 @@ mod tests {
         assert!(IirFilter::new(vec![1.0], vec![0.0, 1.0]).is_err());
         assert!(IirFilter::new(vec![f64::NAN], vec![1.0]).is_err());
         let f = lowpass();
-        assert!(f.to_least_squares(&[1.0]).is_err(), "signal shorter than taps");
+        assert!(
+            f.to_least_squares(&[1.0]).is_err(),
+            "signal shorter than taps"
+        );
     }
 }

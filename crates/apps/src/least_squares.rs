@@ -8,9 +8,7 @@ use rand::{Rng, RngExt};
 use robustify_core::{
     CgLeastSquares, CgReport, CoreError, QuadraticResidualCost, Sgd, SolveReport, StepSchedule,
 };
-use robustify_linalg::{
-    lstsq_cholesky, lstsq_qr, lstsq_svd, LinalgError, Matrix, QrFactorization,
-};
+use robustify_linalg::{lstsq_cholesky, lstsq_qr, lstsq_svd, LinalgError, Matrix, QrFactorization};
 use stochastic_fpu::{Fpu, ReliableFpu};
 
 /// A least squares problem `min ‖A x − b‖` with robust (SGD, CG) and
@@ -97,7 +95,10 @@ impl LeastSquares {
     /// Panics if `m < n`, `n == 0`, or `cond < 1`.
     pub fn random_with_condition<R: Rng>(rng: &mut R, m: usize, n: usize, cond: f64) -> Self {
         assert!(m >= n && n > 0, "need m >= n > 0, got {m}x{n}");
-        assert!(cond >= 1.0, "condition number must be at least 1, got {cond}");
+        assert!(
+            cond >= 1.0,
+            "condition number must be at least 1, got {cond}"
+        );
         let mut fpu = ReliableFpu::new();
         let orthonormal = |rng: &mut R, rows: usize, cols: usize, fpu: &mut ReliableFpu| {
             let raw = Matrix::from_fn(rows, cols, |i, j| {
@@ -113,7 +114,11 @@ impl LeastSquares {
         // Singular values log-spaced from 1 down to 1/cond.
         let mut us = u;
         for j in 0..n {
-            let t = if n == 1 { 0.0 } else { j as f64 / (n - 1) as f64 };
+            let t = if n == 1 {
+                0.0
+            } else {
+                j as f64 / (n - 1) as f64
+            };
             let sigma = cond.powf(-t);
             for i in 0..m {
                 us[(i, j)] *= sigma;
@@ -155,7 +160,12 @@ impl LeastSquares {
     /// SGD with linear (`1/t`) step scaling.
     pub fn solve_sgd_default<F: Fpu>(&self, fpu: &mut F) -> SolveReport {
         self.solve_sgd(
-            &Sgd::new(1000, StepSchedule::Linear { gamma0: self.default_gamma0() }),
+            &Sgd::new(
+                1000,
+                StepSchedule::Linear {
+                    gamma0: self.default_gamma0(),
+                },
+            ),
             fpu,
         )
     }
@@ -178,7 +188,10 @@ impl LeastSquares {
         let mut lambda = 0.0;
         for _ in 0..15 {
             let av = self.a.matvec(&mut fpu, &v).expect("v has dim() entries");
-            let atav = self.a.matvec_t(&mut fpu, &av).expect("Av has rows() entries");
+            let atav = self
+                .a
+                .matvec_t(&mut fpu, &av)
+                .expect("Av has rows() entries");
             lambda = robustify_linalg::norm2(&mut fpu, &atav);
             if lambda == 0.0 {
                 return 0.0;
@@ -242,8 +255,12 @@ impl LeastSquares {
             return f64::INFINITY;
         }
         let ideal = self.ideal();
-        let num: f64 =
-            x.iter().zip(&ideal).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+        let num: f64 = x
+            .iter()
+            .zip(&ideal)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
         let den: f64 = ideal.iter().map(|v| v * v).sum::<f64>().sqrt();
         num / den.max(1e-300)
     }
@@ -304,7 +321,11 @@ mod tests {
         }
         let cg = p.solve_cg(10, &mut fpu);
         // Restarted CG does not terminate exactly in n steps, but gets close.
-        assert!(p.relative_error(&cg.x) < 1e-4, "cg error {}", p.relative_error(&cg.x));
+        assert!(
+            p.relative_error(&cg.x) < 1e-4,
+            "cg error {}",
+            p.relative_error(&cg.x)
+        );
     }
 
     #[test]
@@ -327,12 +348,14 @@ mod tests {
         let mut svd_total = 0.0;
         let runs = 5;
         for seed in 0..runs {
-            let mut fpu =
-                NoisyFpu::new(FaultRate::per_flop(0.02), BitFaultModel::emulated(), seed);
+            let mut fpu = NoisyFpu::new(FaultRate::per_flop(0.02), BitFaultModel::emulated(), seed);
             let report = p.solve_sgd_default(&mut fpu);
             sgd_total += p.relative_error(&report.x).min(1e3);
-            let mut fpu =
-                NoisyFpu::new(FaultRate::per_flop(0.02), BitFaultModel::emulated(), 100 + seed);
+            let mut fpu = NoisyFpu::new(
+                FaultRate::per_flop(0.02),
+                BitFaultModel::emulated(),
+                100 + seed,
+            );
             let err = match p.solve_svd(&mut fpu) {
                 Ok(x) => p.relative_error(&x).min(1e3),
                 Err(_) => 1e3,
@@ -363,8 +386,8 @@ mod tests {
     #[test]
     fn relative_error_handles_non_finite() {
         let p = paper_problem();
-        assert_eq!(p.relative_error(&vec![f64::NAN; 10]), f64::INFINITY);
-        assert_eq!(p.residual_norm(&vec![f64::INFINITY; 10]), f64::INFINITY);
+        assert_eq!(p.relative_error(&[f64::NAN; 10]), f64::INFINITY);
+        assert_eq!(p.residual_norm(&[f64::INFINITY; 10]), f64::INFINITY);
         assert!(p.relative_error(&p.ideal()) < 1e-12);
     }
 
@@ -383,6 +406,11 @@ mod tests {
         let mut fpu_sgd = ReliableFpu::new();
         let sgd = p.solve_sgd_default(&mut fpu_sgd);
         assert!(p.relative_error(&cg.x) <= p.relative_error(&sgd.x) + 1e-9);
-        assert!(cg.flops < sgd.flops / 10, "cg {} vs sgd {}", cg.flops, sgd.flops);
+        assert!(
+            cg.flops < sgd.flops / 10,
+            "cg {} vs sgd {}",
+            cg.flops,
+            sgd.flops
+        );
     }
 }

@@ -5,9 +5,7 @@
 //! used OpenCV's matcher) run through the faulty FPU.
 
 use crate::doubly_stochastic::DoublyStochasticCost;
-use robustify_core::{
-    precondition_lp, CoreError, PenaltyKind, Sgd, SolveReport,
-};
+use robustify_core::{precondition_lp, CoreError, PenaltyKind, Sgd, SolveReport};
 use robustify_graph::{brute_force_matching, hungarian, BipartiteGraph, GraphError, Matching};
 use robustify_linalg::Matrix;
 use stochastic_fpu::Fpu;
@@ -50,8 +48,7 @@ impl MatchingProblem {
     /// otherwise).
     pub fn new(graph: BipartiteGraph) -> Self {
         let w = graph.weight_matrix(0.0);
-        let weights =
-            Matrix::from_fn(graph.left_count(), graph.right_count(), |i, j| w[i][j]);
+        let weights = Matrix::from_fn(graph.left_count(), graph.right_count(), |i, j| w[i][j]);
         let optimal_weight = if graph.left_count().min(graph.right_count()) <= 8 {
             brute_force_matching(&graph).weight()
         } else {
@@ -59,7 +56,11 @@ impl MatchingProblem {
                 .expect("reliable hungarian cannot break down")
                 .weight()
         };
-        MatchingProblem { graph, weights, optimal_weight }
+        MatchingProblem {
+            graph,
+            weights,
+            optimal_weight,
+        }
     }
 
     /// The underlying graph.
@@ -96,8 +97,7 @@ impl MatchingProblem {
     /// penalty weights, decoding the relaxed `X` to a matching over real
     /// edges.
     pub fn solve_sgd<F: Fpu>(&self, sgd: &Sgd, fpu: &mut F) -> (Matching, SolveReport) {
-        let mut cost =
-            self.robust_cost(Self::DEFAULT_MU1, Self::DEFAULT_MU2, PenaltyKind::Squared);
+        let mut cost = self.robust_cost(Self::DEFAULT_MU1, Self::DEFAULT_MU2, PenaltyKind::Squared);
         let x0 = cost.initial_iterate();
         let report = sgd.run(&mut cost, &x0, fpu);
         let matching = self.decode(&cost, &report.x);
@@ -119,7 +119,9 @@ impl MatchingProblem {
         let cost = self.robust_cost(Self::DEFAULT_MU1, Self::DEFAULT_MU2, PenaltyKind::Squared);
         let lp = cost.to_lp();
         let pre = precondition_lp(&lp)?;
-        let mut pen = pre.lp().penalized(Self::DEFAULT_MU2, PenaltyKind::Squared)?;
+        let mut pen = pre
+            .lp()
+            .penalized(Self::DEFAULT_MU2, PenaltyKind::Squared)?;
         // Start from y = R x0 (control-plane setup).
         let x0 = cost.initial_iterate();
         let y0 = pre
@@ -131,20 +133,40 @@ impl MatchingProblem {
         Ok((self.decode(&cost, &x), report))
     }
 
-    /// Decodes a relaxed `X` into a matching over *real* edges: greedy
-    /// assignment (threshold `0.25`), dropping pairs that do not correspond
-    /// to edges of the graph. A control-plane step.
+    /// Decodes a relaxed `X` into a matching over *real* edges — LP
+    /// rounding as a control-plane step. The relaxation's support (entries
+    /// at or above threshold `0.25` that correspond to edges of the graph)
+    /// is a shortlist of candidate edges; the decode picks the
+    /// maximum-weight matching *within that shortlist* by a reliable
+    /// Hungarian pass over the true weights. An unconverged or
+    /// fault-scrambled `X` yields a support that misses optimal edges (the
+    /// uniform start sits below the threshold entirely), so decode quality
+    /// still tracks solver progress. Negative-weight edges never improve a
+    /// maximum-weight matching (and [`hungarian`] rejects them), so they
+    /// are dropped from the shortlist.
     pub fn decode(&self, cost: &DoublyStochasticCost, x: &[f64]) -> Matching {
-        let pairs = cost.decode_assignment(x, 0.25);
-        let mut kept = Vec::new();
-        let mut weight = 0.0;
-        for (u, v) in pairs {
-            if let Some(w) = self.graph.weight(u, v) {
-                kept.push((u, v));
-                weight += w;
+        let (r, c) = (cost.rows(), cost.cols());
+        debug_assert_eq!(x.len(), r * c, "X has the wrong dimension");
+        let mut shortlist = Vec::new();
+        for u in 0..r {
+            for v in 0..c {
+                let relaxed = x[u * c + v];
+                if relaxed.is_finite() && relaxed >= 0.25 {
+                    if let Some(w) = self.graph.weight(u, v) {
+                        if w >= 0.0 {
+                            shortlist.push((u, v, w));
+                        }
+                    }
+                }
             }
         }
-        Matching::new(kept, weight)
+        if shortlist.is_empty() {
+            return Matching::new(Vec::new(), 0.0);
+        }
+        let subgraph =
+            BipartiteGraph::new(r, c, shortlist).expect("shortlist endpoints are in range");
+        hungarian(&mut stochastic_fpu::ReliableFpu::new(), &subgraph)
+            .expect("reliable hungarian cannot break down")
     }
 
     /// The fault-exposed Hungarian baseline.
@@ -183,15 +205,22 @@ mod tests {
     #[test]
     fn baseline_is_optimal_reliably() {
         let p = paper_workload(1);
-        let m = p.solve_baseline(&mut ReliableFpu::new()).expect("reliable run");
-        assert!(p.is_success(&m), "hungarian {} vs optimal {}", m.weight(), p.optimal_weight());
+        let m = p
+            .solve_baseline(&mut ReliableFpu::new())
+            .expect("reliable run");
+        assert!(
+            p.is_success(&m),
+            "hungarian {} vs optimal {}",
+            m.weight(),
+            p.optimal_weight()
+        );
     }
 
     #[test]
     fn robust_matching_succeeds_reliably() {
         let p = paper_workload(2);
-        let sgd = Sgd::new(6000, StepSchedule::Sqrt { gamma0: 0.05 })
-            .with_annealing(Default::default());
+        let sgd =
+            Sgd::new(6000, StepSchedule::Sqrt { gamma0: 0.05 }).with_annealing(Default::default());
         let (m, _) = p.solve_sgd(&sgd, &mut ReliableFpu::new());
         assert!(
             p.is_success(&m),
@@ -209,14 +238,16 @@ mod tests {
             let sgd = Sgd::new(6000, StepSchedule::Sqrt { gamma0: 0.05 })
                 .with_annealing(Default::default())
                 .with_aggressive_stepping(Default::default());
-            let mut fpu =
-                NoisyFpu::new(FaultRate::per_flop(0.02), BitFaultModel::emulated(), seed);
+            let mut fpu = NoisyFpu::new(FaultRate::per_flop(0.02), BitFaultModel::emulated(), seed);
             let (m, _) = p.solve_sgd(&sgd, &mut fpu);
             if p.is_success(&m) {
                 successes += 1;
             }
         }
-        assert!(successes >= 3, "only {successes}/6 robust matchings succeeded at 2%");
+        assert!(
+            successes >= 3,
+            "only {successes}/6 robust matchings succeeded at 2%"
+        );
     }
 
     #[test]
@@ -272,5 +303,34 @@ mod tests {
             let exact = brute_force_matching(p.graph()).weight();
             assert!((p.optimal_weight() - exact).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn decode_skips_negative_weight_edges_without_panicking() {
+        // A negative edge in the relaxed support must be dropped, not fed
+        // to the Hungarian pass (which rejects negative weights).
+        let g = BipartiteGraph::new(
+            2,
+            2,
+            vec![(0, 0, -1.0), (0, 1, 2.0), (1, 0, 2.0), (1, 1, 3.0)],
+        )
+        .expect("valid graph");
+        let p = MatchingProblem::new(g);
+        let cost = p.robust_cost(
+            MatchingProblem::DEFAULT_MU1,
+            MatchingProblem::DEFAULT_MU2,
+            PenaltyKind::Squared,
+        );
+        // Full mass on every edge, including the negative one.
+        let m = p.decode(&cost, &[1.0, 1.0, 1.0, 1.0]);
+        assert!(
+            m.pairs().iter().all(|&pair| pair != (0, 0)),
+            "kept a negative edge"
+        );
+        assert_eq!(
+            m.weight(),
+            4.0,
+            "best non-negative matching is (0,1) + (1,0)"
+        );
     }
 }

@@ -67,7 +67,11 @@ impl MaxFlowProblem {
             .iter()
             .map(|&(_, _, c)| c)
             .fold(1e-12f64, f64::max);
-        Ok(MaxFlowProblem { net, optimal_value, capacity_scale })
+        Ok(MaxFlowProblem {
+            net,
+            optimal_value,
+            capacity_scale,
+        })
     }
 
     /// The underlying network.
@@ -125,7 +129,10 @@ impl MaxFlowProblem {
         }
         // Capacity rows: F_e ≤ C_e (scaled); non-negativity via the flag.
         let cap = Matrix::identity(m);
-        let b: Vec<f64> = edges.iter().map(|&(_, _, c)| c / self.capacity_scale).collect();
+        let b: Vec<f64> = edges
+            .iter()
+            .map(|&(_, _, c)| c / self.capacity_scale)
+            .collect();
         lp.with_upper_bounds(cap, b)
             .expect("constructed shapes are consistent")
             .with_nonneg()
@@ -203,7 +210,13 @@ mod tests {
                 4,
                 0,
                 3,
-                vec![(0, 1, 3.0), (0, 2, 2.0), (1, 3, 2.0), (2, 3, 3.0), (1, 2, 1.0)],
+                vec![
+                    (0, 1, 3.0),
+                    (0, 2, 2.0),
+                    (1, 3, 2.0),
+                    (2, 3, 3.0),
+                    (1, 2, 1.0),
+                ],
             )
             .expect("valid network"),
         )
@@ -218,8 +231,14 @@ mod tests {
         let lp = p.to_lp();
         // Max flow 5: F = [3, 2, 2, 3, 1] (edge order as constructed).
         let scale = 3.0;
-        let f: Vec<f64> = [3.0, 2.0, 2.0, 3.0, 1.0].iter().map(|v| v / scale).collect();
-        assert!(lp.violation(&f) < 1e-12, "optimal flow infeasible in the LP");
+        let f: Vec<f64> = [3.0, 2.0, 2.0, 3.0, 1.0]
+            .iter()
+            .map(|v| v / scale)
+            .collect();
+        assert!(
+            lp.violation(&f) < 1e-12,
+            "optimal flow infeasible in the LP"
+        );
         assert!((lp.objective_value(&f) - (-5.0 / scale)).abs() < 1e-12);
         assert!((p.decode_value(&f) - 5.0).abs() < 1e-12);
     }
@@ -227,8 +246,8 @@ mod tests {
     #[test]
     fn sgd_approaches_max_flow_reliably() {
         let p = diamond();
-        let sgd = Sgd::new(6000, StepSchedule::Sqrt { gamma0: 0.02 })
-            .with_annealing(Default::default());
+        let sgd =
+            Sgd::new(6000, StepSchedule::Sqrt { gamma0: 0.02 }).with_annealing(Default::default());
         let (value, _) = p.solve_sgd(&sgd, &mut stochastic_fpu::ReliableFpu::new());
         assert!(
             p.relative_error(value) < 0.1,
@@ -245,12 +264,15 @@ mod tests {
         for seed in 0..runs {
             let sgd = Sgd::new(6000, StepSchedule::Sqrt { gamma0: 0.02 })
                 .with_annealing(Default::default());
-            let mut fpu =
-                NoisyFpu::new(FaultRate::per_flop(0.01), BitFaultModel::emulated(), seed);
+            let mut fpu = NoisyFpu::new(FaultRate::per_flop(0.01), BitFaultModel::emulated(), seed);
             let (value, _) = p.solve_sgd(&sgd, &mut fpu);
             total += p.relative_error(value).min(10.0);
         }
-        assert!(total / (runs as f64) < 0.5, "mean relative error {}", total / runs as f64);
+        assert!(
+            total / (runs as f64) < 0.5,
+            "mean relative error {}",
+            total / runs as f64
+        );
     }
 
     #[test]

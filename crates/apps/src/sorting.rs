@@ -222,8 +222,7 @@ impl SortProblem {
     /// penalty weights, decoding the relaxed `X` to a permutation and
     /// returning the permuted (exact) input values.
     pub fn solve_sgd<F: Fpu>(&self, sgd: &Sgd, fpu: &mut F) -> (Vec<f64>, SolveReport) {
-        let mut cost =
-            self.robust_cost(Self::DEFAULT_MU1, Self::DEFAULT_MU2, PenaltyKind::Squared);
+        let mut cost = self.robust_cost(Self::DEFAULT_MU1, Self::DEFAULT_MU2, PenaltyKind::Squared);
         let x0 = cost.initial_iterate();
         let report = sgd.run(&mut cost, &x0, fpu);
         let output = self.decode(&cost, &report.x);
@@ -272,7 +271,10 @@ impl SortProblem {
         if output.iter().any(|v| !v.is_finite()) {
             return false;
         }
-        output.iter().zip(self.sorted_reference()).all(|(&a, b)| a == b)
+        output
+            .iter()
+            .zip(self.sorted_reference())
+            .all(|(&a, b)| a == b)
     }
 }
 
@@ -311,8 +313,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         for seed in 0..30 {
             let p = SortProblem::random(&mut rng, 16);
-            let mut fpu =
-                NoisyFpu::new(FaultRate::per_flop(0.5), BitFaultModel::emulated(), seed);
+            let mut fpu = NoisyFpu::new(FaultRate::per_flop(0.5), BitFaultModel::emulated(), seed);
             let out = quicksort_baseline(&mut fpu, p.input());
             assert_eq!(out.len(), 16);
             let out = mergesort_baseline(&mut fpu, p.input());
@@ -349,14 +350,16 @@ mod tests {
             let p = SortProblem::new(vec![4.0, -2.0, 9.0, 0.5, 1.0]).expect("finite entries");
             let sgd = Sgd::new(4000, StepSchedule::Sqrt { gamma0: 0.05 })
                 .with_aggressive_stepping(Default::default());
-            let mut fpu =
-                NoisyFpu::new(FaultRate::per_flop(0.02), BitFaultModel::emulated(), seed);
+            let mut fpu = NoisyFpu::new(FaultRate::per_flop(0.02), BitFaultModel::emulated(), seed);
             let (out, _) = p.solve_sgd(&sgd, &mut fpu);
             if p.is_success(&out) {
                 successes += 1;
             }
         }
-        assert!(successes >= 7, "only {successes}/10 robust sorts succeeded at 2%");
+        assert!(
+            successes >= 7,
+            "only {successes}/10 robust sorts succeeded at 2%"
+        );
     }
 
     #[test]
@@ -365,7 +368,7 @@ mod tests {
         let cost = p.robust_cost(1.0, 1.0, PenaltyKind::Squared);
         // Only position 1 <- source 2 is confidently assigned.
         let mut x = vec![0.0; 9];
-        x[1 * 3 + 2] = 0.9;
+        x[3 + 2] = 0.9;
         let out = p.decode(&cost, &x);
         assert_eq!(out.len(), 3);
         assert!(out.iter().all(|v| v.is_finite()));

@@ -55,11 +55,15 @@ impl Dataset {
         }
         let d = points[0].len();
         if d == 0 {
-            return Err(CoreError::invalid_config("points must have at least one feature"));
+            return Err(CoreError::invalid_config(
+                "points must have at least one feature",
+            ));
         }
         for p in &points {
             if p.len() != d {
-                return Err(CoreError::invalid_config("points must have equal dimensions"));
+                return Err(CoreError::invalid_config(
+                    "points must have equal dimensions",
+                ));
             }
             if p.iter().any(|v| !v.is_finite()) {
                 return Err(CoreError::invalid_config("features must be finite"));
@@ -87,7 +91,10 @@ impl Dataset {
         spread: f64,
     ) -> Self {
         assert!(per_class > 0 && dim > 0, "need a positive dataset size");
-        assert!(spread < center, "spread {spread} must be below center {center}");
+        assert!(
+            spread < center,
+            "spread {spread} must be below center {center}"
+        );
         let mut points = Vec::with_capacity(2 * per_class);
         let mut labels = Vec::with_capacity(2 * per_class);
         for &sign in &[1.0f64, -1.0] {
@@ -162,7 +169,7 @@ impl SvmCost {
     /// Returns [`CoreError::InvalidConfig`] if `lambda` is not positive and
     /// finite.
     pub fn new(data: Dataset, lambda: f64) -> Result<Self, CoreError> {
-        if !(lambda > 0.0) || !lambda.is_finite() {
+        if !lambda.is_finite() || lambda <= 0.0 {
             return Err(CoreError::invalid_config(format!(
                 "regularization weight must be positive and finite, got {lambda}"
             )));
@@ -198,7 +205,11 @@ impl CostFunction for SvmCost {
     }
 
     fn cost<F: Fpu>(&self, wb: &[f64], fpu: &mut F) -> f64 {
-        assert_eq!(wb.len(), self.dim(), "parameter vector has the wrong dimension");
+        assert_eq!(
+            wb.len(),
+            self.dim(),
+            "parameter vector has the wrong dimension"
+        );
         let d = self.data.features();
         let wsq = robustify_linalg::norm2_sq(fpu, &wb[..d]);
         let mut total = fpu.mul(0.5 * self.lambda, wsq);
@@ -215,7 +226,11 @@ impl CostFunction for SvmCost {
     }
 
     fn gradient<F: Fpu>(&self, wb: &[f64], fpu: &mut F, grad: &mut [f64]) {
-        assert_eq!(wb.len(), self.dim(), "parameter vector has the wrong dimension");
+        assert_eq!(
+            wb.len(),
+            self.dim(),
+            "parameter vector has the wrong dimension"
+        );
         let d = self.data.features();
         for (g, w) in grad[..d].iter_mut().zip(&wb[..d]) {
             *g = fpu.mul(self.lambda, *w);
@@ -269,7 +284,9 @@ impl SvmProblem {
     ///
     /// Propagates [`SvmCost::new`] validation errors.
     pub fn new(data: Dataset, lambda: f64) -> Result<Self, CoreError> {
-        Ok(SvmProblem { cost: SvmCost::new(data, lambda)? })
+        Ok(SvmProblem {
+            cost: SvmCost::new(data, lambda)?,
+        })
     }
 
     /// The underlying objective.
@@ -358,20 +375,23 @@ mod tests {
         let runs = 5;
         for seed in 0..runs {
             let sgd = Sgd::new(3000, StepSchedule::Sqrt { gamma0: 0.5 });
-            let mut fpu =
-                NoisyFpu::new(FaultRate::per_flop(0.02), BitFaultModel::emulated(), seed);
+            let mut fpu = NoisyFpu::new(FaultRate::per_flop(0.02), BitFaultModel::emulated(), seed);
             let (wb, _) = problem.solve_sgd(&sgd, &mut fpu);
             total += problem.accuracy(&wb);
         }
-        assert!(total / runs as f64 > 0.9, "mean accuracy {}", total / runs as f64);
+        assert!(
+            total / runs as f64 > 0.9,
+            "mean accuracy {}",
+            total / runs as f64
+        );
     }
 
     #[test]
     fn accuracy_handles_degenerate_parameters() {
         let problem = SvmProblem::new(blobs(4), 0.01).expect("valid lambda");
-        assert_eq!(problem.accuracy(&vec![f64::NAN; 5]), 0.0);
+        assert_eq!(problem.accuracy(&[f64::NAN; 5]), 0.0);
         // The zero vector classifies nothing correctly (margin 0 is wrong).
-        assert_eq!(problem.accuracy(&vec![0.0; 5]), 0.0);
+        assert_eq!(problem.accuracy(&[0.0; 5]), 0.0);
     }
 
     #[test]

@@ -28,7 +28,7 @@ fn bench_cg_restart(c: &mut Criterion) {
                     .with_restart_interval(interval);
                 let mut fpu =
                     NoisyFpu::new(FaultRate::per_flop(0.01), BitFaultModel::emulated(), 7);
-                black_box(solver.solve(&vec![0.0; 10], &mut fpu))
+                black_box(solver.solve(&[0.0; 10], &mut fpu))
             })
         });
     }
@@ -37,9 +37,8 @@ fn bench_cg_restart(c: &mut Criterion) {
             let solver = CgLeastSquares::new(&a, &b_vec)
                 .expect("consistent shapes")
                 .with_max_iterations(10);
-            let mut fpu =
-                NoisyFpu::new(FaultRate::per_flop(0.01), BitFaultModel::emulated(), 7);
-            black_box(solver.solve(&vec![0.0; 10], &mut fpu))
+            let mut fpu = NoisyFpu::new(FaultRate::per_flop(0.01), BitFaultModel::emulated(), 7);
+            black_box(solver.solve(&[0.0; 10], &mut fpu))
         })
     });
 
@@ -55,7 +54,7 @@ fn bench_cg_restart(c: &mut Criterion) {
                 }
                 let mut fpu =
                     NoisyFpu::new(FaultRate::per_flop(0.01), BitFaultModel::emulated(), seed);
-                let report = solver.solve(&vec![0.0; 10], &mut fpu);
+                let report = solver.solve(&[0.0; 10], &mut fpu);
                 problem.residual_relative_error(&report.x)
             })
             .collect();

@@ -23,13 +23,11 @@ fn bench_fault_injection(c: &mut Criterion) {
         b.iter(|| black_box(dot(&mut fpu, &x, &y).expect("equal lengths")))
     });
     group.bench_function("noisy_rate_1pct_emulated", |b| {
-        let mut fpu =
-            NoisyFpu::new(FaultRate::per_flop(0.01), BitFaultModel::emulated(), 7);
+        let mut fpu = NoisyFpu::new(FaultRate::per_flop(0.01), BitFaultModel::emulated(), 7);
         b.iter(|| black_box(dot(&mut fpu, &x, &y).expect("equal lengths")))
     });
     group.bench_function("noisy_rate_50pct_emulated", |b| {
-        let mut fpu =
-            NoisyFpu::new(FaultRate::per_flop(0.5), BitFaultModel::emulated(), 7);
+        let mut fpu = NoisyFpu::new(FaultRate::per_flop(0.5), BitFaultModel::emulated(), 7);
         b.iter(|| black_box(dot(&mut fpu, &x, &y).expect("equal lengths")))
     });
     group.bench_function("noisy_rate_1pct_f32", |b| {

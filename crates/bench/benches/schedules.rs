@@ -35,8 +35,7 @@ fn bench_schedules(c: &mut Criterion) {
         let sgd = Sgd::new(1000, StepSchedule::Sqrt { gamma0: 0.1 })
             .with_aggressive_stepping(AggressiveStepping::default());
         b.iter(|| {
-            let mut fpu =
-                NoisyFpu::new(FaultRate::per_flop(0.01), BitFaultModel::emulated(), 7);
+            let mut fpu = NoisyFpu::new(FaultRate::per_flop(0.01), BitFaultModel::emulated(), 7);
             black_box(problem.solve_sgd(&sgd, &mut fpu))
         })
     });

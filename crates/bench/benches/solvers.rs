@@ -41,7 +41,12 @@ fn bench_solvers(c: &mut Criterion) {
         })
     });
     group.bench_function("sgd_1000_ls", |b| {
-        let sgd = Sgd::new(1000, StepSchedule::Linear { gamma0: problem.default_gamma0() });
+        let sgd = Sgd::new(
+            1000,
+            StepSchedule::Linear {
+                gamma0: problem.default_gamma0(),
+            },
+        );
         b.iter(|| {
             let mut fpu = ReliableFpu::new();
             black_box(problem.solve_sgd(&sgd, &mut fpu))

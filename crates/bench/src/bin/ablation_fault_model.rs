@@ -21,14 +21,27 @@ fn main() {
     let models: Vec<(&str, BitFaultModel)> = vec![
         ("emulated", BitFaultModel::emulated()),
         ("uniform", BitFaultModel::uniform(BitWidth::F64)),
-        ("exponent_heavy", BitFaultModel::exponent_heavy(BitWidth::F64)),
+        (
+            "exponent_heavy",
+            BitFaultModel::exponent_heavy(BitWidth::F64),
+        ),
         ("lsb_only", BitFaultModel::lsb_only(BitWidth::F64)),
-        ("emulated_f32", BitFaultModel::emulated_with_width(BitWidth::F32)),
+        (
+            "emulated_f32",
+            BitFaultModel::emulated_with_width(BitWidth::F32),
+        ),
     ];
 
     let mut table = Table::new(
         &format!("Fault-model ablation — robust sort success rate ({trials} trials/point)"),
-        &["fault_rate_%", "emulated", "uniform", "exponent_heavy", "lsb_only", "emulated_f32"],
+        &[
+            "fault_rate_%",
+            "emulated",
+            "uniform",
+            "exponent_heavy",
+            "lsb_only",
+            "emulated_f32",
+        ],
     );
 
     for rate_pct in extended_fault_rates() {
@@ -48,7 +61,10 @@ fn main() {
                     5,
                 );
                 let sgd = Sgd::new(10_000, StepSchedule::Sqrt { gamma0: 0.1 })
-                    .with_guard(GradientGuard::Adaptive { factor: 3.0, reject: 30.0 })
+                    .with_guard(GradientGuard::Adaptive {
+                        factor: 3.0,
+                        reject: 30.0,
+                    })
                     .with_aggressive_stepping(AggressiveStepping::default());
                 let (out, _) = problem.solve_sgd(&sgd, fpu);
                 problem.is_success(&out)

@@ -26,19 +26,32 @@ fn main() {
         ("zero_nonfinite", GradientGuard::ZeroNonFinite),
         ("clip_10", GradientGuard::Clip { max_norm: 10.0 }),
         ("clamp_1", GradientGuard::ClampComponents { max_abs: 1.0 }),
-        ("adaptive_3", GradientGuard::Adaptive { factor: 3.0, reject: 30.0 }),
+        (
+            "adaptive_3",
+            GradientGuard::Adaptive {
+                factor: 3.0,
+                reject: 30.0,
+            },
+        ),
     ];
 
     let mut table = Table::new(
         &format!("Guard ablation at 2% fault rate ({trials} trials/point)"),
-        &["guard", "sort_success_%", "lsq_median_err", "iir_median_err"],
+        &[
+            "guard",
+            "sort_success_%",
+            "lsq_median_err",
+            "iir_median_err",
+        ],
     );
 
     let lsq = paper_least_squares(opts.seed);
     let lsq_gamma0 = lsq.default_gamma0();
     let (filter, u) = paper_iir(opts.seed);
     let y_ref = filter.reference(&u);
-    let iir_gamma0 = filter.default_gamma0(u.len()).expect("signal longer than taps");
+    let iir_gamma0 = filter
+        .default_gamma0(u.len())
+        .expect("signal longer than taps");
 
     for (name, guard) in guards {
         let cfg = TrialConfig::new(trials, rate, opts.model(), opts.seed);
@@ -49,26 +62,24 @@ fn main() {
                 &mut rand::rngs::StdRng::seed_from_u64(opts.seed ^ (idx * 7919)),
                 5,
             );
-            let sgd =
-                Sgd::new(10_000, StepSchedule::Sqrt { gamma0: 0.1 }).with_guard(guard);
+            let sgd = Sgd::new(10_000, StepSchedule::Sqrt { gamma0: 0.1 }).with_guard(guard);
             let (out, _) = problem.solve_sgd(&sgd, fpu);
             problem.is_success(&out)
         });
 
         let cfg = TrialConfig::new(trials.min(10), rate, opts.model(), opts.seed);
         let lsq_summary = cfg.metric_summary(|fpu| {
-            let sgd = Sgd::new(1000, StepSchedule::Linear { gamma0: lsq_gamma0 })
-                .with_guard(guard);
+            let sgd = Sgd::new(1000, StepSchedule::Linear { gamma0: lsq_gamma0 }).with_guard(guard);
             let report = lsq.solve_sgd(&sgd, fpu);
             lsq.residual_relative_error(&report.x)
         });
 
         let cfg = TrialConfig::new(trials.min(6), rate, opts.model(), opts.seed);
         let iir_summary = cfg.metric_summary(|fpu| {
-            let sgd = Sgd::new(1000, StepSchedule::Sqrt { gamma0: iir_gamma0 })
-                .with_guard(guard);
-            let report =
-                filter.solve_sgd(&u, &sgd, fpu).expect("signal longer than taps");
+            let sgd = Sgd::new(1000, StepSchedule::Sqrt { gamma0: iir_gamma0 }).with_guard(guard);
+            let report = filter
+                .solve_sgd(&u, &sgd, fpu)
+                .expect("signal longer than taps");
             filter.error_to_signal(&report.x, &y_ref)
         });
 

@@ -21,7 +21,12 @@ fn main() {
     let opts = ExperimentOptions::parse();
     let mut table = Table::new(
         "Chapter 7 — FLOP overhead of robustification (reliable FPU)",
-        &["application", "baseline_flops", "robust_flops", "overhead_x"],
+        &[
+            "application",
+            "baseline_flops",
+            "robust_flops",
+            "overhead_x",
+        ],
     );
 
     let mut add_row = |name: &str, baseline: u64, robust: u64| {
@@ -53,7 +58,9 @@ fn main() {
         let mut fpu = ReliableFpu::new();
         let _ = filter.apply_direct(&mut fpu, &u);
         let baseline = fpu.flops();
-        let gamma0 = filter.default_gamma0(u.len()).expect("signal longer than taps");
+        let gamma0 = filter
+            .default_gamma0(u.len())
+            .expect("signal longer than taps");
         let sgd = Sgd::new(1000, StepSchedule::Sqrt { gamma0 });
         let mut fpu = ReliableFpu::new();
         let _ = filter.solve_sgd(&u, &sgd, &mut fpu);

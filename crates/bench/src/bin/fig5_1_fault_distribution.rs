@@ -66,7 +66,12 @@ fn main() {
             };
             counts[bucket] += 1;
         }
-        histograms.push(counts.iter().map(|&c| 100.0 * c as f64 / injections as f64).collect());
+        histograms.push(
+            counts
+                .iter()
+                .map(|&c| 100.0 * c as f64 / injections as f64)
+                .collect(),
+        );
     }
 
     for k in 0..BUCKETS {

@@ -26,10 +26,16 @@ fn main() {
 
     // All SGD variants share the guard tuned for the cold-started doubly
     // stochastic relaxation (see the guard ablation bench).
-    let guard = GradientGuard::Adaptive { factor: 3.0, reject: 30.0 };
+    let guard = GradientGuard::Adaptive {
+        factor: 3.0,
+        reject: 30.0,
+    };
     let variants: Vec<(&str, Option<Sgd>)> = vec![
         ("Base", None),
-        ("SGD", Some(Sgd::new(ITERATIONS, StepSchedule::Linear { gamma0: 0.1 }).with_guard(guard))),
+        (
+            "SGD",
+            Some(Sgd::new(ITERATIONS, StepSchedule::Linear { gamma0: 0.1 }).with_guard(guard)),
+        ),
         (
             "SGD+AS,LS",
             Some(

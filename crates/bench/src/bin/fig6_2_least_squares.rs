@@ -36,7 +36,10 @@ fn main() {
     }
     let variants: Vec<(&str, Solver)> = vec![
         ("Base: SVD", Solver::Svd),
-        ("SGD,LS", Solver::Sgd(Sgd::new(ITERATIONS, StepSchedule::Linear { gamma0 }))),
+        (
+            "SGD,LS",
+            Solver::Sgd(Sgd::new(ITERATIONS, StepSchedule::Linear { gamma0 })),
+        ),
         (
             "SGD+AS,LS",
             Solver::Sgd(
@@ -44,7 +47,10 @@ fn main() {
                     .with_aggressive_stepping(AggressiveStepping::default()),
             ),
         ),
-        ("SGD,SQS", Solver::Sgd(Sgd::new(ITERATIONS, StepSchedule::Sqrt { gamma0 }))),
+        (
+            "SGD,SQS",
+            Solver::Sgd(Sgd::new(ITERATIONS, StepSchedule::Sqrt { gamma0 })),
+        ),
     ];
 
     let mut table = Table::new(

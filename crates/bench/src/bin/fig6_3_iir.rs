@@ -26,7 +26,9 @@ fn main() {
     let (filter, u) = paper_iir(opts.seed);
     let y_ref = filter.reference(&u);
     // Stability edge of gradient descent on ||Bx - Au||^2 for this filter.
-    let gamma0 = filter.default_gamma0(u.len()).expect("signal longer than taps");
+    let gamma0 = filter
+        .default_gamma0(u.len())
+        .expect("signal longer than taps");
     // Per-lane clamping: banded costs localize corruption to a few lanes,
     // so component clamping preserves far more signal than norm clipping
     // (see the guard ablation bench).
@@ -34,7 +36,10 @@ fn main() {
 
     let variants: Vec<(&str, Option<Sgd>)> = vec![
         ("Base", None),
-        ("SGD,LS", Some(Sgd::new(ITERATIONS, StepSchedule::Linear { gamma0 }).with_guard(guard))),
+        (
+            "SGD,LS",
+            Some(Sgd::new(ITERATIONS, StepSchedule::Linear { gamma0 }).with_guard(guard)),
+        ),
         (
             "SGD+AS,LS",
             Some(

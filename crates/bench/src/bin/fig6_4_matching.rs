@@ -27,7 +27,10 @@ fn main() {
 
     let variants: Vec<(&str, Option<Sgd>)> = vec![
         ("Base", None),
-        ("SGD,LS", Some(Sgd::new(ITERATIONS, StepSchedule::Linear { gamma0: 0.05 }))),
+        (
+            "SGD,LS",
+            Some(Sgd::new(ITERATIONS, StepSchedule::Linear { gamma0: 0.05 })),
+        ),
         (
             "SGD+AS,LS",
             Some(

@@ -45,7 +45,10 @@ fn main() {
         ("Non-robust", Variant::NonRobust),
         ("Basic,LS", Variant::Plain(Sgd::new(ITERATIONS, ls))),
         ("SQS", Variant::Plain(Sgd::new(ITERATIONS, sqs))),
-        ("PRECOND", Variant::Preconditioned(Sgd::new(ITERATIONS, sqs))),
+        (
+            "PRECOND",
+            Variant::Preconditioned(Sgd::new(ITERATIONS, sqs)),
+        ),
         (
             "ANNEAL",
             Variant::Plain(Sgd::new(ITERATIONS, sqs).with_annealing(Annealing::default())),
@@ -65,7 +68,15 @@ fn main() {
         &format!(
             "Figure 6.5 — Matching enhancements, {ITERATIONS} iterations ({trials} trials/point)"
         ),
-        &["fault_rate_%", "Non-robust", "Basic,LS", "SQS", "PRECOND", "ANNEAL", "ALL"],
+        &[
+            "fault_rate_%",
+            "Non-robust",
+            "Basic,LS",
+            "SQS",
+            "PRECOND",
+            "ANNEAL",
+            "ALL",
+        ],
     );
 
     for rate_pct in extended_fault_rates() {

@@ -15,12 +15,7 @@ use stochastic_fpu::{FaultRate, Fpu, NoisyFpu, ReliableFpu};
 
 const CG_ITERATIONS: usize = 10;
 
-fn run_table(
-    title: &str,
-    problem: &LeastSquares,
-    opts: &ExperimentOptions,
-    trials: usize,
-) {
+fn run_table(title: &str, problem: &LeastSquares, opts: &ExperimentOptions, trials: usize) {
     type Solver = fn(&LeastSquares, &mut NoisyFpu) -> f64;
     let qr: Solver = |p, fpu| match p.solve_qr(fpu) {
         Ok(x) => p.residual_relative_error(&x),
@@ -38,23 +33,30 @@ fn run_table(
         let report = p.solve_cg(CG_ITERATIONS, fpu);
         p.residual_relative_error(&report.x)
     };
-    let variants: Vec<(&str, Solver)> =
-        vec![("Base: QR", qr), ("Base: SVD", svd), ("Base: Cholesky", chol), ("CG, N=10", cg)];
+    let variants: Vec<(&str, Solver)> = vec![
+        ("Base: QR", qr),
+        ("Base: SVD", svd),
+        ("Base: Cholesky", chol),
+        ("CG, N=10", cg),
+    ];
 
     let mut table = Table::new(
         title,
-        &["fault_rate_%", "Base:QR", "Base:SVD", "Base:Cholesky", "CG,N=10", "cg_fail"],
+        &[
+            "fault_rate_%",
+            "Base:QR",
+            "Base:SVD",
+            "Base:Cholesky",
+            "CG,N=10",
+            "cg_fail",
+        ],
     );
 
     // Reliable reference row (fault rate 0).
     {
         let mut row = vec!["0".to_string()];
         for (_, solver) in &variants {
-            let mut fpu = NoisyFpu::new(
-                FaultRate::ZERO,
-                opts.model(),
-                opts.seed,
-            );
+            let mut fpu = NoisyFpu::new(FaultRate::ZERO, opts.model(), opts.seed);
             row.push(fmt_metric(solver(problem, &mut fpu)));
         }
         row.push("0%".to_string());
@@ -100,7 +102,7 @@ fn main() {
 
     let ill = ill_conditioned_least_squares(opts.seed, 1e4);
     run_table(
-        &"Figure 6.6 (ill-conditioned κ=1e4) — SVD is the strongest reliable baseline".to_string(),
+        "Figure 6.6 (ill-conditioned κ=1e4) — SVD is the strongest reliable baseline",
         &ill,
         &opts,
         trials,

@@ -28,7 +28,9 @@ fn main() {
     // operation; its accuracy is machine precision, meeting every target).
     let chol_flops = {
         let mut fpu = ReliableFpu::new();
-        problem.solve_cholesky(&mut fpu).expect("full-rank workload");
+        problem
+            .solve_cholesky(&mut fpu)
+            .expect("full-rank workload");
         fpu.flops()
     };
     let chol_energy = model.energy(chol_flops, model.nominal_voltage());
@@ -41,7 +43,14 @@ fn main() {
             "Figure 6.7 — Least Squares energy vs accuracy target \
              (power × FLOP units; {trials} trials per point)"
         ),
-        &["accuracy_target", "Base:Cholesky", "CG_energy", "CG_voltage", "CG_iters", "saving_%"],
+        &[
+            "accuracy_target",
+            "Base:Cholesky",
+            "CG_energy",
+            "CG_voltage",
+            "CG_iters",
+            "saving_%",
+        ],
     );
 
     for exp in 1..=7 {
@@ -99,8 +108,12 @@ fn main() {
         "baseline Cholesky: {} FLOPs at {:.2} V (accuracy ~machine precision, rel err {})",
         chol_flops,
         model.nominal_voltage(),
-        fmt_metric(problem.residual_relative_error(
-            &problem.solve_cholesky(&mut ReliableFpu::new()).expect("full-rank workload")
-        )),
+        fmt_metric(
+            problem.residual_relative_error(
+                &problem
+                    .solve_cholesky(&mut ReliableFpu::new())
+                    .expect("full-rank workload")
+            )
+        ),
     );
 }

@@ -25,7 +25,10 @@ fn main() {
     let model = opts.model();
 
     // Per-app configs matching the Figure 6.1 / 6.4 "SGD" variants.
-    let sort_guard = GradientGuard::Adaptive { factor: 3.0, reject: 30.0 };
+    let sort_guard = GradientGuard::Adaptive {
+        factor: 3.0,
+        reject: 30.0,
+    };
     let sort_plain =
         Sgd::new(ITERATIONS, StepSchedule::Linear { gamma0: 0.1 }).with_guard(sort_guard);
     let sort_momentum = sort_plain.clone().with_momentum(0.5);
@@ -54,8 +57,7 @@ fn main() {
             let mut trial_idx = 0u64;
             let success = cfg.success_rate(|fpu| {
                 trial_idx += 1;
-                let mut rng =
-                    rand::rngs::StdRng::seed_from_u64(opts.seed ^ (trial_idx * 7919));
+                let mut rng = rand::rngs::StdRng::seed_from_u64(opts.seed ^ (trial_idx * 7919));
                 if is_matching {
                     let problem = MatchingProblem::new(random_bipartite(&mut rng, 5, 6, 30));
                     let (m, _) = problem.solve_sgd(sgd, fpu);

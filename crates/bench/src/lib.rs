@@ -35,7 +35,11 @@ pub struct ExperimentOptions {
 
 impl Default for ExperimentOptions {
     fn default() -> Self {
-        ExperimentOptions { fast: false, seed: 42, fault_model: "emulated".to_string() }
+        ExperimentOptions {
+            fast: false,
+            seed: 42,
+            fault_model: "emulated".to_string(),
+        }
     }
 }
 
@@ -62,14 +66,19 @@ impl ExperimentOptions {
                 "--fast" => opts.fast = true,
                 "--seed" => {
                     let v = args.next().unwrap_or_else(|| usage("--seed needs a value"));
-                    opts.seed = v.parse().unwrap_or_else(|_| usage("--seed must be an integer"));
+                    opts.seed = v
+                        .parse()
+                        .unwrap_or_else(|_| usage("--seed must be an integer"));
                 }
                 "--fault-model" => {
-                    opts.fault_model =
-                        args.next().unwrap_or_else(|| usage("--fault-model needs a value"));
+                    opts.fault_model = args
+                        .next()
+                        .unwrap_or_else(|| usage("--fault-model needs a value"));
                 }
-                "--help" | "-h" => usage("
-"),
+                "--help" | "-h" => usage(
+                    "
+",
+                ),
                 other => usage(&format!("unknown flag {other}")),
             }
         }
@@ -143,7 +152,11 @@ impl Table {
     ///
     /// Panics if the cell count differs from the header count.
     pub fn row(&mut self, cells: &[String]) {
-        assert_eq!(cells.len(), self.headers.len(), "row width must match headers");
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
         self.rows.push(cells.to_vec());
     }
 
@@ -175,8 +188,11 @@ impl Table {
             .collect();
         println!("{}", header_line.join("  "));
         for row in &self.rows {
-            let line: Vec<String> =
-                row.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect();
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
             println!("{}", line.join("  "));
         }
         println!("\n-- csv --\n{}", self.to_csv());
@@ -210,7 +226,9 @@ mod tests {
     #[test]
     fn parse_all_flags() {
         let opts = ExperimentOptions::parse_from(
-            ["--fast", "--seed", "9", "--fault-model", "lsb"].iter().map(|s| s.to_string()),
+            ["--fast", "--seed", "9", "--fault-model", "lsb"]
+                .iter()
+                .map(|s| s.to_string()),
         );
         assert!(opts.fast);
         assert_eq!(opts.seed, 9);

@@ -59,8 +59,12 @@ pub fn paper_maxflow(seed: u64) -> MaxFlowProblem {
 /// An all-pairs shortest path workload: a random strongly connected
 /// 6-vertex digraph.
 pub fn paper_apsp(seed: u64) -> ApspProblem {
-    ApspProblem::new(random_strongly_connected(&mut StdRng::seed_from_u64(seed), 6, 9))
-        .expect("cycle-backbone graphs are strongly connected")
+    ApspProblem::new(random_strongly_connected(
+        &mut StdRng::seed_from_u64(seed),
+        6,
+        9,
+    ))
+    .expect("cycle-backbone graphs are strongly connected")
 }
 
 #[cfg(test)]

@@ -137,7 +137,7 @@ impl<'a> CgLeastSquares<'a> {
             // q = A p (data plane).
             let q = self.a.matvec(fpu, &p).expect("p has n entries");
             let qtq: f64 = q.iter().map(|v| v * v).sum();
-            if !(qtq > 0.0) || !qtq.is_finite() {
+            if !qtq.is_finite() || qtq <= 0.0 {
                 // Degenerate or corrupted direction: restart from steepest
                 // descent (control-plane decision).
                 let state = self.restart_state(&x, fpu);
@@ -155,9 +155,8 @@ impl<'a> CgLeastSquares<'a> {
             // scale and restart from steepest descent instead.
             let x_scale = 1.0 + x.iter().fold(0.0f64, |m, v| m.max(v.abs()));
             let step_too_large = !alpha.is_finite()
-                || p.iter().any(|&pi| {
-                    !(alpha * pi).is_finite() || (alpha * pi).abs() > 1e6 * x_scale
-                });
+                || p.iter()
+                    .any(|&pi| !(alpha * pi).is_finite() || (alpha * pi).abs() > 1e6 * x_scale);
             if step_too_large {
                 let state = self.restart_state(&x, fpu);
                 r = state.0;
@@ -177,10 +176,7 @@ impl<'a> CgLeastSquares<'a> {
             let mut s = self.a.matvec_t(fpu, &r).expect("r has rows() entries");
             sanitize(&mut s);
             let gamma_new: f64 = s.iter().map(|v| v * v).sum();
-            let forced_restart = self
-                .restart_interval
-                .map(|k| t % k == 0)
-                .unwrap_or(false);
+            let forced_restart = self.restart_interval.map(|k| t % k == 0).unwrap_or(false);
             if forced_restart {
                 // Steepest-descent reset: p = s.
                 p.copy_from_slice(&s);
@@ -326,8 +322,7 @@ mod tests {
                 .expect("consistent")
                 .with_max_iterations(10)
                 .with_restart_interval(3);
-            let mut fpu =
-                NoisyFpu::new(FaultRate::per_flop(0.3), BitFaultModel::emulated(), seed);
+            let mut fpu = NoisyFpu::new(FaultRate::per_flop(0.3), BitFaultModel::emulated(), seed);
             let report = solver.solve(&[0.0; 3], &mut fpu);
             assert!(report.x.iter().all(|v| v.is_finite()), "iterate corrupted");
         }

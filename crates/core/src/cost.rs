@@ -96,7 +96,10 @@ impl QuadraticResidualCost {
     /// The residual `A x − b` through the FPU.
     pub fn residual<F: Fpu>(&self, x: &[f64], fpu: &mut F) -> Vec<f64> {
         let ax = self.a.matvec(fpu, x).expect("x has dim() entries");
-        ax.iter().zip(&self.b).map(|(&axi, &bi)| fpu.sub(axi, bi)).collect()
+        ax.iter()
+            .zip(&self.b)
+            .map(|(&axi, &bi)| fpu.sub(axi, bi))
+            .collect()
     }
 }
 
@@ -112,7 +115,10 @@ impl CostFunction for QuadraticResidualCost {
 
     fn gradient<F: Fpu>(&self, x: &[f64], fpu: &mut F, grad: &mut [f64]) {
         let r = self.residual(x, fpu);
-        let atr = self.a.matvec_t(fpu, &r).expect("residual has rows() entries");
+        let atr = self
+            .a
+            .matvec_t(fpu, &r)
+            .expect("residual has rows() entries");
         for (g, v) in grad.iter_mut().zip(atr) {
             *g = fpu.mul(2.0, v);
         }
@@ -154,7 +160,10 @@ impl QuadraticCost {
     /// `b.len() != q.rows()`.
     pub fn new(q: Matrix, b: Vec<f64>) -> Result<Self, CoreError> {
         if !q.is_square() {
-            return Err(CoreError::shape("square Q", format!("{}x{}", q.rows(), q.cols())));
+            return Err(CoreError::shape(
+                "square Q",
+                format!("{}x{}", q.rows(), q.cols()),
+            ));
         }
         if b.len() != q.rows() {
             return Err(CoreError::shape(

@@ -38,7 +38,10 @@ impl CoreError {
 
     /// Convenience constructor for shape mismatches.
     pub fn shape(expected: impl Into<String>, found: impl Into<String>) -> Self {
-        CoreError::DimensionMismatch { expected: expected.into(), found: found.into() }
+        CoreError::DimensionMismatch {
+            expected: expected.into(),
+            found: found.into(),
+        }
     }
 }
 

@@ -47,7 +47,12 @@ impl LinearProgram {
     /// To *maximize* an objective, negate it (as the paper does for sorting
     /// and matching).
     pub fn minimize(c: Vec<f64>) -> Self {
-        LinearProgram { c, upper: None, eq: None, nonneg: false }
+        LinearProgram {
+            c,
+            upper: None,
+            eq: None,
+            nonneg: false,
+        }
     }
 
     /// Adds inequality constraints `A x ≤ b`.
@@ -139,15 +144,15 @@ impl LinearProgram {
     pub fn violation(&self, x: &[f64]) -> f64 {
         let mut total = 0.0;
         if let Some((a, b)) = &self.upper {
-            for i in 0..a.rows() {
+            for (i, bi) in b.iter().enumerate() {
                 let row: f64 = a.row(i).iter().zip(x).map(|(aij, xj)| aij * xj).sum();
-                total += (row - b[i]).max(0.0);
+                total += (row - bi).max(0.0);
             }
         }
         if let Some((e, d)) = &self.eq {
-            for i in 0..e.rows() {
+            for (i, di) in d.iter().enumerate() {
                 let row: f64 = e.row(i).iter().zip(x).map(|(eij, xj)| eij * xj).sum();
-                total += (row - d[i]).abs();
+                total += (row - di).abs();
             }
         }
         if self.nonneg {

@@ -102,7 +102,10 @@ impl AffineConstraints {
     /// Evaluates all rows `A x − b` through the FPU.
     pub fn evaluate<F: Fpu>(&self, x: &[f64], fpu: &mut F) -> Vec<f64> {
         let ax = self.a.matvec(fpu, x).expect("x has dim() entries");
-        ax.iter().zip(&self.b).map(|(&axi, &bi)| fpu.sub(axi, bi)).collect()
+        ax.iter()
+            .zip(&self.b)
+            .map(|(&axi, &bi)| fpu.sub(axi, bi))
+            .collect()
     }
 
     /// Adds `coef × aᵢ` to `grad` for row `i`, through the FPU.
@@ -163,12 +166,19 @@ impl<C: CostFunction> PenaltyCost<C> {
     /// Returns [`CoreError::InvalidConfig`] if `mu` is not positive and
     /// finite.
     pub fn new(objective: C, mu: f64, kind: PenaltyKind) -> Result<Self, CoreError> {
-        if !(mu > 0.0) || !mu.is_finite() {
+        if !mu.is_finite() || mu <= 0.0 {
             return Err(CoreError::invalid_config(format!(
                 "penalty parameter must be positive and finite, got {mu}"
             )));
         }
-        Ok(PenaltyCost { objective, eq: None, ineq: None, nonneg: false, mu, kind })
+        Ok(PenaltyCost {
+            objective,
+            eq: None,
+            ineq: None,
+            nonneg: false,
+            mu,
+            kind,
+        })
     }
 
     /// Attaches equality rows `E x − d = 0`.
@@ -223,7 +233,10 @@ impl<C: CostFunction> PenaltyCost<C> {
     ///
     /// Panics if `mu` is not positive and finite.
     pub fn set_mu(&mut self, mu: f64) {
-        assert!(mu > 0.0 && mu.is_finite(), "penalty parameter must be positive, got {mu}");
+        assert!(
+            mu > 0.0 && mu.is_finite(),
+            "penalty parameter must be positive, got {mu}"
+        );
         self.mu = mu;
     }
 
@@ -243,10 +256,18 @@ impl<C: CostFunction> PenaltyCost<C> {
         let mut fpu = stochastic_fpu::ReliableFpu::new();
         let mut total = 0.0;
         if let Some(eq) = &self.eq {
-            total += eq.evaluate(x, &mut fpu).iter().map(|h| h.abs()).sum::<f64>();
+            total += eq
+                .evaluate(x, &mut fpu)
+                .iter()
+                .map(|h| h.abs())
+                .sum::<f64>();
         }
         if let Some(ineq) = &self.ineq {
-            total += ineq.evaluate(x, &mut fpu).iter().map(|g| g.max(0.0)).sum::<f64>();
+            total += ineq
+                .evaluate(x, &mut fpu)
+                .iter()
+                .map(|g| g.max(0.0))
+                .sum::<f64>();
         }
         if self.nonneg {
             total += x.iter().map(|&v| (-v).max(0.0)).sum::<f64>();
@@ -340,7 +361,10 @@ impl<C: CostFunction> CostFunction for PenaltyCost<C> {
     }
 
     fn anneal(&mut self, factor: f64) {
-        assert!(factor > 0.0 && factor.is_finite(), "anneal factor must be positive");
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "anneal factor must be positive"
+        );
         // Saturate: beyond this the penalty Hessian swamps every step size
         // and the parameter would eventually overflow.
         self.mu = (self.mu * factor).min(1e9);
@@ -427,11 +451,9 @@ mod tests {
     fn exact_penalty_theorem_holds_for_large_mu() {
         // minimize -x on [0, 1]: optimum x* = 1. With μ > 1 the Abs penalty
         // form has its global minimum at exactly x* (Theorem 2).
-        let ineq = AffineConstraints::new(
-            Matrix::from_rows(&[&[1.0]]).expect("valid rows"),
-            vec![1.0],
-        )
-        .expect("consistent");
+        let ineq =
+            AffineConstraints::new(Matrix::from_rows(&[&[1.0]]).expect("valid rows"), vec![1.0])
+                .expect("consistent");
         let cost = PenaltyCost::new(LinearCost::new(vec![-1.0]), 5.0, PenaltyKind::Abs)
             .expect("valid mu")
             .with_inequalities(ineq)
@@ -468,10 +490,9 @@ mod tests {
     #[test]
     fn mismatched_constraint_dims_rejected() {
         let eq = AffineConstraints::new(Matrix::identity(3), vec![0.0; 3]).expect("consistent");
-        let result =
-            PenaltyCost::new(LinearCost::new(vec![1.0, 1.0]), 1.0, PenaltyKind::Abs)
-                .expect("valid mu")
-                .with_equalities(eq);
+        let result = PenaltyCost::new(LinearCost::new(vec![1.0, 1.0]), 1.0, PenaltyKind::Abs)
+            .expect("valid mu")
+            .with_equalities(eq);
         assert!(result.is_err());
     }
 

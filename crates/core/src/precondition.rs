@@ -97,16 +97,16 @@ pub fn precondition_lp(lp: &LinearProgram) -> Result<PreconditionedLp, CoreError
     let mut rhs: Vec<f64> = Vec::new();
     let mut eq_range = 0..0;
     if let Some((a, b)) = lp.upper_bounds() {
-        for i in 0..a.rows() {
+        for (i, &bi) in b.iter().enumerate() {
             rows.push(a.row(i).to_vec());
-            rhs.push(b[i]);
+            rhs.push(bi);
         }
     }
     if let Some((e, d)) = lp.equalities() {
         let start = rows.len();
-        for i in 0..e.rows() {
+        for (i, &di) in d.iter().enumerate() {
             rows.push(e.row(i).to_vec());
-            rhs.push(d[i]);
+            rhs.push(di);
         }
         eq_range = start..rows.len();
     }
@@ -146,8 +146,7 @@ pub fn precondition_lp(lp: &LinearProgram) -> Result<PreconditionedLp, CoreError
     // Rebuild the program over y: objective c_new, constraints Q y ≤/= rhs.
     // Row i of Q corresponds to the original row i of the stack.
     let mut new_lp = LinearProgram::minimize(c_new);
-    let ineq_rows: Vec<usize> =
-        (0..q.rows()).filter(|i| !eq_range.contains(i)).collect();
+    let ineq_rows: Vec<usize> = (0..q.rows()).filter(|i| !eq_range.contains(i)).collect();
     if !ineq_rows.is_empty() {
         let a = Matrix::from_fn(ineq_rows.len(), n, |i, j| q[(ineq_rows[i], j)]);
         let b: Vec<f64> = ineq_rows.iter().map(|&i| rhs[i]).collect();
@@ -191,10 +190,17 @@ mod tests {
         // vertex rather than O(1/mu) outside it; the step size is large
         // because preconditioning shrinks the objective gradient by the
         // constraint scale it removed.
-        let mut cost = pre.lp().penalized(20.0, PenaltyKind::Abs).expect("valid mu");
+        let mut cost = pre
+            .lp()
+            .penalized(20.0, PenaltyKind::Abs)
+            .expect("valid mu");
         let report = Sgd::new(40_000, StepSchedule::Sqrt { gamma0: 0.5 })
             .with_guard(crate::sgd::GradientGuard::Off)
-            .run(&mut cost, &vec![0.0; 2], &mut stochastic_fpu::ReliableFpu::new());
+            .run(
+                &mut cost,
+                &[0.0; 2],
+                &mut stochastic_fpu::ReliableFpu::new(),
+            );
         let x = pre.recover(&report.x).expect("R nonsingular");
         // True optimum of the original LP: x = (1, 5).
         assert!((x[0] - 1.0).abs() < 0.2, "x = {x:?}");
@@ -244,7 +250,10 @@ mod tests {
     #[test]
     fn unconstrained_program_is_rejected() {
         let lp = LinearProgram::minimize(vec![1.0]);
-        assert!(matches!(precondition_lp(&lp), Err(CoreError::InvalidConfig(_))));
+        assert!(matches!(
+            precondition_lp(&lp),
+            Err(CoreError::InvalidConfig(_))
+        ));
     }
 
     #[test]

@@ -64,7 +64,10 @@ mod tests {
 
     #[test]
     fn schedules_decrease_monotonically() {
-        for sched in [StepSchedule::Linear { gamma0: 2.0 }, StepSchedule::Sqrt { gamma0: 2.0 }] {
+        for sched in [
+            StepSchedule::Linear { gamma0: 2.0 },
+            StepSchedule::Sqrt { gamma0: 2.0 },
+        ] {
             let mut prev = f64::INFINITY;
             for t in 1..100 {
                 let g = sched.step(t);

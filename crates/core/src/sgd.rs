@@ -78,7 +78,10 @@ impl Default for Annealing {
         // A doubling every 1000 iterations: slow enough that the shrinking
         // step size keeps the penalized objective's growing curvature
         // stable at the paper's 1000–10000-iteration budgets.
-        Annealing { period: 1000, factor: 2.0 }
+        Annealing {
+            period: 1000,
+            factor: 2.0,
+        }
     }
 }
 
@@ -144,7 +147,10 @@ impl Default for GradientGuard {
 impl GradientGuard {
     /// The default adaptive guard (`factor = 10`, `reject = 100`).
     pub fn default_adaptive() -> Self {
-        GradientGuard::Adaptive { factor: 10.0, reject: 100.0 }
+        GradientGuard::Adaptive {
+            factor: 10.0,
+            reject: 100.0,
+        }
     }
 
     /// Applies the guard statelessly (the adaptive variant needs
@@ -318,7 +324,10 @@ impl Sgd {
     ///
     /// Panics if `beta` is outside `(0, 1]`.
     pub fn with_momentum(mut self, beta: f64) -> Self {
-        assert!(beta > 0.0 && beta <= 1.0, "momentum β must be in (0, 1], got {beta}");
+        assert!(
+            beta > 0.0 && beta <= 1.0,
+            "momentum β must be in (0, 1], got {beta}"
+        );
         self.momentum = Some(beta);
         self
     }
@@ -368,7 +377,11 @@ impl Sgd {
         x0: &[f64],
         fpu: &mut F,
     ) -> SolveReport {
-        assert_eq!(x0.len(), cost.dim(), "initial iterate has the wrong dimension");
+        assert_eq!(
+            x0.len(),
+            cost.dim(),
+            "initial iterate has the wrong dimension"
+        );
         let snapshot = fpu.snapshot();
         let dim = cost.dim();
         let mut x = x0.to_vec();
@@ -412,8 +425,7 @@ impl Sgd {
         }
 
         if let Some(aggressive) = self.aggressive {
-            executed +=
-                self.aggressive_phase(cost, &mut x, &mut grad, fpu, aggressive, &mut guard);
+            executed += self.aggressive_phase(cost, &mut x, &mut grad, fpu, aggressive, &mut guard);
         }
 
         let final_cost = cost.cost(&x, &mut measure);
@@ -456,8 +468,11 @@ impl Sgd {
         for _ in 0..config.max_steps {
             cost.gradient(x, fpu, grad);
             guard.apply(grad);
-            let candidate: Vec<f64> =
-                x.iter().zip(grad.iter()).map(|(xi, gi)| xi - gamma * gi).collect();
+            let candidate: Vec<f64> = x
+                .iter()
+                .zip(grad.iter())
+                .map(|(xi, gi)| xi - gamma * gi)
+                .collect();
             let f_candidate = cost.cost(&candidate, &mut measure);
             steps += 1;
             if f_candidate.is_finite() && f_candidate < f_current {
@@ -524,8 +539,11 @@ mod tests {
             BitFaultModel::lsb_only(BitWidth::F64),
             3,
         );
-        let report = Sgd::new(2000, StepSchedule::Linear { gamma0: 0.5 })
-            .run(&mut cost, &[0.0, 0.0], &mut fpu);
+        let report = Sgd::new(2000, StepSchedule::Linear { gamma0: 0.5 }).run(
+            &mut cost,
+            &[0.0, 0.0],
+            &mut fpu,
+        );
         assert!(report.faults > 0, "no faults were injected");
         assert!((report.x[0] - 2.0).abs() < 1e-2, "x = {:?}", report.x);
         assert!((report.x[1] + 1.0).abs() < 1e-2);
@@ -534,8 +552,7 @@ mod tests {
     #[test]
     fn survives_exponent_faults_with_clip_guard() {
         let mut cost = residual_cost();
-        let mut fpu =
-            NoisyFpu::new(FaultRate::per_flop(0.01), BitFaultModel::emulated(), 17);
+        let mut fpu = NoisyFpu::new(FaultRate::per_flop(0.01), BitFaultModel::emulated(), 17);
         let report = Sgd::new(3000, StepSchedule::Linear { gamma0: 0.5 })
             .with_guard(GradientGuard::Clip { max_norm: 1e3 })
             .run(&mut cost, &[0.0, 0.0], &mut fpu);
@@ -596,7 +613,10 @@ mod tests {
         .with_nonneg();
         let mu_before = cost.mu();
         Sgd::new(100, StepSchedule::Sqrt { gamma0: 0.1 })
-            .with_annealing(Annealing { period: 10, factor: 2.0 })
+            .with_annealing(Annealing {
+                period: 10,
+                factor: 2.0,
+            })
             .run(&mut cost, &[0.0, 0.0], &mut ReliableFpu::new());
         assert_eq!(cost.mu(), mu_before * 2f64.powi(10));
     }
@@ -604,9 +624,11 @@ mod tests {
     #[test]
     fn trace_records_decreasing_costs() {
         let mut cost = residual_cost();
-        let report = Sgd::new(100, StepSchedule::Fixed(0.1))
-            .with_trace(10)
-            .run(&mut cost, &[0.0, 0.0], &mut ReliableFpu::new());
+        let report = Sgd::new(100, StepSchedule::Fixed(0.1)).with_trace(10).run(
+            &mut cost,
+            &[0.0, 0.0],
+            &mut ReliableFpu::new(),
+        );
         let trace = report.trace.expect("trace was requested");
         assert!(trace.len() >= 10);
         let first = trace.entries()[0].1;
@@ -654,8 +676,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "annealing factor")]
     fn invalid_annealing_panics() {
-        Sgd::new(1, StepSchedule::Fixed(0.1))
-            .with_annealing(Annealing { period: 5, factor: 1.0 });
+        Sgd::new(1, StepSchedule::Fixed(0.1)).with_annealing(Annealing {
+            period: 5,
+            factor: 1.0,
+        });
     }
 
     #[test]
@@ -667,8 +691,7 @@ mod tests {
             let mut total = 0.0;
             let runs = 20;
             for seed in 0..runs {
-                let mut cost =
-                    QuadraticCost::new(q.clone(), vec![2.0, -2.0]).expect("consistent");
+                let mut cost = QuadraticCost::new(q.clone(), vec![2.0, -2.0]).expect("consistent");
                 let mut fpu = NoisyFpu::new(
                     FaultRate::per_flop(0.05),
                     BitFaultModel::lsb_only(BitWidth::F64),

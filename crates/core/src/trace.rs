@@ -27,7 +27,10 @@ impl Trace {
     /// Creates a trace that intends to record every `stride` iterations
     /// (`stride` is advisory; [`record`](Self::record) accepts any point).
     pub fn new(stride: usize) -> Self {
-        Trace { stride: stride.max(1), entries: Vec::new() }
+        Trace {
+            stride: stride.max(1),
+            entries: Vec::new(),
+        }
     }
 
     /// The recording stride.
@@ -62,11 +65,14 @@ impl Trace {
 
     /// The lowest recorded cost.
     pub fn best(&self) -> Option<f64> {
-        self.entries.iter().map(|&(_, c)| c).fold(None, |acc, c| match acc {
-            Some(b) if b <= c || c.is_nan() => Some(b),
-            _ if c.is_nan() => acc,
-            _ => Some(c),
-        })
+        self.entries
+            .iter()
+            .map(|&(_, c)| c)
+            .fold(None, |acc, c| match acc {
+                Some(b) if b <= c || c.is_nan() => Some(b),
+                _ if c.is_nan() => acc,
+                _ => Some(c),
+            })
     }
 
     /// The last recorded cost.

@@ -66,9 +66,15 @@ impl VoltageErrorModel {
             );
         }
         for &(v, r) in &points {
-            assert!(v > 0.0 && r > 0.0 && r <= 1.0, "invalid calibration point ({v}, {r})");
+            assert!(
+                v > 0.0 && r > 0.0 && r <= 1.0,
+                "invalid calibration point ({v}, {r})"
+            );
         }
-        VoltageErrorModel { points, nominal_voltage }
+        VoltageErrorModel {
+            points,
+            nominal_voltage,
+        }
     }
 
     /// The calibration shaped like the paper's Figure 5.2: error rate

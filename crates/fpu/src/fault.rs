@@ -163,7 +163,10 @@ impl BitFaultModel {
         let sum: f64 = weights
             .iter()
             .map(|&w| {
-                assert!(w.is_finite() && w >= 0.0, "bit weight must be finite and non-negative, got {w}");
+                assert!(
+                    w.is_finite() && w >= 0.0,
+                    "bit weight must be finite and non-negative, got {w}"
+                );
                 w
             })
             .sum();
@@ -177,7 +180,11 @@ impl BitFaultModel {
         }
         // Guard against round-off leaving the last entry below 1.0.
         *cumulative.last_mut().expect("non-empty weights") = 1.0;
-        BitFaultModel { width, weights, cumulative }
+        BitFaultModel {
+            width,
+            weights,
+            cumulative,
+        }
     }
 
     /// The paper's emulated distribution (Figure 5.1) mapped onto `f64`.
@@ -288,7 +295,10 @@ impl BitFaultModel {
     pub fn sample_bit(&self, lfsr: &mut Lfsr) -> usize {
         let u = lfsr.next_f64();
         // Binary search the cumulative distribution.
-        match self.cumulative.binary_search_by(|c| c.partial_cmp(&u).expect("cumulative weights are finite")) {
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cumulative weights are finite"))
+        {
             Ok(i) => (i + 1).min(self.cumulative.len() - 1),
             Err(i) => i,
         }
@@ -381,7 +391,10 @@ mod tests {
         let low: f64 = w[..mant / 2].iter().sum();
         let mid: f64 = w[mant / 2..mant - 8].iter().sum();
         assert!(top_mantissa > 0.5, "top-mantissa mass {top_mantissa}");
-        assert!((0.01..0.1).contains(&exponent), "exponent tail mass {exponent}");
+        assert!(
+            (0.01..0.1).contains(&exponent),
+            "exponent tail mass {exponent}"
+        );
         assert!(low > 0.35, "low-bit mass {low}");
         assert!(mid < 0.01, "mid-mantissa mass {mid} should be ~0");
     }
@@ -449,7 +462,10 @@ mod tests {
         let mut lfsr = Lfsr::new(3);
         for _ in 0..1000 {
             let corrupted = model.corrupt(1.0, &mut lfsr);
-            assert!((corrupted - 1.0).abs() < 1e-7, "low-bit flip changed 1.0 to {corrupted}");
+            assert!(
+                (corrupted - 1.0).abs() < 1e-7,
+                "low-bit flip changed 1.0 to {corrupted}"
+            );
         }
     }
 

@@ -138,7 +138,10 @@ pub trait FpuExt: Fpu {
 
     /// Captures the current FLOP/fault counters for later deltas.
     fn snapshot(&self) -> FpuSnapshot {
-        FpuSnapshot { flops: self.flops(), faults: self.faults() }
+        FpuSnapshot {
+            flops: self.flops(),
+            faults: self.faults(),
+        }
     }
 }
 
@@ -402,9 +405,10 @@ mod tests {
     #[test]
     fn deterministic_for_fixed_seed() {
         let run = |seed| {
-            let mut fpu =
-                NoisyFpu::new(FaultRate::per_flop(0.1), BitFaultModel::emulated(), seed);
-            (0..1000).map(|i| fpu.add(i as f64, 0.5)).collect::<Vec<_>>()
+            let mut fpu = NoisyFpu::new(FaultRate::per_flop(0.1), BitFaultModel::emulated(), seed);
+            (0..1000)
+                .map(|i| fpu.add(i as f64, 0.5))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(9), run(9));
         assert_ne!(run(9), run(10));

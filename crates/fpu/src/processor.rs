@@ -117,14 +117,20 @@ impl StochasticProcessor {
     ///
     /// Panics if `voltage` is not positive and finite.
     pub fn set_voltage(&mut self, voltage: f64) {
-        assert!(voltage > 0.0 && voltage.is_finite(), "voltage must be positive, got {voltage}");
+        assert!(
+            voltage > 0.0 && voltage.is_finite(),
+            "voltage must be positive, got {voltage}"
+        );
         self.banked_data_energy += self.model.energy(self.data.flops(), self.voltage);
         self.rebase_flops += self.data.flops();
         self.rebase_faults += self.data.faults();
         self.voltage = voltage;
         // A fresh fault stream at the new rate; the seed evolves so streams
         // differ across operating points but stay reproducible.
-        self.seed = self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        self.seed = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(1);
         self.data = NoisyFpu::new(
             self.model.fault_rate_at(voltage),
             self.bit_model.clone(),
@@ -253,7 +259,11 @@ mod tests {
             cpu.add(1.0, 1.0); // 100 FLOPs at power 0.36
         }
         let report = cpu.energy_report();
-        assert!((report.data_energy - 136.0).abs() < 1e-9, "energy {}", report.data_energy);
+        assert!(
+            (report.data_energy - 136.0).abs() < 1e-9,
+            "energy {}",
+            report.data_energy
+        );
     }
 
     #[test]

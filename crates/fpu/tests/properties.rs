@@ -2,8 +2,7 @@
 
 use proptest::prelude::*;
 use stochastic_fpu::{
-    BitFaultModel, BitWidth, FaultRate, FlopOp, Fpu, Lfsr, NoisyFpu, ReliableFpu,
-    VoltageErrorModel,
+    BitFaultModel, BitWidth, FaultRate, FlopOp, Fpu, Lfsr, NoisyFpu, ReliableFpu, VoltageErrorModel,
 };
 
 proptest! {

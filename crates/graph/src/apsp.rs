@@ -45,7 +45,9 @@ impl DiGraph {
                 return Err(GraphError::invalid(format!("edge ({u}, {v}) out of range")));
             }
             if !w.is_finite() || w < 0.0 {
-                return Err(GraphError::invalid(format!("edge ({u}, {v}) has length {w}")));
+                return Err(GraphError::invalid(format!(
+                    "edge ({u}, {v}) has length {w}"
+                )));
             }
         }
         Ok(DiGraph { n, edges })
@@ -175,7 +177,9 @@ impl PartialOrd for OrderedF64 {
 
 impl Ord for OrderedF64 {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("distances are never NaN")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("distances are never NaN")
     }
 }
 
@@ -206,10 +210,9 @@ mod tests {
         for _ in 0..20 {
             let g = random_digraph(&mut rng, 9, 25);
             let fw = floyd_warshall(&mut ReliableFpu::new(), &g).expect("reliable run");
-            for s in 0..9 {
+            for (s, fw_row) in fw.iter().enumerate() {
                 let dj = dijkstra(&g, s);
-                for t in 0..9 {
-                    let (a, b) = (fw[s][t], dj[t]);
+                for (t, (&a, &b)) in fw_row.iter().zip(&dj).enumerate() {
                     assert!(
                         (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-9,
                         "mismatch at ({s}, {t}): fw {a} vs dijkstra {b}"
@@ -258,15 +261,16 @@ mod tests {
         let exact = floyd_warshall(&mut ReliableFpu::new(), &g).expect("reliable run");
         let mut corrupted = 0;
         for seed in 0..30 {
-            let mut fpu =
-                NoisyFpu::new(FaultRate::per_flop(0.05), BitFaultModel::emulated(), seed);
+            let mut fpu = NoisyFpu::new(FaultRate::per_flop(0.05), BitFaultModel::emulated(), seed);
             match floyd_warshall(&mut fpu, &g) {
                 Ok(d) => {
                     let differs = d
                         .iter()
                         .flatten()
                         .zip(exact.iter().flatten())
-                        .any(|(a, b)| (a - b).abs() > 1e-9 && !(a.is_infinite() && b.is_infinite()));
+                        .any(|(a, b)| {
+                            (a - b).abs() > 1e-9 && !(a.is_infinite() && b.is_infinite())
+                        });
                     if differs {
                         corrupted += 1;
                     }

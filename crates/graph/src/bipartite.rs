@@ -33,11 +33,7 @@ impl BipartiteGraph {
     /// Returns [`GraphError::InvalidGraph`] if either side is empty, an
     /// endpoint is out of range, a weight is non-finite, or an edge is
     /// duplicated.
-    pub fn new(
-        nu: usize,
-        nv: usize,
-        edges: Vec<(usize, usize, f64)>,
-    ) -> Result<Self, GraphError> {
+    pub fn new(nu: usize, nv: usize, edges: Vec<(usize, usize, f64)>) -> Result<Self, GraphError> {
         if nu == 0 || nv == 0 {
             return Err(GraphError::invalid("both vertex sets must be non-empty"));
         }
@@ -49,7 +45,9 @@ impl BipartiteGraph {
                 )));
             }
             if !w.is_finite() {
-                return Err(GraphError::invalid(format!("edge ({u}, {v}) has weight {w}")));
+                return Err(GraphError::invalid(format!(
+                    "edge ({u}, {v}) has weight {w}"
+                )));
             }
             if !seen.insert((u, v)) {
                 return Err(GraphError::invalid(format!("duplicate edge ({u}, {v})")));
@@ -75,7 +73,10 @@ impl BipartiteGraph {
 
     /// The weight of edge `(u, v)` if present.
     pub fn weight(&self, u: usize, v: usize) -> Option<f64> {
-        self.edges.iter().find(|&&(eu, ev, _)| eu == u && ev == v).map(|&(_, _, w)| w)
+        self.edges
+            .iter()
+            .find(|&&(eu, ev, _)| eu == u && ev == v)
+            .map(|&(_, _, w)| w)
     }
 
     /// The dense `|U| × |V|` weight matrix, with `missing` (typically `0.0`
@@ -164,8 +165,12 @@ mod tests {
     use super::*;
 
     fn diamond() -> BipartiteGraph {
-        BipartiteGraph::new(2, 2, vec![(0, 0, 3.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 3.0)])
-            .expect("valid graph")
+        BipartiteGraph::new(
+            2,
+            2,
+            vec![(0, 0, 3.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 3.0)],
+        )
+        .expect("valid graph")
     }
 
     #[test]
@@ -188,8 +193,16 @@ mod tests {
     fn matching_weight_checks_validity() {
         let g = diamond();
         assert_eq!(g.matching_weight(&[(0, 0), (1, 1)]), Some(6.0));
-        assert_eq!(g.matching_weight(&[(0, 0), (1, 0)]), None, "repeated right vertex");
-        assert_eq!(g.matching_weight(&[(0, 0), (0, 1)]), None, "repeated left vertex");
+        assert_eq!(
+            g.matching_weight(&[(0, 0), (1, 0)]),
+            None,
+            "repeated right vertex"
+        );
+        assert_eq!(
+            g.matching_weight(&[(0, 0), (0, 1)]),
+            None,
+            "repeated left vertex"
+        );
         let sparse = BipartiteGraph::new(2, 2, vec![(0, 0, 1.0)]).expect("valid graph");
         assert_eq!(sparse.matching_weight(&[(1, 1)]), None, "missing edge");
     }

@@ -37,7 +37,10 @@ impl fmt::Display for GraphError {
         match self {
             GraphError::InvalidGraph(msg) => write!(f, "invalid graph: {msg}"),
             GraphError::NumericalBreakdown => {
-                write!(f, "numerical breakdown: corrupted arithmetic broke the algorithm")
+                write!(
+                    f,
+                    "numerical breakdown: corrupted arithmetic broke the algorithm"
+                )
             }
         }
     }
@@ -51,8 +54,12 @@ mod tests {
 
     #[test]
     fn display_is_meaningful() {
-        assert!(GraphError::invalid("vertex 9").to_string().contains("vertex 9"));
-        assert!(GraphError::NumericalBreakdown.to_string().contains("breakdown"));
+        assert!(GraphError::invalid("vertex 9")
+            .to_string()
+            .contains("vertex 9"));
+        assert!(GraphError::NumericalBreakdown
+            .to_string()
+            .contains("breakdown"));
     }
 
     #[test]

@@ -65,10 +65,17 @@ impl FlowNetwork {
                 return Err(GraphError::invalid(format!("self-loop at {u}")));
             }
             if !c.is_finite() || c < 0.0 {
-                return Err(GraphError::invalid(format!("edge ({u}, {v}) has capacity {c}")));
+                return Err(GraphError::invalid(format!(
+                    "edge ({u}, {v}) has capacity {c}"
+                )));
             }
         }
-        Ok(FlowNetwork { n, source, sink, edges })
+        Ok(FlowNetwork {
+            n,
+            source,
+            sink,
+            edges,
+        })
     }
 
     /// Number of vertices.
@@ -184,7 +191,11 @@ pub fn max_flow<F: Fpu>(fpu: &mut F, net: &FlowNetwork) -> Result<MaxFlowResult,
     if !value.is_finite() {
         return Err(GraphError::NumericalBreakdown);
     }
-    Ok(MaxFlowResult { value, flow, augmentations })
+    Ok(MaxFlowResult {
+        value,
+        flow,
+        augmentations,
+    })
 }
 
 /// Extracts the minimum s–t cut certified by a max flow: the set of
@@ -283,7 +294,10 @@ mod tests {
             }
             let inflow: f64 = (0..n).map(|u| result.flow[u][v]).sum();
             let outflow: f64 = (0..n).map(|w| result.flow[v][w]).sum();
-            assert!((inflow - outflow).abs() < 1e-9, "conservation violated at {v}");
+            assert!(
+                (inflow - outflow).abs() < 1e-9,
+                "conservation violated at {v}"
+            );
         }
     }
 
@@ -292,10 +306,10 @@ mod tests {
         let net = classic();
         let result = max_flow(&mut ReliableFpu::new(), &net).expect("reliable run");
         let cap = net.capacity_matrix();
-        for u in 0..6 {
-            for v in 0..6 {
+        for (u, cap_row) in cap.iter().enumerate() {
+            for (v, &cuv) in cap_row.iter().enumerate() {
                 assert!(
-                    result.flow[u][v] <= cap[u][v] + 1e-9,
+                    result.flow[u][v] <= cuv + 1e-9,
                     "capacity exceeded on ({u}, {v})"
                 );
             }
@@ -317,7 +331,10 @@ mod tests {
                     .sum::<f64>()
             })
             .sum();
-        assert!((cut_capacity - result.value).abs() < 1e-9, "weak duality violated");
+        assert!(
+            (cut_capacity - result.value).abs() < 1e-9,
+            "weak duality violated"
+        );
     }
 
     #[test]
@@ -347,8 +364,7 @@ mod tests {
             let (side, cut) = min_cut(&net, &result);
             assert!(side[net.source()]);
             assert!(!side[net.sink()]);
-            let cut_capacity: f64 =
-                cut.iter().map(|&(u, v)| net.capacity_matrix()[u][v]).sum();
+            let cut_capacity: f64 = cut.iter().map(|&(u, v)| net.capacity_matrix()[u][v]).sum();
             assert!(
                 (cut_capacity - result.value).abs() < 1e-6,
                 "duality gap: cut {cut_capacity} vs flow {}",
@@ -361,8 +377,7 @@ mod tests {
     fn terminates_under_heavy_faults() {
         let net = classic();
         for seed in 0..20 {
-            let mut fpu =
-                NoisyFpu::new(FaultRate::per_flop(0.1), BitFaultModel::emulated(), seed);
+            let mut fpu = NoisyFpu::new(FaultRate::per_flop(0.1), BitFaultModel::emulated(), seed);
             let _ = max_flow(&mut fpu, &net);
         }
     }

@@ -31,7 +31,10 @@ use rand::{Rng, RngExt};
 /// ```
 pub fn random_bipartite<R: Rng>(rng: &mut R, nu: usize, nv: usize, m: usize) -> BipartiteGraph {
     assert!(nu > 0 && nv > 0, "vertex sets must be non-empty");
-    assert!(m <= nu * nv, "cannot place {m} distinct edges in a {nu}x{nv} graph");
+    assert!(
+        m <= nu * nv,
+        "cannot place {m} distinct edges in a {nu}x{nv} graph"
+    );
     let mut pairs: Vec<(usize, usize)> =
         (0..nu).flat_map(|u| (0..nv).map(move |v| (u, v))).collect();
     pairs.shuffle(rng);
@@ -102,7 +105,10 @@ pub fn random_flow_network<R: Rng>(rng: &mut R, n: usize, m: usize) -> FlowNetwo
 /// ```
 pub fn random_digraph<R: Rng>(rng: &mut R, n: usize, m: usize) -> DiGraph {
     assert!(n > 0, "vertex count must be positive");
-    assert!(m <= n * (n - 1), "cannot place {m} distinct edges on {n} vertices");
+    assert!(
+        m <= n * (n - 1),
+        "cannot place {m} distinct edges on {n} vertices"
+    );
     let mut pairs: Vec<(usize, usize)> = (0..n)
         .flat_map(|u| (0..n).filter(move |&v| v != u).map(move |v| (u, v)))
         .collect();
@@ -150,7 +156,12 @@ pub fn random_strongly_connected<R: Rng>(rng: &mut R, n: usize, extra: usize) ->
         .filter(|p| !cycle.contains(p))
         .collect();
     chords.shuffle(rng);
-    edges.extend(chords.into_iter().take(extra).map(|(u, v)| (u, v, rng.random_range(1.0..10.0))));
+    edges.extend(
+        chords
+            .into_iter()
+            .take(extra)
+            .map(|(u, v)| (u, v, rng.random_range(1.0..10.0))),
+    );
     DiGraph::new(n, edges).expect("generated edges are valid by construction")
 }
 
@@ -205,7 +216,10 @@ mod tests {
         for _ in 0..5 {
             let g = random_strongly_connected(&mut rng, 6, 8);
             let d = floyd_warshall(&mut ReliableFpu::new(), &g).expect("reliable run");
-            assert!(d.iter().flatten().all(|v| v.is_finite()), "unreachable pair found");
+            assert!(
+                d.iter().flatten().all(|v| v.is_finite()),
+                "unreachable pair found"
+            );
         }
     }
 

@@ -42,7 +42,9 @@ use stochastic_fpu::{Fpu, FpuExt};
 /// ```
 pub fn hungarian<F: Fpu>(fpu: &mut F, g: &BipartiteGraph) -> Result<Matching, GraphError> {
     if g.edges().iter().any(|&(_, _, w)| w < 0.0) {
-        return Err(GraphError::invalid("hungarian requires non-negative weights"));
+        return Err(GraphError::invalid(
+            "hungarian requires non-negative weights",
+        ));
     }
     // Pad to a square min-cost assignment: cost = max_w − w for real edges,
     // max_w for skips, on an n × n matrix with n = max(|U|, |V|).
@@ -120,8 +122,7 @@ pub fn hungarian<F: Fpu>(fpu: &mut F, g: &BipartiteGraph) -> Result<Matching, Gr
     // Decode: keep only assignments that correspond to real edges.
     let mut pairs = Vec::new();
     let mut weight = 0.0;
-    for j in 1..=n {
-        let i = p[j];
+    for (j, &i) in p.iter().enumerate().skip(1) {
         if i == 0 {
             continue;
         }
@@ -157,7 +158,10 @@ pub fn hungarian<F: Fpu>(fpu: &mut F, g: &BipartiteGraph) -> Result<Matching, Gr
 /// ```
 pub fn brute_force_matching(g: &BipartiteGraph) -> Matching {
     let small = g.left_count().min(g.right_count());
-    assert!(small <= 10, "brute force limited to 10 vertices per side, got {small}");
+    assert!(
+        small <= 10,
+        "brute force limited to 10 vertices per side, got {small}"
+    );
     // Recursive search over left vertices: match to any free right vertex
     // or skip.
     fn search(
@@ -272,8 +276,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let g = random_bipartite(&mut rng, 5, 6, 20);
         for seed in 0..20 {
-            let mut fpu =
-                NoisyFpu::new(FaultRate::per_flop(0.2), BitFaultModel::emulated(), seed);
+            let mut fpu = NoisyFpu::new(FaultRate::per_flop(0.2), BitFaultModel::emulated(), seed);
             // Either a (possibly suboptimal) matching or a breakdown; never
             // a hang or panic.
             let _ = hungarian(&mut fpu, &g);
@@ -289,8 +292,7 @@ mod tests {
         let exact = brute_force_matching(&g).weight();
         let mut suboptimal = 0;
         for seed in 0..40 {
-            let mut fpu =
-                NoisyFpu::new(FaultRate::per_flop(0.05), BitFaultModel::emulated(), seed);
+            let mut fpu = NoisyFpu::new(FaultRate::per_flop(0.05), BitFaultModel::emulated(), seed);
             match hungarian(&mut fpu, &g) {
                 Ok(m) if (m.weight() - exact).abs() < 1e-9 => {}
                 _ => suboptimal += 1,

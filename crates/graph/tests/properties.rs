@@ -70,10 +70,9 @@ proptest! {
         let m = (n * (n - 1) / 2).max(1);
         let g = random_digraph(&mut StdRng::seed_from_u64(seed), n, m);
         let fw = floyd_warshall(&mut ReliableFpu::new(), &g).expect("reliable run");
-        for s in 0..n {
+        for (s, fw_row) in fw.iter().enumerate() {
             let dj = dijkstra(&g, s);
-            for t in 0..n {
-                let (a, b) = (fw[s][t], dj[t]);
+            for (t, (&a, &b)) in fw_row.iter().zip(&dj).enumerate() {
                 prop_assert!(
                     (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-9,
                     "({s},{t}): fw {a} vs dijkstra {b}"

@@ -164,6 +164,79 @@ impl BandedMatrix {
         Ok(x)
     }
 
+    /// The residual `M x − rhs` through the FPU in `O(n · band)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `x` or `rhs` is not of
+    /// length `n`.
+    pub fn residual<F: Fpu>(
+        &self,
+        fpu: &mut F,
+        x: &[f64],
+        rhs: &[f64],
+    ) -> Result<Vec<f64>, LinalgError> {
+        if rhs.len() != self.n {
+            return Err(LinalgError::shape(
+                format!("vector of length {}", self.n),
+                format!("length {}", rhs.len()),
+            ));
+        }
+        let mut r = self.matvec(fpu, x)?;
+        for (ri, &bi) in r.iter_mut().zip(rhs) {
+            *ri = fpu.sub(*ri, bi);
+        }
+        Ok(r)
+    }
+
+    /// Solves the lower-banded system `M x = rhs` by forward substitution
+    /// through the FPU in `O(n · band)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `rhs.len() != n`, or
+    /// [`LinalgError::Singular`] if a diagonal entry is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use robustify_linalg::BandedMatrix;
+    /// use stochastic_fpu::ReliableFpu;
+    ///
+    /// # fn main() -> Result<(), robustify_linalg::LinalgError> {
+    /// let m = BandedMatrix::convolution(4, &[1.0, -1.0])?;
+    /// let x = m.forward_solve(&mut ReliableFpu::new(), &[1.0, 2.0, 3.0, 4.0])?;
+    /// assert_eq!(x, vec![1.0, 3.0, 6.0, 10.0]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn forward_solve<F: Fpu>(&self, fpu: &mut F, rhs: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if rhs.len() != self.n {
+            return Err(LinalgError::shape(
+                format!("vector of length {}", self.n),
+                format!("length {}", rhs.len()),
+            ));
+        }
+        let mut x = vec![0.0; self.n];
+        for i in 0..self.n {
+            let mut acc = rhs[i];
+            for d in 1..=self.band.min(i) {
+                let m = self.diags[d][i - d];
+                if m == 0.0 {
+                    continue;
+                }
+                let p = fpu.mul(m, x[i - d]);
+                acc = fpu.sub(acc, p);
+            }
+            let pivot = self.diags[0][i];
+            if pivot == 0.0 {
+                return Err(LinalgError::Singular);
+            }
+            x[i] = fpu.div(acc, pivot);
+        }
+        Ok(x)
+    }
+
     /// Expands to a dense [`Matrix`] (for tests and small problems).
     pub fn to_dense(&self) -> Matrix {
         Matrix::from_fn(self.n, self.n, |i, j| self.get(i, j))
@@ -221,7 +294,9 @@ mod tests {
         let mut banded_fpu = ReliableFpu::new();
         m.matvec(&mut banded_fpu, &x).expect("length matches");
         let mut dense_fpu = ReliableFpu::new();
-        m.to_dense().matvec(&mut dense_fpu, &x).expect("length matches");
+        m.to_dense()
+            .matvec(&mut dense_fpu, &x)
+            .expect("length matches");
         assert!(
             banded_fpu.flops() * 10 < dense_fpu.flops(),
             "banded {} vs dense {}",

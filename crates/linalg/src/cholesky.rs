@@ -61,7 +61,7 @@ impl CholeskyFactorization {
                     acc = fpu.sub(acc, p);
                 }
                 if i == j {
-                    if !(acc > 0.0) || !acc.is_finite() {
+                    if !acc.is_finite() || acc <= 0.0 {
                         return Err(LinalgError::NotPositiveDefinite);
                     }
                     l[(i, j)] = fpu.sqrt(acc);
@@ -112,11 +112,7 @@ impl CholeskyFactorization {
 /// # Ok(())
 /// # }
 /// ```
-pub fn lstsq_cholesky<F: Fpu>(
-    fpu: &mut F,
-    a: &Matrix,
-    b: &[f64],
-) -> Result<Vec<f64>, LinalgError> {
+pub fn lstsq_cholesky<F: Fpu>(fpu: &mut F, a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
     let gram = a.gram(fpu);
     let atb = a.matvec_t(fpu, b)?;
     CholeskyFactorization::compute(fpu, &gram)?.solve(fpu, &atb)
@@ -137,7 +133,10 @@ mod tests {
         let a = spd();
         let mut fpu = ReliableFpu::new();
         let chol = CholeskyFactorization::compute(&mut fpu, &a).expect("SPD");
-        let llt = chol.l().matmul(&mut fpu, &chol.l().transpose()).expect("shapes match");
+        let llt = chol
+            .l()
+            .matmul(&mut fpu, &chol.l().transpose())
+            .expect("shapes match");
         assert!(llt.max_abs_diff(&a) < 1e-12);
     }
 
@@ -204,8 +203,7 @@ mod tests {
         // or returns a (possibly wrong) result; it must never hang.
         let a = spd();
         for seed in 0..20 {
-            let mut fpu =
-                NoisyFpu::new(FaultRate::per_flop(0.3), BitFaultModel::emulated(), seed);
+            let mut fpu = NoisyFpu::new(FaultRate::per_flop(0.3), BitFaultModel::emulated(), seed);
             let _ = lstsq_cholesky(&mut fpu, &a, &[1.0, 2.0, 3.0]);
         }
     }

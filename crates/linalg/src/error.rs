@@ -53,7 +53,10 @@ impl fmt::Display for LinalgError {
                 write!(f, "matrix is not positive definite")
             }
             LinalgError::DidNotConverge { iterations } => {
-                write!(f, "factorization did not converge after {iterations} sweeps")
+                write!(
+                    f,
+                    "factorization did not converge after {iterations} sweeps"
+                )
             }
             LinalgError::NotFinite => write!(f, "encountered a non-finite value"),
         }
@@ -65,7 +68,10 @@ impl Error for LinalgError {}
 impl LinalgError {
     /// Convenience constructor for shape mismatches.
     pub fn shape(expected: impl Into<String>, found: impl Into<String>) -> Self {
-        LinalgError::DimensionMismatch { expected: expected.into(), found: found.into() }
+        LinalgError::DimensionMismatch {
+            expected: expected.into(),
+            found: found.into(),
+        }
     }
 }
 
@@ -79,7 +85,10 @@ mod tests {
             (LinalgError::shape("3x3", "2x3"), "dimension mismatch"),
             (LinalgError::Singular, "singular"),
             (LinalgError::NotPositiveDefinite, "positive definite"),
-            (LinalgError::DidNotConverge { iterations: 5 }, "did not converge"),
+            (
+                LinalgError::DidNotConverge { iterations: 5 },
+                "did not converge",
+            ),
             (LinalgError::NotFinite, "non-finite"),
         ];
         for (err, needle) in cases {

@@ -181,7 +181,10 @@ mod tests {
 
     #[test]
     fn dot_of_empty_is_zero() {
-        assert_eq!(dot(&mut ReliableFpu::new(), &[], &[]).expect("equal lengths"), 0.0);
+        assert_eq!(
+            dot(&mut ReliableFpu::new(), &[], &[]).expect("equal lengths"),
+            0.0
+        );
     }
 
     #[test]

@@ -41,7 +41,11 @@ impl Matrix {
     /// Panics if either dimension is zero.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -74,7 +78,11 @@ impl Matrix {
             }
             data.extend_from_slice(row);
         }
-        Ok(Matrix { rows: rows.len(), cols, data })
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
     }
 
     /// Creates a matrix whose `(i, j)` entry is `f(i, j)`.
@@ -129,7 +137,11 @@ impl Matrix {
     ///
     /// Panics if `i >= self.rows()`.
     pub fn row(&self, i: usize) -> &[f64] {
-        assert!(i < self.rows, "row {i} out of bounds for {} rows", self.rows);
+        assert!(
+            i < self.rows,
+            "row {i} out of bounds for {} rows",
+            self.rows
+        );
         &self.data[i * self.cols..(i + 1) * self.cols]
     }
 
@@ -139,7 +151,11 @@ impl Matrix {
     ///
     /// Panics if `i >= self.rows()`.
     pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
-        assert!(i < self.rows, "row {i} out of bounds for {} rows", self.rows);
+        assert!(
+            i < self.rows,
+            "row {i} out of bounds for {} rows",
+            self.rows
+        );
         &mut self.data[i * self.cols..(i + 1) * self.cols]
     }
 
@@ -149,7 +165,11 @@ impl Matrix {
     ///
     /// Panics if `j >= self.cols()`.
     pub fn col(&self, j: usize) -> Vec<f64> {
-        assert!(j < self.cols, "column {j} out of bounds for {} columns", self.cols);
+        assert!(
+            j < self.cols,
+            "column {j} out of bounds for {} columns",
+            self.cols
+        );
         (0..self.rows).map(|i| self[(i, j)]).collect()
     }
 
@@ -191,7 +211,9 @@ impl Matrix {
                 format!("length {}", x.len()),
             ));
         }
-        Ok((0..self.rows).map(|i| kernels::dot_unchecked(fpu, self.row(i), x)).collect())
+        Ok((0..self.rows)
+            .map(|i| kernels::dot_unchecked(fpu, self.row(i), x))
+            .collect())
     }
 
     /// Transposed matrix–vector product `Aᵀ y` through the FPU.
@@ -301,14 +323,20 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f64;
 
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i}, {j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i}, {j}) out of bounds"
+        );
         &self.data[i * self.cols + j]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i}, {j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i}, {j}) out of bounds"
+        );
         &mut self.data[i * self.cols + j]
     }
 }
@@ -395,7 +423,9 @@ mod tests {
     #[test]
     fn matvec_matches_hand_computation() {
         let m = abc();
-        let y = m.matvec(&mut ReliableFpu::new(), &[1.0, 0.0, -1.0]).expect("shapes match");
+        let y = m
+            .matvec(&mut ReliableFpu::new(), &[1.0, 0.0, -1.0])
+            .expect("shapes match");
         assert_eq!(y, vec![-2.0, -2.0]);
     }
 
@@ -403,7 +433,9 @@ mod tests {
     fn matvec_rejects_bad_shape() {
         let m = abc();
         assert!(m.matvec(&mut ReliableFpu::new(), &[1.0]).is_err());
-        assert!(m.matvec_t(&mut ReliableFpu::new(), &[1.0, 2.0, 3.0]).is_err());
+        assert!(m
+            .matvec_t(&mut ReliableFpu::new(), &[1.0, 2.0, 3.0])
+            .is_err());
     }
 
     #[test]
@@ -411,7 +443,10 @@ mod tests {
         let m = abc();
         let mut fpu = ReliableFpu::new();
         let a = m.matvec_t(&mut fpu, &[1.0, 2.0]).expect("shapes match");
-        let b = m.transpose().matvec(&mut fpu, &[1.0, 2.0]).expect("shapes match");
+        let b = m
+            .transpose()
+            .matvec(&mut fpu, &[1.0, 2.0])
+            .expect("shapes match");
         assert_eq!(a, b);
     }
 
@@ -419,14 +454,18 @@ mod tests {
     fn matmul_identity_is_noop() {
         let m = abc();
         let mut fpu = ReliableFpu::new();
-        let out = m.matmul(&mut fpu, &Matrix::identity(3)).expect("shapes match");
+        let out = m
+            .matmul(&mut fpu, &Matrix::identity(3))
+            .expect("shapes match");
         assert_eq!(out, m);
     }
 
     #[test]
     fn matmul_rejects_bad_shapes() {
         let m = abc();
-        assert!(m.matmul(&mut ReliableFpu::new(), &Matrix::identity(2)).is_err());
+        assert!(m
+            .matmul(&mut ReliableFpu::new(), &Matrix::identity(2))
+            .is_err());
     }
 
     #[test]

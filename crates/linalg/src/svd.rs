@@ -112,7 +112,9 @@ impl SvdFactorization {
             }
         }
         if !converged {
-            return Err(LinalgError::DidNotConverge { iterations: MAX_SWEEPS });
+            return Err(LinalgError::DidNotConverge {
+                iterations: MAX_SWEEPS,
+            });
         }
         // Singular values are the column norms of the rotated matrix; U is
         // the normalized columns.
@@ -130,7 +132,9 @@ impl SvdFactorization {
             }
         }
         order.sort_by(|&a, &b| {
-            sigma_raw[b].partial_cmp(&sigma_raw[a]).expect("singular values are finite")
+            sigma_raw[b]
+                .partial_cmp(&sigma_raw[a])
+                .expect("singular values are finite")
         });
         let mut u = Matrix::zeros(m, n);
         let mut sigma = vec![0.0; n];
@@ -148,7 +152,11 @@ impl SvdFactorization {
                 v_sorted[(i, new_j)] = v[(i, old_j)];
             }
         }
-        Ok(SvdFactorization { u, sigma, v: v_sorted })
+        Ok(SvdFactorization {
+            u,
+            sigma,
+            v: v_sorted,
+        })
     }
 
     /// The left singular vectors `U` (`m × n`).
@@ -251,7 +259,10 @@ pub fn condition_number(a: &Matrix) -> Result<f64, LinalgError> {
     let mut fpu = stochastic_fpu::ReliableFpu::new();
     let svd = SvdFactorization::compute(&mut fpu, a)?;
     let max = svd.singular_values()[0];
-    let min = *svd.singular_values().last().expect("non-empty singular values");
+    let min = *svd
+        .singular_values()
+        .last()
+        .expect("non-empty singular values");
     if min == 0.0 {
         return Err(LinalgError::Singular);
     }
@@ -287,7 +298,9 @@ mod tests {
                 us[(i, j)] *= svd.singular_values()[j];
             }
         }
-        let recon = us.matmul(&mut fpu, &svd.v().transpose()).expect("shapes match");
+        let recon = us
+            .matmul(&mut fpu, &svd.v().transpose())
+            .expect("shapes match");
         assert!(recon.max_abs_diff(&a) < 1e-10);
     }
 
@@ -352,8 +365,7 @@ mod tests {
     fn svd_terminates_under_heavy_faults() {
         let a = tall_matrix();
         for seed in 0..10 {
-            let mut fpu =
-                NoisyFpu::new(FaultRate::per_flop(0.3), BitFaultModel::emulated(), seed);
+            let mut fpu = NoisyFpu::new(FaultRate::per_flop(0.3), BitFaultModel::emulated(), seed);
             // Any outcome is fine — Ok with garbage, or a breakdown error —
             // as long as it returns.
             let _ = lstsq_svd(&mut fpu, &a, &[1.0, 0.0, 2.0, -1.0, 3.0]);

@@ -155,7 +155,13 @@ mod tests {
         let i3 = Matrix::identity(3);
         let b = [1.0, -2.0, 3.0];
         let mut fpu = ReliableFpu::new();
-        assert_eq!(solve_upper(&mut fpu, &i3, &b).expect("nonsingular"), b.to_vec());
-        assert_eq!(solve_lower(&mut fpu, &i3, &b).expect("nonsingular"), b.to_vec());
+        assert_eq!(
+            solve_upper(&mut fpu, &i3, &b).expect("nonsingular"),
+            b.to_vec()
+        );
+        assert_eq!(
+            solve_lower(&mut fpu, &i3, &b).expect("nonsingular"),
+            b.to_vec()
+        );
     }
 }

@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use robustify_linalg::{
-    dot, lstsq_cholesky, lstsq_qr, lstsq_svd, norm2, norm2_sq, BandedMatrix,
-    CholeskyFactorization, Matrix, QrFactorization, SvdFactorization,
+    dot, lstsq_cholesky, lstsq_qr, lstsq_svd, norm2, norm2_sq, BandedMatrix, CholeskyFactorization,
+    Matrix, QrFactorization, SvdFactorization,
 };
 use stochastic_fpu::ReliableFpu;
 

@@ -32,8 +32,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The robustified version: the same problem recast as minimizing
     // ‖Ax − b‖² and solved with fault-tolerant stochastic gradient descent
     // (the paper's SGD+AS,LS configuration).
-    let sgd = Sgd::new(1000, StepSchedule::Linear { gamma0: problem.default_gamma0() })
-        .with_aggressive_stepping(AggressiveStepping::default());
+    let sgd = Sgd::new(
+        1000,
+        StepSchedule::Linear {
+            gamma0: problem.default_gamma0(),
+        },
+    )
+    .with_aggressive_stepping(AggressiveStepping::default());
     let report = problem.solve_sgd(&sgd, &mut fpu);
     let robust_error = problem.residual_relative_error(&report.x);
 
@@ -41,6 +46,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("baseline (SVD) error   : {baseline_error:.3e}");
     println!("robust (SGD) error     : {robust_error:.3e}");
 
-    assert!(robust_error < 1.0, "the robust solver should stay in the ballpark");
+    assert!(
+        robust_error < 1.0,
+        "the robust solver should stay in the ballpark"
+    );
     Ok(())
 }

@@ -46,7 +46,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             3,
         );
         let baseline = match problem.solve_baseline(&mut fpu) {
-            Ok(m) => format!("weight {:.1} (optimal: {})", m.weight(), problem.is_success(&m)),
+            Ok(m) => format!(
+                "weight {:.1} (optimal: {})",
+                m.weight(),
+                problem.is_success(&m)
+            ),
             Err(e) => format!("broke down: {e}"),
         };
 

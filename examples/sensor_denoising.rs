@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     let clean = filter.reference(&u);
 
-    println!("{:>12} {:>16} {:>16}", "fault_rate_%", "direct_err/sig", "robust_err/sig");
+    println!(
+        "{:>12} {:>16} {:>16}",
+        "fault_rate_%", "direct_err/sig", "robust_err/sig"
+    );
     for rate_pct in [0.1, 0.5, 1.0, 2.0] {
         let mut fpu = NoisyFpu::new(
             FaultRate::percent_of_flops(rate_pct),

@@ -17,7 +17,10 @@ use robustify::fpu::{BitFaultModel, FaultRate};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let problem = SortProblem::new(vec![7.5, -3.0, 142.0, 0.25, 11.0])?;
     println!("input: {:?}", problem.input());
-    println!("{:>12} {:>14} {:>14}", "fault_rate_%", "quicksort_%", "robust_sgd_%");
+    println!(
+        "{:>12} {:>14} {:>14}",
+        "fault_rate_%", "quicksort_%", "robust_sgd_%"
+    );
 
     for rate_pct in [0.5, 2.0, 5.0, 10.0, 20.0] {
         let trials = 60;
@@ -41,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // The paper's strongest sorting configuration: 1/sqrt(t) steps plus
         // an aggressive-stepping tail.
         let sgd = Sgd::new(10_000, StepSchedule::Sqrt { gamma0: 0.1 })
-            .with_guard(GradientGuard::Adaptive { factor: 3.0, reject: 30.0 })
+            .with_guard(GradientGuard::Adaptive {
+                factor: 3.0,
+                reject: 30.0,
+            })
             .with_aggressive_stepping(AggressiveStepping::default());
         let robust = cfg.success_rate(|fpu| {
             let (out, _) = problem.solve_sgd(&sgd, fpu);

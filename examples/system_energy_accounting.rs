@@ -47,9 +47,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let _ = gamma0;
 
     let energy = cpu.energy_report();
-    println!("solution rel. error  : {:.3e}", problem.residual_relative_error(&report.x));
-    println!("data-plane FLOPs     : {} at 0.70 V (faults seen: {})", energy.data_flops, energy.faults);
-    println!("protected FLOPs      : {} at 1.00 V", energy.protected_flops);
+    println!(
+        "solution rel. error  : {:.3e}",
+        problem.residual_relative_error(&report.x)
+    );
+    println!(
+        "data-plane FLOPs     : {} at 0.70 V (faults seen: {})",
+        energy.data_flops, energy.faults
+    );
+    println!(
+        "protected FLOPs      : {} at 1.00 V",
+        energy.protected_flops
+    );
     println!("data-plane energy    : {:.0}", energy.data_energy);
     println!("protected energy     : {:.0}", energy.protected_energy);
     println!("total system energy  : {:.0}", energy.total_energy());

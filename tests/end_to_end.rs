@@ -10,9 +10,7 @@ use robustify::apps::least_squares::LeastSquares;
 use robustify::apps::matching::MatchingProblem;
 use robustify::apps::maxflow::MaxFlowProblem;
 use robustify::apps::sorting::SortProblem;
-use robustify::core::{
-    AggressiveStepping, Annealing, GradientGuard, Sgd, StepSchedule,
-};
+use robustify::core::{AggressiveStepping, Annealing, GradientGuard, Sgd, StepSchedule};
 use robustify::fpu::{BitFaultModel, FaultRate, Fpu, NoisyFpu, ReliableFpu};
 use robustify::graph::generators::{
     random_bipartite, random_flow_network, random_strongly_connected,
@@ -29,16 +27,28 @@ fn robust_least_squares_beats_every_baseline_at_2pct() {
         BitFaultModel::emulated(),
         77,
     );
-    let sgd = Sgd::new(1000, StepSchedule::Linear { gamma0: problem.default_gamma0() })
-        .with_aggressive_stepping(AggressiveStepping::default());
+    let sgd = Sgd::new(
+        1000,
+        StepSchedule::Linear {
+            gamma0: problem.default_gamma0(),
+        },
+    )
+    .with_aggressive_stepping(AggressiveStepping::default());
     let robust = cfg.metric_summary(|fpu| {
         let report = problem.solve_sgd(&sgd, fpu);
         problem.residual_relative_error(&report.x)
     });
-    assert!(robust.median() < 0.1, "robust median error {}", robust.median());
+    assert!(
+        robust.median() < 0.1,
+        "robust median error {}",
+        robust.median()
+    );
 
     for (name, solver) in [
-        ("svd", &LeastSquares::solve_svd::<NoisyFpu> as &dyn Fn(&LeastSquares, &mut NoisyFpu) -> _),
+        (
+            "svd",
+            &LeastSquares::solve_svd::<NoisyFpu> as &dyn Fn(&LeastSquares, &mut NoisyFpu) -> _,
+        ),
         ("qr", &LeastSquares::solve_qr::<NoisyFpu>),
         ("cholesky", &LeastSquares::solve_cholesky::<NoisyFpu>),
     ] {
@@ -63,10 +73,12 @@ fn robust_least_squares_beats_every_baseline_at_2pct() {
 
 #[test]
 fn robust_sort_high_success_at_5pct() {
-    let cfg =
-        TrialConfig::new(20, FaultRate::per_flop(0.05), BitFaultModel::emulated(), 9);
+    let cfg = TrialConfig::new(20, FaultRate::per_flop(0.05), BitFaultModel::emulated(), 9);
     let sgd = Sgd::new(10_000, StepSchedule::Sqrt { gamma0: 0.1 })
-        .with_guard(GradientGuard::Adaptive { factor: 3.0, reject: 30.0 })
+        .with_guard(GradientGuard::Adaptive {
+            factor: 3.0,
+            reject: 30.0,
+        })
         .with_aggressive_stepping(AggressiveStepping::default());
     let mut idx = 0u64;
     let success = cfg.success_rate(|fpu| {
@@ -80,16 +92,19 @@ fn robust_sort_high_success_at_5pct() {
 
 #[test]
 fn robust_matching_high_success_at_10pct_with_annealing() {
-    let cfg =
-        TrialConfig::new(12, FaultRate::per_flop(0.10), BitFaultModel::emulated(), 5);
+    let cfg = TrialConfig::new(12, FaultRate::per_flop(0.10), BitFaultModel::emulated(), 5);
     let sgd = Sgd::new(10_000, StepSchedule::Sqrt { gamma0: 0.05 })
         .with_annealing(Annealing::default())
         .with_aggressive_stepping(AggressiveStepping::default());
     let mut idx = 0u64;
     let success = cfg.success_rate(|fpu| {
         idx += 1;
-        let problem =
-            MatchingProblem::new(random_bipartite(&mut StdRng::seed_from_u64(idx * 31), 5, 6, 30));
+        let problem = MatchingProblem::new(random_bipartite(
+            &mut StdRng::seed_from_u64(idx * 31),
+            5,
+            6,
+            30,
+        ));
         let (m, _) = problem.solve_sgd(&sgd, fpu);
         problem.is_success(&m)
     });
@@ -102,20 +117,22 @@ fn robust_iir_orders_of_magnitude_better_at_1pct() {
     let filter = IirFilter::random_stable(&mut rng, 4, 2);
     let u: Vec<f64> = (0..300).map(|i| ((i as f64) * 0.31).sin()).collect();
     let y_ref = filter.reference(&u);
-    let gamma0 = filter.default_gamma0(u.len()).expect("signal longer than taps");
+    let gamma0 = filter
+        .default_gamma0(u.len())
+        .expect("signal longer than taps");
 
-    let cfg =
-        TrialConfig::new(6, FaultRate::per_flop(0.01), BitFaultModel::emulated(), 13);
+    let cfg = TrialConfig::new(6, FaultRate::per_flop(0.01), BitFaultModel::emulated(), 13);
     let baseline = cfg.metric_summary(|fpu| {
         let y = filter.apply_direct(fpu, &u);
         filter.error_to_signal(&y, &y_ref)
     });
-    let cfg =
-        TrialConfig::new(6, FaultRate::per_flop(0.01), BitFaultModel::emulated(), 13);
+    let cfg = TrialConfig::new(6, FaultRate::per_flop(0.01), BitFaultModel::emulated(), 13);
     let sgd = Sgd::new(1500, StepSchedule::Sqrt { gamma0 })
         .with_guard(GradientGuard::ClampComponents { max_abs: 1.0 });
     let robust = cfg.metric_summary(|fpu| {
-        let report = filter.solve_sgd(&u, &sgd, fpu).expect("signal longer than taps");
+        let report = filter
+            .solve_sgd(&u, &sgd, fpu)
+            .expect("signal longer than taps");
         filter.error_to_signal(&report.x, &y_ref)
     });
     assert!(
@@ -128,21 +145,20 @@ fn robust_iir_orders_of_magnitude_better_at_1pct() {
 
 #[test]
 fn robust_maxflow_small_error_at_1pct() {
-    let problem = MaxFlowProblem::new(random_flow_network(
-        &mut StdRng::seed_from_u64(13),
-        6,
-        8,
-    ))
-    .expect("non-empty network");
-    let cfg =
-        TrialConfig::new(5, FaultRate::per_flop(0.01), BitFaultModel::emulated(), 3);
-    let sgd = Sgd::new(8000, StepSchedule::Sqrt { gamma0: 0.02 })
-        .with_annealing(Annealing::default());
+    let problem = MaxFlowProblem::new(random_flow_network(&mut StdRng::seed_from_u64(13), 6, 8))
+        .expect("non-empty network");
+    let cfg = TrialConfig::new(5, FaultRate::per_flop(0.01), BitFaultModel::emulated(), 3);
+    let sgd =
+        Sgd::new(8000, StepSchedule::Sqrt { gamma0: 0.02 }).with_annealing(Annealing::default());
     let summary = cfg.metric_summary(|fpu| {
         let (value, _) = problem.solve_sgd(&sgd, fpu);
         problem.relative_error(value)
     });
-    assert!(summary.median() < 0.3, "maxflow median error {}", summary.median());
+    assert!(
+        summary.median() < 0.3,
+        "maxflow median error {}",
+        summary.median()
+    );
 }
 
 #[test]
@@ -153,16 +169,22 @@ fn robust_apsp_small_error_at_1pct() {
         5,
     ))
     .expect("strongly connected");
-    let cfg =
-        TrialConfig::new(5, FaultRate::per_flop(0.01), BitFaultModel::emulated(), 3);
+    let cfg = TrialConfig::new(5, FaultRate::per_flop(0.01), BitFaultModel::emulated(), 3);
     let sgd = Sgd::new(8000, StepSchedule::Sqrt { gamma0: 0.02 })
         .with_annealing(Annealing::default())
-        .with_guard(GradientGuard::Adaptive { factor: 10.0, reject: 100.0 });
+        .with_guard(GradientGuard::Adaptive {
+            factor: 10.0,
+            reject: 100.0,
+        });
     let summary = cfg.metric_summary(|fpu| {
         let (d, _) = problem.solve_sgd(&sgd, fpu);
         problem.mean_relative_error(&d)
     });
-    assert!(summary.median() < 0.3, "apsp median error {}", summary.median());
+    assert!(
+        summary.median() < 0.3,
+        "apsp median error {}",
+        summary.median()
+    );
 }
 
 #[test]
@@ -196,8 +218,7 @@ fn energy_pipeline_cg_beats_cholesky_for_loose_targets() {
 fn whole_stack_is_deterministic_per_seed() {
     let run = |seed: u64| {
         let problem = LeastSquares::random(&mut StdRng::seed_from_u64(3), 30, 5);
-        let mut fpu =
-            NoisyFpu::new(FaultRate::per_flop(0.02), BitFaultModel::emulated(), seed);
+        let mut fpu = NoisyFpu::new(FaultRate::per_flop(0.02), BitFaultModel::emulated(), seed);
         let report = problem.solve_sgd_default(&mut fpu);
         (report.x, fpu.faults())
     };

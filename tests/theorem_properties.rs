@@ -6,9 +6,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use robustify::apps::matching::MatchingProblem;
 use robustify::apps::sorting::SortProblem;
-use robustify::core::{
-    CostFunction, PenaltyKind, QuadraticCost, Sgd, StepSchedule,
-};
+use robustify::core::{CostFunction, PenaltyKind, QuadraticCost, Sgd, StepSchedule};
 use robustify::fpu::{BitFaultModel, BitWidth, FaultRate, NoisyFpu, ReliableFpu};
 use robustify::graph::generators::random_bipartite;
 use robustify::graph::{brute_force_matching, hungarian};

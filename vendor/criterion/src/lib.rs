@@ -1,0 +1,192 @@
+//! Offline, API-compatible subset of the
+//! [`criterion`](https://crates.io/crates/criterion) benchmark harness,
+//! vendored so `cargo bench` works without network access.
+//!
+//! The statistical machinery of upstream criterion (outlier detection,
+//! bootstrap confidence intervals, HTML reports) is replaced by a plain
+//! mean-over-samples wall-clock measurement printed per benchmark. The
+//! declaration API matches upstream: [`Criterion::benchmark_group`],
+//! `sample_size`, `bench_function`, [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock budget per benchmark function.
+const TARGET_TIME: Duration = Duration::from_millis(500);
+
+/// The benchmark harness handle passed to every benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 100,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Measures `f` and prints its mean iteration time.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+
+        // Calibrate: grow the per-sample iteration count until one sample
+        // costs at least ~1/50th of the time budget.
+        loop {
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            if bencher.elapsed * 50 >= TARGET_TIME || bencher.iters >= 1 << 20 {
+                break;
+            }
+            bencher.iters *= 2;
+        }
+
+        let per_sample_budget = TARGET_TIME / self.sample_size as u32;
+        let samples = self.sample_size.min({
+            let one = bencher.elapsed.max(Duration::from_nanos(1));
+            ((TARGET_TIME.as_nanos() / one.as_nanos().max(1)) as usize).max(1)
+        });
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..samples {
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            total += bencher.elapsed;
+            iters += bencher.iters;
+            if total >= TARGET_TIME + per_sample_budget {
+                break;
+            }
+        }
+        let mean = total.as_nanos() as f64 / iters.max(1) as f64;
+        println!(
+            "{}/{:<40} {:>14} /iter ({} iters)",
+            self.name,
+            id,
+            format_ns(mean),
+            iters
+        );
+        self
+    }
+
+    /// Ends the group (upstream API; a no-op here).
+    pub fn finish(self) {}
+}
+
+/// Times closures for one benchmark; handed to the benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, timing the batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:8.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:8.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:8.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:8.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group function running each listed benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a benchmark binary (requires `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Under `cargo test --benches` cargo invokes bench binaries in
+            // test mode; only smoke-run there. `--bench` is passed by
+            // `cargo bench`.
+            let test_mode = std::env::args().any(|a| a == "--test");
+            if test_mode {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("smoke");
+        group.sample_size(10);
+        let mut runs = 0u64;
+        group.bench_function("counting", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn ns_formatting_scales() {
+        assert!(format_ns(12.0).contains("ns"));
+        assert!(format_ns(12_000.0).contains("µs"));
+        assert!(format_ns(12_000_000.0).contains("ms"));
+        assert!(format_ns(12_000_000_000.0).contains('s'));
+    }
+}
