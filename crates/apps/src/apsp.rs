@@ -11,7 +11,10 @@
 //! every `D_ij` to the true shortest path length (for strongly connected
 //! graphs). The baseline is Floyd–Warshall through the faulty FPU.
 
-use robustify_core::{CoreError, LinearProgram, PenaltyKind, Sgd, SolveReport};
+use robustify_core::{
+    CoreError, LinearCost, LinearProgram, PenaltyCost, PenaltyKind, RobustProblem, Sgd,
+    SolveReport, SolverSpec, Verdict,
+};
 use robustify_graph::{floyd_warshall, DiGraph, GraphError};
 use robustify_linalg::Matrix;
 use stochastic_fpu::{Fpu, ReliableFpu};
@@ -177,6 +180,39 @@ impl ApspProblem {
             }
         }
         total / count.max(1) as f64
+    }
+}
+
+impl RobustProblem for ApspProblem {
+    type Solution = Vec<Vec<f64>>;
+    type Cost = PenaltyCost<LinearCost>;
+
+    fn name(&self) -> &'static str {
+        "apsp"
+    }
+
+    fn cost(&self) -> Self::Cost {
+        self.to_lp()
+            .penalized(Self::DEFAULT_MU, PenaltyKind::Squared)
+            .expect("default mu is valid")
+    }
+
+    fn decode(&self, _cost: &Self::Cost, x: &[f64]) -> Vec<Vec<f64>> {
+        ApspProblem::decode(self, x)
+    }
+
+    fn reference(&self) -> Vec<Vec<f64>> {
+        self.reference.clone()
+    }
+
+    /// The metric is the mean relative distance error; success requires it
+    /// at most 5%.
+    fn verify(&self, solution: &Vec<Vec<f64>>) -> Verdict {
+        Verdict::from_metric(self.mean_relative_error(solution), 0.05)
+    }
+
+    fn baseline<F: Fpu>(&self, _spec: &SolverSpec, fpu: &mut F) -> Option<Vec<Vec<f64>>> {
+        self.solve_baseline(fpu).ok()
     }
 }
 

@@ -16,9 +16,13 @@
 //! which matters at the paper's 10 000-iteration budgets. Equivalence with
 //! the generic [`LinearProgram`] path is covered by tests.
 
-use robustify_core::{CoreError, CostFunction, LinearProgram, PenaltyKind};
+use rand::{Rng, RngExt};
+use robustify_core::{
+    CoreError, CostFunction, LinearProgram, PenaltyKind, RobustProblem, SolverSpec, Verdict,
+};
+use robustify_graph::{hungarian, BipartiteGraph};
 use robustify_linalg::Matrix;
-use stochastic_fpu::Fpu;
+use stochastic_fpu::{Fpu, ReliableFpu};
 
 /// The penalized payoff-maximization cost over relaxed permutation matrices
 /// (paper eqs. 4.4–4.5).
@@ -300,6 +304,159 @@ impl CostFunction for DoublyStochasticCost {
         // Saturated as in `PenaltyCost::anneal`.
         self.mu1 = (self.mu1 * factor).min(1e9);
         self.mu2 = (self.mu2 * factor).min(1e9);
+    }
+}
+
+/// The assignment problem in its own right: maximize the total payoff of a
+/// one-to-one assignment for a dense positive payoff matrix — the LP (4.3)
+/// without the sorting/matching framing, as a [`RobustProblem`].
+///
+/// # Examples
+///
+/// ```
+/// use robustify_apps::doubly_stochastic::AssignmentProblem;
+/// use robustify_core::{RobustProblem, SolverSpec, StepSchedule};
+/// use robustify_linalg::Matrix;
+/// use stochastic_fpu::ReliableFpu;
+///
+/// # fn main() -> Result<(), robustify_core::CoreError> {
+/// let payoff = Matrix::from_rows(&[&[0.9, 0.1], &[0.2, 0.8]])?;
+/// let problem = AssignmentProblem::new(payoff)?;
+/// let spec = SolverSpec::sgd(3000, StepSchedule::Sqrt { gamma0: 0.05 });
+/// let out = problem.solve(&spec, &mut ReliableFpu::new())?;
+/// assert!(problem.verify(&out.solution.expect("sgd decodes")).success);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssignmentProblem {
+    payoff: Matrix,
+    graph: BipartiteGraph,
+    optimal_weight: f64,
+}
+
+impl AssignmentProblem {
+    /// Default non-negativity penalty weight `μ₁`.
+    pub const DEFAULT_MU1: f64 = 8.0;
+    /// Default row/column-sum penalty weight `μ₂`.
+    pub const DEFAULT_MU2: f64 = 8.0;
+
+    /// Creates the problem for a payoff matrix with positive finite
+    /// entries, computing the optimal assignment weight offline with a
+    /// reliable Hungarian pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if the matrix is empty or any
+    /// entry is non-positive or non-finite (the `≤ 1` row/column relaxation
+    /// only recovers assignments whose every edge carries positive payoff).
+    pub fn new(payoff: Matrix) -> Result<Self, CoreError> {
+        let (r, c) = (payoff.rows(), payoff.cols());
+        if r == 0 || c == 0 {
+            return Err(CoreError::invalid_config("payoff matrix is empty"));
+        }
+        for i in 0..r {
+            for j in 0..c {
+                let v = payoff[(i, j)];
+                if !v.is_finite() || v <= 0.0 {
+                    return Err(CoreError::invalid_config(format!(
+                        "payoff entries must be positive and finite, got {v} at ({i}, {j})"
+                    )));
+                }
+            }
+        }
+        let mut edges = Vec::with_capacity(r * c);
+        for i in 0..r {
+            for j in 0..c {
+                edges.push((i, j, payoff[(i, j)]));
+            }
+        }
+        let graph = BipartiteGraph::new(r, c, edges).expect("dense edges are in range");
+        let optimal_weight = hungarian(&mut ReliableFpu::new(), &graph)
+            .expect("reliable hungarian cannot break down")
+            .weight();
+        Ok(AssignmentProblem {
+            payoff,
+            graph,
+            optimal_weight,
+        })
+    }
+
+    /// Generates a random problem with an `n × n` payoff drawn uniformly
+    /// from `[0.1, 1.1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn random<R: Rng>(rng: &mut R, n: usize) -> Self {
+        assert!(n > 0, "need at least one agent");
+        let payoff = Matrix::from_fn(n, n, |_, _| rng.random_range(0.1..1.1));
+        Self::new(payoff).expect("generated entries are positive and finite")
+    }
+
+    /// The payoff matrix.
+    pub fn payoff(&self) -> &Matrix {
+        &self.payoff
+    }
+
+    /// The optimal assignment weight (ground truth).
+    pub fn optimal_weight(&self) -> f64 {
+        self.optimal_weight
+    }
+
+    /// The total payoff of an assignment (native arithmetic).
+    pub fn assignment_weight(&self, pairs: &[(usize, usize)]) -> f64 {
+        pairs.iter().map(|&(i, j)| self.payoff[(i, j)]).sum()
+    }
+}
+
+impl RobustProblem for AssignmentProblem {
+    type Solution = Vec<(usize, usize)>;
+    type Cost = DoublyStochasticCost;
+
+    fn name(&self) -> &'static str {
+        "doubly_stochastic"
+    }
+
+    fn cost(&self) -> Self::Cost {
+        DoublyStochasticCost::new(
+            self.payoff.clone(),
+            Self::DEFAULT_MU1,
+            Self::DEFAULT_MU2,
+            PenaltyKind::Squared,
+        )
+        .expect("default penalty weights are valid")
+    }
+
+    fn initial_iterate<F: Fpu>(&self, cost: &Self::Cost, _fpu: &mut F) -> Vec<f64> {
+        cost.initial_iterate()
+    }
+
+    fn decode(&self, cost: &Self::Cost, x: &[f64]) -> Vec<(usize, usize)> {
+        cost.decode_assignment(x, 0.25)
+    }
+
+    fn reference(&self) -> Vec<(usize, usize)> {
+        hungarian(&mut ReliableFpu::new(), &self.graph)
+            .expect("reliable hungarian cannot break down")
+            .pairs()
+            .to_vec()
+    }
+
+    /// Success means attaining the optimal weight (up to round-off); the
+    /// metric is the relative payoff gap.
+    fn verify(&self, solution: &Vec<(usize, usize)>) -> Verdict {
+        let weight = self.assignment_weight(solution);
+        let gap = (self.optimal_weight - weight).max(0.0) / self.optimal_weight.max(1e-12);
+        Verdict {
+            success: (weight - self.optimal_weight).abs() <= 1e-9 * (1.0 + self.optimal_weight),
+            metric: gap,
+        }
+    }
+
+    /// The fault-exposed Hungarian baseline.
+    fn baseline<F: Fpu>(&self, _spec: &SolverSpec, fpu: &mut F) -> Option<Vec<(usize, usize)>> {
+        hungarian(fpu, &self.graph).ok().map(|m| m.pairs().to_vec())
     }
 }
 

@@ -8,7 +8,9 @@
 //! through the faulty FPU.
 
 use rand::{Rng, RngExt};
-use robustify_core::{CoreError, CostFunction, Sgd, SolveReport};
+use robustify_core::{
+    CoreError, CostFunction, RobustProblem, Sgd, SolveReport, SolverSpec, Verdict,
+};
 use robustify_linalg::Matrix;
 use stochastic_fpu::{Fpu, ReliableFpu};
 
@@ -192,14 +194,10 @@ impl EigenProblem {
     /// decoded eigenvalue (reliable Rayleigh quotient of the normalized
     /// iterate), the eigenvector estimate, and the report.
     pub fn solve_sgd<F: Fpu>(&self, sgd: &Sgd, fpu: &mut F) -> (f64, Vec<f64>, SolveReport) {
-        let n = self.a.rows();
-        let mu = 2.0 * self.top_eigenvalue.abs().max(1.0);
-        let mut cost = RayleighCost::new(self.a.clone(), mu)
-            .expect("matrix validated at problem construction");
-        // Deterministic non-degenerate start on the sphere.
-        let x0: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).sin()).collect();
-        let norm: f64 = x0.iter().map(|v| v * v).sum::<f64>().sqrt();
-        let x0: Vec<f64> = x0.iter().map(|v| v / norm).collect();
+        // Cost and start come from the one RobustProblem definition so the
+        // two solve paths can never drift apart.
+        let mut cost = RobustProblem::cost(self);
+        let x0 = RobustProblem::initial_iterate(self, &cost, fpu);
         let report = sgd.run(&mut cost, &x0, fpu);
         let (lambda, v) = self.decode(&report.x);
         (lambda, v, report)
@@ -282,6 +280,49 @@ impl EigenProblem {
             pairs.push((lambda, v));
         }
         pairs
+    }
+}
+
+impl RobustProblem for EigenProblem {
+    type Solution = (f64, Vec<f64>);
+    type Cost = RayleighCost;
+
+    fn name(&self) -> &'static str {
+        "eigen"
+    }
+
+    fn cost(&self) -> Self::Cost {
+        let mu = 2.0 * self.top_eigenvalue.abs().max(1.0);
+        RayleighCost::new(self.a.clone(), mu).expect("matrix validated at problem construction")
+    }
+
+    /// The deterministic non-degenerate start on the unit sphere used by
+    /// [`solve_sgd`](EigenProblem::solve_sgd).
+    fn initial_iterate<F: Fpu>(&self, _cost: &Self::Cost, _fpu: &mut F) -> Vec<f64> {
+        let n = self.a.rows();
+        let x0: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).sin()).collect();
+        let norm: f64 = x0.iter().map(|v| v * v).sum::<f64>().sqrt();
+        x0.iter().map(|v| v / norm).collect()
+    }
+
+    fn decode(&self, _cost: &Self::Cost, x: &[f64]) -> (f64, Vec<f64>) {
+        EigenProblem::decode(self, x)
+    }
+
+    fn reference(&self) -> (f64, Vec<f64>) {
+        self.solve_baseline(&mut ReliableFpu::new(), 500)
+    }
+
+    /// The metric is the relative eigenvalue error; success requires it at
+    /// most 5%.
+    fn verify(&self, solution: &(f64, Vec<f64>)) -> Verdict {
+        Verdict::from_metric(self.relative_error(solution.0), 0.05)
+    }
+
+    /// The power-iteration baseline, running `spec.iterations` iterations
+    /// through the faulty FPU.
+    fn baseline<F: Fpu>(&self, spec: &SolverSpec, fpu: &mut F) -> Option<(f64, Vec<f64>)> {
+        Some(self.solve_baseline(fpu, spec.iterations))
     }
 }
 

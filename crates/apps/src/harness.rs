@@ -1,11 +1,20 @@
 //! Seeded trial runners for the experiment harness (Chapter 5 methodology).
 //!
-//! Each experiment point is "success rate (or error) at fault rate r": run
-//! `trials` independent solves, each with a freshly seeded fault-injecting
-//! FPU, and aggregate. Seeds are derived deterministically from a base seed
-//! so every figure is exactly reproducible.
+//! **Deprecated shim.** The serial per-figure loops this module powered now
+//! live in [`robustify_engine`], which executes the same grids in parallel
+//! with identical per-trial *fault-stream* seeding
+//! ([`robustify_engine::derive_trial_seed`] keeps the exact SplitMix
+//! derivation [`TrialConfig::fpu_for_trial`] introduced). Workload seeds
+//! are standardized on [`robustify_engine::problem_seed`]; figure binaries
+//! that previously used a bespoke multiplier (the matching figures) draw
+//! different random workload instances than their earliest recordings.
+//! [`TrialConfig`] remains as a thin compatibility wrapper for existing
+//! callers and doctests; new code should build a
+//! [`robustify_engine::SweepSpec`] instead.
 
 use stochastic_fpu::{BitFaultModel, FaultRate, NoisyFpu};
+
+pub use robustify_engine::{extended_fault_rates, paper_fault_rates, MetricSummary};
 
 /// Configuration for one sweep point: how many trials, at what fault rate,
 /// with which bit-fault model.
@@ -23,6 +32,10 @@ use stochastic_fpu::{BitFaultModel, FaultRate, NoisyFpu};
 /// });
 /// assert!((0.0..=100.0).contains(&rate));
 /// ```
+#[deprecated(
+    since = "0.1.0",
+    note = "build a `robustify_engine::SweepSpec` sweep instead; this shim runs serially"
+)]
 #[derive(Debug, Clone, PartialEq)]
 pub struct TrialConfig {
     trials: usize,
@@ -31,6 +44,7 @@ pub struct TrialConfig {
     base_seed: u64,
 }
 
+#[allow(deprecated)]
 impl TrialConfig {
     /// Creates a sweep-point configuration.
     ///
@@ -57,13 +71,10 @@ impl TrialConfig {
         self.rate
     }
 
-    /// The FPU for trial index `i` (deterministic per base seed).
+    /// The FPU for trial index `i` (deterministic per base seed; the same
+    /// derivation the parallel engine uses).
     pub fn fpu_for_trial(&self, i: usize) -> NoisyFpu {
-        // SplitMix-style seed derivation keeps per-trial streams decorrelated.
-        let seed = self
-            .base_seed
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add((i as u64 + 1).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        let seed = robustify_engine::derive_trial_seed(self.base_seed, i as u64);
         NoisyFpu::new(self.rate, self.model.clone(), seed)
     }
 
@@ -99,79 +110,8 @@ impl TrialConfig {
     }
 }
 
-/// Aggregate statistics of a quality metric over a batch of trials.
-#[derive(Debug, Clone, PartialEq)]
-pub struct MetricSummary {
-    /// Finite metric values, sorted ascending.
-    values: Vec<f64>,
-    /// Trials whose metric was non-finite (breakdowns, NaN outputs).
-    pub failures: usize,
-}
-
-impl MetricSummary {
-    /// Builds a summary from raw values (non-finite entries should already
-    /// have been counted into `failures`).
-    pub fn from_values(mut values: Vec<f64>, failures: usize) -> Self {
-        values.sort_by(|a, b| a.partial_cmp(b).expect("values are finite"));
-        MetricSummary { values, failures }
-    }
-
-    /// Number of trials with a finite metric.
-    pub fn count(&self) -> usize {
-        self.values.len()
-    }
-
-    /// Geometric-mean-friendly central tendency: the median of the finite
-    /// values, or `∞` when every trial failed.
-    pub fn median(&self) -> f64 {
-        if self.values.is_empty() {
-            return f64::INFINITY;
-        }
-        let n = self.values.len();
-        if n % 2 == 1 {
-            self.values[n / 2]
-        } else {
-            0.5 * (self.values[n / 2 - 1] + self.values[n / 2])
-        }
-    }
-
-    /// The arithmetic mean of the finite values, or `∞` when every trial
-    /// failed.
-    pub fn mean(&self) -> f64 {
-        if self.values.is_empty() {
-            return f64::INFINITY;
-        }
-        self.values.iter().sum::<f64>() / self.values.len() as f64
-    }
-
-    /// The worst finite value, or `∞` when every trial failed.
-    pub fn max(&self) -> f64 {
-        self.values.last().copied().unwrap_or(f64::INFINITY)
-    }
-
-    /// Fraction of all trials (finite + failed) that failed, in `[0, 1]`.
-    pub fn failure_fraction(&self) -> f64 {
-        let total = self.values.len() + self.failures;
-        if total == 0 {
-            0.0
-        } else {
-            self.failures as f64 / total as f64
-        }
-    }
-}
-
-/// The fault-rate sweep used by the paper's accuracy figures, as
-/// percentages of FLOPs: `0.1, 0.5, 1, 2, 5, 10`.
-pub fn paper_fault_rates() -> Vec<f64> {
-    vec![0.1, 0.5, 1.0, 2.0, 5.0, 10.0]
-}
-
-/// The extended sweep of Figure 6.5 (`0–50%` of FLOPs).
-pub fn extended_fault_rates() -> Vec<f64> {
-    vec![0.0, 1.0, 5.0, 10.0, 20.0, 30.0, 40.0, 50.0]
-}
-
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use stochastic_fpu::Fpu;
@@ -217,23 +157,23 @@ mod tests {
     }
 
     #[test]
-    fn metric_summary_statistics() {
-        let s = MetricSummary::from_values(vec![3.0, 1.0, 2.0], 1);
-        assert_eq!(s.median(), 2.0);
-        assert_eq!(s.mean(), 2.0);
-        assert_eq!(s.max(), 3.0);
-        assert_eq!(s.count(), 3);
-        assert_eq!(s.failure_fraction(), 0.25);
-        let even = MetricSummary::from_values(vec![1.0, 3.0], 0);
-        assert_eq!(even.median(), 2.0);
-    }
-
-    #[test]
-    fn all_failed_summary_is_infinite() {
-        let s = MetricSummary::from_values(vec![], 5);
-        assert_eq!(s.median(), f64::INFINITY);
-        assert_eq!(s.mean(), f64::INFINITY);
-        assert_eq!(s.failure_fraction(), 1.0);
+    fn shim_seeding_matches_the_engine() {
+        // The compatibility guarantee: the shim's trial FPUs are seeded by
+        // the exact engine derivation, so serial and engine sweeps replay
+        // the same fault streams.
+        let cfg = config(3);
+        for i in 0..3u64 {
+            let mut ours = cfg.fpu_for_trial(i as usize);
+            let mut engines = NoisyFpu::new(
+                FaultRate::per_flop(0.5),
+                BitFaultModel::emulated(),
+                robustify_engine::derive_trial_seed(7, i),
+            );
+            assert_eq!(
+                stream_fingerprint(&mut ours),
+                stream_fingerprint(&mut engines)
+            );
+        }
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! generate the initial iterate for the stochastic least squares solver."
 
 use rand::{Rng, RngExt};
-use robustify_core::{CoreError, CostFunction, Sgd, SolveReport};
+use robustify_core::{
+    CoreError, CostFunction, RobustProblem, Sgd, SolveReport, SolverSpec, Verdict,
+};
 use robustify_linalg::BandedMatrix;
 use stochastic_fpu::{Fpu, ReliableFpu};
 
@@ -160,6 +162,25 @@ impl IirFilter {
         fpu: &mut F,
     ) -> Result<SolveReport, CoreError> {
         let (b_mat, au) = self.to_least_squares(u)?;
+        let x0 = self.warm_start(u, &b_mat, &au, fpu);
+        let mut cost = BandedResidualCost::new(b_mat, au);
+        Ok(sgd.run(&mut cost, &x0, fpu))
+    }
+
+    /// The paper's noisy feed-forward warm start with control-plane
+    /// sanitization, for a prebuilt banded system `(B, Au)` over `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b_mat`/`au` were not built for a signal of `u`'s length
+    /// (as [`to_least_squares`](IirFilter::to_least_squares) does).
+    pub fn warm_start<F: Fpu>(
+        &self,
+        u: &[f64],
+        b_mat: &BandedMatrix,
+        au: &[f64],
+        fpu: &mut F,
+    ) -> Vec<f64> {
         let mut x0 = self.apply_direct(fpu, u);
         // Control-plane sanitization of the warm start, in two stages.
         //
@@ -188,7 +209,9 @@ impl IirFilter {
         // back within its iteration budget, while sub-threshold faults are
         // left for SGD — the data-plane solve the methodology is about.
         let mut setup = ReliableFpu::new();
-        let residual = b_mat.residual(&mut setup, &x0, &au)?;
+        let residual = b_mat
+            .residual(&mut setup, &x0, au)
+            .expect("warm start dimensions match the banded system");
         let drive = au.iter().fold(0.0f64, |m, v| m.max(v.abs()));
         // A residual spike of height `b0 δ` grows into a tail of peak
         // `≈ δ ‖B⁻¹‖` — resonant filters amplify it well beyond δ — while a
@@ -202,7 +225,9 @@ impl IirFilter {
             .map(|&r| if r.abs() > threshold { r } else { 0.0 })
             .collect();
         if spikes.iter().any(|&s| s != 0.0) {
-            let tails = b_mat.forward_solve(&mut setup, &spikes)?;
+            let tails = b_mat
+                .forward_solve(&mut setup, &spikes)
+                .expect("spike vector matches the banded system");
             for (x, e) in x0.iter_mut().zip(&tails) {
                 *x -= e;
             }
@@ -212,8 +237,7 @@ impl IirFilter {
                 *v = 0.0;
             }
         }
-        let mut cost = BandedResidualCost::new(b_mat, au);
-        Ok(sgd.run(&mut cost, &x0, fpu))
+        x0
     }
 
     /// A stable initial step size for the banded least squares solve:
@@ -309,12 +333,128 @@ impl BandedResidualCost {
         BandedResidualCost { b, rhs }
     }
 
+    /// The banded system matrix `B`.
+    pub fn matrix(&self) -> &BandedMatrix {
+        &self.b
+    }
+
+    /// The right-hand side `Au`.
+    pub fn rhs(&self) -> &[f64] {
+        &self.rhs
+    }
+
     fn residual<F: Fpu>(&self, x: &[f64], fpu: &mut F) -> Vec<f64> {
         let bx = self.b.matvec(fpu, x).expect("x has dim() entries");
         bx.iter()
             .zip(&self.rhs)
             .map(|(&bxi, &ri)| fpu.sub(bxi, ri))
             .collect()
+    }
+}
+
+/// An IIR filtering task bound to a concrete input signal — the
+/// [`RobustProblem`] form of §4.2.
+///
+/// # Examples
+///
+/// ```
+/// use robustify_apps::iir::{IirFilter, IirProblem};
+/// use robustify_core::{RobustProblem, SolverSpec, StepSchedule};
+/// use stochastic_fpu::ReliableFpu;
+///
+/// # fn main() -> Result<(), robustify_core::CoreError> {
+/// let filter = IirFilter::new(vec![1.0], vec![1.0, -0.5])?;
+/// let problem = IirProblem::new(filter, vec![1.0, 0.0, 0.0, 0.0])?;
+/// let spec = SolverSpec::sgd(200, StepSchedule::Sqrt { gamma0: problem.default_gamma0() });
+/// let out = problem.solve(&spec, &mut ReliableFpu::new())?;
+/// let verdict = problem.verify(&out.solution.expect("sgd decodes"));
+/// assert!(verdict.success);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct IirProblem {
+    filter: IirFilter,
+    u: Vec<f64>,
+    y_ref: Vec<f64>,
+}
+
+impl IirProblem {
+    /// The success threshold on the error-to-signal ratio: at most 5% of
+    /// the output energy may be error for a trial to count as a success.
+    pub const SUCCESS_TOLERANCE: f64 = 0.05;
+
+    /// Binds `filter` to the input signal `u`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if the signal is shorter than
+    /// the filter taps.
+    pub fn new(filter: IirFilter, u: Vec<f64>) -> Result<Self, CoreError> {
+        // Validate the banded system once so the trait methods (which
+        // cannot fail) can build it with `expect`.
+        let _ = filter.to_least_squares(&u)?;
+        let y_ref = filter.reference(&u);
+        Ok(IirProblem { filter, u, y_ref })
+    }
+
+    /// The filter.
+    pub fn filter(&self) -> &IirFilter {
+        &self.filter
+    }
+
+    /// The input signal.
+    pub fn input(&self) -> &[f64] {
+        &self.u
+    }
+
+    /// A stable initial step size for this signal length (see
+    /// [`IirFilter::default_gamma0`]).
+    pub fn default_gamma0(&self) -> f64 {
+        self.filter
+            .default_gamma0(self.u.len())
+            .expect("signal length validated at construction")
+    }
+}
+
+impl RobustProblem for IirProblem {
+    type Solution = Vec<f64>;
+    type Cost = BandedResidualCost;
+
+    fn name(&self) -> &'static str {
+        "iir"
+    }
+
+    fn cost(&self) -> Self::Cost {
+        let (b_mat, au) = self
+            .filter
+            .to_least_squares(&self.u)
+            .expect("signal length validated at construction");
+        BandedResidualCost::new(b_mat, au)
+    }
+
+    fn initial_iterate<F: Fpu>(&self, cost: &Self::Cost, fpu: &mut F) -> Vec<f64> {
+        self.filter
+            .warm_start(&self.u, cost.matrix(), cost.rhs(), fpu)
+    }
+
+    fn decode(&self, _cost: &Self::Cost, x: &[f64]) -> Vec<f64> {
+        x.to_vec()
+    }
+
+    fn reference(&self) -> Vec<f64> {
+        self.y_ref.clone()
+    }
+
+    fn verify(&self, solution: &Vec<f64>) -> Verdict {
+        Verdict::from_metric(
+            self.filter.error_to_signal(solution, &self.y_ref),
+            Self::SUCCESS_TOLERANCE,
+        )
+    }
+
+    fn baseline<F: Fpu>(&self, _spec: &SolverSpec, fpu: &mut F) -> Option<Vec<f64>> {
+        Some(self.filter.apply_direct(fpu, &self.u))
     }
 }
 

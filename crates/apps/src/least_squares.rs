@@ -6,7 +6,8 @@
 
 use rand::{Rng, RngExt};
 use robustify_core::{
-    CgLeastSquares, CgReport, CoreError, QuadraticResidualCost, Sgd, SolveReport, StepSchedule,
+    CgLeastSquares, CgReport, CoreError, QuadraticResidualCost, RobustOutcome, RobustProblem, Sgd,
+    SolveMethod, SolveReport, SolverSpec, StepSchedule, Verdict,
 };
 use robustify_linalg::{lstsq_cholesky, lstsq_qr, lstsq_svd, LinalgError, Matrix, QrFactorization};
 use stochastic_fpu::{Fpu, ReliableFpu};
@@ -288,6 +289,71 @@ impl LeastSquares {
         let ax = self.a.matvec(&mut fpu, x).expect("x has dim() entries");
         let r: Vec<f64> = self.b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect();
         robustify_linalg::norm2(&mut fpu, &r)
+    }
+}
+
+impl RobustProblem for LeastSquares {
+    type Solution = Vec<f64>;
+    type Cost = QuadraticResidualCost;
+
+    fn name(&self) -> &'static str {
+        "least_squares"
+    }
+
+    fn cost(&self) -> Self::Cost {
+        LeastSquares::cost(self)
+    }
+
+    fn decode(&self, _cost: &Self::Cost, x: &[f64]) -> Vec<f64> {
+        x.to_vec()
+    }
+
+    fn reference(&self) -> Vec<f64> {
+        self.ideal()
+    }
+
+    /// The metric is the paper's residual relative error; as in Figure 6.2,
+    /// a trial only *fails* outright when it breaks down (non-finite
+    /// output).
+    fn verify(&self, solution: &Vec<f64>) -> Verdict {
+        let metric = self.residual_relative_error(solution);
+        Verdict {
+            success: metric.is_finite(),
+            metric,
+        }
+    }
+
+    /// Baseline variants: `svd` (default), `qr`, `cholesky`.
+    fn baseline<F: Fpu>(&self, spec: &SolverSpec, fpu: &mut F) -> Option<Vec<f64>> {
+        match spec.variant.as_deref() {
+            None | Some("svd") => self.solve_svd(fpu).ok(),
+            Some("qr") => self.solve_qr(fpu).ok(),
+            Some("cholesky") => self.solve_cholesky(fpu).ok(),
+            Some(_) => None,
+        }
+    }
+
+    /// Adds [`SolveMethod::Cg`] (restarted conjugate gradient, §3.3) on top
+    /// of the default SGD/baseline paths.
+    fn solve<F: Fpu>(
+        &self,
+        spec: &SolverSpec,
+        fpu: &mut F,
+    ) -> Result<RobustOutcome<Vec<f64>>, CoreError> {
+        match spec.method {
+            SolveMethod::Cg => {
+                let report = CgLeastSquares::new(&self.a, &self.b)
+                    .expect("problem shapes are consistent by construction")
+                    .with_max_iterations(spec.iterations)
+                    .with_restart_interval(spec.restart)
+                    .solve(&vec![0.0; self.dim()], fpu);
+                Ok(RobustOutcome {
+                    solution: Some(report.x),
+                    report: None,
+                })
+            }
+            _ => robustify_core::default_solve(self, spec, fpu),
+        }
     }
 }
 

@@ -17,9 +17,17 @@
 //! | [`apsp`] | distance LP (§4.6) | Floyd–Warshall |
 //! | [`eigen`] | penalized Rayleigh quotient + deflation (§4.7) | power iteration |
 //! | [`svm`] | hinge-loss data fitting (§4.7) | reliable SGD reference |
+//! | [`doubly_stochastic`] | assignment LP (4.3) as its own problem | Hungarian |
 //!
-//! The [`harness`] module provides the seeded trial runners used by the
-//! experiment binaries and integration tests.
+//! Every application implements
+//! [`RobustProblem`](robustify_core::RobustProblem), so any of them can be
+//! paired with any declarative [`SolverSpec`](robustify_core::SolverSpec)
+//! and swept in parallel by `robustify_engine` — the experiment binaries in
+//! `robustify_bench` are thin sweep descriptions over exactly this
+//! interface.
+//!
+//! The [`harness`] module remains as a deprecated serial shim over the
+//! engine for older callers.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]

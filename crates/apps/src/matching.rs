@@ -5,7 +5,10 @@
 //! used OpenCV's matcher) run through the faulty FPU.
 
 use crate::doubly_stochastic::DoublyStochasticCost;
-use robustify_core::{precondition_lp, CoreError, PenaltyKind, Sgd, SolveReport};
+use robustify_core::{
+    precondition_lp, CoreError, PenaltyKind, RobustOutcome, RobustProblem, Sgd, SolveMethod,
+    SolveReport, SolverSpec, Verdict,
+};
 use robustify_graph::{brute_force_matching, hungarian, BipartiteGraph, GraphError, Matching};
 use robustify_linalg::Matrix;
 use stochastic_fpu::Fpu;
@@ -184,6 +187,73 @@ impl MatchingProblem {
     /// matching attains the optimal weight.
     pub fn is_success(&self, matching: &Matching) -> bool {
         (matching.weight() - self.optimal_weight).abs() <= 1e-9 * (1.0 + self.optimal_weight)
+    }
+}
+
+impl RobustProblem for MatchingProblem {
+    type Solution = Matching;
+    type Cost = DoublyStochasticCost;
+
+    fn name(&self) -> &'static str {
+        "matching"
+    }
+
+    fn cost(&self) -> Self::Cost {
+        self.robust_cost(Self::DEFAULT_MU1, Self::DEFAULT_MU2, PenaltyKind::Squared)
+    }
+
+    fn initial_iterate<F: Fpu>(&self, cost: &Self::Cost, _fpu: &mut F) -> Vec<f64> {
+        cost.initial_iterate()
+    }
+
+    fn decode(&self, cost: &Self::Cost, x: &[f64]) -> Matching {
+        MatchingProblem::decode(self, cost, x)
+    }
+
+    fn reference(&self) -> Matching {
+        hungarian(&mut stochastic_fpu::ReliableFpu::new(), &self.graph)
+            .expect("reliable hungarian cannot break down")
+    }
+
+    /// Success is the paper's criterion ([`is_success`]
+    /// (MatchingProblem::is_success)); the metric is the relative weight
+    /// gap to the optimal matching.
+    fn verify(&self, solution: &Matching) -> Verdict {
+        let gap =
+            (self.optimal_weight - solution.weight()).max(0.0) / self.optimal_weight.max(1e-12);
+        Verdict {
+            success: self.is_success(solution),
+            metric: gap,
+        }
+    }
+
+    fn baseline<F: Fpu>(&self, _spec: &SolverSpec, fpu: &mut F) -> Option<Matching> {
+        self.solve_baseline(fpu).ok()
+    }
+
+    /// Adds [`SolveMethod::PreconditionedSgd`] (§6.2.1) on top of the
+    /// default SGD/baseline paths; a preconditioning breakdown counts as a
+    /// failed trial, matching Figure 6.5's tally.
+    fn solve<F: Fpu>(
+        &self,
+        spec: &SolverSpec,
+        fpu: &mut F,
+    ) -> Result<RobustOutcome<Matching>, CoreError> {
+        match spec.method {
+            SolveMethod::PreconditionedSgd => {
+                match self.solve_preconditioned_sgd(&spec.build_sgd(), fpu) {
+                    Ok((matching, report)) => Ok(RobustOutcome {
+                        solution: Some(matching),
+                        report: Some(report),
+                    }),
+                    Err(_) => Ok(RobustOutcome {
+                        solution: None,
+                        report: None,
+                    }),
+                }
+            }
+            _ => robustify_core::default_solve(self, spec, fpu),
+        }
     }
 }
 

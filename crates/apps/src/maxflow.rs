@@ -10,7 +10,10 @@
 //! with one variable per edge, solved by SGD on the exact-penalty form; the
 //! baseline is Ford–Fulkerson through the faulty FPU.
 
-use robustify_core::{CoreError, LinearProgram, PenaltyKind, Sgd, SolveReport};
+use robustify_core::{
+    CoreError, LinearCost, LinearProgram, PenaltyCost, PenaltyKind, RobustProblem, Sgd,
+    SolveReport, SolverSpec, Verdict,
+};
 use robustify_graph::{max_flow, FlowNetwork, GraphError, MaxFlowResult};
 use robustify_linalg::Matrix;
 use stochastic_fpu::{Fpu, ReliableFpu};
@@ -192,6 +195,39 @@ impl MaxFlowProblem {
             return f64::INFINITY;
         }
         (value - self.optimal_value).abs() / self.optimal_value.max(1e-300)
+    }
+}
+
+impl RobustProblem for MaxFlowProblem {
+    type Solution = f64;
+    type Cost = PenaltyCost<LinearCost>;
+
+    fn name(&self) -> &'static str {
+        "maxflow"
+    }
+
+    fn cost(&self) -> Self::Cost {
+        self.to_lp()
+            .penalized(Self::DEFAULT_MU, PenaltyKind::Squared)
+            .expect("default mu is valid")
+    }
+
+    fn decode(&self, _cost: &Self::Cost, x: &[f64]) -> f64 {
+        self.decode_value(x)
+    }
+
+    fn reference(&self) -> f64 {
+        self.optimal_value
+    }
+
+    /// The metric is the relative flow-value error; success requires it at
+    /// most 5% of the optimum.
+    fn verify(&self, solution: &f64) -> Verdict {
+        Verdict::from_metric(self.relative_error(*solution), 0.05)
+    }
+
+    fn baseline<F: Fpu>(&self, _spec: &SolverSpec, fpu: &mut F) -> Option<f64> {
+        self.solve_baseline(fpu).ok().map(|r| r.value)
     }
 }
 

@@ -7,7 +7,9 @@
 
 use crate::doubly_stochastic::DoublyStochasticCost;
 use rand::{Rng, RngExt};
-use robustify_core::{CoreError, PenaltyKind, Sgd, SolveReport};
+use robustify_core::{
+    CoreError, PenaltyKind, RobustProblem, Sgd, SolveReport, SolverSpec, Verdict,
+};
 use robustify_linalg::Matrix;
 use stochastic_fpu::{Fpu, FpuExt};
 
@@ -278,6 +280,60 @@ impl SortProblem {
     }
 }
 
+impl RobustProblem for SortProblem {
+    type Solution = Vec<f64>;
+    type Cost = DoublyStochasticCost;
+
+    fn name(&self) -> &'static str {
+        "sorting"
+    }
+
+    fn cost(&self) -> Self::Cost {
+        self.robust_cost(Self::DEFAULT_MU1, Self::DEFAULT_MU2, PenaltyKind::Squared)
+    }
+
+    fn initial_iterate<F: Fpu>(&self, cost: &Self::Cost, _fpu: &mut F) -> Vec<f64> {
+        cost.initial_iterate()
+    }
+
+    fn decode(&self, cost: &Self::Cost, x: &[f64]) -> Vec<f64> {
+        SortProblem::decode(self, cost, x)
+    }
+
+    fn reference(&self) -> Vec<f64> {
+        self.sorted_reference()
+    }
+
+    /// Success is the paper's strict criterion ([`is_success`]
+    /// (SortProblem::is_success)); the metric is the fraction of misplaced
+    /// positions (0 on success, `∞` on malformed output).
+    fn verify(&self, solution: &Vec<f64>) -> Verdict {
+        let reference = self.sorted_reference();
+        if solution.len() != reference.len() || solution.iter().any(|v| !v.is_finite()) {
+            return Verdict::breakdown();
+        }
+        let misplaced = solution
+            .iter()
+            .zip(&reference)
+            .filter(|(a, b)| a != b)
+            .count();
+        Verdict {
+            success: misplaced == 0,
+            metric: misplaced as f64 / reference.len() as f64,
+        }
+    }
+
+    /// Baseline variants: `quicksort` (default), `mergesort`, `insertion`.
+    fn baseline<F: Fpu>(&self, spec: &SolverSpec, fpu: &mut F) -> Option<Vec<f64>> {
+        match spec.variant.as_deref() {
+            None | Some("quicksort") => Some(quicksort_baseline(fpu, &self.u)),
+            Some("mergesort") => Some(mergesort_baseline(fpu, &self.u)),
+            Some("insertion") => Some(insertion_baseline(fpu, &self.u)),
+            Some(_) => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -392,5 +448,41 @@ mod tests {
     fn constructors_validate() {
         assert!(SortProblem::new(vec![]).is_err());
         assert!(SortProblem::new(vec![1.0, f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn robust_problem_trait_round_trip() {
+        let p = SortProblem::new(vec![4.0, -2.0, 9.0]).expect("finite entries");
+        let spec = SolverSpec::sgd(3000, StepSchedule::Sqrt { gamma0: 0.05 });
+        let out = p
+            .solve(&spec, &mut ReliableFpu::new())
+            .expect("sgd is supported");
+        let verdict = p.verify(&out.solution.expect("sgd decodes"));
+        assert!(verdict.success);
+        assert_eq!(verdict.metric, 0.0);
+        assert_eq!(p.reference(), vec![-2.0, 4.0, 9.0]);
+
+        let baseline = p
+            .baseline(
+                &SolverSpec::baseline_variant("mergesort"),
+                &mut ReliableFpu::new(),
+            )
+            .expect("mergesort is a known variant");
+        assert_eq!(baseline, p.reference());
+        assert!(p
+            .baseline(
+                &SolverSpec::baseline_variant("bogus"),
+                &mut ReliableFpu::new()
+            )
+            .is_none());
+    }
+
+    #[test]
+    fn verify_grades_partial_orderings() {
+        let p = SortProblem::new(vec![2.0, 1.0, 3.0]).expect("finite entries");
+        let wrong = p.verify(&vec![2.0, 1.0, 3.0]);
+        assert!(!wrong.success);
+        assert!((wrong.metric - 2.0 / 3.0).abs() < 1e-12);
+        assert!(!p.verify(&vec![1.0, f64::NAN, 3.0]).success);
     }
 }

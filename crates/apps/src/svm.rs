@@ -16,7 +16,9 @@
 //! mini-batching supplies in Pegasos-style solvers.
 
 use rand::{Rng, RngExt};
-use robustify_core::{CoreError, CostFunction, Sgd, SolveReport};
+use robustify_core::{
+    CoreError, CostFunction, RobustProblem, Sgd, SolveReport, StepSchedule, Verdict,
+};
 use stochastic_fpu::{Fpu, FpuExt, ReliableFpu};
 
 /// A binary classification dataset with `±1` labels.
@@ -318,6 +320,37 @@ impl SvmProblem {
             })
             .count();
         correct as f64 / data.len() as f64
+    }
+}
+
+impl RobustProblem for SvmProblem {
+    type Solution = Vec<f64>;
+    type Cost = SvmCost;
+
+    fn name(&self) -> &'static str {
+        "svm"
+    }
+
+    fn cost(&self) -> Self::Cost {
+        self.cost.clone()
+    }
+
+    fn decode(&self, _cost: &Self::Cost, x: &[f64]) -> Vec<f64> {
+        x.to_vec()
+    }
+
+    /// The reliable SGD reference the paper names as the comparison point:
+    /// the Figure-scale training run (2000 sqrt-schedule iterations)
+    /// executed on an exact FPU.
+    fn reference(&self) -> Vec<f64> {
+        let sgd = Sgd::new(2000, StepSchedule::Sqrt { gamma0: 0.5 });
+        self.solve_sgd(&sgd, &mut ReliableFpu::new()).0
+    }
+
+    /// The metric is the misclassification fraction `1 − accuracy`;
+    /// success requires at least 95% training accuracy.
+    fn verify(&self, solution: &Vec<f64>) -> Verdict {
+        Verdict::from_metric(1.0 - self.accuracy(solution), 0.05)
     }
 }
 

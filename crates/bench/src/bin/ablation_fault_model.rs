@@ -5,18 +5,27 @@
 //! in the slow mantissa datapath (large but bounded relative errors); a
 //! hypothetical exponent-heavy injector would produce mostly catastrophic
 //! errors and collapse every solver long before 50%. This table makes that
-//! dependence explicit on the sorting workload.
+//! dependence explicit on the sorting workload — one engine sweep where
+//! the *case* axis overrides the injector.
 
+use rand::rngs::StdRng;
 use rand::SeedableRng;
-use robustify_apps::harness::{extended_fault_rates, TrialConfig};
 use robustify_apps::sorting::SortProblem;
-use robustify_bench::{ExperimentOptions, Table};
-use robustify_core::{AggressiveStepping, GradientGuard, Sgd, StepSchedule};
-use stochastic_fpu::{BitFaultModel, BitWidth, FaultRate};
+use robustify_bench::{success_table, ExperimentOptions};
+use robustify_core::{AggressiveStepping, GradientGuard, SolverSpec, StepSchedule};
+use robustify_engine::{extended_fault_rates, SweepCase};
+use stochastic_fpu::{BitFaultModel, BitWidth};
 
 fn main() {
     let opts = ExperimentOptions::parse();
     let trials = opts.trials(50, 10);
+
+    let spec = SolverSpec::sgd(10_000, StepSchedule::Sqrt { gamma0: 0.1 })
+        .with_guard(GradientGuard::Adaptive {
+            factor: 3.0,
+            reject: 30.0,
+        })
+        .with_aggressive_stepping(AggressiveStepping::default());
 
     let models: Vec<(&str, BitFaultModel)> = vec![
         ("emulated", BitFaultModel::emulated()),
@@ -31,47 +40,22 @@ fn main() {
             BitFaultModel::emulated_with_width(BitWidth::F32),
         ),
     ];
+    let cases: Vec<SweepCase> = models
+        .into_iter()
+        .map(|(label, model)| {
+            SweepCase::problem(label, spec.clone(), |seed| {
+                SortProblem::random(&mut StdRng::seed_from_u64(seed), 5)
+            })
+            .with_model(model)
+        })
+        .collect();
 
-    let mut table = Table::new(
+    let result = opts
+        .sweep("ablation_fault_model", extended_fault_rates(), trials)
+        .run(&cases);
+    let table = success_table(
         &format!("Fault-model ablation — robust sort success rate ({trials} trials/point)"),
-        &[
-            "fault_rate_%",
-            "emulated",
-            "uniform",
-            "exponent_heavy",
-            "lsb_only",
-            "emulated_f32",
-        ],
+        &result,
     );
-
-    for rate_pct in extended_fault_rates() {
-        let mut row = vec![format!("{rate_pct}")];
-        for (_, model) in &models {
-            let cfg = TrialConfig::new(
-                trials,
-                FaultRate::percent_of_flops(rate_pct),
-                model.clone(),
-                opts.seed,
-            );
-            let mut idx = 0u64;
-            let success = cfg.success_rate(|fpu| {
-                idx += 1;
-                let problem = SortProblem::random(
-                    &mut rand::rngs::StdRng::seed_from_u64(opts.seed ^ (idx * 7919)),
-                    5,
-                );
-                let sgd = Sgd::new(10_000, StepSchedule::Sqrt { gamma0: 0.1 })
-                    .with_guard(GradientGuard::Adaptive {
-                        factor: 3.0,
-                        reject: 30.0,
-                    })
-                    .with_aggressive_stepping(AggressiveStepping::default());
-                let (out, _) = problem.solve_sgd(&sgd, fpu);
-                problem.is_success(&out)
-            });
-            row.push(format!("{success:.1}"));
-        }
-        table.row(&row);
-    }
-    table.print();
+    opts.emit(&table, &result);
 }

@@ -1,25 +1,26 @@
 //! Ablation: gradient-guard policies (the control-plane sanitization that
 //! restores Theorem 1's bounded-variance condition).
 //!
-//! Runs the sorting and least squares workloads at a 2% fault rate under
-//! each guard policy. The `Off` column shows why *some* guard is necessary
-//! under bit-level fault injection; the spread across the others shows the
-//! policy is a real design choice (norm clipping for low-dimensional
-//! cold-started problems, per-lane clamping for high-dimensional banded
-//! costs, adaptive rejection for coherent corruption).
+//! Runs the sorting, least squares and IIR workloads at a 2% fault rate
+//! under each guard policy — one engine sweep with a case per
+//! `(guard × app)` pairing. The `off` row shows why *some* guard is
+//! necessary under bit-level fault injection; the spread across the others
+//! shows the policy is a real design choice (norm clipping for
+//! low-dimensional cold-started problems, per-lane clamping for
+//! high-dimensional banded costs, adaptive rejection for coherent
+//! corruption).
 
+use rand::rngs::StdRng;
 use rand::SeedableRng;
-use robustify_apps::harness::TrialConfig;
 use robustify_apps::sorting::SortProblem;
-use robustify_bench::workloads::{paper_iir, paper_least_squares};
+use robustify_bench::workloads::{paper_iir_problem, paper_least_squares};
 use robustify_bench::{fmt_metric, ExperimentOptions, Table};
-use robustify_core::{GradientGuard, Sgd, StepSchedule};
-use stochastic_fpu::FaultRate;
+use robustify_core::{GradientGuard, SolverSpec, StepSchedule};
+use robustify_engine::SweepCase;
 
 fn main() {
     let opts = ExperimentOptions::parse();
     let trials = opts.trials(40, 8);
-    let rate = FaultRate::per_flop(0.02);
 
     let guards: Vec<(&str, GradientGuard)> = vec![
         ("off", GradientGuard::Off),
@@ -35,6 +36,39 @@ fn main() {
         ),
     ];
 
+    let lsq = paper_least_squares(opts.seed);
+    let lsq_gamma0 = lsq.default_gamma0();
+    let iir = paper_iir_problem(opts.seed);
+    let iir_gamma0 = iir.default_gamma0();
+
+    let mut cases = Vec::new();
+    for (name, guard) in &guards {
+        cases.push(SweepCase::problem(
+            &format!("{name}/sort"),
+            SolverSpec::sgd(10_000, StepSchedule::Sqrt { gamma0: 0.1 }).with_guard(*guard),
+            |seed| SortProblem::random(&mut StdRng::seed_from_u64(seed), 5),
+        ));
+        cases.push(
+            SweepCase::fixed(
+                &format!("{name}/lsq"),
+                SolverSpec::sgd(1000, StepSchedule::Linear { gamma0: lsq_gamma0 })
+                    .with_guard(*guard),
+                lsq.clone(),
+            )
+            .with_trials(trials.min(10)),
+        );
+        cases.push(
+            SweepCase::fixed(
+                &format!("{name}/iir"),
+                SolverSpec::sgd(1000, StepSchedule::Sqrt { gamma0: iir_gamma0 }).with_guard(*guard),
+                iir.clone(),
+            )
+            .with_trials(trials.min(6)),
+        );
+    }
+
+    let result = opts.sweep("ablation_guard", vec![2.0], trials).run(&cases);
+
     let mut table = Table::new(
         &format!("Guard ablation at 2% fault rate ({trials} trials/point)"),
         &[
@@ -44,51 +78,13 @@ fn main() {
             "iir_median_err",
         ],
     );
-
-    let lsq = paper_least_squares(opts.seed);
-    let lsq_gamma0 = lsq.default_gamma0();
-    let (filter, u) = paper_iir(opts.seed);
-    let y_ref = filter.reference(&u);
-    let iir_gamma0 = filter
-        .default_gamma0(u.len())
-        .expect("signal longer than taps");
-
-    for (name, guard) in guards {
-        let cfg = TrialConfig::new(trials, rate, opts.model(), opts.seed);
-        let mut idx = 0u64;
-        let sort_success = cfg.success_rate(|fpu| {
-            idx += 1;
-            let problem = SortProblem::random(
-                &mut rand::rngs::StdRng::seed_from_u64(opts.seed ^ (idx * 7919)),
-                5,
-            );
-            let sgd = Sgd::new(10_000, StepSchedule::Sqrt { gamma0: 0.1 }).with_guard(guard);
-            let (out, _) = problem.solve_sgd(&sgd, fpu);
-            problem.is_success(&out)
-        });
-
-        let cfg = TrialConfig::new(trials.min(10), rate, opts.model(), opts.seed);
-        let lsq_summary = cfg.metric_summary(|fpu| {
-            let sgd = Sgd::new(1000, StepSchedule::Linear { gamma0: lsq_gamma0 }).with_guard(guard);
-            let report = lsq.solve_sgd(&sgd, fpu);
-            lsq.residual_relative_error(&report.x)
-        });
-
-        let cfg = TrialConfig::new(trials.min(6), rate, opts.model(), opts.seed);
-        let iir_summary = cfg.metric_summary(|fpu| {
-            let sgd = Sgd::new(1000, StepSchedule::Sqrt { gamma0: iir_gamma0 }).with_guard(guard);
-            let report = filter
-                .solve_sgd(&u, &sgd, fpu)
-                .expect("signal longer than taps");
-            filter.error_to_signal(&report.x, &y_ref)
-        });
-
+    for (i, (name, _)) in guards.iter().enumerate() {
         table.row(&[
             name.to_string(),
-            format!("{sort_success:.1}"),
-            fmt_metric(lsq_summary.median()),
-            fmt_metric(iir_summary.median()),
+            format!("{:.1}", result.cell(3 * i, 0).success_rate()),
+            fmt_metric(result.cell(3 * i + 1, 0).summary().median()),
+            fmt_metric(result.cell(3 * i + 2, 0).summary().median()),
         ]);
     }
-    table.print();
+    opts.emit(&table, &result);
 }

@@ -3,24 +3,136 @@
 //! "We observed that the number of floating point operations required by
 //! our applications could be up to 10 to 1000 times higher than that for
 //! the baseline implementations." This harness measures exactly that ratio
-//! for every application, on a reliable FPU so both sides run their
-//! nominal FLOP counts.
+//! for every application, at a 0% fault rate so both sides run their
+//! nominal FLOP counts — one engine sweep whose cells are
+//! `(app × {baseline, robust})` and whose FLOP totals come from the
+//! engine's per-cell accounting.
 
-use rand::SeedableRng;
-use robustify_apps::apsp::ApspProblem;
-use robustify_apps::matching::MatchingProblem;
-use robustify_apps::maxflow::MaxFlowProblem;
-use robustify_apps::sorting::{quicksort_baseline, SortProblem};
-use robustify_bench::workloads::{paper_iir, paper_least_squares};
+use robustify_bench::workloads::{
+    paper_apsp, paper_doubly_stochastic, paper_eigen, paper_iir_problem, paper_least_squares,
+    paper_matching, paper_maxflow, paper_sort,
+};
 use robustify_bench::{ExperimentOptions, Table};
-use robustify_core::{Annealing, Sgd, StepSchedule};
-use robustify_graph::generators::{random_flow_network, random_strongly_connected};
-use stochastic_fpu::{Fpu, ReliableFpu};
+use robustify_core::{Annealing, RobustProblem, SolverSpec, StepSchedule};
+use robustify_engine::SweepCase;
 
 fn main() {
     let opts = ExperimentOptions::parse();
+
+    let lsq = paper_least_squares(opts.seed);
+    let lsq_gamma0 = lsq.default_gamma0();
+    let iir = paper_iir_problem(opts.seed);
+    let iir_gamma0 = iir.default_gamma0();
+    let anneal_lp = |gamma0: f64| {
+        SolverSpec::sgd(8000, StepSchedule::Sqrt { gamma0 }).with_annealing(Annealing::default())
+    };
+
+    // One (baseline, robust) case pair per application; `CG` is the extra
+    // least squares data point of §6.3.
+    fn pair<P: RobustProblem + Clone + Sync + 'static>(
+        cases: &mut Vec<SweepCase>,
+        rows: &mut Vec<(String, usize, usize)>,
+        label: &str,
+        problem: P,
+        robust: SolverSpec,
+    ) {
+        pair_with(cases, rows, label, problem, SolverSpec::baseline(), robust);
+    }
+    fn pair_with<P: RobustProblem + Clone + Sync + 'static>(
+        cases: &mut Vec<SweepCase>,
+        rows: &mut Vec<(String, usize, usize)>,
+        label: &str,
+        problem: P,
+        baseline: SolverSpec,
+        robust: SolverSpec,
+    ) {
+        let base_idx = cases.len();
+        cases.push(SweepCase::fixed(
+            &format!("{label}/baseline"),
+            baseline,
+            problem.clone(),
+        ));
+        cases.push(SweepCase::fixed(
+            &format!("{label}/robust"),
+            robust,
+            problem,
+        ));
+        rows.push((label.to_string(), base_idx, base_idx + 1));
+    }
+
+    let mut cases = Vec::new();
+    let mut rows = Vec::new();
+    pair_with(
+        &mut cases,
+        &mut rows,
+        "least_squares (vs SVD)",
+        lsq.clone(),
+        SolverSpec::baseline_variant("svd"),
+        SolverSpec::sgd(1000, StepSchedule::Linear { gamma0: lsq_gamma0 }),
+    );
+    pair_with(
+        &mut cases,
+        &mut rows,
+        "least_squares CG (vs SVD)",
+        lsq,
+        SolverSpec::baseline_variant("svd"),
+        SolverSpec::cg(10),
+    );
+    pair(
+        &mut cases,
+        &mut rows,
+        "iir",
+        iir,
+        SolverSpec::sgd(1000, StepSchedule::Sqrt { gamma0: iir_gamma0 }),
+    );
+    pair(
+        &mut cases,
+        &mut rows,
+        "sorting",
+        paper_sort(opts.seed),
+        SolverSpec::sgd(10_000, StepSchedule::Sqrt { gamma0: 0.1 }),
+    );
+    pair(
+        &mut cases,
+        &mut rows,
+        "matching",
+        paper_matching(opts.seed),
+        SolverSpec::sgd(10_000, StepSchedule::Sqrt { gamma0: 0.05 }),
+    );
+    pair(
+        &mut cases,
+        &mut rows,
+        "maxflow",
+        paper_maxflow(opts.seed),
+        anneal_lp(0.02),
+    );
+    pair(
+        &mut cases,
+        &mut rows,
+        "apsp",
+        paper_apsp(opts.seed),
+        anneal_lp(0.02),
+    );
+    pair(
+        &mut cases,
+        &mut rows,
+        "eigen (vs power iteration)",
+        paper_eigen(opts.seed),
+        SolverSpec::sgd(4000, StepSchedule::Sqrt { gamma0: 0.02 }),
+    );
+    pair(
+        &mut cases,
+        &mut rows,
+        "doubly_stochastic (vs Hungarian)",
+        paper_doubly_stochastic(opts.seed),
+        SolverSpec::sgd(3000, StepSchedule::Sqrt { gamma0: 0.05 }),
+    );
+
+    // Fault rate 0, one trial per cell: pure FLOP accounting.
+    let result = opts.sweep("ch7_flop_overhead", vec![0.0], 1).run(&cases);
+
     let mut table = Table::new(
-        "Chapter 7 — FLOP overhead of robustification (reliable FPU)",
+        "Chapter 7 — FLOP overhead of robustification (0% fault rate)",
         &[
             "application",
             "baseline_flops",
@@ -28,110 +140,16 @@ fn main() {
             "overhead_x",
         ],
     );
-
-    let mut add_row = |name: &str, baseline: u64, robust: u64| {
+    for (label, base_idx, robust_idx) in rows {
+        let baseline = result.cell(base_idx, 0).flops();
+        let robust = result.cell(robust_idx, 0).flops();
         table.row(&[
-            name.to_string(),
+            label,
             baseline.to_string(),
             robust.to_string(),
             format!("{:.0}", robust as f64 / baseline.max(1) as f64),
         ]);
-    };
-
-    // Least squares: SVD baseline vs 1000-iteration SGD.
-    {
-        let p = paper_least_squares(opts.seed);
-        let mut fpu = ReliableFpu::new();
-        let _ = p.solve_svd(&mut fpu);
-        let baseline = fpu.flops();
-        let mut fpu = ReliableFpu::new();
-        let _ = p.solve_sgd_default(&mut fpu);
-        add_row("least_squares (vs SVD)", baseline, fpu.flops());
-        let mut fpu = ReliableFpu::new();
-        let _ = p.solve_cg(10, &mut fpu);
-        add_row("least_squares CG (vs SVD)", baseline, fpu.flops());
     }
-
-    // IIR: direct form vs 1000-iteration banded SGD.
-    {
-        let (filter, u) = paper_iir(opts.seed);
-        let mut fpu = ReliableFpu::new();
-        let _ = filter.apply_direct(&mut fpu, &u);
-        let baseline = fpu.flops();
-        let gamma0 = filter
-            .default_gamma0(u.len())
-            .expect("signal longer than taps");
-        let sgd = Sgd::new(1000, StepSchedule::Sqrt { gamma0 });
-        let mut fpu = ReliableFpu::new();
-        let _ = filter.solve_sgd(&u, &sgd, &mut fpu);
-        add_row("iir", baseline, fpu.flops());
-    }
-
-    // Sorting: quicksort vs 10000-iteration LP relaxation.
-    {
-        let p = SortProblem::random(&mut rand::rngs::StdRng::seed_from_u64(opts.seed), 5);
-        let mut fpu = ReliableFpu::new();
-        let _ = quicksort_baseline(&mut fpu, p.input());
-        let baseline = fpu.flops();
-        let sgd = Sgd::new(10_000, StepSchedule::Sqrt { gamma0: 0.1 });
-        let mut fpu = ReliableFpu::new();
-        let _ = p.solve_sgd(&sgd, &mut fpu);
-        add_row("sorting", baseline, fpu.flops());
-    }
-
-    // Matching: Hungarian vs 10000-iteration LP relaxation.
-    {
-        let p = MatchingProblem::new(robustify_graph::generators::random_bipartite(
-            &mut rand::rngs::StdRng::seed_from_u64(opts.seed),
-            5,
-            6,
-            30,
-        ));
-        let mut fpu = ReliableFpu::new();
-        let _ = p.solve_baseline(&mut fpu);
-        let baseline = fpu.flops();
-        let sgd = Sgd::new(10_000, StepSchedule::Sqrt { gamma0: 0.05 });
-        let mut fpu = ReliableFpu::new();
-        let _ = p.solve_sgd(&sgd, &mut fpu);
-        add_row("matching", baseline, fpu.flops());
-    }
-
-    // Max flow: Ford–Fulkerson vs flow-LP SGD.
-    {
-        let p = MaxFlowProblem::new(random_flow_network(
-            &mut rand::rngs::StdRng::seed_from_u64(opts.seed),
-            8,
-            13,
-        ))
-        .expect("non-empty network");
-        let mut fpu = ReliableFpu::new();
-        let _ = p.solve_baseline(&mut fpu);
-        let baseline = fpu.flops();
-        let sgd = Sgd::new(8000, StepSchedule::Sqrt { gamma0: 0.02 })
-            .with_annealing(Annealing::default());
-        let mut fpu = ReliableFpu::new();
-        let _ = p.solve_sgd(&sgd, &mut fpu);
-        add_row("maxflow", baseline, fpu.flops());
-    }
-
-    // APSP: Floyd–Warshall vs distance-LP SGD.
-    {
-        let p = ApspProblem::new(random_strongly_connected(
-            &mut rand::rngs::StdRng::seed_from_u64(opts.seed),
-            6,
-            9,
-        ))
-        .expect("strongly connected");
-        let mut fpu = ReliableFpu::new();
-        let _ = p.solve_baseline(&mut fpu);
-        let baseline = fpu.flops();
-        let sgd = Sgd::new(8000, StepSchedule::Sqrt { gamma0: 0.02 })
-            .with_annealing(Annealing::default());
-        let mut fpu = ReliableFpu::new();
-        let _ = p.solve_sgd(&sgd, &mut fpu);
-        add_row("apsp", baseline, fpu.flops());
-    }
-
-    table.print();
+    opts.emit(&table, &result);
     println!("paper, Ch. 7: robust FLOP counts are 10-1000x the baselines'.");
 }

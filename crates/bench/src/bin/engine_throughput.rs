@@ -1,0 +1,70 @@
+//! Engine throughput measurement: trials/second of a representative
+//! sorting sweep at 1 worker thread vs all cores, emitted as JSON for the
+//! perf trajectory (`BENCH_engine.json`).
+//!
+//! The two runs execute identical work with identical results (the
+//! engine's determinism guarantee), so the ratio is pure parallel speedup.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use robustify_apps::sorting::SortProblem;
+use robustify_bench::ExperimentOptions;
+use robustify_core::{AggressiveStepping, GradientGuard, SolverSpec, StepSchedule};
+use robustify_engine::{SweepCase, SweepResult, SweepSpec};
+
+fn cases() -> Vec<SweepCase> {
+    let guard = GradientGuard::Adaptive {
+        factor: 3.0,
+        reject: 30.0,
+    };
+    vec![
+        SweepCase::problem("baseline", SolverSpec::baseline(), |seed| {
+            SortProblem::random(&mut StdRng::seed_from_u64(seed), 5)
+        }),
+        SweepCase::problem(
+            "sgd_as_sqs",
+            SolverSpec::sgd(10_000, StepSchedule::Sqrt { gamma0: 0.1 })
+                .with_guard(guard)
+                .with_aggressive_stepping(AggressiveStepping::default()),
+            |seed| SortProblem::random(&mut StdRng::seed_from_u64(seed), 5),
+        ),
+    ]
+}
+
+fn run(opts: &ExperimentOptions, trials: usize, threads: usize) -> SweepResult {
+    SweepSpec::new(
+        "engine_throughput",
+        vec![1.0, 5.0, 10.0],
+        trials,
+        opts.seed,
+        opts.model(),
+    )
+    .with_threads(threads)
+    .run(&cases())
+}
+
+fn main() {
+    let opts = ExperimentOptions::parse();
+    let trials = opts.trials(40, 8);
+
+    let serial = run(&opts, trials, 1);
+    let parallel = run(&opts, trials, 0);
+    assert_eq!(
+        serial.to_json(),
+        parallel.to_json(),
+        "determinism guarantee violated"
+    );
+
+    println!(
+        "{{\"sweep\":\"sorting fig6.1-style\",\"trials\":{},\"threads_serial\":1,\
+         \"elapsed_serial_s\":{:.3},\"trials_per_s_serial\":{:.2},\"threads_parallel\":{},\
+         \"elapsed_parallel_s\":{:.3},\"trials_per_s_parallel\":{:.2},\"speedup\":{:.2}}}",
+        serial.total_trials(),
+        serial.elapsed().as_secs_f64(),
+        serial.throughput(),
+        parallel.threads(),
+        parallel.elapsed().as_secs_f64(),
+        parallel.throughput(),
+        parallel.throughput() / serial.throughput(),
+    );
+}

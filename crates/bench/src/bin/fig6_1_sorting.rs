@@ -4,25 +4,30 @@
 //! Series: the deterministic comparison-sort baseline ("Base"), plain SGD
 //! on the doubly stochastic LP with `1/t` steps ("SGD"), and SGD with an
 //! aggressive-stepping tail under `1/t` ("SGD+AS,LS") and `1/√t`
-//! ("SGD+AS,SQS") schedules.
+//! ("SGD+AS,SQS") schedules — a declarative sweep on the parallel engine.
 //!
 //! Expected shape (paper): the baseline degrades as faults corrupt its
 //! comparisons; plain 1/t SGD performs poorly; SQS scaling "is able to
 //! achieve 100% accuracy even with large fault rates".
 
+use rand::rngs::StdRng;
 use rand::SeedableRng;
-use robustify_apps::harness::{paper_fault_rates, TrialConfig};
-use robustify_apps::sorting::{quicksort_baseline, SortProblem};
-use robustify_bench::{ExperimentOptions, Table};
-use robustify_core::{AggressiveStepping, GradientGuard, Sgd, StepSchedule};
-use stochastic_fpu::FaultRate;
+use robustify_apps::sorting::SortProblem;
+use robustify_bench::{success_table, ExperimentOptions};
+use robustify_core::{AggressiveStepping, GradientGuard, SolverSpec, StepSchedule};
+use robustify_engine::{paper_fault_rates, SweepCase};
 
 const ITERATIONS: usize = 10_000;
+
+fn sort_case(label: &str, spec: SolverSpec) -> SweepCase {
+    SweepCase::problem(label, spec, |seed| {
+        SortProblem::random(&mut StdRng::seed_from_u64(seed), 5)
+    })
+}
 
 fn main() {
     let opts = ExperimentOptions::parse();
     let trials = opts.trials(200, 25);
-    let model = opts.model();
 
     // All SGD variants share the guard tuned for the cold-started doubly
     // stochastic relaxation (see the guard ablation bench).
@@ -30,66 +35,31 @@ fn main() {
         factor: 3.0,
         reject: 30.0,
     };
-    let variants: Vec<(&str, Option<Sgd>)> = vec![
-        ("Base", None),
-        (
-            "SGD",
-            Some(Sgd::new(ITERATIONS, StepSchedule::Linear { gamma0: 0.1 }).with_guard(guard)),
-        ),
-        (
+    let ls = StepSchedule::Linear { gamma0: 0.1 };
+    let sqs = StepSchedule::Sqrt { gamma0: 0.1 };
+    let cases = vec![
+        sort_case("Base", SolverSpec::baseline()),
+        sort_case("SGD", SolverSpec::sgd(ITERATIONS, ls).with_guard(guard)),
+        sort_case(
             "SGD+AS,LS",
-            Some(
-                Sgd::new(ITERATIONS, StepSchedule::Linear { gamma0: 0.1 })
-                    .with_guard(guard)
-                    .with_aggressive_stepping(AggressiveStepping::default()),
-            ),
+            SolverSpec::sgd(ITERATIONS, ls)
+                .with_guard(guard)
+                .with_aggressive_stepping(AggressiveStepping::default()),
         ),
-        (
+        sort_case(
             "SGD+AS,SQS",
-            Some(
-                Sgd::new(ITERATIONS, StepSchedule::Sqrt { gamma0: 0.1 })
-                    .with_guard(guard)
-                    .with_aggressive_stepping(AggressiveStepping::default()),
-            ),
+            SolverSpec::sgd(ITERATIONS, sqs)
+                .with_guard(guard)
+                .with_aggressive_stepping(AggressiveStepping::default()),
         ),
     ];
 
-    let mut table = Table::new(
+    let result = opts
+        .sweep("fig6_1_sorting", paper_fault_rates(), trials)
+        .run(&cases);
+    let table = success_table(
         &format!("Figure 6.1 — Accuracy of Sort, {ITERATIONS} iterations ({trials} trials/point)"),
-        &["fault_rate_%", "Base", "SGD", "SGD+AS,LS", "SGD+AS,SQS"],
+        &result,
     );
-
-    for rate_pct in paper_fault_rates() {
-        let mut row = vec![format!("{rate_pct}")];
-        for (name, sgd) in &variants {
-            let cfg = TrialConfig::new(
-                trials,
-                FaultRate::percent_of_flops(rate_pct),
-                model.clone(),
-                opts.seed,
-            );
-            let mut trial_idx = 0u64;
-            let success = cfg.success_rate(|fpu| {
-                trial_idx += 1;
-                let problem = SortProblem::random(
-                    &mut rand::rngs::StdRng::seed_from_u64(opts.seed ^ (trial_idx * 7919)),
-                    5,
-                );
-                match sgd {
-                    None => {
-                        let out = quicksort_baseline(fpu, problem.input());
-                        problem.is_success(&out)
-                    }
-                    Some(sgd) => {
-                        let (out, _) = problem.solve_sgd(sgd, fpu);
-                        problem.is_success(&out)
-                    }
-                }
-            });
-            let _ = name;
-            row.push(format!("{success:.1}"));
-        }
-        table.row(&row);
-    }
-    table.print();
+    opts.emit(&table, &result);
 }

@@ -15,43 +15,42 @@
 //! numerical noise" at any measurable fault rate; the SGD variants degrade
 //! gracefully, with aggressive stepping helping most below 1%.
 
-use robustify_apps::harness::{paper_fault_rates, TrialConfig};
 use robustify_bench::workloads::paper_least_squares;
 use robustify_bench::{fmt_metric, ExperimentOptions, Table};
-use robustify_core::{AggressiveStepping, Sgd, StepSchedule};
-use stochastic_fpu::FaultRate;
+use robustify_core::{AggressiveStepping, SolverSpec, StepSchedule};
+use robustify_engine::{paper_fault_rates, SweepCase};
 
 const ITERATIONS: usize = 1000;
 
 fn main() {
     let opts = ExperimentOptions::parse();
     let trials = opts.trials(20, 5);
-    let model = opts.model();
     let problem = paper_least_squares(opts.seed);
     let gamma0 = problem.default_gamma0();
 
-    enum Solver {
-        Svd,
-        Sgd(Sgd),
-    }
-    let variants: Vec<(&str, Solver)> = vec![
-        ("Base: SVD", Solver::Svd),
-        (
-            "SGD,LS",
-            Solver::Sgd(Sgd::new(ITERATIONS, StepSchedule::Linear { gamma0 })),
+    let ls = StepSchedule::Linear { gamma0 };
+    let cases = vec![
+        SweepCase::fixed(
+            "Base: SVD",
+            SolverSpec::baseline_variant("svd"),
+            problem.clone(),
         ),
-        (
+        SweepCase::fixed("SGD,LS", SolverSpec::sgd(ITERATIONS, ls), problem.clone()),
+        SweepCase::fixed(
             "SGD+AS,LS",
-            Solver::Sgd(
-                Sgd::new(ITERATIONS, StepSchedule::Linear { gamma0 })
-                    .with_aggressive_stepping(AggressiveStepping::default()),
-            ),
+            SolverSpec::sgd(ITERATIONS, ls).with_aggressive_stepping(AggressiveStepping::default()),
+            problem.clone(),
         ),
-        (
+        SweepCase::fixed(
             "SGD,SQS",
-            Solver::Sgd(Sgd::new(ITERATIONS, StepSchedule::Sqrt { gamma0 })),
+            SolverSpec::sgd(ITERATIONS, StepSchedule::Sqrt { gamma0 }),
+            problem.clone(),
         ),
     ];
+
+    let result = opts
+        .sweep("fig6_2_least_squares", paper_fault_rates(), trials)
+        .run(&cases);
 
     let mut table = Table::new(
         &format!(
@@ -67,34 +66,16 @@ fn main() {
             "SGD,SQS",
         ],
     );
-
-    for rate_pct in paper_fault_rates() {
-        let mut cells = vec![format!("{rate_pct}")];
-        let mut svd_fail = String::new();
-        for (name, solver) in &variants {
-            let cfg = TrialConfig::new(
-                trials,
-                FaultRate::percent_of_flops(rate_pct),
-                model.clone(),
-                opts.seed,
-            );
-            let summary = cfg.metric_summary(|fpu| match solver {
-                Solver::Svd => match problem.solve_svd(fpu) {
-                    Ok(x) => problem.residual_relative_error(&x),
-                    Err(_) => f64::INFINITY,
-                },
-                Solver::Sgd(sgd) => {
-                    let report = problem.solve_sgd(sgd, fpu);
-                    problem.residual_relative_error(&report.x)
-                }
-            });
-            cells.push(fmt_metric(summary.median()));
-            if *name == "Base: SVD" {
-                svd_fail = format!("{:.0}%", 100.0 * summary.failure_fraction());
-            }
-        }
-        cells.insert(2, svd_fail);
-        table.row(&cells);
+    for (rate_idx, rate) in result.rates_pct().iter().enumerate() {
+        let svd = result.cell(0, rate_idx).summary();
+        table.row(&[
+            format!("{rate}"),
+            fmt_metric(svd.median()),
+            format!("{:.0}%", 100.0 * svd.failure_fraction()),
+            fmt_metric(result.cell(1, rate_idx).summary().median()),
+            fmt_metric(result.cell(2, rate_idx).summary().median()),
+            fmt_metric(result.cell(3, rate_idx).summary().median()),
+        ]);
     }
-    table.print();
+    opts.emit(&table, &result);
 }

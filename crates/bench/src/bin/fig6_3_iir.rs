@@ -5,91 +5,65 @@
 //! Series: the direct-form recursion baseline ("Base"), SGD with `1/t`
 //! steps ("SGD,LS"), and SGD+AS under `1/t` ("SGD+AS,LS") and `1/√t`
 //! ("SGD+AS,SQS") schedules — all seeded with the noisy feed-forward
-//! output, as in the paper.
+//! output, as in the paper (the problem's warm start runs through the same
+//! faulty FPU as the solve).
 //!
 //! Expected shape (paper): "IIR using SGD produces several orders of
 //! magnitude less error compared to the baseline procedural IIR
 //! implementation. IIR error reduces further with sqrt step scaling."
 
-use robustify_apps::harness::{paper_fault_rates, TrialConfig};
-use robustify_bench::workloads::paper_iir;
-use robustify_bench::{fmt_metric, ExperimentOptions, Table};
-use robustify_core::{AggressiveStepping, GradientGuard, Sgd, StepSchedule};
-use stochastic_fpu::FaultRate;
+use robustify_bench::workloads::paper_iir_problem;
+use robustify_bench::{metric_table, ExperimentOptions};
+use robustify_core::{AggressiveStepping, GradientGuard, SolverSpec, StepSchedule};
+use robustify_engine::{paper_fault_rates, SweepCase};
 
 const ITERATIONS: usize = 1000;
 
 fn main() {
     let opts = ExperimentOptions::parse();
     let trials = opts.trials(10, 3);
-    let model = opts.model();
-    let (filter, u) = paper_iir(opts.seed);
-    let y_ref = filter.reference(&u);
+    let problem = paper_iir_problem(opts.seed);
     // Stability edge of gradient descent on ||Bx - Au||^2 for this filter.
-    let gamma0 = filter
-        .default_gamma0(u.len())
-        .expect("signal longer than taps");
+    let gamma0 = problem.default_gamma0();
     // Per-lane clamping: banded costs localize corruption to a few lanes,
     // so component clamping preserves far more signal than norm clipping
     // (see the guard ablation bench).
     let guard = GradientGuard::ClampComponents { max_abs: 1.0 };
 
-    let variants: Vec<(&str, Option<Sgd>)> = vec![
-        ("Base", None),
-        (
+    let ls = StepSchedule::Linear { gamma0 };
+    let sqs = StepSchedule::Sqrt { gamma0 };
+    let cases = vec![
+        SweepCase::fixed("Base", SolverSpec::baseline(), problem.clone()),
+        SweepCase::fixed(
             "SGD,LS",
-            Some(Sgd::new(ITERATIONS, StepSchedule::Linear { gamma0 }).with_guard(guard)),
+            SolverSpec::sgd(ITERATIONS, ls).with_guard(guard),
+            problem.clone(),
         ),
-        (
+        SweepCase::fixed(
             "SGD+AS,LS",
-            Some(
-                Sgd::new(ITERATIONS, StepSchedule::Linear { gamma0 })
-                    .with_guard(guard)
-                    .with_aggressive_stepping(AggressiveStepping::default()),
-            ),
+            SolverSpec::sgd(ITERATIONS, ls)
+                .with_guard(guard)
+                .with_aggressive_stepping(AggressiveStepping::default()),
+            problem.clone(),
         ),
-        (
+        SweepCase::fixed(
             "SGD+AS,SQS",
-            Some(
-                Sgd::new(ITERATIONS, StepSchedule::Sqrt { gamma0 })
-                    .with_guard(guard)
-                    .with_aggressive_stepping(AggressiveStepping::default()),
-            ),
+            SolverSpec::sgd(ITERATIONS, sqs)
+                .with_guard(guard)
+                .with_aggressive_stepping(AggressiveStepping::default()),
+            problem.clone(),
         ),
     ];
 
-    let mut table = Table::new(
+    let result = opts
+        .sweep("fig6_3_iir", paper_fault_rates(), trials)
+        .run(&cases);
+    let table = metric_table(
         &format!(
             "Figure 6.3 — Accuracy of IIR, {ITERATIONS} iterations \
              (median error-to-signal ratio over {trials} trials)"
         ),
-        &["fault_rate_%", "Base", "SGD,LS", "SGD+AS,LS", "SGD+AS,SQS"],
+        &result,
     );
-
-    for rate_pct in paper_fault_rates() {
-        let mut row = vec![format!("{rate_pct}")];
-        for (_, sgd) in &variants {
-            let cfg = TrialConfig::new(
-                trials,
-                FaultRate::percent_of_flops(rate_pct),
-                model.clone(),
-                opts.seed,
-            );
-            let summary = cfg.metric_summary(|fpu| match sgd {
-                None => {
-                    let y = filter.apply_direct(fpu, &u);
-                    filter.error_to_signal(&y, &y_ref)
-                }
-                Some(sgd) => {
-                    let report = filter
-                        .solve_sgd(&u, sgd, fpu)
-                        .expect("signal is longer than the filter taps");
-                    filter.error_to_signal(&report.x, &y_ref)
-                }
-            });
-            row.push(fmt_metric(summary.median()));
-        }
-        table.row(&row);
-    }
-    table.print();
+    opts.emit(&table, &result);
 }

@@ -9,83 +9,56 @@
 //! with increasing fault rates. However, the maximum success rate obtained,
 //! even using aggressive stepping and step scaling, was limited" — the
 //! enhancements of Figure 6.5 are needed to push it to 100%.
+//!
+//! Note: per-trial workload seeds use the engine's standard
+//! [`robustify_engine::problem_seed`] derivation; earlier serial recordings
+//! of this figure used a bespoke `seed ^ (trial * 6007)` stream, so trial
+//! graphs (not fault streams) differ from those runs.
 
+use rand::rngs::StdRng;
 use rand::SeedableRng;
-use robustify_apps::harness::{paper_fault_rates, TrialConfig};
 use robustify_apps::matching::MatchingProblem;
-use robustify_bench::{ExperimentOptions, Table};
-use robustify_core::{AggressiveStepping, Sgd, StepSchedule};
+use robustify_bench::{success_table, ExperimentOptions};
+use robustify_core::{AggressiveStepping, SolverSpec, StepSchedule};
+use robustify_engine::{paper_fault_rates, SweepCase};
 use robustify_graph::generators::random_bipartite;
-use stochastic_fpu::FaultRate;
 
 const ITERATIONS: usize = 10_000;
+
+fn matching_case(label: &str, spec: SolverSpec) -> SweepCase {
+    SweepCase::problem(label, spec, |seed| {
+        MatchingProblem::new(random_bipartite(&mut StdRng::seed_from_u64(seed), 5, 6, 30))
+    })
+}
 
 fn main() {
     let opts = ExperimentOptions::parse();
     let trials = opts.trials(100, 15);
-    let model = opts.model();
 
-    let variants: Vec<(&str, Option<Sgd>)> = vec![
-        ("Base", None),
-        (
-            "SGD,LS",
-            Some(Sgd::new(ITERATIONS, StepSchedule::Linear { gamma0: 0.05 })),
-        ),
-        (
+    let ls = StepSchedule::Linear { gamma0: 0.05 };
+    let sqs = StepSchedule::Sqrt { gamma0: 0.05 };
+    let cases = vec![
+        matching_case("Base", SolverSpec::baseline()),
+        matching_case("SGD,LS", SolverSpec::sgd(ITERATIONS, ls)),
+        matching_case(
             "SGD+AS,LS",
-            Some(
-                Sgd::new(ITERATIONS, StepSchedule::Linear { gamma0: 0.05 })
-                    .with_aggressive_stepping(AggressiveStepping::default()),
-            ),
+            SolverSpec::sgd(ITERATIONS, ls).with_aggressive_stepping(AggressiveStepping::default()),
         ),
-        (
+        matching_case(
             "SGD+AS,SQS",
-            Some(
-                Sgd::new(ITERATIONS, StepSchedule::Sqrt { gamma0: 0.05 })
-                    .with_aggressive_stepping(AggressiveStepping::default()),
-            ),
+            SolverSpec::sgd(ITERATIONS, sqs)
+                .with_aggressive_stepping(AggressiveStepping::default()),
         ),
     ];
 
-    let mut table = Table::new(
+    let result = opts
+        .sweep("fig6_4_matching", paper_fault_rates(), trials)
+        .run(&cases);
+    let table = success_table(
         &format!(
             "Figure 6.4 — Accuracy of Matching, {ITERATIONS} iterations ({trials} trials/point)"
         ),
-        &["fault_rate_%", "Base", "SGD,LS", "SGD+AS,LS", "SGD+AS,SQS"],
+        &result,
     );
-
-    for rate_pct in paper_fault_rates() {
-        let mut row = vec![format!("{rate_pct}")];
-        for (_, sgd) in &variants {
-            let cfg = TrialConfig::new(
-                trials,
-                FaultRate::percent_of_flops(rate_pct),
-                model.clone(),
-                opts.seed,
-            );
-            let mut trial_idx = 0u64;
-            let success = cfg.success_rate(|fpu| {
-                trial_idx += 1;
-                let problem = MatchingProblem::new(random_bipartite(
-                    &mut rand::rngs::StdRng::seed_from_u64(opts.seed ^ (trial_idx * 6007)),
-                    5,
-                    6,
-                    30,
-                ));
-                match sgd {
-                    None => match problem.solve_baseline(fpu) {
-                        Ok(m) => problem.is_success(&m),
-                        Err(_) => false,
-                    },
-                    Some(sgd) => {
-                        let (m, _) = problem.solve_sgd(sgd, fpu);
-                        problem.is_success(&m)
-                    }
-                }
-            });
-            row.push(format!("{success:.1}"));
-        }
-        table.row(&row);
-    }
-    table.print();
+    opts.emit(&table, &result);
 }

@@ -15,108 +15,59 @@
 //! whose ~5× larger FLOP footprint proportionally raises its fault
 //! exposure under per-FLOP injection; at high fault rates that outweighs
 //! the conditioning benefit, so ALL combines every enhancement *except*
-//! preconditioning (see EXPERIMENTS.md).
+//! preconditioning (see EXPERIMENTS.md). Per-trial workload seeds use the
+//! engine's standard [`robustify_engine::problem_seed`] derivation, so
+//! trial graphs (not fault streams) differ from earlier serial recordings
+//! that used a bespoke `seed ^ (trial * 6007)` stream.
 
+use rand::rngs::StdRng;
 use rand::SeedableRng;
-use robustify_apps::harness::{extended_fault_rates, TrialConfig};
 use robustify_apps::matching::MatchingProblem;
-use robustify_bench::{ExperimentOptions, Table};
-use robustify_core::{AggressiveStepping, Annealing, Sgd, StepSchedule};
+use robustify_bench::{success_table, ExperimentOptions};
+use robustify_core::{AggressiveStepping, Annealing, SolverSpec, StepSchedule};
+use robustify_engine::{extended_fault_rates, SweepCase};
 use robustify_graph::generators::random_bipartite;
-use stochastic_fpu::FaultRate;
 
 const ITERATIONS: usize = 10_000;
 
-#[derive(Clone)]
-enum Variant {
-    NonRobust,
-    Plain(Sgd),
-    Preconditioned(Sgd),
+fn matching_case(label: &str, spec: SolverSpec) -> SweepCase {
+    SweepCase::problem(label, spec, |seed| {
+        MatchingProblem::new(random_bipartite(&mut StdRng::seed_from_u64(seed), 5, 6, 30))
+    })
 }
 
 fn main() {
     let opts = ExperimentOptions::parse();
     let trials = opts.trials(40, 8);
-    let model = opts.model();
 
     let ls = StepSchedule::Linear { gamma0: 0.05 };
     let sqs = StepSchedule::Sqrt { gamma0: 0.05 };
-    let variants: Vec<(&str, Variant)> = vec![
-        ("Non-robust", Variant::NonRobust),
-        ("Basic,LS", Variant::Plain(Sgd::new(ITERATIONS, ls))),
-        ("SQS", Variant::Plain(Sgd::new(ITERATIONS, sqs))),
-        (
-            "PRECOND",
-            Variant::Preconditioned(Sgd::new(ITERATIONS, sqs)),
-        ),
-        (
+    let cases = vec![
+        matching_case("Non-robust", SolverSpec::baseline()),
+        matching_case("Basic,LS", SolverSpec::sgd(ITERATIONS, ls)),
+        matching_case("SQS", SolverSpec::sgd(ITERATIONS, sqs)),
+        matching_case("PRECOND", SolverSpec::preconditioned_sgd(ITERATIONS, sqs)),
+        matching_case(
             "ANNEAL",
-            Variant::Plain(Sgd::new(ITERATIONS, sqs).with_annealing(Annealing::default())),
+            SolverSpec::sgd(ITERATIONS, sqs).with_annealing(Annealing::default()),
         ),
-        (
+        matching_case(
             "ALL",
-            Variant::Plain(
-                Sgd::new(ITERATIONS, sqs)
-                    .with_annealing(Annealing::default())
-                    .with_momentum(0.5)
-                    .with_aggressive_stepping(AggressiveStepping::default()),
-            ),
+            SolverSpec::sgd(ITERATIONS, sqs)
+                .with_annealing(Annealing::default())
+                .with_momentum(0.5)
+                .with_aggressive_stepping(AggressiveStepping::default()),
         ),
     ];
 
-    let mut table = Table::new(
+    let result = opts
+        .sweep("fig6_5_matching_variants", extended_fault_rates(), trials)
+        .run(&cases);
+    let table = success_table(
         &format!(
             "Figure 6.5 — Matching enhancements, {ITERATIONS} iterations ({trials} trials/point)"
         ),
-        &[
-            "fault_rate_%",
-            "Non-robust",
-            "Basic,LS",
-            "SQS",
-            "PRECOND",
-            "ANNEAL",
-            "ALL",
-        ],
+        &result,
     );
-
-    for rate_pct in extended_fault_rates() {
-        let mut row = vec![format!("{rate_pct}")];
-        for (_, variant) in &variants {
-            let cfg = TrialConfig::new(
-                trials,
-                FaultRate::percent_of_flops(rate_pct),
-                model.clone(),
-                opts.seed,
-            );
-            let mut trial_idx = 0u64;
-            let success = cfg.success_rate(|fpu| {
-                trial_idx += 1;
-                let problem = MatchingProblem::new(random_bipartite(
-                    &mut rand::rngs::StdRng::seed_from_u64(opts.seed ^ (trial_idx * 6007)),
-                    5,
-                    6,
-                    30,
-                ));
-                match variant {
-                    Variant::NonRobust => match problem.solve_baseline(fpu) {
-                        Ok(m) => problem.is_success(&m),
-                        Err(_) => false,
-                    },
-                    Variant::Plain(sgd) => {
-                        let (m, _) = problem.solve_sgd(sgd, fpu);
-                        problem.is_success(&m)
-                    }
-                    Variant::Preconditioned(sgd) => {
-                        match problem.solve_preconditioned_sgd(sgd, fpu) {
-                            Ok((m, _)) => problem.is_success(&m),
-                            Err(_) => false,
-                        }
-                    }
-                }
-            });
-            row.push(format!("{success:.1}"));
-        }
-        table.row(&row);
-    }
-    table.print();
+    opts.emit(&table, &result);
 }

@@ -1,44 +1,48 @@
 //! Figure 6.6: accuracy of the CG-based least squares implementation
 //! (10 iterations) vs the QR / SVD / Cholesky baselines, as a function of
-//! fault rate.
+//! fault rate (the 0% row is the reliable reference).
 //!
 //! Expected shape (paper): all three decomposition baselines break down
 //! under faults (SVD being the most accurate on a *reliable* processor,
 //! "even with ill-conditioned problems"; Cholesky the fastest but the most
 //! restricted); CG degrades gracefully.
 
-use robustify_apps::harness::{paper_fault_rates, TrialConfig};
 use robustify_apps::least_squares::LeastSquares;
 use robustify_bench::workloads::{ill_conditioned_least_squares, paper_least_squares};
 use robustify_bench::{fmt_metric, ExperimentOptions, Table};
-use stochastic_fpu::{FaultRate, Fpu, NoisyFpu, ReliableFpu};
+use robustify_core::SolverSpec;
+use robustify_engine::{paper_fault_rates, SweepCase};
+use stochastic_fpu::{Fpu, ReliableFpu};
 
 const CG_ITERATIONS: usize = 10;
 
 fn run_table(title: &str, problem: &LeastSquares, opts: &ExperimentOptions, trials: usize) {
-    type Solver = fn(&LeastSquares, &mut NoisyFpu) -> f64;
-    let qr: Solver = |p, fpu| match p.solve_qr(fpu) {
-        Ok(x) => p.residual_relative_error(&x),
-        Err(_) => f64::INFINITY,
-    };
-    let svd: Solver = |p, fpu| match p.solve_svd(fpu) {
-        Ok(x) => p.residual_relative_error(&x),
-        Err(_) => f64::INFINITY,
-    };
-    let chol: Solver = |p, fpu| match p.solve_cholesky(fpu) {
-        Ok(x) => p.residual_relative_error(&x),
-        Err(_) => f64::INFINITY,
-    };
-    let cg: Solver = |p, fpu| {
-        let report = p.solve_cg(CG_ITERATIONS, fpu);
-        p.residual_relative_error(&report.x)
-    };
-    let variants: Vec<(&str, Solver)> = vec![
-        ("Base: QR", qr),
-        ("Base: SVD", svd),
-        ("Base: Cholesky", chol),
-        ("CG, N=10", cg),
+    let cases = vec![
+        SweepCase::fixed(
+            "Base:QR",
+            SolverSpec::baseline_variant("qr"),
+            problem.clone(),
+        ),
+        SweepCase::fixed(
+            "Base:SVD",
+            SolverSpec::baseline_variant("svd"),
+            problem.clone(),
+        ),
+        SweepCase::fixed(
+            "Base:Cholesky",
+            SolverSpec::baseline_variant("cholesky"),
+            problem.clone(),
+        ),
+        SweepCase::fixed("CG,N=10", SolverSpec::cg(CG_ITERATIONS), problem.clone()),
     ];
+
+    // Rate 0 doubles as the reliable reference row of the paper's figure.
+    // Its cells run `trials` identical deterministic solves; at this
+    // workload's µs-scale solve cost that redundancy is noise next to the
+    // faulted cells, and it keeps the grid a single rectangular sweep.
+    let mut rates = vec![0.0];
+    rates.extend(paper_fault_rates());
+    let result = opts.sweep("fig6_6_cg_accuracy", rates, trials).run(&cases);
 
     let mut table = Table::new(
         title,
@@ -51,38 +55,18 @@ fn run_table(title: &str, problem: &LeastSquares, opts: &ExperimentOptions, tria
             "cg_fail",
         ],
     );
-
-    // Reliable reference row (fault rate 0).
-    {
-        let mut row = vec!["0".to_string()];
-        for (_, solver) in &variants {
-            let mut fpu = NoisyFpu::new(FaultRate::ZERO, opts.model(), opts.seed);
-            row.push(fmt_metric(solver(problem, &mut fpu)));
-        }
-        row.push("0%".to_string());
-        table.row(&row);
+    for (rate_idx, rate) in result.rates_pct().iter().enumerate() {
+        let cg = result.cell(3, rate_idx).summary();
+        table.row(&[
+            format!("{rate}"),
+            fmt_metric(result.cell(0, rate_idx).summary().median()),
+            fmt_metric(result.cell(1, rate_idx).summary().median()),
+            fmt_metric(result.cell(2, rate_idx).summary().median()),
+            fmt_metric(cg.median()),
+            format!("{:.0}%", 100.0 * cg.failure_fraction()),
+        ]);
     }
-
-    for rate_pct in paper_fault_rates() {
-        let mut row = vec![format!("{rate_pct}")];
-        let mut cg_fail = String::new();
-        for (name, solver) in &variants {
-            let cfg = TrialConfig::new(
-                trials,
-                FaultRate::percent_of_flops(rate_pct),
-                opts.model(),
-                opts.seed,
-            );
-            let summary = cfg.metric_summary(|fpu| solver(problem, fpu));
-            row.push(fmt_metric(summary.median()));
-            if *name == "CG, N=10" {
-                cg_fail = format!("{:.0}%", 100.0 * summary.failure_fraction());
-            }
-        }
-        row.push(cg_fail);
-        table.row(&row);
-    }
-    table.print();
+    opts.emit(&table, &result);
 }
 
 fn main() {

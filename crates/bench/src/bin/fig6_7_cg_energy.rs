@@ -2,20 +2,24 @@
 //! voltage overscaling, as a function of the accuracy target, against the
 //! error-free Cholesky baseline.
 //!
-//! For each accuracy target the harness sweeps the operating voltage:
-//! lower voltage means cheaper FLOPs (`P ∝ V²`) but a higher FPU fault
-//! rate (Figure 5.2), which CG compensates with more iterations. The
-//! reported energy is the cheapest `(voltage, iterations)` pair that still
-//! meets the target in at least 80% of trials; the Cholesky baseline runs
-//! at the nominal voltage, where the FPU is effectively error-free.
+//! The harness runs *one* engine sweep over the full
+//! `(CG iterations × operating voltage)` grid — voltages map to fault
+//! rates through the Figure 5.2 model — then reads every accuracy target
+//! off the same per-cell error quantiles: lower voltage means cheaper
+//! FLOPs (`P ∝ V²`) but a higher FPU fault rate, which CG compensates with
+//! more iterations. The reported energy is the cheapest
+//! `(voltage, iterations)` pair that still meets the target in at least
+//! 80% of trials; the Cholesky baseline runs at the nominal voltage, where
+//! the FPU is effectively error-free.
 //!
 //! Expected shape (paper): CG's energy sits below the Cholesky baseline
 //! across the sweep because voltage and iteration count can be scaled
 //! concurrently; targets tighter than ~1e-7 are unreachable for CG.
 
-use robustify_apps::harness::TrialConfig;
 use robustify_bench::workloads::paper_least_squares;
 use robustify_bench::{fmt_metric, ExperimentOptions, Table};
+use robustify_core::SolverSpec;
+use robustify_engine::SweepCase;
 use stochastic_fpu::{Fpu, ReliableFpu, VoltageErrorModel};
 
 fn main() {
@@ -38,6 +42,20 @@ fn main() {
     let voltages: Vec<f64> = (0..17).map(|i| 1.0 - 0.025 * i as f64).collect();
     let iteration_grid: Vec<usize> = vec![2, 3, 5, 7, 10, 14, 20, 28, 40];
 
+    // The engine grid: case = CG iteration count, rate = the fault rate
+    // the Figure 5.2 model predicts at each voltage.
+    let rates_pct: Vec<f64> = voltages
+        .iter()
+        .map(|&v| model.fault_rate_at(v).percent())
+        .collect();
+    let cases: Vec<SweepCase> = iteration_grid
+        .iter()
+        .map(|&n| SweepCase::fixed(&format!("CG,N={n}"), SolverSpec::cg(n), problem.clone()))
+        .collect();
+    let result = opts
+        .sweep("fig6_7_cg_energy", rates_pct, trials)
+        .run(&cases);
+
     let mut table = Table::new(
         &format!(
             "Figure 6.7 — Least Squares energy vs accuracy target \
@@ -55,24 +73,16 @@ fn main() {
 
     for exp in 1..=7 {
         let target = 10f64.powi(-exp);
-        // Find the cheapest (voltage, N) meeting the target reliably.
+        // Find the cheapest (voltage, N) meeting the target in ≥ 80% of
+        // trials — for each voltage the smallest sufficient N is also the
+        // cheapest, so scan N ascending.
         let mut best: Option<(f64, f64, usize)> = None; // (energy, voltage, iters)
-        for &v in &voltages {
-            let rate = model.fault_rate_at(v);
-            for &n in &iteration_grid {
-                let cfg = TrialConfig::new(trials, rate, opts.model(), opts.seed);
-                let mut flops_total: u64 = 0;
-                let mut met = 0usize;
-                for i in 0..trials {
-                    let mut fpu = cfg.fpu_for_trial(i);
-                    let report = problem.solve_cg(n, &mut fpu);
-                    flops_total += report.flops;
-                    if problem.residual_relative_error(&report.x) <= target {
-                        met += 1;
-                    }
-                }
-                if met * 10 >= trials * 8 {
-                    let energy = model.energy(flops_total / trials as u64, v);
+        for (vi, &v) in voltages.iter().enumerate() {
+            for (ni, &n) in iteration_grid.iter().enumerate() {
+                let cell = result.cell(ni, vi);
+                let met = cell.summary().count_at_most(target);
+                if met * 10 >= cell.trials() * 8 {
+                    let energy = model.energy(cell.flops_per_trial(), v);
                     if best.map(|(e, _, _)| energy < e).unwrap_or(true) {
                         best = Some((energy, v, n));
                     }
@@ -103,7 +113,7 @@ fn main() {
             }
         }
     }
-    table.print();
+    opts.emit(&table, &result);
     println!(
         "baseline Cholesky: {} FLOPs at {:.2} V (accuracy ~machine precision, rel err {})",
         chol_flops,

@@ -8,70 +8,55 @@
 //! This harness runs basic `1/t` SGD with and without momentum `β = 0.5`
 //! on both workloads across fault rates.
 
+use rand::rngs::StdRng;
 use rand::SeedableRng;
-use robustify_apps::harness::TrialConfig;
 use robustify_apps::matching::MatchingProblem;
 use robustify_apps::sorting::SortProblem;
-use robustify_bench::{ExperimentOptions, Table};
-use robustify_core::{GradientGuard, Sgd, StepSchedule};
+use robustify_bench::{success_table, ExperimentOptions};
+use robustify_core::{GradientGuard, SolverSpec, StepSchedule};
+use robustify_engine::SweepCase;
 use robustify_graph::generators::random_bipartite;
-use stochastic_fpu::FaultRate;
 
 const ITERATIONS: usize = 10_000;
 
 fn main() {
     let opts = ExperimentOptions::parse();
     let trials = opts.trials(100, 15);
-    let model = opts.model();
 
     // Per-app configs matching the Figure 6.1 / 6.4 "SGD" variants.
-    let sort_guard = GradientGuard::Adaptive {
-        factor: 3.0,
-        reject: 30.0,
-    };
-    let sort_plain =
-        Sgd::new(ITERATIONS, StepSchedule::Linear { gamma0: 0.1 }).with_guard(sort_guard);
+    let sort_plain = SolverSpec::sgd(ITERATIONS, StepSchedule::Linear { gamma0: 0.1 }).with_guard(
+        GradientGuard::Adaptive {
+            factor: 3.0,
+            reject: 30.0,
+        },
+    );
     let sort_momentum = sort_plain.clone().with_momentum(0.5);
-    let match_plain = Sgd::new(ITERATIONS, StepSchedule::Linear { gamma0: 0.05 });
+    let match_plain = SolverSpec::sgd(ITERATIONS, StepSchedule::Linear { gamma0: 0.05 });
     let match_momentum = match_plain.clone().with_momentum(0.5);
 
-    let mut table = Table::new(
-        &format!("§6.2.2 — momentum (β = 0.5) vs basic SGD ({trials} trials/point)"),
-        &["fault_rate_%", "sort", "sort+mom", "match", "match+mom"],
-    );
+    let sort_case = |label: &str, spec: SolverSpec| {
+        SweepCase::problem(label, spec, |seed| {
+            SortProblem::random(&mut StdRng::seed_from_u64(seed), 5)
+        })
+    };
+    let match_case = |label: &str, spec: SolverSpec| {
+        SweepCase::problem(label, spec, |seed| {
+            MatchingProblem::new(random_bipartite(&mut StdRng::seed_from_u64(seed), 5, 6, 30))
+        })
+    };
+    let cases = vec![
+        sort_case("sort", sort_plain),
+        sort_case("sort+mom", sort_momentum),
+        match_case("match", match_plain),
+        match_case("match+mom", match_momentum),
+    ];
 
-    for rate_pct in [1.0, 2.0, 5.0, 10.0] {
-        let mut row = vec![format!("{rate_pct}")];
-        for (is_matching, sgd) in [
-            (false, &sort_plain),
-            (false, &sort_momentum),
-            (true, &match_plain),
-            (true, &match_momentum),
-        ] {
-            let cfg = TrialConfig::new(
-                trials,
-                FaultRate::percent_of_flops(rate_pct),
-                model.clone(),
-                opts.seed,
-            );
-            let mut trial_idx = 0u64;
-            let success = cfg.success_rate(|fpu| {
-                trial_idx += 1;
-                let mut rng = rand::rngs::StdRng::seed_from_u64(opts.seed ^ (trial_idx * 7919));
-                if is_matching {
-                    let problem = MatchingProblem::new(random_bipartite(&mut rng, 5, 6, 30));
-                    let (m, _) = problem.solve_sgd(sgd, fpu);
-                    problem.is_success(&m)
-                } else {
-                    let problem = SortProblem::random(&mut rng, 5);
-                    let (out, _) = problem.solve_sgd(sgd, fpu);
-                    problem.is_success(&out)
-                }
-            });
-            row.push(format!("{success:.1}"));
-        }
-        // Re-order: sort, sort+mom, match, match+mom is already the order.
-        table.row(&row);
-    }
-    table.print();
+    let result = opts
+        .sweep("tab6_2_momentum", vec![1.0, 2.0, 5.0, 10.0], trials)
+        .run(&cases);
+    let table = success_table(
+        &format!("§6.2.2 — momentum (β = 0.5) vs basic SGD ({trials} trials/point)"),
+        &result,
+    );
+    opts.emit(&table, &result);
 }

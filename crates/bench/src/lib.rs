@@ -1,15 +1,17 @@
 //! Shared plumbing for the experiment binaries: a tiny CLI parser, table
-//! and CSV printers.
+//! and CSV printers, and renderers from engine sweep results to tables.
 //!
-//! Each binary in `src/bin/` regenerates one figure of the paper; see the
-//! per-experiment index in `DESIGN.md` and the recorded outcomes in
-//! `EXPERIMENTS.md`.
+//! Each binary in `src/bin/` regenerates one figure of the paper as a thin
+//! declarative sweep over [`robustify_engine`]: it describes a
+//! `(problem × fault rate × solver)` grid and lets the engine execute it in
+//! parallel with deterministic seeding.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod workloads;
 
+use robustify_engine::SweepResult;
 use stochastic_fpu::{BitFaultModel, BitWidth};
 
 /// Options common to every experiment binary.
@@ -31,6 +33,11 @@ pub struct ExperimentOptions {
     pub seed: u64,
     /// Bit-fault model preset name (`emulated`, `uniform`, `msb`, `lsb`).
     pub fault_model: String,
+    /// Sweep worker threads (`0` = all available cores); results are
+    /// bit-identical for every choice.
+    pub threads: usize,
+    /// Also print the sweep's JSON document after each table.
+    pub json: bool,
 }
 
 impl Default for ExperimentOptions {
@@ -39,6 +46,8 @@ impl Default for ExperimentOptions {
             fast: false,
             seed: 42,
             fault_model: "emulated".to_string(),
+            threads: 0,
+            json: false,
         }
     }
 }
@@ -75,6 +84,15 @@ impl ExperimentOptions {
                         .next()
                         .unwrap_or_else(|| usage("--fault-model needs a value"));
                 }
+                "--threads" => {
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| usage("--threads needs a value"));
+                    opts.threads = v
+                        .parse()
+                        .unwrap_or_else(|_| usage("--threads must be an integer"));
+                }
+                "--json" => opts.json = true,
                 "--help" | "-h" => usage(
                     "
 ",
@@ -108,11 +126,79 @@ impl ExperimentOptions {
             full
         }
     }
+
+    /// Builds an engine sweep grid from these options (seed, fault model,
+    /// worker threads).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on unknown fault-model presets, and like
+    /// [`SweepSpec::new`](robustify_engine::SweepSpec::new) on an empty
+    /// grid.
+    pub fn sweep(
+        &self,
+        name: &str,
+        rates_pct: Vec<f64>,
+        trials: usize,
+    ) -> robustify_engine::SweepSpec {
+        robustify_engine::SweepSpec::new(name, rates_pct, trials, self.seed, self.model())
+            .with_threads(self.threads)
+    }
+
+    /// Prints a rendered table, the run's parallel throughput, and (with
+    /// `--json`) the sweep's JSON document.
+    pub fn emit(&self, table: &Table, result: &SweepResult) {
+        table.print();
+        eprintln!(
+            "[{} trials in {:.2?} on {} threads — {:.1} trials/s]",
+            result.total_trials(),
+            result.elapsed(),
+            result.threads(),
+            result.throughput(),
+        );
+        if self.json {
+            println!("\n-- json --\n{}", result.to_json());
+        }
+    }
+}
+
+/// Renders a success-rate sweep as a `fault_rate × case` table (the shape
+/// of Figures 6.1, 6.4, 6.5).
+pub fn success_table(title: &str, result: &SweepResult) -> Table {
+    let mut headers: Vec<&str> = vec!["fault_rate_%"];
+    headers.extend(result.labels().iter().map(|l| l.as_str()));
+    let mut table = Table::new(title, &headers);
+    for (rate_idx, rate) in result.rates_pct().iter().enumerate() {
+        let mut row = vec![format!("{rate}")];
+        for case in 0..result.labels().len() {
+            row.push(format!("{:.1}", result.cell(case, rate_idx).success_rate()));
+        }
+        table.row(&row);
+    }
+    table
+}
+
+/// Renders a median-metric sweep as a `fault_rate × case` table (the shape
+/// of Figures 6.2, 6.3, 6.6; lower is better, `fail` marks all-broken
+/// cells).
+pub fn metric_table(title: &str, result: &SweepResult) -> Table {
+    let mut headers: Vec<&str> = vec!["fault_rate_%"];
+    headers.extend(result.labels().iter().map(|l| l.as_str()));
+    let mut table = Table::new(title, &headers);
+    for (rate_idx, rate) in result.rates_pct().iter().enumerate() {
+        let mut row = vec![format!("{rate}")];
+        for case in 0..result.labels().len() {
+            row.push(fmt_metric(result.cell(case, rate_idx).summary().median()));
+        }
+        table.row(&row);
+    }
+    table
 }
 
 fn usage(msg: &str) -> ! {
     eprintln!(
-        "{msg}\nusage: <experiment> [--fast] [--seed N] [--fault-model emulated|uniform|msb|lsb]"
+        "{msg}\nusage: <experiment> [--fast] [--seed N] \
+         [--fault-model emulated|uniform|msb|lsb] [--threads N] [--json]"
     );
     std::process::exit(2)
 }

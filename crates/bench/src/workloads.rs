@@ -9,11 +9,14 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use robustify_apps::apsp::ApspProblem;
-use robustify_apps::iir::{random_signal, IirFilter};
+use robustify_apps::doubly_stochastic::AssignmentProblem;
+use robustify_apps::eigen::EigenProblem;
+use robustify_apps::iir::{random_signal, IirFilter, IirProblem};
 use robustify_apps::least_squares::LeastSquares;
 use robustify_apps::matching::MatchingProblem;
 use robustify_apps::maxflow::MaxFlowProblem;
 use robustify_apps::sorting::SortProblem;
+use robustify_apps::svm::{Dataset, SvmProblem};
 use robustify_graph::generators::{
     random_bipartite, random_flow_network, random_strongly_connected,
 };
@@ -48,6 +51,32 @@ pub fn paper_iir(seed: u64) -> (IirFilter, Vec<f64>) {
     let filter = IirFilter::random_stable(&mut rng, 4, 2);
     let u = random_signal(&mut rng, 500);
     (filter, u)
+}
+
+/// The paper's IIR workload bound into a sweepable
+/// [`RobustProblem`](robustify_core::RobustProblem).
+pub fn paper_iir_problem(seed: u64) -> IirProblem {
+    let (filter, u) = paper_iir(seed);
+    IirProblem::new(filter, u).expect("500 samples exceed the tap count")
+}
+
+/// An SVM workload: 40 separable 4-dimensional points (margin 2.0) with a
+/// soft-margin regularizer `λ = 0.05`.
+pub fn paper_svm(seed: u64) -> SvmProblem {
+    let data = Dataset::separable_blobs(&mut StdRng::seed_from_u64(seed), 40, 4, 2.0, 0.9);
+    SvmProblem::new(data, 0.05).expect("λ is positive")
+}
+
+/// An eigenvalue workload: a random symmetric `8 × 8` matrix with a
+/// positive top eigenvalue.
+pub fn paper_eigen(seed: u64) -> EigenProblem {
+    EigenProblem::random(&mut StdRng::seed_from_u64(seed), 8)
+}
+
+/// A doubly stochastic assignment workload: a random `5 × 5` positive
+/// payoff matrix.
+pub fn paper_doubly_stochastic(seed: u64) -> AssignmentProblem {
+    AssignmentProblem::random(&mut StdRng::seed_from_u64(seed), 5)
 }
 
 /// A max-flow workload: a random 8-vertex, ~20-edge network.
@@ -89,6 +118,30 @@ mod tests {
         assert_eq!(paper_sort(7).input(), paper_sort(7).input());
         assert_eq!(paper_least_squares(7), paper_least_squares(7));
         assert_ne!(paper_sort(7).input(), paper_sort(8).input());
+        assert_eq!(paper_svm(7), paper_svm(7));
+        assert_eq!(paper_eigen(7), paper_eigen(7));
+        assert_eq!(paper_doubly_stochastic(7), paper_doubly_stochastic(7));
+    }
+
+    #[test]
+    fn every_app_is_sweep_reachable() {
+        use robustify_core::RobustProblem;
+        // The scenario-diversity guarantee: all 9 applications expose the
+        // unified problem interface through a workload constructor.
+        let names = [
+            RobustProblem::name(&paper_least_squares(1)),
+            RobustProblem::name(&paper_sort(1)),
+            RobustProblem::name(&paper_matching(1)),
+            RobustProblem::name(&paper_iir_problem(1)),
+            RobustProblem::name(&paper_maxflow(1)),
+            RobustProblem::name(&paper_apsp(1)),
+            RobustProblem::name(&paper_svm(1)),
+            RobustProblem::name(&paper_eigen(1)),
+            RobustProblem::name(&paper_doubly_stochastic(1)),
+        ];
+        assert_eq!(names.len(), 9);
+        let distinct: std::collections::HashSet<&str> = names.iter().copied().collect();
+        assert_eq!(distinct.len(), 9, "problem names must be distinct");
     }
 
     #[test]

@@ -11,6 +11,10 @@
 //!
 //! The pieces:
 //!
+//! * [`RobustProblem`] / [`SolverSpec`] — the unified experiment interface:
+//!   every application is a cost + decode + verify triple, every solver
+//!   configuration is declarative data, so any pairing can be swept by the
+//!   `robustify_engine` executor without bespoke harness code.
 //! * [`CostFunction`] — the variational interface; gradients are evaluated
 //!   through an [`Fpu`](stochastic_fpu::Fpu) (the noisy *data plane*), while
 //!   solver bookkeeping stays native (the protected *control plane*).
@@ -53,6 +57,7 @@ mod error;
 mod lp;
 mod penalty;
 mod precondition;
+mod problem;
 mod schedule;
 mod sgd;
 #[cfg(test)]
@@ -65,6 +70,7 @@ pub use error::CoreError;
 pub use lp::LinearProgram;
 pub use penalty::{AffineConstraints, PenaltyCost, PenaltyKind};
 pub use precondition::{precondition_lp, PreconditionedLp};
+pub use problem::{default_solve, RobustOutcome, RobustProblem, SolveMethod, SolverSpec, Verdict};
 pub use schedule::StepSchedule;
 pub use sgd::{AggressiveStepping, Annealing, GradientGuard, GuardState, Sgd, SolveReport};
 pub use trace::Trace;

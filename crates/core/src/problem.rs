@@ -1,0 +1,508 @@
+//! The unified problem interface: every robustified application is one
+//! object.
+//!
+//! The paper's central observation (§4) is that sorting, least squares,
+//! matching, max-flow, shortest paths and filtering are all *the same
+//! thing*: a cost function whose minimizer encodes the application's
+//! output, minimized under gradient noise. [`RobustProblem`] captures that
+//! shape once — build the cost, pick a start, run a solver, decode the
+//! iterate, verify against the reference — and [`SolverSpec`] makes the
+//! *solver* side declarative data, so any problem × solver pairing can be
+//! described, serialized and swept without bespoke harness code.
+
+use crate::cost::CostFunction;
+use crate::error::CoreError;
+use crate::schedule::StepSchedule;
+use crate::sgd::{AggressiveStepping, Annealing, GradientGuard, Sgd, SolveReport};
+use stochastic_fpu::Fpu;
+
+/// The outcome of checking a decoded solution against the ground truth.
+///
+/// Success-style figures (sorting, matching) aggregate `success`; accuracy
+/// figures (least squares, IIR) aggregate `metric` (lower is better, `∞`
+/// marks a broken trial). Every problem reports both so a sweep can be
+/// summarized either way.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Verdict {
+    /// Whether the trial met the problem's success criterion.
+    pub success: bool,
+    /// The problem's quality metric (lower is better; `∞` = breakdown).
+    pub metric: f64,
+}
+
+impl Verdict {
+    /// A verdict for a trial that broke down entirely (no decodable
+    /// solution).
+    pub fn breakdown() -> Self {
+        Verdict {
+            success: false,
+            metric: f64::INFINITY,
+        }
+    }
+
+    /// A verdict judged only by a metric: success iff the metric is finite
+    /// and at most `tolerance`.
+    pub fn from_metric(metric: f64, tolerance: f64) -> Self {
+        Verdict {
+            success: metric.is_finite() && metric <= tolerance,
+            metric,
+        }
+    }
+}
+
+/// Which solver family a [`SolverSpec`] selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveMethod {
+    /// The application's deterministic fault-exposed baseline (quicksort,
+    /// Hungarian, Ford–Fulkerson, SVD, …). [`SolverSpec::variant`] selects
+    /// among multiple baselines where a problem offers them.
+    Baseline,
+    /// Stochastic gradient descent on the robust cost (§3.2).
+    Sgd,
+    /// SGD on the QR-preconditioned generic LP (§6.2.1); only problems
+    /// with an LP form support it.
+    PreconditionedSgd,
+    /// Conjugate gradient with periodic restarts (§3.3); only least
+    /// squares shaped problems support it.
+    Cg,
+}
+
+impl SolveMethod {
+    /// Stable lower-case name used by the JSON serialization.
+    pub fn name(self) -> &'static str {
+        match self {
+            SolveMethod::Baseline => "baseline",
+            SolveMethod::Sgd => "sgd",
+            SolveMethod::PreconditionedSgd => "preconditioned_sgd",
+            SolveMethod::Cg => "cg",
+        }
+    }
+}
+
+/// A declarative description of one solver configuration.
+///
+/// A spec is plain data: the experiment binaries build grids of
+/// `(problem × fault rate × SolverSpec)` and hand them to the sweep engine
+/// instead of hand-rolling per-figure solver plumbing. [`to_json`]
+/// (SolverSpec::to_json) serializes the spec for result provenance.
+///
+/// # Examples
+///
+/// ```
+/// use robustify_core::{SolverSpec, StepSchedule};
+///
+/// let spec = SolverSpec::sgd(10_000, StepSchedule::Sqrt { gamma0: 0.1 })
+///     .with_momentum(0.5);
+/// assert!(spec.to_json().contains("\"method\":\"sgd\""));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverSpec {
+    /// The solver family.
+    pub method: SolveMethod,
+    /// Iteration budget (SGD main loop, CG iterations, or baseline
+    /// iteration count for iterative baselines like power iteration).
+    pub iterations: usize,
+    /// SGD step-size schedule (ignored by baselines and CG).
+    pub schedule: StepSchedule,
+    /// Momentum `β` (paper §6.2.2), if enabled.
+    pub momentum: Option<f64>,
+    /// Aggressive-stepping tail (§6.2.3), if enabled.
+    pub aggressive: Option<AggressiveStepping>,
+    /// Penalty annealing (§6.2.4), if enabled.
+    pub annealing: Option<Annealing>,
+    /// Gradient guard override; `None` uses the solver default.
+    pub guard: Option<GradientGuard>,
+    /// CG restart interval (ignored by other methods).
+    pub restart: usize,
+    /// Baseline variant selector (e.g. `"svd"`, `"qr"`, `"cholesky"` for
+    /// least squares); `None` picks the problem's canonical baseline.
+    pub variant: Option<String>,
+}
+
+impl SolverSpec {
+    /// An SGD spec with the given iteration budget and schedule.
+    pub fn sgd(iterations: usize, schedule: StepSchedule) -> Self {
+        SolverSpec {
+            method: SolveMethod::Sgd,
+            iterations,
+            schedule,
+            momentum: None,
+            aggressive: None,
+            annealing: None,
+            guard: None,
+            restart: 4,
+            variant: None,
+        }
+    }
+
+    /// The problem's canonical deterministic baseline.
+    pub fn baseline() -> Self {
+        SolverSpec {
+            method: SolveMethod::Baseline,
+            ..Self::sgd(500, StepSchedule::Fixed(0.0))
+        }
+    }
+
+    /// A named baseline variant (e.g. `"qr"`).
+    pub fn baseline_variant(variant: &str) -> Self {
+        SolverSpec {
+            variant: Some(variant.to_string()),
+            ..Self::baseline()
+        }
+    }
+
+    /// A conjugate gradient spec with the given iteration budget (restart
+    /// interval 4, the Figure 6.6 configuration).
+    pub fn cg(iterations: usize) -> Self {
+        SolverSpec {
+            method: SolveMethod::Cg,
+            iterations,
+            ..Self::sgd(iterations, StepSchedule::Fixed(0.0))
+        }
+    }
+
+    /// An SGD spec running on the QR-preconditioned generic LP.
+    pub fn preconditioned_sgd(iterations: usize, schedule: StepSchedule) -> Self {
+        SolverSpec {
+            method: SolveMethod::PreconditionedSgd,
+            ..Self::sgd(iterations, schedule)
+        }
+    }
+
+    /// Enables momentum `β`.
+    pub fn with_momentum(mut self, beta: f64) -> Self {
+        self.momentum = Some(beta);
+        self
+    }
+
+    /// Appends an aggressive-stepping tail.
+    pub fn with_aggressive_stepping(mut self, config: AggressiveStepping) -> Self {
+        self.aggressive = Some(config);
+        self
+    }
+
+    /// Enables penalty annealing.
+    pub fn with_annealing(mut self, config: Annealing) -> Self {
+        self.annealing = Some(config);
+        self
+    }
+
+    /// Overrides the gradient guard.
+    pub fn with_guard(mut self, guard: GradientGuard) -> Self {
+        self.guard = Some(guard);
+        self
+    }
+
+    /// Sets the CG restart interval.
+    pub fn with_restart(mut self, interval: usize) -> Self {
+        self.restart = interval;
+        self
+    }
+
+    /// Builds the configured [`Sgd`] solver.
+    ///
+    /// # Panics
+    ///
+    /// Panics (like the [`Sgd`] builders) on invalid momentum or annealing
+    /// parameters.
+    pub fn build_sgd(&self) -> Sgd {
+        let mut sgd = Sgd::new(self.iterations, self.schedule);
+        if let Some(beta) = self.momentum {
+            sgd = sgd.with_momentum(beta);
+        }
+        if let Some(aggressive) = self.aggressive {
+            sgd = sgd.with_aggressive_stepping(aggressive);
+        }
+        if let Some(annealing) = self.annealing {
+            sgd = sgd.with_annealing(annealing);
+        }
+        if let Some(guard) = self.guard {
+            sgd = sgd.with_guard(guard);
+        }
+        sgd
+    }
+
+    /// Serializes the spec to a single-line JSON object (provenance for
+    /// sweep emitters; there is no parser — specs are built in code).
+    pub fn to_json(&self) -> String {
+        let schedule = match self.schedule {
+            StepSchedule::Fixed(g) => format!("{{\"kind\":\"fixed\",\"gamma0\":{g}}}"),
+            StepSchedule::Linear { gamma0 } => {
+                format!("{{\"kind\":\"linear\",\"gamma0\":{gamma0}}}")
+            }
+            StepSchedule::Sqrt { gamma0 } => format!("{{\"kind\":\"sqrt\",\"gamma0\":{gamma0}}}"),
+        };
+        let momentum = match self.momentum {
+            Some(b) => format!("{b}"),
+            None => "null".to_string(),
+        };
+        let guard = match self.guard {
+            None => "\"default\"".to_string(),
+            Some(GradientGuard::Off) => "\"off\"".to_string(),
+            Some(GradientGuard::ZeroNonFinite) => "\"zero_nonfinite\"".to_string(),
+            Some(GradientGuard::Clip { max_norm }) => format!("{{\"clip\":{max_norm}}}"),
+            Some(GradientGuard::ClampComponents { max_abs }) => {
+                format!("{{\"clamp\":{max_abs}}}")
+            }
+            Some(GradientGuard::Adaptive { factor, reject }) => {
+                format!("{{\"adaptive\":{factor},\"reject\":{reject}}}")
+            }
+        };
+        let variant = match &self.variant {
+            Some(v) => format!("\"{v}\""),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"method\":\"{}\",\"iterations\":{},\"schedule\":{},\"momentum\":{},\
+             \"aggressive\":{},\"annealing\":{},\"guard\":{},\"restart\":{},\"variant\":{}}}",
+            self.method.name(),
+            self.iterations,
+            schedule,
+            momentum,
+            self.aggressive.is_some(),
+            self.annealing.is_some(),
+            guard,
+            self.restart,
+            variant,
+        )
+    }
+}
+
+/// What a [`RobustProblem::solve`] call produced.
+#[derive(Debug, Clone)]
+pub struct RobustOutcome<S> {
+    /// The decoded solution, or `None` when the solver broke down (a failed
+    /// baseline run).
+    pub solution: Option<S>,
+    /// The optimizer report, when an iterative robust solver ran (`None`
+    /// for direct baselines).
+    pub report: Option<SolveReport>,
+}
+
+/// An application recast as a cost-minimization problem (§4): the one
+/// interface every robustified app implements.
+///
+/// The contract mirrors the paper's pipeline:
+///
+/// 1. [`cost`](RobustProblem::cost) builds the variational form (eq. 4.1,
+///    4.4, …) whose minimizer encodes the output;
+/// 2. [`initial_iterate`](RobustProblem::initial_iterate) picks the start
+///    (possibly a fault-exposed warm start, as for IIR);
+/// 3. a solver described by a [`SolverSpec`] minimizes the cost through a
+///    fault-injecting [`Fpu`];
+/// 4. [`decode`](RobustProblem::decode) maps the relaxed iterate back to an
+///    application-level output (a protected control step);
+/// 5. [`verify`](RobustProblem::verify) scores it against
+///    [`reference`](RobustProblem::reference).
+///
+/// The provided [`solve`](RobustProblem::solve) /
+/// [`run_trial`](RobustProblem::run_trial) methods wire those stages
+/// together, so the sweep engine can drive any problem × spec pairing
+/// without knowing the application.
+pub trait RobustProblem {
+    /// The application-level output (sorted array, matching, parameters…).
+    type Solution;
+    /// The concrete cost implementing the robust form.
+    type Cost: CostFunction;
+
+    /// A short stable name for emitters and diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Builds the robust cost function.
+    fn cost(&self) -> Self::Cost;
+
+    /// The starting iterate for `cost`. Default: the zero vector. Warm
+    /// starts may run data-plane work through `fpu` (e.g. IIR's noisy
+    /// feed-forward seed).
+    fn initial_iterate<F: Fpu>(&self, cost: &Self::Cost, fpu: &mut F) -> Vec<f64> {
+        let _ = fpu;
+        vec![0.0; cost.dim()]
+    }
+
+    /// Decodes a relaxed iterate into an application-level output (native
+    /// arithmetic; a protected control step).
+    fn decode(&self, cost: &Self::Cost, x: &[f64]) -> Self::Solution;
+
+    /// The ground-truth output, computed reliably offline.
+    fn reference(&self) -> Self::Solution;
+
+    /// Scores a solution against the ground truth.
+    fn verify(&self, solution: &Self::Solution) -> Verdict;
+
+    /// The deterministic fault-exposed baseline, if the application has
+    /// one. `None` signals a breakdown (or an unsupported variant); the
+    /// default has no baseline at all.
+    fn baseline<F: Fpu>(&self, spec: &SolverSpec, fpu: &mut F) -> Option<Self::Solution> {
+        let _ = (spec, fpu);
+        None
+    }
+
+    /// Runs the solver described by `spec` through `fpu`.
+    ///
+    /// The default supports [`SolveMethod::Sgd`] (cost → start → SGD →
+    /// decode) and [`SolveMethod::Baseline`]; problems with extra solver
+    /// paths (CG, preconditioned LP) override this and fall back to the
+    /// default for the rest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for a method the problem does
+    /// not support — a configuration error, distinct from a fault-induced
+    /// breakdown (which is `Ok` with `solution: None`).
+    fn solve<F: Fpu>(
+        &self,
+        spec: &SolverSpec,
+        fpu: &mut F,
+    ) -> Result<RobustOutcome<Self::Solution>, CoreError> {
+        default_solve(self, spec, fpu)
+    }
+
+    /// Runs one sweep trial: solve, decode, verify. Breakdowns and
+    /// unsupported configurations score as failed trials (matching how the
+    /// figures tally broken baseline runs).
+    fn run_trial<F: Fpu>(&self, spec: &SolverSpec, fpu: &mut F) -> Verdict {
+        match self.solve(spec, fpu) {
+            Ok(RobustOutcome {
+                solution: Some(s), ..
+            }) => self.verify(&s),
+            _ => Verdict::breakdown(),
+        }
+    }
+}
+
+/// The default solver dispatch: SGD (cost → start → run → decode) and the
+/// problem's baseline. Problems that override
+/// [`RobustProblem::solve`] to add extra methods (CG, preconditioned LP)
+/// call this for everything else.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] for methods the default cannot
+/// dispatch ([`SolveMethod::PreconditionedSgd`], [`SolveMethod::Cg`]).
+pub fn default_solve<P: RobustProblem + ?Sized, F: Fpu>(
+    problem: &P,
+    spec: &SolverSpec,
+    fpu: &mut F,
+) -> Result<RobustOutcome<P::Solution>, CoreError> {
+    match spec.method {
+        SolveMethod::Baseline => Ok(RobustOutcome {
+            solution: problem.baseline(spec, fpu),
+            report: None,
+        }),
+        SolveMethod::Sgd => {
+            let mut cost = problem.cost();
+            let x0 = problem.initial_iterate(&cost, fpu);
+            let report = spec.build_sgd().run(&mut cost, &x0, fpu);
+            let solution = problem.decode(&cost, &report.x);
+            Ok(RobustOutcome {
+                solution: Some(solution),
+                report: Some(report),
+            })
+        }
+        SolveMethod::PreconditionedSgd | SolveMethod::Cg => {
+            Err(CoreError::invalid_config(format!(
+                "problem `{}` does not support the `{}` solve method",
+                problem.name(),
+                spec.method.name()
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::QuadraticResidualCost;
+    use robustify_linalg::Matrix;
+    use stochastic_fpu::ReliableFpu;
+
+    /// A toy problem: recover `b` from `f(x) = ||x - b||^2`.
+    struct Recover {
+        b: Vec<f64>,
+    }
+
+    impl RobustProblem for Recover {
+        type Solution = Vec<f64>;
+        type Cost = QuadraticResidualCost;
+
+        fn name(&self) -> &'static str {
+            "recover"
+        }
+
+        fn cost(&self) -> Self::Cost {
+            QuadraticResidualCost::new(Matrix::identity(self.b.len()), self.b.clone())
+                .expect("square system")
+        }
+
+        fn decode(&self, _cost: &Self::Cost, x: &[f64]) -> Vec<f64> {
+            x.to_vec()
+        }
+
+        fn reference(&self) -> Vec<f64> {
+            self.b.clone()
+        }
+
+        fn verify(&self, solution: &Vec<f64>) -> Verdict {
+            let err: f64 = solution
+                .iter()
+                .zip(&self.b)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            Verdict::from_metric(err, 1e-3)
+        }
+    }
+
+    #[test]
+    fn default_solve_runs_sgd_end_to_end() {
+        let p = Recover { b: vec![3.0, -1.0] };
+        let spec = SolverSpec::sgd(400, StepSchedule::Fixed(0.2));
+        let out = p
+            .solve(&spec, &mut ReliableFpu::new())
+            .expect("sgd is supported");
+        let report = out.report.expect("sgd produces a report");
+        assert!(report.flops > 0);
+        let verdict = p.verify(&out.solution.expect("sgd decodes"));
+        assert!(verdict.success, "metric {}", verdict.metric);
+    }
+
+    #[test]
+    fn run_trial_scores_breakdowns_as_failures() {
+        let p = Recover { b: vec![1.0] };
+        // No baseline is defined, so the baseline method breaks down.
+        let verdict = p.run_trial(&SolverSpec::baseline(), &mut ReliableFpu::new());
+        assert!(!verdict.success);
+        assert!(verdict.metric.is_infinite());
+    }
+
+    #[test]
+    fn unsupported_methods_are_config_errors() {
+        let p = Recover { b: vec![1.0] };
+        assert!(p
+            .solve(&SolverSpec::cg(5), &mut ReliableFpu::new())
+            .is_err());
+    }
+
+    #[test]
+    fn spec_json_is_stable() {
+        let spec = SolverSpec::sgd(100, StepSchedule::Linear { gamma0: 0.5 })
+            .with_momentum(0.5)
+            .with_guard(GradientGuard::Clip { max_norm: 10.0 });
+        let json = spec.to_json();
+        assert!(json.contains("\"method\":\"sgd\""));
+        assert!(json.contains("\"iterations\":100"));
+        assert!(json.contains("\"kind\":\"linear\""));
+        assert!(json.contains("\"momentum\":0.5"));
+        assert!(json.contains("{\"clip\":10}"));
+        assert!(SolverSpec::baseline_variant("svd")
+            .to_json()
+            .contains("\"variant\":\"svd\""));
+    }
+
+    #[test]
+    fn verdict_from_metric_thresholds() {
+        assert!(Verdict::from_metric(0.01, 0.05).success);
+        assert!(!Verdict::from_metric(0.1, 0.05).success);
+        assert!(!Verdict::from_metric(f64::INFINITY, 0.05).success);
+        assert!(!Verdict::breakdown().success);
+    }
+}

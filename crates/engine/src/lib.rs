@@ -1,0 +1,53 @@
+//! The experiment engine: a multi-threaded, bit-deterministic sweep
+//! executor over `(problem × fault rate × solver)` grids.
+//!
+//! Every figure of the paper is the same experiment shape: for each fault
+//! rate, run `N` independently seeded trials of some `(problem, solver)`
+//! pairing and aggregate success rates or error quantiles. This crate
+//! executes that shape once, in parallel, instead of each binary
+//! hand-rolling serial loops:
+//!
+//! * [`SweepSpec`] — the grid: fault rates, trials per cell, base seed,
+//!   bit-fault model, worker threads.
+//! * [`SweepCase`] — one column: a labelled
+//!   [`RobustProblem`](robustify_core::RobustProblem) ×
+//!   [`SolverSpec`](robustify_core::SolverSpec) pairing (or a raw closure).
+//! * [`SweepResult`] / [`CellStats`] / [`MetricSummary`] — streaming
+//!   aggregates (success rate, error quantiles, FLOP/fault totals) with
+//!   CSV and JSON emitters.
+//!
+//! # Determinism
+//!
+//! Trial `i` of any cell always runs on an FPU seeded by
+//! [`derive_trial_seed`]`(base_seed, i)` — the exact SplitMix derivation
+//! of the original serial harness — and aggregation folds records in
+//! trial-index order. Worker threads only decide *when* a trial runs,
+//! never *what* it computes or how results combine, so a sweep's emitted
+//! output is byte-identical for 1 thread and N threads.
+//!
+//! # Examples
+//!
+//! ```
+//! use robustify_core::Verdict;
+//! use robustify_engine::{SweepCase, SweepSpec, TrialCtx};
+//! use stochastic_fpu::{BitFaultModel, Fpu, NoisyFpu};
+//!
+//! let case = SweepCase::new("add", |_ctx: &TrialCtx, fpu: &mut NoisyFpu| {
+//!     Verdict::from_metric((fpu.add(1.0, 1.0) - 2.0).abs(), 1e-9)
+//! });
+//! let result = SweepSpec::new("demo", vec![0.0, 50.0], 8, 42, BitFaultModel::emulated())
+//!     .run(&[case]);
+//! assert_eq!(result.cell(0, 0).success_rate(), 100.0);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod stats;
+mod sweep;
+
+pub use stats::{CellStats, MetricSummary, TrialRecord};
+pub use sweep::{
+    derive_trial_seed, extended_fault_rates, paper_fault_rates, problem_seed, SweepCase,
+    SweepResult, SweepSpec, TrialCtx,
+};

@@ -1,0 +1,592 @@
+//! The sweep grid, its multi-threaded executor, and result emitters.
+
+use crate::stats::{CellStats, TrialRecord};
+use robustify_core::{RobustProblem, SolverSpec, Verdict};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+use stochastic_fpu::{BitFaultModel, FaultRate, Fpu, NoisyFpu};
+
+/// Derives the FPU seed for trial `i` from a sweep's base seed.
+///
+/// This is the exact SplitMix-style derivation the original serial harness
+/// used (`TrialConfig::fpu_for_trial`), kept verbatim so engine sweeps
+/// replay the same fault streams and so the schedule of faults for trial
+/// `i` depends only on `(base_seed, i)` — never on which thread runs it.
+pub fn derive_trial_seed(base_seed: u64, trial: u64) -> u64 {
+    base_seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((trial + 1).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+}
+
+/// Derives the workload seed for trial `i`: the convention the figure
+/// binaries use to draw a fresh random problem instance per trial
+/// (`base_seed ^ ((i + 1) * 7919)`).
+pub fn problem_seed(base_seed: u64, trial: u64) -> u64 {
+    base_seed ^ (trial + 1).wrapping_mul(7919)
+}
+
+/// The fault-rate sweep used by the paper's accuracy figures, as
+/// percentages of FLOPs: `0.1, 0.5, 1, 2, 5, 10`.
+pub fn paper_fault_rates() -> Vec<f64> {
+    vec![0.1, 0.5, 1.0, 2.0, 5.0, 10.0]
+}
+
+/// The extended sweep of Figure 6.5 (`0–50%` of FLOPs).
+pub fn extended_fault_rates() -> Vec<f64> {
+    vec![0.0, 1.0, 5.0, 10.0, 20.0, 30.0, 40.0, 50.0]
+}
+
+/// Per-trial context handed to a sweep case's runner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrialCtx {
+    /// Trial index within the cell (`0..trials`).
+    pub trial: u64,
+    /// The sweep's base seed.
+    pub base_seed: u64,
+    /// The derived workload seed for this trial ([`problem_seed`]).
+    pub problem_seed: u64,
+    /// The cell's fault rate.
+    pub rate: FaultRate,
+}
+
+type TrialRunner = Box<dyn Fn(&TrialCtx, &mut NoisyFpu) -> Verdict + Sync>;
+
+/// One column of a sweep: a labelled trial runner, typically a
+/// `(problem × solver spec)` pairing.
+///
+/// Build one from a [`RobustProblem`] with [`SweepCase::problem`] (a fresh
+/// workload instance per trial) or [`SweepCase::fixed`] (one shared
+/// instance), or from a raw closure with [`SweepCase::new`] for bespoke
+/// trials the trait does not cover.
+pub struct SweepCase {
+    label: String,
+    runner: TrialRunner,
+    model: Option<BitFaultModel>,
+    trials: Option<usize>,
+    spec_json: Option<String>,
+}
+
+impl SweepCase {
+    /// A case from a raw trial closure.
+    pub fn new(
+        label: &str,
+        runner: impl Fn(&TrialCtx, &mut NoisyFpu) -> Verdict + Sync + 'static,
+    ) -> Self {
+        SweepCase {
+            label: label.to_string(),
+            runner: Box::new(runner),
+            model: None,
+            trials: None,
+            spec_json: None,
+        }
+    }
+
+    /// A case that draws a fresh problem instance per trial (from the
+    /// trial's [`problem_seed`]) and runs it under `spec`.
+    pub fn problem<P, G>(label: &str, spec: SolverSpec, factory: G) -> Self
+    where
+        P: RobustProblem,
+        G: Fn(u64) -> P + Sync + 'static,
+    {
+        let json = spec.to_json();
+        let mut case = Self::new(label, move |ctx: &TrialCtx, fpu: &mut NoisyFpu| {
+            factory(ctx.problem_seed).run_trial(&spec, fpu)
+        });
+        case.spec_json = Some(json);
+        case
+    }
+
+    /// A case that runs every trial against the same shared problem
+    /// instance under `spec`.
+    pub fn fixed<P>(label: &str, spec: SolverSpec, problem: P) -> Self
+    where
+        P: RobustProblem + Sync + 'static,
+    {
+        let json = spec.to_json();
+        let mut case = Self::new(label, move |_ctx: &TrialCtx, fpu: &mut NoisyFpu| {
+            problem.run_trial(&spec, fpu)
+        });
+        case.spec_json = Some(json);
+        case
+    }
+
+    /// Overrides the sweep's bit-fault model for this case (used by the
+    /// fault-model ablation, where the *case* axis is the injector).
+    pub fn with_model(mut self, model: BitFaultModel) -> Self {
+        self.model = Some(model);
+        self
+    }
+
+    /// Overrides the sweep's trial count for this case (e.g. fewer trials
+    /// for an expensive solver column).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials == 0`.
+    pub fn with_trials(mut self, trials: usize) -> Self {
+        assert!(trials > 0, "need at least one trial");
+        self.trials = Some(trials);
+        self
+    }
+
+    /// The case label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+impl std::fmt::Debug for SweepCase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepCase")
+            .field("label", &self.label)
+            .field("model", &self.model)
+            .field("trials", &self.trials)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The grid of a sweep: fault rates × trials × seeding × threading.
+///
+/// # Examples
+///
+/// ```
+/// use robustify_engine::SweepSpec;
+/// use stochastic_fpu::BitFaultModel;
+///
+/// let spec = SweepSpec::new("demo", vec![1.0, 5.0], 10, 42, BitFaultModel::emulated());
+/// assert_eq!(spec.rates_pct(), &[1.0, 5.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    name: String,
+    rates_pct: Vec<f64>,
+    trials: usize,
+    base_seed: u64,
+    model: BitFaultModel,
+    threads: usize,
+}
+
+impl SweepSpec {
+    /// Creates a grid over the given fault-rate percentages with `trials`
+    /// trials per cell. Threads default to the machine's available
+    /// parallelism.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rates_pct` is empty or `trials == 0`.
+    pub fn new(
+        name: &str,
+        rates_pct: Vec<f64>,
+        trials: usize,
+        base_seed: u64,
+        model: BitFaultModel,
+    ) -> Self {
+        assert!(!rates_pct.is_empty(), "sweep needs at least one fault rate");
+        assert!(trials > 0, "need at least one trial per cell");
+        SweepSpec {
+            name: name.to_string(),
+            rates_pct,
+            trials,
+            base_seed,
+            model,
+            threads: 0,
+        }
+    }
+
+    /// Pins the worker-thread count (`0` = available parallelism). The
+    /// result is bit-identical for every choice.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The fault-rate grid, as percentages of FLOPs.
+    pub fn rates_pct(&self) -> &[f64] {
+        &self.rates_pct
+    }
+
+    /// Default trials per cell.
+    pub fn trials(&self) -> usize {
+        self.trials
+    }
+
+    /// The base seed.
+    pub fn base_seed(&self) -> u64 {
+        self.base_seed
+    }
+
+    /// Executes the sweep over `cases`, returning aggregated results.
+    ///
+    /// Every `(case, rate, trial)` triple is an independent unit of work:
+    /// its fault stream is seeded by [`derive_trial_seed`] from the trial
+    /// index alone, and aggregation streams records in trial-index order —
+    /// so the result is byte-identical no matter how many threads run it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cases` is empty.
+    pub fn run(&self, cases: &[SweepCase]) -> SweepResult {
+        assert!(!cases.is_empty(), "sweep needs at least one case");
+        let start = Instant::now();
+
+        // Flatten the grid into a global work list: cells are
+        // `(case, rate)` pairs, each holding its own trial count.
+        let n_rates = self.rates_pct.len();
+        let cell_trials: Vec<usize> = cases
+            .iter()
+            .flat_map(|case| std::iter::repeat_n(case.trials.unwrap_or(self.trials), n_rates))
+            .collect();
+        let mut offsets = Vec::with_capacity(cell_trials.len() + 1);
+        let mut total = 0usize;
+        for &t in &cell_trials {
+            offsets.push(total);
+            total += t;
+        }
+        offsets.push(total);
+
+        let threads = self.resolve_threads(total);
+        let next = AtomicUsize::new(0);
+        let run_worker = || {
+            let mut local: Vec<(usize, TrialRecord)> = Vec::new();
+            loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= total {
+                    break;
+                }
+                let cell = offsets.partition_point(|&o| o <= idx) - 1;
+                let trial = (idx - offsets[cell]) as u64;
+                let case = &cases[cell / n_rates];
+                let rate = FaultRate::percent_of_flops(self.rates_pct[cell % n_rates]);
+                let model = case.model.as_ref().unwrap_or(&self.model);
+                let mut fpu = NoisyFpu::new(
+                    rate,
+                    model.clone(),
+                    derive_trial_seed(self.base_seed, trial),
+                );
+                let ctx = TrialCtx {
+                    trial,
+                    base_seed: self.base_seed,
+                    problem_seed: problem_seed(self.base_seed, trial),
+                    rate,
+                };
+                let verdict = (case.runner)(&ctx, &mut fpu);
+                local.push((
+                    idx,
+                    TrialRecord {
+                        verdict,
+                        flops: fpu.flops(),
+                        faults: fpu.faults(),
+                    },
+                ));
+            }
+            local
+        };
+
+        let mut records: Vec<Option<TrialRecord>> = vec![None; total];
+        if threads <= 1 {
+            for (idx, record) in run_worker() {
+                records[idx] = Some(record);
+            }
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads).map(|_| scope.spawn(run_worker)).collect();
+                for handle in handles {
+                    let local = handle.join().expect("sweep worker panicked");
+                    for (idx, record) in local {
+                        records[idx] = Some(record);
+                    }
+                }
+            });
+        }
+
+        // Stream records into per-cell aggregates in trial-index order so
+        // float reductions are independent of the execution schedule.
+        let mut cells: Vec<Vec<CellStats>> = cases
+            .iter()
+            .map(|_| vec![CellStats::new(); n_rates])
+            .collect();
+        for (cell, _) in cell_trials.iter().enumerate() {
+            let stats = &mut cells[cell / n_rates][cell % n_rates];
+            for record in &records[offsets[cell]..offsets[cell + 1]] {
+                stats.push(record.as_ref().expect("every trial ran"));
+            }
+        }
+
+        SweepResult {
+            name: self.name.clone(),
+            labels: cases.iter().map(|c| c.label.clone()).collect(),
+            specs_json: cases.iter().map(|c| c.spec_json.clone()).collect(),
+            rates_pct: self.rates_pct.clone(),
+            base_seed: self.base_seed,
+            threads,
+            total_trials: total,
+            cells,
+            elapsed: start.elapsed(),
+        }
+    }
+
+    fn resolve_threads(&self, total: usize) -> usize {
+        let requested = if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        };
+        requested.clamp(1, total.max(1))
+    }
+}
+
+/// The aggregated outcome of a sweep run.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    name: String,
+    labels: Vec<String>,
+    specs_json: Vec<Option<String>>,
+    rates_pct: Vec<f64>,
+    base_seed: u64,
+    threads: usize,
+    total_trials: usize,
+    /// `cells[case][rate]`.
+    cells: Vec<Vec<CellStats>>,
+    elapsed: Duration,
+}
+
+impl SweepResult {
+    /// The sweep name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Case labels, in case order.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// The fault-rate grid, as percentages.
+    pub fn rates_pct(&self) -> &[f64] {
+        &self.rates_pct
+    }
+
+    /// The aggregate for `(case, rate)` by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn cell(&self, case: usize, rate: usize) -> &CellStats {
+        &self.cells[case][rate]
+    }
+
+    /// The aggregate for a labelled case at a rate index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is unknown or the rate index is out of range.
+    pub fn case_cell(&self, label: &str, rate: usize) -> &CellStats {
+        let case = self
+            .labels
+            .iter()
+            .position(|l| l == label)
+            .unwrap_or_else(|| panic!("unknown case label `{label}`"));
+        self.cell(case, rate)
+    }
+
+    /// Worker threads the run actually used.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Total trials executed across all cells.
+    pub fn total_trials(&self) -> usize {
+        self.total_trials
+    }
+
+    /// Wall-clock duration of the run (not part of the deterministic
+    /// emitter output).
+    pub fn elapsed(&self) -> Duration {
+        self.elapsed
+    }
+
+    /// Trials per second of wall clock for this run.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.total_trials as f64 / secs
+    }
+
+    /// Machine-readable CSV: one row per `(case, rate)` cell.
+    ///
+    /// Deterministic for a fixed grid and seed — thread count does not
+    /// appear and cannot influence any value.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "case,fault_rate_pct,trials,successes,success_rate,median,mean,max,failures,flops,faults\n",
+        );
+        for (case, row) in self.cells.iter().enumerate() {
+            for (rate_idx, cell) in row.iter().enumerate() {
+                let summary = cell.summary();
+                out.push_str(&format!(
+                    "{},{},{},{},{},{},{},{},{},{},{}\n",
+                    self.labels[case],
+                    self.rates_pct[rate_idx],
+                    cell.trials(),
+                    cell.successes(),
+                    csv_num(cell.success_rate()),
+                    csv_num(summary.median()),
+                    csv_num(summary.mean()),
+                    csv_num(summary.max()),
+                    summary.failures,
+                    cell.flops(),
+                    cell.faults(),
+                ));
+            }
+        }
+        out
+    }
+
+    /// Machine-readable JSON document of the whole sweep, including each
+    /// case's serialized [`SolverSpec`](robustify_core::SolverSpec) for
+    /// provenance. Non-finite metrics serialize as `null`.
+    ///
+    /// Deterministic for a fixed grid and seed — thread count does not
+    /// appear and cannot influence any value.
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"name\":\"{}\",\"base_seed\":{},\"rates_pct\":[{}],\"cases\":[",
+            self.name,
+            self.base_seed,
+            self.rates_pct
+                .iter()
+                .map(|r| format!("{r}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        for (case, row) in self.cells.iter().enumerate() {
+            if case > 0 {
+                out.push(',');
+            }
+            let spec = match &self.specs_json[case] {
+                Some(json) => json.clone(),
+                None => "null".to_string(),
+            };
+            out.push_str(&format!(
+                "{{\"label\":\"{}\",\"spec\":{spec},\"cells\":[",
+                self.labels[case]
+            ));
+            for (rate_idx, cell) in row.iter().enumerate() {
+                if rate_idx > 0 {
+                    out.push(',');
+                }
+                let summary = cell.summary();
+                out.push_str(&format!(
+                    "{{\"rate_pct\":{},\"trials\":{},\"successes\":{},\"success_rate\":{},\
+                     \"median\":{},\"mean\":{},\"max\":{},\"failures\":{},\"flops\":{},\"faults\":{}}}",
+                    self.rates_pct[rate_idx],
+                    cell.trials(),
+                    cell.successes(),
+                    json_num(cell.success_rate()),
+                    json_num(summary.median()),
+                    json_num(summary.mean()),
+                    json_num(summary.max()),
+                    summary.failures,
+                    cell.flops(),
+                    cell.faults(),
+                ));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn csv_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "inf".to_string()
+    }
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robustify_core::Verdict;
+
+    fn toy_case(label: &str) -> SweepCase {
+        SweepCase::new(label, |ctx: &TrialCtx, fpu: &mut NoisyFpu| {
+            // A tiny FPU workload whose outcome depends on the fault
+            // stream, exercising determinism end to end.
+            let mut acc = 0.0;
+            for i in 0..64 {
+                acc = fpu.add(acc, (i % 7) as f64 * 0.25);
+            }
+            Verdict::from_metric((acc - 96.0).abs() + ctx.trial as f64 * 1e-9, 0.5)
+        })
+    }
+
+    #[test]
+    fn seed_derivation_matches_the_serial_harness() {
+        // The exact constants of TrialConfig::fpu_for_trial.
+        let base = 42u64;
+        let expected = base
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(3u64.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        assert_eq!(derive_trial_seed(base, 2), expected);
+        assert_eq!(problem_seed(7, 0), 7 ^ 7919);
+    }
+
+    #[test]
+    fn single_and_multi_threaded_runs_are_identical() {
+        let cases = [toy_case("a"), toy_case("b").with_trials(13)];
+        let spec = SweepSpec::new("t", vec![1.0, 10.0], 20, 9, BitFaultModel::emulated());
+        let serial = spec.clone().with_threads(1).run(&cases);
+        let parallel = spec.with_threads(4).run(&cases);
+        assert_eq!(serial.to_json(), parallel.to_json());
+        assert_eq!(serial.to_csv(), parallel.to_csv());
+        assert_eq!(parallel.threads(), 4);
+        assert_eq!(serial.total_trials(), (20 + 13) * 2);
+    }
+
+    #[test]
+    fn per_case_overrides_apply() {
+        let cases = [
+            toy_case("default"),
+            toy_case("lsb").with_model(BitFaultModel::lsb_only(stochastic_fpu::BitWidth::F64)),
+        ];
+        let spec =
+            SweepSpec::new("t", vec![20.0], 15, 3, BitFaultModel::emulated()).with_threads(2);
+        let result = spec.run(&cases);
+        // An LSB-only injector perturbs this workload far less than the
+        // emulated distribution, so the two columns must differ.
+        let default_summary = result.cell(0, 0).summary();
+        let lsb_summary = result.cell(1, 0).summary();
+        assert!(lsb_summary.median() <= default_summary.median());
+        assert_eq!(result.cell(1, 0).trials(), 15);
+    }
+
+    #[test]
+    fn emitters_have_expected_shape() {
+        let cases = [toy_case("only")];
+        let result = SweepSpec::new("shape", vec![2.0], 3, 1, BitFaultModel::emulated())
+            .with_threads(1)
+            .run(&cases);
+        let csv = result.to_csv();
+        assert!(csv.starts_with("case,fault_rate_pct"));
+        assert_eq!(csv.lines().count(), 2);
+        let json = result.to_json();
+        assert!(json.contains("\"name\":\"shape\""));
+        assert!(json.contains("\"rate_pct\":2"));
+        assert!(result.case_cell("only", 0).trials() == 3);
+    }
+}

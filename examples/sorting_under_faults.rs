@@ -2,59 +2,54 @@
 //!
 //! Sorting is "traditionally not thought of as an application that is
 //! error tolerant" — one corrupted comparison and the output is wrong.
-//! This example runs quicksort and the robustified LP-based sort side by
-//! side across fault rates and reports success over repeated trials.
+//! This example sweeps quicksort and the robustified LP-based sort side by
+//! side across fault rates on the parallel engine and reports success over
+//! repeated trials.
 //!
 //! ```sh
 //! cargo run --release --example sorting_under_faults
 //! ```
 
-use robustify::apps::harness::TrialConfig;
-use robustify::apps::sorting::{quicksort_baseline, SortProblem};
-use robustify::core::{AggressiveStepping, GradientGuard, Sgd, StepSchedule};
-use robustify::fpu::{BitFaultModel, FaultRate};
+use robustify::apps::sorting::SortProblem;
+use robustify::core::{AggressiveStepping, GradientGuard, SolverSpec, StepSchedule};
+use robustify::engine::{SweepCase, SweepSpec};
+use robustify::fpu::BitFaultModel;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let problem = SortProblem::new(vec![7.5, -3.0, 142.0, 0.25, 11.0])?;
     println!("input: {:?}", problem.input());
+
+    // The paper's strongest sorting configuration: 1/sqrt(t) steps plus
+    // an aggressive-stepping tail.
+    let robust = SolverSpec::sgd(10_000, StepSchedule::Sqrt { gamma0: 0.1 })
+        .with_guard(GradientGuard::Adaptive {
+            factor: 3.0,
+            reject: 30.0,
+        })
+        .with_aggressive_stepping(AggressiveStepping::default());
+    let cases = vec![
+        SweepCase::fixed("quicksort", SolverSpec::baseline(), problem.clone()),
+        SweepCase::fixed("robust_sgd", robust, problem),
+    ];
+    let result = SweepSpec::new(
+        "sorting_under_faults",
+        vec![0.5, 2.0, 5.0, 10.0, 20.0],
+        60,
+        7,
+        BitFaultModel::emulated(),
+    )
+    .run(&cases);
+
     println!(
         "{:>12} {:>14} {:>14}",
         "fault_rate_%", "quicksort_%", "robust_sgd_%"
     );
-
-    for rate_pct in [0.5, 2.0, 5.0, 10.0, 20.0] {
-        let trials = 60;
-        let cfg = TrialConfig::new(
-            trials,
-            FaultRate::percent_of_flops(rate_pct),
-            BitFaultModel::emulated(),
-            7,
+    for (rate_idx, rate_pct) in result.rates_pct().iter().enumerate() {
+        println!(
+            "{rate_pct:>12} {:>14.1} {:>14.1}",
+            result.cell(0, rate_idx).success_rate(),
+            result.cell(1, rate_idx).success_rate(),
         );
-        let baseline = cfg.success_rate(|fpu| {
-            let out = quicksort_baseline(fpu, problem.input());
-            problem.is_success(&out)
-        });
-
-        let cfg = TrialConfig::new(
-            trials,
-            FaultRate::percent_of_flops(rate_pct),
-            BitFaultModel::emulated(),
-            7,
-        );
-        // The paper's strongest sorting configuration: 1/sqrt(t) steps plus
-        // an aggressive-stepping tail.
-        let sgd = Sgd::new(10_000, StepSchedule::Sqrt { gamma0: 0.1 })
-            .with_guard(GradientGuard::Adaptive {
-                factor: 3.0,
-                reject: 30.0,
-            })
-            .with_aggressive_stepping(AggressiveStepping::default());
-        let robust = cfg.success_rate(|fpu| {
-            let (out, _) = problem.solve_sgd(&sgd, fpu);
-            problem.is_success(&out)
-        });
-
-        println!("{rate_pct:>12} {baseline:>14.1} {robust:>14.1}");
     }
     Ok(())
 }

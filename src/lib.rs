@@ -16,12 +16,18 @@
 //!   (QR, SVD, Cholesky baselines).
 //! * [`core`] — the robustification framework: cost functions, exact
 //!   penalty transforms, SGD (with step schedules, momentum, aggressive
-//!   stepping, annealing, preconditioning) and conjugate gradient.
+//!   stepping, annealing, preconditioning), conjugate gradient, and the
+//!   unified [`RobustProblem`](core::RobustProblem) /
+//!   [`SolverSpec`](core::SolverSpec) experiment interface.
 //! * [`graph`] — graph substrate and exact combinatorial baselines
 //!   (Hungarian, Ford–Fulkerson, Floyd–Warshall, Dijkstra).
 //! * [`apps`] — the paper's transformed applications: least squares, IIR
 //!   filtering, sorting, bipartite matching, max-flow, all-pairs shortest
-//!   paths, eigenvalue extraction.
+//!   paths, eigenvalue extraction, SVM fitting, assignment — every one a
+//!   [`RobustProblem`](core::RobustProblem).
+//! * [`engine`] — the multi-threaded deterministic sweep executor over
+//!   `(problem × fault rate × solver)` grids, with streaming aggregation
+//!   and CSV/JSON emitters.
 //!
 //! # Quickstart
 //!
@@ -48,6 +54,7 @@
 
 pub use robustify_apps as apps;
 pub use robustify_core as core;
+pub use robustify_engine as engine;
 pub use robustify_graph as graph;
 pub use robustify_linalg as linalg;
 pub use stochastic_fpu as fpu;

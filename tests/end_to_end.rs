@@ -1,67 +1,64 @@
 //! End-to-end robustification pipelines across every crate of the
-//! workspace, at fixed fault rates with fixed seeds.
+//! workspace, at fixed fault rates with fixed seeds — all driven through
+//! the unified `RobustProblem` × `SolverSpec` interface and the parallel
+//! sweep engine.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use robustify::apps::apsp::ApspProblem;
-use robustify::apps::harness::TrialConfig;
-use robustify::apps::iir::IirFilter;
+use robustify::apps::iir::{IirFilter, IirProblem};
 use robustify::apps::least_squares::LeastSquares;
 use robustify::apps::matching::MatchingProblem;
 use robustify::apps::maxflow::MaxFlowProblem;
 use robustify::apps::sorting::SortProblem;
-use robustify::core::{AggressiveStepping, Annealing, GradientGuard, Sgd, StepSchedule};
+use robustify::core::{AggressiveStepping, Annealing, GradientGuard, SolverSpec, StepSchedule};
+use robustify::engine::{SweepCase, SweepSpec};
 use robustify::fpu::{BitFaultModel, FaultRate, Fpu, NoisyFpu, ReliableFpu};
 use robustify::graph::generators::{
     random_bipartite, random_flow_network, random_strongly_connected,
 };
 
-const RATE_2PCT: f64 = 0.02;
+const RATE_2PCT: f64 = 2.0;
+
+fn sweep(name: &str, rate_pct: f64, trials: usize, seed: u64) -> SweepSpec {
+    SweepSpec::new(
+        name,
+        vec![rate_pct],
+        trials,
+        seed,
+        BitFaultModel::emulated(),
+    )
+}
 
 #[test]
 fn robust_least_squares_beats_every_baseline_at_2pct() {
     let problem = LeastSquares::random(&mut StdRng::seed_from_u64(1), 100, 10);
-    let cfg = TrialConfig::new(
-        8,
-        FaultRate::per_flop(RATE_2PCT),
-        BitFaultModel::emulated(),
-        77,
-    );
-    let sgd = Sgd::new(
+    let sgd = SolverSpec::sgd(
         1000,
         StepSchedule::Linear {
             gamma0: problem.default_gamma0(),
         },
     )
     .with_aggressive_stepping(AggressiveStepping::default());
-    let robust = cfg.metric_summary(|fpu| {
-        let report = problem.solve_sgd(&sgd, fpu);
-        problem.residual_relative_error(&report.x)
-    });
+    let cases = vec![
+        SweepCase::fixed("robust", sgd, problem.clone()),
+        SweepCase::fixed("svd", SolverSpec::baseline_variant("svd"), problem.clone()),
+        SweepCase::fixed("qr", SolverSpec::baseline_variant("qr"), problem.clone()),
+        SweepCase::fixed(
+            "cholesky",
+            SolverSpec::baseline_variant("cholesky"),
+            problem.clone(),
+        ),
+    ];
+    let result = sweep("lsq_2pct", RATE_2PCT, 8, 77).run(&cases);
+    let robust = result.case_cell("robust", 0).summary();
     assert!(
         robust.median() < 0.1,
         "robust median error {}",
         robust.median()
     );
-
-    for (name, solver) in [
-        (
-            "svd",
-            &LeastSquares::solve_svd::<NoisyFpu> as &dyn Fn(&LeastSquares, &mut NoisyFpu) -> _,
-        ),
-        ("qr", &LeastSquares::solve_qr::<NoisyFpu>),
-        ("cholesky", &LeastSquares::solve_cholesky::<NoisyFpu>),
-    ] {
-        let cfg = TrialConfig::new(
-            8,
-            FaultRate::per_flop(RATE_2PCT),
-            BitFaultModel::emulated(),
-            77,
-        );
-        let baseline = cfg.metric_summary(|fpu| match solver(&problem, fpu) {
-            Ok(x) => problem.residual_relative_error(&x),
-            Err(_) => f64::INFINITY,
-        });
+    for name in ["svd", "qr", "cholesky"] {
+        let baseline = result.case_cell(name, 0).summary();
         assert!(
             baseline.median() > robust.median() * 10.0,
             "{name} baseline median {} unexpectedly competitive with robust {}",
@@ -73,41 +70,30 @@ fn robust_least_squares_beats_every_baseline_at_2pct() {
 
 #[test]
 fn robust_sort_high_success_at_5pct() {
-    let cfg = TrialConfig::new(20, FaultRate::per_flop(0.05), BitFaultModel::emulated(), 9);
-    let sgd = Sgd::new(10_000, StepSchedule::Sqrt { gamma0: 0.1 })
+    let spec = SolverSpec::sgd(10_000, StepSchedule::Sqrt { gamma0: 0.1 })
         .with_guard(GradientGuard::Adaptive {
             factor: 3.0,
             reject: 30.0,
         })
         .with_aggressive_stepping(AggressiveStepping::default());
-    let mut idx = 0u64;
-    let success = cfg.success_rate(|fpu| {
-        idx += 1;
-        let problem = SortProblem::random(&mut StdRng::seed_from_u64(idx * 101), 5);
-        let (out, _) = problem.solve_sgd(&sgd, fpu);
-        problem.is_success(&out)
+    let case = SweepCase::problem("sort", spec, |seed| {
+        SortProblem::random(&mut StdRng::seed_from_u64(seed), 5)
     });
+    let result = sweep("sort_5pct", 5.0, 20, 9).run(&[case]);
+    let success = result.cell(0, 0).success_rate();
     assert!(success >= 70.0, "robust sort success {success}% at 5%");
 }
 
 #[test]
 fn robust_matching_high_success_at_10pct_with_annealing() {
-    let cfg = TrialConfig::new(12, FaultRate::per_flop(0.10), BitFaultModel::emulated(), 5);
-    let sgd = Sgd::new(10_000, StepSchedule::Sqrt { gamma0: 0.05 })
+    let spec = SolverSpec::sgd(10_000, StepSchedule::Sqrt { gamma0: 0.05 })
         .with_annealing(Annealing::default())
         .with_aggressive_stepping(AggressiveStepping::default());
-    let mut idx = 0u64;
-    let success = cfg.success_rate(|fpu| {
-        idx += 1;
-        let problem = MatchingProblem::new(random_bipartite(
-            &mut StdRng::seed_from_u64(idx * 31),
-            5,
-            6,
-            30,
-        ));
-        let (m, _) = problem.solve_sgd(&sgd, fpu);
-        problem.is_success(&m)
+    let case = SweepCase::problem("matching", spec, |seed| {
+        MatchingProblem::new(random_bipartite(&mut StdRng::seed_from_u64(seed), 5, 6, 30))
     });
+    let result = sweep("matching_10pct", 10.0, 12, 5).run(&[case]);
+    let success = result.cell(0, 0).success_rate();
     assert!(success >= 60.0, "robust matching success {success}% at 10%");
 }
 
@@ -116,25 +102,23 @@ fn robust_iir_orders_of_magnitude_better_at_1pct() {
     let mut rng = StdRng::seed_from_u64(4);
     let filter = IirFilter::random_stable(&mut rng, 4, 2);
     let u: Vec<f64> = (0..300).map(|i| ((i as f64) * 0.31).sin()).collect();
-    let y_ref = filter.reference(&u);
     let gamma0 = filter
         .default_gamma0(u.len())
         .expect("signal longer than taps");
+    let problem = IirProblem::new(filter, u).expect("signal longer than taps");
 
-    let cfg = TrialConfig::new(6, FaultRate::per_flop(0.01), BitFaultModel::emulated(), 13);
-    let baseline = cfg.metric_summary(|fpu| {
-        let y = filter.apply_direct(fpu, &u);
-        filter.error_to_signal(&y, &y_ref)
-    });
-    let cfg = TrialConfig::new(6, FaultRate::per_flop(0.01), BitFaultModel::emulated(), 13);
-    let sgd = Sgd::new(1500, StepSchedule::Sqrt { gamma0 })
-        .with_guard(GradientGuard::ClampComponents { max_abs: 1.0 });
-    let robust = cfg.metric_summary(|fpu| {
-        let report = filter
-            .solve_sgd(&u, &sgd, fpu)
-            .expect("signal longer than taps");
-        filter.error_to_signal(&report.x, &y_ref)
-    });
+    let cases = vec![
+        SweepCase::fixed("baseline", SolverSpec::baseline(), problem.clone()),
+        SweepCase::fixed(
+            "robust",
+            SolverSpec::sgd(1500, StepSchedule::Sqrt { gamma0 })
+                .with_guard(GradientGuard::ClampComponents { max_abs: 1.0 }),
+            problem,
+        ),
+    ];
+    let result = sweep("iir_1pct", 1.0, 6, 13).run(&cases);
+    let baseline = result.case_cell("baseline", 0).summary();
+    let robust = result.case_cell("robust", 0).summary();
     assert!(
         robust.median() * 10.0 < baseline.median().min(1e12),
         "robust {} vs baseline {}",
@@ -147,13 +131,11 @@ fn robust_iir_orders_of_magnitude_better_at_1pct() {
 fn robust_maxflow_small_error_at_1pct() {
     let problem = MaxFlowProblem::new(random_flow_network(&mut StdRng::seed_from_u64(13), 6, 8))
         .expect("non-empty network");
-    let cfg = TrialConfig::new(5, FaultRate::per_flop(0.01), BitFaultModel::emulated(), 3);
-    let sgd =
-        Sgd::new(8000, StepSchedule::Sqrt { gamma0: 0.02 }).with_annealing(Annealing::default());
-    let summary = cfg.metric_summary(|fpu| {
-        let (value, _) = problem.solve_sgd(&sgd, fpu);
-        problem.relative_error(value)
-    });
+    let spec = SolverSpec::sgd(8000, StepSchedule::Sqrt { gamma0: 0.02 })
+        .with_annealing(Annealing::default());
+    let result =
+        sweep("maxflow_1pct", 1.0, 5, 3).run(&[SweepCase::fixed("maxflow", spec, problem)]);
+    let summary = result.cell(0, 0).summary();
     assert!(
         summary.median() < 0.3,
         "maxflow median error {}",
@@ -169,22 +151,53 @@ fn robust_apsp_small_error_at_1pct() {
         5,
     ))
     .expect("strongly connected");
-    let cfg = TrialConfig::new(5, FaultRate::per_flop(0.01), BitFaultModel::emulated(), 3);
-    let sgd = Sgd::new(8000, StepSchedule::Sqrt { gamma0: 0.02 })
+    let spec = SolverSpec::sgd(8000, StepSchedule::Sqrt { gamma0: 0.02 })
         .with_annealing(Annealing::default())
         .with_guard(GradientGuard::Adaptive {
             factor: 10.0,
             reject: 100.0,
         });
-    let summary = cfg.metric_summary(|fpu| {
-        let (d, _) = problem.solve_sgd(&sgd, fpu);
-        problem.mean_relative_error(&d)
-    });
+    let result = sweep("apsp_1pct", 1.0, 5, 3).run(&[SweepCase::fixed("apsp", spec, problem)]);
+    let summary = result.cell(0, 0).summary();
     assert!(
         summary.median() < 0.3,
         "apsp median error {}",
         summary.median()
     );
+}
+
+#[test]
+fn real_app_sweep_is_thread_count_invariant() {
+    // The engine determinism guarantee on a real application: a sorting
+    // sweep aggregated from 1 worker and from 4 workers emits identical
+    // bytes.
+    let spec = SolverSpec::sgd(2000, StepSchedule::Sqrt { gamma0: 0.1 }).with_guard(
+        GradientGuard::Adaptive {
+            factor: 3.0,
+            reject: 30.0,
+        },
+    );
+    let cases = || {
+        vec![
+            SweepCase::problem("baseline", SolverSpec::baseline(), |seed| {
+                SortProblem::random(&mut StdRng::seed_from_u64(seed), 5)
+            }),
+            SweepCase::problem("sgd", spec.clone(), |seed| {
+                SortProblem::random(&mut StdRng::seed_from_u64(seed), 5)
+            }),
+        ]
+    };
+    let grid = SweepSpec::new(
+        "sort_determinism",
+        vec![1.0, 10.0],
+        6,
+        42,
+        BitFaultModel::emulated(),
+    );
+    let serial = grid.clone().with_threads(1).run(&cases());
+    let parallel = grid.with_threads(4).run(&cases());
+    assert_eq!(serial.to_json(), parallel.to_json());
+    assert_eq!(serial.to_csv(), parallel.to_csv());
 }
 
 #[test]
@@ -234,4 +247,5 @@ fn facade_reexports_are_usable() {
     let _ = robustify::core::StepSchedule::Fixed(0.1);
     let _ = robustify::graph::DiGraph::new(2, vec![(0, 1, 1.0)]).expect("valid graph");
     let _ = robustify::apps::sorting::SortProblem::new(vec![1.0]).expect("non-empty");
+    let _ = robustify::engine::paper_fault_rates();
 }
