@@ -11,6 +11,13 @@
 //! [`TrialConfig`] remains as a thin compatibility wrapper for existing
 //! callers and doctests; new code should build a
 //! [`robustify_engine::SweepSpec`] instead.
+//!
+//! **Delete-readiness (PR 3):** a workspace-wide grep confirms no in-repo
+//! code outside this module constructs a [`TrialConfig`] any more — every
+//! example, test and figure binary runs trials through
+//! [`RobustProblem::run_trial`](robustify_core::RobustProblem::run_trial)
+//! / the engine. The shim is kept for exactly one more PR as
+//! external-caller courtesy and can then be removed wholesale.
 
 use stochastic_fpu::{BitFaultModel, FaultRate, NoisyFpu};
 

@@ -14,7 +14,7 @@ use robustify_apps::sorting::SortProblem;
 use robustify_bench::{success_table, ExperimentOptions};
 use robustify_core::{AggressiveStepping, GradientGuard, SolverSpec, StepSchedule};
 use robustify_engine::{extended_fault_rates, SweepCase};
-use stochastic_fpu::{BitFaultModel, BitWidth};
+use stochastic_fpu::{BitFaultModel, BitWidth, FaultModelSpec};
 
 fn main() {
     let opts = ExperimentOptions::parse();
@@ -27,17 +27,27 @@ fn main() {
         })
         .with_aggressive_stepping(AggressiveStepping::default());
 
-    let models: Vec<(&str, BitFaultModel)> = vec![
-        ("emulated", BitFaultModel::emulated()),
-        ("uniform", BitFaultModel::uniform(BitWidth::F64)),
+    let models: Vec<(&str, FaultModelSpec)> = vec![
+        ("emulated", BitFaultModel::emulated().into()),
+        ("uniform", BitFaultModel::uniform(BitWidth::F64).into()),
         (
             "exponent_heavy",
-            BitFaultModel::exponent_heavy(BitWidth::F64),
+            BitFaultModel::exponent_heavy(BitWidth::F64).into(),
         ),
-        ("lsb_only", BitFaultModel::lsb_only(BitWidth::F64)),
+        ("lsb_only", BitFaultModel::lsb_only(BitWidth::F64).into()),
         (
             "emulated_f32",
-            BitFaultModel::emulated_with_width(BitWidth::F32),
+            BitFaultModel::emulated_with_width(BitWidth::F32).into(),
+        ),
+        // Scenario-family rows: same error-magnitude question, different
+        // fault mechanisms (see fault_model_campaign for the full grid).
+        (
+            "burst3",
+            FaultModelSpec::burst(3, BitFaultModel::emulated()),
+        ),
+        (
+            "operand",
+            FaultModelSpec::operand(BitFaultModel::emulated()),
         ),
     ];
     let cases: Vec<SweepCase> = models

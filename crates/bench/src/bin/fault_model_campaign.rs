@@ -1,0 +1,161 @@
+//! Fault-model campaign: every application × every fault-model scenario.
+//!
+//! The paper evaluates one hardware scenario — a transient single-bit
+//! result flip with a circuit-modeled bit distribution. This campaign asks
+//! the broader question its methodology invites: *which* hardware
+//! misbehaviours can a stochastic solver ride out? One engine sweep pairs
+//! all 9 robustified applications with the whole `FaultModelSpec` family —
+//! the paper's transient flip, a stuck-at-1 exponent bit, 3-bit bursts,
+//! operand-side corruption, a 50%-duty-cycle intermittent fault, and a
+//! mul/div-only hot spot — at several fault rates, and emits one
+//! comparison table plus the engine's CSV/JSON documents (the CSV carries
+//! a `fault_model` column per row for downstream plotting).
+//!
+//! Expected shape: LSB-heavy / duty-cycled / op-selective scenarios are
+//! strictly easier than the paper's transient flip (fewer effective
+//! strikes, smaller magnitudes), while stuck-at exponent bits and bursts
+//! are harsher; the solvers' graceful-degradation story should hold across
+//! the family, failing hardest on the stuck-at scenario.
+
+use robustify_bench::workloads::{
+    paper_apsp, paper_doubly_stochastic, paper_eigen, paper_iir_problem, paper_least_squares,
+    paper_matching, paper_maxflow, paper_sort, paper_svm,
+};
+use robustify_bench::{ExperimentOptions, Table};
+use robustify_core::{
+    AggressiveStepping, Annealing, GradientGuard, RobustProblem, SolverSpec, StepSchedule,
+};
+use robustify_engine::SweepCase;
+use stochastic_fpu::{BitFaultModel, BitWidth, FaultModelSpec, FlopOp};
+
+/// The scenario family swept by the campaign, labelled for the case axis.
+fn model_family() -> Vec<(&'static str, FaultModelSpec)> {
+    let transient = FaultModelSpec::default();
+    vec![
+        ("transient", transient.clone()),
+        ("stuck1", FaultModelSpec::stuck_at(52, true, BitWidth::F64)),
+        (
+            "burst3",
+            FaultModelSpec::burst(3, BitFaultModel::emulated()),
+        ),
+        (
+            "operand",
+            FaultModelSpec::operand(BitFaultModel::emulated()),
+        ),
+        (
+            "duty50",
+            FaultModelSpec::intermittent(0.5, 1000, transient.clone()),
+        ),
+        (
+            "muldiv",
+            FaultModelSpec::op_selective(vec![FlopOp::Mul, FlopOp::Div], transient),
+        ),
+    ]
+}
+
+fn main() {
+    let opts = ExperimentOptions::parse();
+    let trials = opts.trials(20, 3);
+    let rates = if opts.fast {
+        vec![1.0, 10.0]
+    } else {
+        vec![0.5, 2.0, 10.0]
+    };
+
+    let lsq = paper_least_squares(opts.seed);
+    let lsq_gamma0 = lsq.default_gamma0();
+    let iir = paper_iir_problem(opts.seed);
+    let iir_gamma0 = iir.default_gamma0();
+    let sqs = |iters: usize, gamma0: f64| SolverSpec::sgd(iters, StepSchedule::Sqrt { gamma0 });
+    let anneal_lp = |gamma0: f64| sqs(8000, gamma0).with_annealing(Annealing::default());
+
+    // A factory building one labelled (solver, fault model) case for an app.
+    type CaseFactory = Box<dyn Fn(SolverSpec, FaultModelSpec, String) -> SweepCase>;
+
+    // One robust-solver configuration per application (the figures' /
+    // ch7's choices), paired with every fault-model scenario.
+    let apps: Vec<(&str, CaseFactory)> = {
+        fn entry<P: RobustProblem + Clone + Sync + 'static>(problem: P) -> CaseFactory {
+            Box::new(move |spec, model, label| {
+                SweepCase::fixed(&label, spec, problem.clone()).with_model(model)
+            })
+        }
+        vec![
+            ("least_squares", entry(lsq)),
+            ("iir", entry(iir)),
+            ("sorting", entry(paper_sort(opts.seed))),
+            ("matching", entry(paper_matching(opts.seed))),
+            ("maxflow", entry(paper_maxflow(opts.seed))),
+            ("apsp", entry(paper_apsp(opts.seed))),
+            ("svm", entry(paper_svm(opts.seed))),
+            ("eigen", entry(paper_eigen(opts.seed))),
+            (
+                "doubly_stochastic",
+                entry(paper_doubly_stochastic(opts.seed)),
+            ),
+        ]
+    };
+    let spec_for = |app: &str| -> SolverSpec {
+        match app {
+            "least_squares" => SolverSpec::sgd(1000, StepSchedule::Linear { gamma0: lsq_gamma0 })
+                .with_aggressive_stepping(AggressiveStepping::default()),
+            "iir" => sqs(1000, iir_gamma0),
+            "sorting" => sqs(10_000, 0.1)
+                .with_guard(GradientGuard::Adaptive {
+                    factor: 3.0,
+                    reject: 30.0,
+                })
+                .with_aggressive_stepping(AggressiveStepping::default()),
+            "matching" => sqs(10_000, 0.05),
+            "maxflow" | "apsp" => anneal_lp(0.02),
+            "svm" => sqs(2000, 0.1),
+            "eigen" => sqs(4000, 0.02),
+            "doubly_stochastic" => sqs(3000, 0.1),
+            other => unreachable!("unknown app {other}"),
+        }
+    };
+
+    let mut cases = Vec::new();
+    for (app, make_case) in &apps {
+        for (model_label, model) in model_family() {
+            cases.push(make_case(
+                spec_for(app),
+                model,
+                format!("{app}/{model_label}"),
+            ));
+        }
+    }
+
+    let result = opts
+        .sweep("fault_model_campaign", rates, trials)
+        .run(&cases);
+
+    // Comparison table: one row per (app × scenario), success rate per
+    // fault rate plus the worst-rate median metric.
+    let n_models = model_family().len();
+    let mut headers: Vec<String> = vec!["application".into(), "fault_model".into()];
+    headers.extend(result.rates_pct().iter().map(|r| format!("success@{r}%")));
+    headers.push("median@max_rate".into());
+    let header_refs: Vec<&str> = headers.iter().map(|h| h.as_str()).collect();
+    let mut table = Table::new(
+        &format!("Fault-model campaign — 9 apps × {n_models} scenarios ({trials} trials/cell)"),
+        &header_refs,
+    );
+    let last_rate = result.rates_pct().len() - 1;
+    for (case, label) in result.labels().iter().enumerate() {
+        let (app, model_label) = label.split_once('/').expect("labels are app/model");
+        let mut row = vec![app.to_string(), model_label.to_string()];
+        for rate_idx in 0..result.rates_pct().len() {
+            row.push(format!("{:.1}", result.cell(case, rate_idx).success_rate()));
+        }
+        row.push(robustify_bench::fmt_metric(
+            result.cell(case, last_rate).summary().median(),
+        ));
+        table.row(&row);
+    }
+    opts.emit(&table, &result);
+
+    // The engine's own per-cell CSV (with the fault_model column) is the
+    // machine-readable comparison artifact.
+    println!("\n-- engine csv --\n{}", result.to_csv());
+}

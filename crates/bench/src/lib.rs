@@ -12,7 +12,7 @@
 pub mod workloads;
 
 use robustify_engine::SweepResult;
-use stochastic_fpu::{BitFaultModel, BitWidth};
+use stochastic_fpu::{BitFaultModel, BitWidth, FaultModelSpec};
 
 /// Options common to every experiment binary.
 ///
@@ -31,7 +31,10 @@ pub struct ExperimentOptions {
     pub fast: bool,
     /// Base seed for workload and fault-stream generation.
     pub seed: u64,
-    /// Bit-fault model preset name (`emulated`, `uniform`, `msb`, `lsb`).
+    /// Fault-model preset name: a bit distribution for the paper's
+    /// transient flip (`emulated`, `uniform`, `msb`, `lsb`) or a scenario
+    /// from the extended family (`stuck0`, `stuck1`, `burst`, `operand`,
+    /// `intermittent`, `muldiv`).
     pub fault_model: String,
     /// Sweep worker threads (`0` = all available cores); results are
     /// bit-identical for every choice.
@@ -103,19 +106,33 @@ impl ExperimentOptions {
         opts
     }
 
-    /// Resolves the fault-model preset.
+    /// Resolves the fault-model preset as a bare bit distribution (for
+    /// binaries that study the distribution itself, e.g. Figure 5.1).
     ///
     /// # Panics
     ///
-    /// Panics with a usage message on unknown preset names.
+    /// Panics with a usage message on preset names that are not plain bit
+    /// distributions (use [`fault_model_spec`](Self::fault_model_spec) for
+    /// the full scenario family).
     pub fn model(&self) -> BitFaultModel {
         match self.fault_model.as_str() {
             "emulated" => BitFaultModel::emulated(),
             "uniform" => BitFaultModel::uniform(BitWidth::F64),
             "msb" => BitFaultModel::msb_only(BitWidth::F64),
             "lsb" => BitFaultModel::lsb_only(BitWidth::F64),
-            other => usage(&format!("unknown fault model {other}")),
+            other => usage(&format!("unknown bit-distribution fault model {other}")),
         }
+    }
+
+    /// Resolves the fault-model preset as a full [`FaultModelSpec`]
+    /// scenario (every engine sweep accepts any family member).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on unknown preset names.
+    pub fn fault_model_spec(&self) -> FaultModelSpec {
+        FaultModelSpec::from_preset(&self.fault_model)
+            .unwrap_or_else(|| usage(&format!("unknown fault model {}", self.fault_model)))
     }
 
     /// Chooses between full and reduced trial counts.
@@ -141,8 +158,14 @@ impl ExperimentOptions {
         rates_pct: Vec<f64>,
         trials: usize,
     ) -> robustify_engine::SweepSpec {
-        robustify_engine::SweepSpec::new(name, rates_pct, trials, self.seed, self.model())
-            .with_threads(self.threads)
+        robustify_engine::SweepSpec::new(
+            name,
+            rates_pct,
+            trials,
+            self.seed,
+            self.fault_model_spec(),
+        )
+        .with_threads(self.threads)
     }
 
     /// Prints a rendered table, the run's parallel throughput, and (with
@@ -198,7 +221,8 @@ pub fn metric_table(title: &str, result: &SweepResult) -> Table {
 fn usage(msg: &str) -> ! {
     eprintln!(
         "{msg}\nusage: <experiment> [--fast] [--seed N] \
-         [--fault-model emulated|uniform|msb|lsb] [--threads N] [--json]"
+         [--fault-model emulated|uniform|msb|lsb|stuck0|stuck1|burst|operand|intermittent|muldiv] \
+         [--threads N] [--json]"
     );
     std::process::exit(2)
 }
@@ -320,6 +344,24 @@ mod tests {
         assert_eq!(opts.seed, 9);
         assert_eq!(opts.model(), BitFaultModel::lsb_only(BitWidth::F64));
         assert_eq!(opts.trials(100, 10), 10);
+    }
+
+    #[test]
+    fn extended_fault_model_presets_resolve() {
+        for (name, expect) in [
+            ("emulated", "transient_emulated"),
+            ("stuck1", "stuck1_bit52"),
+            ("burst", "burst3_emulated"),
+            ("operand", "operand_emulated"),
+            ("intermittent", "intermittent50_transient_emulated"),
+            ("muldiv", "only_mul+div_transient_emulated"),
+        ] {
+            let opts = ExperimentOptions {
+                fault_model: name.to_string(),
+                ..ExperimentOptions::default()
+            };
+            assert_eq!(opts.fault_model_spec().name(), expect);
+        }
     }
 
     #[test]

@@ -14,7 +14,13 @@
 //! * [`RobustProblem`] / [`SolverSpec`] — the unified experiment interface:
 //!   every application is a cost + decode + verify triple, every solver
 //!   configuration is declarative data, so any pairing can be swept by the
-//!   `robustify_engine` executor without bespoke harness code.
+//!   `robustify_engine` executor without bespoke harness code. The
+//!   injector side of a trial is declarative too: a [`FaultModelSpec`]
+//!   (re-exported from `stochastic_fpu`) describes *which hardware
+//!   scenario* corrupts the [`Fpu`](stochastic_fpu::Fpu) a trial runs on —
+//!   the paper's transient bit flip, stuck-at bits, bursts, operand
+//!   corruption, intermittent and op-selective faults — so sweep grids
+//!   pair every `(problem, solver)` with every scenario.
 //! * [`CostFunction`] — the variational interface; gradients are evaluated
 //!   through an [`Fpu`](stochastic_fpu::Fpu) (the noisy *data plane*), while
 //!   solver bookkeeping stays native (the protected *control plane*).
@@ -74,3 +80,8 @@ pub use problem::{default_solve, RobustOutcome, RobustProblem, SolveMethod, Solv
 pub use schedule::StepSchedule;
 pub use sgd::{AggressiveStepping, Annealing, GradientGuard, GuardState, Sgd, SolveReport};
 pub use trace::Trace;
+
+// The injector-side vocabulary of a trial, re-exported so problem and
+// sweep authors can describe the full (problem × fault model × solver)
+// experiment from one crate.
+pub use stochastic_fpu::{FaultCtx, FaultModel, FaultModelSpec};

@@ -1,5 +1,5 @@
 //! The experiment engine: a multi-threaded, bit-deterministic sweep
-//! executor over `(problem × fault rate × solver)` grids.
+//! executor over `(problem × fault model × fault rate × solver)` grids.
 //!
 //! Every figure of the paper is the same experiment shape: for each fault
 //! rate, run `N` independently seeded trials of some `(problem, solver)`
@@ -8,10 +8,13 @@
 //! hand-rolling serial loops:
 //!
 //! * [`SweepSpec`] — the grid: fault rates, trials per cell, base seed,
-//!   bit-fault model, worker threads.
+//!   default fault model
+//!   ([`FaultModelSpec`](stochastic_fpu::FaultModelSpec)), worker threads.
 //! * [`SweepCase`] — one column: a labelled
 //!   [`RobustProblem`](robustify_core::RobustProblem) ×
-//!   [`SolverSpec`](robustify_core::SolverSpec) pairing (or a raw closure).
+//!   [`SolverSpec`](robustify_core::SolverSpec) pairing (or a raw
+//!   closure), optionally overriding the sweep's fault model — making the
+//!   injector scenario itself a sweepable axis.
 //! * [`SweepResult`] / [`CellStats`] / [`MetricSummary`] — streaming
 //!   aggregates (success rate, error quantiles, FLOP/fault totals) with
 //!   CSV and JSON emitters.

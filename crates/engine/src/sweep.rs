@@ -4,7 +4,7 @@ use crate::stats::{CellStats, TrialRecord};
 use robustify_core::{RobustProblem, SolverSpec, Verdict};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
-use stochastic_fpu::{BitFaultModel, FaultRate, Fpu, NoisyFpu};
+use stochastic_fpu::{FaultModelSpec, FaultRate, Fpu, NoisyFpu};
 
 /// Derives the FPU seed for trial `i` from a sweep's base seed.
 ///
@@ -61,7 +61,7 @@ type TrialRunner = Box<dyn Fn(&TrialCtx, &mut NoisyFpu) -> Verdict + Sync>;
 pub struct SweepCase {
     label: String,
     runner: TrialRunner,
-    model: Option<BitFaultModel>,
+    model: Option<FaultModelSpec>,
     trials: Option<usize>,
     spec_json: Option<String>,
 }
@@ -110,11 +110,19 @@ impl SweepCase {
         case
     }
 
-    /// Overrides the sweep's bit-fault model for this case (used by the
-    /// fault-model ablation, where the *case* axis is the injector).
-    pub fn with_model(mut self, model: BitFaultModel) -> Self {
-        self.model = Some(model);
+    /// Overrides the sweep's fault model for this case (used by the
+    /// fault-model ablation and campaign, where the *case* axis is the
+    /// injector). Accepts a [`FaultModelSpec`] or a bare
+    /// [`BitFaultModel`](stochastic_fpu::BitFaultModel) (the paper's
+    /// transient-flip scenario).
+    pub fn with_model(mut self, model: impl Into<FaultModelSpec>) -> Self {
+        self.model = Some(model.into());
         self
+    }
+
+    /// The case's fault-model override, if any.
+    pub fn model(&self) -> Option<&FaultModelSpec> {
+        self.model.as_ref()
     }
 
     /// Overrides the sweep's trial count for this case (e.g. fewer trials
@@ -145,7 +153,8 @@ impl std::fmt::Debug for SweepCase {
     }
 }
 
-/// The grid of a sweep: fault rates × trials × seeding × threading.
+/// The grid of a sweep: fault model × fault rates × trials × seeding ×
+/// threading.
 ///
 /// # Examples
 ///
@@ -155,6 +164,7 @@ impl std::fmt::Debug for SweepCase {
 ///
 /// let spec = SweepSpec::new("demo", vec![1.0, 5.0], 10, 42, BitFaultModel::emulated());
 /// assert_eq!(spec.rates_pct(), &[1.0, 5.0]);
+/// assert_eq!(spec.fault_model().name(), "transient_emulated");
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepSpec {
@@ -162,14 +172,18 @@ pub struct SweepSpec {
     rates_pct: Vec<f64>,
     trials: usize,
     base_seed: u64,
-    model: BitFaultModel,
+    model: FaultModelSpec,
     threads: usize,
 }
 
 impl SweepSpec {
     /// Creates a grid over the given fault-rate percentages with `trials`
     /// trials per cell. Threads default to the machine's available
-    /// parallelism.
+    /// parallelism. `model` is the sweep's default fault model — a
+    /// [`FaultModelSpec`] or a bare
+    /// [`BitFaultModel`](stochastic_fpu::BitFaultModel) (the paper's
+    /// transient-flip scenario); cases may override it per column with
+    /// [`SweepCase::with_model`].
     ///
     /// # Panics
     ///
@@ -179,7 +193,7 @@ impl SweepSpec {
         rates_pct: Vec<f64>,
         trials: usize,
         base_seed: u64,
-        model: BitFaultModel,
+        model: impl Into<FaultModelSpec>,
     ) -> Self {
         assert!(!rates_pct.is_empty(), "sweep needs at least one fault rate");
         assert!(trials > 0, "need at least one trial per cell");
@@ -188,9 +202,14 @@ impl SweepSpec {
             rates_pct,
             trials,
             base_seed,
-            model,
+            model: model.into(),
             threads: 0,
         }
+    }
+
+    /// The sweep's default fault model.
+    pub fn fault_model(&self) -> &FaultModelSpec {
+        &self.model
     }
 
     /// Pins the worker-thread count (`0` = available parallelism). The
@@ -316,6 +335,10 @@ impl SweepSpec {
             name: self.name.clone(),
             labels: cases.iter().map(|c| c.label.clone()).collect(),
             specs_json: cases.iter().map(|c| c.spec_json.clone()).collect(),
+            fault_models: cases
+                .iter()
+                .map(|c| c.model.clone().unwrap_or_else(|| self.model.clone()))
+                .collect(),
             rates_pct: self.rates_pct.clone(),
             base_seed: self.base_seed,
             threads,
@@ -343,6 +366,9 @@ pub struct SweepResult {
     name: String,
     labels: Vec<String>,
     specs_json: Vec<Option<String>>,
+    /// Effective fault model per case (the case override or the sweep
+    /// default).
+    fault_models: Vec<FaultModelSpec>,
     rates_pct: Vec<f64>,
     base_seed: u64,
     threads: usize,
@@ -391,6 +417,16 @@ impl SweepResult {
         self.cell(case, rate)
     }
 
+    /// The effective fault model of a case (its override or the sweep
+    /// default).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the case index is out of range.
+    pub fn fault_model(&self, case: usize) -> &FaultModelSpec {
+        &self.fault_models[case]
+    }
+
     /// Worker threads the run actually used.
     pub fn threads(&self) -> usize {
         self.threads
@@ -422,14 +458,15 @@ impl SweepResult {
     /// appear and cannot influence any value.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "case,fault_rate_pct,trials,successes,success_rate,median,mean,max,failures,flops,faults\n",
+            "case,fault_model,fault_rate_pct,trials,successes,success_rate,median,mean,max,failures,flops,faults\n",
         );
         for (case, row) in self.cells.iter().enumerate() {
             for (rate_idx, cell) in row.iter().enumerate() {
                 let summary = cell.summary();
                 out.push_str(&format!(
-                    "{},{},{},{},{},{},{},{},{},{},{}\n",
+                    "{},{},{},{},{},{},{},{},{},{},{},{}\n",
                     self.labels[case],
+                    self.fault_models[case].name(),
                     self.rates_pct[rate_idx],
                     cell.trials(),
                     cell.successes(),
@@ -472,8 +509,9 @@ impl SweepResult {
                 None => "null".to_string(),
             };
             out.push_str(&format!(
-                "{{\"label\":\"{}\",\"spec\":{spec},\"cells\":[",
-                self.labels[case]
+                "{{\"label\":\"{}\",\"spec\":{spec},\"fault_model\":{},\"cells\":[",
+                self.labels[case],
+                self.fault_models[case].to_json(),
             ));
             for (rate_idx, cell) in row.iter().enumerate() {
                 if rate_idx > 0 {
@@ -522,6 +560,7 @@ fn json_num(v: f64) -> String {
 mod tests {
     use super::*;
     use robustify_core::Verdict;
+    use stochastic_fpu::BitFaultModel;
 
     fn toy_case(label: &str) -> SweepCase {
         SweepCase::new(label, |ctx: &TrialCtx, fpu: &mut NoisyFpu| {
@@ -582,11 +621,30 @@ mod tests {
             .with_threads(1)
             .run(&cases);
         let csv = result.to_csv();
-        assert!(csv.starts_with("case,fault_rate_pct"));
+        assert!(csv.starts_with("case,fault_model,fault_rate_pct"));
+        assert!(csv.contains("only,transient_emulated,2,"));
         assert_eq!(csv.lines().count(), 2);
         let json = result.to_json();
         assert!(json.contains("\"name\":\"shape\""));
         assert!(json.contains("\"rate_pct\":2"));
+        assert!(json.contains("\"fault_model\":{\"kind\":\"transient\""));
         assert!(result.case_cell("only", 0).trials() == 3);
+    }
+
+    #[test]
+    fn per_case_fault_models_reach_the_emitters() {
+        use stochastic_fpu::{BitWidth, FaultModelSpec};
+        let cases = [
+            toy_case("default"),
+            toy_case("stuck").with_model(FaultModelSpec::stuck_at(52, true, BitWidth::F64)),
+        ];
+        let result = SweepSpec::new("models", vec![10.0], 4, 2, FaultModelSpec::default())
+            .with_threads(2)
+            .run(&cases);
+        assert_eq!(result.fault_model(0).name(), "transient_emulated");
+        assert_eq!(result.fault_model(1).name(), "stuck1_bit52");
+        let csv = result.to_csv();
+        assert!(csv.contains("stuck,stuck1_bit52,10,"));
+        assert!(result.to_json().contains("\"kind\":\"stuck_at\""));
     }
 }

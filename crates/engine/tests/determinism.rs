@@ -6,7 +6,7 @@ use proptest::prelude::*;
 use robustify_core::{RobustProblem, SolverSpec, StepSchedule, Verdict};
 use robustify_engine::{SweepCase, SweepSpec};
 use robustify_linalg::Matrix;
-use stochastic_fpu::BitFaultModel;
+use stochastic_fpu::{BitFaultModel, BitWidth, FaultModelSpec, FlopOp};
 
 /// A small but non-trivial problem: recover `b` from `f(x) = ‖x − b‖²`,
 /// where `b` is derived from the per-trial workload seed so every trial
@@ -71,6 +71,32 @@ fn cases() -> Vec<SweepCase> {
     ]
 }
 
+/// One case per fault-model family, so a single grid mixes ≥ 5 distinct
+/// [`FaultModelSpec`] variants (the fault-grid axis of ISSUE 3).
+fn mixed_model_cases() -> Vec<SweepCase> {
+    let spec = SolverSpec::sgd(100, StepSchedule::Sqrt { gamma0: 0.3 });
+    let case = |label: &str, model: FaultModelSpec| {
+        SweepCase::problem(label, spec.clone(), Recover::from_seed).with_model(model)
+    };
+    vec![
+        case("transient", FaultModelSpec::default()),
+        case("stuck", FaultModelSpec::stuck_at(54, true, BitWidth::F64)),
+        case("burst", FaultModelSpec::burst(3, BitFaultModel::emulated())),
+        case(
+            "operand",
+            FaultModelSpec::operand(BitFaultModel::emulated()),
+        ),
+        case(
+            "intermittent",
+            FaultModelSpec::intermittent(0.5, 200, FaultModelSpec::default()),
+        ),
+        case(
+            "muldiv",
+            FaultModelSpec::op_selective(vec![FlopOp::Mul, FlopOp::Div], FaultModelSpec::default()),
+        ),
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -93,6 +119,41 @@ proptest! {
         let parallel = grid.with_threads(threads).run(&cases());
         prop_assert_eq!(serial.to_json(), parallel.to_json());
         prop_assert_eq!(serial.to_csv(), parallel.to_csv());
+    }
+
+    /// The fault-grid guarantee (ISSUE 3): a sweep whose cases mix six
+    /// distinct fault-model variants is still byte-identical between a
+    /// serial and a parallel run.
+    #[test]
+    fn mixed_fault_models_stay_deterministic(
+        base_seed in 0u64..1_000_000,
+        threads in 2usize..8,
+    ) {
+        let grid = SweepSpec::new(
+            "mixed_models",
+            vec![2.0, 20.0],
+            3,
+            base_seed,
+            FaultModelSpec::default(),
+        );
+        let serial = grid.clone().with_threads(1).run(&mixed_model_cases());
+        let parallel = grid.with_threads(threads).run(&mixed_model_cases());
+        prop_assert_eq!(serial.to_json(), parallel.to_json());
+        prop_assert_eq!(serial.to_csv(), parallel.to_csv());
+        // Each case's model survives into the emitted provenance.
+        for (case, name) in [
+            "transient_emulated",
+            "stuck1_bit54",
+            "burst3_emulated",
+            "operand_emulated",
+            "intermittent50_transient_emulated",
+            "only_mul+div_transient_emulated",
+        ]
+        .iter()
+        .enumerate()
+        {
+            prop_assert_eq!(&serial.fault_model(case).name(), name);
+        }
     }
 
     /// Re-running the same spec twice is also reproducible (no hidden

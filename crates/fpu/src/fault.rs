@@ -140,6 +140,9 @@ pub struct BitFaultModel {
     weights: Vec<f64>,
     /// Cumulative distribution for sampling, same length as `weights`.
     cumulative: Vec<f64>,
+    /// Stable distribution name for emitters (`"custom"` for
+    /// [`from_weights`](Self::from_weights) models).
+    kind: &'static str,
 }
 
 impl BitFaultModel {
@@ -184,7 +187,13 @@ impl BitFaultModel {
             width,
             weights,
             cumulative,
+            kind: "custom",
         }
+    }
+
+    fn named(mut self, kind: &'static str) -> Self {
+        self.kind = kind;
+        self
     }
 
     /// The paper's emulated distribution (Figure 5.1) mapped onto `f64`.
@@ -226,7 +235,7 @@ impl BitFaultModel {
         for w in weights.iter_mut().take(low) {
             *w += 0.40 / low as f64;
         }
-        Self::from_weights(width, &weights)
+        Self::from_weights(width, &weights).named("emulated")
     }
 
     /// A pessimistic variant of [`emulated`](Self::emulated) that puts most
@@ -249,12 +258,12 @@ impl BitFaultModel {
         for w in weights.iter_mut().take(low) {
             *w += 0.40 / low as f64;
         }
-        Self::from_weights(width, &weights)
+        Self::from_weights(width, &weights).named("exponent_heavy")
     }
 
     /// A uniform distribution over all bits of the encoding.
     pub fn uniform(width: BitWidth) -> Self {
-        Self::from_weights(width, &vec![1.0; width.bits()])
+        Self::from_weights(width, &vec![1.0; width.bits()]).named("uniform")
     }
 
     /// A distribution concentrated entirely on the most significant
@@ -266,7 +275,7 @@ impl BitFaultModel {
         for w in weights.iter_mut().take(bits).skip(mant) {
             *w = 1.0;
         }
-        Self::from_weights(width, &weights)
+        Self::from_weights(width, &weights).named("msb_only")
     }
 
     /// A distribution concentrated on the low half of the mantissa —
@@ -278,12 +287,19 @@ impl BitFaultModel {
         for w in weights.iter_mut().take(mant / 2) {
             *w = 1.0;
         }
-        Self::from_weights(width, &weights)
+        Self::from_weights(width, &weights).named("lsb_only")
     }
 
     /// The bit width this model injects into.
     pub fn width(&self) -> BitWidth {
         self.width
+    }
+
+    /// The stable distribution name (`"emulated"`, `"uniform"`,
+    /// `"exponent_heavy"`, `"msb_only"`, `"lsb_only"`, or `"custom"` for
+    /// [`from_weights`](Self::from_weights) models).
+    pub fn kind(&self) -> &'static str {
+        self.kind
     }
 
     /// The normalized per-bit probabilities (LSB first).
@@ -341,6 +357,10 @@ pub struct FaultStats {
     pub high_bit_faults: u64,
     /// Faults that landed in the mantissa field.
     pub mantissa_faults: u64,
+    /// Per-bit-position fault counts, LSB first (grown on demand; a fault
+    /// event records exactly one position — its primary/sampled bit — so
+    /// the histogram always sums to `faults`).
+    bit_histogram: Vec<u64>,
 }
 
 impl FaultStats {
@@ -352,6 +372,17 @@ impl FaultStats {
         } else {
             self.mantissa_faults += 1;
         }
+        if self.bit_histogram.len() <= bit {
+            self.bit_histogram.resize(bit + 1, 0);
+        }
+        self.bit_histogram[bit] += 1;
+    }
+
+    /// Per-bit-position fault counts, LSB first. Positions beyond the
+    /// highest recorded bit are omitted; the entries always sum to
+    /// [`faults`](Self::faults).
+    pub fn bit_histogram(&self) -> &[u64] {
+        &self.bit_histogram
     }
 }
 
@@ -545,5 +576,25 @@ mod tests {
         assert_eq!(stats.faults, 3);
         assert_eq!(stats.mantissa_faults, 1);
         assert_eq!(stats.high_bit_faults, 2);
+        assert_eq!(stats.bit_histogram().iter().sum::<u64>(), 3);
+        assert_eq!(stats.bit_histogram()[0], 1);
+        assert_eq!(stats.bit_histogram()[52], 1);
+        assert_eq!(stats.bit_histogram()[63], 1);
+    }
+
+    #[test]
+    fn preset_kinds_are_stable() {
+        assert_eq!(BitFaultModel::emulated().kind(), "emulated");
+        assert_eq!(BitFaultModel::uniform(BitWidth::F32).kind(), "uniform");
+        assert_eq!(
+            BitFaultModel::exponent_heavy(BitWidth::F64).kind(),
+            "exponent_heavy"
+        );
+        assert_eq!(BitFaultModel::msb_only(BitWidth::F64).kind(), "msb_only");
+        assert_eq!(BitFaultModel::lsb_only(BitWidth::F64).kind(), "lsb_only");
+        assert_eq!(
+            BitFaultModel::from_weights(BitWidth::F32, &[1.0; 32]).kind(),
+            "custom"
+        );
     }
 }

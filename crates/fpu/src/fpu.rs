@@ -7,8 +7,9 @@
 //! corrupted, and FLOPs are accounted identically in both cases so energy
 //! comparisons are fair.
 
-use crate::fault::{BitFaultModel, FaultRate, FaultStats};
+use crate::fault::{FaultRate, FaultStats};
 use crate::lfsr::Lfsr;
+use crate::model::{FaultCtx, FaultModel, FaultModelSpec};
 
 /// The floating point operations an FPU executes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -34,6 +35,17 @@ impl FlopOp {
             FlopOp::Mul => a * b,
             FlopOp::Div => a / b,
             FlopOp::Sqrt => a.sqrt(),
+        }
+    }
+
+    /// Stable lower-case name used by fault-model serializations.
+    pub fn name(self) -> &'static str {
+        match self {
+            FlopOp::Add => "add",
+            FlopOp::Sub => "sub",
+            FlopOp::Mul => "mul",
+            FlopOp::Div => "div",
+            FlopOp::Sqrt => "sqrt",
         }
     }
 }
@@ -222,26 +234,44 @@ impl Fpu for ReliableFpu {
 /// The fault-injecting FPU of the paper's FPGA framework.
 ///
 /// At LFSR-scheduled random intervals — uniform with mean equal to the
-/// configured [`FaultRate`]'s mean interval — the injector flips one
-/// randomly chosen bit (per the [`BitFaultModel`]) in the result of an
-/// operation before it is "committed".
+/// configured [`FaultRate`]'s mean interval — the injector hands the
+/// operation to a pluggable [`FaultModel`](crate::FaultModel) strategy
+/// described by a [`FaultModelSpec`]. The paper's scenario (a transient
+/// single-bit flip of the committed result, per a
+/// [`BitFaultModel`](crate::BitFaultModel) distribution) is the
+/// [`FaultModelSpec::Transient`] variant and the
+/// default; stuck-at, burst, operand-side, intermittent and op-selective
+/// scenarios plug in through the same interface.
 ///
 /// # Examples
 ///
 /// ```
 /// use stochastic_fpu::{BitFaultModel, FaultRate, Fpu, NoisyFpu};
 ///
-/// // Every second FLOP is corrupted on average.
+/// // Every second FLOP is corrupted on average (a bare `BitFaultModel`
+/// // converts into the paper's transient-flip scenario).
 /// let mut fpu = NoisyFpu::new(FaultRate::per_flop(0.5), BitFaultModel::emulated(), 7);
 /// for _ in 0..1000 {
 ///     fpu.add(1.0, 1.0);
 /// }
 /// assert!(fpu.faults() > 300, "expected roughly half the ops faulted");
 /// ```
+///
+/// A non-default scenario:
+///
+/// ```
+/// use stochastic_fpu::{BitWidth, FaultModelSpec, FaultRate, Fpu, NoisyFpu};
+///
+/// // Sign bit stuck at 1: every visible strike drives the result negative.
+/// let stuck = FaultModelSpec::stuck_at(63, true, BitWidth::F64);
+/// let mut fpu = NoisyFpu::new(FaultRate::per_flop(1.0), stuck, 7);
+/// assert!(fpu.add(1.0, 1.0) < 0.0);
+/// ```
 #[derive(Debug, Clone)]
 pub struct NoisyFpu {
     rate: FaultRate,
-    model: BitFaultModel,
+    spec: FaultModelSpec,
+    model: std::sync::Arc<dyn FaultModel>,
     lfsr: Lfsr,
     /// FLOPs remaining until the next injection (0 when rate is zero).
     countdown: u64,
@@ -252,12 +282,16 @@ pub struct NoisyFpu {
 impl NoisyFpu {
     /// Creates a fault-injecting FPU.
     ///
-    /// `seed` initializes the LFSR that schedules faults and samples bit
-    /// positions; a fixed seed makes an experiment exactly reproducible.
-    pub fn new(rate: FaultRate, model: BitFaultModel, seed: u64) -> Self {
+    /// `seed` initializes the LFSR that schedules faults and drives the
+    /// fault model's random draws; a fixed seed makes an experiment exactly
+    /// reproducible. `model` accepts a [`FaultModelSpec`] or a bare
+    /// [`BitFaultModel`] (the paper's transient-flip scenario).
+    pub fn new(rate: FaultRate, model: impl Into<FaultModelSpec>, seed: u64) -> Self {
+        let spec = model.into();
         let mut fpu = NoisyFpu {
             rate,
-            model,
+            model: spec.build(),
+            spec,
             lfsr: Lfsr::new(seed),
             countdown: 0,
             flops: 0,
@@ -272,9 +306,9 @@ impl NoisyFpu {
         self.rate
     }
 
-    /// The bit-fault model in use.
-    pub fn model(&self) -> &BitFaultModel {
-        &self.model
+    /// The fault-model spec in use.
+    pub fn fault_model(&self) -> &FaultModelSpec {
+        &self.spec
     }
 
     /// Detailed fault statistics.
@@ -313,15 +347,14 @@ impl Fpu for NoisyFpu {
             return exact;
         }
         self.countdown = self.draw_interval();
-        let bit = self.model.sample_bit(&mut self.lfsr);
-        self.stats.record(self.model.width(), bit);
-        match self.model.width() {
-            crate::fault::BitWidth::F32 => {
-                let bits = (exact as f32).to_bits() ^ (1u32 << bit);
-                f32::from_bits(bits) as f64
-            }
-            crate::fault::BitWidth::F64 => f64::from_bits(exact.to_bits() ^ (1u64 << bit)),
-        }
+        let ctx = FaultCtx {
+            op,
+            a,
+            b,
+            exact,
+            flop: self.flops - 1,
+        };
+        self.model.corrupt(&ctx, &mut self.lfsr, &mut self.stats)
     }
 
     fn flops(&self) -> u64 {
@@ -336,7 +369,7 @@ impl Fpu for NoisyFpu {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fault::BitWidth;
+    use crate::fault::{BitFaultModel, BitWidth};
 
     #[test]
     fn reliable_fpu_is_exact() {

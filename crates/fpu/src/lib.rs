@@ -12,10 +12,15 @@
 //!   are exact or perturbed.
 //! * [`ReliableFpu`] — exact IEEE-754 arithmetic with FLOP accounting; the
 //!   "control plane" and the error-free baseline.
-//! * [`NoisyFpu`] — the fault injector: flips one randomly chosen bit of an
-//!   operation's result at LFSR-scheduled random intervals, following a
-//!   configurable [`BitFaultModel`] (the paper's Figure 5.1 distribution is
-//!   the [`BitFaultModel::emulated`] preset).
+//! * [`NoisyFpu`] — the fault injector: corrupts operation results at
+//!   LFSR-scheduled random intervals according to a pluggable
+//!   [`FaultModel`] scenario described by a serializable
+//!   [`FaultModelSpec`]. The paper's scenario — flip one randomly chosen
+//!   bit of the committed result, position drawn from a
+//!   [`BitFaultModel`] (Figure 5.1 is the [`BitFaultModel::emulated`]
+//!   preset) — is the default; stuck-at-0/1 bits, multi-bit bursts,
+//!   operand-side corruption, intermittent duty-cycle faults and
+//!   op-selective (e.g. mul/div-only) faults are sweepable alternatives.
 //! * [`Lfsr`] — the Galois linear feedback shift register used to draw
 //!   inter-fault intervals, mirroring the paper's methodology chapter.
 //! * [`VoltageErrorModel`] — the voltage ↦ FPU-error-rate curve of Figure
@@ -41,10 +46,12 @@ mod energy;
 mod fault;
 mod fpu;
 mod lfsr;
+mod model;
 mod processor;
 
 pub use energy::{EnergyReport, VoltageErrorModel};
 pub use fault::{BitFaultModel, BitWidth, FaultRate, FaultStats};
 pub use fpu::{FlopOp, Fpu, FpuExt, FpuSnapshot, NoisyFpu, ReliableFpu};
 pub use lfsr::Lfsr;
+pub use model::{FaultCtx, FaultModel, FaultModelSpec};
 pub use processor::{StochasticProcessor, SystemEnergyReport};

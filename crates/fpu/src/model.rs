@@ -1,0 +1,827 @@
+//! Pluggable fault models: the scenario axis of the fault injector.
+//!
+//! The paper evaluates one hardware scenario — a transient single-bit flip
+//! in the FPU result, with the bit position drawn from a circuit-modeled
+//! distribution ([`BitFaultModel`]). Real silicon misbehaves in more ways
+//! than that: bits get *stuck*, timing violations smear across *bursts* of
+//! adjacent bits, marginal circuits fail *intermittently* with the duty
+//! cycle of their aggressor, latches corrupt *operands* on the way into a
+//! functional unit, and hot spots make faults *op-selective* (the
+//! multiplier array fails long before the adder). This module makes the
+//! scenario a first-class, sweepable axis:
+//!
+//! * [`FaultModel`] — the object-safe corruption strategy every injector
+//!   implements. Given the operation, its operands, the exact result and
+//!   the injector's LFSR, it produces the committed (possibly corrupted)
+//!   value. Determinism contract: the output depends only on the inputs
+//!   and the LFSR state, never on ambient state.
+//! * [`FaultModelSpec`] — the serializable, plain-data description of a
+//!   model (the analogue of `SolverSpec` for the injector side), from
+//!   which [`build`](FaultModelSpec::build) constructs the strategy.
+//! * [`FaultCtx`] — the per-strike context handed to a model.
+//!
+//! The engine's sweep grids carry a `FaultModelSpec` per sweep (with
+//! per-case overrides), so experiments become
+//! `(problem × fault model × fault rate × solver)` grids.
+
+use crate::fault::{BitFaultModel, BitWidth, FaultStats};
+use crate::fpu::FlopOp;
+use crate::lfsr::Lfsr;
+use std::sync::Arc;
+
+/// Everything a fault model may condition on when corrupting one strike.
+///
+/// `flop` is the zero-based index of the operation within the trial, which
+/// lets duty-cycle models gate on *time* while staying deterministic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultCtx {
+    /// The operation being executed.
+    pub op: FlopOp,
+    /// First operand.
+    pub a: f64,
+    /// Second operand (zero for unary ops).
+    pub b: f64,
+    /// The exact IEEE-754 result of `op(a, b)`.
+    pub exact: f64,
+    /// Zero-based FLOP index of this operation within the trial.
+    pub flop: u64,
+}
+
+/// An object-safe corruption strategy: what happens when the injector's
+/// LFSR schedule says a fault strikes.
+///
+/// Implementations must be *seed-deterministic*: the returned value (and
+/// any statistics recorded) may depend only on the [`FaultCtx`] and on
+/// draws from the supplied [`Lfsr`]. Models that decline to corrupt (an
+/// intermittent model outside its duty window, an op-selective model on a
+/// non-selected op) return `ctx.exact` unchanged and record nothing.
+pub trait FaultModel: std::fmt::Debug + Send + Sync {
+    /// A short stable name for emitters and diagnostics.
+    fn name(&self) -> String;
+
+    /// Produces the committed result for one scheduled strike, recording
+    /// any injected fault into `stats`.
+    fn corrupt(&self, ctx: &FaultCtx, lfsr: &mut Lfsr, stats: &mut FaultStats) -> f64;
+}
+
+/// Flips `bit` of `value` in the given encoding (widening back for f32).
+fn flip_bit(value: f64, bit: usize, width: BitWidth) -> f64 {
+    match width {
+        BitWidth::F32 => {
+            let bits = (value as f32).to_bits() ^ (1u32 << bit);
+            f32::from_bits(bits) as f64
+        }
+        BitWidth::F64 => f64::from_bits(value.to_bits() ^ (1u64 << bit)),
+    }
+}
+
+/// Forces `bit` of `value` to `one` in the given encoding. Returns the
+/// forced value and whether the bit actually changed.
+fn force_bit(value: f64, bit: usize, one: bool, width: BitWidth) -> (f64, bool) {
+    match width {
+        BitWidth::F32 => {
+            let old = (value as f32).to_bits();
+            let new = if one {
+                old | (1u32 << bit)
+            } else {
+                old & !(1u32 << bit)
+            };
+            (f32::from_bits(new) as f64, new != old)
+        }
+        BitWidth::F64 => {
+            let old = value.to_bits();
+            let new = if one {
+                old | (1u64 << bit)
+            } else {
+                old & !(1u64 << bit)
+            };
+            (f64::from_bits(new), new != old)
+        }
+    }
+}
+
+/// The paper's scenario: a transient single-bit flip in the committed
+/// result, position drawn from a [`BitFaultModel`] distribution.
+#[derive(Debug, Clone)]
+struct TransientFlip {
+    model: BitFaultModel,
+}
+
+impl FaultModel for TransientFlip {
+    fn name(&self) -> String {
+        format!("transient_{}", self.model.kind())
+    }
+
+    fn corrupt(&self, ctx: &FaultCtx, lfsr: &mut Lfsr, stats: &mut FaultStats) -> f64 {
+        let bit = self.model.sample_bit(lfsr);
+        stats.record(self.model.width(), bit);
+        flip_bit(ctx.exact, bit, self.model.width())
+    }
+}
+
+/// A stuck-at fault: one fixed bit of the result datapath is tied to a
+/// constant 0 or 1. Strikes on results whose bit already holds the stuck
+/// value are invisible and record nothing.
+#[derive(Debug, Clone)]
+struct StuckAtFault {
+    bit: usize,
+    stuck_to_one: bool,
+    width: BitWidth,
+}
+
+impl FaultModel for StuckAtFault {
+    fn name(&self) -> String {
+        format!(
+            "stuck{}_bit{}",
+            if self.stuck_to_one { 1 } else { 0 },
+            self.bit
+        )
+    }
+
+    fn corrupt(&self, ctx: &FaultCtx, _lfsr: &mut Lfsr, stats: &mut FaultStats) -> f64 {
+        let (forced, changed) = force_bit(ctx.exact, self.bit, self.stuck_to_one, self.width);
+        if changed {
+            stats.record(self.width, self.bit);
+        }
+        forced
+    }
+}
+
+/// A multi-bit burst: a timing violation smears across `length` adjacent
+/// bits starting at a sampled position (clamped at the encoding's top).
+#[derive(Debug, Clone)]
+struct BurstFlip {
+    model: BitFaultModel,
+    length: usize,
+}
+
+impl FaultModel for BurstFlip {
+    fn name(&self) -> String {
+        format!("burst{}_{}", self.length, self.model.kind())
+    }
+
+    fn corrupt(&self, ctx: &FaultCtx, lfsr: &mut Lfsr, stats: &mut FaultStats) -> f64 {
+        let width = self.model.width();
+        let start = self.model.sample_bit(lfsr);
+        // One fault event, recorded at its primary (sampled) position.
+        stats.record(width, start);
+        let mut value = ctx.exact;
+        for bit in start..(start + self.length).min(width.bits()) {
+            value = flip_bit(value, bit, width);
+        }
+        value
+    }
+}
+
+/// Operand-side corruption: the fault lands on an *input* latch, so the
+/// functional unit computes an exact result of a wrong operand.
+#[derive(Debug, Clone)]
+struct OperandFlip {
+    model: BitFaultModel,
+}
+
+impl FaultModel for OperandFlip {
+    fn name(&self) -> String {
+        format!("operand_{}", self.model.kind())
+    }
+
+    fn corrupt(&self, ctx: &FaultCtx, lfsr: &mut Lfsr, stats: &mut FaultStats) -> f64 {
+        let bit = self.model.sample_bit(lfsr);
+        stats.record(self.model.width(), bit);
+        // Unary ops only have operand `a`; binary ops pick one by an LFSR
+        // coin flip (drawn after the bit so the bit distribution matches
+        // the configured model exactly).
+        let corrupt_a = matches!(ctx.op, FlopOp::Sqrt) || lfsr.next_f64() < 0.5;
+        if corrupt_a {
+            let a = flip_bit(ctx.a, bit, self.model.width());
+            ctx.op.exact(a, ctx.b)
+        } else {
+            let b = flip_bit(ctx.b, bit, self.model.width());
+            ctx.op.exact(ctx.a, b)
+        }
+    }
+}
+
+/// An intermittent fault: the inner model is active only while the FLOP
+/// index lies in the first `duty` fraction of each `period`-FLOP window —
+/// the signature of a marginal circuit tracking its aggressor's duty
+/// cycle. Strikes outside the window pass through untouched.
+#[derive(Debug)]
+struct DutyCycleFault {
+    inner: Arc<dyn FaultModel>,
+    duty: f64,
+    period: u64,
+    /// Precomputed `round(duty * period)`.
+    active: u64,
+}
+
+impl FaultModel for DutyCycleFault {
+    fn name(&self) -> String {
+        format!(
+            "intermittent{}_{}",
+            (self.duty * 100.0).round() as u64,
+            self.inner.name()
+        )
+    }
+
+    fn corrupt(&self, ctx: &FaultCtx, lfsr: &mut Lfsr, stats: &mut FaultStats) -> f64 {
+        if ctx.flop % self.period < self.active {
+            self.inner.corrupt(ctx, lfsr, stats)
+        } else {
+            ctx.exact
+        }
+    }
+}
+
+/// An op-selective fault: only the listed operations' functional units are
+/// faulty (e.g. only mul/div, matching a multiplier-array hot spot).
+/// Strikes on other ops pass through untouched.
+#[derive(Debug)]
+struct OpSelectiveFault {
+    inner: Arc<dyn FaultModel>,
+    ops: Vec<FlopOp>,
+}
+
+impl FaultModel for OpSelectiveFault {
+    fn name(&self) -> String {
+        let ops: Vec<&str> = self.ops.iter().map(|op| op.name()).collect();
+        format!("only_{}_{}", ops.join("+"), self.inner.name())
+    }
+
+    fn corrupt(&self, ctx: &FaultCtx, lfsr: &mut Lfsr, stats: &mut FaultStats) -> f64 {
+        if self.ops.contains(&ctx.op) {
+            self.inner.corrupt(ctx, lfsr, stats)
+        } else {
+            ctx.exact
+        }
+    }
+}
+
+/// A serializable, plain-data description of a fault model — the analogue
+/// of `robustify_core`'s `SolverSpec` for the injector side of a sweep.
+///
+/// Specs are built in code, carried by sweep grids (with per-case
+/// overrides), serialized into result documents for provenance via
+/// [`to_json`](Self::to_json), and instantiated with
+/// [`build`](Self::build). The combinator variants
+/// ([`Intermittent`](Self::Intermittent), [`OpSelective`](Self::OpSelective))
+/// nest any other spec.
+///
+/// # Examples
+///
+/// ```
+/// use stochastic_fpu::{BitFaultModel, FaultModelSpec, FlopOp};
+///
+/// let paper = FaultModelSpec::default(); // transient emulated flip
+/// assert_eq!(paper.name(), "transient_emulated");
+///
+/// let hot_multiplier = FaultModelSpec::op_selective(
+///     vec![FlopOp::Mul, FlopOp::Div],
+///     FaultModelSpec::transient(BitFaultModel::emulated()),
+/// );
+/// assert!(hot_multiplier.to_json().contains("\"kind\":\"op_selective\""));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultModelSpec {
+    /// The paper's transient single-bit result flip.
+    Transient {
+        /// Bit-position distribution (and width) of the flip.
+        model: BitFaultModel,
+    },
+    /// A result bit tied to 0 or 1.
+    StuckAt {
+        /// The affected bit (LSB-first index into the encoding).
+        bit: usize,
+        /// `true` = stuck-at-1, `false` = stuck-at-0.
+        stuck_to_one: bool,
+        /// The encoding the fault applies to.
+        width: BitWidth,
+    },
+    /// A burst of adjacent result-bit flips.
+    Burst {
+        /// Distribution of the burst's starting bit.
+        model: BitFaultModel,
+        /// Number of adjacent bits flipped (≥ 1).
+        length: usize,
+    },
+    /// A single-bit flip in an input operand before the op executes.
+    Operand {
+        /// Bit-position distribution (and width) of the operand flip.
+        model: BitFaultModel,
+    },
+    /// The inner model, active only during a duty-cycle window.
+    Intermittent {
+        /// The gated model.
+        inner: Box<FaultModelSpec>,
+        /// Active fraction of each period, in `(0, 1]`.
+        duty: f64,
+        /// Window length in FLOPs.
+        period: u64,
+    },
+    /// The inner model, restricted to a set of operations.
+    OpSelective {
+        /// The restricted model.
+        inner: Box<FaultModelSpec>,
+        /// Operations whose results are fault-prone.
+        ops: Vec<FlopOp>,
+    },
+}
+
+impl FaultModelSpec {
+    /// The paper's transient flip with the given bit distribution.
+    pub fn transient(model: BitFaultModel) -> Self {
+        FaultModelSpec::Transient { model }
+    }
+
+    /// A stuck-at fault on `bit` of the encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` is outside the encoding.
+    pub fn stuck_at(bit: usize, stuck_to_one: bool, width: BitWidth) -> Self {
+        assert!(
+            bit < width.bits(),
+            "stuck-at bit {bit} outside {:?} ({} bits)",
+            width,
+            width.bits()
+        );
+        FaultModelSpec::StuckAt {
+            bit,
+            stuck_to_one,
+            width,
+        }
+    }
+
+    /// A burst of `length` adjacent flips starting at a bit drawn from
+    /// `model`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length == 0`.
+    pub fn burst(length: usize, model: BitFaultModel) -> Self {
+        assert!(length > 0, "burst length must be at least 1");
+        FaultModelSpec::Burst { model, length }
+    }
+
+    /// An operand-side flip with the given bit distribution.
+    pub fn operand(model: BitFaultModel) -> Self {
+        FaultModelSpec::Operand { model }
+    }
+
+    /// Gates `inner` to the first `duty` fraction of each `period`-FLOP
+    /// window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duty` is not in `(0, 1]` or `period == 0`.
+    pub fn intermittent(duty: f64, period: u64, inner: FaultModelSpec) -> Self {
+        assert!(
+            duty.is_finite() && duty > 0.0 && duty <= 1.0,
+            "duty cycle must be in (0, 1], got {duty}"
+        );
+        assert!(period > 0, "duty-cycle period must be positive");
+        FaultModelSpec::Intermittent {
+            inner: Box::new(inner),
+            duty,
+            period,
+        }
+    }
+
+    /// Restricts `inner` to the listed operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops` is empty.
+    pub fn op_selective(ops: Vec<FlopOp>, inner: FaultModelSpec) -> Self {
+        assert!(!ops.is_empty(), "op-selective fault needs at least one op");
+        FaultModelSpec::OpSelective {
+            inner: Box::new(inner),
+            ops,
+        }
+    }
+
+    /// Resolves a named preset, for CLI flags: the historical bit-model
+    /// names (`emulated`, `uniform`, `msb`, `lsb`, all transient flips)
+    /// plus one representative of each scenario family (`stuck0`,
+    /// `stuck1`, `burst`, `operand`, `intermittent`, `muldiv`).
+    pub fn from_preset(name: &str) -> Option<Self> {
+        let emulated = BitFaultModel::emulated;
+        Some(match name {
+            "emulated" => Self::transient(emulated()),
+            "uniform" => Self::transient(BitFaultModel::uniform(BitWidth::F64)),
+            "msb" => Self::transient(BitFaultModel::msb_only(BitWidth::F64)),
+            "lsb" => Self::transient(BitFaultModel::lsb_only(BitWidth::F64)),
+            // Exponent LSB stuck: bit 52 of f64.
+            "stuck0" => Self::stuck_at(52, false, BitWidth::F64),
+            "stuck1" => Self::stuck_at(52, true, BitWidth::F64),
+            "burst" => Self::burst(3, emulated()),
+            "operand" => Self::operand(emulated()),
+            "intermittent" => Self::intermittent(0.5, 1000, Self::transient(emulated())),
+            "muldiv" => {
+                Self::op_selective(vec![FlopOp::Mul, FlopOp::Div], Self::transient(emulated()))
+            }
+            _ => return None,
+        })
+    }
+
+    /// A short stable name (used as the default case label suffix and the
+    /// CSV `fault_model` column).
+    pub fn name(&self) -> String {
+        // Delegate to the built model so spec and model never disagree.
+        self.build().name()
+    }
+
+    /// Serializes the spec to a single-line JSON object (provenance for
+    /// sweep emitters; there is no parser — specs are built in code).
+    pub fn to_json(&self) -> String {
+        match self {
+            FaultModelSpec::Transient { model } => format!(
+                "{{\"kind\":\"transient\",\"distribution\":\"{}\",\"width\":\"{}\"}}",
+                model.kind(),
+                width_name(model.width()),
+            ),
+            FaultModelSpec::StuckAt {
+                bit,
+                stuck_to_one,
+                width,
+            } => format!(
+                "{{\"kind\":\"stuck_at\",\"bit\":{bit},\"stuck_to\":{},\"width\":\"{}\"}}",
+                u8::from(*stuck_to_one),
+                width_name(*width),
+            ),
+            FaultModelSpec::Burst { model, length } => format!(
+                "{{\"kind\":\"burst\",\"length\":{length},\"distribution\":\"{}\",\"width\":\"{}\"}}",
+                model.kind(),
+                width_name(model.width()),
+            ),
+            FaultModelSpec::Operand { model } => format!(
+                "{{\"kind\":\"operand\",\"distribution\":\"{}\",\"width\":\"{}\"}}",
+                model.kind(),
+                width_name(model.width()),
+            ),
+            FaultModelSpec::Intermittent {
+                inner,
+                duty,
+                period,
+            } => format!(
+                "{{\"kind\":\"intermittent\",\"duty\":{duty},\"period\":{period},\"inner\":{}}}",
+                inner.to_json(),
+            ),
+            FaultModelSpec::OpSelective { inner, ops } => {
+                let ops: Vec<String> = ops.iter().map(|op| format!("\"{}\"", op.name())).collect();
+                format!(
+                    "{{\"kind\":\"op_selective\",\"ops\":[{}],\"inner\":{}}}",
+                    ops.join(","),
+                    inner.to_json(),
+                )
+            }
+        }
+    }
+
+    /// Instantiates the corruption strategy this spec describes.
+    pub fn build(&self) -> Arc<dyn FaultModel> {
+        match self {
+            FaultModelSpec::Transient { model } => Arc::new(TransientFlip {
+                model: model.clone(),
+            }),
+            FaultModelSpec::StuckAt {
+                bit,
+                stuck_to_one,
+                width,
+            } => Arc::new(StuckAtFault {
+                bit: *bit,
+                stuck_to_one: *stuck_to_one,
+                width: *width,
+            }),
+            FaultModelSpec::Burst { model, length } => Arc::new(BurstFlip {
+                model: model.clone(),
+                length: *length,
+            }),
+            FaultModelSpec::Operand { model } => Arc::new(OperandFlip {
+                model: model.clone(),
+            }),
+            FaultModelSpec::Intermittent {
+                inner,
+                duty,
+                period,
+            } => Arc::new(DutyCycleFault {
+                inner: inner.build(),
+                duty: *duty,
+                period: *period,
+                active: ((duty * *period as f64).round() as u64).clamp(1, *period),
+            }),
+            FaultModelSpec::OpSelective { inner, ops } => Arc::new(OpSelectiveFault {
+                inner: inner.build(),
+                ops: ops.clone(),
+            }),
+        }
+    }
+}
+
+impl Default for FaultModelSpec {
+    /// The paper's scenario: a transient emulated-distribution bit flip.
+    fn default() -> Self {
+        Self::transient(BitFaultModel::emulated())
+    }
+}
+
+impl From<BitFaultModel> for FaultModelSpec {
+    /// A bare bit distribution means the paper's transient result flip —
+    /// the conversion that keeps pre-fault-model-subsystem call sites
+    /// (`NoisyFpu::new(rate, BitFaultModel::emulated(), seed)`) compiling
+    /// with identical behaviour.
+    fn from(model: BitFaultModel) -> Self {
+        Self::transient(model)
+    }
+}
+
+fn width_name(width: BitWidth) -> &'static str {
+    match width {
+        BitWidth::F32 => "f32",
+        BitWidth::F64 => "f64",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(op: FlopOp, a: f64, b: f64, flop: u64) -> FaultCtx {
+        FaultCtx {
+            op,
+            a,
+            b,
+            exact: op.exact(a, b),
+            flop,
+        }
+    }
+
+    /// Runs `n` strikes of `spec` with a fixed seed and returns the
+    /// committed values.
+    fn strike_stream(spec: &FaultModelSpec, seed: u64, n: usize) -> Vec<f64> {
+        let model = spec.build();
+        let mut lfsr = Lfsr::new(seed);
+        let mut stats = FaultStats::default();
+        (0..n)
+            .map(|i| {
+                model.corrupt(
+                    &ctx(FlopOp::Mul, 3.0 + i as f64, 5.0, i as u64),
+                    &mut lfsr,
+                    &mut stats,
+                )
+            })
+            .collect()
+    }
+
+    fn family() -> Vec<FaultModelSpec> {
+        vec![
+            FaultModelSpec::default(),
+            FaultModelSpec::stuck_at(52, true, BitWidth::F64),
+            FaultModelSpec::stuck_at(0, false, BitWidth::F64),
+            FaultModelSpec::burst(3, BitFaultModel::emulated()),
+            FaultModelSpec::operand(BitFaultModel::uniform(BitWidth::F64)),
+            FaultModelSpec::intermittent(0.25, 64, FaultModelSpec::default()),
+            FaultModelSpec::op_selective(vec![FlopOp::Mul], FaultModelSpec::default()),
+        ]
+    }
+
+    #[test]
+    fn every_family_member_is_seed_deterministic() {
+        for spec in family() {
+            assert_eq!(
+                strike_stream(&spec, 11, 256),
+                strike_stream(&spec, 11, 256),
+                "{} not deterministic",
+                spec.name()
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_distinct_and_stable() {
+        let names: Vec<String> = family().iter().map(|s| s.name()).collect();
+        let distinct: std::collections::HashSet<&String> = names.iter().collect();
+        assert_eq!(distinct.len(), names.len(), "names collide: {names:?}");
+        assert_eq!(FaultModelSpec::default().name(), "transient_emulated");
+        assert_eq!(
+            FaultModelSpec::stuck_at(52, true, BitWidth::F64).name(),
+            "stuck1_bit52"
+        );
+        assert_eq!(
+            FaultModelSpec::intermittent(0.25, 64, FaultModelSpec::default()).name(),
+            "intermittent25_transient_emulated"
+        );
+        assert_eq!(
+            FaultModelSpec::op_selective(vec![FlopOp::Mul, FlopOp::Div], FaultModelSpec::default())
+                .name(),
+            "only_mul+div_transient_emulated"
+        );
+    }
+
+    #[test]
+    fn transient_matches_the_legacy_injector_path() {
+        // The compatibility contract: TransientFlip consumes exactly one
+        // LFSR f64 draw and flips exactly the sampled bit, byte-for-byte
+        // what NoisyFpu did before the trait existed.
+        let bit_model = BitFaultModel::emulated();
+        let spec = FaultModelSpec::transient(bit_model.clone());
+        let model = spec.build();
+        let mut lfsr_a = Lfsr::new(99);
+        let mut lfsr_b = Lfsr::new(99);
+        let mut stats = FaultStats::default();
+        for i in 0..512u64 {
+            let c = ctx(FlopOp::Add, i as f64, 0.5, i);
+            let got = model.corrupt(&c, &mut lfsr_a, &mut stats);
+            let bit = bit_model.sample_bit(&mut lfsr_b);
+            assert_eq!(
+                got.to_bits(),
+                flip_bit(c.exact, bit, BitWidth::F64).to_bits()
+            );
+            assert_eq!(lfsr_a.state(), lfsr_b.state(), "extra LFSR draws");
+        }
+        assert_eq!(stats.faults, 512);
+    }
+
+    #[test]
+    fn stuck_at_forces_and_skips_invisible_strikes() {
+        let spec = FaultModelSpec::stuck_at(63, true, BitWidth::F64);
+        let model = spec.build();
+        let mut lfsr = Lfsr::new(1);
+        let mut stats = FaultStats::default();
+        // 2.0 has sign bit 0: the strike forces it negative and records.
+        let c = ctx(FlopOp::Add, 1.0, 1.0, 0);
+        assert_eq!(model.corrupt(&c, &mut lfsr, &mut stats), -2.0);
+        assert_eq!(stats.faults, 1);
+        // -2.0 already has sign bit 1: invisible, nothing recorded.
+        let c = ctx(FlopOp::Sub, -1.0, 1.0, 1);
+        assert_eq!(model.corrupt(&c, &mut lfsr, &mut stats), -2.0);
+        assert_eq!(stats.faults, 1);
+    }
+
+    #[test]
+    fn burst_flips_adjacent_bits() {
+        let spec = FaultModelSpec::burst(4, BitFaultModel::lsb_only(BitWidth::F64));
+        let model = spec.build();
+        let mut lfsr = Lfsr::new(5);
+        let mut stats = FaultStats::default();
+        for i in 0..64u64 {
+            let c = ctx(FlopOp::Mul, 3.0, 5.0, i);
+            let got = model.corrupt(&c, &mut lfsr, &mut stats);
+            let diff = c.exact.to_bits() ^ got.to_bits();
+            assert_eq!(diff.count_ones(), 4, "burst should flip 4 bits");
+            // Adjacency: the flipped bits form one contiguous run.
+            let shifted = diff >> diff.trailing_zeros();
+            assert_eq!(shifted, 0b1111, "bits not adjacent: {diff:b}");
+        }
+        assert_eq!(stats.faults, 64, "one recorded fault per burst event");
+    }
+
+    #[test]
+    fn operand_faults_produce_exact_results_of_wrong_inputs() {
+        let spec = FaultModelSpec::operand(BitFaultModel::uniform(BitWidth::F64));
+        let model = spec.build();
+        let mut lfsr = Lfsr::new(3);
+        let mut stats = FaultStats::default();
+        let mut changed = 0;
+        for i in 0..256u64 {
+            let c = ctx(FlopOp::Mul, 3.0, 5.0, i);
+            let got = model.corrupt(&c, &mut lfsr, &mut stats);
+            // The result is some a' * 5.0 or 3.0 * b' where the primed
+            // operand differs from the original in exactly one bit.
+            let as_a = got / 5.0;
+            let as_b = got / 3.0;
+            let one_bit = |v: f64, orig: f64| {
+                v.is_finite() && (v.to_bits() ^ orig.to_bits()).count_ones() == 1
+            };
+            assert!(
+                one_bit(as_a, 3.0) || one_bit(as_b, 5.0) || !got.is_finite(),
+                "strike {i}: {got} is not an exact product of a one-bit-off operand"
+            );
+            if got != c.exact {
+                changed += 1;
+            }
+        }
+        assert_eq!(stats.faults, 256);
+        assert!(changed > 200, "most operand flips should change the result");
+    }
+
+    #[test]
+    fn sqrt_operand_faults_land_on_the_only_operand() {
+        let spec = FaultModelSpec::operand(BitFaultModel::uniform(BitWidth::F64));
+        let model = spec.build();
+        let mut lfsr = Lfsr::new(17);
+        let mut stats = FaultStats::default();
+        // Every possible outcome: sqrt of a one-bit-off 9.0.
+        let outcomes: Vec<u64> = (0..64)
+            .map(|bit| {
+                f64::from_bits(9.0f64.to_bits() ^ (1u64 << bit))
+                    .sqrt()
+                    .to_bits()
+            })
+            .collect();
+        for i in 0..64u64 {
+            let c = ctx(FlopOp::Sqrt, 9.0, 0.0, i);
+            let got = model.corrupt(&c, &mut lfsr, &mut stats);
+            assert!(
+                outcomes.contains(&got.to_bits()),
+                "sqrt fault must corrupt the single operand (got {got})"
+            );
+        }
+    }
+
+    #[test]
+    fn intermittent_is_silent_outside_the_window() {
+        let spec = FaultModelSpec::intermittent(0.25, 100, FaultModelSpec::default());
+        let model = spec.build();
+        let mut lfsr = Lfsr::new(7);
+        let mut stats = FaultStats::default();
+        for flop in 0..1000u64 {
+            let c = ctx(FlopOp::Add, 1.0, 2.0, flop);
+            let got = model.corrupt(&c, &mut lfsr, &mut stats);
+            if flop % 100 >= 25 {
+                assert_eq!(got, c.exact, "fault outside duty window at {flop}");
+            }
+        }
+        assert!(stats.faults > 0, "in-window strikes must fault");
+        assert!(stats.faults <= 250, "only in-window strikes may fault");
+    }
+
+    #[test]
+    fn op_selective_ignores_other_ops() {
+        let spec = FaultModelSpec::op_selective(
+            vec![FlopOp::Mul, FlopOp::Div],
+            FaultModelSpec::transient(BitFaultModel::msb_only(BitWidth::F64)),
+        );
+        let model = spec.build();
+        let mut lfsr = Lfsr::new(13);
+        let mut stats = FaultStats::default();
+        for i in 0..100u64 {
+            let c = ctx(FlopOp::Add, 1.0, 2.0, i);
+            assert_eq!(model.corrupt(&c, &mut lfsr, &mut stats), 3.0);
+        }
+        assert_eq!(stats.faults, 0);
+        let c = ctx(FlopOp::Mul, 3.0, 5.0, 0);
+        let got = model.corrupt(&c, &mut lfsr, &mut stats);
+        assert_ne!(got, 15.0, "MSB flips always change a finite value");
+        assert_eq!(stats.faults, 1);
+    }
+
+    #[test]
+    fn presets_cover_every_family() {
+        for name in [
+            "emulated",
+            "uniform",
+            "msb",
+            "lsb",
+            "stuck0",
+            "stuck1",
+            "burst",
+            "operand",
+            "intermittent",
+            "muldiv",
+        ] {
+            assert!(
+                FaultModelSpec::from_preset(name).is_some(),
+                "preset {name} missing"
+            );
+        }
+        assert!(FaultModelSpec::from_preset("nope").is_none());
+    }
+
+    #[test]
+    fn json_is_stable_and_nested() {
+        let spec = FaultModelSpec::intermittent(
+            0.5,
+            1000,
+            FaultModelSpec::op_selective(vec![FlopOp::Mul], FaultModelSpec::default()),
+        );
+        let json = spec.to_json();
+        assert!(json.contains("\"kind\":\"intermittent\""));
+        assert!(json.contains("\"duty\":0.5"));
+        assert!(json.contains("\"kind\":\"op_selective\""));
+        assert!(json.contains("\"ops\":[\"mul\"]"));
+        assert!(json.contains("\"distribution\":\"emulated\""));
+        assert_eq!(
+            FaultModelSpec::stuck_at(7, false, BitWidth::F32).to_json(),
+            "{\"kind\":\"stuck_at\",\"bit\":7,\"stuck_to\":0,\"width\":\"f32\"}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duty cycle")]
+    fn bad_duty_rejected() {
+        FaultModelSpec::intermittent(1.5, 10, FaultModelSpec::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "stuck-at bit")]
+    fn out_of_range_stuck_bit_rejected() {
+        FaultModelSpec::stuck_at(64, true, BitWidth::F64);
+    }
+
+    #[test]
+    #[should_panic(expected = "burst length")]
+    fn zero_burst_rejected() {
+        FaultModelSpec::burst(0, BitFaultModel::emulated());
+    }
+}

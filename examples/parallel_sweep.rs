@@ -1,7 +1,9 @@
 //! A multi-application sweep on the parallel engine: three of the paper's
 //! problems — sorting, bipartite matching and SVM training — swept over
 //! fault rates with one declarative grid, aggregated deterministically
-//! regardless of thread count.
+//! regardless of thread count. The sorting column also demonstrates the
+//! fault-model axis: it runs under a mul/div-only injector instead of the
+//! sweep's default transient flip.
 //!
 //! ```sh
 //! cargo run --release --example parallel_sweep
@@ -13,15 +15,19 @@ use robustify::apps::sorting::SortProblem;
 use robustify::apps::svm::{Dataset, SvmProblem};
 use robustify::core::{SolverSpec, StepSchedule};
 use robustify::engine::{SweepCase, SweepSpec};
-use robustify::fpu::BitFaultModel;
+use robustify::fpu::{BitFaultModel, FaultModelSpec, FlopOp};
 use robustify::graph::generators::random_bipartite;
 
 fn main() {
     let sqs = |iters| SolverSpec::sgd(iters, StepSchedule::Sqrt { gamma0: 0.1 });
     let cases = vec![
-        SweepCase::problem("sorting", sqs(5000), |seed| {
+        SweepCase::problem("sorting_muldiv_faults", sqs(5000), |seed| {
             SortProblem::random(&mut StdRng::seed_from_u64(seed), 5)
-        }),
+        })
+        .with_model(FaultModelSpec::op_selective(
+            vec![FlopOp::Mul, FlopOp::Div],
+            FaultModelSpec::default(),
+        )),
         SweepCase::problem("matching", sqs(5000), |seed| {
             MatchingProblem::new(random_bipartite(&mut StdRng::seed_from_u64(seed), 5, 6, 30))
         }),

@@ -10,8 +10,11 @@
 //!
 //! This facade crate re-exports the workspace:
 //!
-//! * [`fpu`] — the stochastic-processor substrate (fault-injecting FPU,
-//!   LFSR scheduling, voltage/energy model).
+//! * [`fpu`] — the stochastic-processor substrate: fault-injecting FPU,
+//!   LFSR scheduling, the pluggable [`FaultModel`](fpu::FaultModel)
+//!   scenario family ([`FaultModelSpec`](fpu::FaultModelSpec): transient
+//!   flips, stuck-at bits, bursts, operand corruption, intermittent and
+//!   op-selective faults), voltage/energy model.
 //! * [`linalg`] — dense/banded linear algebra executed through the FPU
 //!   (QR, SVD, Cholesky baselines).
 //! * [`core`] — the robustification framework: cost functions, exact
@@ -26,8 +29,8 @@
 //!   paths, eigenvalue extraction, SVM fitting, assignment — every one a
 //!   [`RobustProblem`](core::RobustProblem).
 //! * [`engine`] — the multi-threaded deterministic sweep executor over
-//!   `(problem × fault rate × solver)` grids, with streaming aggregation
-//!   and CSV/JSON emitters.
+//!   `(problem × fault model × fault rate × solver)` grids, with
+//!   streaming aggregation and CSV/JSON emitters.
 //!
 //! # Quickstart
 //!
