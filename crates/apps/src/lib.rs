@@ -24,10 +24,10 @@
 //! paired with any declarative [`SolverSpec`](robustify_core::SolverSpec)
 //! and swept in parallel by `robustify_engine` — the experiment binaries in
 //! `robustify_bench` are thin sweep descriptions over exactly this
-//! interface.
-//!
-//! The [`harness`] module remains as a deprecated serial shim over the
-//! engine for older callers.
+//! interface. (The old serial `harness::TrialConfig` shim is gone; build a
+//! [`SweepSpec`](robustify_engine::SweepSpec) instead — the engine keeps
+//! the shim's exact per-trial seeding via
+//! [`derive_trial_seed`](robustify_engine::derive_trial_seed).)
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -35,7 +35,6 @@
 pub mod apsp;
 pub mod doubly_stochastic;
 pub mod eigen;
-pub mod harness;
 pub mod iir;
 pub mod least_squares;
 pub mod matching;

@@ -19,12 +19,10 @@
 
 use robustify_bench::workloads::{
     paper_apsp, paper_doubly_stochastic, paper_eigen, paper_iir_problem, paper_least_squares,
-    paper_matching, paper_maxflow, paper_sort, paper_svm,
+    paper_matching, paper_maxflow, paper_robust_solver, paper_sort, paper_svm,
 };
 use robustify_bench::{ExperimentOptions, Table};
-use robustify_core::{
-    AggressiveStepping, Annealing, GradientGuard, RobustProblem, SolverSpec, StepSchedule,
-};
+use robustify_core::{RobustProblem, SolverSpec};
 use robustify_engine::SweepCase;
 use stochastic_fpu::{BitFaultModel, BitWidth, FaultModelSpec, FlopOp};
 
@@ -66,8 +64,6 @@ fn main() {
     let lsq_gamma0 = lsq.default_gamma0();
     let iir = paper_iir_problem(opts.seed);
     let iir_gamma0 = iir.default_gamma0();
-    let sqs = |iters: usize, gamma0: f64| SolverSpec::sgd(iters, StepSchedule::Sqrt { gamma0 });
-    let anneal_lp = |gamma0: f64| sqs(8000, gamma0).with_annealing(Annealing::default());
 
     // A factory building one labelled (solver, fault model) case for an app.
     type CaseFactory = Box<dyn Fn(SolverSpec, FaultModelSpec, String) -> SweepCase>;
@@ -95,28 +91,15 @@ fn main() {
             ),
         ]
     };
-    let spec_for = |app: &str| -> SolverSpec {
-        match app {
-            "least_squares" => SolverSpec::sgd(1000, StepSchedule::Linear { gamma0: lsq_gamma0 })
-                .with_aggressive_stepping(AggressiveStepping::default()),
-            "iir" => sqs(1000, iir_gamma0),
-            "sorting" => sqs(10_000, 0.1)
-                .with_guard(GradientGuard::Adaptive {
-                    factor: 3.0,
-                    reject: 30.0,
-                })
-                .with_aggressive_stepping(AggressiveStepping::default()),
-            "matching" => sqs(10_000, 0.05),
-            "maxflow" | "apsp" => anneal_lp(0.02),
-            "svm" => sqs(2000, 0.1),
-            "eigen" => sqs(4000, 0.02),
-            "doubly_stochastic" => sqs(3000, 0.1),
-            other => unreachable!("unknown app {other}"),
-        }
-    };
+    let spec_for = |app: &str| -> SolverSpec { paper_robust_solver(app, lsq_gamma0, iir_gamma0) };
 
+    let known: Vec<&str> = apps.iter().map(|(app, _)| *app).collect();
+    opts.validate_apps(&known);
     let mut cases = Vec::new();
     for (app, make_case) in &apps {
+        if !opts.app_enabled(app) {
+            continue;
+        }
         for (model_label, model) in model_family() {
             cases.push(make_case(
                 spec_for(app),

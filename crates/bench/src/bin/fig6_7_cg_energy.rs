@@ -2,19 +2,27 @@
 //! voltage overscaling, as a function of the accuracy target, against the
 //! error-free Cholesky baseline.
 //!
-//! The harness runs *one* engine sweep over the full
-//! `(CG iterations × operating voltage)` grid — voltages map to fault
-//! rates through the Figure 5.2 model — then reads every accuracy target
-//! off the same per-cell error quantiles: lower voltage means cheaper
-//! FLOPs (`P ∝ V²`) but a higher FPU fault rate, which CG compensates with
-//! more iterations. The reported energy is the cheapest
-//! `(voltage, iterations)` pair that still meets the target in at least
-//! 80% of trials; the Cholesky baseline runs at the nominal voltage, where
-//! the FPU is effectively error-free.
+//! The harness runs *one* voltage-axis engine sweep
+//! ([`SweepSpec::over_voltages`](robustify_engine::SweepSpec::over_voltages))
+//! over the full `(CG iterations × operating voltage)` grid — the engine
+//! derives each column's fault rate from the Figure 5.2 model and accounts
+//! `energy = P(V) × FLOPs` per cell — then reads every accuracy target off
+//! the same per-cell error quantiles: lower voltage means cheaper FLOPs
+//! (`P ∝ V²`) but a higher FPU fault rate, which CG compensates with more
+//! iterations. The reported energy is the cheapest `(voltage, iterations)`
+//! pair that still meets the target in at least 80% of trials; the
+//! Cholesky baseline runs at the nominal voltage, where the FPU is
+//! effectively error-free.
+//!
+//! Targets no grid point meets at the 80% bar are *clamped to the
+//! boundary* rather than dropped: the row reports the nominal-voltage
+//! (most reliable) cell at the largest iteration count, flagged
+//! `clamped`, so the emitted table always carries one row per target.
 //!
 //! Expected shape (paper): CG's energy sits below the Cholesky baseline
 //! across the sweep because voltage and iteration count can be scaled
-//! concurrently; targets tighter than ~1e-7 are unreachable for CG.
+//! concurrently; targets tighter than the solver's noise floor surface as
+//! `clamped` rows instead of disappearing.
 
 use robustify_bench::workloads::paper_least_squares;
 use robustify_bench::{fmt_metric, ExperimentOptions, Table};
@@ -39,21 +47,20 @@ fn main() {
     };
     let chol_energy = model.energy(chol_flops, model.nominal_voltage());
 
+    // The voltage axis, nominal first: 1.0 V down to the calibrated
+    // minimum in 25 mV steps.
     let voltages: Vec<f64> = (0..17).map(|i| 1.0 - 0.025 * i as f64).collect();
     let iteration_grid: Vec<usize> = vec![2, 3, 5, 7, 10, 14, 20, 28, 40];
 
-    // The engine grid: case = CG iteration count, rate = the fault rate
-    // the Figure 5.2 model predicts at each voltage.
-    let rates_pct: Vec<f64> = voltages
-        .iter()
-        .map(|&v| model.fault_rate_at(v).percent())
-        .collect();
+    // The engine grid: case = CG iteration count, column = operating
+    // voltage (the engine derives each column's fault rate from the
+    // Figure 5.2 model and emits per-cell energy provenance).
     let cases: Vec<SweepCase> = iteration_grid
         .iter()
         .map(|&n| SweepCase::fixed(&format!("CG,N={n}"), SolverSpec::cg(n), problem.clone()))
         .collect();
     let result = opts
-        .sweep("fig6_7_cg_energy", rates_pct, trials)
+        .sweep_voltages("fig6_7_cg_energy", voltages.clone(), trials, model.clone())
         .run(&cases);
 
     let mut table = Table::new(
@@ -68,6 +75,7 @@ fn main() {
             "CG_voltage",
             "CG_iters",
             "saving_%",
+            "status",
         ],
     );
 
@@ -82,7 +90,9 @@ fn main() {
                 let cell = result.cell(ni, vi);
                 let met = cell.summary().count_at_most(target);
                 if met * 10 >= cell.trials() * 8 {
-                    let energy = model.energy(cell.flops_per_trial(), v);
+                    let energy = result
+                        .energy_per_trial(ni, vi)
+                        .expect("voltage-axis sweeps always have energy");
                     if best.map(|(e, _, _)| energy < e).unwrap_or(true) {
                         best = Some((energy, v, n));
                     }
@@ -90,28 +100,28 @@ fn main() {
                 }
             }
         }
-        match best {
-            Some((energy, v, n)) => {
-                table.row(&[
-                    format!("1e-{exp}"),
-                    format!("{chol_energy:.0}"),
-                    format!("{energy:.0}"),
-                    format!("{v:.3}"),
-                    n.to_string(),
-                    format!("{:.0}", 100.0 * (1.0 - energy / chol_energy)),
-                ]);
-            }
+        // Boundary clamp: when no (voltage, N) reaches the target, emit
+        // the most reliable grid point — nominal voltage, max iterations —
+        // instead of silently dropping the row.
+        let (status, (energy, v, n)) = match best {
+            Some(found) => ("ok", found),
             None => {
-                table.row(&[
-                    format!("1e-{exp}"),
-                    format!("{chol_energy:.0}"),
-                    "unreachable".to_string(),
-                    "-".to_string(),
-                    "-".to_string(),
-                    "-".to_string(),
-                ]);
+                let ni = iteration_grid.len() - 1;
+                let energy = result
+                    .energy_per_trial(ni, 0)
+                    .expect("voltage-axis sweeps always have energy");
+                ("clamped", (energy, voltages[0], iteration_grid[ni]))
             }
-        }
+        };
+        table.row(&[
+            format!("1e-{exp}"),
+            format!("{chol_energy:.0}"),
+            format!("{energy:.0}"),
+            format!("{v:.3}"),
+            n.to_string(),
+            format!("{:.0}", 100.0 * (1.0 - energy / chol_energy)),
+            status.to_string(),
+        ]);
     }
     opts.emit(&table, &result);
     println!(

@@ -32,15 +32,19 @@ pub struct ExperimentOptions {
     /// Base seed for workload and fault-stream generation.
     pub seed: u64,
     /// Fault-model preset name: a bit distribution for the paper's
-    /// transient flip (`emulated`, `uniform`, `msb`, `lsb`) or a scenario
+    /// transient flip (`emulated`, `uniform`, `msb`, `lsb`), a scenario
     /// from the extended family (`stuck0`, `stuck1`, `burst`, `operand`,
-    /// `intermittent`, `muldiv`).
+    /// `intermittent`, `muldiv`), a voltage-linked scenario (`voltage`,
+    /// `dvfs`), or a memory-persistent scenario (`regfile`, `memory`).
     pub fault_model: String,
     /// Sweep worker threads (`0` = all available cores); results are
     /// bit-identical for every choice.
     pub threads: usize,
     /// Also print the sweep's JSON document after each table.
     pub json: bool,
+    /// Restrict multi-application campaigns to this comma-separated app
+    /// subset (`None` = all applications).
+    pub apps: Option<Vec<String>>,
 }
 
 impl Default for ExperimentOptions {
@@ -51,6 +55,7 @@ impl Default for ExperimentOptions {
             fault_model: "emulated".to_string(),
             threads: 0,
             json: false,
+            apps: None,
         }
     }
 }
@@ -96,6 +101,18 @@ impl ExperimentOptions {
                         .unwrap_or_else(|_| usage("--threads must be an integer"));
                 }
                 "--json" => opts.json = true,
+                "--apps" => {
+                    let v = args.next().unwrap_or_else(|| usage("--apps needs a value"));
+                    let apps: Vec<String> = v
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty())
+                        .collect();
+                    if apps.is_empty() {
+                        usage("--apps needs at least one application name");
+                    }
+                    opts.apps = Some(apps);
+                }
                 "--help" | "-h" => usage(
                     "
 ",
@@ -144,6 +161,38 @@ impl ExperimentOptions {
         }
     }
 
+    /// Whether a campaign should include the named application (always
+    /// true without `--apps`). Call
+    /// [`validate_apps`](Self::validate_apps) first so typos fail loudly
+    /// instead of silently dropping an application.
+    pub fn app_enabled(&self, name: &str) -> bool {
+        match &self.apps {
+            Some(apps) => apps.iter().any(|a| a == name),
+            None => true,
+        }
+    }
+
+    /// Checks every `--apps` entry against the campaign's known
+    /// application names.
+    ///
+    /// # Panics
+    ///
+    /// Exits with the usage message (code 2, like every other malformed
+    /// flag value) on an unknown name — a typo would otherwise silently
+    /// drop the intended application from the campaign.
+    pub fn validate_apps(&self, known: &[&str]) {
+        if let Some(requested) = &self.apps {
+            for name in requested {
+                if !known.contains(&name.as_str()) {
+                    usage(&format!(
+                        "--apps: unknown application `{name}` (known: {})",
+                        known.join(", ")
+                    ));
+                }
+            }
+        }
+    }
+
     /// Builds an engine sweep grid from these options (seed, fault model,
     /// worker threads).
     ///
@@ -163,6 +212,33 @@ impl ExperimentOptions {
             rates_pct,
             trials,
             self.seed,
+            self.fault_model_spec(),
+        )
+        .with_threads(self.threads)
+    }
+
+    /// Builds a *voltage-axis* engine sweep from these options: the rate
+    /// grid is derived from `voltages` through `energy_model` (Figure
+    /// 5.2) and every cell gains `energy = P(V) × FLOPs` provenance.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on unknown fault-model presets, and
+    /// like [`SweepSpec::over_voltages`](robustify_engine::SweepSpec::over_voltages)
+    /// on an empty or invalid voltage grid.
+    pub fn sweep_voltages(
+        &self,
+        name: &str,
+        voltages: Vec<f64>,
+        trials: usize,
+        energy_model: stochastic_fpu::VoltageErrorModel,
+    ) -> robustify_engine::SweepSpec {
+        robustify_engine::SweepSpec::over_voltages(
+            name,
+            voltages,
+            trials,
+            self.seed,
+            energy_model,
             self.fault_model_spec(),
         )
         .with_threads(self.threads)
@@ -221,8 +297,9 @@ pub fn metric_table(title: &str, result: &SweepResult) -> Table {
 fn usage(msg: &str) -> ! {
     eprintln!(
         "{msg}\nusage: <experiment> [--fast] [--seed N] \
-         [--fault-model emulated|uniform|msb|lsb|stuck0|stuck1|burst|operand|intermittent|muldiv] \
-         [--threads N] [--json]"
+         [--fault-model emulated|uniform|msb|lsb|stuck0|stuck1|burst|operand|intermittent|muldiv\
+         |voltage|dvfs|regfile|memory] \
+         [--threads N] [--json] [--apps app1,app2,...]"
     );
     std::process::exit(2)
 }
@@ -347,6 +424,20 @@ mod tests {
     }
 
     #[test]
+    fn apps_filter_parses_and_applies() {
+        let opts = ExperimentOptions::parse_from(
+            ["--apps", "least_squares,iir"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert!(opts.app_enabled("least_squares"));
+        assert!(opts.app_enabled("iir"));
+        assert!(!opts.app_enabled("sorting"));
+        let all = ExperimentOptions::default();
+        assert!(all.app_enabled("sorting"));
+    }
+
+    #[test]
     fn extended_fault_model_presets_resolve() {
         for (name, expect) in [
             ("emulated", "transient_emulated"),
@@ -355,6 +446,10 @@ mod tests {
             ("operand", "operand_emulated"),
             ("intermittent", "intermittent50_transient_emulated"),
             ("muldiv", "only_mul+div_transient_emulated"),
+            ("voltage", "vdd0.700_transient_emulated"),
+            ("dvfs", "dvfs3step_transient_emulated"),
+            ("regfile", "regfile32_scrub10000_emulated"),
+            ("memory", "array64_scrub0_emulated"),
         ] {
             let opts = ExperimentOptions {
                 fault_model: name.to_string(),

@@ -17,6 +17,7 @@ use robustify_apps::matching::MatchingProblem;
 use robustify_apps::maxflow::MaxFlowProblem;
 use robustify_apps::sorting::SortProblem;
 use robustify_apps::svm::{Dataset, SvmProblem};
+use robustify_core::{AggressiveStepping, Annealing, GradientGuard, SolverSpec, StepSchedule};
 use robustify_graph::generators::{
     random_bipartite, random_flow_network, random_strongly_connected,
 };
@@ -94,6 +95,36 @@ pub fn paper_apsp(seed: u64) -> ApspProblem {
         9,
     ))
     .expect("cycle-backbone graphs are strongly connected")
+}
+
+/// The campaign binaries' robust-solver configuration per application —
+/// the choices of the paper's figures / Chapter 7. `lsq_gamma0` /
+/// `iir_gamma0` are the workload-derived step sizes
+/// (`LeastSquares::default_gamma0` / `IirProblem::default_gamma0`).
+///
+/// # Panics
+///
+/// Panics on an unknown application name.
+pub fn paper_robust_solver(app: &str, lsq_gamma0: f64, iir_gamma0: f64) -> SolverSpec {
+    let sqs = |iters: usize, gamma0: f64| SolverSpec::sgd(iters, StepSchedule::Sqrt { gamma0 });
+    let anneal_lp = |gamma0: f64| sqs(8000, gamma0).with_annealing(Annealing::default());
+    match app {
+        "least_squares" => SolverSpec::sgd(1000, StepSchedule::Linear { gamma0: lsq_gamma0 })
+            .with_aggressive_stepping(AggressiveStepping::default()),
+        "iir" => sqs(1000, iir_gamma0),
+        "sorting" => sqs(10_000, 0.1)
+            .with_guard(GradientGuard::Adaptive {
+                factor: 3.0,
+                reject: 30.0,
+            })
+            .with_aggressive_stepping(AggressiveStepping::default()),
+        "matching" => sqs(10_000, 0.05),
+        "maxflow" | "apsp" => anneal_lp(0.02),
+        "svm" => sqs(2000, 0.1),
+        "eigen" => sqs(4000, 0.02),
+        "doubly_stochastic" => sqs(3000, 0.1),
+        other => panic!("unknown app {other}"),
+    }
 }
 
 #[cfg(test)]

@@ -83,5 +83,9 @@ pub use trace::Trace;
 
 // The injector-side vocabulary of a trial, re-exported so problem and
 // sweep authors can describe the full (problem × fault model × solver)
-// experiment from one crate.
-pub use stochastic_fpu::{FaultCtx, FaultModel, FaultModelSpec};
+// experiment from one crate — including the voltage-linked (DVFS) and
+// memory-persistent scenario families.
+pub use stochastic_fpu::{
+    DvfsStep, FaultCtx, FaultModel, FaultModelSpec, MemoryFaultKind, MemoryFaultModel,
+    VoltageErrorModel,
+};

@@ -10,6 +10,11 @@
 //! * [`SweepSpec`] — the grid: fault rates, trials per cell, base seed,
 //!   default fault model
 //!   ([`FaultModelSpec`](stochastic_fpu::FaultModelSpec)), worker threads.
+//!   [`SweepSpec::over_voltages`] makes *supply voltage* the grid axis
+//!   instead: each column's rate is derived through a
+//!   [`VoltageErrorModel`](stochastic_fpu::VoltageErrorModel) (Figure
+//!   5.2) and every cell gains energy accounting
+//!   (`energy = P(V) × FLOPs`, Figure 6.7) in the emitted provenance.
 //! * [`SweepCase`] — one column: a labelled
 //!   [`RobustProblem`](robustify_core::RobustProblem) ×
 //!   [`SolverSpec`](robustify_core::SolverSpec) pairing (or a raw

@@ -4,7 +4,7 @@ use crate::stats::{CellStats, TrialRecord};
 use robustify_core::{RobustProblem, SolverSpec, Verdict};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
-use stochastic_fpu::{FaultModelSpec, FaultRate, Fpu, NoisyFpu};
+use stochastic_fpu::{FaultModelSpec, FaultRate, Fpu, NoisyFpu, VoltageErrorModel};
 
 /// Derives the FPU seed for trial `i` from a sweep's base seed.
 ///
@@ -174,6 +174,11 @@ pub struct SweepSpec {
     base_seed: u64,
     model: FaultModelSpec,
     threads: usize,
+    /// Supply voltage per rate-grid column, when the sweep's axis is
+    /// voltage rather than an abstract rate.
+    voltages: Option<Vec<f64>>,
+    /// The voltage ↦ rate/power calibration of a voltage-axis sweep.
+    energy_model: Option<VoltageErrorModel>,
 }
 
 impl SweepSpec {
@@ -204,12 +209,78 @@ impl SweepSpec {
             base_seed,
             model: model.into(),
             threads: 0,
+            voltages: None,
+            energy_model: None,
         }
+    }
+
+    /// Creates a grid whose rate axis is *supply voltage*: each voltage
+    /// maps to the fault rate `energy_model` (the Figure 5.2 calibration)
+    /// predicts at that operating point, and every cell gains energy
+    /// accounting (`energy = P(V) × FLOPs`, the paper's Figure 6.7
+    /// y-axis) emitted into the CSV/JSON provenance.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use robustify_engine::SweepSpec;
+    /// use stochastic_fpu::{BitFaultModel, VoltageErrorModel};
+    ///
+    /// let spec = SweepSpec::over_voltages(
+    ///     "demo",
+    ///     vec![1.0, 0.7],
+    ///     10,
+    ///     42,
+    ///     VoltageErrorModel::paper_figure_5_2(),
+    ///     BitFaultModel::emulated(),
+    /// );
+    /// assert_eq!(spec.voltages(), Some(&[1.0, 0.7][..]));
+    /// assert!(spec.rates_pct()[1] > spec.rates_pct()[0]);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `voltages` is empty or contains a non-positive or
+    /// non-finite voltage, or if `trials == 0`.
+    pub fn over_voltages(
+        name: &str,
+        voltages: Vec<f64>,
+        trials: usize,
+        base_seed: u64,
+        energy_model: VoltageErrorModel,
+        model: impl Into<FaultModelSpec>,
+    ) -> Self {
+        assert!(!voltages.is_empty(), "sweep needs at least one voltage");
+        for &v in &voltages {
+            assert!(
+                v > 0.0 && v.is_finite(),
+                "voltage must be positive and finite, got {v}"
+            );
+        }
+        let rates_pct: Vec<f64> = voltages
+            .iter()
+            .map(|&v| energy_model.fault_rate_at(v).percent())
+            .collect();
+        let mut spec = Self::new(name, rates_pct, trials, base_seed, model);
+        spec.voltages = Some(voltages);
+        spec.energy_model = Some(energy_model);
+        spec
     }
 
     /// The sweep's default fault model.
     pub fn fault_model(&self) -> &FaultModelSpec {
         &self.model
+    }
+
+    /// The voltage grid of a voltage-axis sweep (parallel to
+    /// [`rates_pct`](Self::rates_pct)), `None` for plain rate sweeps.
+    pub fn voltages(&self) -> Option<&[f64]> {
+        self.voltages.as_deref()
+    }
+
+    /// The voltage/energy calibration of a voltage-axis sweep.
+    pub fn energy_model(&self) -> Option<&VoltageErrorModel> {
+        self.energy_model.as_ref()
     }
 
     /// Pins the worker-thread count (`0` = available parallelism). The
@@ -340,6 +411,8 @@ impl SweepSpec {
                 .map(|c| c.model.clone().unwrap_or_else(|| self.model.clone()))
                 .collect(),
             rates_pct: self.rates_pct.clone(),
+            voltages: self.voltages.clone(),
+            energy_model: self.energy_model.clone(),
             base_seed: self.base_seed,
             threads,
             total_trials: total,
@@ -370,6 +443,10 @@ pub struct SweepResult {
     /// default).
     fault_models: Vec<FaultModelSpec>,
     rates_pct: Vec<f64>,
+    /// Supply voltage per rate column (voltage-axis sweeps only).
+    voltages: Option<Vec<f64>>,
+    /// The voltage/energy calibration (voltage-axis sweeps only).
+    energy_model: Option<VoltageErrorModel>,
     base_seed: u64,
     threads: usize,
     total_trials: usize,
@@ -392,6 +469,53 @@ impl SweepResult {
     /// The fault-rate grid, as percentages.
     pub fn rates_pct(&self) -> &[f64] {
         &self.rates_pct
+    }
+
+    /// The voltage grid of a voltage-axis sweep (parallel to
+    /// [`rates_pct`](Self::rates_pct)).
+    pub fn voltages(&self) -> Option<&[f64]> {
+        self.voltages.as_deref()
+    }
+
+    /// The effective supply voltage of a cell: the case's own operating
+    /// point (a voltage-linked fault-model override) when the case pins
+    /// one, else the sweep's voltage for that rate column, else `None`
+    /// (an abstract-rate sweep). A case pinned to a *DVFS trajectory*
+    /// reports `None` — it has no single voltage, and falling back to
+    /// the grid column would claim an operating point the case never ran
+    /// at (its energy is still accounted, piecewise, by
+    /// [`energy_per_trial`](Self::energy_per_trial)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn voltage(&self, case: usize, rate: usize) -> Option<f64> {
+        assert!(rate < self.rates_pct.len(), "rate index out of range");
+        let model = &self.fault_models[case];
+        if model.pins_operating_point() {
+            return model.voltage();
+        }
+        self.voltages.as_ref().map(|v| v[rate])
+    }
+
+    /// The energy (normalized `power × FLOP` units, the paper's Figure
+    /// 6.7 y-axis) of one trial of a cell: `P(V) × flops_per_trial`,
+    /// where the operating point comes from the case's voltage-linked /
+    /// DVFS fault model when it has one, else from the sweep's voltage
+    /// axis. `None` when neither side carries voltage semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn energy_per_trial(&self, case: usize, rate: usize) -> Option<f64> {
+        let flops = self.cells[case][rate].flops_per_trial();
+        if let Some(energy) = self.fault_models[case].energy_for_flops(flops) {
+            return Some(energy);
+        }
+        match (&self.energy_model, &self.voltages) {
+            (Some(model), Some(voltages)) => Some(model.energy(flops, voltages[rate])),
+            _ => None,
+        }
     }
 
     /// The aggregate for `(case, rate)` by index.
@@ -458,13 +582,13 @@ impl SweepResult {
     /// appear and cannot influence any value.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "case,fault_model,fault_rate_pct,trials,successes,success_rate,median,mean,max,failures,flops,faults\n",
+            "case,fault_model,fault_rate_pct,trials,successes,success_rate,median,mean,max,failures,flops,faults,voltage,energy_per_trial\n",
         );
         for (case, row) in self.cells.iter().enumerate() {
             for (rate_idx, cell) in row.iter().enumerate() {
                 let summary = cell.summary();
                 out.push_str(&format!(
-                    "{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                     self.labels[case],
                     self.fault_models[case].name(),
                     self.rates_pct[rate_idx],
@@ -477,6 +601,8 @@ impl SweepResult {
                     summary.failures,
                     cell.flops(),
                     cell.faults(),
+                    csv_opt(self.voltage(case, rate_idx)),
+                    csv_opt(self.energy_per_trial(case, rate_idx)),
                 ));
             }
         }
@@ -490,8 +616,18 @@ impl SweepResult {
     /// Deterministic for a fixed grid and seed — thread count does not
     /// appear and cannot influence any value.
     pub fn to_json(&self) -> String {
+        let voltages = match &self.voltages {
+            Some(v) => format!(
+                "[{}]",
+                v.iter()
+                    .map(|v| format!("{v}"))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ),
+            None => "null".to_string(),
+        };
         let mut out = format!(
-            "{{\"name\":\"{}\",\"base_seed\":{},\"rates_pct\":[{}],\"cases\":[",
+            "{{\"name\":\"{}\",\"base_seed\":{},\"rates_pct\":[{}],\"voltages\":{voltages},\"cases\":[",
             self.name,
             self.base_seed,
             self.rates_pct
@@ -520,7 +656,8 @@ impl SweepResult {
                 let summary = cell.summary();
                 out.push_str(&format!(
                     "{{\"rate_pct\":{},\"trials\":{},\"successes\":{},\"success_rate\":{},\
-                     \"median\":{},\"mean\":{},\"max\":{},\"failures\":{},\"flops\":{},\"faults\":{}}}",
+                     \"median\":{},\"mean\":{},\"max\":{},\"failures\":{},\"flops\":{},\"faults\":{},\
+                     \"voltage\":{},\"energy_per_trial\":{}}}",
                     self.rates_pct[rate_idx],
                     cell.trials(),
                     cell.successes(),
@@ -531,6 +668,8 @@ impl SweepResult {
                     summary.failures,
                     cell.flops(),
                     cell.faults(),
+                    json_opt(self.voltage(case, rate_idx)),
+                    json_opt(self.energy_per_trial(case, rate_idx)),
                 ));
             }
             out.push_str("]}");
@@ -548,12 +687,21 @@ fn csv_num(v: f64) -> String {
     }
 }
 
+/// An optional CSV cell: absent values render as the empty field.
+fn csv_opt(v: Option<f64>) -> String {
+    v.map(csv_num).unwrap_or_default()
+}
+
 fn json_num(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {
         "null".to_string()
     }
+}
+
+fn json_opt(v: Option<f64>) -> String {
+    v.map(json_num).unwrap_or_else(|| "null".to_string())
 }
 
 #[cfg(test)]
@@ -629,6 +777,85 @@ mod tests {
         assert!(json.contains("\"rate_pct\":2"));
         assert!(json.contains("\"fault_model\":{\"kind\":\"transient\""));
         assert!(result.case_cell("only", 0).trials() == 3);
+    }
+
+    #[test]
+    fn voltage_axis_sweeps_carry_energy_provenance() {
+        use stochastic_fpu::VoltageErrorModel;
+        let model = VoltageErrorModel::paper_figure_5_2();
+        let cases = [toy_case("a")];
+        let result = SweepSpec::over_voltages(
+            "volt",
+            vec![1.0, 0.7],
+            4,
+            2,
+            model.clone(),
+            BitFaultModel::emulated(),
+        )
+        .with_threads(1)
+        .run(&cases);
+        assert_eq!(result.voltages(), Some(&[1.0, 0.7][..]));
+        assert_eq!(result.voltage(0, 1), Some(0.7));
+        let flops = result.cell(0, 1).flops_per_trial();
+        assert_eq!(
+            result.energy_per_trial(0, 1),
+            Some(model.energy(flops, 0.7))
+        );
+        // The derived rate grid follows Figure 5.2: lower voltage, more
+        // faults per FLOP.
+        assert!(result.rates_pct()[1] > result.rates_pct()[0]);
+        let csv = result.to_csv();
+        assert!(csv.starts_with(
+            "case,fault_model,fault_rate_pct,trials,successes,success_rate,\
+             median,mean,max,failures,flops,faults,voltage,energy_per_trial"
+        ));
+        let last = csv.trim_end().lines().last().expect("data row");
+        assert_eq!(last.split(',').count(), 14);
+        assert!(result.to_json().contains("\"voltages\":[1,0.7]"));
+        assert!(result.to_json().contains("\"voltage\":0.7"));
+    }
+
+    #[test]
+    fn rate_sweeps_emit_empty_voltage_fields() {
+        let result = SweepSpec::new("t", vec![1.0], 2, 1, BitFaultModel::emulated())
+            .with_threads(1)
+            .run(&[toy_case("a")]);
+        assert_eq!(result.voltages(), None);
+        assert_eq!(result.voltage(0, 0), None);
+        assert_eq!(result.energy_per_trial(0, 0), None);
+        assert!(result.to_json().contains("\"voltages\":null"));
+        assert!(result.to_json().contains("\"energy_per_trial\":null"));
+        let row = result
+            .to_csv()
+            .lines()
+            .nth(1)
+            .expect("data row")
+            .to_string();
+        assert!(row.ends_with(",,"), "empty voltage/energy fields: {row}");
+    }
+
+    #[test]
+    fn voltage_linked_case_overrides_supply_cell_voltage() {
+        use stochastic_fpu::{FaultModelSpec, VoltageErrorModel};
+        let model = VoltageErrorModel::paper_figure_5_2();
+        let cases = [
+            toy_case("pinned").with_model(FaultModelSpec::voltage_linked(model.clone(), 0.8)),
+            toy_case("grid"),
+        ];
+        let result = SweepSpec::new("t", vec![50.0], 3, 1, BitFaultModel::emulated())
+            .with_threads(2)
+            .run(&cases);
+        // The pinned case reports its own operating point and energy even
+        // though the sweep itself has no voltage axis…
+        assert_eq!(result.voltage(0, 0), Some(0.8));
+        let flops = result.cell(0, 0).flops_per_trial();
+        assert_eq!(
+            result.energy_per_trial(0, 0),
+            Some(model.energy(flops, 0.8))
+        );
+        // …while its grid-rated neighbour reports none.
+        assert_eq!(result.voltage(1, 0), None);
+        assert_eq!(result.energy_per_trial(1, 0), None);
     }
 
     #[test]

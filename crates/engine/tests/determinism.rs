@@ -6,7 +6,9 @@ use proptest::prelude::*;
 use robustify_core::{RobustProblem, SolverSpec, StepSchedule, Verdict};
 use robustify_engine::{SweepCase, SweepSpec};
 use robustify_linalg::Matrix;
-use stochastic_fpu::{BitFaultModel, BitWidth, FaultModelSpec, FlopOp};
+use stochastic_fpu::{
+    BitFaultModel, BitWidth, DvfsStep, FaultModelSpec, FlopOp, VoltageErrorModel,
+};
 
 /// A small but non-trivial problem: recover `b` from `f(x) = ‖x − b‖²`,
 /// where `b` is derived from the per-trial workload seed so every trial
@@ -97,6 +99,42 @@ fn mixed_model_cases() -> Vec<SweepCase> {
     ]
 }
 
+/// Cases mixing every voltage-era scenario on one voltage-axis grid: the
+/// sweep-rated default, a state-persistent memory fault, a case pinned to
+/// its own fixed voltage, and a DVFS trajectory.
+fn voltage_axis_cases() -> Vec<SweepCase> {
+    let spec = SolverSpec::sgd(100, StepSchedule::Sqrt { gamma0: 0.3 });
+    let case = |label: &str| SweepCase::problem(label, spec.clone(), Recover::from_seed);
+    let model = VoltageErrorModel::paper_figure_5_2();
+    vec![
+        case("grid_rated"),
+        case("regfile").with_model(FaultModelSpec::register_file(
+            8,
+            BitFaultModel::emulated(),
+            200,
+        )),
+        case("array").with_model(FaultModelSpec::array_resident(
+            16,
+            BitFaultModel::emulated(),
+            0,
+        )),
+        case("pinned").with_model(FaultModelSpec::voltage_linked(model.clone(), 0.68)),
+        case("dvfs").with_model(FaultModelSpec::dvfs(
+            model,
+            vec![
+                DvfsStep {
+                    flops: 300,
+                    voltage: 0.8,
+                },
+                DvfsStep {
+                    flops: 300,
+                    voltage: 0.65,
+                },
+            ],
+        )),
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -154,6 +192,41 @@ proptest! {
         {
             prop_assert_eq!(&serial.fault_model(case).name(), name);
         }
+    }
+
+    /// The voltage-axis guarantee (ISSUE 4): a *voltage* grid mixing
+    /// sweep-rated, memory-persistent, fixed-voltage and DVFS cases emits
+    /// byte-identical CSV/JSON — including the voltage and energy
+    /// provenance columns — between a serial and a parallel run.
+    #[test]
+    fn voltage_axis_sweeps_stay_deterministic(
+        base_seed in 0u64..1_000_000,
+        threads in 2usize..8,
+    ) {
+        let grid = SweepSpec::over_voltages(
+            "voltage_axis",
+            vec![1.0, 0.7, 0.62],
+            3,
+            base_seed,
+            VoltageErrorModel::paper_figure_5_2(),
+            FaultModelSpec::default(),
+        );
+        let serial = grid.clone().with_threads(1).run(&voltage_axis_cases());
+        let parallel = grid.with_threads(threads).run(&voltage_axis_cases());
+        prop_assert_eq!(serial.to_json(), parallel.to_json());
+        prop_assert_eq!(serial.to_csv(), parallel.to_csv());
+        // The provenance actually carries the axis: every cell of the
+        // grid-rated case has a voltage and an energy…
+        for rate_idx in 0..serial.rates_pct().len() {
+            prop_assert!(serial.voltage(0, rate_idx).is_some());
+            prop_assert!(serial.energy_per_trial(0, rate_idx).is_some());
+        }
+        // …and the pinned case reports its own operating point, while
+        // the DVFS case reports none (no single voltage — but still an
+        // energy, accounted piecewise over its schedule).
+        prop_assert_eq!(serial.voltage(3, 0), Some(0.68));
+        prop_assert_eq!(serial.voltage(4, 0), None);
+        prop_assert!(serial.energy_per_trial(4, 0).is_some());
     }
 
     /// Re-running the same spec twice is also reproducible (no hidden

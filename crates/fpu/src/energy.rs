@@ -102,12 +102,49 @@ impl VoltageErrorModel {
         self.points.last().expect("at least two points").0
     }
 
+    /// Highest calibrated voltage (the clamp target of
+    /// [`voltage_for_rate`](Self::voltage_for_rate) for rates at or below
+    /// [`min_rate`](Self::min_rate)).
+    pub fn max_voltage(&self) -> f64 {
+        self.points[0].0
+    }
+
+    /// Lowest calibrated error rate (attained at
+    /// [`max_voltage`](Self::max_voltage)).
+    pub fn min_rate(&self) -> f64 {
+        self.points[0].1
+    }
+
+    /// Highest calibrated error rate (attained at
+    /// [`min_voltage`](Self::min_voltage)).
+    pub fn max_rate(&self) -> f64 {
+        self.points.last().expect("at least two points").1
+    }
+
     /// FPU error rate (errors per FLOP) at the given supply voltage.
     ///
-    /// Voltages above the highest calibration point clamp to its (lowest)
-    /// rate; voltages below the lowest point clamp to its (highest) rate.
-    /// Interpolation is linear in `log10(rate)`.
+    /// # Clamping
+    ///
+    /// Returned rates are clamped to the calibrated range
+    /// `[min_rate, max_rate]`: voltages at or above
+    /// [`max_voltage`](Self::max_voltage) return exactly
+    /// [`min_rate`](Self::min_rate), voltages at or below
+    /// [`min_voltage`](Self::min_voltage) return exactly
+    /// [`max_rate`](Self::max_rate). Interpolation is linear in
+    /// `log10(rate)`. Together with the mirrored clamp of
+    /// [`voltage_for_rate`](Self::voltage_for_rate) this makes the
+    /// round-trip exact at the boundaries:
+    /// `voltage_for_rate(error_rate(v)) == clamp(v)` for every `v`, where
+    /// `clamp` saturates to `[min_voltage, max_voltage]` — the inverse
+    /// property holds *within* the calibrated range (up to interpolation
+    /// rounding) and degrades to the clamped boundary outside it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `voltage` is NaN (every non-NaN voltage, including
+    /// infinities, clamps).
     pub fn error_rate(&self, voltage: f64) -> f64 {
+        assert!(!voltage.is_nan(), "voltage must not be NaN");
         let first = self.points[0];
         if voltage >= first.0 {
             return first.1;
@@ -130,8 +167,29 @@ impl VoltageErrorModel {
 
     /// The highest voltage at which the FPU's error rate reaches `rate`
     /// (i.e. the most aggressive overscale admissible for a solver that
-    /// tolerates that rate). Clamps to the calibrated range.
+    /// tolerates that rate).
+    ///
+    /// # Clamping
+    ///
+    /// Returned voltages are clamped to the calibrated range
+    /// `[min_voltage, max_voltage]`: rates at or below
+    /// [`min_rate`](Self::min_rate) (including zero and negative rates,
+    /// which no calibrated voltage reaches) return exactly
+    /// [`max_voltage`](Self::max_voltage), rates at or above
+    /// [`max_rate`](Self::max_rate) return exactly
+    /// [`min_voltage`](Self::min_voltage). This mirrors the clamp of
+    /// [`error_rate`](Self::error_rate), so
+    /// `error_rate(voltage_for_rate(r)) == clamp(r)` for every `r`, where
+    /// `clamp` saturates to `[min_rate, max_rate]` — the documented
+    /// inverse property holds within the calibrated range and degrades to
+    /// the clamped boundary outside it, never extrapolating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is NaN (every non-NaN rate, including zero,
+    /// negatives and infinities, clamps).
     pub fn voltage_for_rate(&self, rate: f64) -> f64 {
+        assert!(!rate.is_nan(), "rate must not be NaN");
         let first = self.points[0];
         if rate <= first.1 {
             return first.0;
@@ -251,6 +309,53 @@ mod tests {
         assert_eq!(m.error_rate(0.4), m.error_rate(0.6));
         assert_eq!(m.voltage_for_rate(1e-12), 1.0);
         assert_eq!(m.voltage_for_rate(0.9), 0.6);
+    }
+
+    #[test]
+    fn calibrated_range_accessors() {
+        let m = VoltageErrorModel::paper_figure_5_2();
+        assert_eq!(m.max_voltage(), 1.0);
+        assert_eq!(m.min_voltage(), 0.6);
+        assert!((m.min_rate() - 1e-9).abs() < 1e-18);
+        assert!((m.max_rate() - 1e-1).abs() < 1e-10);
+    }
+
+    #[test]
+    fn round_trip_is_exact_at_clamp_boundaries() {
+        let m = VoltageErrorModel::paper_figure_5_2();
+        // Voltages at or beyond the calibrated boundary round-trip to the
+        // clamped boundary exactly, never beyond it and never to a panic.
+        for v in [
+            1.5,
+            m.max_voltage(),
+            m.min_voltage(),
+            0.2,
+            0.0,
+            f64::INFINITY,
+        ] {
+            let back = m.voltage_for_rate(m.error_rate(v));
+            assert_eq!(back, v.clamp(m.min_voltage(), m.max_voltage()));
+        }
+        // Out-of-range rates (including zero and negatives, which no
+        // calibrated voltage reaches) round-trip to the clamped rate.
+        for r in [
+            0.0,
+            -1.0,
+            1e-30,
+            m.min_rate(),
+            m.max_rate(),
+            0.5,
+            f64::INFINITY,
+        ] {
+            let back = m.error_rate(m.voltage_for_rate(r));
+            assert_eq!(back, r.clamp(m.min_rate(), m.max_rate()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn nan_voltage_rejected() {
+        VoltageErrorModel::paper_figure_5_2().error_rate(f64::NAN);
     }
 
     #[test]

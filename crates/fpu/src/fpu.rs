@@ -9,6 +9,7 @@
 
 use crate::fault::{FaultRate, FaultStats};
 use crate::lfsr::Lfsr;
+use crate::memory::MemoryFaultState;
 use crate::model::{FaultCtx, FaultModel, FaultModelSpec};
 
 /// The floating point operations an FPU executes.
@@ -277,6 +278,11 @@ pub struct NoisyFpu {
     countdown: u64,
     flops: u64,
     stats: FaultStats,
+    /// Shadow storage for memory-persistent fault specs.
+    memory: Option<MemoryFaultState>,
+    /// Precomputed `(end_flop_exclusive, rate)` segments for DVFS specs;
+    /// the last segment's rate persists past the schedule's end.
+    dvfs: Option<Vec<(u64, f64)>>,
 }
 
 impl NoisyFpu {
@@ -286,8 +292,23 @@ impl NoisyFpu {
     /// fault model's random draws; a fixed seed makes an experiment exactly
     /// reproducible. `model` accepts a [`FaultModelSpec`] or a bare
     /// [`BitFaultModel`] (the paper's transient-flip scenario).
+    ///
+    /// Voltage-linked specs take over the strike schedule: a
+    /// [`FaultModelSpec::VoltageLinked`] spec pins the injector to the
+    /// rate its voltage implies through the Figure 5.2 model (so
+    /// [`rate`](Self::rate) reports the derived rate, not the argument),
+    /// and a [`FaultModelSpec::DvfsSchedule`] spec ignores `rate`
+    /// entirely, re-deriving the per-FLOP rate as the schedule steps the
+    /// voltage. Memory-persistent specs allocate shadow storage whose
+    /// corruptions outlive the ops that suffered them (inspect it via
+    /// [`memory_state`](Self::memory_state)).
     pub fn new(rate: FaultRate, model: impl Into<FaultModelSpec>, seed: u64) -> Self {
         let spec = model.into();
+        let rate = spec.rate_override().unwrap_or(rate);
+        let memory = spec.memory_model().cloned().map(MemoryFaultState::new);
+        // One source of truth for the schedule-to-rate mapping, shared
+        // with `FaultModelSpec::dvfs_rate_at`.
+        let dvfs = spec.dvfs_segments();
         let mut fpu = NoisyFpu {
             rate,
             model: spec.build(),
@@ -296,12 +317,18 @@ impl NoisyFpu {
             countdown: 0,
             flops: 0,
             stats: FaultStats::default(),
+            memory,
+            dvfs,
         };
         fpu.countdown = fpu.draw_interval();
         fpu
     }
 
-    /// The configured fault rate.
+    /// The effective fault rate: the constructor argument, or the derived
+    /// rate for a fixed voltage-linked spec. For a DVFS schedule this
+    /// still reports the constructor argument, which the strike schedule
+    /// *ignores* — per-op rates follow the voltage steps (query them via
+    /// [`FaultModelSpec::dvfs_rate_at`]).
     pub fn rate(&self) -> FaultRate {
         self.rate
     }
@@ -314,6 +341,12 @@ impl NoisyFpu {
     /// Detailed fault statistics.
     pub fn stats(&self) -> &FaultStats {
         &self.stats
+    }
+
+    /// The shadow storage of a memory-persistent spec (`None` for
+    /// transient scenarios) — which slots currently hold corrupted bits.
+    pub fn memory_state(&self) -> Option<&MemoryFaultState> {
+        self.memory.as_ref()
     }
 
     /// Resets FLOP and fault counters (the fault schedule continues).
@@ -333,28 +366,66 @@ impl NoisyFpu {
         let upper = (2.0 * mean - 1.0).round().max(1.0) as u64;
         self.lfsr.uniform_1_to(upper)
     }
+
+    /// Whether the fault schedule strikes at FLOP index `flop`.
+    ///
+    /// Constant-rate specs replay the paper's LFSR interval schedule
+    /// exactly; DVFS specs draw a per-op Bernoulli at the rate of the
+    /// voltage step covering `flop`, so the strike density tracks the
+    /// schedule with no lag.
+    fn strikes(&mut self, flop: u64) -> bool {
+        if let Some(segments) = &self.dvfs {
+            let rate = crate::model::dvfs_segment_rate(segments, flop);
+            return rate > 0.0 && self.lfsr.next_f64() < rate;
+        }
+        if self.rate.is_zero() {
+            return false;
+        }
+        self.countdown -= 1;
+        if self.countdown > 0 {
+            return false;
+        }
+        self.countdown = self.draw_interval();
+        true
+    }
 }
 
 impl Fpu for NoisyFpu {
     fn execute(&mut self, op: FlopOp, a: f64, b: f64) -> f64 {
+        let flop = self.flops;
         self.flops += 1;
-        let exact = op.exact(a, b);
-        if self.rate.is_zero() {
-            return exact;
+        if let Some(memory) = &mut self.memory {
+            memory.begin_op(flop);
         }
-        self.countdown -= 1;
-        if self.countdown > 0 {
-            return exact;
-        }
-        self.countdown = self.draw_interval();
-        let ctx = FaultCtx {
-            op,
-            a,
-            b,
-            exact,
-            flop: self.flops - 1,
+        let (a, b) = match &self.memory {
+            Some(memory) => memory.load_operands(flop, a, b),
+            None => (a, b),
         };
-        self.model.corrupt(&ctx, &mut self.lfsr, &mut self.stats)
+        let exact = op.exact(a, b);
+        let strike = self.strikes(flop);
+        // Commit through storage first (array-resident writes heal their
+        // word), then install any new persistent damage — a fault lands
+        // at FLOP t and is visible from FLOP t+1 on.
+        match &mut self.memory {
+            Some(memory) => {
+                let committed = memory.commit_result(flop, exact);
+                if strike {
+                    memory.install(&mut self.lfsr, &mut self.stats);
+                }
+                committed
+            }
+            None if strike => {
+                let ctx = FaultCtx {
+                    op,
+                    a,
+                    b,
+                    exact,
+                    flop,
+                };
+                self.model.corrupt(&ctx, &mut self.lfsr, &mut self.stats)
+            }
+            None => exact,
+        }
     }
 
     fn flops(&self) -> u64 {
@@ -516,6 +587,108 @@ mod tests {
                 "value {v} not representable in f32"
             );
         }
+    }
+
+    #[test]
+    fn voltage_linked_spec_overrides_the_constructor_rate() {
+        use crate::energy::VoltageErrorModel;
+        let model = VoltageErrorModel::paper_figure_5_2();
+        let spec = FaultModelSpec::voltage_linked(model.clone(), 0.65);
+        // The constructor rate is ignored: the voltage dictates the rate.
+        let fpu = NoisyFpu::new(FaultRate::ZERO, spec, 3);
+        assert_eq!(fpu.rate().fraction(), model.error_rate(0.65).min(1.0));
+    }
+
+    #[test]
+    fn voltage_linked_stream_matches_transient_at_the_derived_rate() {
+        use crate::energy::VoltageErrorModel;
+        let model = VoltageErrorModel::paper_figure_5_2();
+        let run = |spec: FaultModelSpec, rate: FaultRate, seed: u64| {
+            let mut fpu = NoisyFpu::new(rate, spec, seed);
+            (0..4000)
+                .map(|i| fpu.mul(1.0 + i as f64, 1.5).to_bits())
+                .collect::<Vec<_>>()
+        };
+        // A fixed overscaled voltage is exactly the paper's transient
+        // scenario at the Figure 5.2 rate — byte-for-byte.
+        let linked = run(
+            FaultModelSpec::voltage_linked(model.clone(), 0.62),
+            FaultRate::ZERO,
+            17,
+        );
+        let transient = run(FaultModelSpec::default(), model.fault_rate_at(0.62), 17);
+        assert_eq!(linked, transient);
+    }
+
+    #[test]
+    fn dvfs_fault_density_follows_the_voltage_steps() {
+        use crate::energy::VoltageErrorModel;
+        use crate::model::DvfsStep;
+        let model = VoltageErrorModel::paper_figure_5_2();
+        let spec = FaultModelSpec::dvfs(
+            model,
+            vec![
+                DvfsStep {
+                    flops: 20_000,
+                    voltage: 1.0, // 1e-9 errors/op: effectively silent
+                },
+                DvfsStep {
+                    flops: 20_000,
+                    voltage: 0.6, // 1e-1 errors/op
+                },
+            ],
+        );
+        let mut fpu = NoisyFpu::new(FaultRate::ZERO, spec, 9);
+        for _ in 0..20_000 {
+            fpu.add(1.0, 1.0);
+        }
+        let nominal_faults = fpu.faults();
+        assert_eq!(nominal_faults, 0, "nominal step should not fault");
+        for _ in 0..20_000 {
+            fpu.add(1.0, 1.0);
+        }
+        let overscaled_faults = fpu.faults() - nominal_faults;
+        assert!(
+            (1000..4000).contains(&overscaled_faults),
+            "expected ~2000 faults at 0.6 V, got {overscaled_faults}"
+        );
+    }
+
+    #[test]
+    fn memory_faults_persist_and_amplify() {
+        use crate::fault::BitWidth;
+        let spec = FaultModelSpec::register_file(4, BitFaultModel::lsb_only(BitWidth::F64), 0);
+        let mut fpu = NoisyFpu::new(FaultRate::per_flop(0.05), spec, 11);
+        let mut corrupted = 0u64;
+        for _ in 0..1000 {
+            if fpu.add(1.0, 2.0) != 3.0 {
+                corrupted += 1;
+            }
+        }
+        assert!(fpu.faults() > 10, "installs recorded: {}", fpu.faults());
+        assert!(
+            corrupted > fpu.faults(),
+            "persistent damage must corrupt more results ({corrupted}) than \
+             installed faults ({})",
+            fpu.faults()
+        );
+        let state = fpu.memory_state().expect("memory spec has shadow state");
+        assert!(state.corrupted_slots() > 0);
+    }
+
+    #[test]
+    fn zero_rate_memory_spec_is_transparent() {
+        let spec = FaultModelSpec::array_resident(8, BitFaultModel::emulated(), 100);
+        let mut fpu = NoisyFpu::new(FaultRate::ZERO, spec, 5);
+        for i in 0..1000 {
+            let x = 1.0 + i as f64 * 1e-9;
+            assert_eq!(fpu.add(x, 0.5), x + 0.5);
+        }
+        assert_eq!(fpu.faults(), 0);
+        assert_eq!(
+            fpu.memory_state().expect("shadow state").corrupted_slots(),
+            0
+        );
     }
 
     #[test]

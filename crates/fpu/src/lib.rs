@@ -21,6 +21,13 @@
 //!   preset) — is the default; stuck-at-0/1 bits, multi-bit bursts,
 //!   operand-side corruption, intermittent duty-cycle faults and
 //!   op-selective (e.g. mul/div-only) faults are sweepable alternatives.
+//!   Voltage-linked specs ([`FaultModelSpec::VoltageLinked`], a fixed
+//!   overscaled supply; [`FaultModelSpec::DvfsSchedule`], a stepped
+//!   trajectory) derive the injection *rate* from the supply voltage
+//!   through the Figure 5.2 model, and memory-persistent specs
+//!   ([`MemoryFaultModel`]: register-file latch damage, array-resident
+//!   word upsets) install corruptions that stay in state between
+//!   operations until scrubbed or overwritten.
 //! * [`Lfsr`] — the Galois linear feedback shift register used to draw
 //!   inter-fault intervals, mirroring the paper's methodology chapter.
 //! * [`VoltageErrorModel`] — the voltage ↦ FPU-error-rate curve of Figure
@@ -46,6 +53,7 @@ mod energy;
 mod fault;
 mod fpu;
 mod lfsr;
+mod memory;
 mod model;
 mod processor;
 
@@ -53,5 +61,6 @@ pub use energy::{EnergyReport, VoltageErrorModel};
 pub use fault::{BitFaultModel, BitWidth, FaultRate, FaultStats};
 pub use fpu::{FlopOp, Fpu, FpuExt, FpuSnapshot, NoisyFpu, ReliableFpu};
 pub use lfsr::Lfsr;
-pub use model::{FaultCtx, FaultModel, FaultModelSpec};
+pub use memory::{MemoryFaultKind, MemoryFaultModel, MemoryFaultState};
+pub use model::{DvfsStep, FaultCtx, FaultModel, FaultModelSpec};
 pub use processor::{StochasticProcessor, SystemEnergyReport};

@@ -1,0 +1,384 @@
+//! Memory-persistent fault models: corruptions that live in *state*.
+//!
+//! Every scenario in [`model`](crate::model) is transient: a fault
+//! corrupts the result (or operand) of exactly one operation and is gone.
+//! Real storage misbehaves differently — a particle strike or a
+//! low-voltage retention failure flips a bit *in a latch or SRAM cell*,
+//! and the flip stays resident until the cell is rewritten or a scrubber
+//! sweeps it. This module models that persistence:
+//!
+//! * [`MemoryFaultModel`] — the plain-data description of a persistent
+//!   fault scenario: which storage structure is fault-prone
+//!   ([`MemoryFaultKind`]), how many slots it has, the bit-position
+//!   distribution of upsets, and an optional scrub interval.
+//! * [`MemoryFaultState`] — the mutable shadow state a
+//!   [`NoisyFpu`](crate::NoisyFpu) keeps while executing under a memory
+//!   fault model: one XOR mask per storage slot, accumulated by strikes
+//!   and cleared by scrubs/overwrites.
+//!
+//! # Semantics
+//!
+//! Values are routed through storage slots round-robin by FLOP index, the
+//! deterministic stand-in for real register allocation / array layout:
+//!
+//! * **Register file** ([`MemoryFaultKind::RegisterFile`]): a strike
+//!   damages the latch of one register — subsequently *every result*
+//!   written through register `flop % registers` comes back with the
+//!   damaged bits XORed in. Rewrites do not heal latch damage; only a
+//!   scrub (a repair cycle every `scrub_interval` FLOPs) clears it.
+//! * **Array-resident** ([`MemoryFaultKind::ArrayResident`]): a strike
+//!   flips a bit of one *stored word* — subsequently every operand read
+//!   from that word (operand `a` reads word `2·flop % words`, operand `b`
+//!   reads `(2·flop + 1) % words`) is corrupted, until the word is
+//!   overwritten (each op writes its result to word `flop % words`,
+//!   replacing the stored bits) or scrubbed. The op that suffers the
+//!   strike commits its own result exactly; the corruption surfaces only
+//!   through later reads — the fault persists *between* operations.
+//!
+//! In both kinds a fault installed at FLOP `t` is visible from FLOP
+//! `t + 1` on, and stays until a scrub or (array-resident) an overwrite —
+//! the invariant the persistence proptests pin down.
+
+use crate::fault::{BitFaultModel, BitWidth, FaultStats};
+use crate::lfsr::Lfsr;
+
+/// Which storage structure a persistent fault lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemoryFaultKind {
+    /// Latch damage in the register file: corrupts results on the write
+    /// path, healed only by scrubbing.
+    RegisterFile,
+    /// A flipped bit in an array-resident word: corrupts operands on the
+    /// read path, healed by overwrite or scrub.
+    ArrayResident,
+}
+
+impl MemoryFaultKind {
+    /// Stable lower-case name used in serializations.
+    pub fn name(self) -> &'static str {
+        match self {
+            MemoryFaultKind::RegisterFile => "register_file",
+            MemoryFaultKind::ArrayResident => "array_resident",
+        }
+    }
+}
+
+/// A serializable description of a memory-persistent fault scenario.
+///
+/// # Examples
+///
+/// ```
+/// use stochastic_fpu::{BitFaultModel, MemoryFaultModel};
+///
+/// let regfile = MemoryFaultModel::register_file(32, BitFaultModel::emulated(), 1000);
+/// assert_eq!(regfile.name(), "regfile32_scrub1000_emulated");
+/// let array = MemoryFaultModel::array_resident(64, BitFaultModel::emulated(), 0);
+/// assert_eq!(array.name(), "array64_scrub0_emulated");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryFaultModel {
+    kind: MemoryFaultKind,
+    slots: usize,
+    bits: BitFaultModel,
+    scrub_interval: u64,
+}
+
+impl MemoryFaultModel {
+    /// Latch damage in a `registers`-entry register file, upset bit
+    /// positions drawn from `bits`, scrubbed every `scrub_interval` FLOPs
+    /// (`0` = never scrubbed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `registers == 0`.
+    pub fn register_file(registers: usize, bits: BitFaultModel, scrub_interval: u64) -> Self {
+        assert!(registers > 0, "register file needs at least one register");
+        MemoryFaultModel {
+            kind: MemoryFaultKind::RegisterFile,
+            slots: registers,
+            bits,
+            scrub_interval,
+        }
+    }
+
+    /// Stored-word upsets in a `words`-entry data array, upset bit
+    /// positions drawn from `bits`, scrubbed every `scrub_interval` FLOPs
+    /// (`0` = never scrubbed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words == 0`.
+    pub fn array_resident(words: usize, bits: BitFaultModel, scrub_interval: u64) -> Self {
+        assert!(words > 0, "array needs at least one word");
+        MemoryFaultModel {
+            kind: MemoryFaultKind::ArrayResident,
+            slots: words,
+            bits,
+            scrub_interval,
+        }
+    }
+
+    /// The storage structure the faults live in.
+    pub fn kind(&self) -> MemoryFaultKind {
+        self.kind
+    }
+
+    /// Number of storage slots (registers or words).
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// The bit-position distribution of upsets.
+    pub fn bits(&self) -> &BitFaultModel {
+        &self.bits
+    }
+
+    /// FLOPs between scrub cycles (`0` = never scrubbed).
+    pub fn scrub_interval(&self) -> u64 {
+        self.scrub_interval
+    }
+
+    /// A short stable name for emitters and diagnostics.
+    pub fn name(&self) -> String {
+        let prefix = match self.kind {
+            MemoryFaultKind::RegisterFile => "regfile",
+            MemoryFaultKind::ArrayResident => "array",
+        };
+        format!(
+            "{prefix}{}_scrub{}_{}",
+            self.slots,
+            self.scrub_interval,
+            self.bits.kind()
+        )
+    }
+
+    /// Serializes the model to a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"kind\":\"{}\",\"slots\":{},\"scrub_interval\":{},\"distribution\":\"{}\",\"width\":\"{}\"}}",
+            self.kind.name(),
+            self.slots,
+            self.scrub_interval,
+            self.bits.kind(),
+            match self.bits.width() {
+                BitWidth::F32 => "f32",
+                BitWidth::F64 => "f64",
+            },
+        )
+    }
+}
+
+/// XORs `mask` into `value` on the model's bit grid (no-op for an empty
+/// mask, so healthy slots never perturb values — not even by an `f32`
+/// round trip).
+fn apply_mask(value: f64, mask: u64, width: BitWidth) -> f64 {
+    if mask == 0 {
+        return value;
+    }
+    match width {
+        BitWidth::F32 => f32::from_bits((value as f32).to_bits() ^ (mask as u32)) as f64,
+        BitWidth::F64 => f64::from_bits(value.to_bits() ^ mask),
+    }
+}
+
+/// The mutable shadow state of one FPU executing under a
+/// [`MemoryFaultModel`]: an XOR mask per storage slot.
+///
+/// Owned and driven by [`NoisyFpu`](crate::NoisyFpu); exposed read-only so
+/// tests and diagnostics can observe which slots are corrupted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryFaultState {
+    model: MemoryFaultModel,
+    masks: Vec<u64>,
+}
+
+impl MemoryFaultState {
+    /// A fresh (uncorrupted) shadow state for `model`.
+    pub fn new(model: MemoryFaultModel) -> Self {
+        let masks = vec![0; model.slots];
+        MemoryFaultState { model, masks }
+    }
+
+    /// The model this state implements.
+    pub fn model(&self) -> &MemoryFaultModel {
+        &self.model
+    }
+
+    /// The per-slot XOR masks (a zero mask means the slot is healthy).
+    pub fn masks(&self) -> &[u64] {
+        &self.masks
+    }
+
+    /// Number of currently corrupted slots.
+    pub fn corrupted_slots(&self) -> usize {
+        self.masks.iter().filter(|&&m| m != 0).count()
+    }
+
+    /// Runs the scrubber: at every `scrub_interval`-th FLOP boundary all
+    /// masks clear. Called by the FPU before executing FLOP `flop`.
+    pub fn begin_op(&mut self, flop: u64) {
+        let interval = self.model.scrub_interval;
+        if interval > 0 && flop > 0 && flop.is_multiple_of(interval) {
+            self.masks.fill(0);
+        }
+    }
+
+    /// Applies read-path corruption to the operands of FLOP `flop`
+    /// (array-resident faults only; register-file damage sits on the
+    /// write path).
+    pub fn load_operands(&self, flop: u64, a: f64, b: f64) -> (f64, f64) {
+        if self.model.kind != MemoryFaultKind::ArrayResident {
+            return (a, b);
+        }
+        let n = self.model.slots as u64;
+        let width = self.model.bits.width();
+        let wa = ((2 * flop) % n) as usize;
+        let wb = ((2 * flop + 1) % n) as usize;
+        (
+            apply_mask(a, self.masks[wa], width),
+            apply_mask(b, self.masks[wb], width),
+        )
+    }
+
+    /// Commits the result of FLOP `flop` through storage: register-file
+    /// damage corrupts the written value; an array-resident write
+    /// overwrites (and thereby heals) word `flop % words`.
+    pub fn commit_result(&mut self, flop: u64, value: f64) -> f64 {
+        let slot = (flop % self.model.slots as u64) as usize;
+        match self.model.kind {
+            MemoryFaultKind::RegisterFile => {
+                apply_mask(value, self.masks[slot], self.model.bits.width())
+            }
+            MemoryFaultKind::ArrayResident => {
+                self.masks[slot] = 0;
+                value
+            }
+        }
+    }
+
+    /// Installs one new persistent fault: a slot drawn uniformly from the
+    /// LFSR gains a flipped bit drawn from the model's distribution.
+    /// Records the upset into `stats`. Called by the FPU when its fault
+    /// schedule strikes; the damage is visible from the *next* access of
+    /// the slot on.
+    pub fn install(&mut self, lfsr: &mut Lfsr, stats: &mut FaultStats) {
+        let slot = (lfsr.uniform_1_to(self.model.slots as u64) - 1) as usize;
+        let bit = self.model.bits.sample_bit(lfsr);
+        self.masks[slot] |= 1u64 << bit;
+        stats.record(self.model.bits.width(), bit);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::BitFaultModel;
+
+    fn lfsr() -> Lfsr {
+        Lfsr::new(7)
+    }
+
+    #[test]
+    fn names_and_json_are_stable() {
+        let m = MemoryFaultModel::register_file(32, BitFaultModel::emulated(), 500);
+        assert_eq!(m.name(), "regfile32_scrub500_emulated");
+        assert_eq!(
+            m.to_json(),
+            "{\"kind\":\"register_file\",\"slots\":32,\"scrub_interval\":500,\
+             \"distribution\":\"emulated\",\"width\":\"f64\"}"
+        );
+        let a = MemoryFaultModel::array_resident(8, BitFaultModel::uniform(BitWidth::F64), 0);
+        assert_eq!(a.name(), "array8_scrub0_uniform");
+        assert!(a.to_json().contains("\"kind\":\"array_resident\""));
+    }
+
+    #[test]
+    fn register_file_damage_persists_across_writes() {
+        let model = MemoryFaultModel::register_file(4, BitFaultModel::lsb_only(BitWidth::F64), 0);
+        let mut state = MemoryFaultState::new(model);
+        let mut stats = FaultStats::default();
+        state.install(&mut lfsr(), &mut stats);
+        assert_eq!(stats.faults, 1);
+        assert_eq!(state.corrupted_slots(), 1);
+        let damaged = state
+            .masks()
+            .iter()
+            .position(|&m| m != 0)
+            .expect("one slot");
+        // Every write routed through the damaged register is corrupted —
+        // on every pass, since rewrites do not heal latch damage.
+        for round in 0..8u64 {
+            let flop = round * 4 + damaged as u64;
+            let out = state.commit_result(flop, 2.0);
+            assert_ne!(out, 2.0, "round {round}: damaged latch must corrupt");
+            let healthy = state.commit_result(flop + 1, 2.0);
+            assert_eq!(healthy, 2.0, "neighbouring register is healthy");
+        }
+    }
+
+    #[test]
+    fn array_word_corrupts_reads_until_overwritten() {
+        let model = MemoryFaultModel::array_resident(8, BitFaultModel::lsb_only(BitWidth::F64), 0);
+        let mut state = MemoryFaultState::new(model);
+        let mut stats = FaultStats::default();
+        state.install(&mut lfsr(), &mut stats);
+        let word = state
+            .masks()
+            .iter()
+            .position(|&m| m != 0)
+            .expect("one word");
+        // A read routed through the corrupted word sees the flip: operand
+        // `a` of flop f reads word 2f % 8 (even words), operand `b` reads
+        // (2f + 1) % 8 (odd words).
+        let flop_reading = (word as u64) / 2;
+        let read = |state: &MemoryFaultState| {
+            let (a, b) = state.load_operands(flop_reading, 1.5, 2.5);
+            if word % 2 == 0 {
+                (a, b.to_bits() == 2.5f64.to_bits())
+            } else {
+                (b, a.to_bits() == 1.5f64.to_bits())
+            }
+        };
+        let (got, other_clean) = read(&state);
+        assert_ne!(got.to_bits(), 0, "read produced a value");
+        assert!(other_clean, "the healthy word's operand is untouched");
+        assert_ne!(got, if word % 2 == 0 { 1.5 } else { 2.5 });
+        // Still corrupted on a second read: persistence between ops.
+        let (again, _) = read(&state);
+        assert_eq!(again.to_bits(), got.to_bits());
+        // Overwriting the word (result write of flop ≡ word mod 8) heals.
+        let _ = state.commit_result(word as u64, 9.0);
+        let (a3, b3) = state.load_operands(flop_reading, 1.5, 2.5);
+        assert_eq!((a3, b3), (1.5, 2.5), "overwrite repairs the word");
+    }
+
+    #[test]
+    fn scrubbing_clears_all_damage() {
+        let model = MemoryFaultModel::register_file(4, BitFaultModel::emulated(), 100);
+        let mut state = MemoryFaultState::new(model);
+        let mut stats = FaultStats::default();
+        let mut rng = lfsr();
+        for _ in 0..3 {
+            state.install(&mut rng, &mut stats);
+        }
+        assert!(state.corrupted_slots() > 0);
+        state.begin_op(99);
+        assert!(state.corrupted_slots() > 0, "no scrub before the boundary");
+        state.begin_op(100);
+        assert_eq!(state.corrupted_slots(), 0, "scrub boundary clears all");
+    }
+
+    #[test]
+    fn zero_mask_is_a_perfect_no_op_even_for_f32() {
+        // A healthy f32-width slot must not round values through f32.
+        let exact = 1.0 + 1e-12;
+        assert_eq!(apply_mask(exact, 0, BitWidth::F32), exact);
+        assert_ne!(apply_mask(exact, 1, BitWidth::F32), exact);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one register")]
+    fn zero_registers_rejected() {
+        MemoryFaultModel::register_file(0, BitFaultModel::emulated(), 0);
+    }
+}

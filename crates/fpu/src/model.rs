@@ -24,9 +24,11 @@
 //! per-case overrides), so experiments become
 //! `(problem × fault model × fault rate × solver)` grids.
 
-use crate::fault::{BitFaultModel, BitWidth, FaultStats};
+use crate::energy::VoltageErrorModel;
+use crate::fault::{BitFaultModel, BitWidth, FaultRate, FaultStats};
 use crate::fpu::FlopOp;
 use crate::lfsr::Lfsr;
+use crate::memory::MemoryFaultModel;
 use std::sync::Arc;
 
 /// Everything a fault model may condition on when corrupting one strike.
@@ -233,6 +235,50 @@ impl FaultModel for DutyCycleFault {
     }
 }
 
+/// The corruption strategy of the voltage-linked scenarios: the paper's
+/// transient emulated-distribution flip, named after its operating point.
+/// The *rate* side of a voltage-linked scenario is enforced by
+/// [`NoisyFpu`](crate::NoisyFpu) (via
+/// [`FaultModelSpec::rate_override`] /
+/// [`FaultModelSpec::dvfs_rate_at`]), not here.
+#[derive(Debug)]
+struct VoltageLinkedFlip {
+    name: String,
+    inner: TransientFlip,
+}
+
+impl FaultModel for VoltageLinkedFlip {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn corrupt(&self, ctx: &FaultCtx, lfsr: &mut Lfsr, stats: &mut FaultStats) -> f64 {
+        self.inner.corrupt(ctx, lfsr, stats)
+    }
+}
+
+/// The stateless projection of a memory-persistent fault: a transient flip
+/// drawn from the same bit distribution. Used only when a memory spec's
+/// built model is driven outside a [`NoisyFpu`](crate::NoisyFpu) — the FPU
+/// itself intercepts memory specs and applies the true persistent
+/// semantics through [`MemoryFaultState`](crate::MemoryFaultState).
+#[derive(Debug)]
+struct MemoryShadowFault {
+    model: MemoryFaultModel,
+}
+
+impl FaultModel for MemoryShadowFault {
+    fn name(&self) -> String {
+        self.model.name()
+    }
+
+    fn corrupt(&self, ctx: &FaultCtx, lfsr: &mut Lfsr, stats: &mut FaultStats) -> f64 {
+        let bit = self.model.bits().sample_bit(lfsr);
+        stats.record(self.model.bits().width(), bit);
+        flip_bit(ctx.exact, bit, self.model.bits().width())
+    }
+}
+
 /// An op-selective fault: only the listed operations' functional units are
 /// faulty (e.g. only mul/div, matching a multiplier-array hot spot).
 /// Strikes on other ops pass through untouched.
@@ -325,6 +371,48 @@ pub enum FaultModelSpec {
         /// Operations whose results are fault-prone.
         ops: Vec<FlopOp>,
     },
+    /// Voltage-linked operation: the paper's transient flip at the fault
+    /// rate the Figure 5.2 model predicts for a fixed overscaled supply.
+    /// [`NoisyFpu`](crate::NoisyFpu) derives the effective per-op rate
+    /// from the voltage ([`rate_override`](Self::rate_override)),
+    /// overriding whatever rate the sweep grid passed.
+    VoltageLinked {
+        /// The voltage ↦ error-rate calibration (Figure 5.2).
+        model: VoltageErrorModel,
+        /// The fixed supply voltage of the run.
+        voltage: f64,
+    },
+    /// A DVFS trajectory: the supply voltage steps through a schedule
+    /// over the trial, and the per-op fault rate follows the Figure 5.2
+    /// model at each step ([`dvfs_rate_at`](Self::dvfs_rate_at)). The
+    /// last step's voltage persists once the schedule is exhausted.
+    DvfsSchedule {
+        /// The voltage ↦ error-rate calibration (Figure 5.2).
+        model: VoltageErrorModel,
+        /// The voltage steps, executed in order.
+        steps: Vec<DvfsStep>,
+    },
+    /// A memory-persistent fault: corruptions install into register-file
+    /// or array-resident storage and stay there between operations until
+    /// scrubbed or overwritten (see
+    /// [`MemoryFaultModel`]). Applied statefully by
+    /// [`NoisyFpu`](crate::NoisyFpu).
+    Memory {
+        /// The storage structure, slot count, bit distribution, and scrub
+        /// interval.
+        model: MemoryFaultModel,
+    },
+}
+
+/// One step of a [`FaultModelSpec::DvfsSchedule`]: run `flops` operations
+/// at `voltage`, then advance to the next step (the last step's voltage
+/// persists for the rest of the trial).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DvfsStep {
+    /// Operations executed at this step's voltage.
+    pub flops: u64,
+    /// Supply voltage during the step.
+    pub voltage: f64,
 }
 
 impl FaultModelSpec {
@@ -373,13 +461,20 @@ impl FaultModelSpec {
     ///
     /// # Panics
     ///
-    /// Panics if `duty` is not in `(0, 1]` or `period == 0`.
+    /// Panics if `duty` is not in `(0, 1]`, `period == 0`, or `inner` is
+    /// an injector-level scenario (voltage-linked, DVFS, memory) that
+    /// cannot nest.
     pub fn intermittent(duty: f64, period: u64, inner: FaultModelSpec) -> Self {
         assert!(
             duty.is_finite() && duty > 0.0 && duty <= 1.0,
             "duty cycle must be in (0, 1], got {duty}"
         );
         assert!(period > 0, "duty-cycle period must be positive");
+        assert!(
+            !inner.is_injector_level(),
+            "{} is injector-level and cannot nest inside a combinator",
+            inner.name()
+        );
         FaultModelSpec::Intermittent {
             inner: Box::new(inner),
             duty,
@@ -391,19 +486,206 @@ impl FaultModelSpec {
     ///
     /// # Panics
     ///
-    /// Panics if `ops` is empty.
+    /// Panics if `ops` is empty or `inner` is an injector-level scenario
+    /// (voltage-linked, DVFS, memory) that cannot nest.
     pub fn op_selective(ops: Vec<FlopOp>, inner: FaultModelSpec) -> Self {
         assert!(!ops.is_empty(), "op-selective fault needs at least one op");
+        assert!(
+            !inner.is_injector_level(),
+            "{} is injector-level and cannot nest inside a combinator",
+            inner.name()
+        );
         FaultModelSpec::OpSelective {
             inner: Box::new(inner),
             ops,
         }
     }
 
+    /// The paper's transient flip with its rate tied to a fixed
+    /// overscaled supply voltage through `model` (Figure 5.2): an FPU
+    /// built on this spec faults at `model.error_rate(voltage)` per op,
+    /// regardless of the grid rate it was constructed with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `voltage` is not positive and finite.
+    pub fn voltage_linked(model: VoltageErrorModel, voltage: f64) -> Self {
+        assert!(
+            voltage > 0.0 && voltage.is_finite(),
+            "voltage must be positive and finite, got {voltage}"
+        );
+        FaultModelSpec::VoltageLinked { model, voltage }
+    }
+
+    /// A DVFS trajectory: the supply steps through `steps` over the
+    /// trial, the per-op fault rate following `model` at each step; the
+    /// last step's voltage persists once the schedule is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is empty, any step has `flops == 0`, or any
+    /// voltage is not positive and finite.
+    pub fn dvfs(model: VoltageErrorModel, steps: Vec<DvfsStep>) -> Self {
+        assert!(!steps.is_empty(), "DVFS schedule needs at least one step");
+        for step in &steps {
+            assert!(step.flops > 0, "DVFS steps must cover at least one FLOP");
+            assert!(
+                step.voltage > 0.0 && step.voltage.is_finite(),
+                "voltage must be positive and finite, got {}",
+                step.voltage
+            );
+        }
+        FaultModelSpec::DvfsSchedule { model, steps }
+    }
+
+    /// Register-file latch damage: persistent result corruption, scrubbed
+    /// every `scrub_interval` FLOPs (`0` = never). See
+    /// [`MemoryFaultModel::register_file`].
+    pub fn register_file(registers: usize, bits: BitFaultModel, scrub_interval: u64) -> Self {
+        Self::memory(MemoryFaultModel::register_file(
+            registers,
+            bits,
+            scrub_interval,
+        ))
+    }
+
+    /// Array-resident word upsets: persistent operand corruption healed
+    /// by overwrite or scrub. See [`MemoryFaultModel::array_resident`].
+    pub fn array_resident(words: usize, bits: BitFaultModel, scrub_interval: u64) -> Self {
+        Self::memory(MemoryFaultModel::array_resident(
+            words,
+            bits,
+            scrub_interval,
+        ))
+    }
+
+    /// A memory-persistent fault scenario.
+    pub fn memory(model: MemoryFaultModel) -> Self {
+        FaultModelSpec::Memory { model }
+    }
+
+    /// Whether this spec configures the injector itself (its rate
+    /// schedule or persistent state) rather than just a corruption
+    /// strategy — such specs are applied by
+    /// [`NoisyFpu`](crate::NoisyFpu) at the top level and cannot nest
+    /// inside [`Intermittent`](Self::Intermittent) /
+    /// [`OpSelective`](Self::OpSelective) combinators.
+    pub fn is_injector_level(&self) -> bool {
+        matches!(
+            self,
+            FaultModelSpec::VoltageLinked { .. }
+                | FaultModelSpec::DvfsSchedule { .. }
+                | FaultModelSpec::Memory { .. }
+        )
+    }
+
+    /// The fixed fault rate this spec mandates, if any: a
+    /// [`VoltageLinked`](Self::VoltageLinked) spec pins the injector to
+    /// the rate its voltage implies, overriding the grid rate.
+    pub fn rate_override(&self) -> Option<FaultRate> {
+        match self {
+            FaultModelSpec::VoltageLinked { model, voltage } => Some(model.fault_rate_at(*voltage)),
+            _ => None,
+        }
+    }
+
+    /// The `(end_flop_exclusive, rate)` segments of a
+    /// [`DvfsSchedule`](Self::DvfsSchedule) spec, the final segment
+    /// extended to `u64::MAX` (the last step's voltage persists past the
+    /// schedule's end). `None` for every other variant. This is the
+    /// single source of the schedule-to-rate mapping:
+    /// [`dvfs_rate_at`](Self::dvfs_rate_at) and
+    /// [`NoisyFpu`](crate::NoisyFpu)'s strike scheduler both read it.
+    pub fn dvfs_segments(&self) -> Option<Vec<(u64, f64)>> {
+        let FaultModelSpec::DvfsSchedule { model, steps } = self else {
+            return None;
+        };
+        let mut segments = Vec::with_capacity(steps.len() + 1);
+        let mut end = 0u64;
+        for step in steps {
+            end = end.saturating_add(step.flops);
+            segments.push((end, model.error_rate(step.voltage).min(1.0)));
+        }
+        let last = segments.last().expect("schedule is non-empty").1;
+        segments.push((u64::MAX, last));
+        Some(segments)
+    }
+
+    /// The per-op fault rate at FLOP index `flop` for a
+    /// [`DvfsSchedule`](Self::DvfsSchedule) spec (`None` for every other
+    /// variant): the rate of the step covering `flop`, with the last
+    /// step's voltage persisting past the schedule's end.
+    pub fn dvfs_rate_at(&self, flop: u64) -> Option<f64> {
+        self.dvfs_segments()
+            .map(|segments| dvfs_segment_rate(&segments, flop))
+    }
+
+    /// The fixed operating voltage this spec pins the FPU to
+    /// ([`VoltageLinked`](Self::VoltageLinked) only — a DVFS schedule has
+    /// no single voltage).
+    pub fn voltage(&self) -> Option<f64> {
+        match self {
+            FaultModelSpec::VoltageLinked { voltage, .. } => Some(*voltage),
+            _ => None,
+        }
+    }
+
+    /// Whether this spec pins the FPU's operating point itself (a fixed
+    /// overscaled supply or a DVFS trajectory), so grid-level voltage
+    /// provenance does not apply to it.
+    pub fn pins_operating_point(&self) -> bool {
+        matches!(
+            self,
+            FaultModelSpec::VoltageLinked { .. } | FaultModelSpec::DvfsSchedule { .. }
+        )
+    }
+
+    /// Energy (normalized `power × FLOP` units) of executing `flops`
+    /// operations under this spec's operating point(s): `P(V) × flops`
+    /// for a fixed voltage, the piecewise sum over steps for a DVFS
+    /// schedule, `None` for specs with no voltage semantics.
+    pub fn energy_for_flops(&self, flops: u64) -> Option<f64> {
+        match self {
+            FaultModelSpec::VoltageLinked { model, voltage } => Some(model.energy(flops, *voltage)),
+            FaultModelSpec::DvfsSchedule { model, steps } => {
+                let mut remaining = flops;
+                let mut energy = 0.0;
+                for step in steps {
+                    let run = remaining.min(step.flops);
+                    energy += model.energy(run, step.voltage);
+                    remaining -= run;
+                    if remaining == 0 {
+                        break;
+                    }
+                }
+                if remaining > 0 {
+                    let last = steps.last().expect("schedule is non-empty");
+                    energy += model.energy(remaining, last.voltage);
+                }
+                Some(energy)
+            }
+            _ => None,
+        }
+    }
+
+    /// The memory-persistence model of a [`Memory`](Self::Memory) spec
+    /// (`None` for transient scenarios) — the hook
+    /// [`NoisyFpu`](crate::NoisyFpu) uses to allocate shadow state.
+    pub fn memory_model(&self) -> Option<&MemoryFaultModel> {
+        match self {
+            FaultModelSpec::Memory { model } => Some(model),
+            _ => None,
+        }
+    }
+
     /// Resolves a named preset, for CLI flags: the historical bit-model
-    /// names (`emulated`, `uniform`, `msb`, `lsb`, all transient flips)
-    /// plus one representative of each scenario family (`stuck0`,
-    /// `stuck1`, `burst`, `operand`, `intermittent`, `muldiv`).
+    /// names (`emulated`, `uniform`, `msb`, `lsb`, all transient flips),
+    /// one representative of each transient scenario family (`stuck0`,
+    /// `stuck1`, `burst`, `operand`, `intermittent`, `muldiv`), the
+    /// voltage-linked scenarios (`voltage` at 0.7 V, `dvfs` stepping
+    /// 0.8 → 0.7 → 0.65 V), and the memory-persistent scenarios
+    /// (`regfile`, a 32-entry register file scrubbed every 10k FLOPs;
+    /// `memory`, a 64-word unscrubbed data array).
     pub fn from_preset(name: &str) -> Option<Self> {
         let emulated = BitFaultModel::emulated;
         Some(match name {
@@ -420,6 +702,26 @@ impl FaultModelSpec {
             "muldiv" => {
                 Self::op_selective(vec![FlopOp::Mul, FlopOp::Div], Self::transient(emulated()))
             }
+            "voltage" => Self::voltage_linked(VoltageErrorModel::paper_figure_5_2(), 0.7),
+            "dvfs" => Self::dvfs(
+                VoltageErrorModel::paper_figure_5_2(),
+                vec![
+                    DvfsStep {
+                        flops: 1000,
+                        voltage: 0.8,
+                    },
+                    DvfsStep {
+                        flops: 1000,
+                        voltage: 0.7,
+                    },
+                    DvfsStep {
+                        flops: 1000,
+                        voltage: 0.65,
+                    },
+                ],
+            ),
+            "regfile" => Self::register_file(32, emulated(), 10_000),
+            "memory" => Self::array_resident(64, emulated(), 0),
             _ => return None,
         })
     }
@@ -475,6 +777,24 @@ impl FaultModelSpec {
                     inner.to_json(),
                 )
             }
+            FaultModelSpec::VoltageLinked { model, voltage } => format!(
+                "{{\"kind\":\"voltage_linked\",\"voltage\":{voltage},\"rate\":{},\
+                 \"nominal_voltage\":{}}}",
+                model.error_rate(*voltage),
+                model.nominal_voltage(),
+            ),
+            FaultModelSpec::DvfsSchedule { model, steps } => {
+                let steps: Vec<String> = steps
+                    .iter()
+                    .map(|s| format!("{{\"flops\":{},\"voltage\":{}}}", s.flops, s.voltage))
+                    .collect();
+                format!(
+                    "{{\"kind\":\"dvfs\",\"steps\":[{}],\"nominal_voltage\":{}}}",
+                    steps.join(","),
+                    model.nominal_voltage(),
+                )
+            }
+            FaultModelSpec::Memory { model } => model.to_json(),
         }
     }
 
@@ -504,15 +824,48 @@ impl FaultModelSpec {
                 inner,
                 duty,
                 period,
-            } => Arc::new(DutyCycleFault {
-                inner: inner.build(),
-                duty: *duty,
-                period: *period,
-                active: ((duty * *period as f64).round() as u64).clamp(1, *period),
+            } => {
+                // Belt-and-braces for specs assembled as enum literals,
+                // bypassing the constructor's nesting guard: an
+                // injector-level inner would silently lose its rate /
+                // persistence semantics here.
+                assert!(
+                    !inner.is_injector_level(),
+                    "{} is injector-level and cannot nest inside a combinator",
+                    inner.name()
+                );
+                Arc::new(DutyCycleFault {
+                    inner: inner.build(),
+                    duty: *duty,
+                    period: *period,
+                    active: ((duty * *period as f64).round() as u64).clamp(1, *period),
+                })
+            }
+            FaultModelSpec::OpSelective { inner, ops } => {
+                assert!(
+                    !inner.is_injector_level(),
+                    "{} is injector-level and cannot nest inside a combinator",
+                    inner.name()
+                );
+                Arc::new(OpSelectiveFault {
+                    inner: inner.build(),
+                    ops: ops.clone(),
+                })
+            }
+            FaultModelSpec::VoltageLinked { voltage, .. } => Arc::new(VoltageLinkedFlip {
+                name: format!("vdd{voltage:.3}_transient_emulated"),
+                inner: TransientFlip {
+                    model: BitFaultModel::emulated(),
+                },
             }),
-            FaultModelSpec::OpSelective { inner, ops } => Arc::new(OpSelectiveFault {
-                inner: inner.build(),
-                ops: ops.clone(),
+            FaultModelSpec::DvfsSchedule { steps, .. } => Arc::new(VoltageLinkedFlip {
+                name: format!("dvfs{}step_transient_emulated", steps.len()),
+                inner: TransientFlip {
+                    model: BitFaultModel::emulated(),
+                },
+            }),
+            FaultModelSpec::Memory { model } => Arc::new(MemoryShadowFault {
+                model: model.clone(),
             }),
         }
     }
@@ -533,6 +886,19 @@ impl From<BitFaultModel> for FaultModelSpec {
     fn from(model: BitFaultModel) -> Self {
         Self::transient(model)
     }
+}
+
+/// Looks up the rate of the segment covering `flop` in a
+/// [`FaultModelSpec::dvfs_segments`] list — the single lookup rule shared
+/// by `dvfs_rate_at` and `NoisyFpu`'s strike scheduler. The final segment
+/// ends at `u64::MAX`, so the scan only falls through to the last
+/// segment's rate at `flop == u64::MAX` itself.
+pub(crate) fn dvfs_segment_rate(segments: &[(u64, f64)], flop: u64) -> f64 {
+    segments
+        .iter()
+        .find(|&&(end, _)| flop < end)
+        .map(|&(_, rate)| rate)
+        .unwrap_or_else(|| segments.last().expect("schedule is non-empty").1)
 }
 
 fn width_name(width: BitWidth) -> &'static str {
@@ -582,6 +948,16 @@ mod tests {
             FaultModelSpec::operand(BitFaultModel::uniform(BitWidth::F64)),
             FaultModelSpec::intermittent(0.25, 64, FaultModelSpec::default()),
             FaultModelSpec::op_selective(vec![FlopOp::Mul], FaultModelSpec::default()),
+            FaultModelSpec::voltage_linked(VoltageErrorModel::paper_figure_5_2(), 0.7),
+            FaultModelSpec::dvfs(
+                VoltageErrorModel::paper_figure_5_2(),
+                vec![DvfsStep {
+                    flops: 100,
+                    voltage: 0.8,
+                }],
+            ),
+            FaultModelSpec::register_file(32, BitFaultModel::emulated(), 1000),
+            FaultModelSpec::array_resident(64, BitFaultModel::emulated(), 0),
         ]
     }
 
@@ -805,6 +1181,97 @@ mod tests {
             FaultModelSpec::stuck_at(7, false, BitWidth::F32).to_json(),
             "{\"kind\":\"stuck_at\",\"bit\":7,\"stuck_to\":0,\"width\":\"f32\"}"
         );
+    }
+
+    #[test]
+    fn voltage_linked_spec_overrides_the_rate() {
+        let model = VoltageErrorModel::paper_figure_5_2();
+        let spec = FaultModelSpec::voltage_linked(model.clone(), 0.7);
+        assert_eq!(spec.name(), "vdd0.700_transient_emulated");
+        assert_eq!(spec.voltage(), Some(0.7));
+        assert_eq!(
+            spec.rate_override().expect("voltage-linked").fraction(),
+            model.error_rate(0.7).min(1.0)
+        );
+        assert_eq!(spec.energy_for_flops(1000), Some(model.energy(1000, 0.7)));
+        let json = spec.to_json();
+        assert!(json.contains("\"kind\":\"voltage_linked\""));
+        assert!(json.contains("\"voltage\":0.7"));
+        // Non-voltage specs have no rate or energy semantics.
+        assert_eq!(FaultModelSpec::default().rate_override(), None);
+        assert_eq!(FaultModelSpec::default().energy_for_flops(10), None);
+        assert_eq!(FaultModelSpec::default().voltage(), None);
+    }
+
+    #[test]
+    fn dvfs_schedule_rates_and_energy_follow_the_steps() {
+        let model = VoltageErrorModel::paper_figure_5_2();
+        let spec = FaultModelSpec::dvfs(
+            model.clone(),
+            vec![
+                DvfsStep {
+                    flops: 100,
+                    voltage: 0.9,
+                },
+                DvfsStep {
+                    flops: 50,
+                    voltage: 0.7,
+                },
+            ],
+        );
+        assert_eq!(spec.name(), "dvfs2step_transient_emulated");
+        assert_eq!(spec.dvfs_rate_at(0), Some(model.error_rate(0.9)));
+        assert_eq!(spec.dvfs_rate_at(99), Some(model.error_rate(0.9)));
+        assert_eq!(spec.dvfs_rate_at(100), Some(model.error_rate(0.7)));
+        // The last step's voltage persists past the schedule's end.
+        assert_eq!(spec.dvfs_rate_at(10_000), Some(model.error_rate(0.7)));
+        assert_eq!(FaultModelSpec::default().dvfs_rate_at(0), None);
+        // Piecewise energy: 100 FLOPs at 0.9, 50 at 0.7, 850 at 0.7.
+        let expected = model.energy(100, 0.9) + model.energy(50, 0.7) + model.energy(850, 0.7);
+        let got = spec.energy_for_flops(1000).expect("dvfs has energy");
+        assert!((got - expected).abs() < 1e-9);
+        // Under-schedule runs stop early.
+        let short = spec.energy_for_flops(60).expect("dvfs has energy");
+        assert!((short - model.energy(60, 0.9)).abs() < 1e-9);
+        assert!(spec.to_json().contains("\"kind\":\"dvfs\""));
+    }
+
+    #[test]
+    fn memory_specs_expose_their_model() {
+        let spec = FaultModelSpec::register_file(32, BitFaultModel::emulated(), 500);
+        assert_eq!(spec.name(), "regfile32_scrub500_emulated");
+        assert!(spec.memory_model().is_some());
+        assert!(spec.is_injector_level());
+        assert_eq!(FaultModelSpec::default().memory_model(), None);
+        let array = FaultModelSpec::array_resident(8, BitFaultModel::emulated(), 0);
+        assert_eq!(array.name(), "array8_scrub0_emulated");
+        assert!(array.to_json().contains("\"kind\":\"array_resident\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "injector-level")]
+    fn injector_level_specs_cannot_nest() {
+        FaultModelSpec::intermittent(
+            0.5,
+            10,
+            FaultModelSpec::register_file(4, BitFaultModel::emulated(), 0),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "injector-level")]
+    fn literal_nested_injector_specs_fail_at_build() {
+        // Assembling the enum directly bypasses the constructor guard;
+        // build() still refuses to silently degrade the semantics.
+        let spec = FaultModelSpec::OpSelective {
+            inner: Box::new(FaultModelSpec::array_resident(
+                8,
+                BitFaultModel::emulated(),
+                0,
+            )),
+            ops: vec![FlopOp::Mul],
+        };
+        spec.build();
     }
 
     #[test]

@@ -14,8 +14,8 @@
 //! [`protected`]: StochasticProcessor::protected
 
 use crate::energy::VoltageErrorModel;
-use crate::fault::BitFaultModel;
 use crate::fpu::{FlopOp, Fpu, NoisyFpu, ReliableFpu};
+use crate::model::FaultModelSpec;
 
 /// A voltage-overscaled processor with a fault-prone data plane and a
 /// nominal-voltage protected mode.
@@ -46,7 +46,7 @@ use crate::fpu::{FlopOp, Fpu, NoisyFpu, ReliableFpu};
 #[derive(Debug, Clone)]
 pub struct StochasticProcessor {
     model: VoltageErrorModel,
-    bit_model: BitFaultModel,
+    fault: FaultModelSpec,
     seed: u64,
     voltage: f64,
     data: NoisyFpu,
@@ -83,12 +83,29 @@ impl SystemEnergyReport {
 
 impl StochasticProcessor {
     /// Creates a processor at the model's nominal voltage.
-    pub fn new(model: VoltageErrorModel, bit_model: BitFaultModel, seed: u64) -> Self {
+    ///
+    /// `fault` accepts any [`FaultModelSpec`] (or a bare
+    /// [`BitFaultModel`](crate::BitFaultModel), the paper's transient
+    /// flip) — including the memory-persistent scenarios, whose shadow
+    /// state rides on the data plane. The processor itself owns the
+    /// voltage axis, so voltage-linked / DVFS specs (which would fight
+    /// [`set_voltage`](Self::set_voltage) over the rate) are rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fault` is a voltage-linked or DVFS spec.
+    pub fn new(model: VoltageErrorModel, fault: impl Into<FaultModelSpec>, seed: u64) -> Self {
+        let fault = fault.into();
+        assert!(
+            !fault.pins_operating_point(),
+            "{} pins its own voltage; drive the processor's voltage with set_voltage instead",
+            fault.name()
+        );
         let voltage = model.nominal_voltage();
-        let data = NoisyFpu::new(model.fault_rate_at(voltage), bit_model.clone(), seed);
+        let data = NoisyFpu::new(model.fault_rate_at(voltage), fault.clone(), seed);
         StochasticProcessor {
             model,
-            bit_model,
+            fault,
             seed,
             voltage,
             data,
@@ -111,7 +128,9 @@ impl StochasticProcessor {
 
     /// Changes the supply voltage. The data plane's fault rate follows the
     /// model; energy spent so far at the old operating point is banked and
-    /// the FLOP/fault counters carry over.
+    /// the FLOP/fault counters carry over. A memory-persistent fault
+    /// spec's shadow state is scrubbed by the transition (a DVFS switch
+    /// flushes and revalidates storage).
     ///
     /// # Panics
     ///
@@ -133,7 +152,7 @@ impl StochasticProcessor {
             .wrapping_add(1);
         self.data = NoisyFpu::new(
             self.model.fault_rate_at(voltage),
-            self.bit_model.clone(),
+            self.fault.clone(),
             self.seed,
         );
     }
@@ -180,6 +199,7 @@ impl Fpu for StochasticProcessor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::BitFaultModel;
 
     fn processor(seed: u64) -> StochasticProcessor {
         StochasticProcessor::new(
@@ -281,5 +301,31 @@ mod tests {
     #[should_panic(expected = "voltage must be positive")]
     fn rejects_bad_voltage() {
         processor(1).set_voltage(-1.0);
+    }
+
+    #[test]
+    fn memory_fault_specs_ride_the_data_plane() {
+        let mut cpu = StochasticProcessor::new(
+            VoltageErrorModel::paper_figure_5_2(),
+            FaultModelSpec::register_file(8, BitFaultModel::emulated(), 0),
+            6,
+        );
+        cpu.set_voltage(0.6);
+        for _ in 0..5_000 {
+            cpu.add(1.0, 1.0);
+        }
+        assert!(
+            cpu.faults() > 0,
+            "persistent faults install on the data plane"
+        );
+        let report = cpu.energy_report();
+        assert_eq!(report.data_flops, 5_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "pins its own voltage")]
+    fn voltage_linked_specs_are_rejected() {
+        let model = VoltageErrorModel::paper_figure_5_2();
+        StochasticProcessor::new(model.clone(), FaultModelSpec::voltage_linked(model, 0.7), 1);
     }
 }

@@ -20,6 +20,10 @@ fn shipped_fault_models() -> Vec<FaultModelSpec> {
         "operand",
         "intermittent",
         "muldiv",
+        "voltage",
+        "dvfs",
+        "regfile",
+        "memory",
     ]
     .iter()
     .map(|name| FaultModelSpec::from_preset(name).expect("preset exists"))
@@ -138,6 +142,113 @@ proptest! {
         let back = model.voltage_for_rate(rate);
         prop_assert!((back - v).abs() < 1e-6);
         prop_assert!(model.power(v) <= 1.0 + 1e-12);
+    }
+
+    /// ISSUE 4 satellite: the voltage ↔ rate maps are monotone (more
+    /// overscale, more errors — in both directions), and the round-trip
+    /// through either map lands on the clamp of the input, never beyond
+    /// the calibrated range, for *any* non-NaN input.
+    #[test]
+    fn voltage_rate_round_trip_is_monotone_and_clamped(
+        v_lo in 0.0f64..2.0,
+        dv in 0.0f64..1.0,
+        r_exp in -14.0f64..1.0,
+    ) {
+        let model = VoltageErrorModel::paper_figure_5_2();
+        // Monotonicity of error_rate: a lower voltage never errs less.
+        let v_hi = v_lo + dv;
+        prop_assert!(model.error_rate(v_lo) >= model.error_rate(v_hi));
+        // Monotonicity of voltage_for_rate: tolerating a higher rate
+        // never forces a higher voltage.
+        let r = 10f64.powf(r_exp);
+        prop_assert!(model.voltage_for_rate(r) >= model.voltage_for_rate(r * 10.0));
+        // Round trips clamp to the calibrated range exactly.
+        let v_back = model.voltage_for_rate(model.error_rate(v_lo));
+        prop_assert!((model.min_voltage()..=model.max_voltage()).contains(&v_back));
+        if (model.min_voltage()..=model.max_voltage()).contains(&v_lo) {
+            prop_assert!((v_back - v_lo).abs() < 1e-6, "{v_lo} -> {v_back}");
+        } else {
+            prop_assert_eq!(v_back, v_lo.clamp(model.min_voltage(), model.max_voltage()));
+        }
+        let r_back = model.error_rate(model.voltage_for_rate(r));
+        prop_assert!((model.min_rate()..=model.max_rate()).contains(&r_back));
+        if !(model.min_rate()..=model.max_rate()).contains(&r) {
+            prop_assert_eq!(r_back, r.clamp(model.min_rate(), model.max_rate()));
+        }
+    }
+
+    /// ISSUE 4 satellite: memory-fault persistence. Across any run, a
+    /// corrupted storage slot's bits stay resident — between snapshots a
+    /// mask may only (a) gain bits (a new install), (b) clear because the
+    /// scrubber swept the FLOP boundary, or (c) clear because the op
+    /// overwrote that word (array-resident only). Corruption never decays
+    /// on its own.
+    #[test]
+    fn memory_faults_persist_until_scrubbed_or_overwritten(
+        seed in any::<u64>(),
+        rate in 0.02f64..0.3,
+        words in 2usize..16,
+        scrub in 0u64..200,
+    ) {
+        // Values below 16 mean "never scrubbed" so the strategy covers
+        // both scrubbed and unscrubbed runs.
+        let scrub_interval = if scrub < 16 { 0 } else { scrub };
+        let spec = FaultModelSpec::array_resident(
+            words,
+            BitFaultModel::emulated(),
+            scrub_interval,
+        );
+        let mut fpu = NoisyFpu::new(FaultRate::per_flop(rate), spec, seed);
+        let mut before: Vec<u64> =
+            fpu.memory_state().expect("memory spec").masks().to_vec();
+        for flop in 0..500u64 {
+            let _ = fpu.add(1.0 + flop as f64, 0.5);
+            let after = fpu.memory_state().expect("memory spec").masks();
+            let mut installs = 0usize;
+            for (w, (&b, &a)) in before.iter().zip(after).enumerate() {
+                let scrubbed =
+                    scrub_interval > 0 && flop > 0 && flop % scrub_interval == 0;
+                let overwritten = w as u64 == flop % words as u64;
+                let base = if scrubbed || overwritten { 0 } else { b };
+                prop_assert_eq!(
+                    a & base, base,
+                    "word {} lost resident bits outside scrub/overwrite", w
+                );
+                if a & !base != 0 {
+                    installs += 1;
+                    prop_assert_eq!(
+                        (a & !base).count_ones(), 1,
+                        "an install adds exactly one bit"
+                    );
+                }
+            }
+            prop_assert!(installs <= 1, "at most one install per op");
+            before = after.to_vec();
+        }
+        // The run actually exercised persistence: faults were installed.
+        prop_assert!(fpu.faults() > 0, "no faults installed at rate {rate}");
+    }
+
+    /// Register-file damage additionally survives overwrites: only the
+    /// scrubber ever clears it.
+    #[test]
+    fn register_damage_survives_overwrites(seed in any::<u64>()) {
+        let spec = FaultModelSpec::register_file(8, BitFaultModel::emulated(), 0);
+        let mut fpu = NoisyFpu::new(FaultRate::per_flop(0.1), spec, seed);
+        let mut resident = 0u64;
+        for i in 0..400u64 {
+            let _ = fpu.mul(1.0 + i as f64, 2.0);
+            let bits: u64 = fpu
+                .memory_state()
+                .expect("memory spec")
+                .masks()
+                .iter()
+                .map(|m| u64::from(m.count_ones()))
+                .sum();
+            prop_assert!(bits >= resident, "unscrubbed damage decayed");
+            resident = bits;
+        }
+        prop_assert!(resident > 0, "no damage installed");
     }
 
     #[test]
