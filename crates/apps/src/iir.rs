@@ -344,11 +344,9 @@ impl BandedResidualCost {
     }
 
     fn residual<F: Fpu>(&self, x: &[f64], fpu: &mut F) -> Vec<f64> {
-        let bx = self.b.matvec(fpu, x).expect("x has dim() entries");
-        bx.iter()
-            .zip(&self.rhs)
-            .map(|(&bxi, &ri)| fpu.sub(bxi, ri))
-            .collect()
+        let mut r = self.b.matvec(fpu, x).expect("x has dim() entries");
+        fpu.sub_assign_batch(&self.rhs, &mut r);
+        r
     }
 }
 
@@ -471,9 +469,9 @@ impl CostFunction for BandedResidualCost {
     fn gradient<F: Fpu>(&self, x: &[f64], fpu: &mut F, grad: &mut [f64]) {
         let r = self.residual(x, fpu);
         let btr = self.b.matvec_t(fpu, &r).expect("r has dim() entries");
-        for (g, v) in grad.iter_mut().zip(btr) {
-            *g = fpu.mul(2.0, v);
-        }
+        // grad = 2·Bᵀr, batched (the copy is data movement, not a FLOP).
+        grad.copy_from_slice(&btr);
+        fpu.scale_batch(2.0, grad);
     }
 }
 

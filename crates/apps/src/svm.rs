@@ -192,11 +192,9 @@ impl SvmCost {
     /// The margin `yᵢ (w·xᵢ + b)` of point `i` through the FPU.
     fn margin<F: Fpu>(&self, i: usize, wb: &[f64], fpu: &mut F) -> f64 {
         let d = self.data.features();
-        let mut score = wb[d]; // bias
-        for (wj, xj) in wb[..d].iter().zip(&self.data.points[i]) {
-            let p = fpu.mul(*wj, *xj);
-            score = fpu.add(score, p);
-        }
+        // Bias-initialized batched dot `b + w·xᵢ` (bit-identical to the
+        // per-op loop it replaces).
+        let score = fpu.gemv_row(wb[d], &wb[..d], &self.data.points[i]);
         fpu.mul(self.data.labels[i], score)
     }
 }
@@ -234,9 +232,9 @@ impl CostFunction for SvmCost {
             "parameter vector has the wrong dimension"
         );
         let d = self.data.features();
-        for (g, w) in grad[..d].iter_mut().zip(&wb[..d]) {
-            *g = fpu.mul(self.lambda, *w);
-        }
+        // grad = λ·w, batched (the copy is data movement, not a FLOP).
+        grad[..d].copy_from_slice(&wb[..d]);
+        fpu.scale_batch(self.lambda, &mut grad[..d]);
         grad[d] = 0.0;
         let inv_m = 1.0 / self.data.len() as f64;
         for i in 0..self.data.len() {
@@ -244,10 +242,7 @@ impl CostFunction for SvmCost {
             // Subgradient of [1 − m]₊: active when m < 1.
             if fpu.lt(m, 1.0) {
                 let coef = -self.data.labels[i] * inv_m;
-                for (g, xj) in grad[..d].iter_mut().zip(&self.data.points[i]) {
-                    let p = fpu.mul(coef, *xj);
-                    *g = fpu.add(*g, p);
-                }
+                fpu.axpy_batch(coef, &self.data.points[i], &mut grad[..d]);
                 grad[d] = fpu.add(grad[d], coef);
             }
         }

@@ -1,40 +1,60 @@
 //! Engine throughput measurement: trials/second of a representative
-//! sorting sweep at 1 worker thread vs all cores, emitted as JSON for the
-//! perf trajectory (`BENCH_engine.json`).
+//! sorting sweep at 1 worker thread vs all cores, plus a batched-vs-scalar
+//! FPU dispatch comparison, emitted as JSON for the perf trajectory
+//! (`BENCH_engine.json`).
 //!
-//! The two runs execute identical work with identical results (the
-//! engine's determinism guarantee), so the ratio is pure parallel speedup.
+//! The serial and parallel runs execute identical work with identical
+//! results (the engine's determinism guarantee), so their ratio is pure
+//! parallel speedup. The batched and scalar runs also execute identical
+//! work with identical results (the FPU's bit-identity contract — the
+//! countdown skip-ahead fast path never changes a single bit), so their
+//! ratio is pure dispatch overhead removed; the comparison asserts the
+//! per-trial verdicts and FLOP/fault counters match before timing counts.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use robustify_apps::sorting::SortProblem;
 use robustify_bench::ExperimentOptions;
-use robustify_core::{AggressiveStepping, GradientGuard, SolverSpec, StepSchedule};
-use robustify_engine::{SweepCase, SweepResult, SweepSpec};
+use robustify_core::{
+    AggressiveStepping, GradientGuard, RobustProblem, SolverSpec, StepSchedule, Verdict,
+};
+use robustify_engine::{derive_trial_seed, problem_seed, SweepCase, SweepResult, SweepSpec};
+use std::time::{Duration, Instant};
+use stochastic_fpu::{FaultRate, Fpu, NoisyFpu};
 
-fn cases() -> Vec<SweepCase> {
+const RATES_PCT: [f64; 3] = [1.0, 5.0, 10.0];
+
+fn specs() -> Vec<(&'static str, SolverSpec)> {
     let guard = GradientGuard::Adaptive {
         factor: 3.0,
         reject: 30.0,
     };
     vec![
-        SweepCase::problem("baseline", SolverSpec::baseline(), |seed| {
-            SortProblem::random(&mut StdRng::seed_from_u64(seed), 5)
-        }),
-        SweepCase::problem(
+        ("baseline", SolverSpec::baseline()),
+        (
             "sgd_as_sqs",
             SolverSpec::sgd(10_000, StepSchedule::Sqrt { gamma0: 0.1 })
                 .with_guard(guard)
                 .with_aggressive_stepping(AggressiveStepping::default()),
-            |seed| SortProblem::random(&mut StdRng::seed_from_u64(seed), 5),
         ),
     ]
+}
+
+fn cases() -> Vec<SweepCase> {
+    specs()
+        .into_iter()
+        .map(|(label, spec)| {
+            SweepCase::problem(label, spec, |seed| {
+                SortProblem::random(&mut StdRng::seed_from_u64(seed), 5)
+            })
+        })
+        .collect()
 }
 
 fn run(opts: &ExperimentOptions, trials: usize, threads: usize) -> SweepResult {
     SweepSpec::new(
         "engine_throughput",
-        vec![1.0, 5.0, 10.0],
+        RATES_PCT.to_vec(),
         trials,
         opts.seed,
         opts.fault_model_spec(),
@@ -43,11 +63,57 @@ fn run(opts: &ExperimentOptions, trials: usize, threads: usize) -> SweepResult {
     .run(&cases())
 }
 
+/// One serial pass over the whole grid with the FPU's skip-ahead fast path
+/// forced on or off, replicating the engine's per-trial seeding exactly.
+/// Returns the wall time and the per-trial `(success, flops, faults)`
+/// records used to assert batched == scalar.
+fn manual_serial_run(
+    opts: &ExperimentOptions,
+    trials: usize,
+    batched: bool,
+) -> (Duration, Vec<(bool, u64, u64)>) {
+    let specs = specs();
+    let mut records = Vec::with_capacity(specs.len() * RATES_PCT.len() * trials);
+    let start = Instant::now();
+    for (_, spec) in &specs {
+        for pct in RATES_PCT {
+            for trial in 0..trials as u64 {
+                let problem = SortProblem::random(
+                    &mut StdRng::seed_from_u64(problem_seed(opts.seed, trial)),
+                    5,
+                );
+                let mut fpu = NoisyFpu::new(
+                    FaultRate::percent_of_flops(pct),
+                    opts.fault_model_spec(),
+                    derive_trial_seed(opts.seed, trial),
+                );
+                fpu.set_batching(batched);
+                let Verdict { success, .. } = problem.run_trial(spec, &mut fpu);
+                records.push((success, fpu.flops(), fpu.faults()));
+            }
+        }
+    }
+    (start.elapsed(), records)
+}
+
 fn main() {
     let opts = ExperimentOptions::parse();
     let trials = opts.trials(40, 8);
 
     let serial = run(&opts, trials, 1);
+
+    // Batched vs scalar FPU dispatch on the identical serial workload: the
+    // countdown skip-ahead fast path must change throughput only, never a
+    // result bit.
+    let (batched_elapsed, batched_records) = manual_serial_run(&opts, trials, true);
+    let (scalar_elapsed, scalar_records) = manual_serial_run(&opts, trials, false);
+    assert_eq!(
+        batched_records, scalar_records,
+        "bit-identity contract violated: batched and scalar dispatch disagree"
+    );
+    let total = batched_records.len() as f64;
+    let batched_tps = total / batched_elapsed.as_secs_f64();
+    let scalar_tps = total / scalar_elapsed.as_secs_f64();
 
     // On a single-core host the "parallel" run is the serial run plus
     // scheduling overhead; a ~0.95 ratio would read as a perf regression
@@ -58,12 +124,17 @@ fn main() {
     if host_cores == 1 {
         println!(
             "{{\"sweep\":\"sorting fig6.1-style\",\"trials\":{},\"threads_serial\":1,\
-             \"elapsed_serial_s\":{:.3},\"trials_per_s_serial\":{:.2},\"threads_parallel\":null,\
+             \"elapsed_serial_s\":{:.3},\"trials_per_s_serial\":{:.2},\
+             \"trials_per_s_scalar_dispatch\":{:.2},\"trials_per_s_batched_dispatch\":{:.2},\
+             \"batch_speedup\":{:.2},\"threads_parallel\":null,\
              \"elapsed_parallel_s\":null,\"trials_per_s_parallel\":null,\"speedup\":null,\
              \"note\":\"single-core host; parallel timing skipped\"}}",
             serial.total_trials(),
             serial.elapsed().as_secs_f64(),
             serial.throughput(),
+            scalar_tps,
+            batched_tps,
+            batched_tps / scalar_tps,
         );
         return;
     }
@@ -77,11 +148,16 @@ fn main() {
 
     println!(
         "{{\"sweep\":\"sorting fig6.1-style\",\"trials\":{},\"threads_serial\":1,\
-         \"elapsed_serial_s\":{:.3},\"trials_per_s_serial\":{:.2},\"threads_parallel\":{},\
+         \"elapsed_serial_s\":{:.3},\"trials_per_s_serial\":{:.2},\
+         \"trials_per_s_scalar_dispatch\":{:.2},\"trials_per_s_batched_dispatch\":{:.2},\
+         \"batch_speedup\":{:.2},\"threads_parallel\":{},\
          \"elapsed_parallel_s\":{:.3},\"trials_per_s_parallel\":{:.2},\"speedup\":{:.2}}}",
         serial.total_trials(),
         serial.elapsed().as_secs_f64(),
         serial.throughput(),
+        scalar_tps,
+        batched_tps,
+        batched_tps / scalar_tps,
         parallel.threads(),
         parallel.elapsed().as_secs_f64(),
         parallel.throughput(),

@@ -101,25 +101,25 @@ impl AffineConstraints {
 
     /// Evaluates all rows `A x − b` through the FPU.
     pub fn evaluate<F: Fpu>(&self, x: &[f64], fpu: &mut F) -> Vec<f64> {
-        let ax = self.a.matvec(fpu, x).expect("x has dim() entries");
-        ax.iter()
-            .zip(&self.b)
-            .map(|(&axi, &bi)| fpu.sub(axi, bi))
-            .collect()
+        let mut r = self.a.matvec(fpu, x).expect("x has dim() entries");
+        fpu.sub_assign_batch(&self.b, &mut r);
+        r
     }
 
     /// Adds `coef × aᵢ` to `grad` for row `i`, through the FPU.
+    ///
+    /// Batched per maximal run of non-zero row entries
+    /// ([`for_nonzero_runs`](robustify_linalg::for_nonzero_runs)), which
+    /// preserves the historical per-entry zero skip — and with it the FLOP
+    /// sequence — exactly.
     fn accumulate_row<F: Fpu>(&self, i: usize, coef: f64, fpu: &mut F, grad: &mut [f64]) {
         if coef == 0.0 {
             return;
         }
-        for (g, &aij) in grad.iter_mut().zip(self.a.row(i)) {
-            if aij == 0.0 {
-                continue;
-            }
-            let p = fpu.mul(coef, aij);
-            *g = fpu.add(*g, p);
-        }
+        let row = self.a.row(i);
+        robustify_linalg::for_nonzero_runs(row, |start, end| {
+            fpu.axpy_batch(coef, &row[start..end], &mut grad[start..end]);
+        });
     }
 }
 

@@ -341,22 +341,29 @@ impl Default for BitFaultModel {
 
 /// Running statistics collected by a fault-injecting FPU.
 ///
+/// All counters are mutated through exactly one entry point,
+/// [`record_fault`](Self::record_fault), so the structural invariants —
+/// the bit histogram sums to [`faults`](Self::faults), and the
+/// mantissa/high-bit split partitions it — hold by construction no matter
+/// which injection path (transient corruption, memory install) recorded
+/// the event.
+///
 /// # Examples
 ///
 /// ```
 /// use stochastic_fpu::FaultStats;
 ///
 /// let stats = FaultStats::default();
-/// assert_eq!(stats.faults, 0);
+/// assert_eq!(stats.faults(), 0);
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultStats {
     /// Total faults injected.
-    pub faults: u64,
+    faults: u64,
     /// Faults that landed in the sign or exponent field.
-    pub high_bit_faults: u64,
+    high_bit_faults: u64,
     /// Faults that landed in the mantissa field.
-    pub mantissa_faults: u64,
+    mantissa_faults: u64,
     /// Per-bit-position fault counts, LSB first (grown on demand; a fault
     /// event records exactly one position — its primary/sampled bit — so
     /// the histogram always sums to `faults`).
@@ -364,8 +371,10 @@ pub struct FaultStats {
 }
 
 impl FaultStats {
-    /// Records a fault at `bit` for the given width.
-    pub fn record(&mut self, width: BitWidth, bit: usize) {
+    /// Records one fault event at `bit` for the given width — the single
+    /// owner of every counter update (both the transient corruption path
+    /// and the memory-persistent install path call this and nothing else).
+    pub fn record_fault(&mut self, width: BitWidth, bit: usize) {
         self.faults += 1;
         if bit >= width.mantissa_bits() {
             self.high_bit_faults += 1;
@@ -376,6 +385,21 @@ impl FaultStats {
             self.bit_histogram.resize(bit + 1, 0);
         }
         self.bit_histogram[bit] += 1;
+    }
+
+    /// Total faults injected.
+    pub fn faults(&self) -> u64 {
+        self.faults
+    }
+
+    /// Faults that landed in the sign or exponent field.
+    pub fn high_bit_faults(&self) -> u64 {
+        self.high_bit_faults
+    }
+
+    /// Faults that landed in the mantissa field.
+    pub fn mantissa_faults(&self) -> u64 {
+        self.mantissa_faults
     }
 
     /// Per-bit-position fault counts, LSB first. Positions beyond the
@@ -570,12 +594,12 @@ mod tests {
     #[test]
     fn fault_stats_classifies_fields() {
         let mut stats = FaultStats::default();
-        stats.record(BitWidth::F64, 0); // mantissa
-        stats.record(BitWidth::F64, 63); // sign
-        stats.record(BitWidth::F64, 52); // exponent LSB
-        assert_eq!(stats.faults, 3);
-        assert_eq!(stats.mantissa_faults, 1);
-        assert_eq!(stats.high_bit_faults, 2);
+        stats.record_fault(BitWidth::F64, 0); // mantissa
+        stats.record_fault(BitWidth::F64, 63); // sign
+        stats.record_fault(BitWidth::F64, 52); // exponent LSB
+        assert_eq!(stats.faults(), 3);
+        assert_eq!(stats.mantissa_faults(), 1);
+        assert_eq!(stats.high_bit_faults(), 2);
         assert_eq!(stats.bit_histogram().iter().sum::<u64>(), 3);
         assert_eq!(stats.bit_histogram()[0], 1);
         assert_eq!(stats.bit_histogram()[52], 1);

@@ -59,6 +59,26 @@ impl FlopOp {
 /// native arithmetic instead, mirroring the paper's assumption that those
 /// phases are protected.
 ///
+/// # Batched execution and the bit-identity contract
+///
+/// The paper's injector draws the *interval between* faults from an LFSR,
+/// so an FPU knows exactly how many upcoming FLOPs are guaranteed exact.
+/// The [`run_exact`](Self::run_exact) / [`commit_exact`](Self::commit_exact)
+/// pair exposes that window, and the provided batch kernels
+/// ([`dot_batch`](Self::dot_batch), [`axpy_batch`](Self::axpy_batch),
+/// [`scale_batch`](Self::scale_batch), [`gemv_row`](Self::gemv_row), …)
+/// use it to run the fault-free stretch as a tight pure-`f64` loop with a
+/// single counter bump, falling back to per-op [`execute`](Self::execute)
+/// only for the operation the fault schedule actually strikes.
+///
+/// Every batch kernel documents its exact per-op expansion and is
+/// **bit-identical** to issuing that expansion through `execute` one
+/// operation at a time: same results, same FLOP count, same LFSR draw
+/// sequence, same strike indices, same fault statistics. Implementors only
+/// ever override `run_exact`/`commit_exact`; the shared kernel bodies make
+/// the equivalence hold by construction (and the `stochastic_fpu` batch
+/// proptests pin it for every shipped fault-model spec).
+///
 /// # Examples
 ///
 /// ```
@@ -67,6 +87,8 @@ impl FlopOp {
 /// let mut fpu = ReliableFpu::new();
 /// assert_eq!(fpu.add(2.0, 3.0), 5.0);
 /// assert_eq!(fpu.flops(), 1);
+/// assert_eq!(fpu.dot_batch(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+/// assert_eq!(fpu.flops(), 5);
 /// ```
 pub trait Fpu {
     /// Executes `op` on the operands, counting one FLOP and possibly
@@ -79,6 +101,37 @@ pub trait Fpu {
     /// Total faults injected so far (zero for reliable FPUs).
     fn faults(&self) -> u64 {
         0
+    }
+
+    /// How many of the next `max` FLOPs are *guaranteed* to execute
+    /// exactly — no fault strike, no per-op injector state (DVFS Bernoulli
+    /// draws, memory-persistent shadow storage) — so a caller may compute
+    /// them natively and account for them with
+    /// [`commit_exact`](Self::commit_exact).
+    ///
+    /// The default is the conservative `0` ("no guarantee; go through
+    /// `execute`"), which keeps any third-party implementor correct
+    /// without changes. The window must stay valid until the next
+    /// `execute`/`commit_exact` call on this FPU.
+    fn run_exact(&self, max: u64) -> u64 {
+        let _ = max;
+        0
+    }
+
+    /// Accounts for `n` FLOPs the caller executed natively inside a window
+    /// previously granted by [`run_exact`](Self::run_exact): bumps the
+    /// FLOP counter and advances the fault schedule by `n` operations
+    /// without touching the LFSR (no draws happen on fault-free ops).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the currently guaranteed-exact window.
+    fn commit_exact(&mut self, n: u64) {
+        assert_eq!(
+            n, 0,
+            "commit_exact({n}) without a run_exact window (default implementation \
+             guarantees no exact FLOPs)"
+        );
     }
 
     /// Addition through the FPU.
@@ -105,6 +158,318 @@ pub trait Fpu {
     fn sqrt(&mut self, a: f64) -> f64 {
         self.execute(FlopOp::Sqrt, a, 0.0)
     }
+
+    /// Drives a fixed-cost-per-element kernel through the guaranteed-exact
+    /// window machinery — the one skeleton every batch kernel (and any
+    /// downstream strided kernel, e.g. `Matrix::gram` or the Householder
+    /// reflections) shares.
+    ///
+    /// `body(fpu, range, exact)` is invoked over consecutive element
+    /// ranges covering `0..n` in order. When `exact` is `true` the range
+    /// is guaranteed fault-free (`flops_per_elem` FLOPs per element):
+    /// compute it natively and do **not** touch `fpu` — the FLOPs are
+    /// committed automatically afterwards. When `exact` is `false` the
+    /// range is a single element that must run through the per-op
+    /// [`execute`](Self::execute) expansion on `fpu`.
+    ///
+    /// Keeping the window arithmetic here is what makes the bit-identity
+    /// contract a single-owner property: a kernel can only choose its two
+    /// loop bodies, never its own window math.
+    fn with_exact_windows<B>(&mut self, n: usize, flops_per_elem: u64, mut body: B)
+    where
+        Self: Sized,
+        B: FnMut(&mut Self, core::ops::Range<usize>, bool),
+    {
+        let mut i = 0;
+        while i < n {
+            let safe = (self.run_exact((n - i) as u64 * flops_per_elem) / flops_per_elem) as usize;
+            if safe == 0 {
+                body(self, i..i + 1, false);
+                i += 1;
+            } else {
+                body(self, i..i + safe, true);
+                self.commit_exact(safe as u64 * flops_per_elem);
+                i += safe;
+            }
+        }
+    }
+
+    /// Inner product with an initial accumulator: one row of a
+    /// matrix–vector product, `init + Σᵢ row[i]·x[i]`.
+    ///
+    /// Bit-identical per-op expansion, for each `i` in order:
+    /// `p = mul(row[i], x[i]); acc = add(acc, p)` — 2 FLOPs per element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    fn gemv_row(&mut self, init: f64, row: &[f64], x: &[f64]) -> f64
+    where
+        Self: Sized,
+    {
+        assert_eq!(row.len(), x.len(), "gemv_row operands differ in length");
+        let mut acc = init;
+        self.with_exact_windows(row.len(), 2, |fpu, range, exact| {
+            if exact {
+                for k in range {
+                    acc += row[k] * x[k];
+                }
+            } else {
+                for k in range {
+                    let p = fpu.mul(row[k], x[k]);
+                    acc = fpu.add(acc, p);
+                }
+            }
+        });
+        acc
+    }
+
+    /// Inner product `Σᵢ x[i]·y[i]` (zero-initialized [`gemv_row`]).
+    ///
+    /// Bit-identical per-op expansion, for each `i` in order:
+    /// `p = mul(x[i], y[i]); acc = add(acc, p)` with `acc` starting at
+    /// `0.0` — 2 FLOPs per element.
+    ///
+    /// [`gemv_row`]: Self::gemv_row
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    fn dot_batch(&mut self, x: &[f64], y: &[f64]) -> f64
+    where
+        Self: Sized,
+    {
+        self.gemv_row(0.0, x, y)
+    }
+
+    /// Subtractive inner product `init − Σᵢ x[i]·y[i]` — the inner loop of
+    /// triangular substitution and Cholesky.
+    ///
+    /// Bit-identical per-op expansion, for each `i` in order:
+    /// `p = mul(x[i], y[i]); acc = sub(acc, p)` — 2 FLOPs per element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    fn dot_sub_batch(&mut self, init: f64, x: &[f64], y: &[f64]) -> f64
+    where
+        Self: Sized,
+    {
+        assert_eq!(x.len(), y.len(), "dot_sub_batch operands differ in length");
+        let mut acc = init;
+        self.with_exact_windows(x.len(), 2, |fpu, range, exact| {
+            if exact {
+                for k in range {
+                    acc -= x[k] * y[k];
+                }
+            } else {
+                for k in range {
+                    let p = fpu.mul(x[k], y[k]);
+                    acc = fpu.sub(acc, p);
+                }
+            }
+        });
+        acc
+    }
+
+    /// In-place `y ← α x + y` with the scalar as the first multiplicand.
+    ///
+    /// Bit-identical per-op expansion, for each `i` in order:
+    /// `p = mul(alpha, x[i]); y[i] = add(y[i], p)` — 2 FLOPs per element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    fn axpy_batch(&mut self, alpha: f64, x: &[f64], y: &mut [f64])
+    where
+        Self: Sized,
+    {
+        assert_eq!(x.len(), y.len(), "axpy_batch operands differ in length");
+        self.with_exact_windows(x.len(), 2, |fpu, range, exact| {
+            if exact {
+                for k in range {
+                    y[k] += alpha * x[k];
+                }
+            } else {
+                for k in range {
+                    let p = fpu.mul(alpha, x[k]);
+                    y[k] = fpu.add(y[k], p);
+                }
+            }
+        });
+    }
+
+    /// One row update of a transposed matrix–vector product:
+    /// `out ← out + row·scale`, with the vector element as the first
+    /// multiplicand (the operand order `Aᵀy` kernels historically used —
+    /// operand-side fault models are sensitive to it).
+    ///
+    /// Bit-identical per-op expansion, for each `i` in order:
+    /// `p = mul(row[i], scale); out[i] = add(out[i], p)` — 2 FLOPs per
+    /// element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    fn gemv_t_row(&mut self, scale: f64, row: &[f64], out: &mut [f64])
+    where
+        Self: Sized,
+    {
+        assert_eq!(row.len(), out.len(), "gemv_t_row operands differ in length");
+        self.with_exact_windows(row.len(), 2, |fpu, range, exact| {
+            if exact {
+                for k in range {
+                    out[k] += row[k] * scale;
+                }
+            } else {
+                for k in range {
+                    let p = fpu.mul(row[k], scale);
+                    out[k] = fpu.add(out[k], p);
+                }
+            }
+        });
+    }
+
+    /// Element-wise multiply-accumulate `y[i] ← y[i] + a[i]·b[i]` — the
+    /// banded-diagonal product kernel.
+    ///
+    /// Bit-identical per-op expansion, for each `i` in order:
+    /// `p = mul(a[i], b[i]); y[i] = add(y[i], p)` — 2 FLOPs per element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    fn fma_batch(&mut self, a: &[f64], b: &[f64], y: &mut [f64])
+    where
+        Self: Sized,
+    {
+        assert_eq!(a.len(), b.len(), "fma_batch operands differ in length");
+        assert_eq!(a.len(), y.len(), "fma_batch output differs in length");
+        self.with_exact_windows(a.len(), 2, |fpu, range, exact| {
+            if exact {
+                for k in range {
+                    y[k] += a[k] * b[k];
+                }
+            } else {
+                for k in range {
+                    let p = fpu.mul(a[k], b[k]);
+                    y[k] = fpu.add(y[k], p);
+                }
+            }
+        });
+    }
+
+    /// In-place scaling `x[i] ← α·x[i]`.
+    ///
+    /// Bit-identical per-op expansion, for each `i` in order:
+    /// `x[i] = mul(alpha, x[i])` — 1 FLOP per element.
+    fn scale_batch(&mut self, alpha: f64, x: &mut [f64])
+    where
+        Self: Sized,
+    {
+        self.with_exact_windows(x.len(), 1, |fpu, range, exact| {
+            if exact {
+                for xk in &mut x[range] {
+                    // `alpha` stays the first multiplicand, matching the
+                    // per-op expansion `mul(alpha, x[i])` exactly.
+                    let scaled = alpha * *xk;
+                    *xk = scaled;
+                }
+            } else {
+                for k in range {
+                    x[k] = fpu.mul(alpha, x[k]);
+                }
+            }
+        });
+    }
+
+    /// Element-wise difference `out[i] ← x[i] − y[i]` (residual kernels).
+    ///
+    /// Bit-identical per-op expansion, for each `i` in order:
+    /// `out[i] = sub(x[i], y[i])` — 1 FLOP per element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    fn sub_batch(&mut self, x: &[f64], y: &[f64], out: &mut [f64])
+    where
+        Self: Sized,
+    {
+        assert_eq!(x.len(), y.len(), "sub_batch operands differ in length");
+        assert_eq!(x.len(), out.len(), "sub_batch output differs in length");
+        self.with_exact_windows(x.len(), 1, |fpu, range, exact| {
+            if exact {
+                for k in range {
+                    out[k] = x[k] - y[k];
+                }
+            } else {
+                for k in range {
+                    out[k] = fpu.sub(x[k], y[k]);
+                }
+            }
+        });
+    }
+
+    /// In-place element-wise subtraction `y[i] ← y[i] − x[i]` (in-place
+    /// residual kernels).
+    ///
+    /// Bit-identical per-op expansion, for each `i` in order:
+    /// `y[i] = sub(y[i], x[i])` — 1 FLOP per element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    fn sub_assign_batch(&mut self, x: &[f64], y: &mut [f64])
+    where
+        Self: Sized,
+    {
+        assert_eq!(
+            x.len(),
+            y.len(),
+            "sub_assign_batch operands differ in length"
+        );
+        self.with_exact_windows(x.len(), 1, |fpu, range, exact| {
+            if exact {
+                for k in range {
+                    y[k] -= x[k];
+                }
+            } else {
+                for k in range {
+                    y[k] = fpu.sub(y[k], x[k]);
+                }
+            }
+        });
+    }
+
+    /// In-place element-wise accumulation `y[i] ← y[i] + x[i]`.
+    ///
+    /// Bit-identical per-op expansion, for each `i` in order:
+    /// `y[i] = add(y[i], x[i])` — 1 FLOP per element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    fn add_assign_batch(&mut self, x: &[f64], y: &mut [f64])
+    where
+        Self: Sized,
+    {
+        assert_eq!(
+            x.len(),
+            y.len(),
+            "add_assign_batch operands differ in length"
+        );
+        self.with_exact_windows(x.len(), 1, |fpu, range, exact| {
+            if exact {
+                for k in range {
+                    y[k] += x[k];
+                }
+            } else {
+                for k in range {
+                    y[k] = fpu.add(y[k], x[k]);
+                }
+            }
+        });
+    }
 }
 
 impl<F: Fpu + ?Sized> Fpu for &mut F {
@@ -118,6 +483,14 @@ impl<F: Fpu + ?Sized> Fpu for &mut F {
 
     fn faults(&self) -> u64 {
         (**self).faults()
+    }
+
+    fn run_exact(&self, max: u64) -> u64 {
+        (**self).run_exact(max)
+    }
+
+    fn commit_exact(&mut self, n: u64) {
+        (**self).commit_exact(n)
     }
 }
 
@@ -230,6 +603,15 @@ impl Fpu for ReliableFpu {
     fn flops(&self) -> u64 {
         self.flops
     }
+
+    /// A reliable FPU never faults: every requested FLOP is exact.
+    fn run_exact(&self, max: u64) -> u64 {
+        max
+    }
+
+    fn commit_exact(&mut self, n: u64) {
+        self.flops += n;
+    }
 }
 
 /// The fault-injecting FPU of the paper's FPGA framework.
@@ -283,6 +665,14 @@ pub struct NoisyFpu {
     /// Precomputed `(end_flop_exclusive, rate)` segments for DVFS specs;
     /// the last segment's rate persists past the schedule's end.
     dvfs: Option<Vec<(u64, f64)>>,
+    /// Cursor into `dvfs`: index of the segment covering the current FLOP,
+    /// advanced monotonically so the per-op lookup is O(1) instead of a
+    /// linear re-scan of the schedule.
+    dvfs_cursor: usize,
+    /// Whether the countdown skip-ahead fast path is enabled (it is by
+    /// default; disable for scalar-dispatch comparisons — results are
+    /// bit-identical either way).
+    batched: bool,
 }
 
 impl NoisyFpu {
@@ -319,6 +709,8 @@ impl NoisyFpu {
             stats: FaultStats::default(),
             memory,
             dvfs,
+            dvfs_cursor: 0,
+            batched: true,
         };
         fpu.countdown = fpu.draw_interval();
         fpu
@@ -353,6 +745,25 @@ impl NoisyFpu {
     pub fn reset_counters(&mut self) {
         self.flops = 0;
         self.stats = FaultStats::default();
+        // The DVFS schedule is indexed by the FLOP counter, which just
+        // rewound to zero; rewind the segment cursor with it.
+        self.dvfs_cursor = 0;
+    }
+
+    /// Enables or disables the countdown skip-ahead fast path used by the
+    /// [`Fpu`] batch kernels. Results are **bit-identical** either way
+    /// (the fast path only ever skips operations the schedule guarantees
+    /// fault-free); disabling it forces every batched operation through
+    /// the per-op [`execute`](Fpu::execute) path, which is what the
+    /// throughput comparisons and the batched-vs-scalar proptests use as
+    /// the reference.
+    pub fn set_batching(&mut self, enabled: bool) {
+        self.batched = enabled;
+    }
+
+    /// Whether the countdown skip-ahead fast path is enabled.
+    pub fn batching(&self) -> bool {
+        self.batched
     }
 
     /// Draws the number of FLOPs until the next fault: uniform on
@@ -375,7 +786,18 @@ impl NoisyFpu {
     /// schedule with no lag.
     fn strikes(&mut self, flop: u64) -> bool {
         if let Some(segments) = &self.dvfs {
-            let rate = crate::model::dvfs_segment_rate(segments, flop);
+            // Advance the cursor to the segment covering `flop`. FLOP
+            // indices are monotone between counter resets, so this is
+            // amortized O(1) per op (the old code re-scanned the whole
+            // schedule on every FLOP). The final segment ends at
+            // `u64::MAX`, which the cursor never steps past — matching
+            // `dvfs_segment_rate`'s fall-through to the last rate.
+            let mut cursor = self.dvfs_cursor;
+            while cursor + 1 < segments.len() && flop >= segments[cursor].0 {
+                cursor += 1;
+            }
+            let rate = segments[cursor].1;
+            self.dvfs_cursor = cursor;
             return rate > 0.0 && self.lfsr.next_f64() < rate;
         }
         if self.rate.is_zero() {
@@ -433,7 +855,43 @@ impl Fpu for NoisyFpu {
     }
 
     fn faults(&self) -> u64 {
-        self.stats.faults
+        self.stats.faults()
+    }
+
+    /// The countdown skip-ahead window. For constant-rate specs the LFSR
+    /// interval schedule says the next `countdown − 1` operations cannot
+    /// strike, so they may run natively; the op the countdown expires on
+    /// (and everything after it) must go through [`execute`](Fpu::execute).
+    /// Specs that genuinely need per-op state — DVFS schedules (a Bernoulli
+    /// LFSR draw per op) and memory-persistent scenarios (shadow storage
+    /// touched by every op) — report no window and always take the per-op
+    /// path.
+    fn run_exact(&self, max: u64) -> u64 {
+        if !self.batched || self.memory.is_some() || self.dvfs.is_some() {
+            return 0;
+        }
+        if self.rate.is_zero() {
+            return max;
+        }
+        max.min(self.countdown.saturating_sub(1))
+    }
+
+    fn commit_exact(&mut self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        // `run_exact(n) == n` iff the schedule still guarantees n exact
+        // ops; this keeps a buggy caller from silently desynchronizing the
+        // fault stream.
+        assert_eq!(
+            self.run_exact(n),
+            n,
+            "commit_exact({n}) exceeds the guaranteed-exact window"
+        );
+        self.flops += n;
+        if !self.rate.is_zero() {
+            self.countdown -= n;
+        }
     }
 }
 
@@ -528,9 +986,9 @@ mod tests {
         for _ in 0..1000 {
             fpu.add(1.0, 1.0);
         }
-        assert!(fpu.stats().faults > 0);
-        assert_eq!(fpu.stats().mantissa_faults, 0);
-        assert_eq!(fpu.stats().high_bit_faults, fpu.stats().faults);
+        assert!(fpu.stats().faults() > 0);
+        assert_eq!(fpu.stats().mantissa_faults(), 0);
+        assert_eq!(fpu.stats().high_bit_faults(), fpu.stats().faults());
     }
 
     #[test]
@@ -689,6 +1147,163 @@ mod tests {
             fpu.memory_state().expect("shadow state").corrupted_slots(),
             0
         );
+    }
+
+    /// The scalar reference for a batch kernel: the documented per-op
+    /// expansion of `dot_batch`, issued through `execute` one op at a time.
+    fn scalar_dot(fpu: &mut NoisyFpu, x: &[f64], y: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for (&a, &b) in x.iter().zip(y) {
+            let p = fpu.mul(a, b);
+            acc = fpu.add(acc, p);
+        }
+        acc
+    }
+
+    #[test]
+    fn batched_dot_is_bit_identical_to_scalar() {
+        let x: Vec<f64> = (0..257).map(|i| 0.25 + i as f64 * 0.37).collect();
+        let y: Vec<f64> = (0..257).map(|i| 1.75 - i as f64 * 0.11).collect();
+        for rate in [0.0, 0.001, 0.02, 0.3, 1.0] {
+            let mut batched =
+                NoisyFpu::new(FaultRate::per_flop(rate), BitFaultModel::emulated(), 9);
+            let mut scalar = batched.clone();
+            let a = batched.dot_batch(&x, &y);
+            let b = scalar_dot(&mut scalar, &x, &y);
+            assert_eq!(a.to_bits(), b.to_bits(), "rate {rate}");
+            assert_eq!(batched.flops(), scalar.flops(), "rate {rate}");
+            assert_eq!(batched.faults(), scalar.faults(), "rate {rate}");
+            assert_eq!(batched.stats(), scalar.stats(), "rate {rate}");
+            // The LFSR streams stay in sync: the next strikes agree too.
+            let ta: Vec<u64> = (0..64)
+                .map(|i| batched.add(i as f64, 0.5).to_bits())
+                .collect();
+            let tb: Vec<u64> = (0..64)
+                .map(|i| scalar.add(i as f64, 0.5).to_bits())
+                .collect();
+            assert_eq!(ta, tb, "rate {rate}: post-batch streams diverge");
+        }
+    }
+
+    #[test]
+    fn strike_lands_at_first_middle_and_last_op_of_a_batch() {
+        // Find the first strike index of this seed's schedule, then place
+        // batch boundaries so the striking op is the first, a middle, and
+        // the last operation of a batch — the fallback must fire exactly
+        // there and nowhere else.
+        let rate = FaultRate::per_flop(0.05);
+        let mut probe = NoisyFpu::new(rate, BitFaultModel::emulated(), 1234);
+        let mut first_strike = 0u64;
+        while probe.faults() == 0 {
+            probe.mul(1.5, 2.5);
+            first_strike = probe.flops() - 1;
+        }
+        assert!(first_strike > 1, "need room ahead of the strike");
+        let strike = first_strike as usize;
+        // Each (prefix, len) pair puts the strike at a different batch slot.
+        for (prefix, len) in [
+            (strike, 8),                   // first op of the batch
+            (strike.saturating_sub(3), 8), // middle of the batch
+            (strike.saturating_sub(7), 8), // last op of the batch
+        ] {
+            // The batch is `len` dot elements = 2·len FLOPs; make sure the
+            // strike FLOP falls inside it.
+            assert!(prefix <= strike && strike < prefix + 2 * len);
+            let x = vec![1.5; len];
+            let y = vec![2.5; len];
+            let mut batched = NoisyFpu::new(rate, BitFaultModel::emulated(), 1234);
+            let mut scalar = batched.clone();
+            for _ in 0..prefix {
+                assert_eq!(
+                    batched.mul(1.5, 2.5).to_bits(),
+                    scalar.mul(1.5, 2.5).to_bits()
+                );
+            }
+            let a = batched.dot_batch(&x, &y);
+            let b = scalar_dot(&mut scalar, &x, &y);
+            assert_eq!(a.to_bits(), b.to_bits(), "prefix {prefix}");
+            assert_eq!(batched.flops(), scalar.flops());
+            assert_eq!(batched.stats(), scalar.stats());
+            assert!(batched.faults() >= 1, "the batch must contain the strike");
+        }
+    }
+
+    #[test]
+    fn run_exact_window_respects_the_countdown() {
+        let mut fpu = NoisyFpu::new(FaultRate::per_flop(0.1), BitFaultModel::emulated(), 3);
+        let window = fpu.run_exact(u64::MAX);
+        // Executing exactly `window` ops must not fault…
+        for _ in 0..window {
+            fpu.add(1.0, 1.0);
+        }
+        assert_eq!(fpu.faults(), 0, "ops inside the window must be exact");
+        // …and the very next op is the strike.
+        fpu.add(1.0, 1.0);
+        assert_eq!(fpu.faults(), 1, "the op after the window strikes");
+    }
+
+    #[test]
+    fn commit_exact_advances_like_per_op_execution() {
+        let mut skipped = NoisyFpu::new(FaultRate::per_flop(0.01), BitFaultModel::emulated(), 77);
+        let mut stepped = skipped.clone();
+        let window = skipped.run_exact(64).min(64);
+        assert!(window > 0);
+        skipped.commit_exact(window);
+        for _ in 0..window {
+            stepped.add(1.0, 1.0);
+        }
+        assert_eq!(skipped.flops(), stepped.flops());
+        // Both observe the identical continuation of the fault stream.
+        let a: Vec<u64> = (0..256).map(|_| skipped.mul(3.0, 7.0).to_bits()).collect();
+        let b: Vec<u64> = (0..256).map(|_| stepped.mul(3.0, 7.0).to_bits()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the guaranteed-exact window")]
+    fn over_committing_the_window_panics() {
+        let mut fpu = NoisyFpu::new(FaultRate::per_flop(0.5), BitFaultModel::emulated(), 5);
+        let window = fpu.run_exact(u64::MAX);
+        fpu.commit_exact(window + 1);
+    }
+
+    #[test]
+    fn per_op_state_specs_report_no_window() {
+        // Memory-persistent shadow storage must be touched by every op.
+        let memory = NoisyFpu::new(
+            FaultRate::per_flop(0.01),
+            FaultModelSpec::register_file(8, BitFaultModel::emulated(), 0),
+            2,
+        );
+        assert_eq!(memory.run_exact(1000), 0);
+        // A DVFS schedule draws a Bernoulli per op.
+        let dvfs = NoisyFpu::new(
+            FaultRate::ZERO,
+            FaultModelSpec::from_preset("dvfs").expect("shipped preset"),
+            2,
+        );
+        assert_eq!(dvfs.run_exact(1000), 0);
+        // Zero-rate constant specs are exact forever.
+        let zero = NoisyFpu::new(FaultRate::ZERO, BitFaultModel::emulated(), 2);
+        assert_eq!(zero.run_exact(u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn disabling_batching_forces_the_per_op_path_with_identical_results() {
+        let x: Vec<f64> = (0..100).map(|i| i as f64 * 0.5).collect();
+        let mut fast = NoisyFpu::new(FaultRate::per_flop(0.02), BitFaultModel::emulated(), 41);
+        let mut slow = fast.clone();
+        slow.set_batching(false);
+        assert!(fast.batching() && !slow.batching());
+        assert_eq!(slow.run_exact(100), 0);
+        let mut yf = vec![1.0; 100];
+        let mut ys = vec![1.0; 100];
+        fast.axpy_batch(0.75, &x, &mut yf);
+        slow.axpy_batch(0.75, &x, &mut ys);
+        let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&yf), bits(&ys));
+        assert_eq!(fast.flops(), slow.flops());
+        assert_eq!(fast.stats(), slow.stats());
     }
 
     #[test]

@@ -28,6 +28,14 @@
 //!   ([`MemoryFaultModel`]: register-file latch damage, array-resident
 //!   word upsets) install corruptions that stay in state between
 //!   operations until scrubbed or overwritten.
+//! * **Batched execution** — because fault *intervals* are drawn up
+//!   front, the injector always knows how many upcoming FLOPs are
+//!   guaranteed exact. [`Fpu::run_exact`] / [`Fpu::commit_exact`] expose
+//!   that window, and the trait's batch kernels ([`Fpu::dot_batch`],
+//!   [`Fpu::axpy_batch`], [`Fpu::scale_batch`], [`Fpu::gemv_row`], …) run
+//!   the fault-free stretch as a tight native loop — **bit-identical** to
+//!   per-op dispatch (same results, counters, LFSR draws and statistics),
+//!   just faster.
 //! * [`Lfsr`] — the Galois linear feedback shift register used to draw
 //!   inter-fault intervals, mirroring the paper's methodology chapter.
 //! * [`VoltageErrorModel`] — the voltage ↦ FPU-error-rate curve of Figure

@@ -265,7 +265,7 @@ impl MemoryFaultState {
         let slot = (lfsr.uniform_1_to(self.model.slots as u64) - 1) as usize;
         let bit = self.model.bits.sample_bit(lfsr);
         self.masks[slot] |= 1u64 << bit;
-        stats.record(self.model.bits.width(), bit);
+        stats.record_fault(self.model.bits.width(), bit);
     }
 }
 
@@ -298,7 +298,7 @@ mod tests {
         let mut state = MemoryFaultState::new(model);
         let mut stats = FaultStats::default();
         state.install(&mut lfsr(), &mut stats);
-        assert_eq!(stats.faults, 1);
+        assert_eq!(stats.faults(), 1);
         assert_eq!(state.corrupted_slots(), 1);
         let damaged = state
             .masks()

@@ -116,7 +116,7 @@ impl FaultModel for TransientFlip {
 
     fn corrupt(&self, ctx: &FaultCtx, lfsr: &mut Lfsr, stats: &mut FaultStats) -> f64 {
         let bit = self.model.sample_bit(lfsr);
-        stats.record(self.model.width(), bit);
+        stats.record_fault(self.model.width(), bit);
         flip_bit(ctx.exact, bit, self.model.width())
     }
 }
@@ -143,7 +143,7 @@ impl FaultModel for StuckAtFault {
     fn corrupt(&self, ctx: &FaultCtx, _lfsr: &mut Lfsr, stats: &mut FaultStats) -> f64 {
         let (forced, changed) = force_bit(ctx.exact, self.bit, self.stuck_to_one, self.width);
         if changed {
-            stats.record(self.width, self.bit);
+            stats.record_fault(self.width, self.bit);
         }
         forced
     }
@@ -166,7 +166,7 @@ impl FaultModel for BurstFlip {
         let width = self.model.width();
         let start = self.model.sample_bit(lfsr);
         // One fault event, recorded at its primary (sampled) position.
-        stats.record(width, start);
+        stats.record_fault(width, start);
         let mut value = ctx.exact;
         for bit in start..(start + self.length).min(width.bits()) {
             value = flip_bit(value, bit, width);
@@ -189,7 +189,7 @@ impl FaultModel for OperandFlip {
 
     fn corrupt(&self, ctx: &FaultCtx, lfsr: &mut Lfsr, stats: &mut FaultStats) -> f64 {
         let bit = self.model.sample_bit(lfsr);
-        stats.record(self.model.width(), bit);
+        stats.record_fault(self.model.width(), bit);
         // Unary ops only have operand `a`; binary ops pick one by an LFSR
         // coin flip (drawn after the bit so the bit distribution matches
         // the configured model exactly).
@@ -274,7 +274,7 @@ impl FaultModel for MemoryShadowFault {
 
     fn corrupt(&self, ctx: &FaultCtx, lfsr: &mut Lfsr, stats: &mut FaultStats) -> f64 {
         let bit = self.model.bits().sample_bit(lfsr);
-        stats.record(self.model.bits().width(), bit);
+        stats.record_fault(self.model.bits().width(), bit);
         flip_bit(ctx.exact, bit, self.model.bits().width())
     }
 }
@@ -1015,7 +1015,7 @@ mod tests {
             );
             assert_eq!(lfsr_a.state(), lfsr_b.state(), "extra LFSR draws");
         }
-        assert_eq!(stats.faults, 512);
+        assert_eq!(stats.faults(), 512);
     }
 
     #[test]
@@ -1027,11 +1027,11 @@ mod tests {
         // 2.0 has sign bit 0: the strike forces it negative and records.
         let c = ctx(FlopOp::Add, 1.0, 1.0, 0);
         assert_eq!(model.corrupt(&c, &mut lfsr, &mut stats), -2.0);
-        assert_eq!(stats.faults, 1);
+        assert_eq!(stats.faults(), 1);
         // -2.0 already has sign bit 1: invisible, nothing recorded.
         let c = ctx(FlopOp::Sub, -1.0, 1.0, 1);
         assert_eq!(model.corrupt(&c, &mut lfsr, &mut stats), -2.0);
-        assert_eq!(stats.faults, 1);
+        assert_eq!(stats.faults(), 1);
     }
 
     #[test]
@@ -1049,7 +1049,7 @@ mod tests {
             let shifted = diff >> diff.trailing_zeros();
             assert_eq!(shifted, 0b1111, "bits not adjacent: {diff:b}");
         }
-        assert_eq!(stats.faults, 64, "one recorded fault per burst event");
+        assert_eq!(stats.faults(), 64, "one recorded fault per burst event");
     }
 
     #[test]
@@ -1077,7 +1077,7 @@ mod tests {
                 changed += 1;
             }
         }
-        assert_eq!(stats.faults, 256);
+        assert_eq!(stats.faults(), 256);
         assert!(changed > 200, "most operand flips should change the result");
     }
 
@@ -1118,8 +1118,8 @@ mod tests {
                 assert_eq!(got, c.exact, "fault outside duty window at {flop}");
             }
         }
-        assert!(stats.faults > 0, "in-window strikes must fault");
-        assert!(stats.faults <= 250, "only in-window strikes may fault");
+        assert!(stats.faults() > 0, "in-window strikes must fault");
+        assert!(stats.faults() <= 250, "only in-window strikes may fault");
     }
 
     #[test]
@@ -1135,11 +1135,11 @@ mod tests {
             let c = ctx(FlopOp::Add, 1.0, 2.0, i);
             assert_eq!(model.corrupt(&c, &mut lfsr, &mut stats), 3.0);
         }
-        assert_eq!(stats.faults, 0);
+        assert_eq!(stats.faults(), 0);
         let c = ctx(FlopOp::Mul, 3.0, 5.0, 0);
         let got = model.corrupt(&c, &mut lfsr, &mut stats);
         assert_ne!(got, 15.0, "MSB flips always change a finite value");
-        assert_eq!(stats.faults, 1);
+        assert_eq!(stats.faults(), 1);
     }
 
     #[test]

@@ -194,6 +194,17 @@ impl Fpu for StochasticProcessor {
     fn faults(&self) -> u64 {
         self.rebase_faults + self.data.faults()
     }
+
+    /// Batched execution rides the data plane: the window is the data
+    /// FPU's countdown skip-ahead window (energy accounting is by FLOP
+    /// count, which `commit_exact` advances exactly like per-op execution).
+    fn run_exact(&self, max: u64) -> u64 {
+        self.data.run_exact(max)
+    }
+
+    fn commit_exact(&mut self, n: u64) {
+        self.data.commit_exact(n)
+    }
 }
 
 #[cfg(test)]

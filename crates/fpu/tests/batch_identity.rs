@@ -1,0 +1,201 @@
+//! The ISSUE-5 invariant: batched kernels are **byte-identical** to the
+//! scalar per-op path for every shipped `FaultModelSpec` variant.
+//!
+//! "Scalar" here is the same batch-kernel code with the countdown
+//! skip-ahead fast path disabled (`NoisyFpu::set_batching(false)`), which
+//! degrades every kernel to its documented per-op `execute` expansion —
+//! the exact code path the per-op kernels ran before batching existed.
+//! The tests pin committed result bits, FLOP counters, fault counters and
+//! statistics (including the bit-position histogram), memory shadow
+//! state, and the continuation of the fault stream after the batch.
+
+use proptest::prelude::*;
+use stochastic_fpu::{BitFaultModel, BitWidth, FaultModelSpec, FaultRate, FlopOp, Fpu, NoisyFpu};
+
+/// Every shipped fault-model scenario: the CLI presets plus combinator
+/// nestings that exercise each `FaultModelSpec` variant (transient,
+/// stuck-at, burst, operand, intermittent, op-selective, voltage-linked,
+/// DVFS, and both memory-persistent kinds).
+fn shipped_fault_models() -> Vec<FaultModelSpec> {
+    let mut family: Vec<FaultModelSpec> = [
+        "emulated",
+        "uniform",
+        "msb",
+        "lsb",
+        "stuck0",
+        "stuck1",
+        "burst",
+        "operand",
+        "intermittent",
+        "muldiv",
+        "voltage",
+        "dvfs",
+        "regfile",
+        "memory",
+    ]
+    .iter()
+    .map(|name| FaultModelSpec::from_preset(name).expect("preset exists"))
+    .collect();
+    family.push(FaultModelSpec::intermittent(
+        0.3,
+        128,
+        FaultModelSpec::operand(BitFaultModel::uniform(BitWidth::F64)),
+    ));
+    family.push(FaultModelSpec::op_selective(
+        vec![FlopOp::Add, FlopOp::Mul],
+        FaultModelSpec::burst(2, BitFaultModel::lsb_only(BitWidth::F64)),
+    ));
+    family
+}
+
+/// Runs the full batched-kernel surface on `fpu` and fingerprints every
+/// observable bit: committed results, counters, and fault statistics.
+fn batched_workload_fingerprint(fpu: &mut NoisyFpu, len: usize, prefix: u64) -> Vec<u64> {
+    let x: Vec<f64> = (0..len).map(|i| 0.25 + (i % 23) as f64 * 0.375).collect();
+    let y: Vec<f64> = (0..len).map(|i| 1.5 - (i % 7) as f64 * 0.125).collect();
+    let mut out = Vec::new();
+
+    // A scalar prefix slides the strike schedule relative to the batch
+    // boundaries, so across cases strikes land on the first, interior and
+    // last ops of batches.
+    for i in 0..prefix {
+        out.push(fpu.mul(1.0 + i as f64, 1.5).to_bits());
+    }
+
+    out.push(fpu.dot_batch(&x, &y).to_bits());
+    out.push(fpu.gemv_row(2.5, &x, &y).to_bits());
+    out.push(fpu.dot_sub_batch(7.5, &x, &y).to_bits());
+
+    let mut v = y.clone();
+    fpu.axpy_batch(0.75, &x, &mut v);
+    out.extend(v.iter().map(|f| f.to_bits()));
+    fpu.gemv_t_row(0.5, &x, &mut v);
+    out.extend(v.iter().map(|f| f.to_bits()));
+    fpu.fma_batch(&x, &y, &mut v);
+    out.extend(v.iter().map(|f| f.to_bits()));
+    fpu.scale_batch(1.25, &mut v);
+    out.extend(v.iter().map(|f| f.to_bits()));
+    let mut diff = vec![0.0; len];
+    fpu.sub_batch(&x, &y, &mut diff);
+    out.extend(diff.iter().map(|f| f.to_bits()));
+    fpu.add_assign_batch(&x, &mut diff);
+    out.extend(diff.iter().map(|f| f.to_bits()));
+    fpu.sub_assign_batch(&y, &mut diff);
+    out.extend(diff.iter().map(|f| f.to_bits()));
+
+    // The fault stream must continue identically after the batches: any
+    // desynchronized LFSR draw or miscounted FLOP shows up here.
+    for i in 0..64u64 {
+        out.push(fpu.add(i as f64, 0.5).to_bits());
+        out.push(fpu.sqrt(1.0 + i as f64).to_bits());
+    }
+
+    out.push(fpu.flops());
+    out.push(fpu.faults());
+    let stats = fpu.stats();
+    out.push(stats.high_bit_faults());
+    out.push(stats.mantissa_faults());
+    out.extend(stats.bit_histogram().iter().copied());
+    if let Some(memory) = fpu.memory_state() {
+        out.extend(memory.masks().iter().copied());
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Batched == scalar for every shipped spec variant, across fault
+    /// rates, batch lengths, seeds, and strike positions within batches.
+    #[test]
+    fn batched_kernels_are_byte_identical_to_scalar(
+        seed in any::<u64>(),
+        rate_millis in 0u64..1001,
+        len in 1usize..48,
+        prefix in 0u64..32,
+    ) {
+        let rate = FaultRate::per_flop(rate_millis as f64 / 1000.0);
+        for spec in shipped_fault_models() {
+            let mut batched = NoisyFpu::new(rate, spec.clone(), seed);
+            let mut scalar = NoisyFpu::new(rate, spec.clone(), seed);
+            scalar.set_batching(false);
+            let a = batched_workload_fingerprint(&mut batched, len, prefix);
+            let b = batched_workload_fingerprint(&mut scalar, len, prefix);
+            prop_assert_eq!(a, b, "{} diverged (rate {:?})", spec.name(), rate);
+        }
+    }
+
+    /// The window contract itself: `run_exact(n)` ops executed natively
+    /// plus `commit_exact` leave the FPU in exactly the state that n
+    /// per-op executions of fault-free ops would — for every spec that
+    /// grants windows at all.
+    #[test]
+    fn committed_windows_match_stepped_execution(
+        seed in any::<u64>(),
+        rate_millis in 1u64..501,
+        want in 1u64..200,
+    ) {
+        let rate = FaultRate::per_flop(rate_millis as f64 / 1000.0);
+        let mut skipped = NoisyFpu::new(rate, BitFaultModel::emulated(), seed);
+        let mut stepped = skipped.clone();
+        let window = skipped.run_exact(want);
+        prop_assert!(window <= want);
+        skipped.commit_exact(window);
+        for _ in 0..window {
+            stepped.add(1.0, 1.0);
+        }
+        prop_assert_eq!(stepped.faults(), 0, "window ops must be exact");
+        prop_assert_eq!(skipped.flops(), stepped.flops());
+        // Identical continuation: the strike schedule was advanced by the
+        // same amount on both sides.
+        let a: Vec<u64> = (0..128).map(|_| skipped.mul(3.0, 7.0).to_bits()).collect();
+        let b: Vec<u64> = (0..128).map(|_| stepped.mul(3.0, 7.0).to_bits()).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Strike boundaries, pinned: the first fault of a schedule is placed
+    /// at the first, an interior, and the last element of a batch, and
+    /// every placement matches the scalar path bit for bit.
+    #[test]
+    fn strikes_at_batch_boundaries_match_scalar(
+        seed in any::<u64>(),
+        len in 2usize..32,
+    ) {
+        let rate = FaultRate::per_flop(0.02);
+        // Locate the first strike of this seed's schedule.
+        let mut probe = NoisyFpu::new(rate, BitFaultModel::emulated(), seed);
+        while probe.faults() == 0 {
+            probe.mul(1.5, 2.5);
+        }
+        let strike = (probe.flops() - 1) as usize;
+        let flops_per_batch = 2 * len;
+        // Prefixes that put the striking FLOP on the batch's first element,
+        // somewhere inside, and its last element (clamped to stay >= 0).
+        let placements = [
+            strike,
+            strike.saturating_sub(flops_per_batch / 2),
+            strike.saturating_sub(flops_per_batch - 1),
+        ];
+        let x: Vec<f64> = (0..len).map(|i| 1.5 + i as f64 * 0.25).collect();
+        let y: Vec<f64> = (0..len).map(|i| 2.5 - i as f64 * 0.125).collect();
+        for prefix in placements {
+            let mut batched = NoisyFpu::new(rate, BitFaultModel::emulated(), seed);
+            let mut scalar = NoisyFpu::new(rate, BitFaultModel::emulated(), seed);
+            scalar.set_batching(false);
+            for _ in 0..prefix {
+                prop_assert_eq!(
+                    batched.mul(1.5, 2.5).to_bits(),
+                    scalar.mul(1.5, 2.5).to_bits()
+                );
+            }
+            let a = batched.dot_batch(&x, &y);
+            let b = scalar.dot_batch(&x, &y);
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "prefix {}", prefix);
+            prop_assert_eq!(batched.flops(), scalar.flops());
+            prop_assert_eq!(batched.stats(), scalar.stats());
+            if prefix + flops_per_batch > strike {
+                prop_assert!(batched.faults() >= 1, "batch must contain the strike");
+            }
+        }
+    }
+}

@@ -299,16 +299,16 @@ proptest! {
             let stats = fpu.stats();
             let histogram_total: u64 = stats.bit_histogram().iter().sum();
             prop_assert_eq!(
-                histogram_total, stats.faults,
+                histogram_total, stats.faults(),
                 "{}: histogram {} vs faults {}",
-                spec.name(), histogram_total, stats.faults
+                spec.name(), histogram_total, stats.faults()
             );
             prop_assert_eq!(
-                stats.high_bit_faults + stats.mantissa_faults,
-                stats.faults,
+                stats.high_bit_faults() + stats.mantissa_faults(),
+                stats.faults(),
                 "{}: field tallies disagree", spec.name()
             );
-            prop_assert_eq!(fpu.faults(), stats.faults);
+            prop_assert_eq!(fpu.faults(), stats.faults());
         }
     }
 

@@ -8,6 +8,7 @@
 //! `O(t · band)`.
 
 use crate::error::LinalgError;
+use crate::kernels::for_nonzero_runs;
 use crate::matrix::Matrix;
 use stochastic_fpu::Fpu;
 
@@ -128,13 +129,17 @@ impl BandedMatrix {
         }
         let mut y = vec![0.0; self.n];
         for (d, diag) in self.diags.iter().enumerate() {
-            for (j, &m) in diag.iter().enumerate() {
-                if m == 0.0 {
-                    continue;
-                }
-                let p = fpu.mul(m, x[j]);
-                y[j + d] = fpu.add(y[j + d], p);
-            }
+            // Batched per maximal run of non-zero diagonal entries: the
+            // historical loop skipped zero entries one by one, so the runs
+            // (and the FLOP sequence) are preserved exactly while the
+            // fault-free stretches execute as tight fma loops.
+            for_nonzero_runs(diag, |start, end| {
+                fpu.fma_batch(
+                    &diag[start..end],
+                    &x[start..end],
+                    &mut y[start + d..end + d],
+                );
+            });
         }
         Ok(y)
     }
@@ -153,13 +158,13 @@ impl BandedMatrix {
         }
         let mut x = vec![0.0; self.n];
         for (d, diag) in self.diags.iter().enumerate() {
-            for (j, &m) in diag.iter().enumerate() {
-                if m == 0.0 {
-                    continue;
-                }
-                let p = fpu.mul(m, y[j + d]);
-                x[j] = fpu.add(x[j], p);
-            }
+            for_nonzero_runs(diag, |start, end| {
+                fpu.fma_batch(
+                    &diag[start..end],
+                    &y[start + d..end + d],
+                    &mut x[start..end],
+                );
+            });
         }
         Ok(x)
     }
@@ -183,9 +188,7 @@ impl BandedMatrix {
             ));
         }
         let mut r = self.matvec(fpu, x)?;
-        for (ri, &bi) in r.iter_mut().zip(rhs) {
-            *ri = fpu.sub(*ri, bi);
-        }
+        fpu.sub_assign_batch(rhs, &mut r);
         Ok(r)
     }
 

@@ -54,12 +54,11 @@ impl CholeskyFactorization {
         let mut l = Matrix::zeros(n, n);
         for i in 0..n {
             for j in 0..=i {
-                // acc = a_ij − Σ_{k<j} l_ik l_jk
-                let mut acc = a[(i, j)];
-                for k in 0..j {
-                    let p = fpu.mul(l[(i, k)], l[(j, k)]);
-                    acc = fpu.sub(acc, p);
-                }
+                // acc = a_ij − Σ_{k<j} l_ik l_jk: the already-computed
+                // prefixes of rows i and j are contiguous, so the update
+                // is one batched subtractive dot (bit-identical to the
+                // per-op loop).
+                let acc = fpu.dot_sub_batch(a[(i, j)], &l.row(i)[..j], &l.row(j)[..j]);
                 if i == j {
                     if !acc.is_finite() || acc <= 0.0 {
                         return Err(LinalgError::NotPositiveDefinite);

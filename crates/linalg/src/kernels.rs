@@ -6,6 +6,39 @@
 use crate::error::LinalgError;
 use stochastic_fpu::Fpu;
 
+/// Invokes `f(start, end)` for every maximal run of consecutive non-zero
+/// entries of `v`.
+///
+/// This is the segmentation that lets sparse-aware inner loops (banded
+/// diagonals, constraint rows) batch through the FPU fast path while
+/// preserving their historical "skip zero entries one by one" FLOP
+/// sequence exactly — zero entries never reach the FPU, exactly as before.
+///
+/// # Examples
+///
+/// ```
+/// use robustify_linalg::for_nonzero_runs;
+///
+/// let mut runs = Vec::new();
+/// for_nonzero_runs(&[0.0, 1.0, 2.0, 0.0, 3.0], |s, e| runs.push((s, e)));
+/// assert_eq!(runs, vec![(1, 3), (4, 5)]);
+/// ```
+pub fn for_nonzero_runs(v: &[f64], mut f: impl FnMut(usize, usize)) {
+    let mut j = 0;
+    while j < v.len() {
+        if v[j] == 0.0 {
+            j += 1;
+            continue;
+        }
+        let mut end = j + 1;
+        while end < v.len() && v[end] != 0.0 {
+            end += 1;
+        }
+        f(j, end);
+        j = end;
+    }
+}
+
 fn check_equal_len(a: &[f64], b: &[f64]) -> Result<(), LinalgError> {
     if a.len() != b.len() {
         return Err(LinalgError::shape(
@@ -17,13 +50,12 @@ fn check_equal_len(a: &[f64], b: &[f64]) -> Result<(), LinalgError> {
 }
 
 /// Inner product `xᵀ y` without a shape check (callers validate).
+///
+/// Runs on the FPU's batched fast path ([`Fpu::dot_batch`]): fault-free
+/// stretches execute as a tight native loop, bit-identical to the per-op
+/// expansion `p = mul(x[i], y[i]); acc = add(acc, p)`.
 pub(crate) fn dot_unchecked<F: Fpu>(fpu: &mut F, x: &[f64], y: &[f64]) -> f64 {
-    let mut acc = 0.0;
-    for (&a, &b) in x.iter().zip(y) {
-        let p = fpu.mul(a, b);
-        acc = fpu.add(acc, p);
-    }
-    acc
+    fpu.dot_batch(x, y)
 }
 
 /// Inner product `xᵀ y` through the FPU.
@@ -99,10 +131,7 @@ pub fn norm2<F: Fpu>(fpu: &mut F, x: &[f64]) -> f64 {
 /// ```
 pub fn axpy<F: Fpu>(fpu: &mut F, alpha: f64, x: &[f64], y: &mut [f64]) -> Result<(), LinalgError> {
     check_equal_len(x, y)?;
-    for (yi, &xi) in y.iter_mut().zip(x) {
-        let p = fpu.mul(alpha, xi);
-        *yi = fpu.add(*yi, p);
-    }
+    fpu.axpy_batch(alpha, x, y);
     Ok(())
 }
 
@@ -119,9 +148,7 @@ pub fn axpy<F: Fpu>(fpu: &mut F, alpha: f64, x: &[f64], y: &mut [f64]) -> Result
 /// assert_eq!(x, vec![3.0, -6.0]);
 /// ```
 pub fn scale<F: Fpu>(fpu: &mut F, alpha: f64, x: &mut [f64]) {
-    for xi in x {
-        *xi = fpu.mul(alpha, *xi);
-    }
+    fpu.scale_batch(alpha, x);
 }
 
 /// Element-wise difference `x - y` through the FPU.
@@ -144,7 +171,9 @@ pub fn scale<F: Fpu>(fpu: &mut F, alpha: f64, x: &mut [f64]) {
 /// ```
 pub fn sub_vec<F: Fpu>(fpu: &mut F, x: &[f64], y: &[f64]) -> Result<Vec<f64>, LinalgError> {
     check_equal_len(x, y)?;
-    Ok(x.iter().zip(y).map(|(&a, &b)| fpu.sub(a, b)).collect())
+    let mut out = vec![0.0; x.len()];
+    fpu.sub_batch(x, y, &mut out);
+    Ok(out)
 }
 
 /// In-place element-wise `y ← y + x` through the FPU.
@@ -168,9 +197,7 @@ pub fn sub_vec<F: Fpu>(fpu: &mut F, x: &[f64], y: &[f64]) -> Result<Vec<f64>, Li
 /// ```
 pub fn add_assign<F: Fpu>(fpu: &mut F, x: &[f64], y: &mut [f64]) -> Result<(), LinalgError> {
     check_equal_len(x, y)?;
-    for (yi, &xi) in y.iter_mut().zip(x) {
-        *yi = fpu.add(*yi, xi);
-    }
+    fpu.add_assign_batch(x, y);
     Ok(())
 }
 

@@ -49,7 +49,7 @@ mod triangular;
 pub use banded::BandedMatrix;
 pub use cholesky::{lstsq_cholesky, CholeskyFactorization};
 pub use error::LinalgError;
-pub use kernels::{add_assign, axpy, dot, norm2, norm2_sq, scale, sub_vec};
+pub use kernels::{add_assign, axpy, dot, for_nonzero_runs, norm2, norm2_sq, scale, sub_vec};
 pub use matrix::Matrix;
 pub use qr::{lstsq_qr, QrFactorization};
 pub use svd::{condition_number, lstsq_svd, SvdFactorization};

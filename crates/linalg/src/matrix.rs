@@ -178,6 +178,13 @@ impl Matrix {
         &self.data
     }
 
+    /// The flat row-major data buffer, mutably (for strided kernels that
+    /// drive the [`Fpu::run_exact`](stochastic_fpu::Fpu::run_exact) window
+    /// query directly, e.g. Householder reflections).
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Consumes the matrix, returning the flat row-major buffer.
     pub fn into_vec(self) -> Vec<f64> {
         self.data
@@ -229,15 +236,13 @@ impl Matrix {
             ));
         }
         let mut out = vec![0.0; self.cols];
-        for i in 0..self.rows {
-            let yi = y[i];
+        for (i, &yi) in y.iter().enumerate() {
             if yi == 0.0 {
                 continue;
             }
-            for j in 0..self.cols {
-                let p = fpu.mul(self[(i, j)], yi);
-                out[j] = fpu.add(out[j], p);
-            }
+            // One batched row update `out += row(i)·yi`, bit-identical to
+            // the historical per-op loop (matrix element first, then yi).
+            fpu.gemv_t_row(yi, self.row(i), &mut out);
         }
         Ok(out)
     }
@@ -261,10 +266,9 @@ impl Matrix {
                 if aik == 0.0 {
                     continue;
                 }
-                for j in 0..rhs.cols {
-                    let p = fpu.mul(aik, rhs[(k, j)]);
-                    out[(i, j)] = fpu.add(out[(i, j)], p);
-                }
+                // Batched `out_row += aik · rhs_row` (scalar first), the
+                // exact per-op sequence of the historical inner loop.
+                fpu.axpy_batch(aik, rhs.row(k), out.row_mut(i));
             }
         }
         Ok(out)
@@ -272,16 +276,29 @@ impl Matrix {
 
     /// Gram matrix `Aᵀ A` through the FPU (symmetric result computed once
     /// per pair).
+    ///
+    /// The column pair is strided in row-major storage, so this drives the
+    /// generic [`Fpu::with_exact_windows`] machinery directly instead of a
+    /// slice kernel; the per-op expansion (`prod = mul(a_ip, a_iq); acc =
+    /// add(acc, prod)`) is unchanged bit for bit.
     pub fn gram<F: Fpu>(&self, fpu: &mut F) -> Matrix {
         let n = self.cols;
         let mut g = Matrix::zeros(n, n);
         for p in 0..n {
             for q in p..n {
                 let mut acc = 0.0;
-                for i in 0..self.rows {
-                    let prod = fpu.mul(self[(i, p)], self[(i, q)]);
-                    acc = fpu.add(acc, prod);
-                }
+                fpu.with_exact_windows(self.rows, 2, |fpu, range, exact| {
+                    if exact {
+                        for k in range {
+                            acc += self.data[k * self.cols + p] * self.data[k * self.cols + q];
+                        }
+                    } else {
+                        for i in range {
+                            let prod = fpu.mul(self[(i, p)], self[(i, q)]);
+                            acc = fpu.add(acc, prod);
+                        }
+                    }
+                });
                 g[(p, q)] = acc;
                 g[(q, p)] = acc;
             }
@@ -291,11 +308,7 @@ impl Matrix {
 
     /// Frobenius norm through the FPU.
     pub fn frobenius_norm<F: Fpu>(&self, fpu: &mut F) -> f64 {
-        let mut acc = 0.0;
-        for &v in &self.data {
-            let sq = fpu.mul(v, v);
-            acc = fpu.add(acc, sq);
-        }
+        let acc = fpu.dot_batch(&self.data, &self.data);
         fpu.sqrt(acc)
     }
 

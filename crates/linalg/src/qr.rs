@@ -138,6 +138,12 @@ fn householder_reflector<F: Fpu>(fpu: &mut F, a: &Matrix, k: usize) -> Vec<f64> 
 /// Applies `H = I − 2 v vᵀ / (vᵀ v)` to columns `col_start..` of `a`.
 /// `k` is the pivot row of the reflector (entries of `v` below `k` are the
 /// active part).
+///
+/// The column walks are strided in row-major storage, so both inner loops
+/// drive the generic [`Fpu::with_exact_windows`] machinery directly; the
+/// per-op expansions (`p = mul(v[i], a_ij); w = add(w, p)` and `p =
+/// mul(coef, v[i]); a_ij = sub(a_ij, p)`) are preserved bit for bit.
+/// Window ranges index the active reflector part `k..m`, offset by `k`.
 fn apply_reflector_to_matrix<F: Fpu>(
     fpu: &mut F,
     a: &mut Matrix,
@@ -154,17 +160,35 @@ fn apply_reflector_to_matrix<F: Fpu>(
     for j in col_start..n {
         // w = vᵀ a_col
         let mut w = 0.0;
-        for i in k..m {
-            let p = fpu.mul(v[i], a[(i, j)]);
-            w = fpu.add(w, p);
-        }
+        fpu.with_exact_windows(m - k, 2, |fpu, range, exact| {
+            if exact {
+                let data = a.as_slice();
+                for t in range {
+                    w += v[t + k] * data[(t + k) * n + j];
+                }
+            } else {
+                for t in range {
+                    let p = fpu.mul(v[t + k], a[(t + k, j)]);
+                    w = fpu.add(w, p);
+                }
+            }
+        });
         // a_col ← a_col − 2 (w / vtv) v
         let ratio = fpu.div(w, vtv);
         let coef = fpu.mul(2.0, ratio);
-        for i in k..m {
-            let p = fpu.mul(coef, v[i]);
-            a[(i, j)] = fpu.sub(a[(i, j)], p);
-        }
+        fpu.with_exact_windows(m - k, 2, |fpu, range, exact| {
+            if exact {
+                let data = a.as_mut_slice();
+                for t in range {
+                    data[(t + k) * n + j] -= coef * v[t + k];
+                }
+            } else {
+                for t in range {
+                    let p = fpu.mul(coef, v[t + k]);
+                    a[(t + k, j)] = fpu.sub(a[(t + k, j)], p);
+                }
+            }
+        });
     }
 }
 

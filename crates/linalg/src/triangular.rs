@@ -32,11 +32,9 @@ pub fn solve_upper<F: Fpu>(fpu: &mut F, u: &Matrix, b: &[f64]) -> Result<Vec<f64
     let n = u.rows();
     let mut x = vec![0.0; n];
     for i in (0..n).rev() {
-        let mut acc = b[i];
-        for j in i + 1..n {
-            let p = fpu.mul(u[(i, j)], x[j]);
-            acc = fpu.sub(acc, p);
-        }
+        // The strictly-upper part of row i is contiguous: one batched
+        // `acc = b[i] − Σ u_ij·x_j` (bit-identical to the per-op loop).
+        let acc = fpu.dot_sub_batch(b[i], &u.row(i)[i + 1..], &x[i + 1..]);
         let pivot = u[(i, i)];
         if pivot == 0.0 {
             return Err(LinalgError::Singular);
@@ -74,11 +72,9 @@ pub fn solve_lower<F: Fpu>(fpu: &mut F, l: &Matrix, b: &[f64]) -> Result<Vec<f64
     let n = l.rows();
     let mut x = vec![0.0; n];
     for i in 0..n {
-        let mut acc = b[i];
-        for j in 0..i {
-            let p = fpu.mul(l[(i, j)], x[j]);
-            acc = fpu.sub(acc, p);
-        }
+        // The strictly-lower part of row i is contiguous: one batched
+        // `acc = b[i] − Σ l_ij·x_j` (bit-identical to the per-op loop).
+        let acc = fpu.dot_sub_batch(b[i], &l.row(i)[..i], &x[..i]);
         let pivot = l[(i, i)];
         if pivot == 0.0 {
             return Err(LinalgError::Singular);
