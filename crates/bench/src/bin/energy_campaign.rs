@@ -7,11 +7,19 @@
 //! admissible overscale save? This campaign asks it for all 9 robustified
 //! applications under two scenario families — the paper's *transient* FPU
 //! flip and a *memory-persistent* register-file fault whose corruptions
-//! stay resident between operations — over one voltage-axis engine sweep
-//! (`SweepSpec::over_voltages`). Each column of the grid is an operating
-//! voltage; the engine derives its fault rate from the Figure 5.2 model
-//! and accounts `energy = P(V) × FLOPs` per cell into the CSV/JSON
-//! provenance.
+//! stay resident between operations — over one voltage-axis grid. Each
+//! column of the grid is an operating voltage; the engine derives its
+//! fault rate from the Figure 5.2 model and accounts
+//! `energy = P(V) × FLOPs` per cell into the CSV/JSON provenance.
+//!
+//! The whole frontier is one declarative [`CampaignSpec`]: every `(app,
+//! scenario)` pair is a job that *names* its workload in the paper
+//! registry (solvers come from the registry's per-app defaults, the
+//! paper-faithful [`paper_robust_solver`] configurations). That makes
+//! this binary a *thin client* — with `--server ADDR` the campaign is
+//! submitted to a running `campaign_server` instead of executing here,
+//! and with `--cache-dir PATH` a killed local run resumes from its
+//! checkpointed cells.
 //!
 //! For every `(app, scenario)` the table reports the *minimum-energy
 //! admissible operating point*: the cheapest voltage whose cell still
@@ -22,13 +30,9 @@
 //! memory-persistent faults pull the frontier back toward nominal because
 //! corrupted state keeps re-injecting errors between scrubs.
 
-use robustify_bench::workloads::{
-    paper_apsp, paper_doubly_stochastic, paper_eigen, paper_iir_problem, paper_least_squares,
-    paper_matching, paper_maxflow, paper_robust_solver, paper_sort, paper_svm,
-};
-use robustify_bench::{ExperimentOptions, Table};
-use robustify_core::{RobustProblem, SolverSpec};
-use robustify_engine::SweepCase;
+use robustify_bench::workloads::paper_registry;
+use robustify_bench::{CampaignExecution, ExperimentOptions, Table};
+use robustify_engine::campaign::{CampaignSpec, JobSpec};
 use stochastic_fpu::{BitFaultModel, FaultModelSpec, VoltageErrorModel};
 
 /// The scenario families of the frontier: the paper's transient flip and
@@ -44,10 +48,42 @@ fn scenarios() -> Vec<(&'static str, FaultModelSpec)> {
     ]
 }
 
+const APPS: [&str; 9] = [
+    "least_squares",
+    "iir",
+    "sorting",
+    "matching",
+    "maxflow",
+    "apsp",
+    "svm",
+    "eigen",
+    "doubly_stochastic",
+];
+
+fn build_campaign(opts: &ExperimentOptions, voltages: Vec<f64>, trials: usize) -> CampaignSpec {
+    let model = VoltageErrorModel::paper_figure_5_2();
+    let mut campaign = opts
+        .campaign("energy_campaign")
+        .voltages(voltages, model)
+        .trials(trials);
+    for app in APPS {
+        if !opts.app_enabled(app) {
+            continue;
+        }
+        for (scenario_label, scenario) in scenarios() {
+            // The solver is omitted: the registry's per-app default is the
+            // paper-faithful configuration, recomputed from the seed.
+            campaign = campaign.job(
+                JobSpec::new(&format!("{app}/{scenario_label}"), app).with_fault_model(scenario),
+            );
+        }
+    }
+    campaign
+}
+
 fn main() {
     let opts = ExperimentOptions::parse();
     let trials = opts.trials(20, 3);
-    let model = VoltageErrorModel::paper_figure_5_2();
     // Nominal first (the baseline column), then progressively deeper
     // overscaling down to the calibrated minimum.
     let voltages = if opts.fast {
@@ -56,53 +92,26 @@ fn main() {
         vec![1.0, 0.8, 0.75, 0.7, 0.675, 0.65, 0.625, 0.6]
     };
 
-    let lsq = paper_least_squares(opts.seed);
-    let lsq_gamma0 = lsq.default_gamma0();
-    let iir = paper_iir_problem(opts.seed);
-    let iir_gamma0 = iir.default_gamma0();
+    opts.validate_apps(&APPS);
+    let campaign = build_campaign(&opts, voltages, trials);
 
-    type CaseFactory = Box<dyn Fn(SolverSpec, FaultModelSpec, String) -> SweepCase>;
-    let apps: Vec<(&str, CaseFactory)> = {
-        fn entry<P: RobustProblem + Clone + Sync + 'static>(problem: P) -> CaseFactory {
-            Box::new(move |spec, scenario, label| {
-                SweepCase::fixed(&label, spec, problem.clone()).with_model(scenario)
-            })
+    let result = match opts.execute_campaign(&campaign, &paper_registry()) {
+        Ok(CampaignExecution::Local(run)) => run.result,
+        Ok(CampaignExecution::Remote(outcome)) => {
+            // Thin-client mode: the daemon's per-cell CSV (voltage +
+            // energy_per_trial columns) is the machine-readable frontier
+            // artifact, byte-identical to a local run's.
+            println!("\n-- engine csv --\n{}", outcome.csv);
+            if opts.json {
+                println!("\n-- json --\n{}", outcome.json);
+            }
+            return;
         }
-        vec![
-            ("least_squares", entry(lsq)),
-            ("iir", entry(iir)),
-            ("sorting", entry(paper_sort(opts.seed))),
-            ("matching", entry(paper_matching(opts.seed))),
-            ("maxflow", entry(paper_maxflow(opts.seed))),
-            ("apsp", entry(paper_apsp(opts.seed))),
-            ("svm", entry(paper_svm(opts.seed))),
-            ("eigen", entry(paper_eigen(opts.seed))),
-            (
-                "doubly_stochastic",
-                entry(paper_doubly_stochastic(opts.seed)),
-            ),
-        ]
+        Err(e) => {
+            eprintln!("energy_campaign: {e}");
+            std::process::exit(1);
+        }
     };
-
-    let known: Vec<&str> = apps.iter().map(|(app, _)| *app).collect();
-    opts.validate_apps(&known);
-    let mut cases = Vec::new();
-    for (app, make_case) in &apps {
-        if !opts.app_enabled(app) {
-            continue;
-        }
-        for (scenario_label, scenario) in scenarios() {
-            cases.push(make_case(
-                paper_robust_solver(app, lsq_gamma0, iir_gamma0),
-                scenario,
-                format!("{app}/{scenario_label}"),
-            ));
-        }
-    }
-
-    let result = opts
-        .sweep_voltages("energy_campaign", voltages.clone(), trials, model)
-        .run(&cases);
 
     // The frontier table: one row per (app × scenario), the cheapest
     // admissible operating point against the nominal-voltage energy of

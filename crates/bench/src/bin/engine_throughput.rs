@@ -1,23 +1,32 @@
 //! Engine throughput measurement: trials/second of a representative
-//! sorting sweep at 1 worker thread vs all cores, plus a batched-vs-scalar
-//! FPU dispatch comparison, emitted as JSON for the perf trajectory
+//! sorting sweep at 1 worker thread and across a thread-count curve, a
+//! batched-vs-scalar FPU dispatch comparison, and cold-vs-warm campaign
+//! cache timings, emitted as JSON for the perf trajectory
 //! (`BENCH_engine.json`).
 //!
 //! The serial and parallel runs execute identical work with identical
 //! results (the engine's determinism guarantee), so their ratio is pure
-//! parallel speedup. The batched and scalar runs also execute identical
-//! work with identical results (the FPU's bit-identity contract — the
-//! countdown skip-ahead fast path never changes a single bit), so their
-//! ratio is pure dispatch overhead removed; the comparison asserts the
-//! per-trial verdicts and FLOP/fault counters match before timing counts.
+//! parallel speedup; on a multi-core host the whole curve (2, 4, …
+//! threads) is recorded, while a single-core host records an empty curve
+//! instead of a bogus ~0.95 "speedup". The batched and scalar runs also
+//! execute identical work with identical results (the FPU's bit-identity
+//! contract — the countdown skip-ahead fast path never changes a single
+//! bit), so their ratio is pure dispatch overhead removed; the comparison
+//! asserts the per-trial verdicts and FLOP/fault counters match before
+//! timing counts. The campaign timing runs the same grid twice through
+//! the content-addressed result cache: the cold pass executes and
+//! checkpoints every cell, the warm pass must replay byte-identically
+//! from disk, and their ratio is the cache's replay speedup.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use robustify_apps::sorting::SortProblem;
+use robustify_bench::workloads::paper_registry;
 use robustify_bench::ExperimentOptions;
 use robustify_core::{
     AggressiveStepping, GradientGuard, RobustProblem, SolverSpec, StepSchedule, Verdict,
 };
+use robustify_engine::campaign::{self, JobSpec, ResultCache};
 use robustify_engine::{derive_trial_seed, problem_seed, SweepCase, SweepResult, SweepSpec};
 use std::time::{Duration, Instant};
 use stochastic_fpu::{FaultRate, Fpu, NoisyFpu};
@@ -52,15 +61,14 @@ fn cases() -> Vec<SweepCase> {
 }
 
 fn run(opts: &ExperimentOptions, trials: usize, threads: usize) -> SweepResult {
-    SweepSpec::new(
-        "engine_throughput",
-        RATES_PCT.to_vec(),
-        trials,
-        opts.seed,
-        opts.fault_model_spec(),
-    )
-    .with_threads(threads)
-    .run(&cases())
+    SweepSpec::builder("engine_throughput")
+        .rates(RATES_PCT.to_vec())
+        .trials(trials)
+        .seed(opts.seed)
+        .model(opts.fault_model_spec())
+        .threads(threads)
+        .build()
+        .run(&cases())
 }
 
 /// One serial pass over the whole grid with the FPU's skip-ahead fast path
@@ -96,6 +104,50 @@ fn manual_serial_run(
     (start.elapsed(), records)
 }
 
+/// Runs the identical grid as a declarative campaign twice through a
+/// fresh content-addressed cache: a cold executing pass and a warm pass
+/// that must replay every cell from disk byte-identically. Returns
+/// `(cold_s, warm_s, cells)`.
+fn campaign_cache_timing(opts: &ExperimentOptions, trials: usize) -> (f64, f64, usize) {
+    let registry = paper_registry();
+    let mut spec = opts
+        .campaign("engine_throughput_campaign")
+        .rates(RATES_PCT.to_vec())
+        .trials(trials);
+    for (label, solver) in specs() {
+        spec = spec.job(
+            JobSpec::new(label, "sorting")
+                .per_trial()
+                .with_solver(solver),
+        );
+    }
+    let dir =
+        std::env::temp_dir().join(format!("robustify-throughput-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = ResultCache::open(&dir).expect("open cache");
+    let start = Instant::now();
+    let cold = campaign::run(&spec, &registry, Some(&cache), |_| {}).expect("cold campaign");
+    let cold_s = start.elapsed().as_secs_f64();
+    assert_eq!(
+        cold.cells_cached, 0,
+        "the cold pass must execute every cell"
+    );
+    let start = Instant::now();
+    let warm = campaign::run(&spec, &registry, Some(&cache), |_| {}).expect("warm campaign");
+    let warm_s = start.elapsed().as_secs_f64();
+    assert_eq!(
+        warm.cells_cached, warm.cells_total,
+        "the warm pass must replay every cell from the cache"
+    );
+    assert_eq!(
+        cold.result.to_json(),
+        warm.result.to_json(),
+        "cache replay must be byte-identical to execution"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    (cold_s, warm_s, cold.cells_total)
+}
+
 fn main() {
     let opts = ExperimentOptions::parse();
     let trials = opts.trials(40, 8);
@@ -115,52 +167,66 @@ fn main() {
     let batched_tps = total / batched_elapsed.as_secs_f64();
     let scalar_tps = total / scalar_elapsed.as_secs_f64();
 
-    // On a single-core host the "parallel" run is the serial run plus
-    // scheduling overhead; a ~0.95 ratio would read as a perf regression
-    // in the trajectory. Skip the parallel timing and record `null`.
+    let (campaign_cold_s, campaign_warm_s, campaign_cells) = campaign_cache_timing(&opts, trials);
+
+    // The parallel-speedup curve: every measured thread count up to the
+    // host's cores, each asserted byte-identical to the serial run first.
+    // On a single-core host the "parallel" run would be the serial run
+    // plus scheduling overhead — a ~0.95 ratio that reads as a perf
+    // regression in the trajectory — so the curve stays empty there.
     let host_cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    if host_cores == 1 {
-        println!(
-            "{{\"sweep\":\"sorting fig6.1-style\",\"trials\":{},\"threads_serial\":1,\
-             \"elapsed_serial_s\":{:.3},\"trials_per_s_serial\":{:.2},\
-             \"trials_per_s_scalar_dispatch\":{:.2},\"trials_per_s_batched_dispatch\":{:.2},\
-             \"batch_speedup\":{:.2},\"threads_parallel\":null,\
-             \"elapsed_parallel_s\":null,\"trials_per_s_parallel\":null,\"speedup\":null,\
-             \"note\":\"single-core host; parallel timing skipped\"}}",
-            serial.total_trials(),
-            serial.elapsed().as_secs_f64(),
-            serial.throughput(),
-            scalar_tps,
-            batched_tps,
-            batched_tps / scalar_tps,
-        );
-        return;
+    let mut curve = Vec::new();
+    if host_cores > 1 {
+        let mut counts: Vec<usize> = [2usize, 4, 8]
+            .into_iter()
+            .filter(|&t| t <= host_cores)
+            .collect();
+        if !counts.contains(&host_cores) {
+            counts.push(host_cores);
+        }
+        for threads in counts {
+            let parallel = run(&opts, trials, threads);
+            assert_eq!(
+                serial.to_json(),
+                parallel.to_json(),
+                "determinism guarantee violated at {threads} threads"
+            );
+            curve.push(format!(
+                "{{\"threads\":{},\"elapsed_s\":{:.3},\"trials_per_s\":{:.2},\"speedup\":{:.2}}}",
+                parallel.threads(),
+                parallel.elapsed().as_secs_f64(),
+                parallel.throughput(),
+                parallel.throughput() / serial.throughput(),
+            ));
+        }
     }
-
-    let parallel = run(&opts, trials, 0);
-    assert_eq!(
-        serial.to_json(),
-        parallel.to_json(),
-        "determinism guarantee violated"
-    );
+    let note = if host_cores == 1 {
+        ",\"note\":\"single-core host; speedup curve skipped\""
+    } else {
+        ""
+    };
 
     println!(
         "{{\"sweep\":\"sorting fig6.1-style\",\"trials\":{},\"threads_serial\":1,\
          \"elapsed_serial_s\":{:.3},\"trials_per_s_serial\":{:.2},\
          \"trials_per_s_scalar_dispatch\":{:.2},\"trials_per_s_batched_dispatch\":{:.2},\
-         \"batch_speedup\":{:.2},\"threads_parallel\":{},\
-         \"elapsed_parallel_s\":{:.3},\"trials_per_s_parallel\":{:.2},\"speedup\":{:.2}}}",
+         \"batch_speedup\":{:.2},\"host_cores\":{},\"speedup_curve\":[{}],\
+         \"campaign_cells\":{},\"campaign_cold_s\":{:.3},\"campaign_warm_s\":{:.3},\
+         \"campaign_replay_speedup\":{:.1}{}}}",
         serial.total_trials(),
         serial.elapsed().as_secs_f64(),
         serial.throughput(),
         scalar_tps,
         batched_tps,
         batched_tps / scalar_tps,
-        parallel.threads(),
-        parallel.elapsed().as_secs_f64(),
-        parallel.throughput(),
-        parallel.throughput() / serial.throughput(),
+        host_cores,
+        curve.join(","),
+        campaign_cells,
+        campaign_cold_s,
+        campaign_warm_s,
+        campaign_cold_s / campaign_warm_s,
+        note,
     );
 }

@@ -14,43 +14,61 @@
 //! Expected shape (paper): the SVD baseline is "disastrously unstable under
 //! numerical noise" at any measurable fault rate; the SGD variants degrade
 //! gracefully, with aggressive stepping helping most below 1%.
+//!
+//! The figure is expressed as a declarative campaign (4 solver-variant
+//! jobs on the `least_squares` workload), so this binary is also a *thin
+//! client*: with `--server ADDR` it submits the campaign to a running
+//! `campaign_server` and prints the daemon's byte-identical documents;
+//! with `--cache-dir PATH` a local run checkpoints per cell and resumes
+//! after a kill.
 
-use robustify_bench::workloads::paper_least_squares;
-use robustify_bench::{fmt_metric, ExperimentOptions, Table};
+use robustify_bench::workloads::{paper_least_squares, paper_registry};
+use robustify_bench::{fmt_metric, CampaignExecution, ExperimentOptions, Table};
 use robustify_core::{AggressiveStepping, SolverSpec, StepSchedule};
-use robustify_engine::{paper_fault_rates, SweepCase};
+use robustify_engine::campaign::JobSpec;
+use robustify_engine::paper_fault_rates;
 
 const ITERATIONS: usize = 1000;
 
 fn main() {
     let opts = ExperimentOptions::parse();
     let trials = opts.trials(20, 5);
-    let problem = paper_least_squares(opts.seed);
-    let gamma0 = problem.default_gamma0();
+    let gamma0 = paper_least_squares(opts.seed).default_gamma0();
 
     let ls = StepSchedule::Linear { gamma0 };
-    let cases = vec![
-        SweepCase::fixed(
-            "Base: SVD",
-            SolverSpec::baseline_variant("svd"),
-            problem.clone(),
-        ),
-        SweepCase::fixed("SGD,LS", SolverSpec::sgd(ITERATIONS, ls), problem.clone()),
-        SweepCase::fixed(
+    let job =
+        |label: &str, spec: SolverSpec| JobSpec::new(label, "least_squares").with_solver(spec);
+    let campaign = opts
+        .campaign("fig6_2_least_squares")
+        .rates(paper_fault_rates())
+        .trials(trials)
+        .job(job("Base: SVD", SolverSpec::baseline_variant("svd")))
+        .job(job("SGD,LS", SolverSpec::sgd(ITERATIONS, ls)))
+        .job(job(
             "SGD+AS,LS",
             SolverSpec::sgd(ITERATIONS, ls).with_aggressive_stepping(AggressiveStepping::default()),
-            problem.clone(),
-        ),
-        SweepCase::fixed(
+        ))
+        .job(job(
             "SGD,SQS",
             SolverSpec::sgd(ITERATIONS, StepSchedule::Sqrt { gamma0 }),
-            problem.clone(),
-        ),
-    ];
+        ));
 
-    let result = opts
-        .sweep("fig6_2_least_squares", paper_fault_rates(), trials)
-        .run(&cases);
+    let result = match opts.execute_campaign(&campaign, &paper_registry()) {
+        Ok(CampaignExecution::Local(run)) => run.result,
+        Ok(CampaignExecution::Remote(outcome)) => {
+            // Thin-client mode: the daemon's documents are byte-identical
+            // to a local run's, so print them as the figure artifact.
+            println!("\n-- csv --\n{}", outcome.csv);
+            if opts.json {
+                println!("\n-- json --\n{}", outcome.json);
+            }
+            return;
+        }
+        Err(e) => {
+            eprintln!("fig6_2_least_squares: {e}");
+            std::process::exit(1);
+        }
+    };
 
     let mut table = Table::new(
         &format!(

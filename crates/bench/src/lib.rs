@@ -1,265 +1,24 @@
-//! Shared plumbing for the experiment binaries: a tiny CLI parser, table
-//! and CSV printers, and renderers from engine sweep results to tables.
+//! Shared plumbing for the experiment binaries: the unified CLI parser
+//! ([`cli`]), table and CSV printers, and renderers from engine sweep
+//! results to tables.
 //!
 //! Each binary in `src/bin/` regenerates one figure of the paper as a thin
 //! declarative sweep over [`robustify_engine`]: it describes a
 //! `(problem × fault rate × solver)` grid and lets the engine execute it in
-//! parallel with deterministic seeding.
+//! parallel with deterministic seeding. Campaign-shaped binaries can also
+//! run as *thin clients* of the `campaign_server` daemon (`--server`) or
+//! checkpoint into its content-addressed result cache (`--cache-dir`);
+//! see [`cli::ExperimentOptions::execute_campaign`].
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cli;
 pub mod workloads;
 
+pub use cli::{CampaignExecution, ExperimentOptions};
+
 use robustify_engine::SweepResult;
-use stochastic_fpu::{BitFaultModel, BitWidth, FaultModelSpec};
-
-/// Options common to every experiment binary.
-///
-/// # Examples
-///
-/// ```
-/// use robustify_bench::ExperimentOptions;
-///
-/// let opts = ExperimentOptions::parse_from(["--fast", "--seed", "7"].iter().map(|s| s.to_string()));
-/// assert!(opts.fast);
-/// assert_eq!(opts.seed, 7);
-/// ```
-#[derive(Debug, Clone, PartialEq)]
-pub struct ExperimentOptions {
-    /// Reduced trial counts for smoke runs / CI.
-    pub fast: bool,
-    /// Base seed for workload and fault-stream generation.
-    pub seed: u64,
-    /// Fault-model preset name: a bit distribution for the paper's
-    /// transient flip (`emulated`, `uniform`, `msb`, `lsb`), a scenario
-    /// from the extended family (`stuck0`, `stuck1`, `burst`, `operand`,
-    /// `intermittent`, `muldiv`), a voltage-linked scenario (`voltage`,
-    /// `dvfs`), or a memory-persistent scenario (`regfile`, `memory`).
-    pub fault_model: String,
-    /// Sweep worker threads (`0` = all available cores); results are
-    /// bit-identical for every choice.
-    pub threads: usize,
-    /// Also print the sweep's JSON document after each table.
-    pub json: bool,
-    /// Restrict multi-application campaigns to this comma-separated app
-    /// subset (`None` = all applications).
-    pub apps: Option<Vec<String>>,
-}
-
-impl Default for ExperimentOptions {
-    fn default() -> Self {
-        ExperimentOptions {
-            fast: false,
-            seed: 42,
-            fault_model: "emulated".to_string(),
-            threads: 0,
-            json: false,
-            apps: None,
-        }
-    }
-}
-
-impl ExperimentOptions {
-    /// Parses options from `std::env::args()` (skipping the binary name).
-    ///
-    /// # Panics
-    ///
-    /// Panics with a usage message on unknown flags or malformed values.
-    pub fn parse() -> Self {
-        Self::parse_from(std::env::args().skip(1))
-    }
-
-    /// Parses options from an explicit iterator (for tests).
-    ///
-    /// # Panics
-    ///
-    /// Panics with a usage message on unknown flags or malformed values.
-    pub fn parse_from(args: impl Iterator<Item = String>) -> Self {
-        let mut opts = Self::default();
-        let mut args = args.peekable();
-        while let Some(arg) = args.next() {
-            match arg.as_str() {
-                "--fast" => opts.fast = true,
-                "--seed" => {
-                    let v = args.next().unwrap_or_else(|| usage("--seed needs a value"));
-                    opts.seed = v
-                        .parse()
-                        .unwrap_or_else(|_| usage("--seed must be an integer"));
-                }
-                "--fault-model" => {
-                    opts.fault_model = args
-                        .next()
-                        .unwrap_or_else(|| usage("--fault-model needs a value"));
-                }
-                "--threads" => {
-                    let v = args
-                        .next()
-                        .unwrap_or_else(|| usage("--threads needs a value"));
-                    opts.threads = v
-                        .parse()
-                        .unwrap_or_else(|_| usage("--threads must be an integer"));
-                }
-                "--json" => opts.json = true,
-                "--apps" => {
-                    let v = args.next().unwrap_or_else(|| usage("--apps needs a value"));
-                    let apps: Vec<String> = v
-                        .split(',')
-                        .map(|s| s.trim().to_string())
-                        .filter(|s| !s.is_empty())
-                        .collect();
-                    if apps.is_empty() {
-                        usage("--apps needs at least one application name");
-                    }
-                    opts.apps = Some(apps);
-                }
-                "--help" | "-h" => usage(
-                    "
-",
-                ),
-                other => usage(&format!("unknown flag {other}")),
-            }
-        }
-        opts
-    }
-
-    /// Resolves the fault-model preset as a bare bit distribution (for
-    /// binaries that study the distribution itself, e.g. Figure 5.1).
-    ///
-    /// # Panics
-    ///
-    /// Panics with a usage message on preset names that are not plain bit
-    /// distributions (use [`fault_model_spec`](Self::fault_model_spec) for
-    /// the full scenario family).
-    pub fn model(&self) -> BitFaultModel {
-        match self.fault_model.as_str() {
-            "emulated" => BitFaultModel::emulated(),
-            "uniform" => BitFaultModel::uniform(BitWidth::F64),
-            "msb" => BitFaultModel::msb_only(BitWidth::F64),
-            "lsb" => BitFaultModel::lsb_only(BitWidth::F64),
-            other => usage(&format!("unknown bit-distribution fault model {other}")),
-        }
-    }
-
-    /// Resolves the fault-model preset as a full [`FaultModelSpec`]
-    /// scenario (every engine sweep accepts any family member).
-    ///
-    /// # Panics
-    ///
-    /// Panics with a usage message on unknown preset names.
-    pub fn fault_model_spec(&self) -> FaultModelSpec {
-        FaultModelSpec::from_preset(&self.fault_model)
-            .unwrap_or_else(|| usage(&format!("unknown fault model {}", self.fault_model)))
-    }
-
-    /// Chooses between full and reduced trial counts.
-    pub fn trials(&self, full: usize, fast: usize) -> usize {
-        if self.fast {
-            fast
-        } else {
-            full
-        }
-    }
-
-    /// Whether a campaign should include the named application (always
-    /// true without `--apps`). Call
-    /// [`validate_apps`](Self::validate_apps) first so typos fail loudly
-    /// instead of silently dropping an application.
-    pub fn app_enabled(&self, name: &str) -> bool {
-        match &self.apps {
-            Some(apps) => apps.iter().any(|a| a == name),
-            None => true,
-        }
-    }
-
-    /// Checks every `--apps` entry against the campaign's known
-    /// application names.
-    ///
-    /// # Panics
-    ///
-    /// Exits with the usage message (code 2, like every other malformed
-    /// flag value) on an unknown name — a typo would otherwise silently
-    /// drop the intended application from the campaign.
-    pub fn validate_apps(&self, known: &[&str]) {
-        if let Some(requested) = &self.apps {
-            for name in requested {
-                if !known.contains(&name.as_str()) {
-                    usage(&format!(
-                        "--apps: unknown application `{name}` (known: {})",
-                        known.join(", ")
-                    ));
-                }
-            }
-        }
-    }
-
-    /// Builds an engine sweep grid from these options (seed, fault model,
-    /// worker threads).
-    ///
-    /// # Panics
-    ///
-    /// Panics with a usage message on unknown fault-model presets, and like
-    /// [`SweepSpec::new`](robustify_engine::SweepSpec::new) on an empty
-    /// grid.
-    pub fn sweep(
-        &self,
-        name: &str,
-        rates_pct: Vec<f64>,
-        trials: usize,
-    ) -> robustify_engine::SweepSpec {
-        robustify_engine::SweepSpec::new(
-            name,
-            rates_pct,
-            trials,
-            self.seed,
-            self.fault_model_spec(),
-        )
-        .with_threads(self.threads)
-    }
-
-    /// Builds a *voltage-axis* engine sweep from these options: the rate
-    /// grid is derived from `voltages` through `energy_model` (Figure
-    /// 5.2) and every cell gains `energy = P(V) × FLOPs` provenance.
-    ///
-    /// # Panics
-    ///
-    /// Panics with a usage message on unknown fault-model presets, and
-    /// like [`SweepSpec::over_voltages`](robustify_engine::SweepSpec::over_voltages)
-    /// on an empty or invalid voltage grid.
-    pub fn sweep_voltages(
-        &self,
-        name: &str,
-        voltages: Vec<f64>,
-        trials: usize,
-        energy_model: stochastic_fpu::VoltageErrorModel,
-    ) -> robustify_engine::SweepSpec {
-        robustify_engine::SweepSpec::over_voltages(
-            name,
-            voltages,
-            trials,
-            self.seed,
-            energy_model,
-            self.fault_model_spec(),
-        )
-        .with_threads(self.threads)
-    }
-
-    /// Prints a rendered table, the run's parallel throughput, and (with
-    /// `--json`) the sweep's JSON document.
-    pub fn emit(&self, table: &Table, result: &SweepResult) {
-        table.print();
-        eprintln!(
-            "[{} trials in {:.2?} on {} threads — {:.1} trials/s]",
-            result.total_trials(),
-            result.elapsed(),
-            result.threads(),
-            result.throughput(),
-        );
-        if self.json {
-            println!("\n-- json --\n{}", result.to_json());
-        }
-    }
-}
 
 /// Renders a success-rate sweep as a `fault_rate × case` table (the shape
 /// of Figures 6.1, 6.4, 6.5).
@@ -292,16 +51,6 @@ pub fn metric_table(title: &str, result: &SweepResult) -> Table {
         table.row(&row);
     }
     table
-}
-
-fn usage(msg: &str) -> ! {
-    eprintln!(
-        "{msg}\nusage: <experiment> [--fast] [--seed N] \
-         [--fault-model emulated|uniform|msb|lsb|stuck0|stuck1|burst|operand|intermittent|muldiv\
-         |voltage|dvfs|regfile|memory] \
-         [--threads N] [--json] [--apps app1,app2,...]"
-    );
-    std::process::exit(2)
 }
 
 /// A column-aligned results table that also emits machine-readable CSV.
@@ -400,64 +149,6 @@ pub fn fmt_metric(v: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn defaults() {
-        let opts = ExperimentOptions::parse_from(std::iter::empty());
-        assert!(!opts.fast);
-        assert_eq!(opts.seed, 42);
-        assert_eq!(opts.model(), BitFaultModel::emulated());
-        assert_eq!(opts.trials(100, 10), 100);
-    }
-
-    #[test]
-    fn parse_all_flags() {
-        let opts = ExperimentOptions::parse_from(
-            ["--fast", "--seed", "9", "--fault-model", "lsb"]
-                .iter()
-                .map(|s| s.to_string()),
-        );
-        assert!(opts.fast);
-        assert_eq!(opts.seed, 9);
-        assert_eq!(opts.model(), BitFaultModel::lsb_only(BitWidth::F64));
-        assert_eq!(opts.trials(100, 10), 10);
-    }
-
-    #[test]
-    fn apps_filter_parses_and_applies() {
-        let opts = ExperimentOptions::parse_from(
-            ["--apps", "least_squares,iir"]
-                .iter()
-                .map(|s| s.to_string()),
-        );
-        assert!(opts.app_enabled("least_squares"));
-        assert!(opts.app_enabled("iir"));
-        assert!(!opts.app_enabled("sorting"));
-        let all = ExperimentOptions::default();
-        assert!(all.app_enabled("sorting"));
-    }
-
-    #[test]
-    fn extended_fault_model_presets_resolve() {
-        for (name, expect) in [
-            ("emulated", "transient_emulated"),
-            ("stuck1", "stuck1_bit52"),
-            ("burst", "burst3_emulated"),
-            ("operand", "operand_emulated"),
-            ("intermittent", "intermittent50_transient_emulated"),
-            ("muldiv", "only_mul+div_transient_emulated"),
-            ("voltage", "vdd0.700_transient_emulated"),
-            ("dvfs", "dvfs3step_transient_emulated"),
-            ("regfile", "regfile32_scrub10000_emulated"),
-            ("memory", "array64_scrub0_emulated"),
-        ] {
-            let opts = ExperimentOptions {
-                fault_model: name.to_string(),
-                ..ExperimentOptions::default()
-            };
-            assert_eq!(opts.fault_model_spec().name(), expect);
-        }
-    }
 
     #[test]
     fn table_roundtrip() {

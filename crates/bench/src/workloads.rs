@@ -17,7 +17,9 @@ use robustify_apps::matching::MatchingProblem;
 use robustify_apps::maxflow::MaxFlowProblem;
 use robustify_apps::sorting::SortProblem;
 use robustify_apps::svm::{Dataset, SvmProblem};
-use robustify_core::{AggressiveStepping, Annealing, GradientGuard, SolverSpec, StepSchedule};
+use robustify_core::{
+    AggressiveStepping, Annealing, GradientGuard, SolverSpec, StepSchedule, WorkloadRegistry,
+};
 use robustify_graph::generators::{
     random_bipartite, random_flow_network, random_strongly_connected,
 };
@@ -127,6 +129,72 @@ pub fn paper_robust_solver(app: &str, lsq_gamma0: f64, iir_gamma0: f64) -> Solve
     }
 }
 
+/// The paper's 9 applications as a named [`WorkloadRegistry`]: the
+/// vocabulary `campaign_server` and every campaign thin client resolve
+/// job specs against.
+///
+/// Each factory is a deterministic function of the seed (the same
+/// constructors the figure binaries call directly), and each default
+/// solver is the paper-faithful configuration from
+/// [`paper_robust_solver`] — with the instance-derived step sizes
+/// (`default_gamma0`) recomputed from the seed, so a job that omits its
+/// solver gets exactly what the figure binaries would use.
+pub fn paper_registry() -> WorkloadRegistry {
+    let mut reg = WorkloadRegistry::new();
+    reg.register(
+        "least_squares",
+        Box::new(|seed| Box::new(paper_least_squares(seed))),
+        Box::new(|seed| {
+            paper_robust_solver(
+                "least_squares",
+                paper_least_squares(seed).default_gamma0(),
+                0.0,
+            )
+        }),
+    );
+    reg.register(
+        "iir",
+        Box::new(|seed| Box::new(paper_iir_problem(seed))),
+        Box::new(|seed| paper_robust_solver("iir", 0.0, paper_iir_problem(seed).default_gamma0())),
+    );
+    reg.register(
+        "sorting",
+        Box::new(|seed| Box::new(paper_sort(seed))),
+        Box::new(|_| paper_robust_solver("sorting", 0.0, 0.0)),
+    );
+    reg.register(
+        "matching",
+        Box::new(|seed| Box::new(paper_matching(seed))),
+        Box::new(|_| paper_robust_solver("matching", 0.0, 0.0)),
+    );
+    reg.register(
+        "maxflow",
+        Box::new(|seed| Box::new(paper_maxflow(seed))),
+        Box::new(|_| paper_robust_solver("maxflow", 0.0, 0.0)),
+    );
+    reg.register(
+        "apsp",
+        Box::new(|seed| Box::new(paper_apsp(seed))),
+        Box::new(|_| paper_robust_solver("apsp", 0.0, 0.0)),
+    );
+    reg.register(
+        "svm",
+        Box::new(|seed| Box::new(paper_svm(seed))),
+        Box::new(|_| paper_robust_solver("svm", 0.0, 0.0)),
+    );
+    reg.register(
+        "eigen",
+        Box::new(|seed| Box::new(paper_eigen(seed))),
+        Box::new(|_| paper_robust_solver("eigen", 0.0, 0.0)),
+    );
+    reg.register(
+        "doubly_stochastic",
+        Box::new(|seed| Box::new(paper_doubly_stochastic(seed))),
+        Box::new(|_| paper_robust_solver("doubly_stochastic", 0.0, 0.0)),
+    );
+    reg
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,6 +241,48 @@ mod tests {
         assert_eq!(names.len(), 9);
         let distinct: std::collections::HashSet<&str> = names.iter().copied().collect();
         assert_eq!(distinct.len(), 9, "problem names must be distinct");
+    }
+
+    #[test]
+    fn registry_names_every_app_and_matches_the_direct_constructors() {
+        use stochastic_fpu::{FaultRate, NoisyFpu};
+        let reg = paper_registry();
+        assert_eq!(
+            reg.names(),
+            vec![
+                "apsp",
+                "doubly_stochastic",
+                "eigen",
+                "iir",
+                "least_squares",
+                "matching",
+                "maxflow",
+                "sorting",
+                "svm",
+            ]
+        );
+        // A registry-materialized trial is bit-identical to the direct
+        // constructor path (type erasure must not change trials).
+        let spec = reg.default_solver("sorting", 5).expect("registered");
+        let via_registry = {
+            let problem = reg.materialize("sorting", 5).expect("registered");
+            let mut fpu = NoisyFpu::new(
+                FaultRate::percent_of_flops(2.0),
+                stochastic_fpu::FaultModelSpec::default(),
+                9,
+            );
+            problem.run_trial_dyn(&spec, &mut fpu)
+        };
+        let direct = {
+            use robustify_core::RobustProblem;
+            let mut fpu = NoisyFpu::new(
+                FaultRate::percent_of_flops(2.0),
+                stochastic_fpu::FaultModelSpec::default(),
+                9,
+            );
+            paper_sort(5).run_trial(&paper_robust_solver("sorting", 0.0, 0.0), &mut fpu)
+        };
+        assert_eq!(via_registry, direct);
     }
 
     #[test]

@@ -69,6 +69,7 @@ mod sgd;
 #[cfg(test)]
 pub(crate) mod test_util;
 mod trace;
+mod workload;
 
 pub use cg::{CgLeastSquares, CgReport};
 pub use cost::{CostFunction, LinearCost, QuadraticCost, QuadraticResidualCost};
@@ -80,6 +81,7 @@ pub use problem::{default_solve, RobustOutcome, RobustProblem, SolveMethod, Solv
 pub use schedule::StepSchedule;
 pub use sgd::{AggressiveStepping, Annealing, GradientGuard, GuardState, Sgd, SolveReport};
 pub use trace::Trace;
+pub use workload::{DynProblem, ProblemFactory, SolverFactory, WorkloadRegistry};
 
 // The injector-side vocabulary of a trial, re-exported so problem and
 // sweep authors can describe the full (problem × fault model × solver)

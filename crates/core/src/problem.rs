@@ -222,8 +222,9 @@ impl SolverSpec {
         sgd
     }
 
-    /// Serializes the spec to a single-line JSON object (provenance for
-    /// sweep emitters; there is no parser — specs are built in code).
+    /// Serializes the spec to a single-line JSON object — the wire format
+    /// carried by campaign jobs and result documents, and the exact
+    /// inverse of [`from_json`](Self::from_json).
     pub fn to_json(&self) -> String {
         let schedule = match self.schedule {
             StepSchedule::Fixed(g) => format!("{{\"kind\":\"fixed\",\"gamma0\":{g}}}"),
@@ -234,6 +235,18 @@ impl SolverSpec {
         };
         let momentum = match self.momentum {
             Some(b) => format!("{b}"),
+            None => "null".to_string(),
+        };
+        let aggressive = match self.aggressive {
+            Some(a) => format!(
+                "{{\"success_factor\":{},\"fail_factor\":{},\"rel_tolerance\":{},\
+                 \"max_steps\":{}}}",
+                a.success_factor, a.fail_factor, a.rel_tolerance, a.max_steps,
+            ),
+            None => "null".to_string(),
+        };
+        let annealing = match self.annealing {
+            Some(a) => format!("{{\"period\":{},\"factor\":{}}}", a.period, a.factor),
             None => "null".to_string(),
         };
         let guard = match self.guard {
@@ -249,7 +262,7 @@ impl SolverSpec {
             }
         };
         let variant = match &self.variant {
-            Some(v) => format!("\"{v}\""),
+            Some(v) => format!("\"{}\"", stochastic_fpu::json::escape(v)),
             None => "null".to_string(),
         };
         format!(
@@ -259,12 +272,131 @@ impl SolverSpec {
             self.iterations,
             schedule,
             momentum,
-            self.aggressive.is_some(),
-            self.annealing.is_some(),
+            aggressive,
+            annealing,
             guard,
             self.restart,
             variant,
         )
+    }
+
+    /// Parses a spec from its [`to_json`](Self::to_json) serialization.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let value = stochastic_fpu::json::parse(json).map_err(|e| e.to_string())?;
+        Self::from_json_value(&value)
+    }
+
+    /// Reconstructs a spec from a parsed JSON tree (the
+    /// [`to_json`](Self::to_json) shape).
+    pub fn from_json_value(value: &stochastic_fpu::json::JsonValue) -> Result<Self, String> {
+        use stochastic_fpu::json::JsonValue;
+        let method = match value.get("method").and_then(JsonValue::as_str) {
+            Some("baseline") => SolveMethod::Baseline,
+            Some("sgd") => SolveMethod::Sgd,
+            Some("preconditioned_sgd") => SolveMethod::PreconditionedSgd,
+            Some("cg") => SolveMethod::Cg,
+            other => return Err(format!("unknown solve method {other:?}")),
+        };
+        let iterations = value
+            .get("iterations")
+            .and_then(JsonValue::as_usize)
+            .ok_or("solver spec needs an \"iterations\" count")?;
+        let schedule_value = value
+            .get("schedule")
+            .ok_or("solver spec needs a \"schedule\"")?;
+        let gamma0 = schedule_value
+            .get("gamma0")
+            .and_then(JsonValue::as_f64)
+            .ok_or("schedule needs a numeric \"gamma0\"")?;
+        let schedule = match schedule_value.get("kind").and_then(JsonValue::as_str) {
+            Some("fixed") => StepSchedule::Fixed(gamma0),
+            Some("linear") => StepSchedule::Linear { gamma0 },
+            Some("sqrt") => StepSchedule::Sqrt { gamma0 },
+            other => return Err(format!("unknown schedule kind {other:?}")),
+        };
+        let momentum = match value.get("momentum") {
+            None | Some(JsonValue::Null) => None,
+            Some(v) => Some(v.as_f64().ok_or("\"momentum\" must be a number or null")?),
+        };
+        let aggressive = match value.get("aggressive") {
+            None | Some(JsonValue::Null) => None,
+            Some(v) => {
+                let field = |name: &str| {
+                    v.get(name)
+                        .and_then(JsonValue::as_f64)
+                        .ok_or(format!("aggressive stepping needs a numeric \"{name}\""))
+                };
+                Some(AggressiveStepping {
+                    success_factor: field("success_factor")?,
+                    fail_factor: field("fail_factor")?,
+                    rel_tolerance: field("rel_tolerance")?,
+                    max_steps: v
+                        .get("max_steps")
+                        .and_then(JsonValue::as_usize)
+                        .ok_or("aggressive stepping needs a \"max_steps\" count")?,
+                })
+            }
+        };
+        let annealing = match value.get("annealing") {
+            None | Some(JsonValue::Null) => None,
+            Some(v) => Some(Annealing {
+                period: v
+                    .get("period")
+                    .and_then(JsonValue::as_usize)
+                    .ok_or("annealing needs a \"period\" count")?,
+                factor: v
+                    .get("factor")
+                    .and_then(JsonValue::as_f64)
+                    .ok_or("annealing needs a numeric \"factor\"")?,
+            }),
+        };
+        let guard = match value.get("guard") {
+            None => None,
+            Some(JsonValue::String(s)) => match s.as_str() {
+                "default" => None,
+                "off" => Some(GradientGuard::Off),
+                "zero_nonfinite" => Some(GradientGuard::ZeroNonFinite),
+                other => return Err(format!("unknown guard name \"{other}\"")),
+            },
+            Some(v) => {
+                if let Some(max_norm) = v.get("clip").and_then(JsonValue::as_f64) {
+                    Some(GradientGuard::Clip { max_norm })
+                } else if let Some(max_abs) = v.get("clamp").and_then(JsonValue::as_f64) {
+                    Some(GradientGuard::ClampComponents { max_abs })
+                } else if let Some(factor) = v.get("adaptive").and_then(JsonValue::as_f64) {
+                    let reject = v
+                        .get("reject")
+                        .and_then(JsonValue::as_f64)
+                        .ok_or("adaptive guard needs a numeric \"reject\"")?;
+                    Some(GradientGuard::Adaptive { factor, reject })
+                } else {
+                    return Err("unrecognized \"guard\" object".to_string());
+                }
+            }
+        };
+        let restart = value
+            .get("restart")
+            .and_then(JsonValue::as_usize)
+            .ok_or("solver spec needs a \"restart\" interval")?;
+        let variant = match value.get("variant") {
+            None | Some(JsonValue::Null) => None,
+            Some(v) => Some(
+                v.as_str()
+                    .ok_or("\"variant\" must be a string or null")?
+                    .to_string(),
+            ),
+        };
+        Ok(SolverSpec {
+            method,
+            iterations,
+            schedule,
+            momentum,
+            aggressive,
+            annealing,
+            guard,
+            restart,
+            variant,
+        })
     }
 }
 
@@ -496,6 +628,55 @@ mod tests {
         assert!(SolverSpec::baseline_variant("svd")
             .to_json()
             .contains("\"variant\":\"svd\""));
+    }
+
+    #[test]
+    fn spec_json_round_trips_every_field_shape() {
+        let specs = vec![
+            SolverSpec::baseline(),
+            SolverSpec::baseline_variant("svd"),
+            SolverSpec::sgd(10_000, StepSchedule::Sqrt { gamma0: 0.1 }),
+            SolverSpec::sgd(500, StepSchedule::Linear { gamma0: 0.25 })
+                .with_momentum(0.5)
+                .with_aggressive_stepping(AggressiveStepping::default())
+                .with_annealing(Annealing {
+                    period: 750,
+                    factor: 1.5,
+                })
+                .with_guard(GradientGuard::Adaptive {
+                    factor: 10.0,
+                    reject: 100.0,
+                }),
+            SolverSpec::sgd(100, StepSchedule::Fixed(0.01)).with_guard(GradientGuard::Off),
+            SolverSpec::sgd(100, StepSchedule::Fixed(0.01))
+                .with_guard(GradientGuard::ZeroNonFinite),
+            SolverSpec::sgd(100, StepSchedule::Fixed(0.01))
+                .with_guard(GradientGuard::ClampComponents { max_abs: 3.5 }),
+            SolverSpec::cg(40).with_restart(8),
+            SolverSpec::preconditioned_sgd(2000, StepSchedule::Sqrt { gamma0: 0.05 }),
+        ];
+        for spec in specs {
+            let json = spec.to_json();
+            let parsed = SolverSpec::from_json(&json).unwrap_or_else(|e| panic!("{json}: {e}"));
+            assert_eq!(parsed, spec, "round trip changed {json}");
+            assert_eq!(parsed.to_json(), json, "re-serialization drifted");
+        }
+    }
+
+    #[test]
+    fn spec_from_json_rejects_malformed_documents() {
+        for bad in [
+            "{}",
+            r#"{"method":"sgd"}"#,
+            r#"{"method":"nope","iterations":1,
+                "schedule":{"kind":"fixed","gamma0":0.1},"restart":4}"#,
+            r#"{"method":"sgd","iterations":1,
+                "schedule":{"kind":"nope","gamma0":0.1},"restart":4}"#,
+            r#"{"method":"sgd","iterations":1,
+                "schedule":{"kind":"fixed","gamma0":0.1},"guard":"nope","restart":4}"#,
+        ] {
+            assert!(SolverSpec::from_json(bad).is_err(), "accepted {bad}");
+        }
     }
 
     #[test]

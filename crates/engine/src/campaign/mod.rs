@@ -1,0 +1,39 @@
+//! The sweep grid as *data*: declarative campaign specs, a
+//! content-addressed result cache, a resumable parallel runner, and the
+//! line-delimited JSON protocol of the `campaign_server` daemon.
+//!
+//! A [`SweepSpec`](crate::SweepSpec) run is bound to closures, so it lives
+//! and dies inside one process. A campaign is the same grid written down:
+//! every job *names* its workload in a
+//! [`WorkloadRegistry`](robustify_core::WorkloadRegistry) and carries
+//! declarative solver and fault-model specs, so the whole experiment can
+//! be serialized, shipped to a daemon, hashed, checkpointed, and resumed.
+//!
+//! The pieces:
+//!
+//! * [`CampaignSpec`] / [`JobSpec`] — the wire format: grid axes plus
+//!   jobs, round-tripping through canonical JSON.
+//! * [`ResultCache`] — per-cell trial records on disk, keyed by a content
+//!   hash of everything that determines the cell's trials (workload,
+//!   instantiation, seed, trials, rate, solver, fault model). Because the
+//!   executor is bit-deterministic in exactly those inputs, replaying a
+//!   cached cell is indistinguishable from re-running it — which is what
+//!   makes resuming a killed campaign sound.
+//! * [`run`] / [`run_with_budget`] — the executor: cache-hit cells replay
+//!   instantly, missing cells run across scoped worker threads and
+//!   checkpoint as they finish, and the assembled
+//!   [`SweepResult`](crate::SweepResult) is emitted by the same
+//!   CSV/JSON code paths as an in-process sweep.
+//! * [`protocol`] — newline-delimited JSON requests/events over
+//!   stdin/stdout or TCP, shared by the daemon and its thin clients.
+
+mod cache;
+pub mod protocol;
+mod runner;
+mod spec;
+
+pub use cache::ResultCache;
+pub use runner::{
+    resolve_cells, run, run_with_budget, CampaignOutcome, CampaignRun, CellUpdate, ResolvedCell,
+};
+pub use spec::{CampaignSpec, Instantiate, JobSpec};

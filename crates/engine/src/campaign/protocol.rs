@@ -1,0 +1,459 @@
+//! The campaign daemon's wire protocol: newline-delimited JSON requests
+//! and events, shared by the stdio loop, the TCP listener, and thin
+//! clients.
+//!
+//! Requests (one JSON document per line):
+//!
+//! ```text
+//! {"op":"ping"}
+//! {"op":"workloads"}
+//! {"op":"submit","campaign":{…}}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Events (one per line; a submit streams `accepted`, then one `cell` per
+//! finished cell, then `done` carrying the full CSV and JSON documents as
+//! escaped strings):
+//!
+//! ```text
+//! {"event":"pong"}
+//! {"event":"workloads","names":["least_squares",…]}
+//! {"event":"accepted","name":"fig6_2","cells":24}
+//! {"event":"cell","job":0,"rate":2,"label":"sgd","rate_pct":1,"cached":false,"trials":100,"successes":97}
+//! {"event":"done","name":"fig6_2","cells":24,"cached":6,"csv":"…","json":"…"}
+//! {"event":"error","message":"…"}
+//! ```
+
+use super::cache::ResultCache;
+use super::runner::{self, CellUpdate};
+use super::spec::CampaignSpec;
+use robustify_core::WorkloadRegistry;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+use stochastic_fpu::json::{self, escape, JsonValue};
+
+fn error_event(message: &str) -> String {
+    format!(
+        "{{\"event\":\"error\",\"message\":\"{}\"}}",
+        escape(message)
+    )
+}
+
+fn cell_event(update: &CellUpdate) -> String {
+    format!(
+        "{{\"event\":\"cell\",\"job\":{},\"rate\":{},\"label\":\"{}\",\"rate_pct\":{},\
+         \"cached\":{},\"trials\":{},\"successes\":{}}}",
+        update.job_index,
+        update.rate_index,
+        escape(&update.label),
+        update.rate_pct,
+        update.cached,
+        update.trials,
+        update.successes,
+    )
+}
+
+fn handle_submit(
+    request: &JsonValue,
+    writer: &mut impl Write,
+    registry: &WorkloadRegistry,
+    cache: Option<&ResultCache>,
+) -> io::Result<()> {
+    let campaign = match request.get("campaign") {
+        Some(v) => v,
+        None => return writeln!(writer, "{}", error_event("submit needs a \"campaign\"")),
+    };
+    let spec = match CampaignSpec::from_json_value(campaign) {
+        Ok(spec) => spec,
+        Err(e) => return writeln!(writer, "{}", error_event(&e)),
+    };
+    if let Err(e) = spec.validate() {
+        return writeln!(writer, "{}", error_event(&e));
+    }
+    writeln!(
+        writer,
+        "{{\"event\":\"accepted\",\"name\":\"{}\",\"cells\":{}}}",
+        escape(spec.name()),
+        spec.jobs().len() * spec.rates_pct().len(),
+    )?;
+    writer.flush()?;
+
+    // Stream cell events as the runner finishes them; write failures are
+    // remembered and surfaced after the run (the run itself keeps its
+    // checkpoints either way).
+    let mut stream_error: Option<io::Error> = None;
+    let outcome = runner::run(&spec, registry, cache, |update| {
+        if stream_error.is_some() {
+            return;
+        }
+        if let Err(e) = writeln!(writer, "{}", cell_event(update)).and_then(|()| writer.flush()) {
+            stream_error = Some(e);
+        }
+    });
+    if let Some(e) = stream_error {
+        return Err(e);
+    }
+    match outcome {
+        Ok(run) => {
+            writeln!(
+                writer,
+                "{{\"event\":\"done\",\"name\":\"{}\",\"cells\":{},\"cached\":{},\
+                 \"csv\":\"{}\",\"json\":\"{}\"}}",
+                escape(run.result.name()),
+                run.cells_total,
+                run.cells_cached,
+                escape(&run.result.to_csv()),
+                escape(&run.result.to_json()),
+            )?;
+        }
+        Err(e) => writeln!(writer, "{}", error_event(&e))?,
+    }
+    writer.flush()
+}
+
+/// Serves one line-delimited JSON connection (stdio or a TCP stream)
+/// until EOF or a `shutdown` request. Returns whether shutdown was
+/// requested.
+pub fn serve_connection(
+    reader: &mut impl BufRead,
+    writer: &mut impl Write,
+    registry: &WorkloadRegistry,
+    cache: Option<&ResultCache>,
+) -> io::Result<bool> {
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = match json::parse(&line) {
+            Ok(v) => v,
+            Err(e) => {
+                writeln!(writer, "{}", error_event(&e.to_string()))?;
+                writer.flush()?;
+                continue;
+            }
+        };
+        match request.get("op").and_then(JsonValue::as_str) {
+            Some("ping") => {
+                writeln!(writer, "{{\"event\":\"pong\"}}")?;
+                writer.flush()?;
+            }
+            Some("workloads") => {
+                let names = registry
+                    .names()
+                    .iter()
+                    .map(|n| format!("\"{}\"", escape(n)))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                writeln!(writer, "{{\"event\":\"workloads\",\"names\":[{names}]}}")?;
+                writer.flush()?;
+            }
+            Some("submit") => handle_submit(&request, writer, registry, cache)?,
+            Some("shutdown") => {
+                writeln!(writer, "{{\"event\":\"bye\"}}")?;
+                writer.flush()?;
+                return Ok(true);
+            }
+            _ => {
+                writeln!(
+                    writer,
+                    "{}",
+                    error_event("\"op\" must be ping, workloads, submit, or shutdown")
+                )?;
+                writer.flush()?;
+            }
+        }
+    }
+    Ok(false)
+}
+
+/// Runs the TCP daemon on an already-bound listener: one thread per
+/// connection, all sharing the registry and cache, until some connection
+/// sends `shutdown`.
+pub fn serve_tcp(
+    listener: TcpListener,
+    registry: &WorkloadRegistry,
+    cache: Option<&ResultCache>,
+) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let shutdown = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        while !shutdown.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _addr)) => {
+                    let shutdown = &shutdown;
+                    scope.spawn(move || {
+                        let _ = stream.set_nonblocking(false);
+                        let mut reader = BufReader::new(match stream.try_clone() {
+                            Ok(s) => s,
+                            Err(_) => return,
+                        });
+                        let mut writer = stream;
+                        if let Ok(true) =
+                            serve_connection(&mut reader, &mut writer, registry, cache)
+                        {
+                            shutdown.store(true, Ordering::SeqCst);
+                        }
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    })
+}
+
+/// What a thin client gets back from a completed submit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientOutcome {
+    /// The campaign name echoed by the daemon.
+    pub name: String,
+    /// Total cells in the grid.
+    pub cells: usize,
+    /// Cells the daemon replayed from its cache.
+    pub cached: usize,
+    /// The full CSV document, byte-identical to a local run.
+    pub csv: String,
+    /// The full JSON document, byte-identical to a local run.
+    pub json: String,
+}
+
+/// Submits a campaign over an open line-delimited JSON transport and
+/// reads events until `done` or `error`. Every raw event line (including
+/// `done`) is passed to `on_event` for progress display.
+pub fn submit_over(
+    reader: &mut impl BufRead,
+    writer: &mut impl Write,
+    campaign: &CampaignSpec,
+    mut on_event: impl FnMut(&str),
+) -> Result<ClientOutcome, String> {
+    writeln!(
+        writer,
+        "{{\"op\":\"submit\",\"campaign\":{}}}",
+        campaign.to_json()
+    )
+    .and_then(|()| writer.flush())
+    .map_err(|e| format!("send failed: {e}"))?;
+    for line in reader.lines() {
+        let line = line.map_err(|e| format!("read failed: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        on_event(&line);
+        let event = json::parse(&line).map_err(|e| format!("bad event line: {e}"))?;
+        match event.get("event").and_then(JsonValue::as_str) {
+            Some("error") => {
+                let message = event
+                    .get("message")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("unspecified daemon error");
+                return Err(message.to_string());
+            }
+            Some("done") => {
+                let field = |key: &str| {
+                    event
+                        .get(key)
+                        .and_then(JsonValue::as_str)
+                        .map(str::to_string)
+                        .ok_or(format!("done event lacks \"{key}\""))
+                };
+                return Ok(ClientOutcome {
+                    name: event
+                        .get("name")
+                        .and_then(JsonValue::as_str)
+                        .unwrap_or_default()
+                        .to_string(),
+                    cells: event
+                        .get("cells")
+                        .and_then(JsonValue::as_usize)
+                        .unwrap_or(0),
+                    cached: event
+                        .get("cached")
+                        .and_then(JsonValue::as_usize)
+                        .unwrap_or(0),
+                    csv: field("csv")?,
+                    json: field("json")?,
+                });
+            }
+            _ => {}
+        }
+    }
+    Err("daemon closed the connection before done".to_string())
+}
+
+/// Submits a campaign to a TCP daemon at `addr`.
+pub fn submit_tcp(
+    addr: &str,
+    campaign: &CampaignSpec,
+    on_event: impl FnMut(&str),
+) -> Result<ClientOutcome, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut reader = BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| format!("clone stream: {e}"))?,
+    );
+    let mut writer = stream;
+    submit_over(&mut reader, &mut writer, campaign, on_event)
+}
+
+/// Asks the TCP daemon at `addr` to shut down.
+pub fn shutdown_tcp(addr: &str) -> Result<(), String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| format!("clone stream: {e}"))?;
+    writeln!(writer, "{{\"op\":\"shutdown\"}}")
+        .and_then(|()| writer.flush())
+        .map_err(|e| format!("send failed: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("read failed: {e}"))?;
+    if line.contains("\"bye\"") {
+        Ok(())
+    } else {
+        Err(format!("unexpected shutdown response: {line}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::JobSpec;
+    use robustify_core::{DynProblem, SolverSpec, Verdict};
+    use std::io::Cursor;
+    use stochastic_fpu::{Fpu, NoisyFpu};
+
+    struct Wobble;
+
+    impl DynProblem for Wobble {
+        fn name(&self) -> &'static str {
+            "wobble"
+        }
+
+        fn run_trial_dyn(&self, _spec: &SolverSpec, fpu: &mut NoisyFpu) -> Verdict {
+            let mut acc = 0.0;
+            for i in 0..32 {
+                let halved = fpu.mul(acc, 0.5);
+                acc = fpu.add(halved, (i % 3) as f64);
+            }
+            Verdict::from_metric((acc - 2.0).abs(), 1.5)
+        }
+    }
+
+    fn registry() -> WorkloadRegistry {
+        let mut reg = WorkloadRegistry::new();
+        reg.register(
+            "wobble",
+            Box::new(|_| Box::new(Wobble)),
+            Box::new(|_| SolverSpec::baseline()),
+        );
+        reg
+    }
+
+    fn campaign() -> CampaignSpec {
+        CampaignSpec::new("proto")
+            .rates(vec![0.0, 10.0])
+            .trials(6)
+            .seed(3)
+            .threads(1)
+            .job(JobSpec::new("w", "wobble"))
+    }
+
+    fn serve_lines(input: &str, registry: &WorkloadRegistry) -> (Vec<String>, bool) {
+        let mut reader = Cursor::new(input.as_bytes().to_vec());
+        let mut out = Vec::new();
+        let shutdown = serve_connection(&mut reader, &mut out, registry, None).expect("serve");
+        let text = String::from_utf8(out).expect("utf8 events");
+        (text.lines().map(str::to_string).collect(), shutdown)
+    }
+
+    #[test]
+    fn ping_workloads_and_garbage_are_answered() {
+        let reg = registry();
+        let (events, shutdown) = serve_lines(
+            "{\"op\":\"ping\"}\nnot json\n{\"op\":\"workloads\"}\n{\"op\":\"nope\"}\n",
+            &reg,
+        );
+        assert!(!shutdown);
+        assert_eq!(events[0], "{\"event\":\"pong\"}");
+        assert!(events[1].starts_with("{\"event\":\"error\""));
+        assert_eq!(
+            events[2],
+            "{\"event\":\"workloads\",\"names\":[\"wobble\"]}"
+        );
+        assert!(events[3].contains("\"op\\\" must be"));
+    }
+
+    #[test]
+    fn submit_streams_cells_and_done_with_exact_documents() {
+        let reg = registry();
+        let spec = campaign();
+        let local = super::super::runner::run(&spec, &reg, None, |_| {}).expect("local");
+        let request = format!("{{\"op\":\"submit\",\"campaign\":{}}}\n", spec.to_json());
+        let (events, _) = serve_lines(&request, &reg);
+        assert!(events[0].contains("\"event\":\"accepted\""));
+        assert!(events[0].contains("\"cells\":2"));
+        let cell_lines: Vec<_> = events
+            .iter()
+            .filter(|l| l.contains("\"event\":\"cell\""))
+            .collect();
+        assert_eq!(cell_lines.len(), 2);
+        let done = events.last().expect("done event");
+        let doc = json::parse(done).expect("done parses");
+        assert_eq!(doc.get("event").and_then(JsonValue::as_str), Some("done"));
+        assert_eq!(
+            doc.get("csv").and_then(JsonValue::as_str),
+            Some(local.result.to_csv().as_str()),
+            "daemon CSV must be byte-identical to a local run"
+        );
+        assert_eq!(
+            doc.get("json").and_then(JsonValue::as_str),
+            Some(local.result.to_json().as_str()),
+        );
+    }
+
+    #[test]
+    fn malformed_submissions_answer_with_error_events() {
+        let reg = registry();
+        let (events, _) = serve_lines("{\"op\":\"submit\"}\n", &reg);
+        assert!(events[0].starts_with("{\"event\":\"error\""));
+        let empty_grid = "{\"op\":\"submit\",\"campaign\":{\"name\":\"x\",\"rates_pct\":[],\
+             \"voltages\":null,\"energy_model\":null,\"trials\":1,\"base_seed\":0,\
+             \"threads\":0,\"fault_model\":{\"kind\":\"transient\",\
+             \"distribution\":\"emulated\",\"width\":\"f64\"},\"jobs\":[]}}\n";
+        let (events, _) = serve_lines(empty_grid, &reg);
+        assert!(
+            events[0].starts_with("{\"event\":\"error\""),
+            "got {events:?}"
+        );
+    }
+
+    #[test]
+    fn tcp_round_trip_submits_and_shuts_down() {
+        let reg = registry();
+        let spec = campaign();
+        let local = super::super::runner::run(&spec, &reg, None, |_| {}).expect("local");
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        std::thread::scope(|scope| {
+            let reg = &reg;
+            let server = scope.spawn(move || serve_tcp(listener, reg, None));
+            let mut events = 0usize;
+            let outcome = submit_tcp(&addr, &spec, |_| events += 1).expect("submit over tcp");
+            assert_eq!(outcome.csv, local.result.to_csv());
+            assert_eq!(outcome.json, local.result.to_json());
+            assert_eq!(outcome.cells, 2);
+            assert!(events >= 3, "accepted + cells + done");
+            shutdown_tcp(&addr).expect("shutdown");
+            server.join().expect("server thread").expect("serve_tcp");
+        });
+    }
+}

@@ -1,0 +1,532 @@
+//! The campaign executor: resolve jobs against a registry, replay
+//! cache-hit cells, run the misses across scoped workers with per-cell
+//! checkpointing, and assemble a standard [`SweepResult`].
+
+use super::cache::ResultCache;
+use super::spec::{CampaignSpec, Instantiate};
+use crate::stats::{CellStats, TrialRecord};
+use crate::sweep::{derive_trial_seed, problem_seed, CaseParts};
+use crate::SweepResult;
+use robustify_core::{SolverSpec, WorkloadRegistry};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::Instant;
+use stochastic_fpu::json::escape;
+use stochastic_fpu::{FaultModelSpec, FaultRate, Fpu, NoisyFpu};
+
+/// One grid cell after resolution: which `(job, rate)` it is and the
+/// canonical content key its records are cached under.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedCell {
+    /// Index into [`CampaignSpec::jobs`].
+    pub job_index: usize,
+    /// Index into [`CampaignSpec::rates_pct`].
+    pub rate_index: usize,
+    /// The canonical key document (see [`ResultCache`]).
+    pub key_json: String,
+}
+
+/// A progress event: one cell finished (by execution or cache replay).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellUpdate {
+    /// Index into [`CampaignSpec::jobs`].
+    pub job_index: usize,
+    /// Index into [`CampaignSpec::rates_pct`].
+    pub rate_index: usize,
+    /// The job label.
+    pub label: String,
+    /// The cell's fault rate (percent of FLOPs).
+    pub rate_pct: f64,
+    /// Whether the cell was replayed from the cache.
+    pub cached: bool,
+    /// Trials in the cell.
+    pub trials: usize,
+    /// Successful trials in the cell.
+    pub successes: usize,
+}
+
+/// A finished campaign.
+#[derive(Debug)]
+pub struct CampaignRun {
+    /// The assembled result — emitted by the exact same CSV/JSON paths as
+    /// an in-process sweep.
+    pub result: SweepResult,
+    /// Total cells in the grid.
+    pub cells_total: usize,
+    /// Cells replayed from the cache rather than executed.
+    pub cells_cached: usize,
+}
+
+/// What [`run_with_budget`] came back with.
+#[derive(Debug)]
+pub enum CampaignOutcome {
+    /// Every cell finished (boxed: a completed run carries the whole
+    /// aggregated document, dwarfing the out-of-budget counters).
+    Complete(Box<CampaignRun>),
+    /// The execution budget ran out first; finished cells are
+    /// checkpointed, so a re-run with the same cache resumes from here.
+    OutOfBudget {
+        /// Cells executed (and checkpointed) this run.
+        cells_executed: usize,
+        /// Cells replayed from the cache this run.
+        cells_cached: usize,
+    },
+}
+
+struct ResolvedJob {
+    label: String,
+    workload: String,
+    instantiate: Instantiate,
+    solver: SolverSpec,
+    fault_model: FaultModelSpec,
+    trials: usize,
+}
+
+fn resolve_jobs(
+    spec: &CampaignSpec,
+    registry: &WorkloadRegistry,
+) -> Result<Vec<ResolvedJob>, String> {
+    spec.validate()?;
+    spec.jobs()
+        .iter()
+        .map(|job| {
+            if !registry.contains(job.workload()) {
+                return Err(format!(
+                    "unknown workload \"{}\" (registry has: {})",
+                    job.workload(),
+                    registry.names().join(", "),
+                ));
+            }
+            let solver = match job.solver() {
+                Some(s) => s.clone(),
+                // Default solvers are seed-tuned per instance; resolve
+                // against the campaign's base seed, which is also the
+                // fixed-instantiation seed.
+                None => registry
+                    .default_solver(job.workload(), spec.base_seed())
+                    .expect("contains() checked"),
+            };
+            Ok(ResolvedJob {
+                label: job.label().to_string(),
+                workload: job.workload().to_string(),
+                instantiate: job.instantiate(),
+                solver,
+                fault_model: job
+                    .fault_model()
+                    .cloned()
+                    .unwrap_or_else(|| spec.fault_model().clone()),
+                trials: job.trials().unwrap_or_else(|| spec.trials_per_cell()),
+            })
+        })
+        .collect()
+}
+
+/// The canonical content key of one cell: exactly the inputs the
+/// deterministic executor's records depend on, nothing else. Grid
+/// provenance that does not alter trials (campaign name, voltage labels,
+/// thread count) is deliberately absent, so equivalent cells share work
+/// across campaigns.
+fn cell_key_json(job: &ResolvedJob, base_seed: u64, rate_pct: f64) -> String {
+    format!(
+        "{{\"workload\":\"{}\",\"instantiate\":\"{}\",\"base_seed\":{},\"trials\":{},\
+         \"rate_pct\":{},\"solver\":{},\"fault_model\":{}}}",
+        escape(&job.workload),
+        job.instantiate.name(),
+        base_seed,
+        job.trials,
+        rate_pct,
+        job.solver.to_json(),
+        job.fault_model.to_json(),
+    )
+}
+
+/// Resolves a campaign's grid into its cells and their cache keys (cell
+/// order: jobs outer, rates inner), without running anything.
+pub fn resolve_cells(
+    spec: &CampaignSpec,
+    registry: &WorkloadRegistry,
+) -> Result<Vec<ResolvedCell>, String> {
+    let jobs = resolve_jobs(spec, registry)?;
+    let mut cells = Vec::with_capacity(jobs.len() * spec.rates_pct().len());
+    for (job_index, job) in jobs.iter().enumerate() {
+        for (rate_index, &rate_pct) in spec.rates_pct().iter().enumerate() {
+            cells.push(ResolvedCell {
+                job_index,
+                rate_index,
+                key_json: cell_key_json(job, spec.base_seed(), rate_pct),
+            });
+        }
+    }
+    Ok(cells)
+}
+
+/// Executes one cell's trials serially, seeding trial `i` exactly like
+/// [`SweepSpec::run`](crate::SweepSpec::run) does — so a campaign cell and
+/// the equivalent in-process sweep cell produce bit-identical records.
+fn execute_cell(
+    job: &ResolvedJob,
+    registry: &WorkloadRegistry,
+    base_seed: u64,
+    rate_pct: f64,
+) -> Vec<TrialRecord> {
+    let rate = FaultRate::percent_of_flops(rate_pct);
+    let fixed = match job.instantiate {
+        Instantiate::Fixed => Some(
+            registry
+                .materialize(&job.workload, base_seed)
+                .expect("resolved"),
+        ),
+        Instantiate::PerTrial => None,
+    };
+    let mut records = Vec::with_capacity(job.trials);
+    for trial in 0..job.trials as u64 {
+        let mut fpu = NoisyFpu::new(
+            rate,
+            job.fault_model.clone(),
+            derive_trial_seed(base_seed, trial),
+        );
+        let verdict = match &fixed {
+            Some(problem) => problem.run_trial_dyn(&job.solver, &mut fpu),
+            None => registry
+                .materialize(&job.workload, problem_seed(base_seed, trial))
+                .expect("resolved")
+                .run_trial_dyn(&job.solver, &mut fpu),
+        };
+        records.push(TrialRecord {
+            verdict,
+            flops: fpu.flops(),
+            faults: fpu.faults(),
+        });
+    }
+    records
+}
+
+fn stats_of(records: &[TrialRecord]) -> CellStats {
+    let mut stats = CellStats::new();
+    for record in records {
+        stats.push(record);
+    }
+    stats
+}
+
+/// Runs a campaign to completion. Cache-hit cells replay instantly;
+/// misses execute across scoped worker threads, checkpointing to `cache`
+/// as each cell finishes. `on_cell` observes every finished cell (cached
+/// ones first, in grid order; executed ones in completion order).
+pub fn run(
+    spec: &CampaignSpec,
+    registry: &WorkloadRegistry,
+    cache: Option<&ResultCache>,
+    on_cell: impl FnMut(&CellUpdate),
+) -> Result<CampaignRun, String> {
+    match run_with_budget(spec, registry, cache, None, on_cell)? {
+        CampaignOutcome::Complete(run) => Ok(*run),
+        CampaignOutcome::OutOfBudget { .. } => unreachable!("no budget was set"),
+    }
+}
+
+/// [`run`], but stopping after at most `cell_budget` cells have been
+/// *executed* (cache replays are free). This is the resumption primitive:
+/// a killed daemon is equivalent to an exhausted budget, and re-running
+/// the same campaign against the same cache picks up where it stopped.
+pub fn run_with_budget(
+    spec: &CampaignSpec,
+    registry: &WorkloadRegistry,
+    cache: Option<&ResultCache>,
+    cell_budget: Option<usize>,
+    mut on_cell: impl FnMut(&CellUpdate),
+) -> Result<CampaignOutcome, String> {
+    let start = Instant::now();
+    let jobs = resolve_jobs(spec, registry)?;
+    let cells = resolve_cells(spec, registry)?;
+    let base_seed = spec.base_seed();
+    let rates = spec.rates_pct();
+
+    // Replay phase: resolve every cell against the cache first, so the
+    // budget is spent only on genuinely new work.
+    let mut slots: Vec<Option<Vec<TrialRecord>>> = vec![None; cells.len()];
+    let mut misses: Vec<usize> = Vec::new();
+    for (i, cell) in cells.iter().enumerate() {
+        match cache.and_then(|c| c.load(&cell.key_json)) {
+            Some(records) => slots[i] = Some(records),
+            None => misses.push(i),
+        }
+    }
+    let cells_cached = cells.len() - misses.len();
+    for (i, slot) in slots.iter().enumerate() {
+        if let Some(records) = slot {
+            let cell = &cells[i];
+            let stats = stats_of(records);
+            on_cell(&CellUpdate {
+                job_index: cell.job_index,
+                rate_index: cell.rate_index,
+                label: jobs[cell.job_index].label.clone(),
+                rate_pct: rates[cell.rate_index],
+                cached: true,
+                trials: stats.trials(),
+                successes: stats.successes(),
+            });
+        }
+    }
+
+    // Execution phase: a work queue over the missing cells.
+    let threads = if spec.thread_count() > 0 {
+        spec.thread_count()
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+    .clamp(1, misses.len().max(1));
+
+    let next = AtomicUsize::new(0);
+    let claimed = AtomicUsize::new(0);
+    let mut store_error: Option<String> = None;
+    let mut cells_executed = 0usize;
+    std::thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel::<(usize, Vec<TrialRecord>, Option<String>)>();
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let jobs = &jobs;
+            let cells = &cells;
+            let misses = &misses;
+            let next = &next;
+            let claimed = &claimed;
+            scope.spawn(move || {
+                loop {
+                    if let Some(budget) = cell_budget {
+                        if claimed.fetch_add(1, Ordering::Relaxed) >= budget {
+                            break;
+                        }
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= misses.len() {
+                        break;
+                    }
+                    let cell_index = misses[i];
+                    let cell = &cells[cell_index];
+                    let job = &jobs[cell.job_index];
+                    let records = execute_cell(job, registry, base_seed, rates[cell.rate_index]);
+                    // Checkpoint before reporting, so every reported cell
+                    // is durable even if the process dies right after.
+                    let store_err = cache.and_then(|c| {
+                        c.store(&cell.key_json, &records)
+                            .err()
+                            .map(|e| e.to_string())
+                    });
+                    if tx.send((cell_index, records, store_err)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+        for (cell_index, records, store_err) in rx {
+            if let Some(err) = store_err {
+                store_error.get_or_insert(err);
+            }
+            let cell = &cells[cell_index];
+            let stats = stats_of(&records);
+            on_cell(&CellUpdate {
+                job_index: cell.job_index,
+                rate_index: cell.rate_index,
+                label: jobs[cell.job_index].label.clone(),
+                rate_pct: rates[cell.rate_index],
+                cached: false,
+                trials: stats.trials(),
+                successes: stats.successes(),
+            });
+            slots[cell_index] = Some(records);
+            cells_executed += 1;
+        }
+    });
+    if let Some(err) = store_error {
+        return Err(format!("cache checkpoint failed: {err}"));
+    }
+    if slots.iter().any(Option::is_none) {
+        return Ok(CampaignOutcome::OutOfBudget {
+            cells_executed,
+            cells_cached,
+        });
+    }
+
+    // Assembly: fold records into per-cell aggregates in grid order and
+    // hand them to the standard result type, so emission is shared with
+    // the in-process sweep path.
+    let n_rates = rates.len();
+    let case_parts: Vec<CaseParts> = jobs
+        .iter()
+        .enumerate()
+        .map(|(job_index, job)| CaseParts {
+            label: job.label.clone(),
+            spec_json: Some(job.solver.to_json()),
+            fault_model: job.fault_model.clone(),
+            cells: (0..n_rates)
+                .map(|rate_index| {
+                    let slot = slots[job_index * n_rates + rate_index]
+                        .as_ref()
+                        .expect("all cells resolved");
+                    stats_of(slot)
+                })
+                .collect(),
+        })
+        .collect();
+    let result = SweepResult::from_parts(
+        spec.name().to_string(),
+        case_parts,
+        rates.to_vec(),
+        spec.voltages_axis().map(<[f64]>::to_vec),
+        spec.energy_model().cloned(),
+        base_seed,
+        threads,
+        start.elapsed(),
+    );
+    Ok(CampaignOutcome::Complete(Box::new(CampaignRun {
+        result,
+        cells_total: cells.len(),
+        cells_cached,
+    })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::JobSpec;
+    use robustify_core::{DynProblem, Verdict};
+    use std::path::PathBuf;
+    use stochastic_fpu::Fpu;
+
+    /// A seed-deterministic FPU workload: accumulate through the noisy
+    /// FPU and judge the drift. The seed biases the target so instances
+    /// are distinguishable.
+    struct Drift {
+        target: f64,
+    }
+
+    impl DynProblem for Drift {
+        fn name(&self) -> &'static str {
+            "drift"
+        }
+
+        fn run_trial_dyn(&self, _spec: &SolverSpec, fpu: &mut NoisyFpu) -> Verdict {
+            let mut acc = 0.0;
+            for i in 0..48 {
+                acc = fpu.add(acc, (i % 5) as f64 * 0.5);
+            }
+            Verdict::from_metric((acc - self.target).abs(), 0.75)
+        }
+    }
+
+    fn registry() -> WorkloadRegistry {
+        let mut reg = WorkloadRegistry::new();
+        reg.register(
+            "drift",
+            Box::new(|seed| {
+                Box::new(Drift {
+                    target: 48.0 + (seed % 3) as f64,
+                })
+            }),
+            Box::new(|_| SolverSpec::baseline()),
+        );
+        reg
+    }
+
+    fn campaign() -> CampaignSpec {
+        CampaignSpec::new("toy")
+            .rates(vec![0.0, 5.0, 20.0])
+            .trials(12)
+            .seed(9)
+            .threads(2)
+            .job(JobSpec::new("fixed", "drift"))
+            .job(JobSpec::new("fresh", "drift").per_trial().with_trials(7))
+    }
+
+    fn temp_cache(tag: &str) -> (PathBuf, ResultCache) {
+        let dir = std::env::temp_dir().join(format!(
+            "robustify-runner-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ResultCache::open(&dir).expect("open cache");
+        (dir, cache)
+    }
+
+    #[test]
+    fn warm_cache_replays_byte_identically() {
+        let reg = registry();
+        let spec = campaign();
+        let (dir, cache) = temp_cache("warm");
+        let cold = run(&spec, &reg, Some(&cache), |_| {}).expect("cold run");
+        assert_eq!(cold.cells_cached, 0);
+        assert_eq!(cold.cells_total, 6);
+        let mut updates = Vec::new();
+        let warm = run(&spec, &reg, Some(&cache), |u| updates.push(u.clone())).expect("warm run");
+        assert_eq!(warm.cells_cached, 6, "every cell replays");
+        assert!(updates.iter().all(|u| u.cached));
+        assert_eq!(warm.result.to_csv(), cold.result.to_csv());
+        assert_eq!(warm.result.to_json(), cold.result.to_json());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn interrupted_campaign_resumes_to_identical_output() {
+        let reg = registry();
+        let spec = campaign();
+        let fresh = run(&spec, &reg, None, |_| {}).expect("uncached run");
+        let (dir, cache) = temp_cache("resume");
+        // Budget of 2 cells ≈ a SIGKILL mid-grid: some cells durable,
+        // some never started.
+        let halted =
+            run_with_budget(&spec, &reg, Some(&cache), Some(2), |_| {}).expect("budgeted run");
+        match halted {
+            CampaignOutcome::OutOfBudget {
+                cells_executed,
+                cells_cached,
+            } => {
+                assert_eq!(cells_executed, 2);
+                assert_eq!(cells_cached, 0);
+            }
+            CampaignOutcome::Complete(_) => panic!("budget of 2 must interrupt 6 cells"),
+        }
+        assert_eq!(cache.len(), 2, "interrupted cells are checkpointed");
+        let resumed = run(&spec, &reg, Some(&cache), |_| {}).expect("resumed run");
+        assert_eq!(resumed.cells_cached, 2, "resume skips checkpointed cells");
+        assert_eq!(
+            resumed.result.to_csv(),
+            fresh.result.to_csv(),
+            "resumed CSV is byte-identical to an uninterrupted run"
+        );
+        assert_eq!(resumed.result.to_json(), fresh.result.to_json());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_keys_isolate_every_grid_axis() {
+        let reg = registry();
+        let spec = campaign();
+        let cells = resolve_cells(&spec, &reg).expect("resolve");
+        assert_eq!(cells.len(), 6);
+        for (i, a) in cells.iter().enumerate() {
+            for b in &cells[i + 1..] {
+                assert_ne!(a.key_json, b.key_json, "cells must not share keys");
+            }
+        }
+        // Re-resolution is stable, and a seed change moves every key.
+        assert_eq!(resolve_cells(&spec, &reg).expect("resolve"), cells);
+        let reseeded = resolve_cells(&campaign().seed(10), &reg).expect("resolve");
+        for (a, b) in cells.iter().zip(&reseeded) {
+            assert_ne!(a.key_json, b.key_json);
+        }
+    }
+
+    #[test]
+    fn unknown_workloads_fail_resolution() {
+        let reg = registry();
+        let spec = CampaignSpec::new("x")
+            .rates(vec![1.0])
+            .trials(2)
+            .job(JobSpec::new("a", "nope"));
+        let err = run(&spec, &reg, None, |_| {}).unwrap_err();
+        assert!(err.contains("unknown workload"), "got: {err}");
+    }
+}

@@ -1,0 +1,568 @@
+//! The campaign wire format: a sweep grid plus declarative jobs, as
+//! canonical JSON.
+
+use robustify_core::SolverSpec;
+use stochastic_fpu::json::{escape, JsonValue};
+use stochastic_fpu::{FaultModelSpec, VoltageErrorModel};
+
+/// How a job turns its workload factory into problem instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instantiate {
+    /// One instance, materialized from the campaign's base seed and shared
+    /// by every trial (the figure binaries' "one problem, many fault
+    /// streams" shape).
+    Fixed,
+    /// A fresh instance per trial, materialized from the trial's
+    /// [`problem_seed`](crate::problem_seed) (the "random instance per
+    /// trial" shape).
+    PerTrial,
+}
+
+impl Instantiate {
+    /// The wire name (`"fixed"` / `"per_trial"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Instantiate::Fixed => "fixed",
+            Instantiate::PerTrial => "per_trial",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "fixed" => Some(Instantiate::Fixed),
+            "per_trial" => Some(Instantiate::PerTrial),
+            _ => None,
+        }
+    }
+}
+
+/// One campaign column: a named workload with optional solver,
+/// fault-model, and trial-count overrides.
+///
+/// Where a [`SweepCase`](crate::SweepCase) holds a closure, a `JobSpec`
+/// holds only names and declarative specs — everything a daemon needs to
+/// re-materialize the identical column from its registry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    label: String,
+    workload: String,
+    instantiate: Instantiate,
+    solver: Option<SolverSpec>,
+    fault_model: Option<FaultModelSpec>,
+    trials: Option<usize>,
+}
+
+impl JobSpec {
+    /// A job labelled `label` over registry workload `workload`, with
+    /// [`Instantiate::Fixed`] instantiation, the workload's default
+    /// solver, and the campaign's fault model and trial count.
+    pub fn new(label: &str, workload: &str) -> Self {
+        JobSpec {
+            label: label.to_string(),
+            workload: workload.to_string(),
+            instantiate: Instantiate::Fixed,
+            solver: None,
+            fault_model: None,
+            trials: None,
+        }
+    }
+
+    /// Switches to a fresh problem instance per trial.
+    pub fn per_trial(mut self) -> Self {
+        self.instantiate = Instantiate::PerTrial;
+        self
+    }
+
+    /// Pins the solver spec (default: the workload's registry solver).
+    pub fn with_solver(mut self, solver: SolverSpec) -> Self {
+        self.solver = Some(solver);
+        self
+    }
+
+    /// Overrides the campaign's fault model for this job.
+    pub fn with_fault_model(mut self, model: impl Into<FaultModelSpec>) -> Self {
+        self.fault_model = Some(model.into());
+        self
+    }
+
+    /// Overrides the campaign's trials-per-cell for this job.
+    pub fn with_trials(mut self, trials: usize) -> Self {
+        self.trials = Some(trials);
+        self
+    }
+
+    /// The job label (the result's case label).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The registry workload name.
+    pub fn workload(&self) -> &str {
+        &self.workload
+    }
+
+    /// The instantiation mode.
+    pub fn instantiate(&self) -> Instantiate {
+        self.instantiate
+    }
+
+    /// The solver override, if any.
+    pub fn solver(&self) -> Option<&SolverSpec> {
+        self.solver.as_ref()
+    }
+
+    /// The fault-model override, if any.
+    pub fn fault_model(&self) -> Option<&FaultModelSpec> {
+        self.fault_model.as_ref()
+    }
+
+    /// The trial-count override, if any.
+    pub fn trials(&self) -> Option<usize> {
+        self.trials
+    }
+
+    /// Canonical JSON for the wire and for content hashing.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"label\":\"{}\",\"workload\":\"{}\",\"instantiate\":\"{}\",\"solver\":{},\"fault_model\":{},\"trials\":{}}}",
+            escape(&self.label),
+            escape(&self.workload),
+            self.instantiate.name(),
+            self.solver
+                .as_ref()
+                .map(SolverSpec::to_json)
+                .unwrap_or_else(|| "null".to_string()),
+            self.fault_model
+                .as_ref()
+                .map(FaultModelSpec::to_json)
+                .unwrap_or_else(|| "null".to_string()),
+            self.trials
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "null".to_string()),
+        )
+    }
+
+    /// Parses a job from a parsed JSON value (the exact inverse of
+    /// [`to_json`](Self::to_json)).
+    pub fn from_json_value(value: &JsonValue) -> Result<Self, String> {
+        let label = value
+            .get("label")
+            .and_then(JsonValue::as_str)
+            .ok_or("job needs a string \"label\"")?;
+        let workload = value
+            .get("workload")
+            .and_then(JsonValue::as_str)
+            .ok_or("job needs a string \"workload\"")?;
+        let instantiate = value
+            .get("instantiate")
+            .and_then(JsonValue::as_str)
+            .and_then(Instantiate::from_name)
+            .ok_or("job \"instantiate\" must be \"fixed\" or \"per_trial\"")?;
+        let solver = match value.get("solver") {
+            None | Some(JsonValue::Null) => None,
+            Some(v) => Some(SolverSpec::from_json_value(v)?),
+        };
+        let fault_model = match value.get("fault_model") {
+            None | Some(JsonValue::Null) => None,
+            Some(v) => Some(FaultModelSpec::from_json_value(v)?),
+        };
+        let trials = match value.get("trials") {
+            None | Some(JsonValue::Null) => None,
+            Some(v) => {
+                let t = v.as_usize().ok_or("job \"trials\" must be an integer")?;
+                if t == 0 {
+                    return Err("job \"trials\" must be positive".to_string());
+                }
+                Some(t)
+            }
+        };
+        Ok(JobSpec {
+            label: label.to_string(),
+            workload: workload.to_string(),
+            instantiate,
+            solver,
+            fault_model,
+            trials,
+        })
+    }
+}
+
+/// A serializable sweep: the grid axes of a
+/// [`SweepSpec`](crate::SweepSpec) plus the [`JobSpec`] columns, built
+/// with the same named-setter style as
+/// [`SweepSpecBuilder`](crate::SweepSpecBuilder).
+///
+/// # Examples
+///
+/// ```
+/// use robustify_engine::campaign::{CampaignSpec, JobSpec};
+///
+/// let spec = CampaignSpec::new("demo")
+///     .rates(vec![1.0, 5.0])
+///     .trials(20)
+///     .seed(42)
+///     .job(JobSpec::new("lsq", "least_squares"));
+/// let wire = spec.to_json();
+/// assert_eq!(CampaignSpec::from_json(&wire).unwrap(), spec);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    name: String,
+    rates_pct: Vec<f64>,
+    voltages: Option<Vec<f64>>,
+    energy_model: Option<VoltageErrorModel>,
+    trials: usize,
+    base_seed: u64,
+    threads: usize,
+    fault_model: FaultModelSpec,
+    jobs: Vec<JobSpec>,
+}
+
+impl CampaignSpec {
+    /// An empty campaign named `name`: no grid, no jobs, seed `0`,
+    /// threads `0` (available parallelism), the paper's emulated
+    /// transient-flip default fault model, and `trials` unset (`0`) until
+    /// [`trials`](Self::trials) is called.
+    pub fn new(name: &str) -> Self {
+        CampaignSpec {
+            name: name.to_string(),
+            rates_pct: Vec::new(),
+            voltages: None,
+            energy_model: None,
+            trials: 0,
+            base_seed: 0,
+            threads: 0,
+            fault_model: FaultModelSpec::default(),
+            jobs: Vec::new(),
+        }
+    }
+
+    /// Sets the fault-rate grid, as percentages of FLOPs.
+    pub fn rates(mut self, rates_pct: Vec<f64>) -> Self {
+        self.rates_pct = rates_pct;
+        self
+    }
+
+    /// Makes *supply voltage* the grid axis: each column's rate is the one
+    /// `energy_model` predicts at that operating point, and cells gain
+    /// energy provenance — exactly
+    /// [`SweepSpecBuilder::voltages`](crate::SweepSpecBuilder::voltages).
+    pub fn voltages(mut self, voltages: Vec<f64>, energy_model: VoltageErrorModel) -> Self {
+        self.rates_pct = voltages
+            .iter()
+            .map(|&v| energy_model.fault_rate_at(v).percent())
+            .collect();
+        self.voltages = Some(voltages);
+        self.energy_model = Some(energy_model);
+        self
+    }
+
+    /// Sets the default trials per cell (required, positive).
+    pub fn trials(mut self, trials: usize) -> Self {
+        self.trials = trials;
+        self
+    }
+
+    /// Sets the base seed (default `0`).
+    pub fn seed(mut self, base_seed: u64) -> Self {
+        self.base_seed = base_seed;
+        self
+    }
+
+    /// Pins the worker-thread count (`0` = available parallelism). Output
+    /// is bit-identical for every choice.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the campaign's default fault model.
+    pub fn model(mut self, model: impl Into<FaultModelSpec>) -> Self {
+        self.fault_model = model.into();
+        self
+    }
+
+    /// Appends a job column.
+    pub fn job(mut self, job: JobSpec) -> Self {
+        self.jobs.push(job);
+        self
+    }
+
+    /// The campaign name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The fault-rate grid, as percentages of FLOPs.
+    pub fn rates_pct(&self) -> &[f64] {
+        &self.rates_pct
+    }
+
+    /// The voltage grid of a voltage-axis campaign (parallel to
+    /// [`rates_pct`](Self::rates_pct)).
+    pub fn voltages_axis(&self) -> Option<&[f64]> {
+        self.voltages.as_deref()
+    }
+
+    /// The voltage/energy calibration of a voltage-axis campaign.
+    pub fn energy_model(&self) -> Option<&VoltageErrorModel> {
+        self.energy_model.as_ref()
+    }
+
+    /// Default trials per cell.
+    pub fn trials_per_cell(&self) -> usize {
+        self.trials
+    }
+
+    /// The base seed.
+    pub fn base_seed(&self) -> u64 {
+        self.base_seed
+    }
+
+    /// The requested worker-thread count (`0` = available parallelism).
+    pub fn thread_count(&self) -> usize {
+        self.threads
+    }
+
+    /// The campaign's default fault model.
+    pub fn fault_model(&self) -> &FaultModelSpec {
+        &self.fault_model
+    }
+
+    /// The job columns.
+    pub fn jobs(&self) -> &[JobSpec] {
+        &self.jobs
+    }
+
+    /// Structural validation: a runnable campaign has a non-empty grid,
+    /// positive trials, at least one job, and distinct job labels.
+    /// (Workload names are checked against the registry at resolution
+    /// time, since only the daemon knows its registry.)
+    pub fn validate(&self) -> Result<(), String> {
+        if self.rates_pct.is_empty() {
+            return Err("campaign needs a non-empty rate or voltage grid".to_string());
+        }
+        if let Some(voltages) = &self.voltages {
+            if voltages.len() != self.rates_pct.len() {
+                return Err("voltage grid must parallel the rate grid".to_string());
+            }
+            for &v in voltages {
+                if !(v > 0.0 && v.is_finite()) {
+                    return Err(format!("voltage must be positive and finite, got {v}"));
+                }
+            }
+        }
+        for &r in &self.rates_pct {
+            if !(r >= 0.0 && r.is_finite()) {
+                return Err(format!("fault rate must be finite and >= 0, got {r}"));
+            }
+        }
+        if self.trials == 0 && self.jobs.iter().any(|j| j.trials.is_none()) {
+            return Err("campaign needs .trials(..) > 0 (or per-job overrides)".to_string());
+        }
+        if self.jobs.is_empty() {
+            return Err("campaign needs at least one job".to_string());
+        }
+        for (i, job) in self.jobs.iter().enumerate() {
+            if self.jobs[..i].iter().any(|j| j.label == job.label) {
+                return Err(format!("duplicate job label \"{}\"", job.label));
+            }
+        }
+        Ok(())
+    }
+
+    /// Canonical JSON for the wire.
+    pub fn to_json(&self) -> String {
+        let nums = |vs: &[f64]| {
+            vs.iter()
+                .map(|v| format!("{v}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        format!(
+            "{{\"name\":\"{}\",\"rates_pct\":[{}],\"voltages\":{},\"energy_model\":{},\
+             \"trials\":{},\"base_seed\":{},\"threads\":{},\"fault_model\":{},\"jobs\":[{}]}}",
+            escape(&self.name),
+            nums(&self.rates_pct),
+            self.voltages
+                .as_ref()
+                .map(|v| format!("[{}]", nums(v)))
+                .unwrap_or_else(|| "null".to_string()),
+            self.energy_model
+                .as_ref()
+                .map(VoltageErrorModel::to_json)
+                .unwrap_or_else(|| "null".to_string()),
+            self.trials,
+            self.base_seed,
+            self.threads,
+            self.fault_model.to_json(),
+            self.jobs
+                .iter()
+                .map(JobSpec::to_json)
+                .collect::<Vec<_>>()
+                .join(","),
+        )
+    }
+
+    /// Parses a campaign from JSON text.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let value = stochastic_fpu::json::parse(text).map_err(|e| e.to_string())?;
+        Self::from_json_value(&value)
+    }
+
+    /// Parses a campaign from a parsed JSON value (the exact inverse of
+    /// [`to_json`](Self::to_json)).
+    pub fn from_json_value(value: &JsonValue) -> Result<Self, String> {
+        let name = value
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or("campaign needs a string \"name\"")?;
+        let f64_array = |key: &str| -> Result<Vec<f64>, String> {
+            value
+                .get(key)
+                .and_then(JsonValue::as_array)
+                .ok_or(format!("campaign \"{key}\" must be an array"))?
+                .iter()
+                .map(|v| {
+                    v.as_f64()
+                        .ok_or(format!("campaign \"{key}\" holds a non-number"))
+                })
+                .collect()
+        };
+        let rates_pct = f64_array("rates_pct")?;
+        let voltages = match value.get("voltages") {
+            None | Some(JsonValue::Null) => None,
+            Some(_) => Some(f64_array("voltages")?),
+        };
+        let energy_model = match value.get("energy_model") {
+            None | Some(JsonValue::Null) => None,
+            Some(v) => Some(VoltageErrorModel::from_json_value(v)?),
+        };
+        if voltages.is_some() != energy_model.is_some() {
+            return Err("\"voltages\" and \"energy_model\" travel together".to_string());
+        }
+        let trials = value
+            .get("trials")
+            .and_then(JsonValue::as_usize)
+            .ok_or("campaign needs an integer \"trials\"")?;
+        let base_seed = value
+            .get("base_seed")
+            .and_then(JsonValue::as_u64)
+            .ok_or("campaign needs an integer \"base_seed\"")?;
+        let threads = value
+            .get("threads")
+            .and_then(JsonValue::as_usize)
+            .ok_or("campaign needs an integer \"threads\"")?;
+        let fault_model = FaultModelSpec::from_json_value(
+            value
+                .get("fault_model")
+                .ok_or("campaign needs a \"fault_model\"")?,
+        )?;
+        let jobs = value
+            .get("jobs")
+            .and_then(JsonValue::as_array)
+            .ok_or("campaign \"jobs\" must be an array")?
+            .iter()
+            .map(JobSpec::from_json_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(CampaignSpec {
+            name: name.to_string(),
+            rates_pct,
+            voltages,
+            energy_model,
+            trials,
+            base_seed,
+            threads,
+            fault_model,
+            jobs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robustify_core::StepSchedule;
+    use stochastic_fpu::{BitFaultModel, BitWidth};
+
+    fn rich_spec() -> CampaignSpec {
+        CampaignSpec::new("fig6_2")
+            .rates(vec![0.1, 1.0, 10.0])
+            .trials(50)
+            .seed(424242)
+            .threads(2)
+            .model(BitFaultModel::emulated())
+            .job(JobSpec::new("baseline", "least_squares"))
+            .job(
+                JobSpec::new("sgd", "least_squares")
+                    .per_trial()
+                    .with_solver(SolverSpec::sgd(300, StepSchedule::Linear { gamma0: 0.1 }))
+                    .with_fault_model(FaultModelSpec::stuck_at(52, true, BitWidth::F64))
+                    .with_trials(25),
+            )
+    }
+
+    #[test]
+    fn campaign_json_round_trips() {
+        let spec = rich_spec();
+        let wire = spec.to_json();
+        let back = CampaignSpec::from_json(&wire).expect("round trip");
+        assert_eq!(back, spec);
+        assert_eq!(back.to_json(), wire, "re-serialization is byte-stable");
+        spec.validate().expect("rich spec is valid");
+    }
+
+    #[test]
+    fn voltage_axis_campaign_round_trips() {
+        let energy = VoltageErrorModel::paper_figure_5_2();
+        let spec = CampaignSpec::new("energy")
+            .voltages(vec![1.0, 0.8, 0.7], energy.clone())
+            .trials(10)
+            .job(JobSpec::new("lsq", "least_squares"));
+        assert_eq!(spec.rates_pct().len(), 3);
+        assert!(spec.rates_pct()[2] > spec.rates_pct()[0]);
+        let back = CampaignSpec::from_json(&spec.to_json()).expect("round trip");
+        assert_eq!(back, spec);
+        assert_eq!(back.energy_model(), Some(&energy));
+        spec.validate().expect("voltage spec is valid");
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_campaigns() {
+        let no_grid = CampaignSpec::new("x").trials(5).job(JobSpec::new("a", "w"));
+        assert!(no_grid.validate().is_err());
+        let no_jobs = CampaignSpec::new("x").rates(vec![1.0]).trials(5);
+        assert!(no_jobs.validate().is_err());
+        let no_trials = CampaignSpec::new("x")
+            .rates(vec![1.0])
+            .job(JobSpec::new("a", "w"));
+        assert!(no_trials.validate().is_err());
+        let dup = CampaignSpec::new("x")
+            .rates(vec![1.0])
+            .trials(5)
+            .job(JobSpec::new("a", "w"))
+            .job(JobSpec::new("a", "w2"));
+        assert!(dup.validate().unwrap_err().contains("duplicate"));
+        // A zero campaign trial count is fine when every job overrides it.
+        let per_job = CampaignSpec::new("x")
+            .rates(vec![1.0])
+            .job(JobSpec::new("a", "w").with_trials(3));
+        per_job.validate().expect("per-job trials suffice");
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        for doc in [
+            "{",
+            "{}",
+            "{\"name\":\"x\"}",
+            "{\"name\":\"x\",\"rates_pct\":[\"one\"],\"trials\":1,\"base_seed\":0,\"threads\":0,\"fault_model\":{\"kind\":\"transient\",\"distribution\":\"emulated\",\"width\":\"f64\"},\"jobs\":[]}",
+            "{\"name\":\"x\",\"rates_pct\":[1],\"voltages\":[1.0],\"energy_model\":null,\"trials\":1,\"base_seed\":0,\"threads\":0,\"fault_model\":{\"kind\":\"transient\",\"distribution\":\"emulated\",\"width\":\"f64\"},\"jobs\":[]}",
+            "{\"name\":\"x\",\"rates_pct\":[1],\"trials\":1,\"base_seed\":0,\"threads\":0,\"fault_model\":{\"kind\":\"transient\",\"distribution\":\"emulated\",\"width\":\"f64\"},\"jobs\":[{\"label\":\"a\"}]}",
+            "{\"name\":\"x\",\"rates_pct\":[1],\"trials\":1,\"base_seed\":0,\"threads\":0,\"fault_model\":{\"kind\":\"transient\",\"distribution\":\"emulated\",\"width\":\"f64\"},\"jobs\":[{\"label\":\"a\",\"workload\":\"w\",\"instantiate\":\"sometimes\"}]}",
+        ] {
+            assert!(CampaignSpec::from_json(doc).is_err(), "accepted: {doc}");
+        }
+    }
+}

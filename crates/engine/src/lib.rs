@@ -10,7 +10,8 @@
 //! * [`SweepSpec`] — the grid: fault rates, trials per cell, base seed,
 //!   default fault model
 //!   ([`FaultModelSpec`](stochastic_fpu::FaultModelSpec)), worker threads.
-//!   [`SweepSpec::over_voltages`] makes *supply voltage* the grid axis
+//!   Built axis by axis through [`SweepSpec::builder`];
+//!   [`SweepSpecBuilder::voltages`] makes *supply voltage* the grid axis
 //!   instead: each column's rate is derived through a
 //!   [`VoltageErrorModel`](stochastic_fpu::VoltageErrorModel) (Figure
 //!   5.2) and every cell gains energy accounting
@@ -23,6 +24,11 @@
 //! * [`SweepResult`] / [`CellStats`] / [`MetricSummary`] — streaming
 //!   aggregates (success rate, error quantiles, FLOP/fault totals) with
 //!   CSV and JSON emitters.
+//! * [`campaign`] — the sweep grid as *data*: declarative
+//!   [`CampaignSpec`](campaign::CampaignSpec) jobs naming registry
+//!   workloads, a content-addressed on-disk result cache, a resumable
+//!   parallel runner, and the line-delimited JSON protocol of the
+//!   `campaign_server` daemon.
 //!
 //! # Determinism
 //!
@@ -43,7 +49,12 @@
 //! let case = SweepCase::new("add", |_ctx: &TrialCtx, fpu: &mut NoisyFpu| {
 //!     Verdict::from_metric((fpu.add(1.0, 1.0) - 2.0).abs(), 1e-9)
 //! });
-//! let result = SweepSpec::new("demo", vec![0.0, 50.0], 8, 42, BitFaultModel::emulated())
+//! let result = SweepSpec::builder("demo")
+//!     .rates(vec![0.0, 50.0])
+//!     .trials(8)
+//!     .seed(42)
+//!     .model(BitFaultModel::emulated())
+//!     .build()
 //!     .run(&[case]);
 //! assert_eq!(result.cell(0, 0).success_rate(), 100.0);
 //! ```
@@ -51,11 +62,12 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod campaign;
 mod stats;
 mod sweep;
 
 pub use stats::{CellStats, MetricSummary, TrialRecord};
 pub use sweep::{
     derive_trial_seed, extended_fault_rates, paper_fault_rates, problem_seed, SweepCase,
-    SweepResult, SweepSpec, TrialCtx,
+    SweepResult, SweepSpec, SweepSpecBuilder, TrialCtx,
 };

@@ -156,13 +156,21 @@ impl std::fmt::Debug for SweepCase {
 /// The grid of a sweep: fault model × fault rates × trials × seeding ×
 /// threading.
 ///
+/// Build one with [`SweepSpec::builder`]; every axis is set by a named
+/// method, so call sites stay readable as the grid grows axes.
+///
 /// # Examples
 ///
 /// ```
 /// use robustify_engine::SweepSpec;
 /// use stochastic_fpu::BitFaultModel;
 ///
-/// let spec = SweepSpec::new("demo", vec![1.0, 5.0], 10, 42, BitFaultModel::emulated());
+/// let spec = SweepSpec::builder("demo")
+///     .rates(vec![1.0, 5.0])
+///     .trials(10)
+///     .seed(42)
+///     .model(BitFaultModel::emulated())
+///     .build();
 /// assert_eq!(spec.rates_pct(), &[1.0, 5.0]);
 /// assert_eq!(spec.fault_model().name(), "transient_emulated");
 /// ```
@@ -182,17 +190,33 @@ pub struct SweepSpec {
 }
 
 impl SweepSpec {
-    /// Creates a grid over the given fault-rate percentages with `trials`
-    /// trials per cell. Threads default to the machine's available
-    /// parallelism. `model` is the sweep's default fault model — a
-    /// [`FaultModelSpec`] or a bare
-    /// [`BitFaultModel`](stochastic_fpu::BitFaultModel) (the paper's
-    /// transient-flip scenario); cases may override it per column with
-    /// [`SweepCase::with_model`].
+    /// Starts a builder for a sweep named `name` — the one construction
+    /// path. Set the grid with [`rates`](SweepSpecBuilder::rates) or
+    /// [`voltages`](SweepSpecBuilder::voltages), the per-cell trial count
+    /// with [`trials`](SweepSpecBuilder::trials), then
+    /// [`build`](SweepSpecBuilder::build).
+    pub fn builder(name: &str) -> SweepSpecBuilder {
+        SweepSpecBuilder {
+            name: name.to_string(),
+            rates_pct: None,
+            voltages: None,
+            energy_model: None,
+            trials: None,
+            base_seed: 0,
+            model: FaultModelSpec::default(),
+            threads: 0,
+        }
+    }
+
+    /// The positional constructor the builder replaced.
     ///
     /// # Panics
     ///
     /// Panics if `rates_pct` is empty or `trials == 0`.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `SweepSpec::builder(name).rates(..).trials(..).seed(..).model(..).build()`"
+    )]
     pub fn new(
         name: &str,
         rates_pct: Vec<f64>,
@@ -200,48 +224,24 @@ impl SweepSpec {
         base_seed: u64,
         model: impl Into<FaultModelSpec>,
     ) -> Self {
-        assert!(!rates_pct.is_empty(), "sweep needs at least one fault rate");
-        assert!(trials > 0, "need at least one trial per cell");
-        SweepSpec {
-            name: name.to_string(),
-            rates_pct,
-            trials,
-            base_seed,
-            model: model.into(),
-            threads: 0,
-            voltages: None,
-            energy_model: None,
-        }
+        SweepSpec::builder(name)
+            .rates(rates_pct)
+            .trials(trials)
+            .seed(base_seed)
+            .model(model)
+            .build()
     }
 
-    /// Creates a grid whose rate axis is *supply voltage*: each voltage
-    /// maps to the fault rate `energy_model` (the Figure 5.2 calibration)
-    /// predicts at that operating point, and every cell gains energy
-    /// accounting (`energy = P(V) × FLOPs`, the paper's Figure 6.7
-    /// y-axis) emitted into the CSV/JSON provenance.
-    ///
-    /// # Examples
-    ///
-    /// ```
-    /// use robustify_engine::SweepSpec;
-    /// use stochastic_fpu::{BitFaultModel, VoltageErrorModel};
-    ///
-    /// let spec = SweepSpec::over_voltages(
-    ///     "demo",
-    ///     vec![1.0, 0.7],
-    ///     10,
-    ///     42,
-    ///     VoltageErrorModel::paper_figure_5_2(),
-    ///     BitFaultModel::emulated(),
-    /// );
-    /// assert_eq!(spec.voltages(), Some(&[1.0, 0.7][..]));
-    /// assert!(spec.rates_pct()[1] > spec.rates_pct()[0]);
-    /// ```
+    /// The positional voltage-axis constructor the builder replaced.
     ///
     /// # Panics
     ///
     /// Panics if `voltages` is empty or contains a non-positive or
     /// non-finite voltage, or if `trials == 0`.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `SweepSpec::builder(name).voltages(v, energy_model).trials(..).seed(..).model(..).build()`"
+    )]
     pub fn over_voltages(
         name: &str,
         voltages: Vec<f64>,
@@ -250,21 +250,12 @@ impl SweepSpec {
         energy_model: VoltageErrorModel,
         model: impl Into<FaultModelSpec>,
     ) -> Self {
-        assert!(!voltages.is_empty(), "sweep needs at least one voltage");
-        for &v in &voltages {
-            assert!(
-                v > 0.0 && v.is_finite(),
-                "voltage must be positive and finite, got {v}"
-            );
-        }
-        let rates_pct: Vec<f64> = voltages
-            .iter()
-            .map(|&v| energy_model.fault_rate_at(v).percent())
-            .collect();
-        let mut spec = Self::new(name, rates_pct, trials, base_seed, model);
-        spec.voltages = Some(voltages);
-        spec.energy_model = Some(energy_model);
-        spec
+        SweepSpec::builder(name)
+            .voltages(voltages, energy_model)
+            .trials(trials)
+            .seed(base_seed)
+            .model(model)
+            .build()
     }
 
     /// The sweep's default fault model.
@@ -433,6 +424,138 @@ impl SweepSpec {
     }
 }
 
+/// Assembles a [`SweepSpec`] axis by axis; every method names the axis it
+/// sets, so a grid's construction reads as its description.
+///
+/// Obtained from [`SweepSpec::builder`]. Exactly one of
+/// [`rates`](Self::rates) or [`voltages`](Self::voltages) must be called,
+/// plus [`trials`](Self::trials); [`seed`](Self::seed) defaults to `0`,
+/// [`model`](Self::model) to the paper's emulated transient flip, and
+/// [`threads`](Self::threads) to the machine's available parallelism.
+///
+/// # Examples
+///
+/// ```
+/// use robustify_engine::SweepSpec;
+/// use stochastic_fpu::{BitFaultModel, VoltageErrorModel};
+///
+/// let volt = SweepSpec::builder("demo")
+///     .voltages(vec![1.0, 0.7], VoltageErrorModel::paper_figure_5_2())
+///     .trials(10)
+///     .seed(42)
+///     .model(BitFaultModel::emulated())
+///     .build();
+/// assert_eq!(volt.voltages(), Some(&[1.0, 0.7][..]));
+/// // The derived rate grid follows Figure 5.2: lower voltage, more faults.
+/// assert!(volt.rates_pct()[1] > volt.rates_pct()[0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SweepSpecBuilder {
+    name: String,
+    rates_pct: Option<Vec<f64>>,
+    voltages: Option<Vec<f64>>,
+    energy_model: Option<VoltageErrorModel>,
+    trials: Option<usize>,
+    base_seed: u64,
+    model: FaultModelSpec,
+    threads: usize,
+}
+
+impl SweepSpecBuilder {
+    /// Sets the fault-rate grid, as percentages of FLOPs.
+    pub fn rates(mut self, rates_pct: Vec<f64>) -> Self {
+        self.rates_pct = Some(rates_pct);
+        self
+    }
+
+    /// Makes *supply voltage* the grid axis: each voltage maps to the
+    /// fault rate `energy_model` (the Figure 5.2 calibration) predicts at
+    /// that operating point, and every cell gains energy accounting
+    /// (`energy = P(V) × FLOPs`, the paper's Figure 6.7 y-axis) emitted
+    /// into the CSV/JSON provenance.
+    pub fn voltages(mut self, voltages: Vec<f64>, energy_model: VoltageErrorModel) -> Self {
+        self.voltages = Some(voltages);
+        self.energy_model = Some(energy_model);
+        self
+    }
+
+    /// Sets the default trials per cell (required).
+    pub fn trials(mut self, trials: usize) -> Self {
+        self.trials = Some(trials);
+        self
+    }
+
+    /// Sets the base seed (default `0`).
+    pub fn seed(mut self, base_seed: u64) -> Self {
+        self.base_seed = base_seed;
+        self
+    }
+
+    /// Sets the sweep's default fault model — a [`FaultModelSpec`] or a
+    /// bare [`BitFaultModel`](stochastic_fpu::BitFaultModel); cases may
+    /// override it per column with [`SweepCase::with_model`]. Defaults to
+    /// the paper's emulated transient flip.
+    pub fn model(mut self, model: impl Into<FaultModelSpec>) -> Self {
+        self.model = model.into();
+        self
+    }
+
+    /// Pins the worker-thread count (`0` = available parallelism, the
+    /// default). The result is bit-identical for every choice.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Finishes the spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if neither [`rates`](Self::rates) nor
+    /// [`voltages`](Self::voltages) was called (or both were), if the grid
+    /// is empty or holds a non-positive/non-finite voltage, or if
+    /// [`trials`](Self::trials) was not called or is zero.
+    pub fn build(self) -> SweepSpec {
+        let trials = self.trials.expect("sweep builder needs .trials(..)");
+        assert!(trials > 0, "need at least one trial per cell");
+        let (rates_pct, voltages, energy_model) = match (self.rates_pct, self.voltages) {
+            (Some(_), Some(_)) => {
+                panic!("sweep grid is either .rates(..) or .voltages(..), not both")
+            }
+            (None, None) => panic!("sweep builder needs .rates(..) or .voltages(..)"),
+            (Some(rates), None) => {
+                assert!(!rates.is_empty(), "sweep needs at least one fault rate");
+                (rates, None, None)
+            }
+            (None, Some(voltages)) => {
+                assert!(!voltages.is_empty(), "sweep needs at least one voltage");
+                for &v in &voltages {
+                    assert!(
+                        v > 0.0 && v.is_finite(),
+                        "voltage must be positive and finite, got {v}"
+                    );
+                }
+                let energy_model = self.energy_model.expect("voltages() stores its model");
+                let rates = voltages
+                    .iter()
+                    .map(|&v| energy_model.fault_rate_at(v).percent())
+                    .collect();
+                (rates, Some(voltages), Some(energy_model))
+            }
+        };
+        SweepSpec {
+            name: self.name,
+            rates_pct,
+            trials,
+            base_seed: self.base_seed,
+            model: self.model,
+            threads: self.threads,
+            voltages,
+            energy_model,
+        }
+    }
+}
+
 /// The aggregated outcome of a sweep run.
 #[derive(Debug, Clone)]
 pub struct SweepResult {
@@ -455,7 +578,62 @@ pub struct SweepResult {
     elapsed: Duration,
 }
 
+/// The per-case inputs the campaign runner assembles a [`SweepResult`]
+/// from: label, serialized solver spec, effective fault model, and the
+/// per-rate aggregates in rate order.
+pub(crate) struct CaseParts {
+    pub(crate) label: String,
+    pub(crate) spec_json: Option<String>,
+    pub(crate) fault_model: FaultModelSpec,
+    pub(crate) cells: Vec<CellStats>,
+}
+
 impl SweepResult {
+    /// Assembles a result from campaign-executed (possibly cache-replayed)
+    /// cells, so campaign output is emitted by the exact same
+    /// `to_csv`/`to_json` code paths as an in-process sweep.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        name: String,
+        cases: Vec<CaseParts>,
+        rates_pct: Vec<f64>,
+        voltages: Option<Vec<f64>>,
+        energy_model: Option<VoltageErrorModel>,
+        base_seed: u64,
+        threads: usize,
+        elapsed: Duration,
+    ) -> Self {
+        let total_trials = cases
+            .iter()
+            .flat_map(|c| c.cells.iter())
+            .map(CellStats::trials)
+            .sum();
+        let mut labels = Vec::with_capacity(cases.len());
+        let mut specs_json = Vec::with_capacity(cases.len());
+        let mut fault_models = Vec::with_capacity(cases.len());
+        let mut cells = Vec::with_capacity(cases.len());
+        for case in cases {
+            labels.push(case.label);
+            specs_json.push(case.spec_json);
+            fault_models.push(case.fault_model);
+            cells.push(case.cells);
+        }
+        SweepResult {
+            name,
+            labels,
+            specs_json,
+            fault_models,
+            rates_pct,
+            voltages,
+            energy_model,
+            base_seed,
+            threads,
+            total_trials,
+            cells,
+            elapsed,
+        }
+    }
+
     /// The sweep name.
     pub fn name(&self) -> &str {
         &self.name
@@ -736,7 +914,12 @@ mod tests {
     #[test]
     fn single_and_multi_threaded_runs_are_identical() {
         let cases = [toy_case("a"), toy_case("b").with_trials(13)];
-        let spec = SweepSpec::new("t", vec![1.0, 10.0], 20, 9, BitFaultModel::emulated());
+        let spec = SweepSpec::builder("t")
+            .rates(vec![1.0, 10.0])
+            .trials(20)
+            .seed(9)
+            .model(BitFaultModel::emulated())
+            .build();
         let serial = spec.clone().with_threads(1).run(&cases);
         let parallel = spec.with_threads(4).run(&cases);
         assert_eq!(serial.to_json(), parallel.to_json());
@@ -751,8 +934,13 @@ mod tests {
             toy_case("default"),
             toy_case("lsb").with_model(BitFaultModel::lsb_only(stochastic_fpu::BitWidth::F64)),
         ];
-        let spec =
-            SweepSpec::new("t", vec![20.0], 15, 3, BitFaultModel::emulated()).with_threads(2);
+        let spec = SweepSpec::builder("t")
+            .rates(vec![20.0])
+            .trials(15)
+            .seed(3)
+            .model(BitFaultModel::emulated())
+            .threads(2)
+            .build();
         let result = spec.run(&cases);
         // An LSB-only injector perturbs this workload far less than the
         // emulated distribution, so the two columns must differ.
@@ -765,8 +953,13 @@ mod tests {
     #[test]
     fn emitters_have_expected_shape() {
         let cases = [toy_case("only")];
-        let result = SweepSpec::new("shape", vec![2.0], 3, 1, BitFaultModel::emulated())
-            .with_threads(1)
+        let result = SweepSpec::builder("shape")
+            .rates(vec![2.0])
+            .trials(3)
+            .seed(1)
+            .model(BitFaultModel::emulated())
+            .threads(1)
+            .build()
             .run(&cases);
         let csv = result.to_csv();
         assert!(csv.starts_with("case,fault_model,fault_rate_pct"));
@@ -784,16 +977,14 @@ mod tests {
         use stochastic_fpu::VoltageErrorModel;
         let model = VoltageErrorModel::paper_figure_5_2();
         let cases = [toy_case("a")];
-        let result = SweepSpec::over_voltages(
-            "volt",
-            vec![1.0, 0.7],
-            4,
-            2,
-            model.clone(),
-            BitFaultModel::emulated(),
-        )
-        .with_threads(1)
-        .run(&cases);
+        let result = SweepSpec::builder("volt")
+            .voltages(vec![1.0, 0.7], model.clone())
+            .trials(4)
+            .seed(2)
+            .model(BitFaultModel::emulated())
+            .threads(1)
+            .build()
+            .run(&cases);
         assert_eq!(result.voltages(), Some(&[1.0, 0.7][..]));
         assert_eq!(result.voltage(0, 1), Some(0.7));
         let flops = result.cell(0, 1).flops_per_trial();
@@ -817,8 +1008,13 @@ mod tests {
 
     #[test]
     fn rate_sweeps_emit_empty_voltage_fields() {
-        let result = SweepSpec::new("t", vec![1.0], 2, 1, BitFaultModel::emulated())
-            .with_threads(1)
+        let result = SweepSpec::builder("t")
+            .rates(vec![1.0])
+            .trials(2)
+            .seed(1)
+            .model(BitFaultModel::emulated())
+            .threads(1)
+            .build()
             .run(&[toy_case("a")]);
         assert_eq!(result.voltages(), None);
         assert_eq!(result.voltage(0, 0), None);
@@ -842,8 +1038,13 @@ mod tests {
             toy_case("pinned").with_model(FaultModelSpec::voltage_linked(model.clone(), 0.8)),
             toy_case("grid"),
         ];
-        let result = SweepSpec::new("t", vec![50.0], 3, 1, BitFaultModel::emulated())
-            .with_threads(2)
+        let result = SweepSpec::builder("t")
+            .rates(vec![50.0])
+            .trials(3)
+            .seed(1)
+            .model(BitFaultModel::emulated())
+            .threads(2)
+            .build()
             .run(&cases);
         // The pinned case reports its own operating point and energy even
         // though the sweep itself has no voltage axis…
@@ -865,13 +1066,48 @@ mod tests {
             toy_case("default"),
             toy_case("stuck").with_model(FaultModelSpec::stuck_at(52, true, BitWidth::F64)),
         ];
-        let result = SweepSpec::new("models", vec![10.0], 4, 2, FaultModelSpec::default())
-            .with_threads(2)
+        let result = SweepSpec::builder("models")
+            .rates(vec![10.0])
+            .trials(4)
+            .seed(2)
+            .model(FaultModelSpec::default())
+            .threads(2)
+            .build()
             .run(&cases);
         assert_eq!(result.fault_model(0).name(), "transient_emulated");
         assert_eq!(result.fault_model(1).name(), "stuck1_bit52");
         let csv = result.to_csv();
         assert!(csv.contains("stuck,stuck1_bit52,10,"));
         assert!(result.to_json().contains("\"kind\":\"stuck_at\""));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_build_the_same_specs_as_the_builder() {
+        let shim = SweepSpec::new("t", vec![1.0, 5.0], 8, 7, BitFaultModel::emulated());
+        let built = SweepSpec::builder("t")
+            .rates(vec![1.0, 5.0])
+            .trials(8)
+            .seed(7)
+            .model(BitFaultModel::emulated())
+            .build();
+        assert_eq!(shim, built);
+
+        let energy = stochastic_fpu::VoltageErrorModel::paper_figure_5_2();
+        let volt_shim = SweepSpec::over_voltages(
+            "v",
+            vec![1.0, 0.8],
+            4,
+            3,
+            energy.clone(),
+            BitFaultModel::emulated(),
+        );
+        let volt_built = SweepSpec::builder("v")
+            .voltages(vec![1.0, 0.8], energy)
+            .trials(4)
+            .seed(3)
+            .model(BitFaultModel::emulated())
+            .build();
+        assert_eq!(volt_shim, volt_built);
     }
 }

@@ -146,13 +146,12 @@ proptest! {
         trials in 1usize..10,
         threads in 2usize..8,
     ) {
-        let grid = SweepSpec::new(
-            "determinism",
-            vec![0.0, 2.0, 20.0],
-            trials,
-            base_seed,
-            BitFaultModel::emulated(),
-        );
+        let grid = SweepSpec::builder("determinism")
+            .rates(vec![0.0, 2.0, 20.0])
+            .trials(trials)
+            .seed(base_seed)
+            .model(BitFaultModel::emulated())
+            .build();
         let serial = grid.clone().with_threads(1).run(&cases());
         let parallel = grid.with_threads(threads).run(&cases());
         prop_assert_eq!(serial.to_json(), parallel.to_json());
@@ -167,13 +166,12 @@ proptest! {
         base_seed in 0u64..1_000_000,
         threads in 2usize..8,
     ) {
-        let grid = SweepSpec::new(
-            "mixed_models",
-            vec![2.0, 20.0],
-            3,
-            base_seed,
-            FaultModelSpec::default(),
-        );
+        let grid = SweepSpec::builder("mixed_models")
+            .rates(vec![2.0, 20.0])
+            .trials(3)
+            .seed(base_seed)
+            .model(FaultModelSpec::default())
+            .build();
         let serial = grid.clone().with_threads(1).run(&mixed_model_cases());
         let parallel = grid.with_threads(threads).run(&mixed_model_cases());
         prop_assert_eq!(serial.to_json(), parallel.to_json());
@@ -203,14 +201,12 @@ proptest! {
         base_seed in 0u64..1_000_000,
         threads in 2usize..8,
     ) {
-        let grid = SweepSpec::over_voltages(
-            "voltage_axis",
-            vec![1.0, 0.7, 0.62],
-            3,
-            base_seed,
-            VoltageErrorModel::paper_figure_5_2(),
-            FaultModelSpec::default(),
-        );
+        let grid = SweepSpec::builder("voltage_axis")
+            .voltages(vec![1.0, 0.7, 0.62], VoltageErrorModel::paper_figure_5_2())
+            .trials(3)
+            .seed(base_seed)
+            .model(FaultModelSpec::default())
+            .build();
         let serial = grid.clone().with_threads(1).run(&voltage_axis_cases());
         let parallel = grid.with_threads(threads).run(&voltage_axis_cases());
         prop_assert_eq!(serial.to_json(), parallel.to_json());
@@ -233,13 +229,12 @@ proptest! {
     /// global state).
     #[test]
     fn reruns_are_reproducible(base_seed in 0u64..1_000_000) {
-        let grid = SweepSpec::new(
-            "rerun",
-            vec![5.0],
-            4,
-            base_seed,
-            BitFaultModel::emulated(),
-        );
+        let grid = SweepSpec::builder("rerun")
+            .rates(vec![5.0])
+            .trials(4)
+            .seed(base_seed)
+            .model(BitFaultModel::emulated())
+            .build();
         let a = grid.clone().run(&cases());
         let b = grid.run(&cases());
         prop_assert_eq!(a.to_json(), b.to_json());

@@ -13,6 +13,7 @@
 //!   y-axis "Energy (Power * # of FLOP)".
 
 use crate::fault::FaultRate;
+use crate::json::JsonValue;
 
 /// A monotone map between FPU supply voltage and timing-error rate, with the
 /// inverse map and a dynamic-power model.
@@ -95,6 +96,71 @@ impl VoltageErrorModel {
     /// The nominal (guardbanded) voltage.
     pub fn nominal_voltage(&self) -> f64 {
         self.nominal_voltage
+    }
+
+    /// The calibration points `(voltage, error_rate)`, sorted by
+    /// descending voltage.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Serializes the full calibration to a single-line JSON object, the
+    /// exact inverse of [`from_json_value`](Self::from_json_value).
+    pub fn to_json(&self) -> String {
+        let points: Vec<String> = self
+            .points
+            .iter()
+            .map(|&(v, r)| format!("[{v},{r}]"))
+            .collect();
+        format!(
+            "{{\"nominal_voltage\":{},\"points\":[{}]}}",
+            self.nominal_voltage,
+            points.join(","),
+        )
+    }
+
+    /// Reconstructs a model from the [`to_json`](Self::to_json) shape.
+    pub fn from_json_value(value: &JsonValue) -> Result<Self, String> {
+        let nominal = value
+            .get("nominal_voltage")
+            .and_then(JsonValue::as_f64)
+            .ok_or("voltage model needs a numeric \"nominal_voltage\"")?;
+        let raw_points = value
+            .get("points")
+            .and_then(JsonValue::as_array)
+            .ok_or("voltage model needs a \"points\" array")?;
+        let mut points = Vec::with_capacity(raw_points.len());
+        for p in raw_points {
+            let pair = p.as_array().filter(|p| p.len() == 2);
+            let (v, r) = match pair {
+                Some(pair) => (pair[0].as_f64(), pair[1].as_f64()),
+                None => (None, None),
+            };
+            match (v, r) {
+                (Some(v), Some(r)) => points.push((v, r)),
+                _ => return Err("calibration points must be [voltage, rate] pairs".into()),
+            }
+        }
+        if points.len() < 2 {
+            return Err("voltage model needs at least two calibration points".into());
+        }
+        if !(nominal > 0.0 && nominal.is_finite()) {
+            return Err("nominal voltage must be positive and finite".into());
+        }
+        for w in points.windows(2) {
+            if !(w[0].0 > w[1].0 && w[0].1 < w[1].1) {
+                return Err(
+                    "calibration voltages must strictly decrease and rates strictly increase"
+                        .into(),
+                );
+            }
+        }
+        for &(v, r) in &points {
+            if !(v > 0.0 && r > 0.0 && r <= 1.0) {
+                return Err(format!("invalid calibration point ({v}, {r})"));
+            }
+        }
+        Ok(Self::from_points(nominal, points))
     }
 
     /// Lowest calibrated voltage.
@@ -411,6 +477,36 @@ mod tests {
     #[should_panic(expected = "strictly increase")]
     fn from_points_rejects_non_monotone_rates() {
         VoltageErrorModel::from_points(1.0, vec![(1.0, 1e-3), (0.9, 1e-5)]);
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        for model in [
+            VoltageErrorModel::paper_figure_5_2(),
+            VoltageErrorModel::from_points(1.2, vec![(1.2, 1e-8), (0.8, 1e-2)]),
+        ] {
+            let json = model.to_json();
+            let parsed =
+                VoltageErrorModel::from_json_value(&crate::json::parse(&json).unwrap()).unwrap();
+            assert_eq!(parsed, model);
+            assert_eq!(parsed.to_json(), json);
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_bad_calibrations() {
+        for bad in [
+            r#"{"points":[[1.0,1e-9],[0.9,1e-8]]}"#,
+            r#"{"nominal_voltage":1.0,"points":[[1.0,1e-9]]}"#,
+            r#"{"nominal_voltage":1.0,"points":[[0.9,1e-8],[1.0,1e-9]]}"#,
+            r#"{"nominal_voltage":1.0,"points":[[1.0,1e-9],[0.9,"x"]]}"#,
+        ] {
+            let v = crate::json::parse(bad).unwrap();
+            assert!(
+                VoltageErrorModel::from_json_value(&v).is_err(),
+                "accepted {bad}"
+            );
+        }
     }
 
     #[test]

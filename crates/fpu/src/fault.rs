@@ -43,6 +43,23 @@ impl BitWidth {
             BitWidth::F64 => 52,
         }
     }
+
+    /// Stable lower-case name used in serializations.
+    pub fn name(self) -> &'static str {
+        match self {
+            BitWidth::F32 => "f32",
+            BitWidth::F64 => "f64",
+        }
+    }
+
+    /// The inverse of [`name`](Self::name), for spec parsers.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "f32" => BitWidth::F32,
+            "f64" => BitWidth::F64,
+            _ => return None,
+        })
+    }
 }
 
 /// How often the fault injector strikes, expressed as the expected fraction
@@ -288,6 +305,22 @@ impl BitFaultModel {
             *w = 1.0;
         }
         Self::from_weights(width, &weights).named("lsb_only")
+    }
+
+    /// Reconstructs a preset model from its stable
+    /// [`kind`](Self::kind) name and width — the inverse used by spec
+    /// parsers. `"custom"` models carry their weights out of band and
+    /// cannot be reconstructed by name, so this returns `None` for them
+    /// (and for unknown names).
+    pub fn from_kind(kind: &str, width: BitWidth) -> Option<Self> {
+        Some(match kind {
+            "emulated" => Self::emulated_with_width(width),
+            "exponent_heavy" => Self::exponent_heavy(width),
+            "uniform" => Self::uniform(width),
+            "msb_only" => Self::msb_only(width),
+            "lsb_only" => Self::lsb_only(width),
+            _ => return None,
+        })
     }
 
     /// The bit width this model injects into.

@@ -49,6 +49,18 @@ impl FlopOp {
             FlopOp::Sqrt => "sqrt",
         }
     }
+
+    /// The inverse of [`name`](Self::name), for spec parsers.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "add" => FlopOp::Add,
+            "sub" => FlopOp::Sub,
+            "mul" => FlopOp::Mul,
+            "div" => FlopOp::Div,
+            "sqrt" => FlopOp::Sqrt,
+            _ => return None,
+        })
+    }
 }
 
 /// A floating point unit: the single point through which all data-plane

@@ -60,6 +60,7 @@
 mod energy;
 mod fault;
 mod fpu;
+pub mod json;
 mod lfsr;
 mod memory;
 mod model;

@@ -166,6 +166,41 @@ impl MemoryFaultModel {
             },
         )
     }
+
+    /// Reconstructs a model from the [`to_json`](Self::to_json) shape
+    /// (the caller has already dispatched on `"kind"`).
+    pub fn from_json_value(value: &crate::json::JsonValue) -> Result<Self, String> {
+        use crate::json::JsonValue;
+        let kind = match value.get("kind").and_then(JsonValue::as_str) {
+            Some("register_file") => MemoryFaultKind::RegisterFile,
+            Some("array_resident") => MemoryFaultKind::ArrayResident,
+            other => return Err(format!("unknown memory fault kind {other:?}")),
+        };
+        let slots = value
+            .get("slots")
+            .and_then(JsonValue::as_usize)
+            .filter(|&s| s > 0)
+            .ok_or("memory fault model needs a positive \"slots\" count")?;
+        let scrub_interval = value
+            .get("scrub_interval")
+            .and_then(JsonValue::as_u64)
+            .ok_or("memory fault model needs a \"scrub_interval\"")?;
+        let width = value
+            .get("width")
+            .and_then(JsonValue::as_str)
+            .and_then(BitWidth::from_name)
+            .ok_or("memory fault model needs a \"width\" of \"f32\" or \"f64\"")?;
+        let distribution = value
+            .get("distribution")
+            .and_then(JsonValue::as_str)
+            .ok_or("memory fault model needs a \"distribution\" name")?;
+        let bits = BitFaultModel::from_kind(distribution, width)
+            .ok_or_else(|| format!("unknown bit distribution \"{distribution}\""))?;
+        Ok(match kind {
+            MemoryFaultKind::RegisterFile => Self::register_file(slots, bits, scrub_interval),
+            MemoryFaultKind::ArrayResident => Self::array_resident(slots, bits, scrub_interval),
+        })
+    }
 }
 
 /// XORs `mask` into `value` on the model's bit grid (no-op for an empty

@@ -27,6 +27,7 @@
 use crate::energy::VoltageErrorModel;
 use crate::fault::{BitFaultModel, BitWidth, FaultRate, FaultStats};
 use crate::fpu::FlopOp;
+use crate::json::JsonValue;
 use crate::lfsr::Lfsr;
 use crate::memory::MemoryFaultModel;
 use std::sync::Arc;
@@ -733,8 +734,9 @@ impl FaultModelSpec {
         self.build().name()
     }
 
-    /// Serializes the spec to a single-line JSON object (provenance for
-    /// sweep emitters; there is no parser — specs are built in code).
+    /// Serializes the spec to a single-line JSON object — the wire format
+    /// carried by campaign jobs and result documents, and the exact
+    /// inverse of [`from_json`](Self::from_json).
     pub fn to_json(&self) -> String {
         match self {
             FaultModelSpec::Transient { model } => format!(
@@ -779,9 +781,10 @@ impl FaultModelSpec {
             }
             FaultModelSpec::VoltageLinked { model, voltage } => format!(
                 "{{\"kind\":\"voltage_linked\",\"voltage\":{voltage},\"rate\":{},\
-                 \"nominal_voltage\":{}}}",
+                 \"nominal_voltage\":{},\"model\":{}}}",
                 model.error_rate(*voltage),
                 model.nominal_voltage(),
+                model.to_json(),
             ),
             FaultModelSpec::DvfsSchedule { model, steps } => {
                 let steps: Vec<String> = steps
@@ -789,13 +792,168 @@ impl FaultModelSpec {
                     .map(|s| format!("{{\"flops\":{},\"voltage\":{}}}", s.flops, s.voltage))
                     .collect();
                 format!(
-                    "{{\"kind\":\"dvfs\",\"steps\":[{}],\"nominal_voltage\":{}}}",
+                    "{{\"kind\":\"dvfs\",\"steps\":[{}],\"nominal_voltage\":{},\"model\":{}}}",
                     steps.join(","),
                     model.nominal_voltage(),
+                    model.to_json(),
                 )
             }
             FaultModelSpec::Memory { model } => model.to_json(),
         }
+    }
+
+    /// Parses a spec from its [`to_json`](Self::to_json) serialization.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let value = crate::json::parse(json).map_err(|e| e.to_string())?;
+        Self::from_json_value(&value)
+    }
+
+    /// Reconstructs a spec from a parsed [`JsonValue`] tree (the
+    /// [`to_json`](Self::to_json) shape).
+    pub fn from_json_value(value: &JsonValue) -> Result<Self, String> {
+        let kind = value
+            .get("kind")
+            .and_then(JsonValue::as_str)
+            .ok_or("fault model spec needs a \"kind\" string")?;
+        let bit_model = |value: &JsonValue| -> Result<BitFaultModel, String> {
+            let width = value
+                .get("width")
+                .and_then(JsonValue::as_str)
+                .and_then(BitWidth::from_name)
+                .ok_or("fault model needs a \"width\" of \"f32\" or \"f64\"")?;
+            let distribution = value
+                .get("distribution")
+                .and_then(JsonValue::as_str)
+                .ok_or("fault model needs a \"distribution\" name")?;
+            BitFaultModel::from_kind(distribution, width)
+                .ok_or_else(|| format!("unknown bit distribution \"{distribution}\""))
+        };
+        let voltage_model = |value: &JsonValue| -> Result<VoltageErrorModel, String> {
+            let model = value
+                .get("model")
+                .ok_or("voltage-linked spec needs a \"model\" calibration")?;
+            VoltageErrorModel::from_json_value(model)
+        };
+        Ok(match kind {
+            "transient" => Self::transient(bit_model(value)?),
+            "stuck_at" => {
+                let width = value
+                    .get("width")
+                    .and_then(JsonValue::as_str)
+                    .and_then(BitWidth::from_name)
+                    .ok_or("stuck-at spec needs a \"width\"")?;
+                let bit = value
+                    .get("bit")
+                    .and_then(JsonValue::as_usize)
+                    .filter(|&b| b < width.bits())
+                    .ok_or("stuck-at spec needs an in-range \"bit\"")?;
+                let stuck_to = value
+                    .get("stuck_to")
+                    .and_then(JsonValue::as_u64)
+                    .filter(|&s| s <= 1)
+                    .ok_or("stuck-at spec needs a \"stuck_to\" of 0 or 1")?;
+                Self::stuck_at(bit, stuck_to == 1, width)
+            }
+            "burst" => {
+                let length = value
+                    .get("length")
+                    .and_then(JsonValue::as_usize)
+                    .filter(|&l| l > 0)
+                    .ok_or("burst spec needs a positive \"length\"")?;
+                Self::burst(length, bit_model(value)?)
+            }
+            "operand" => Self::operand(bit_model(value)?),
+            "intermittent" => {
+                let duty = value
+                    .get("duty")
+                    .and_then(JsonValue::as_f64)
+                    .filter(|d| d.is_finite() && *d > 0.0 && *d <= 1.0)
+                    .ok_or("intermittent spec needs a \"duty\" in (0, 1]")?;
+                let period = value
+                    .get("period")
+                    .and_then(JsonValue::as_u64)
+                    .filter(|&p| p > 0)
+                    .ok_or("intermittent spec needs a positive \"period\"")?;
+                let inner = value
+                    .get("inner")
+                    .ok_or("intermittent spec needs an \"inner\" spec")?;
+                let inner = Self::from_json_value(inner)?;
+                if inner.is_injector_level() {
+                    return Err(format!("{} cannot nest inside a combinator", inner.name()));
+                }
+                Self::intermittent(duty, period, inner)
+            }
+            "op_selective" => {
+                let ops = value
+                    .get("ops")
+                    .and_then(JsonValue::as_array)
+                    .ok_or("op-selective spec needs an \"ops\" array")?;
+                let ops: Vec<FlopOp> = ops
+                    .iter()
+                    .map(|op| {
+                        op.as_str()
+                            .and_then(FlopOp::from_name)
+                            .ok_or("unknown op name in \"ops\"".to_string())
+                    })
+                    .collect::<Result<_, _>>()?;
+                if ops.is_empty() {
+                    return Err("op-selective spec needs at least one op".into());
+                }
+                let inner = value
+                    .get("inner")
+                    .ok_or("op-selective spec needs an \"inner\" spec")?;
+                let inner = Self::from_json_value(inner)?;
+                if inner.is_injector_level() {
+                    return Err(format!("{} cannot nest inside a combinator", inner.name()));
+                }
+                Self::op_selective(ops, inner)
+            }
+            "voltage_linked" => {
+                let voltage = value
+                    .get("voltage")
+                    .and_then(JsonValue::as_f64)
+                    .filter(|v| *v > 0.0 && v.is_finite())
+                    .ok_or("voltage-linked spec needs a positive \"voltage\"")?;
+                Self::voltage_linked(voltage_model(value)?, voltage)
+            }
+            "dvfs" => {
+                let raw_steps = value
+                    .get("steps")
+                    .and_then(JsonValue::as_array)
+                    .ok_or("dvfs spec needs a \"steps\" array")?;
+                let mut steps = Vec::with_capacity(raw_steps.len());
+                for step in raw_steps {
+                    let flops = step
+                        .get("flops")
+                        .and_then(JsonValue::as_u64)
+                        .filter(|&f| f > 0)
+                        .ok_or("dvfs steps need a positive \"flops\" count")?;
+                    let voltage = step
+                        .get("voltage")
+                        .and_then(JsonValue::as_f64)
+                        .filter(|v| *v > 0.0 && v.is_finite())
+                        .ok_or("dvfs steps need a positive \"voltage\"")?;
+                    steps.push(DvfsStep { flops, voltage });
+                }
+                if steps.is_empty() {
+                    return Err("dvfs spec needs at least one step".into());
+                }
+                Self::dvfs(voltage_model(value)?, steps)
+            }
+            "register_file" | "array_resident" => {
+                Self::memory(MemoryFaultModel::from_json_value(value)?)
+            }
+            other => return Err(format!("unknown fault model kind \"{other}\"")),
+        })
+    }
+
+    /// The 64-bit FNV-1a content hash of the spec's canonical JSON — the
+    /// fault-model component of campaign cache keys. Semantically equal
+    /// specs serialize identically, so they hash identically; distinct
+    /// specs differ in their JSON and (modulo hash collisions) in their
+    /// hash.
+    pub fn content_hash(&self) -> u64 {
+        crate::json::fnv1a_64(self.to_json().as_bytes())
     }
 
     /// Instantiates the corruption strategy this spec describes.
@@ -1181,6 +1339,49 @@ mod tests {
             FaultModelSpec::stuck_at(7, false, BitWidth::F32).to_json(),
             "{\"kind\":\"stuck_at\",\"bit\":7,\"stuck_to\":0,\"width\":\"f32\"}"
         );
+    }
+
+    #[test]
+    fn json_round_trips_across_every_family_member() {
+        for spec in family() {
+            let json = spec.to_json();
+            let parsed =
+                FaultModelSpec::from_json(&json).unwrap_or_else(|e| panic!("{}: {e}", spec.name()));
+            assert_eq!(parsed, spec, "round trip changed {}", spec.name());
+            assert_eq!(parsed.to_json(), json, "re-serialization drifted");
+            assert_eq!(parsed.content_hash(), spec.content_hash());
+        }
+    }
+
+    #[test]
+    fn content_hashes_separate_distinct_specs() {
+        let hashes: Vec<u64> = family().iter().map(|s| s.content_hash()).collect();
+        let distinct: std::collections::HashSet<&u64> = hashes.iter().collect();
+        assert_eq!(distinct.len(), hashes.len(), "hash collision in family");
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_specs() {
+        for bad in [
+            "{}",
+            r#"{"kind":"nope"}"#,
+            r#"{"kind":"transient","distribution":"custom","width":"f64"}"#,
+            r#"{"kind":"stuck_at","bit":64,"stuck_to":0,"width":"f64"}"#,
+            r#"{"kind":"burst","length":0,"distribution":"emulated","width":"f64"}"#,
+            r#"{"kind":"intermittent","duty":1.5,"period":10,
+                "inner":{"kind":"transient","distribution":"emulated","width":"f64"}}"#,
+            r#"{"kind":"op_selective","ops":["frobnicate"],
+                "inner":{"kind":"transient","distribution":"emulated","width":"f64"}}"#,
+            r#"{"kind":"intermittent","duty":0.5,"period":10,
+                "inner":{"kind":"register_file","slots":4,"scrub_interval":0,
+                         "distribution":"emulated","width":"f64"}}"#,
+            r#"{"kind":"voltage_linked","voltage":0.7}"#,
+        ] {
+            assert!(
+                FaultModelSpec::from_json(bad).is_err(),
+                "accepted malformed spec {bad}"
+            );
+        }
     }
 
     #[test]

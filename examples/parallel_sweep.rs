@@ -36,14 +36,13 @@ fn main() {
             SvmProblem::new(data, 0.05).expect("λ is positive")
         }),
     ];
-    let result = SweepSpec::new(
-        "multi_app",
-        vec![1.0, 5.0, 10.0],
-        20,
-        42,
-        BitFaultModel::emulated(),
-    )
-    .run(&cases); // all (case × rate × trial) cells run in parallel
+    let result = SweepSpec::builder("multi_app")
+        .rates(vec![1.0, 5.0, 10.0])
+        .trials(20)
+        .seed(42)
+        .model(BitFaultModel::emulated())
+        .build()
+        .run(&cases); // all (case × rate × trial) cells run in parallel
     print!("{}", result.to_csv());
     eprintln!(
         "{} trials at {:.0} trials/s",

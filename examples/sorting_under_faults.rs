@@ -31,14 +31,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         SweepCase::fixed("quicksort", SolverSpec::baseline(), problem.clone()),
         SweepCase::fixed("robust_sgd", robust, problem),
     ];
-    let result = SweepSpec::new(
-        "sorting_under_faults",
-        vec![0.5, 2.0, 5.0, 10.0, 20.0],
-        60,
-        7,
-        BitFaultModel::emulated(),
-    )
-    .run(&cases);
+    let result = SweepSpec::builder("sorting_under_faults")
+        .rates(vec![0.5, 2.0, 5.0, 10.0, 20.0])
+        .trials(60)
+        .seed(7)
+        .model(BitFaultModel::emulated())
+        .build()
+        .run(&cases);
 
     println!(
         "{:>12} {:>14} {:>14}",

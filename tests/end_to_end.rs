@@ -21,13 +21,12 @@ use robustify::graph::generators::{
 const RATE_2PCT: f64 = 2.0;
 
 fn sweep(name: &str, rate_pct: f64, trials: usize, seed: u64) -> SweepSpec {
-    SweepSpec::new(
-        name,
-        vec![rate_pct],
-        trials,
-        seed,
-        BitFaultModel::emulated(),
-    )
+    SweepSpec::builder(name)
+        .rates(vec![rate_pct])
+        .trials(trials)
+        .seed(seed)
+        .model(BitFaultModel::emulated())
+        .build()
 }
 
 #[test]
@@ -187,13 +186,12 @@ fn real_app_sweep_is_thread_count_invariant() {
             }),
         ]
     };
-    let grid = SweepSpec::new(
-        "sort_determinism",
-        vec![1.0, 10.0],
-        6,
-        42,
-        BitFaultModel::emulated(),
-    );
+    let grid = SweepSpec::builder("sort_determinism")
+        .rates(vec![1.0, 10.0])
+        .trials(6)
+        .seed(42)
+        .model(BitFaultModel::emulated())
+        .build();
     let serial = grid.clone().with_threads(1).run(&cases());
     let parallel = grid.with_threads(4).run(&cases());
     assert_eq!(serial.to_json(), parallel.to_json());
