@@ -13,7 +13,8 @@
 //! contract — the countdown skip-ahead fast path never changes a single
 //! bit), so their ratio is pure dispatch overhead removed; the comparison
 //! asserts the per-trial verdicts and FLOP/fault counters match before
-//! timing counts. The campaign timing runs the same grid twice through
+//! timing counts. A separate rate-0 pass records the fault-free ceiling,
+//! where whole batches run on the vectorizable fast lane. The campaign timing runs the same grid twice through
 //! the content-addressed result cache: the cold pass executes and
 //! checkpoints every cell, the warm pass must replay byte-identically
 //! from disk, and their ratio is the cache's replay speedup.
@@ -78,13 +79,14 @@ fn run(opts: &ExperimentOptions, trials: usize, threads: usize) -> SweepResult {
 fn manual_serial_run(
     opts: &ExperimentOptions,
     trials: usize,
+    rates_pct: &[f64],
     batched: bool,
 ) -> (Duration, Vec<(bool, u64, u64)>) {
     let specs = specs();
-    let mut records = Vec::with_capacity(specs.len() * RATES_PCT.len() * trials);
+    let mut records = Vec::with_capacity(specs.len() * rates_pct.len() * trials);
     let start = Instant::now();
     for (_, spec) in &specs {
-        for pct in RATES_PCT {
+        for &pct in rates_pct {
             for trial in 0..trials as u64 {
                 let problem = SortProblem::random(
                     &mut StdRng::seed_from_u64(problem_seed(opts.seed, trial)),
@@ -157,8 +159,8 @@ fn main() {
     // Batched vs scalar FPU dispatch on the identical serial workload: the
     // countdown skip-ahead fast path must change throughput only, never a
     // result bit.
-    let (batched_elapsed, batched_records) = manual_serial_run(&opts, trials, true);
-    let (scalar_elapsed, scalar_records) = manual_serial_run(&opts, trials, false);
+    let (batched_elapsed, batched_records) = manual_serial_run(&opts, trials, &RATES_PCT, true);
+    let (scalar_elapsed, scalar_records) = manual_serial_run(&opts, trials, &RATES_PCT, false);
     assert_eq!(
         batched_records, scalar_records,
         "bit-identity contract violated: batched and scalar dispatch disagree"
@@ -166,6 +168,19 @@ fn main() {
     let total = batched_records.len() as f64;
     let batched_tps = total / batched_elapsed.as_secs_f64();
     let scalar_tps = total / scalar_elapsed.as_secs_f64();
+
+    // The fault-free ceiling: at rate 0 every batch runs whole on the
+    // fault-free fast lane (`run_exact` grants the full span), so this
+    // is the raw-speed number the vectorizable lanes are accountable to.
+    let (batched0_elapsed, batched0_records) = manual_serial_run(&opts, trials, &[0.0], true);
+    let (scalar0_elapsed, scalar0_records) = manual_serial_run(&opts, trials, &[0.0], false);
+    assert_eq!(
+        batched0_records, scalar0_records,
+        "bit-identity contract violated at rate 0"
+    );
+    let total0 = batched0_records.len() as f64;
+    let batched0_tps = total0 / batched0_elapsed.as_secs_f64();
+    let scalar0_tps = total0 / scalar0_elapsed.as_secs_f64();
 
     let (campaign_cold_s, campaign_warm_s, campaign_cells) = campaign_cache_timing(&opts, trials);
 
@@ -212,7 +227,9 @@ fn main() {
         "{{\"sweep\":\"sorting fig6.1-style\",\"trials\":{},\"threads_serial\":1,\
          \"elapsed_serial_s\":{:.3},\"trials_per_s_serial\":{:.2},\
          \"trials_per_s_scalar_dispatch\":{:.2},\"trials_per_s_batched_dispatch\":{:.2},\
-         \"batch_speedup\":{:.2},\"host_cores\":{},\"speedup_curve\":[{}],\
+         \"batch_speedup\":{:.2},\"trials_per_s_scalar_dispatch_rate0\":{:.2},\
+         \"trials_per_s_batched_dispatch_rate0\":{:.2},\"batch_speedup_rate0\":{:.2},\
+         \"host_cores\":{},\"speedup_curve\":[{}],\
          \"campaign_cells\":{},\"campaign_cold_s\":{:.3},\"campaign_warm_s\":{:.3},\
          \"campaign_replay_speedup\":{:.1}{}}}",
         serial.total_trials(),
@@ -221,6 +238,9 @@ fn main() {
         scalar_tps,
         batched_tps,
         batched_tps / scalar_tps,
+        scalar0_tps,
+        batched0_tps,
+        batched0_tps / scalar0_tps,
         host_cores,
         curve.join(","),
         campaign_cells,

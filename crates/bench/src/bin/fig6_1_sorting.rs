@@ -4,25 +4,31 @@
 //! Series: the deterministic comparison-sort baseline ("Base"), plain SGD
 //! on the doubly stochastic LP with `1/t` steps ("SGD"), and SGD with an
 //! aggressive-stepping tail under `1/t` ("SGD+AS,LS") and `1/√t`
-//! ("SGD+AS,SQS") schedules — a declarative sweep on the parallel engine.
+//! ("SGD+AS,SQS") schedules.
+//!
+//! The figure is expressed as a declarative campaign (4 solver-variant
+//! jobs on the `sorting` workload, one fresh 5-element array per trial),
+//! so this binary is also a *thin client*: with `--server ADDR` it
+//! submits the campaign to a running `campaign_server` and prints the
+//! daemon's byte-identical documents; with `--cache-dir PATH` a local run
+//! checkpoints per cell and resumes after a kill.
 //!
 //! Expected shape (paper): the baseline degrades as faults corrupt its
 //! comparisons; plain 1/t SGD performs poorly; SQS scaling "is able to
 //! achieve 100% accuracy even with large fault rates".
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use robustify_apps::sorting::SortProblem;
-use robustify_bench::{success_table, ExperimentOptions};
+use robustify_bench::workloads::paper_registry;
+use robustify_bench::{success_table, CampaignExecution, ExperimentOptions};
 use robustify_core::{AggressiveStepping, GradientGuard, SolverSpec, StepSchedule};
-use robustify_engine::{paper_fault_rates, SweepCase};
+use robustify_engine::campaign::JobSpec;
+use robustify_engine::paper_fault_rates;
 
 const ITERATIONS: usize = 10_000;
 
-fn sort_case(label: &str, spec: SolverSpec) -> SweepCase {
-    SweepCase::problem(label, spec, |seed| {
-        SortProblem::random(&mut StdRng::seed_from_u64(seed), 5)
-    })
+fn sort_job(label: &str, spec: SolverSpec) -> JobSpec {
+    // One fresh random array per trial, exactly like the historical
+    // in-process sweep's per-trial problem factory.
+    JobSpec::new(label, "sorting").per_trial().with_solver(spec)
 }
 
 fn main() {
@@ -37,26 +43,44 @@ fn main() {
     };
     let ls = StepSchedule::Linear { gamma0: 0.1 };
     let sqs = StepSchedule::Sqrt { gamma0: 0.1 };
-    let cases = vec![
-        sort_case("Base", SolverSpec::baseline()),
-        sort_case("SGD", SolverSpec::sgd(ITERATIONS, ls).with_guard(guard)),
-        sort_case(
+    let campaign = opts
+        .campaign("fig6_1_sorting")
+        .rates(paper_fault_rates())
+        .trials(trials)
+        .job(sort_job("Base", SolverSpec::baseline()))
+        .job(sort_job(
+            "SGD",
+            SolverSpec::sgd(ITERATIONS, ls).with_guard(guard),
+        ))
+        .job(sort_job(
             "SGD+AS,LS",
             SolverSpec::sgd(ITERATIONS, ls)
                 .with_guard(guard)
                 .with_aggressive_stepping(AggressiveStepping::default()),
-        ),
-        sort_case(
+        ))
+        .job(sort_job(
             "SGD+AS,SQS",
             SolverSpec::sgd(ITERATIONS, sqs)
                 .with_guard(guard)
                 .with_aggressive_stepping(AggressiveStepping::default()),
-        ),
-    ];
+        ));
 
-    let result = opts
-        .sweep("fig6_1_sorting", paper_fault_rates(), trials)
-        .run(&cases);
+    let result = match opts.execute_campaign(&campaign, &paper_registry()) {
+        Ok(CampaignExecution::Local(run)) => run.result,
+        Ok(CampaignExecution::Remote(outcome)) => {
+            // Thin-client mode: the daemon's documents are byte-identical
+            // to a local run's, so print them as the figure artifact.
+            println!("\n-- csv --\n{}", outcome.csv);
+            if opts.json {
+                println!("\n-- json --\n{}", outcome.json);
+            }
+            return;
+        }
+        Err(e) => {
+            eprintln!("fig6_1_sorting: {e}");
+            std::process::exit(1);
+        }
+    };
     let table = success_table(
         &format!("Figure 6.1 — Accuracy of Sort, {ITERATIONS} iterations ({trials} trials/point)"),
         &result,

@@ -2,8 +2,8 @@
 //! voltage overscaling, as a function of the accuracy target, against the
 //! error-free Cholesky baseline.
 //!
-//! The harness runs *one* voltage-axis engine sweep
-//! ([`SweepSpec::over_voltages`](robustify_engine::SweepSpec::over_voltages))
+//! The harness runs *one* voltage-axis campaign
+//! ([`CampaignSpec::voltages`](robustify_engine::campaign::CampaignSpec::voltages))
 //! over the full `(CG iterations × operating voltage)` grid — the engine
 //! derives each column's fault rate from the Figure 5.2 model and accounts
 //! `energy = P(V) × FLOPs` per cell — then reads every accuracy target off
@@ -13,6 +13,13 @@
 //! pair that still meets the target in at least 80% of trials; the
 //! Cholesky baseline runs at the nominal voltage, where the FPU is
 //! effectively error-free.
+//!
+//! The grid is declarative (one fixed `least_squares` instance, one job
+//! per CG iteration count), so this binary is also a *thin client*: with
+//! `--server ADDR` it submits the campaign to a running `campaign_server`
+//! and prints the daemon's byte-identical documents; with
+//! `--cache-dir PATH` a local run checkpoints per cell and resumes after
+//! a kill.
 //!
 //! Targets no grid point meets at the 80% bar are *clamped to the
 //! boundary* rather than dropped: the row reports the nominal-voltage
@@ -24,10 +31,10 @@
 //! concurrently; targets tighter than the solver's noise floor surface as
 //! `clamped` rows instead of disappearing.
 
-use robustify_bench::workloads::paper_least_squares;
-use robustify_bench::{fmt_metric, ExperimentOptions, Table};
+use robustify_bench::workloads::{paper_least_squares, paper_registry};
+use robustify_bench::{fmt_metric, CampaignExecution, ExperimentOptions, Table};
 use robustify_core::SolverSpec;
-use robustify_engine::SweepCase;
+use robustify_engine::campaign::JobSpec;
 use stochastic_fpu::{Fpu, ReliableFpu, VoltageErrorModel};
 
 fn main() {
@@ -52,16 +59,35 @@ fn main() {
     let voltages: Vec<f64> = (0..17).map(|i| 1.0 - 0.025 * i as f64).collect();
     let iteration_grid: Vec<usize> = vec![2, 3, 5, 7, 10, 14, 20, 28, 40];
 
-    // The engine grid: case = CG iteration count, column = operating
-    // voltage (the engine derives each column's fault rate from the
-    // Figure 5.2 model and emits per-cell energy provenance).
-    let cases: Vec<SweepCase> = iteration_grid
-        .iter()
-        .map(|&n| SweepCase::fixed(&format!("CG,N={n}"), SolverSpec::cg(n), problem.clone()))
-        .collect();
-    let result = opts
-        .sweep_voltages("fig6_7_cg_energy", voltages.clone(), trials, model.clone())
-        .run(&cases);
+    // The campaign grid: job = CG iteration count, column = operating
+    // voltage. Every job shares the one fixed `least_squares` instance
+    // the registry materializes from the campaign's base seed — the same
+    // instance the Cholesky baseline above solves.
+    let mut campaign = opts
+        .campaign("fig6_7_cg_energy")
+        .voltages(voltages.clone(), model.clone())
+        .trials(trials);
+    for &n in &iteration_grid {
+        campaign = campaign.job(
+            JobSpec::new(&format!("CG,N={n}"), "least_squares").with_solver(SolverSpec::cg(n)),
+        );
+    }
+    let result = match opts.execute_campaign(&campaign, &paper_registry()) {
+        Ok(CampaignExecution::Local(run)) => run.result,
+        Ok(CampaignExecution::Remote(outcome)) => {
+            // Thin-client mode: the daemon's documents are byte-identical
+            // to a local run's, so print them as the figure artifact.
+            println!("\n-- csv --\n{}", outcome.csv);
+            if opts.json {
+                println!("\n-- json --\n{}", outcome.json);
+            }
+            return;
+        }
+        Err(e) => {
+            eprintln!("fig6_7_cg_energy: {e}");
+            std::process::exit(1);
+        }
+    };
 
     let mut table = Table::new(
         &format!(

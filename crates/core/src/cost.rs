@@ -188,9 +188,10 @@ impl CostFunction for QuadraticCost {
 
     fn gradient<F: Fpu>(&self, x: &[f64], fpu: &mut F, grad: &mut [f64]) {
         let qx = self.q.matvec(fpu, x).expect("x has dim() entries");
-        for ((g, qxi), bi) in grad.iter_mut().zip(qx).zip(&self.b) {
-            *g = fpu.sub(qxi, *bi);
-        }
+        // grad = Qx − b as one batched element-wise difference — the same
+        // per-op expansion (`sub(qx_i, b_i)` in order) the historical
+        // element loop issued, on the fast lane.
+        fpu.sub_batch(&qx, &self.b, grad);
     }
 }
 

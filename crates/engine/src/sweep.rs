@@ -208,56 +208,6 @@ impl SweepSpec {
         }
     }
 
-    /// The positional constructor the builder replaced.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `rates_pct` is empty or `trials == 0`.
-    #[deprecated(
-        since = "0.6.0",
-        note = "use `SweepSpec::builder(name).rates(..).trials(..).seed(..).model(..).build()`"
-    )]
-    pub fn new(
-        name: &str,
-        rates_pct: Vec<f64>,
-        trials: usize,
-        base_seed: u64,
-        model: impl Into<FaultModelSpec>,
-    ) -> Self {
-        SweepSpec::builder(name)
-            .rates(rates_pct)
-            .trials(trials)
-            .seed(base_seed)
-            .model(model)
-            .build()
-    }
-
-    /// The positional voltage-axis constructor the builder replaced.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `voltages` is empty or contains a non-positive or
-    /// non-finite voltage, or if `trials == 0`.
-    #[deprecated(
-        since = "0.6.0",
-        note = "use `SweepSpec::builder(name).voltages(v, energy_model).trials(..).seed(..).model(..).build()`"
-    )]
-    pub fn over_voltages(
-        name: &str,
-        voltages: Vec<f64>,
-        trials: usize,
-        base_seed: u64,
-        energy_model: VoltageErrorModel,
-        model: impl Into<FaultModelSpec>,
-    ) -> Self {
-        SweepSpec::builder(name)
-            .voltages(voltages, energy_model)
-            .trials(trials)
-            .seed(base_seed)
-            .model(model)
-            .build()
-    }
-
     /// The sweep's default fault model.
     pub fn fault_model(&self) -> &FaultModelSpec {
         &self.model
@@ -1079,35 +1029,5 @@ mod tests {
         let csv = result.to_csv();
         assert!(csv.contains("stuck,stuck1_bit52,10,"));
         assert!(result.to_json().contains("\"kind\":\"stuck_at\""));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructors_build_the_same_specs_as_the_builder() {
-        let shim = SweepSpec::new("t", vec![1.0, 5.0], 8, 7, BitFaultModel::emulated());
-        let built = SweepSpec::builder("t")
-            .rates(vec![1.0, 5.0])
-            .trials(8)
-            .seed(7)
-            .model(BitFaultModel::emulated())
-            .build();
-        assert_eq!(shim, built);
-
-        let energy = stochastic_fpu::VoltageErrorModel::paper_figure_5_2();
-        let volt_shim = SweepSpec::over_voltages(
-            "v",
-            vec![1.0, 0.8],
-            4,
-            3,
-            energy.clone(),
-            BitFaultModel::emulated(),
-        );
-        let volt_built = SweepSpec::builder("v")
-            .voltages(vec![1.0, 0.8], energy)
-            .trials(4)
-            .seed(3)
-            .model(BitFaultModel::emulated())
-            .build();
-        assert_eq!(volt_shim, volt_built);
     }
 }

@@ -12,6 +12,105 @@ use crate::lfsr::Lfsr;
 use crate::memory::MemoryFaultState;
 use crate::model::{FaultCtx, FaultModel, FaultModelSpec};
 
+/// Width of the fault-free fast lane: the unroll factor of the batch
+/// kernels' `chunks_exact` microkernels, and the number of independent
+/// accumulator lanes a long reduction splits into so the compiler can
+/// autovectorize it.
+pub const LANE_WIDTH: usize = 8;
+
+/// Reductions shorter than this keep the historical single-accumulator
+/// expansion (`acc = add(acc, p)` per element); from this length on,
+/// [`Fpu::gemv_row`] / [`Fpu::dot_batch`] / [`Fpu::dot_sub_batch`] use the
+/// lane-indexed expansion documented on those kernels. The threshold keeps
+/// the paper-scale small kernels (5-element sorts, 8×8 eigen problems,
+/// 10-column least squares rows) on their historical FLOP sequence while
+/// long reductions (residual norms, Gram columns, QR reflections) gain the
+/// vectorizable lanes.
+pub const LANE_REDUCTION_MIN: usize = 32;
+
+/// FLOPs of the lane pairwise-combine tree: `LANE_WIDTH − 1` additions.
+const COMBINE_FLOPS: u64 = (LANE_WIDTH - 1) as u64;
+
+/// Native lane accumulation over one guaranteed-fault-free range of a
+/// reduction: element `start + i` multiplies into lane
+/// `(start + i) % LANE_WIDTH`, exactly as the per-op lane expansion does.
+/// `x`/`y` are the range's slices; `start` fixes the lane phase. The
+/// aligned middle runs as an 8-wide microkernel over independent lanes, so
+/// the compiler is free to vectorize it — every lane is its own serial
+/// FP-addition chain, and chains on different lanes never interact, so the
+/// result bits cannot depend on how the lanes are interleaved.
+fn lanes_accumulate(lanes: &mut [f64; LANE_WIDTH], x: &[f64], y: &[f64], start: usize) {
+    let misalign = start % LANE_WIDTH;
+    let lead = if misalign == 0 {
+        0
+    } else {
+        (LANE_WIDTH - misalign).min(x.len())
+    };
+    for i in 0..lead {
+        lanes[(start + i) % LANE_WIDTH] += x[i] * y[i];
+    }
+    let mut xc = x[lead..].chunks_exact(LANE_WIDTH);
+    let mut yc = y[lead..].chunks_exact(LANE_WIDTH);
+    for (xa, ya) in (&mut xc).zip(&mut yc) {
+        for j in 0..LANE_WIDTH {
+            lanes[j] += xa[j] * ya[j];
+        }
+    }
+    // The tail starts lane-aligned, so tail element j belongs to lane j.
+    for (j, (&a, &b)) in xc.remainder().iter().zip(yc.remainder()).enumerate() {
+        lanes[j] += a * b;
+    }
+}
+
+/// The lane-indexed product reduction shared by [`Fpu::gemv_row`] and
+/// [`Fpu::dot_sub_batch`] for long inputs: per element `k` in order,
+/// `p = mul(x[k], y[k]); lane[k % LANE_WIDTH] = add(lane[k % LANE_WIDTH],
+/// p)`, followed by the pairwise combine tree. Returns the combined lane
+/// sum (`2·n + LANE_WIDTH − 1` FLOPs).
+fn lane_reduction<F: Fpu>(fpu: &mut F, x: &[f64], y: &[f64]) -> f64 {
+    let mut lanes = [0.0f64; LANE_WIDTH];
+    fpu.with_exact_windows(x.len(), 2, |fpu, range, exact| {
+        if exact {
+            let start = range.start;
+            lanes_accumulate(&mut lanes, &x[range.clone()], &y[range], start);
+        } else {
+            for k in range {
+                let p = fpu.mul(x[k], y[k]);
+                let lane = k % LANE_WIDTH;
+                lanes[lane] = fpu.add(lanes[lane], p);
+            }
+        }
+    });
+    combine_lanes(fpu, &lanes)
+}
+
+/// Pairwise lane combine, through the FPU: `t_j = add(lane_j, lane_{j+4})`
+/// for `j = 0..4`, `u_j = add(t_j, t_{j+2})` for `j = 0..2`, then
+/// `s = add(u_0, u_1)` — `LANE_WIDTH − 1` additions in that fixed order,
+/// on the skip-ahead fast path whenever the schedule guarantees them
+/// fault-free.
+fn combine_lanes<F: Fpu>(fpu: &mut F, lanes: &[f64; LANE_WIDTH]) -> f64 {
+    if fpu.run_exact(COMBINE_FLOPS) == COMBINE_FLOPS {
+        let t0 = lanes[0] + lanes[4];
+        let t1 = lanes[1] + lanes[5];
+        let t2 = lanes[2] + lanes[6];
+        let t3 = lanes[3] + lanes[7];
+        let u0 = t0 + t2;
+        let u1 = t1 + t3;
+        let s = u0 + u1;
+        fpu.commit_exact(COMBINE_FLOPS);
+        s
+    } else {
+        let t0 = fpu.add(lanes[0], lanes[4]);
+        let t1 = fpu.add(lanes[1], lanes[5]);
+        let t2 = fpu.add(lanes[2], lanes[6]);
+        let t3 = fpu.add(lanes[3], lanes[7]);
+        let u0 = fpu.add(t0, t2);
+        let u1 = fpu.add(t1, t3);
+        fpu.add(u0, u1)
+    }
+}
+
 /// The floating point operations an FPU executes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FlopOp {
@@ -79,9 +178,15 @@ impl FlopOp {
 /// pair exposes that window, and the provided batch kernels
 /// ([`dot_batch`](Self::dot_batch), [`axpy_batch`](Self::axpy_batch),
 /// [`scale_batch`](Self::scale_batch), [`gemv_row`](Self::gemv_row), …)
-/// use it to run the fault-free stretch as a tight pure-`f64` loop with a
-/// single counter bump, falling back to per-op [`execute`](Self::execute)
-/// only for the operation the fault schedule actually strikes.
+/// split into two lanes around it: a **fault-free fast lane** —
+/// fixed-width [`LANE_WIDTH`] `chunks_exact` microkernels of pure `f64`
+/// arithmetic with no `Fpu` dispatch and no countdown checks, entered only
+/// for the span `run_exact` guarantees strike-free, and accounted with a
+/// single `commit_exact` bump — and a **scalar strike lane** that runs
+/// window boundaries and remainder tails through the per-op
+/// [`execute`](Self::execute) expansion. Long reductions additionally
+/// split their accumulator into [`LANE_WIDTH`] independent lanes (see
+/// [`LANE_REDUCTION_MIN`]) so the fast lane autovectorizes.
 ///
 /// Every batch kernel documents its exact per-op expansion and is
 /// **bit-identical** to issuing that expansion through `execute` one
@@ -209,8 +314,16 @@ pub trait Fpu {
     /// Inner product with an initial accumulator: one row of a
     /// matrix–vector product, `init + Σᵢ row[i]·x[i]`.
     ///
-    /// Bit-identical per-op expansion, for each `i` in order:
-    /// `p = mul(row[i], x[i]); acc = add(acc, p)` — 2 FLOPs per element.
+    /// Bit-identical per-op expansion. Below [`LANE_REDUCTION_MIN`]
+    /// elements, for each `i` in order: `p = mul(row[i], x[i]);
+    /// acc = add(acc, p)` starting from `acc = init` — 2 FLOPs per
+    /// element. From [`LANE_REDUCTION_MIN`] elements on, the accumulator
+    /// splits into [`LANE_WIDTH`] independent lanes so the fault-free fast
+    /// lane autovectorizes: for each `i` in order `p = mul(row[i], x[i]);
+    /// lane[i % LANE_WIDTH] = add(lane[i % LANE_WIDTH], p)`, then the
+    /// lanes pairwise-combine (`t_j = add(lane_j, lane_{j+4})`,
+    /// `u_j = add(t_j, t_{j+2})`, `s = add(u_0, u_1)`) and
+    /// `acc = add(init, s)` — `2·n + LANE_WIDTH` FLOPs total.
     ///
     /// # Panics
     ///
@@ -220,27 +333,33 @@ pub trait Fpu {
         Self: Sized,
     {
         assert_eq!(row.len(), x.len(), "gemv_row operands differ in length");
-        let mut acc = init;
-        self.with_exact_windows(row.len(), 2, |fpu, range, exact| {
-            if exact {
-                for k in range {
-                    acc += row[k] * x[k];
+        if row.len() < LANE_REDUCTION_MIN {
+            let mut acc = init;
+            self.with_exact_windows(row.len(), 2, |fpu, range, exact| {
+                if exact {
+                    for k in range {
+                        acc += row[k] * x[k];
+                    }
+                } else {
+                    for k in range {
+                        let p = fpu.mul(row[k], x[k]);
+                        acc = fpu.add(acc, p);
+                    }
                 }
-            } else {
-                for k in range {
-                    let p = fpu.mul(row[k], x[k]);
-                    acc = fpu.add(acc, p);
-                }
-            }
-        });
-        acc
+            });
+            return acc;
+        }
+        let s = lane_reduction(self, row, x);
+        self.add(init, s)
     }
 
     /// Inner product `Σᵢ x[i]·y[i]` (zero-initialized [`gemv_row`]).
     ///
-    /// Bit-identical per-op expansion, for each `i` in order:
-    /// `p = mul(x[i], y[i]); acc = add(acc, p)` with `acc` starting at
-    /// `0.0` — 2 FLOPs per element.
+    /// Bit-identical per-op expansion: exactly [`gemv_row`] with
+    /// `init = 0.0` — `p = mul(x[i], y[i])` per element, accumulated
+    /// single-chain below [`LANE_REDUCTION_MIN`] elements and lane-indexed
+    /// (with the pairwise combine and the final `add(0.0, s)`) from there
+    /// on.
     ///
     /// [`gemv_row`]: Self::gemv_row
     ///
@@ -257,8 +376,14 @@ pub trait Fpu {
     /// Subtractive inner product `init − Σᵢ x[i]·y[i]` — the inner loop of
     /// triangular substitution and Cholesky.
     ///
-    /// Bit-identical per-op expansion, for each `i` in order:
-    /// `p = mul(x[i], y[i]); acc = sub(acc, p)` — 2 FLOPs per element.
+    /// Bit-identical per-op expansion. Below [`LANE_REDUCTION_MIN`]
+    /// elements, for each `i` in order: `p = mul(x[i], y[i]);
+    /// acc = sub(acc, p)` — 2 FLOPs per element. From
+    /// [`LANE_REDUCTION_MIN`] elements on, the products accumulate into
+    /// [`LANE_WIDTH`] lanes exactly as in [`gemv_row`](Self::gemv_row)
+    /// (`lane[i % LANE_WIDTH] = add(lane[i % LANE_WIDTH], p)`, pairwise
+    /// combine to `s`) and the result is `acc = sub(init, s)` —
+    /// `2·n + LANE_WIDTH` FLOPs total.
     ///
     /// # Panics
     ///
@@ -268,20 +393,24 @@ pub trait Fpu {
         Self: Sized,
     {
         assert_eq!(x.len(), y.len(), "dot_sub_batch operands differ in length");
-        let mut acc = init;
-        self.with_exact_windows(x.len(), 2, |fpu, range, exact| {
-            if exact {
-                for k in range {
-                    acc -= x[k] * y[k];
+        if x.len() < LANE_REDUCTION_MIN {
+            let mut acc = init;
+            self.with_exact_windows(x.len(), 2, |fpu, range, exact| {
+                if exact {
+                    for k in range {
+                        acc -= x[k] * y[k];
+                    }
+                } else {
+                    for k in range {
+                        let p = fpu.mul(x[k], y[k]);
+                        acc = fpu.sub(acc, p);
+                    }
                 }
-            } else {
-                for k in range {
-                    let p = fpu.mul(x[k], y[k]);
-                    acc = fpu.sub(acc, p);
-                }
-            }
-        });
-        acc
+            });
+            return acc;
+        }
+        let s = lane_reduction(self, x, y);
+        self.sub(init, s)
     }
 
     /// In-place `y ← α x + y` with the scalar as the first multiplicand.
@@ -299,8 +428,17 @@ pub trait Fpu {
         assert_eq!(x.len(), y.len(), "axpy_batch operands differ in length");
         self.with_exact_windows(x.len(), 2, |fpu, range, exact| {
             if exact {
-                for k in range {
-                    y[k] += alpha * x[k];
+                let xs = &x[range.clone()];
+                let ys = &mut y[range];
+                let mut xc = xs.chunks_exact(LANE_WIDTH);
+                let mut yc = ys.chunks_exact_mut(LANE_WIDTH);
+                for (xa, ya) in (&mut xc).zip(&mut yc) {
+                    for j in 0..LANE_WIDTH {
+                        ya[j] += alpha * xa[j];
+                    }
+                }
+                for (xj, yj) in xc.remainder().iter().zip(yc.into_remainder()) {
+                    *yj += alpha * *xj;
                 }
             } else {
                 for k in range {
@@ -330,8 +468,17 @@ pub trait Fpu {
         assert_eq!(row.len(), out.len(), "gemv_t_row operands differ in length");
         self.with_exact_windows(row.len(), 2, |fpu, range, exact| {
             if exact {
-                for k in range {
-                    out[k] += row[k] * scale;
+                let rs = &row[range.clone()];
+                let os = &mut out[range];
+                let mut rc = rs.chunks_exact(LANE_WIDTH);
+                let mut oc = os.chunks_exact_mut(LANE_WIDTH);
+                for (ra, oa) in (&mut rc).zip(&mut oc) {
+                    for j in 0..LANE_WIDTH {
+                        oa[j] += ra[j] * scale;
+                    }
+                }
+                for (rj, oj) in rc.remainder().iter().zip(oc.into_remainder()) {
+                    *oj += *rj * scale;
                 }
             } else {
                 for k in range {
@@ -359,8 +506,24 @@ pub trait Fpu {
         assert_eq!(a.len(), y.len(), "fma_batch output differs in length");
         self.with_exact_windows(a.len(), 2, |fpu, range, exact| {
             if exact {
-                for k in range {
-                    y[k] += a[k] * b[k];
+                let asl = &a[range.clone()];
+                let bsl = &b[range.clone()];
+                let ys = &mut y[range];
+                let mut ac = asl.chunks_exact(LANE_WIDTH);
+                let mut bc = bsl.chunks_exact(LANE_WIDTH);
+                let mut yc = ys.chunks_exact_mut(LANE_WIDTH);
+                for ((aa, ba), ya) in (&mut ac).zip(&mut bc).zip(&mut yc) {
+                    for j in 0..LANE_WIDTH {
+                        ya[j] += aa[j] * ba[j];
+                    }
+                }
+                for ((aj, bj), yj) in ac
+                    .remainder()
+                    .iter()
+                    .zip(bc.remainder())
+                    .zip(yc.into_remainder())
+                {
+                    *yj += *aj * *bj;
                 }
             } else {
                 for k in range {
@@ -381,12 +544,20 @@ pub trait Fpu {
     {
         self.with_exact_windows(x.len(), 1, |fpu, range, exact| {
             if exact {
-                for xk in &mut x[range] {
-                    // `alpha` stays the first multiplicand, matching the
-                    // per-op expansion `mul(alpha, x[i])` exactly.
-                    let scaled = alpha * *xk;
-                    *xk = scaled;
+                // `alpha` stays the first multiplicand, matching the
+                // per-op expansion `mul(alpha, x[i])` exactly.
+                #[allow(clippy::assign_op_pattern)]
+                fn scale_lane(alpha: f64, xs: &mut [f64]) {
+                    for xj in xs {
+                        *xj = alpha * *xj;
+                    }
                 }
+                let xs = &mut x[range];
+                let mut xc = xs.chunks_exact_mut(LANE_WIDTH);
+                for xa in &mut xc {
+                    scale_lane(alpha, xa);
+                }
+                scale_lane(alpha, xc.into_remainder());
             } else {
                 for k in range {
                     x[k] = fpu.mul(alpha, x[k]);
@@ -411,8 +582,24 @@ pub trait Fpu {
         assert_eq!(x.len(), out.len(), "sub_batch output differs in length");
         self.with_exact_windows(x.len(), 1, |fpu, range, exact| {
             if exact {
-                for k in range {
-                    out[k] = x[k] - y[k];
+                let xs = &x[range.clone()];
+                let ys = &y[range.clone()];
+                let os = &mut out[range];
+                let mut xc = xs.chunks_exact(LANE_WIDTH);
+                let mut yc = ys.chunks_exact(LANE_WIDTH);
+                let mut oc = os.chunks_exact_mut(LANE_WIDTH);
+                for ((xa, ya), oa) in (&mut xc).zip(&mut yc).zip(&mut oc) {
+                    for j in 0..LANE_WIDTH {
+                        oa[j] = xa[j] - ya[j];
+                    }
+                }
+                for ((xj, yj), oj) in xc
+                    .remainder()
+                    .iter()
+                    .zip(yc.remainder())
+                    .zip(oc.into_remainder())
+                {
+                    *oj = *xj - *yj;
                 }
             } else {
                 for k in range {
@@ -442,8 +629,17 @@ pub trait Fpu {
         );
         self.with_exact_windows(x.len(), 1, |fpu, range, exact| {
             if exact {
-                for k in range {
-                    y[k] -= x[k];
+                let xs = &x[range.clone()];
+                let ys = &mut y[range];
+                let mut xc = xs.chunks_exact(LANE_WIDTH);
+                let mut yc = ys.chunks_exact_mut(LANE_WIDTH);
+                for (xa, ya) in (&mut xc).zip(&mut yc) {
+                    for j in 0..LANE_WIDTH {
+                        ya[j] -= xa[j];
+                    }
+                }
+                for (xj, yj) in xc.remainder().iter().zip(yc.into_remainder()) {
+                    *yj -= *xj;
                 }
             } else {
                 for k in range {
@@ -472,8 +668,17 @@ pub trait Fpu {
         );
         self.with_exact_windows(x.len(), 1, |fpu, range, exact| {
             if exact {
-                for k in range {
-                    y[k] += x[k];
+                let xs = &x[range.clone()];
+                let ys = &mut y[range];
+                let mut xc = xs.chunks_exact(LANE_WIDTH);
+                let mut yc = ys.chunks_exact_mut(LANE_WIDTH);
+                for (xa, ya) in (&mut xc).zip(&mut yc) {
+                    for j in 0..LANE_WIDTH {
+                        ya[j] += xa[j];
+                    }
+                }
+                for (xj, yj) in xc.remainder().iter().zip(yc.into_remainder()) {
+                    *yj += *xj;
                 }
             } else {
                 for k in range {
@@ -1162,14 +1367,32 @@ mod tests {
     }
 
     /// The scalar reference for a batch kernel: the documented per-op
-    /// expansion of `dot_batch`, issued through `execute` one op at a time.
+    /// expansion of `dot_batch`, issued through `execute` one op at a
+    /// time — the single-chain form below `LANE_REDUCTION_MIN` elements,
+    /// the lane-indexed form (with the pairwise combine and the final
+    /// `add(0.0, s)`) from there on.
     fn scalar_dot(fpu: &mut NoisyFpu, x: &[f64], y: &[f64]) -> f64 {
-        let mut acc = 0.0;
-        for (&a, &b) in x.iter().zip(y) {
-            let p = fpu.mul(a, b);
-            acc = fpu.add(acc, p);
+        if x.len() < LANE_REDUCTION_MIN {
+            let mut acc = 0.0;
+            for (&a, &b) in x.iter().zip(y) {
+                let p = fpu.mul(a, b);
+                acc = fpu.add(acc, p);
+            }
+            return acc;
         }
-        acc
+        let mut lanes = [0.0f64; LANE_WIDTH];
+        for (k, (&a, &b)) in x.iter().zip(y).enumerate() {
+            let p = fpu.mul(a, b);
+            lanes[k % LANE_WIDTH] = fpu.add(lanes[k % LANE_WIDTH], p);
+        }
+        let t0 = fpu.add(lanes[0], lanes[4]);
+        let t1 = fpu.add(lanes[1], lanes[5]);
+        let t2 = fpu.add(lanes[2], lanes[6]);
+        let t3 = fpu.add(lanes[3], lanes[7]);
+        let u0 = fpu.add(t0, t2);
+        let u1 = fpu.add(t1, t3);
+        let s = fpu.add(u0, u1);
+        fpu.add(0.0, s)
     }
 
     #[test]
@@ -1195,6 +1418,24 @@ mod tests {
                 .collect();
             assert_eq!(ta, tb, "rate {rate}: post-batch streams diverge");
         }
+    }
+
+    #[test]
+    fn lane_reduction_threshold_and_flop_count() {
+        // Below the threshold: the historical 2-FLOPs-per-element chain.
+        let mut fpu = ReliableFpu::new();
+        let short = vec![1.0; LANE_REDUCTION_MIN - 1];
+        assert_eq!(fpu.dot_batch(&short, &short), short.len() as f64);
+        assert_eq!(fpu.flops(), 2 * (LANE_REDUCTION_MIN as u64 - 1));
+        // At and above it: the lane expansion adds the combine tree and
+        // the init op — `2·n + LANE_WIDTH` FLOPs.
+        fpu.reset();
+        let long = vec![1.0; 100];
+        assert_eq!(fpu.dot_batch(&long, &long), 100.0);
+        assert_eq!(fpu.flops(), 2 * 100 + LANE_WIDTH as u64);
+        fpu.reset();
+        assert_eq!(fpu.dot_sub_batch(1.0, &long, &long), -99.0);
+        assert_eq!(fpu.flops(), 2 * 100 + LANE_WIDTH as u64);
     }
 
     #[test]

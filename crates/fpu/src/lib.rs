@@ -68,7 +68,9 @@ mod processor;
 
 pub use energy::{EnergyReport, VoltageErrorModel};
 pub use fault::{BitFaultModel, BitWidth, FaultRate, FaultStats};
-pub use fpu::{FlopOp, Fpu, FpuExt, FpuSnapshot, NoisyFpu, ReliableFpu};
+pub use fpu::{
+    FlopOp, Fpu, FpuExt, FpuSnapshot, NoisyFpu, ReliableFpu, LANE_REDUCTION_MIN, LANE_WIDTH,
+};
 pub use lfsr::Lfsr;
 pub use memory::{MemoryFaultKind, MemoryFaultModel, MemoryFaultState};
 pub use model::{DvfsStep, FaultCtx, FaultModel, FaultModelSpec};

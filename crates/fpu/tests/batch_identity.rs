@@ -10,7 +10,10 @@
 //! state, and the continuation of the fault stream after the batch.
 
 use proptest::prelude::*;
-use stochastic_fpu::{BitFaultModel, BitWidth, FaultModelSpec, FaultRate, FlopOp, Fpu, NoisyFpu};
+use stochastic_fpu::{
+    BitFaultModel, BitWidth, FaultModelSpec, FaultRate, FlopOp, Fpu, NoisyFpu, LANE_REDUCTION_MIN,
+    LANE_WIDTH,
+};
 
 /// Every shipped fault-model scenario: the CLI presets plus combinator
 /// nestings that exercise each `FaultModelSpec` variant (transient,
@@ -111,7 +114,10 @@ proptest! {
     fn batched_kernels_are_byte_identical_to_scalar(
         seed in any::<u64>(),
         rate_millis in 0u64..1001,
-        len in 1usize..48,
+        // Straddles LANE_REDUCTION_MIN: lengths on both sides of the
+        // lane-accumulated reduction threshold, with and without
+        // `chunks_exact(LANE_WIDTH)` remainder tails.
+        len in 1usize..72,
         prefix in 0u64..32,
     ) {
         let rate = FaultRate::per_flop(rate_millis as f64 / 1000.0);
@@ -195,6 +201,73 @@ proptest! {
             prop_assert_eq!(batched.stats(), scalar.stats());
             if prefix + flops_per_batch > strike {
                 prop_assert!(batched.faults() >= 1, "batch must contain the strike");
+            }
+        }
+    }
+
+    /// Lane-chunk boundaries, pinned, for every shipped fault model: on
+    /// a reduction long enough for the lane-accumulated fast path, the
+    /// schedule's first strike is placed at the first element of the
+    /// first `LANE_WIDTH` chunk, the first element of a middle and of the
+    /// last full chunk, and inside the `chunks_exact` remainder tail.
+    /// Every placement must match scalar dispatch bit for bit.
+    #[test]
+    fn strikes_at_lane_chunk_boundaries_match_scalar(
+        seed in any::<u64>(),
+        extra in 0usize..(2 * LANE_WIDTH),
+    ) {
+        // At least five full chunks, usually plus a remainder tail.
+        let len = LANE_REDUCTION_MIN + LANE_WIDTH + extra + 1;
+        let x: Vec<f64> = (0..len).map(|i| 1.5 + i as f64 * 0.25).collect();
+        let y: Vec<f64> = (0..len).map(|i| 2.5 - i as f64 * 0.125).collect();
+        let full_chunks = len / LANE_WIDTH;
+        // Element targets: first / middle / last chunk start, tail end.
+        let targets = [
+            0,
+            (full_chunks / 2) * LANE_WIDTH,
+            (full_chunks - 1) * LANE_WIDTH,
+            len - 1,
+        ];
+        let rate = FaultRate::per_flop(0.02);
+        for spec in shipped_fault_models() {
+            // Locate the first strike of this model's schedule, with a
+            // budget: duty-cycled and voltage-linked wrappers can push it
+            // arbitrarily far out for some seeds.
+            let mut probe = NoisyFpu::new(rate, spec.clone(), seed);
+            while probe.faults() == 0 && probe.flops() < 10_000 {
+                probe.mul(1.5, 2.5);
+            }
+            if probe.faults() == 0 {
+                continue; // effectively fault-free here; covered above
+            }
+            let strike = (probe.flops() - 1) as usize;
+            for &elem in &targets {
+                // Element k of the reduction issues FLOPs 2k and 2k+1
+                // (mul, lane add), so this prefix drops the strike on the
+                // target element's first op.
+                let prefix = strike.saturating_sub(2 * elem);
+                let mut batched = NoisyFpu::new(rate, spec.clone(), seed);
+                let mut scalar = NoisyFpu::new(rate, spec.clone(), seed);
+                scalar.set_batching(false);
+                for _ in 0..prefix {
+                    prop_assert_eq!(
+                        batched.mul(1.5, 2.5).to_bits(),
+                        scalar.mul(1.5, 2.5).to_bits()
+                    );
+                }
+                let a = batched.dot_batch(&x, &y);
+                let b = scalar.dot_batch(&x, &y);
+                prop_assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{} diverged at element {} (prefix {})",
+                    spec.name(),
+                    elem,
+                    prefix
+                );
+                prop_assert_eq!(batched.flops(), scalar.flops());
+                prop_assert_eq!(batched.faults(), scalar.faults());
+                prop_assert_eq!(batched.stats(), scalar.stats());
             }
         }
     }

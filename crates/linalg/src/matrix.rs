@@ -11,6 +11,15 @@ use std::fmt;
 use std::ops::{Index, IndexMut};
 use stochastic_fpu::Fpu;
 
+/// Depth-tile of the blocked [`Matrix::matmul`]: one `MATMUL_KB × MATMUL_JB`
+/// panel of the right-hand side (≤ 128 KiB of `f64`s) is reused across all
+/// output rows before the walk advances, keeping it L2-resident.
+const MATMUL_KB: usize = 64;
+
+/// Column-panel width of the blocked [`Matrix::matmul`]: one output-row
+/// panel (2 KiB of `f64`s) stays L1-resident while its `k`-terms stream.
+const MATMUL_JB: usize = 256;
+
 /// A dense row-major matrix of `f64` entries.
 ///
 /// # Examples
@@ -247,7 +256,18 @@ impl Matrix {
         Ok(out)
     }
 
-    /// Matrix product `A B` through the FPU.
+    /// Matrix product `A B` through the FPU, cache-blocked over the inner
+    /// (`k`) dimension and the output columns.
+    ///
+    /// The `k` loop is tiled so a `MATMUL_KB`-row panel of `rhs` stays hot
+    /// in cache across every output row, and wide outputs are walked in
+    /// `MATMUL_JB`-column panels that fit L1. Within a tile the inner step
+    /// is still the batched `out_row += aik · rhs_row` (scalar first)
+    /// sequence, and every output element accumulates its `k`-terms in
+    /// ascending order exactly as the unblocked loop did — so at fault
+    /// rate 0 the result is bit-identical to the historical row-major
+    /// triple loop, and at any rate the batched and per-op dispatch paths
+    /// agree bit for bit.
     ///
     /// # Errors
     ///
@@ -260,15 +280,19 @@ impl Matrix {
             ));
         }
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let aik = self[(i, k)];
-                if aik == 0.0 {
-                    continue;
+        for kb in (0..self.cols).step_by(MATMUL_KB) {
+            let kend = (kb + MATMUL_KB).min(self.cols);
+            for jb in (0..rhs.cols).step_by(MATMUL_JB) {
+                let jend = (jb + MATMUL_JB).min(rhs.cols);
+                for i in 0..self.rows {
+                    for k in kb..kend {
+                        let aik = self[(i, k)];
+                        if aik == 0.0 {
+                            continue;
+                        }
+                        fpu.axpy_batch(aik, &rhs.row(k)[jb..jend], &mut out.row_mut(i)[jb..jend]);
+                    }
                 }
-                // Batched `out_row += aik · rhs_row` (scalar first), the
-                // exact per-op sequence of the historical inner loop.
-                fpu.axpy_batch(aik, rhs.row(k), out.row_mut(i));
             }
         }
         Ok(out)
@@ -277,30 +301,26 @@ impl Matrix {
     /// Gram matrix `Aᵀ A` through the FPU (symmetric result computed once
     /// per pair).
     ///
-    /// The column pair is strided in row-major storage, so this drives the
-    /// generic [`Fpu::with_exact_windows`] machinery directly instead of a
-    /// slice kernel; the per-op expansion (`prod = mul(a_ip, a_iq); acc =
-    /// add(acc, prod)`) is unchanged bit for bit.
+    /// Accumulated row-outer (`G[p..] += a_ip · row_i[p..]` for each row
+    /// `i`), so every access is contiguous in row-major storage and runs
+    /// on the batched [`Fpu::axpy_batch`] fast lane — the historical
+    /// column-pair walk strided through the whole matrix per entry. Each
+    /// upper-triangle entry still receives its per-row product
+    /// (`prod = mul(a_ip, a_iq); acc = add(acc, prod)`) in ascending row
+    /// order, so at fault rate 0 the result is bit-identical to that
+    /// historical walk.
     pub fn gram<F: Fpu>(&self, fpu: &mut F) -> Matrix {
         let n = self.cols;
         let mut g = Matrix::zeros(n, n);
+        for i in 0..self.rows {
+            let row = self.row(i);
+            for p in 0..n {
+                fpu.axpy_batch(row[p], &row[p..], &mut g.row_mut(p)[p..]);
+            }
+        }
         for p in 0..n {
-            for q in p..n {
-                let mut acc = 0.0;
-                fpu.with_exact_windows(self.rows, 2, |fpu, range, exact| {
-                    if exact {
-                        for k in range {
-                            acc += self.data[k * self.cols + p] * self.data[k * self.cols + q];
-                        }
-                    } else {
-                        for i in range {
-                            let prod = fpu.mul(self[(i, p)], self[(i, q)]);
-                            acc = fpu.add(acc, prod);
-                        }
-                    }
-                });
-                g[(p, q)] = acc;
-                g[(q, p)] = acc;
+            for q in p + 1..n {
+                g[(q, p)] = g[(p, q)];
             }
         }
         g

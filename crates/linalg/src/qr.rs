@@ -139,11 +139,15 @@ fn householder_reflector<F: Fpu>(fpu: &mut F, a: &Matrix, k: usize) -> Vec<f64> 
 /// `k` is the pivot row of the reflector (entries of `v` below `k` are the
 /// active part).
 ///
-/// The column walks are strided in row-major storage, so both inner loops
-/// drive the generic [`Fpu::with_exact_windows`] machinery directly; the
-/// per-op expansions (`p = mul(v[i], a_ij); w = add(w, p)` and `p =
-/// mul(coef, v[i]); a_ij = sub(a_ij, p)`) are preserved bit for bit.
-/// Window ranges index the active reflector part `k..m`, offset by `k`.
+/// Organized as three row-contiguous passes instead of a strided per-column
+/// walk: `w = (vᵀ A)ᵀ` accumulated one matrix row at a time on the batched
+/// [`Fpu::axpy_batch`] fast lane, a coefficient pass `coef_j = 2 (w_j /
+/// vᵀv)`, and the rank-1 update `a_row ← a_row − v_r · coef` swept row by
+/// row. The per-entry expansions (`p = mul(v[r], a_rj); w_j = add(w_j, p)`;
+/// `ratio = div(w_j, vtv); coef_j = mul(2, ratio)`; `p = mul(coef_j, v[r]);
+/// a_rj = sub(a_rj, p)`) and each entry's accumulation order match the
+/// historical column walk, so fault-rate-0 results are bit-identical to it
+/// while every inner loop runs over contiguous cache lines.
 fn apply_reflector_to_matrix<F: Fpu>(
     fpu: &mut F,
     a: &mut Matrix,
@@ -156,36 +160,39 @@ fn apply_reflector_to_matrix<F: Fpu>(
         return;
     }
     let m = a.rows();
-    let n = a.cols();
-    for j in col_start..n {
-        // w = vᵀ a_col
-        let mut w = 0.0;
-        fpu.with_exact_windows(m - k, 2, |fpu, range, exact| {
-            if exact {
-                let data = a.as_slice();
-                for t in range {
-                    w += v[t + k] * data[(t + k) * n + j];
-                }
-            } else {
-                for t in range {
-                    let p = fpu.mul(v[t + k], a[(t + k, j)]);
-                    w = fpu.add(w, p);
-                }
+    let width = a.cols() - col_start;
+    // Pass 1: w = (vᵀ A)ᵀ, row by row (reflector element first — the
+    // operand order the strided walk used).
+    let mut w = vec![0.0; width];
+    for (r, &vr) in v.iter().enumerate().take(m).skip(k) {
+        fpu.axpy_batch(vr, &a.row(r)[col_start..], &mut w);
+    }
+    // Pass 2: coef_j = 2 (w_j / vᵀv), in place.
+    let mut coef = w;
+    fpu.with_exact_windows(width, 2, |fpu, range, exact| {
+        if exact {
+            for c in &mut coef[range] {
+                *c = 2.0 * (*c / vtv);
             }
-        });
-        // a_col ← a_col − 2 (w / vtv) v
-        let ratio = fpu.div(w, vtv);
-        let coef = fpu.mul(2.0, ratio);
-        fpu.with_exact_windows(m - k, 2, |fpu, range, exact| {
+        } else {
+            for j in range {
+                let ratio = fpu.div(coef[j], vtv);
+                coef[j] = fpu.mul(2.0, ratio);
+            }
+        }
+    });
+    // Pass 3: A ← A − v coefᵀ, row by row.
+    for (r, &vr) in v.iter().enumerate().take(m).skip(k) {
+        let row = &mut a.row_mut(r)[col_start..];
+        fpu.with_exact_windows(width, 2, |fpu, range, exact| {
             if exact {
-                let data = a.as_mut_slice();
-                for t in range {
-                    data[(t + k) * n + j] -= coef * v[t + k];
+                for (rj, cj) in row[range.clone()].iter_mut().zip(&coef[range]) {
+                    *rj -= *cj * vr;
                 }
             } else {
-                for t in range {
-                    let p = fpu.mul(coef, v[t + k]);
-                    a[(t + k, j)] = fpu.sub(a[(t + k, j)], p);
+                for j in range {
+                    let p = fpu.mul(coef[j], vr);
+                    row[j] = fpu.sub(row[j], p);
                 }
             }
         });

@@ -33,7 +33,8 @@ pub fn solve_upper<F: Fpu>(fpu: &mut F, u: &Matrix, b: &[f64]) -> Result<Vec<f64
     let mut x = vec![0.0; n];
     for i in (0..n).rev() {
         // The strictly-upper part of row i is contiguous: one batched
-        // `acc = b[i] − Σ u_ij·x_j` (bit-identical to the per-op loop).
+        // `acc = b[i] − Σ u_ij·x_j`, bit-identical to its per-op
+        // expansion (lane-accumulated for LANE_REDUCTION_MIN+ elements).
         let acc = fpu.dot_sub_batch(b[i], &u.row(i)[i + 1..], &x[i + 1..]);
         let pivot = u[(i, i)];
         if pivot == 0.0 {
@@ -73,7 +74,8 @@ pub fn solve_lower<F: Fpu>(fpu: &mut F, l: &Matrix, b: &[f64]) -> Result<Vec<f64
     let mut x = vec![0.0; n];
     for i in 0..n {
         // The strictly-lower part of row i is contiguous: one batched
-        // `acc = b[i] − Σ l_ij·x_j` (bit-identical to the per-op loop).
+        // `acc = b[i] − Σ l_ij·x_j`, bit-identical to its per-op
+        // expansion (lane-accumulated for LANE_REDUCTION_MIN+ elements).
         let acc = fpu.dot_sub_batch(b[i], &l.row(i)[..i], &x[..i]);
         let pivot = l[(i, i)];
         if pivot == 0.0 {
