@@ -18,6 +18,7 @@
 //! | [`eigen`] | penalized Rayleigh quotient + deflation (§4.7) | power iteration |
 //! | [`svm`] | hinge-loss data fitting (§4.7) | reliable SGD reference |
 //! | [`doubly_stochastic`] | assignment LP (4.3) as its own problem | Hungarian |
+//! | [`poisson2d`] | sparse CG on the 5-point Laplacian (§3.3 at 10⁵ unknowns) | — |
 //!
 //! Every application implements
 //! [`RobustProblem`](robustify_core::RobustProblem), so any of them can be
@@ -39,5 +40,6 @@ pub mod iir;
 pub mod least_squares;
 pub mod matching;
 pub mod maxflow;
+pub mod poisson2d;
 pub mod sorting;
 pub mod svm;

@@ -215,9 +215,9 @@ impl RobustProblem for MatchingProblem {
             .expect("reliable hungarian cannot break down")
     }
 
-    /// Success is the paper's criterion ([`is_success`]
-    /// (MatchingProblem::is_success)); the metric is the relative weight
-    /// gap to the optimal matching.
+    /// Success is the paper's criterion
+    /// ([`is_success`](MatchingProblem::is_success)); the metric is the
+    /// relative weight gap to the optimal matching.
     fn verify(&self, solution: &Matching) -> Verdict {
         let gap =
             (self.optimal_weight - solution.weight()).max(0.0) / self.optimal_weight.max(1e-12);

@@ -304,9 +304,10 @@ impl RobustProblem for SortProblem {
         self.sorted_reference()
     }
 
-    /// Success is the paper's strict criterion ([`is_success`]
-    /// (SortProblem::is_success)); the metric is the fraction of misplaced
-    /// positions (0 on success, `∞` on malformed output).
+    /// Success is the paper's strict criterion
+    /// ([`is_success`](SortProblem::is_success)); the metric is the
+    /// fraction of misplaced positions (0 on success, `∞` on malformed
+    /// output).
     fn verify(&self, solution: &Vec<f64>) -> Verdict {
         let reference = self.sorted_reference();
         if solution.len() != reference.len() || solution.iter().any(|v| !v.is_finite()) {

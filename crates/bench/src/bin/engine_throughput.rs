@@ -17,12 +17,17 @@
 //! where whole batches run on the vectorizable fast lane. The campaign timing runs the same grid twice through
 //! the content-addressed result cache: the cold pass executes and
 //! checkpoints every cell, the warm pass must replay byte-identically
-//! from disk, and their ratio is the cache's replay speedup.
+//! from disk, and their ratio is the cache's replay speedup. Finally a
+//! sparse entry times CSR SpMV over the paper-scale Poisson matrix
+//! (10⁵ unknowns, ~5 entries/row) in stored-nonzeros per second,
+//! batched vs scalar, after asserting the same bit-identity contract on
+//! the sparse kernels.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use robustify_apps::poisson2d::Poisson2d;
 use robustify_apps::sorting::SortProblem;
-use robustify_bench::workloads::paper_registry;
+use robustify_bench::workloads::{paper_registry, POISSON_GRID};
 use robustify_bench::ExperimentOptions;
 use robustify_core::{
     AggressiveStepping, GradientGuard, RobustProblem, SolverSpec, StepSchedule, Verdict,
@@ -150,6 +155,69 @@ fn campaign_cache_timing(opts: &ExperimentOptions, trials: usize) -> (f64, f64, 
     (cold_s, warm_s, cold.cells_total)
 }
 
+/// Sparse SpMV throughput on the large Poisson matrix: batched vs scalar
+/// dispatch over the identical FLOP sequence (asserted bit-identical
+/// first), at rate 0 (the fault-free fast-lane ceiling) and at a small
+/// nonzero rate. Returns the JSON fields for the trajectory document.
+fn sparse_spmv_timing(opts: &ExperimentOptions) -> String {
+    let grid = if opts.fast { 64 } else { POISSON_GRID };
+    let problem = Poisson2d::new(grid, &mut StdRng::seed_from_u64(opts.seed));
+    let a = problem.a().clone();
+    let x: Vec<f64> = (0..a.cols())
+        .map(|i| 0.5 + (i % 17) as f64 * 0.0625)
+        .collect();
+    let reps = if opts.fast { 8 } else { 40 };
+
+    let run = |batched: bool, rate_pct: f64| -> (Duration, Vec<u64>, u64, u64) {
+        let mut fpu = NoisyFpu::new(
+            FaultRate::percent_of_flops(rate_pct),
+            opts.fault_model_spec(),
+            derive_trial_seed(opts.seed, 0),
+        );
+        fpu.set_batching(batched);
+        let start = Instant::now();
+        let mut last = Vec::new();
+        for _ in 0..reps {
+            last = a.matvec(&mut fpu, &x).expect("shapes match");
+        }
+        let elapsed = start.elapsed();
+        let bits = last.iter().map(|f| f.to_bits()).collect();
+        (elapsed, bits, fpu.flops(), fpu.faults())
+    };
+
+    let mnnz = |elapsed: Duration| (reps * a.nnz()) as f64 / elapsed.as_secs_f64() / 1e6;
+    let (batched0, batched0_bits, batched0_flops, batched0_faults) = run(true, 0.0);
+    let (scalar0, scalar0_bits, scalar0_flops, scalar0_faults) = run(false, 0.0);
+    assert_eq!(
+        (batched0_bits, batched0_flops, batched0_faults),
+        (scalar0_bits, scalar0_flops, scalar0_faults),
+        "bit-identity contract violated by sparse SpMV at rate 0"
+    );
+    let (noisy_b, noisy_b_bits, noisy_b_flops, noisy_b_faults) = run(true, 0.1);
+    let (_, noisy_s_bits, noisy_s_flops, noisy_s_faults) = run(false, 0.1);
+    assert_eq!(
+        (noisy_b_bits, noisy_b_flops, noisy_b_faults),
+        (noisy_s_bits, noisy_s_flops, noisy_s_faults),
+        "bit-identity contract violated by sparse SpMV at rate 0.1%"
+    );
+
+    format!(
+        "\"sparse_workload\":\"poisson2d_csr_spmv\",\"sparse_grid\":{},\
+         \"sparse_unknowns\":{},\"sparse_nnz\":{},\
+         \"sparse_spmv_mnnz_per_s_batched_rate0\":{:.1},\
+         \"sparse_spmv_mnnz_per_s_scalar_rate0\":{:.1},\
+         \"sparse_spmv_batch_speedup_rate0\":{:.2},\
+         \"sparse_spmv_mnnz_per_s_batched_noisy\":{:.1}",
+        grid,
+        a.cols(),
+        a.nnz(),
+        mnnz(batched0),
+        mnnz(scalar0),
+        scalar0.as_secs_f64() / batched0.as_secs_f64(),
+        mnnz(noisy_b),
+    )
+}
+
 fn main() {
     let opts = ExperimentOptions::parse();
     let trials = opts.trials(40, 8);
@@ -183,6 +251,8 @@ fn main() {
     let scalar0_tps = total0 / scalar0_elapsed.as_secs_f64();
 
     let (campaign_cold_s, campaign_warm_s, campaign_cells) = campaign_cache_timing(&opts, trials);
+
+    let sparse_fields = sparse_spmv_timing(&opts);
 
     // The parallel-speedup curve: every measured thread count up to the
     // host's cores, each asserted byte-identical to the serial run first.
@@ -231,7 +301,7 @@ fn main() {
          \"trials_per_s_batched_dispatch_rate0\":{:.2},\"batch_speedup_rate0\":{:.2},\
          \"host_cores\":{},\"speedup_curve\":[{}],\
          \"campaign_cells\":{},\"campaign_cold_s\":{:.3},\"campaign_warm_s\":{:.3},\
-         \"campaign_replay_speedup\":{:.1}{}}}",
+         \"campaign_replay_speedup\":{:.1},{}{}}}",
         serial.total_trials(),
         serial.elapsed().as_secs_f64(),
         serial.throughput(),
@@ -247,6 +317,7 @@ fn main() {
         campaign_cold_s,
         campaign_warm_s,
         campaign_cold_s / campaign_warm_s,
+        sparse_fields,
         note,
     );
 }

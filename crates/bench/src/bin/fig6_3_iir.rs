@@ -8,23 +8,32 @@
 //! output, as in the paper (the problem's warm start runs through the same
 //! faulty FPU as the solve).
 //!
+//! The figure is expressed as a declarative campaign (4 solver-variant
+//! jobs on the `iir` workload), so this binary is also a *thin client*:
+//! with `--server ADDR` it submits the campaign to a running
+//! `campaign_server` and prints the daemon's byte-identical documents;
+//! with `--cache-dir PATH` a local run checkpoints per cell and resumes
+//! after a kill. Jobs materialize the workload at the campaign's base
+//! seed (`Instantiate::Fixed`), so the step size derived below from
+//! `paper_iir_problem(opts.seed)` matches the instance each cell solves.
+//!
 //! Expected shape (paper): "IIR using SGD produces several orders of
 //! magnitude less error compared to the baseline procedural IIR
 //! implementation. IIR error reduces further with sqrt step scaling."
 
-use robustify_bench::workloads::paper_iir_problem;
-use robustify_bench::{metric_table, ExperimentOptions};
+use robustify_bench::workloads::{paper_iir_problem, paper_registry};
+use robustify_bench::{metric_table, CampaignExecution, ExperimentOptions};
 use robustify_core::{AggressiveStepping, GradientGuard, SolverSpec, StepSchedule};
-use robustify_engine::{paper_fault_rates, SweepCase};
+use robustify_engine::campaign::JobSpec;
+use robustify_engine::paper_fault_rates;
 
 const ITERATIONS: usize = 1000;
 
 fn main() {
     let opts = ExperimentOptions::parse();
     let trials = opts.trials(10, 3);
-    let problem = paper_iir_problem(opts.seed);
     // Stability edge of gradient descent on ||Bx - Au||^2 for this filter.
-    let gamma0 = problem.default_gamma0();
+    let gamma0 = paper_iir_problem(opts.seed).default_gamma0();
     // Per-lane clamping: banded costs localize corruption to a few lanes,
     // so component clamping preserves far more signal than norm clipping
     // (see the guard ablation bench).
@@ -32,32 +41,46 @@ fn main() {
 
     let ls = StepSchedule::Linear { gamma0 };
     let sqs = StepSchedule::Sqrt { gamma0 };
-    let cases = vec![
-        SweepCase::fixed("Base", SolverSpec::baseline(), problem.clone()),
-        SweepCase::fixed(
+    let job = |label: &str, spec: SolverSpec| JobSpec::new(label, "iir").with_solver(spec);
+    let campaign = opts
+        .campaign("fig6_3_iir")
+        .rates(paper_fault_rates())
+        .trials(trials)
+        .job(job("Base", SolverSpec::baseline()))
+        .job(job(
             "SGD,LS",
             SolverSpec::sgd(ITERATIONS, ls).with_guard(guard),
-            problem.clone(),
-        ),
-        SweepCase::fixed(
+        ))
+        .job(job(
             "SGD+AS,LS",
             SolverSpec::sgd(ITERATIONS, ls)
                 .with_guard(guard)
                 .with_aggressive_stepping(AggressiveStepping::default()),
-            problem.clone(),
-        ),
-        SweepCase::fixed(
+        ))
+        .job(job(
             "SGD+AS,SQS",
             SolverSpec::sgd(ITERATIONS, sqs)
                 .with_guard(guard)
                 .with_aggressive_stepping(AggressiveStepping::default()),
-            problem.clone(),
-        ),
-    ];
+        ));
 
-    let result = opts
-        .sweep("fig6_3_iir", paper_fault_rates(), trials)
-        .run(&cases);
+    let result = match opts.execute_campaign(&campaign, &paper_registry()) {
+        Ok(CampaignExecution::Local(run)) => run.result,
+        Ok(CampaignExecution::Remote(outcome)) => {
+            // Thin-client mode: the daemon's documents are byte-identical
+            // to a local run's, so print them as the figure artifact.
+            println!("\n-- csv --\n{}", outcome.csv);
+            if opts.json {
+                println!("\n-- json --\n{}", outcome.json);
+            }
+            return;
+        }
+        Err(e) => {
+            eprintln!("fig6_3_iir: {e}");
+            std::process::exit(1);
+        }
+    };
+
     let table = metric_table(
         &format!(
             "Figure 6.3 — Accuracy of IIR, {ITERATIONS} iterations \

@@ -15,6 +15,7 @@ use robustify_apps::iir::{random_signal, IirFilter, IirProblem};
 use robustify_apps::least_squares::LeastSquares;
 use robustify_apps::matching::MatchingProblem;
 use robustify_apps::maxflow::MaxFlowProblem;
+use robustify_apps::poisson2d::Poisson2d;
 use robustify_apps::sorting::SortProblem;
 use robustify_apps::svm::{Dataset, SvmProblem};
 use robustify_core::{
@@ -88,6 +89,18 @@ pub fn paper_maxflow(seed: u64) -> MaxFlowProblem {
         .expect("generated networks are non-empty")
 }
 
+/// The interior grid side of the large-sparse Poisson workload:
+/// `320² = 102 400` unknowns and ~510k stored nonzeros (megabytes of
+/// resident matrix data — the scale the array-resident memory-fault
+/// models need).
+pub const POISSON_GRID: usize = 320;
+
+/// The large-sparse workload: a 2D Poisson solve at ≥ 10⁵ unknowns on the
+/// CSR backend.
+pub fn paper_poisson2d(seed: u64) -> Poisson2d {
+    Poisson2d::new(POISSON_GRID, &mut StdRng::seed_from_u64(seed))
+}
+
 /// An all-pairs shortest path workload: a random strongly connected
 /// 6-vertex digraph.
 pub fn paper_apsp(seed: u64) -> ApspProblem {
@@ -125,13 +138,14 @@ pub fn paper_robust_solver(app: &str, lsq_gamma0: f64, iir_gamma0: f64) -> Solve
         "svm" => sqs(2000, 0.1),
         "eigen" => sqs(4000, 0.02),
         "doubly_stochastic" => sqs(3000, 0.1),
+        "poisson2d" => SolverSpec::cg(robustify_apps::poisson2d::CG_BUDGET),
         other => panic!("unknown app {other}"),
     }
 }
 
-/// The paper's 9 applications as a named [`WorkloadRegistry`]: the
-/// vocabulary `campaign_server` and every campaign thin client resolve
-/// job specs against.
+/// The paper's 9 applications plus the large-sparse Poisson workload, as
+/// a named [`WorkloadRegistry`]: the vocabulary `campaign_server` and
+/// every campaign thin client resolve job specs against.
 ///
 /// Each factory is a deterministic function of the seed (the same
 /// constructors the figure binaries call directly), and each default
@@ -192,6 +206,11 @@ pub fn paper_registry() -> WorkloadRegistry {
         Box::new(|seed| Box::new(paper_doubly_stochastic(seed))),
         Box::new(|_| paper_robust_solver("doubly_stochastic", 0.0, 0.0)),
     );
+    reg.register(
+        "poisson2d",
+        Box::new(|seed| Box::new(paper_poisson2d(seed))),
+        Box::new(|_| paper_robust_solver("poisson2d", 0.0, 0.0)),
+    );
     reg
 }
 
@@ -225,8 +244,11 @@ mod tests {
     #[test]
     fn every_app_is_sweep_reachable() {
         use robustify_core::RobustProblem;
-        // The scenario-diversity guarantee: all 9 applications expose the
-        // unified problem interface through a workload constructor.
+        // The scenario-diversity guarantee: all 10 applications expose the
+        // unified problem interface through a workload constructor. (The
+        // Poisson entry uses a tiny grid — the name does not depend on
+        // scale, and the paper-scale constructor solves a 10⁵-unknown
+        // reference system.)
         let names = [
             RobustProblem::name(&paper_least_squares(1)),
             RobustProblem::name(&paper_sort(1)),
@@ -237,10 +259,11 @@ mod tests {
             RobustProblem::name(&paper_svm(1)),
             RobustProblem::name(&paper_eigen(1)),
             RobustProblem::name(&paper_doubly_stochastic(1)),
+            RobustProblem::name(&Poisson2d::new(2, &mut StdRng::seed_from_u64(1))),
         ];
-        assert_eq!(names.len(), 9);
+        assert_eq!(names.len(), 10);
         let distinct: std::collections::HashSet<&str> = names.iter().copied().collect();
-        assert_eq!(distinct.len(), 9, "problem names must be distinct");
+        assert_eq!(distinct.len(), 10, "problem names must be distinct");
     }
 
     #[test]
@@ -257,6 +280,7 @@ mod tests {
                 "least_squares",
                 "matching",
                 "maxflow",
+                "poisson2d",
                 "sorting",
                 "svm",
             ]

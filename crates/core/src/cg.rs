@@ -16,7 +16,7 @@
 
 use crate::error::CoreError;
 use crate::trace::Trace;
-use robustify_linalg::Matrix;
+use robustify_linalg::{LinearOperator, Matrix};
 use stochastic_fpu::{Fpu, FpuExt, ReliableFpu};
 
 /// The outcome of a conjugate gradient solve.
@@ -40,6 +40,11 @@ pub struct CgReport {
 
 /// Conjugate gradient for `min ‖A x − b‖²` on a stochastic processor.
 ///
+/// Generic over the matrix backend: the solver only needs the
+/// [`LinearOperator`] products `A p` and `Aᵀ r`, so the same code runs
+/// dense ([`Matrix`], the default) or sparse
+/// ([`CsrMatrix`](robustify_linalg::CsrMatrix)) without change.
+///
 /// # Examples
 ///
 /// ```
@@ -56,15 +61,15 @@ pub struct CgReport {
 /// # }
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-pub struct CgLeastSquares<'a> {
-    a: &'a Matrix,
+pub struct CgLeastSquares<'a, M: LinearOperator = Matrix> {
+    a: &'a M,
     b: &'a [f64],
     max_iterations: usize,
     restart_interval: Option<usize>,
     tolerance: f64,
 }
 
-impl<'a> CgLeastSquares<'a> {
+impl<'a, M: LinearOperator> CgLeastSquares<'a, M> {
     /// Creates a solver for the system `(A, b)` with the default budget of
     /// `A.cols()` iterations (the exact-arithmetic convergence bound), no
     /// restarts, and tolerance `1e-24` on `‖Aᵀr‖²`.
@@ -72,7 +77,7 @@ impl<'a> CgLeastSquares<'a> {
     /// # Errors
     ///
     /// Returns [`CoreError::DimensionMismatch`] if `b.len() != a.rows()`.
-    pub fn new(a: &'a Matrix, b: &'a [f64]) -> Result<Self, CoreError> {
+    pub fn new(a: &'a M, b: &'a [f64]) -> Result<Self, CoreError> {
         if b.len() != a.rows() {
             return Err(CoreError::shape(
                 format!("rhs of length {}", a.rows()),

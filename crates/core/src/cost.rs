@@ -1,7 +1,7 @@
 //! The variational interface: cost functions with FPU-routed gradients.
 
 use crate::error::CoreError;
-use robustify_linalg::Matrix;
+use robustify_linalg::{LinearOperator, Matrix};
 use stochastic_fpu::Fpu;
 
 /// A cost function `f : Rᵈ → R` whose minimizer encodes an application's
@@ -44,6 +44,10 @@ pub trait CostFunction {
 /// The least squares residual cost `f(x) = ‖A x − b‖²` with gradient
 /// `∇f(x) = 2 Aᵀ (A x − b)` — the paper's §4.1 transformation.
 ///
+/// Generic over the matrix backend ([`LinearOperator`]): dense
+/// [`Matrix`] is the default, and sparse systems plug in a
+/// [`CsrMatrix`](robustify_linalg::CsrMatrix) unchanged.
+///
 /// # Examples
 ///
 /// ```
@@ -62,18 +66,18 @@ pub trait CostFunction {
 /// # }
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-pub struct QuadraticResidualCost {
-    a: Matrix,
+pub struct QuadraticResidualCost<M: LinearOperator = Matrix> {
+    a: M,
     b: Vec<f64>,
 }
 
-impl QuadraticResidualCost {
+impl<M: LinearOperator> QuadraticResidualCost<M> {
     /// Creates the cost for the system `(A, b)`.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::DimensionMismatch`] if `b.len() != a.rows()`.
-    pub fn new(a: Matrix, b: Vec<f64>) -> Result<Self, CoreError> {
+    pub fn new(a: M, b: Vec<f64>) -> Result<Self, CoreError> {
         if b.len() != a.rows() {
             return Err(CoreError::shape(
                 format!("rhs of length {}", a.rows()),
@@ -84,7 +88,7 @@ impl QuadraticResidualCost {
     }
 
     /// The system matrix.
-    pub fn a(&self) -> &Matrix {
+    pub fn a(&self) -> &M {
         &self.a
     }
 
@@ -101,7 +105,7 @@ impl QuadraticResidualCost {
     }
 }
 
-impl CostFunction for QuadraticResidualCost {
+impl<M: LinearOperator> CostFunction for QuadraticResidualCost<M> {
     fn dim(&self) -> usize {
         self.a.cols()
     }

@@ -83,8 +83,9 @@ impl SolveMethod {
 ///
 /// A spec is plain data: the experiment binaries build grids of
 /// `(problem × fault rate × SolverSpec)` and hand them to the sweep engine
-/// instead of hand-rolling per-figure solver plumbing. [`to_json`]
-/// (SolverSpec::to_json) serializes the spec for result provenance.
+/// instead of hand-rolling per-figure solver plumbing.
+/// [`to_json`](SolverSpec::to_json) serializes the spec for result
+/// provenance.
 ///
 /// # Examples
 ///

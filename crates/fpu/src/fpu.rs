@@ -898,7 +898,8 @@ impl NoisyFpu {
     /// `seed` initializes the LFSR that schedules faults and drives the
     /// fault model's random draws; a fixed seed makes an experiment exactly
     /// reproducible. `model` accepts a [`FaultModelSpec`] or a bare
-    /// [`BitFaultModel`] (the paper's transient-flip scenario).
+    /// [`BitFaultModel`](crate::BitFaultModel) (the paper's
+    /// transient-flip scenario).
     ///
     /// Voltage-linked specs take over the strike schedule: a
     /// [`FaultModelSpec::VoltageLinked`] spec pins the injector to the

@@ -14,6 +14,10 @@
 //! * [`Matrix`] — dense row-major matrices with structural (non-FPU)
 //!   manipulation and FPU-routed products.
 //! * [`BandedMatrix`] — lower-banded matrices for the IIR transformation.
+//! * [`CsrMatrix`] — compressed sparse rows with batched, bit-deterministic
+//!   SpMV/SpMTV for 10⁵–10⁶-unknown problems.
+//! * [`LinearOperator`] — the matrix-backend abstraction iterative solvers
+//!   are generic over (dense and sparse backends ship here).
 //! * Vector kernels ([`dot`], [`norm2`], [`axpy`], …).
 //! * [`QrFactorization`] — Householder QR and least squares.
 //! * [`SvdFactorization`] — one-sided Jacobi SVD and least squares.
@@ -42,7 +46,9 @@ mod cholesky;
 mod error;
 mod kernels;
 mod matrix;
+mod operator;
 mod qr;
+mod sparse;
 mod svd;
 mod triangular;
 
@@ -51,6 +57,8 @@ pub use cholesky::{lstsq_cholesky, CholeskyFactorization};
 pub use error::LinalgError;
 pub use kernels::{add_assign, axpy, dot, for_nonzero_runs, norm2, norm2_sq, scale, sub_vec};
 pub use matrix::Matrix;
+pub use operator::LinearOperator;
 pub use qr::{lstsq_qr, QrFactorization};
+pub use sparse::CsrMatrix;
 pub use svd::{condition_number, lstsq_svd, SvdFactorization};
 pub use triangular::{solve_lower, solve_upper};

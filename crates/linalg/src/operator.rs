@@ -1,0 +1,83 @@
+//! Matrix-backend abstraction for iterative solvers.
+//!
+//! Iterative methods (CG least squares, gradient descent on quadratic
+//! costs) only ever touch their matrix through the products `A x` and
+//! `Aᵀ y`. [`LinearOperator`] captures exactly that surface so the same
+//! solver runs over a dense [`Matrix`](crate::Matrix) or a
+//! [`CsrMatrix`](crate::CsrMatrix) without knowing which backend holds
+//! the entries.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use stochastic_fpu::Fpu;
+
+/// A shape plus FPU-routed `A x` / `Aᵀ y` products.
+///
+/// Implementations must route every multiply and add through the given
+/// [`Fpu`] and preserve the workspace determinism contract: for a fixed
+/// operator and input, the FLOP sequence is fixed, so batched and scalar
+/// dispatch produce bit-identical results and fault streams.
+pub trait LinearOperator {
+    /// Number of rows.
+    fn rows(&self) -> usize;
+
+    /// Number of columns.
+    fn cols(&self) -> usize;
+
+    /// Computes `A x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if
+    /// `x.len() != self.cols()`.
+    fn matvec<F: Fpu>(&self, fpu: &mut F, x: &[f64]) -> Result<Vec<f64>, LinalgError>;
+
+    /// Computes `Aᵀ y`, skipping rows whose coefficient `y[i]` is zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if
+    /// `y.len() != self.rows()`.
+    fn matvec_t<F: Fpu>(&self, fpu: &mut F, y: &[f64]) -> Result<Vec<f64>, LinalgError>;
+}
+
+impl LinearOperator for Matrix {
+    fn rows(&self) -> usize {
+        Matrix::rows(self)
+    }
+
+    fn cols(&self) -> usize {
+        Matrix::cols(self)
+    }
+
+    fn matvec<F: Fpu>(&self, fpu: &mut F, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        Matrix::matvec(self, fpu, x)
+    }
+
+    fn matvec_t<F: Fpu>(&self, fpu: &mut F, y: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        Matrix::matvec_t(self, fpu, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stochastic_fpu::ReliableFpu;
+
+    #[test]
+    fn dense_impl_delegates_to_inherent_methods() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[0.0, 1.0]]).expect("valid rows");
+        let mut fpu = ReliableFpu::new();
+        assert_eq!(LinearOperator::rows(&a), 3);
+        assert_eq!(LinearOperator::cols(&a), 2);
+        let via_trait = LinearOperator::matvec(&a, &mut fpu, &[1.0, -1.0]).expect("shapes match");
+        let direct = a.matvec(&mut fpu, &[1.0, -1.0]).expect("shapes match");
+        assert_eq!(via_trait, direct);
+        let t_trait =
+            LinearOperator::matvec_t(&a, &mut fpu, &[1.0, 0.0, 2.0]).expect("shapes match");
+        let t_direct = a
+            .matvec_t(&mut fpu, &[1.0, 0.0, 2.0])
+            .expect("shapes match");
+        assert_eq!(t_trait, t_direct);
+    }
+}

@@ -1,0 +1,448 @@
+//! Compressed sparse row (CSR) matrices with batched, bit-deterministic
+//! SpMV/SpMTV.
+//!
+//! Structural operations (triplet assembly, gathers and scatters of vector
+//! entries, dense round-trips) use native arithmetic: they move data
+//! without computing on it. The numerical products route every multiply
+//! and add through an [`Fpu`](stochastic_fpu::Fpu), reusing the proven
+//! batch kernels ([`Fpu::gemv_row`](stochastic_fpu::Fpu::gemv_row),
+//! [`Fpu::gemv_t_row`](stochastic_fpu::Fpu::gemv_t_row)) built on the
+//! `run_exact`/`commit_exact` window API — so a row's stored nonzeros run
+//! as one fault-free `chunks_exact` microkernel wherever the countdown
+//! permits, fall back to the per-op strike lane at window boundaries, and
+//! stay bit-identical to scalar dispatch at every fault rate.
+//!
+//! Zero-skips are preserved by *storage*: CSR only stores nonzeros, so a
+//! zero entry never reaches the FPU — the sparse analogue of the
+//! [`for_nonzero_runs`](crate::for_nonzero_runs) segmentation the banded
+//! layer uses. At rate 0 the product over the stored entries agrees with
+//! the dense [`Matrix::matvec`] over the same data.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::operator::LinearOperator;
+use std::fmt;
+use stochastic_fpu::Fpu;
+
+/// A sparse matrix in compressed sparse row format.
+///
+/// Within each row the stored column indices are strictly increasing and
+/// every stored value is nonzero, so the per-row FLOP sequence of
+/// [`matvec`](CsrMatrix::matvec) / [`matvec_t`](CsrMatrix::matvec_t) is a
+/// deterministic function of the sparsity pattern alone.
+///
+/// # Examples
+///
+/// ```
+/// use robustify_linalg::CsrMatrix;
+/// use stochastic_fpu::ReliableFpu;
+///
+/// # fn main() -> Result<(), robustify_linalg::LinalgError> {
+/// // [2 0 1]
+/// // [0 3 0]
+/// let a = CsrMatrix::from_triplets(2, 3, &[(0, 0, 2.0), (0, 2, 1.0), (1, 1, 3.0)])?;
+/// let y = a.matvec(&mut ReliableFpu::new(), &[1.0, 1.0, 1.0])?;
+/// assert_eq!(y, vec![3.0, 3.0]);
+/// assert_eq!(a.nnz(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    /// `row_ptr[i]..row_ptr[i + 1]` indexes row `i`'s entries; length
+    /// `rows + 1`.
+    row_ptr: Vec<usize>,
+    /// Column index per stored entry, strictly increasing within a row.
+    col_idx: Vec<usize>,
+    /// Value per stored entry; never `0.0`.
+    vals: Vec<f64>,
+    /// Largest per-row entry count (sizes the gather scratch buffer).
+    max_row_nnz: usize,
+}
+
+impl CsrMatrix {
+    /// Assembles a `rows × cols` matrix from `(row, col, value)` triplets.
+    ///
+    /// Triplets may arrive in any order; duplicates targeting the same
+    /// entry are summed (native arithmetic — assembly is construction, not
+    /// solver work), and entries that end up exactly `0.0` are dropped so
+    /// they never reach the FPU.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if either dimension is
+    /// zero or any triplet indexes out of bounds.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: &[(usize, usize, f64)],
+    ) -> Result<Self, LinalgError> {
+        if rows == 0 || cols == 0 {
+            return Err(LinalgError::shape(
+                "positive dimensions",
+                format!("{rows}x{cols}"),
+            ));
+        }
+        for &(i, j, _) in triplets {
+            if i >= rows || j >= cols {
+                return Err(LinalgError::shape(
+                    format!("entries within {rows}x{cols}"),
+                    format!("entry at ({i}, {j})"),
+                ));
+            }
+        }
+        let mut order: Vec<usize> = (0..triplets.len()).collect();
+        order.sort_by_key(|&k| (triplets[k].0, triplets[k].1));
+        let mut row_ptr = vec![0usize; rows + 1];
+        let mut col_idx = Vec::with_capacity(triplets.len());
+        let mut vals = Vec::with_capacity(triplets.len());
+        let mut k = 0;
+        while k < order.len() {
+            let (i, j, mut v) = triplets[order[k]];
+            k += 1;
+            while k < order.len() {
+                let (i2, j2, v2) = triplets[order[k]];
+                if (i2, j2) != (i, j) {
+                    break;
+                }
+                v += v2;
+                k += 1;
+            }
+            if v != 0.0 {
+                row_ptr[i + 1] += 1;
+                col_idx.push(j);
+                vals.push(v);
+            }
+        }
+        for i in 0..rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let max_row_nnz = (0..rows)
+            .map(|i| row_ptr[i + 1] - row_ptr[i])
+            .max()
+            .unwrap_or(0);
+        Ok(CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            vals,
+            max_row_nnz,
+        })
+    }
+
+    /// Compresses a dense matrix, keeping exactly its nonzero entries.
+    pub fn from_dense(dense: &Matrix) -> Self {
+        let mut triplets = Vec::new();
+        for i in 0..dense.rows() {
+            for (j, &v) in dense.row(i).iter().enumerate() {
+                if v != 0.0 {
+                    triplets.push((i, j, v));
+                }
+            }
+        }
+        Self::from_triplets(dense.rows(), dense.cols(), &triplets)
+            .expect("dense dimensions are positive and entries are in bounds")
+    }
+
+    /// Expands back to a dense [`Matrix`] (the round-trip inverse of
+    /// [`from_dense`](Self::from_dense) for matrices without stored
+    /// zeros).
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                m[(i, self.col_idx[k])] = self.vals[k];
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (nonzero) entries.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Row `i` as parallel `(column indices, values)` slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    pub fn row(&self, i: usize) -> (&[usize], &[f64]) {
+        assert!(
+            i < self.rows,
+            "row {i} out of bounds for {} rows",
+            self.rows
+        );
+        let range = self.row_ptr[i]..self.row_ptr[i + 1];
+        (&self.col_idx[range.clone()], &self.vals[range])
+    }
+
+    /// Whether all stored values are finite.
+    pub fn is_finite(&self) -> bool {
+        self.vals.iter().all(|v| v.is_finite())
+    }
+
+    /// Sparse matrix–vector product `A x` through the FPU.
+    ///
+    /// Per row, the entries of `x` addressed by the row's column indices
+    /// are gathered into a contiguous scratch buffer (data movement) and
+    /// reduced by one [`Fpu::gemv_row`] call — the same `p = mul(a_ij,
+    /// x_j); acc = add(acc, p)` per-entry expansion, in stored order, that
+    /// scalar dispatch issues, with fault-free stretches running on the
+    /// vectorizable `chunks_exact` lane.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if
+    /// `x.len() != self.cols()`.
+    pub fn matvec<F: Fpu>(&self, fpu: &mut F, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if x.len() != self.cols {
+            return Err(LinalgError::shape(
+                format!("vector of length {}", self.cols),
+                format!("length {}", x.len()),
+            ));
+        }
+        let mut gather = vec![0.0; self.max_row_nnz];
+        let mut y = Vec::with_capacity(self.rows);
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            let g = &mut gather[..cols.len()];
+            for (gk, &j) in g.iter_mut().zip(cols) {
+                *gk = x[j];
+            }
+            y.push(fpu.gemv_row(0.0, vals, g));
+        }
+        Ok(y)
+    }
+
+    /// Transposed sparse matrix–vector product `Aᵀ y` through the FPU.
+    ///
+    /// Rows with `y[i] == 0.0` are skipped entirely (the same zero-skip
+    /// the dense [`Matrix::matvec_t`] applies). For each remaining row the
+    /// addressed output entries are gathered into a contiguous scratch
+    /// buffer, updated by one [`Fpu::gemv_t_row`] call (`p = mul(a_ij,
+    /// y_i); out_j = add(out_j, p)` per entry in stored order — matrix
+    /// element first, the operand order the operand-side fault models are
+    /// sensitive to), and scattered back. Column indices are strictly
+    /// increasing within a row, so the gather/scatter never aliases.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if
+    /// `y.len() != self.rows()`.
+    pub fn matvec_t<F: Fpu>(&self, fpu: &mut F, y: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if y.len() != self.rows {
+            return Err(LinalgError::shape(
+                format!("vector of length {}", self.rows),
+                format!("length {}", y.len()),
+            ));
+        }
+        let mut out = vec![0.0; self.cols];
+        let mut scratch = vec![0.0; self.max_row_nnz];
+        for (i, &yi) in y.iter().enumerate() {
+            if yi == 0.0 {
+                continue;
+            }
+            let (cols, vals) = self.row(i);
+            let s = &mut scratch[..cols.len()];
+            for (sk, &j) in s.iter_mut().zip(cols) {
+                *sk = out[j];
+            }
+            fpu.gemv_t_row(yi, vals, s);
+            for (sk, &j) in s.iter().zip(cols) {
+                out[j] = *sk;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Maximum absolute difference to another sparse matrix over the dense
+    /// expansion (native arithmetic — a measurement, not solver work).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn max_abs_diff(&self, other: &CsrMatrix) -> f64 {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "max_abs_diff requires equal shapes"
+        );
+        self.to_dense().max_abs_diff(&other.to_dense())
+    }
+}
+
+impl LinearOperator for CsrMatrix {
+    fn rows(&self) -> usize {
+        self.rows
+    }
+
+    fn cols(&self) -> usize {
+        self.cols
+    }
+
+    fn matvec<F: Fpu>(&self, fpu: &mut F, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        CsrMatrix::matvec(self, fpu, x)
+    }
+
+    fn matvec_t<F: Fpu>(&self, fpu: &mut F, y: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        CsrMatrix::matvec_t(self, fpu, y)
+    }
+}
+
+impl fmt::Debug for CsrMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CsrMatrix {}x{} ({} stored entries)",
+            self.rows,
+            self.cols,
+            self.nnz()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stochastic_fpu::{Fpu, ReliableFpu};
+
+    fn example() -> CsrMatrix {
+        // [2 0 1]
+        // [0 0 0]
+        // [0 3 4]
+        CsrMatrix::from_triplets(3, 3, &[(0, 0, 2.0), (0, 2, 1.0), (2, 1, 3.0), (2, 2, 4.0)])
+            .expect("valid triplets")
+    }
+
+    #[test]
+    fn construction_and_shape() {
+        let a = example();
+        assert_eq!((a.rows(), a.cols(), a.nnz()), (3, 3, 4));
+        let (cols, vals) = a.row(2);
+        assert_eq!(cols, &[1, 2]);
+        assert_eq!(vals, &[3.0, 4.0]);
+        assert_eq!(a.row(1), (&[][..], &[][..]));
+    }
+
+    #[test]
+    fn triplets_accumulate_and_drop_zeros() {
+        let a = CsrMatrix::from_triplets(
+            2,
+            2,
+            &[
+                (0, 0, 1.0),
+                (0, 0, 2.0),
+                (1, 1, 5.0),
+                (1, 1, -5.0),
+                (1, 0, 0.0),
+            ],
+        )
+        .expect("valid triplets");
+        assert_eq!(a.nnz(), 1);
+        assert_eq!(a.row(0), (&[0][..], &[3.0][..]));
+        assert_eq!(a.row(1), (&[][..], &[][..]));
+    }
+
+    #[test]
+    fn triplets_validate_bounds_and_shape() {
+        assert!(CsrMatrix::from_triplets(0, 2, &[]).is_err());
+        assert!(CsrMatrix::from_triplets(2, 0, &[]).is_err());
+        assert!(CsrMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]).is_err());
+        assert!(CsrMatrix::from_triplets(2, 2, &[(0, 2, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let dense = Matrix::from_rows(&[&[1.0, 0.0, -2.0], &[0.0, 0.0, 0.0], &[0.5, 3.0, 0.0]])
+            .expect("valid rows");
+        let sparse = CsrMatrix::from_dense(&dense);
+        assert_eq!(sparse.nnz(), 4);
+        assert_eq!(sparse.to_dense(), dense);
+    }
+
+    #[test]
+    fn matvec_matches_dense_at_rate_zero() {
+        let a = example();
+        let x = [1.0, -2.0, 3.0];
+        let sparse = a.matvec(&mut ReliableFpu::new(), &x).expect("shapes match");
+        let dense = a
+            .to_dense()
+            .matvec(&mut ReliableFpu::new(), &x)
+            .expect("shapes match");
+        assert_eq!(sparse, dense);
+    }
+
+    #[test]
+    fn matvec_t_matches_dense_transpose() {
+        let a = example();
+        let y = [1.0, 0.0, -2.0];
+        let sparse = a
+            .matvec_t(&mut ReliableFpu::new(), &y)
+            .expect("shapes match");
+        let dense = a
+            .to_dense()
+            .transpose()
+            .matvec(&mut ReliableFpu::new(), &y)
+            .expect("shapes match");
+        for (s, d) in sparse.iter().zip(&dense) {
+            assert!((s - d).abs() < 1e-12, "sparse {s} vs dense {d}");
+        }
+    }
+
+    #[test]
+    fn products_skip_zeros_in_flop_counts() {
+        let a = example();
+        let mut fpu = ReliableFpu::new();
+        a.matvec(&mut fpu, &[1.0; 3]).expect("shapes match");
+        // 4 stored entries × (mul + add); the empty row and the five zero
+        // entries contribute nothing.
+        assert_eq!(fpu.flops(), 8);
+        let before = fpu.flops();
+        a.matvec_t(&mut fpu, &[1.0, 5.0, 0.0])
+            .expect("shapes match");
+        // Row 2 is skipped (y[2] = 0), row 1 stores nothing: only row 0's
+        // two entries execute.
+        assert_eq!(fpu.flops() - before, 4);
+    }
+
+    #[test]
+    fn shape_mismatches_are_errors() {
+        let a = example();
+        assert!(a.matvec(&mut ReliableFpu::new(), &[1.0]).is_err());
+        assert!(a.matvec_t(&mut ReliableFpu::new(), &[1.0]).is_err());
+    }
+
+    #[test]
+    fn operator_trait_delegates() {
+        let a = example();
+        let mut fpu = ReliableFpu::new();
+        let via_trait =
+            LinearOperator::matvec(&a, &mut fpu, &[1.0, 1.0, 1.0]).expect("shapes match");
+        let direct = a.matvec(&mut fpu, &[1.0, 1.0, 1.0]).expect("shapes match");
+        assert_eq!(via_trait, direct);
+        assert_eq!(LinearOperator::rows(&a), 3);
+        assert_eq!(LinearOperator::cols(&a), 3);
+    }
+
+    #[test]
+    fn debug_is_compact() {
+        assert_eq!(
+            format!("{:?}", example()),
+            "CsrMatrix 3x3 (4 stored entries)"
+        );
+    }
+}

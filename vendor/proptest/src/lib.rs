@@ -160,7 +160,7 @@ pub mod collection {
     use rand::rngs::StdRng;
     use rand::RngExt;
 
-    /// Admissible lengths for a [`vec`] strategy: a fixed size or a
+    /// Admissible lengths for a [`vec()`] strategy: a fixed size or a
     /// half-open range of sizes.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
@@ -184,7 +184,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy for `Vec`s; see [`vec`].
+    /// Strategy for `Vec`s; see [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
