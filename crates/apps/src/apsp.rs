@@ -108,9 +108,11 @@ impl ApspProblem {
             let (v, w, _) = edges[row % m];
             let mut coef = 0.0;
             if k == u * n + w {
+                // detlint::allow(fpu-routing, reason = "LP constraint-matrix construction is reliable problem setup")
                 coef += 1.0;
             }
             if k == u * n + v {
+                // detlint::allow(fpu-routing, reason = "LP constraint-matrix construction is reliable problem setup")
                 coef -= 1.0;
             }
             coef

@@ -112,6 +112,7 @@ impl DoublyStochasticCost {
 
     /// The uniform doubly stochastic starting iterate `Xᵢⱼ = 1/max(r, c)`.
     pub fn initial_iterate(&self) -> Vec<f64> {
+        // detlint::allow(fpu-routing, reason = "iterate seeding is reliable problem setup")
         let v = 1.0 / self.rows().max(self.cols()) as f64;
         vec![v; self.rows() * self.cols()]
     }
@@ -196,6 +197,7 @@ impl DoublyStochasticCost {
     fn slope(&self, v: f64) -> f64 {
         match self.kind {
             PenaltyKind::Abs => 1.0,
+            // detlint::allow(fpu-routing, reason = "penalty subgradient scale runs on the reliable control plane")
             PenaltyKind::Squared => 2.0 * v,
         }
     }
@@ -508,6 +510,7 @@ impl AssignmentProblem {
 
     /// The total payoff of an assignment (native arithmetic).
     pub fn assignment_weight(&self, pairs: &[(usize, usize)]) -> f64 {
+        // detlint::allow(float-reassociation, reason = "payoff measurement is documented native verification arithmetic")
         pairs.iter().map(|&(i, j)| self.payoff[(i, j)]).sum()
     }
 }
@@ -551,6 +554,7 @@ impl RobustProblem for AssignmentProblem {
         let weight = self.assignment_weight(solution);
         let gap = (self.optimal_weight - weight).max(0.0) / self.optimal_weight.max(1e-12);
         Verdict {
+            // detlint::allow(fpu-routing, reason = "success-threshold check is reliable verification arithmetic")
             success: (weight - self.optimal_weight).abs() <= 1e-9 * (1.0 + self.optimal_weight),
             metric: gap,
         }

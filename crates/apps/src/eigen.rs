@@ -103,6 +103,7 @@ impl CostFunction for RayleighCost {
         let ax = self.a.matvec(fpu, x).expect("x has dim() entries");
         let xx = robustify_linalg::norm2_sq(fpu, x);
         let dev = fpu.sub(xx, 1.0);
+        // detlint::allow(fpu-routing, reason = "4*mu is a constant fold of problem constants; per-element FLOPs route through the Fpu")
         let coef = fpu.mul(4.0 * self.mu, dev);
         for ((g, &axi), &xi) in grad.iter_mut().zip(&ax).zip(x) {
             let lin = fpu.mul(2.0, axi);
@@ -175,6 +176,7 @@ impl EigenProblem {
                 a[(j, i)] = v;
             }
             let d = a[(i, i)];
+            // detlint::allow(fpu-routing, reason = "test-matrix construction is reliable problem setup")
             a[(i, i)] = d + n as f64 * 0.5;
         }
         Self::new(a).expect("constructed matrix is symmetric")
@@ -209,6 +211,8 @@ impl EigenProblem {
         if x.iter().any(|v| !v.is_finite()) {
             return (f64::NAN, x.to_vec());
         }
+        // detlint::allow(float-reassociation, reason = "decode normalizes natively: reliable verification measurement")
+        // detlint::allow(fpu-routing, reason = "decode normalizes natively: reliable verification measurement")
         let norm: f64 = x.iter().map(|v| v * v).sum::<f64>().sqrt();
         if norm == 0.0 {
             return (f64::NAN, x.to_vec());
@@ -292,6 +296,7 @@ impl RobustProblem for EigenProblem {
     }
 
     fn cost(&self) -> Self::Cost {
+        // detlint::allow(fpu-routing, reason = "penalty weight mu is a setup-time constant")
         let mu = 2.0 * self.top_eigenvalue.abs().max(1.0);
         RayleighCost::new(self.a.clone(), mu).expect("matrix validated at problem construction")
     }
@@ -300,7 +305,10 @@ impl RobustProblem for EigenProblem {
     /// [`solve_sgd`](EigenProblem::solve_sgd).
     fn initial_iterate<F: Fpu>(&self, _cost: &Self::Cost, _fpu: &mut F) -> Vec<f64> {
         let n = self.a.rows();
+        // detlint::allow(fpu-routing, reason = "deterministic start vector is reliable problem setup")
         let x0: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).sin()).collect();
+        // detlint::allow(float-reassociation, reason = "deterministic start vector is reliable problem setup")
+        // detlint::allow(fpu-routing, reason = "deterministic start vector is reliable problem setup")
         let norm: f64 = x0.iter().map(|v| v * v).sum::<f64>().sqrt();
         x0.iter().map(|v| v / norm).collect()
     }
@@ -330,6 +338,7 @@ impl RobustProblem for EigenProblem {
 /// quotient is computed through the same FPU.
 fn power_iteration<F: Fpu>(fpu: &mut F, a: &Matrix, k: usize) -> (f64, Vec<f64>) {
     let n = a.rows();
+    // detlint::allow(fpu-routing, reason = "deterministic power-iteration seed is reliable setup")
     let mut x: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64) * 0.01).collect();
     for _ in 0..k {
         let ax = a.matvec(fpu, &x).expect("x has n entries");
@@ -337,6 +346,7 @@ fn power_iteration<F: Fpu>(fpu: &mut F, a: &Matrix, k: usize) -> (f64, Vec<f64>)
         if !norm.is_finite() || norm == 0.0 {
             // Restart from the deterministic seed rather than dividing by a
             // corrupted norm.
+            // detlint::allow(fpu-routing, reason = "deterministic restart seed is reliable setup")
             x = (0..n).map(|i| 1.0 + (i as f64) * 0.01).collect();
             continue;
         }

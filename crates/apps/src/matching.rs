@@ -186,6 +186,7 @@ impl MatchingProblem {
     /// where all the edges are accurately chosen" — i.e. the decoded
     /// matching attains the optimal weight.
     pub fn is_success(&self, matching: &Matching) -> bool {
+        // detlint::allow(fpu-routing, reason = "success-threshold check is reliable verification arithmetic")
         (matching.weight() - self.optimal_weight).abs() <= 1e-9 * (1.0 + self.optimal_weight)
     }
 }

@@ -175,6 +175,7 @@ impl MaxFlowProblem {
                     0.0
                 }
             })
+            // detlint::allow(float-reassociation, reason = "flow-value measurement is reliable verification arithmetic")
             .sum()
     }
 

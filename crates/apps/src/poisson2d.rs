@@ -187,6 +187,7 @@ impl RobustProblem for Poisson2d {
     fn verify(&self, solution: &Vec<f64>) -> Verdict {
         let metric = self.relative_residual(solution);
         Verdict {
+            // detlint::allow(fpu-routing, reason = "success threshold vs the fault-free reference is reliable verification")
             success: metric.is_finite() && metric <= 1.5 * self.ref_metric + 1e-12,
             metric,
         }
@@ -311,5 +312,67 @@ mod tests {
         // The baseline breaks down: there is none.
         let verdict = p.run_trial(&SolverSpec::baseline(), &mut ReliableFpu::new());
         assert!(!verdict.success);
+    }
+
+    #[test]
+    fn jacobi_preconditioner_cuts_iterations_on_scaled_laplacian() {
+        // The plain 5-point Laplacian has a constant diagonal, so Jacobi is
+        // a no-op there. Column-scale it across four orders of magnitude —
+        // the kind of unit-mixing the preconditioner exists to undo — and
+        // compare CGLS with and without Jacobi at the same budget.
+        let p = small();
+        let n = p.dim();
+        let scale = |j: usize| 10f64.powi((j % 5) as i32 - 2);
+        let mut triplets = Vec::with_capacity(p.a().nnz());
+        for i in 0..n {
+            let (cols, vals) = p.a().row(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                triplets.push((i, j, v * scale(j)));
+            }
+        }
+        let a = CsrMatrix::from_triplets(n, n, &triplets).expect("valid triplets");
+        let budget = 3 * CG_BUDGET;
+        let x0 = vec![0.0; n];
+
+        let plain = CgLeastSquares::new(&a, p.b())
+            .expect("consistent shapes")
+            .with_max_iterations(budget)
+            .with_tolerance(0.0)
+            .solve(&x0, &mut ReliableFpu::new());
+        let d = a.normal_diagonal(&mut ReliableFpu::new());
+        let jacobi = CgLeastSquares::new(&a, p.b())
+            .expect("consistent shapes")
+            .with_max_iterations(budget)
+            .with_tolerance(0.0)
+            .with_jacobi_preconditioner(&d)
+            .expect("diagonal has n entries")
+            .solve(&x0, &mut ReliableFpu::new());
+
+        // Same residual: the preconditioned run must reach the best cost
+        // the unpreconditioned run achieves anywhere in its budget…
+        let target = plain
+            .trace
+            .entries()
+            .iter()
+            .map(|&(_, c)| c)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            jacobi.final_cost <= target,
+            "jacobi final {} vs plain best {target}",
+            jacobi.final_cost
+        );
+        // …and strictly earlier (fewer iterations to the same residual).
+        let crossing = jacobi
+            .trace
+            .entries()
+            .iter()
+            .find(|&&(_, c)| c <= target)
+            .map(|&(t, _)| t)
+            .expect("preconditioned trace reaches the target");
+        assert!(
+            crossing < plain.iterations,
+            "jacobi crossed at {crossing}, plain used {} iterations",
+            plain.iterations
+        );
     }
 }

@@ -213,6 +213,7 @@ impl SortProblem {
         let max = self.u.iter().fold(f64::NEG_INFINITY, |m, &v| m.max(v));
         let range = (max - min).max(1e-12);
         let payoff = Matrix::from_fn(n, n, |i, j| {
+            // detlint::allow(fpu-routing, reason = "payoff-matrix construction is reliable problem setup")
             let scaled = (self.u[j] - min) / range + 0.1;
             (i + 1) as f64 / n as f64 * scaled
         });

@@ -212,7 +212,9 @@ impl CostFunction for SvmCost {
         );
         let d = self.data.features();
         let wsq = robustify_linalg::norm2_sq(fpu, &wb[..d]);
+        // detlint::allow(fpu-routing, reason = "0.5*lambda is a constant fold; the norm FLOPs route through the Fpu")
         let mut total = fpu.mul(0.5 * self.lambda, wsq);
+        // detlint::allow(fpu-routing, reason = "1/m is a setup-time constant")
         let inv_m = 1.0 / self.data.len() as f64;
         for i in 0..self.data.len() {
             let m = self.margin(i, wb, fpu);
@@ -236,6 +238,7 @@ impl CostFunction for SvmCost {
         grad[..d].copy_from_slice(&wb[..d]);
         fpu.scale_batch(self.lambda, &mut grad[..d]);
         grad[d] = 0.0;
+        // detlint::allow(fpu-routing, reason = "1/m is a setup-time constant")
         let inv_m = 1.0 / self.data.len() as f64;
         for i in 0..self.data.len() {
             let m = self.margin(i, wb, fpu);
@@ -345,6 +348,7 @@ impl RobustProblem for SvmProblem {
     /// The metric is the misclassification fraction `1 − accuracy`;
     /// success requires at least 95% training accuracy.
     fn verify(&self, solution: &Vec<f64>) -> Verdict {
+        // detlint::allow(fpu-routing, reason = "accuracy threshold is reliable verification arithmetic")
         Verdict::from_metric(1.0 - self.accuracy(solution), 0.05)
     }
 }

@@ -8,6 +8,7 @@
 //! dependence explicit on the sorting workload — one engine sweep where
 //! the *case* axis overrides the injector.
 
+#![forbid(unsafe_code)]
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use robustify_apps::sorting::SortProblem;

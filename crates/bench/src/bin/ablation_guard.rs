@@ -10,6 +10,7 @@
 //! high-dimensional banded costs, adaptive rejection for coherent
 //! corruption).
 
+#![forbid(unsafe_code)]
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use robustify_apps::sorting::SortProblem;

@@ -17,6 +17,7 @@
 //! replay from disk and only the missing remainder runs, with output
 //! byte-identical to an uninterrupted run.
 
+#![forbid(unsafe_code)]
 use robustify_bench::workloads::paper_registry;
 use robustify_engine::campaign::{protocol, ResultCache};
 use std::net::TcpListener;

@@ -8,6 +8,7 @@
 //! `(app × {baseline, robust})` and whose FLOP totals come from the
 //! engine's per-cell accounting.
 
+#![forbid(unsafe_code)]
 use robustify_bench::workloads::{
     paper_apsp, paper_doubly_stochastic, paper_eigen, paper_iir_problem, paper_least_squares,
     paper_matching, paper_maxflow, paper_sort,

@@ -33,6 +33,7 @@
 //! memory-persistent faults pull the frontier back toward nominal because
 //! corrupted state keeps re-injecting errors between scrubs.
 
+#![forbid(unsafe_code)]
 use robustify_bench::workloads::paper_registry;
 use robustify_bench::{CampaignExecution, ExperimentOptions, Table};
 use robustify_engine::campaign::{CampaignSpec, JobSpec};

@@ -23,6 +23,7 @@
 //! batched vs scalar, after asserting the same bit-identity contract on
 //! the sparse kernels.
 
+#![forbid(unsafe_code)]
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use robustify_apps::poisson2d::Poisson2d;
@@ -89,6 +90,7 @@ fn manual_serial_run(
 ) -> (Duration, Vec<(bool, u64, u64)>) {
     let specs = specs();
     let mut records = Vec::with_capacity(specs.len() * rates_pct.len() * trials);
+    // detlint::allow(nondeterministic-order, reason = "wall-clock throughput timing; never enters deterministic artifacts")
     let start = Instant::now();
     for (_, spec) in &specs {
         for &pct in rates_pct {
@@ -132,6 +134,7 @@ fn campaign_cache_timing(opts: &ExperimentOptions, trials: usize) -> (f64, f64, 
         std::env::temp_dir().join(format!("robustify-throughput-cache-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let cache = ResultCache::open(&dir).expect("open cache");
+    // detlint::allow(nondeterministic-order, reason = "wall-clock throughput timing; never enters deterministic artifacts")
     let start = Instant::now();
     let cold = campaign::run(&spec, &registry, Some(&cache), |_| {}).expect("cold campaign");
     let cold_s = start.elapsed().as_secs_f64();
@@ -139,6 +142,7 @@ fn campaign_cache_timing(opts: &ExperimentOptions, trials: usize) -> (f64, f64, 
         cold.cells_cached, 0,
         "the cold pass must execute every cell"
     );
+    // detlint::allow(nondeterministic-order, reason = "wall-clock throughput timing; never enters deterministic artifacts")
     let start = Instant::now();
     let warm = campaign::run(&spec, &registry, Some(&cache), |_| {}).expect("warm campaign");
     let warm_s = start.elapsed().as_secs_f64();
@@ -175,6 +179,7 @@ fn sparse_spmv_timing(opts: &ExperimentOptions) -> String {
             derive_trial_seed(opts.seed, 0),
         );
         fpu.set_batching(batched);
+        // detlint::allow(nondeterministic-order, reason = "wall-clock throughput timing; never enters deterministic artifacts")
         let start = Instant::now();
         let mut last = Vec::new();
         for _ in 0..reps {

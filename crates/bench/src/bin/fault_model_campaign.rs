@@ -3,13 +3,23 @@
 //! The paper evaluates one hardware scenario — a transient single-bit
 //! result flip with a circuit-modeled bit distribution. This campaign asks
 //! the broader question its methodology invites: *which* hardware
-//! misbehaviours can a stochastic solver ride out? One engine sweep pairs
-//! all 9 robustified applications with the whole `FaultModelSpec` family —
-//! the paper's transient flip, a stuck-at-1 exponent bit, 3-bit bursts,
-//! operand-side corruption, a 50%-duty-cycle intermittent fault, and a
-//! mul/div-only hot spot — at several fault rates, and emits one
-//! comparison table plus the engine's CSV/JSON documents (the CSV carries
-//! a `fault_model` column per row for downstream plotting).
+//! misbehaviours can a stochastic solver ride out? One declarative
+//! campaign pairs all 9 robustified applications with the whole
+//! `FaultModelSpec` family — the paper's transient flip, a stuck-at-1
+//! exponent bit, 3-bit bursts, operand-side corruption, a 50%-duty-cycle
+//! intermittent fault, and a mul/div-only hot spot — at several fault
+//! rates, and emits one comparison table plus the engine's CSV/JSON
+//! documents (the CSV carries a `fault_model` column per row for
+//! downstream plotting).
+//!
+//! The 54 (app × scenario) cells are expressed as per-job fault-model
+//! overrides on a `CampaignSpec`, so this binary is also a *thin
+//! client*: with `--server ADDR` it submits the campaign to a running
+//! `campaign_server` and prints the daemon's byte-identical documents;
+//! with `--cache-dir PATH` a local run checkpoints per cell and resumes
+//! after a kill. Jobs materialize workloads at the campaign's base seed
+//! (`Instantiate::Fixed`), so the instance-derived step sizes computed
+//! below from `opts.seed` match the instances each cell solves.
 //!
 //! Expected shape: LSB-heavy / duty-cycled / op-selective scenarios are
 //! strictly easier than the paper's transient flip (fewer effective
@@ -17,13 +27,12 @@
 //! are harsher; the solvers' graceful-degradation story should hold across
 //! the family, failing hardest on the stuck-at scenario.
 
+#![forbid(unsafe_code)]
 use robustify_bench::workloads::{
-    paper_apsp, paper_doubly_stochastic, paper_eigen, paper_iir_problem, paper_least_squares,
-    paper_matching, paper_maxflow, paper_robust_solver, paper_sort, paper_svm,
+    paper_iir_problem, paper_least_squares, paper_registry, paper_robust_solver,
 };
-use robustify_bench::{ExperimentOptions, Table};
-use robustify_core::{RobustProblem, SolverSpec};
-use robustify_engine::SweepCase;
+use robustify_bench::{CampaignExecution, ExperimentOptions, Table};
+use robustify_engine::campaign::JobSpec;
 use stochastic_fpu::{BitFaultModel, BitWidth, FaultModelSpec, FlopOp};
 
 /// The scenario family swept by the campaign, labelled for the case axis.
@@ -51,6 +60,19 @@ fn model_family() -> Vec<(&'static str, FaultModelSpec)> {
     ]
 }
 
+/// The 9 paper applications, by registry workload name.
+const APPS: [&str; 9] = [
+    "least_squares",
+    "iir",
+    "sorting",
+    "matching",
+    "maxflow",
+    "apsp",
+    "svm",
+    "eigen",
+    "doubly_stochastic",
+];
+
 fn main() {
     let opts = ExperimentOptions::parse();
     let trials = opts.trials(20, 3);
@@ -60,58 +82,50 @@ fn main() {
         vec![0.5, 2.0, 10.0]
     };
 
-    let lsq = paper_least_squares(opts.seed);
-    let lsq_gamma0 = lsq.default_gamma0();
-    let iir = paper_iir_problem(opts.seed);
-    let iir_gamma0 = iir.default_gamma0();
+    // Instance-derived step sizes; `Instantiate::Fixed` jobs materialize
+    // the same instances at the campaign's base seed.
+    let lsq_gamma0 = paper_least_squares(opts.seed).default_gamma0();
+    let iir_gamma0 = paper_iir_problem(opts.seed).default_gamma0();
+    let spec_for = |app: &str| paper_robust_solver(app, lsq_gamma0, iir_gamma0);
 
-    // A factory building one labelled (solver, fault model) case for an app.
-    type CaseFactory = Box<dyn Fn(SolverSpec, FaultModelSpec, String) -> SweepCase>;
+    opts.validate_apps(&APPS);
 
     // One robust-solver configuration per application (the figures' /
-    // ch7's choices), paired with every fault-model scenario.
-    let apps: Vec<(&str, CaseFactory)> = {
-        fn entry<P: RobustProblem + Clone + Sync + 'static>(problem: P) -> CaseFactory {
-            Box::new(move |spec, model, label| {
-                SweepCase::fixed(&label, spec, problem.clone()).with_model(model)
-            })
-        }
-        vec![
-            ("least_squares", entry(lsq)),
-            ("iir", entry(iir)),
-            ("sorting", entry(paper_sort(opts.seed))),
-            ("matching", entry(paper_matching(opts.seed))),
-            ("maxflow", entry(paper_maxflow(opts.seed))),
-            ("apsp", entry(paper_apsp(opts.seed))),
-            ("svm", entry(paper_svm(opts.seed))),
-            ("eigen", entry(paper_eigen(opts.seed))),
-            (
-                "doubly_stochastic",
-                entry(paper_doubly_stochastic(opts.seed)),
-            ),
-        ]
-    };
-    let spec_for = |app: &str| -> SolverSpec { paper_robust_solver(app, lsq_gamma0, iir_gamma0) };
-
-    let known: Vec<&str> = apps.iter().map(|(app, _)| *app).collect();
-    opts.validate_apps(&known);
-    let mut cases = Vec::new();
-    for (app, make_case) in &apps {
+    // ch7's choices), paired with every fault-model scenario as a
+    // per-job override of the campaign's fault model.
+    let mut campaign = opts
+        .campaign("fault_model_campaign")
+        .rates(rates)
+        .trials(trials);
+    for app in APPS {
         if !opts.app_enabled(app) {
             continue;
         }
         for (model_label, model) in model_family() {
-            cases.push(make_case(
-                spec_for(app),
-                model,
-                format!("{app}/{model_label}"),
-            ));
+            campaign = campaign.job(
+                JobSpec::new(&format!("{app}/{model_label}"), app)
+                    .with_solver(spec_for(app))
+                    .with_fault_model(model),
+            );
         }
     }
 
-    let result = opts
-        .sweep("fault_model_campaign", rates, trials)
-        .run(&cases);
+    let result = match opts.execute_campaign(&campaign, &paper_registry()) {
+        Ok(CampaignExecution::Local(run)) => run.result,
+        Ok(CampaignExecution::Remote(outcome)) => {
+            // Thin-client mode: the daemon's documents are byte-identical
+            // to a local run's, so print them as the campaign artifact.
+            println!("\n-- engine csv --\n{}", outcome.csv);
+            if opts.json {
+                println!("\n-- json --\n{}", outcome.json);
+            }
+            return;
+        }
+        Err(e) => {
+            eprintln!("fault_model_campaign: {e}");
+            std::process::exit(1);
+        }
+    };
 
     // Comparison table: one row per (app × scenario), success rate per
     // fault rate plus the worst-rate median metric.

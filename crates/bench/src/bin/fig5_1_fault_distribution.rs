@@ -9,6 +9,7 @@
 //! error magnitude per decade, for the emulated model and the alternative
 //! presets.
 
+#![forbid(unsafe_code)]
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use robustify_bench::{ExperimentOptions, Table};

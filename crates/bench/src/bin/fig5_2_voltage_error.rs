@@ -4,6 +4,7 @@
 //! results (Figure 6.7), alongside the dynamic power model and the fault
 //! rate each operating point wires into a `NoisyFpu`.
 
+#![forbid(unsafe_code)]
 use robustify_bench::{ExperimentOptions, Table};
 use stochastic_fpu::VoltageErrorModel;
 

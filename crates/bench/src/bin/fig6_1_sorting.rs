@@ -17,6 +17,7 @@
 //! comparisons; plain 1/t SGD performs poorly; SQS scaling "is able to
 //! achieve 100% accuracy even with large fault rates".
 
+#![forbid(unsafe_code)]
 use robustify_bench::workloads::paper_registry;
 use robustify_bench::{success_table, CampaignExecution, ExperimentOptions};
 use robustify_core::{AggressiveStepping, GradientGuard, SolverSpec, StepSchedule};

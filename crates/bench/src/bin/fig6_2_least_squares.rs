@@ -22,6 +22,7 @@
 //! with `--cache-dir PATH` a local run checkpoints per cell and resumes
 //! after a kill.
 
+#![forbid(unsafe_code)]
 use robustify_bench::workloads::{paper_least_squares, paper_registry};
 use robustify_bench::{fmt_metric, CampaignExecution, ExperimentOptions, Table};
 use robustify_core::{AggressiveStepping, SolverSpec, StepSchedule};

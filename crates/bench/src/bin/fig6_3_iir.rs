@@ -21,6 +21,7 @@
 //! magnitude less error compared to the baseline procedural IIR
 //! implementation. IIR error reduces further with sqrt step scaling."
 
+#![forbid(unsafe_code)]
 use robustify_bench::workloads::{paper_iir_problem, paper_registry};
 use robustify_bench::{metric_table, CampaignExecution, ExperimentOptions};
 use robustify_core::{AggressiveStepping, GradientGuard, SolverSpec, StepSchedule};

@@ -15,6 +15,7 @@
 //! of this figure used a bespoke `seed ^ (trial * 6007)` stream, so trial
 //! graphs (not fault streams) differ from those runs.
 
+#![forbid(unsafe_code)]
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use robustify_apps::matching::MatchingProblem;

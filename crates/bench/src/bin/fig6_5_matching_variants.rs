@@ -20,6 +20,7 @@
 //! trial graphs (not fault streams) differ from earlier serial recordings
 //! that used a bespoke `seed ^ (trial * 6007)` stream.
 
+#![forbid(unsafe_code)]
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use robustify_apps::matching::MatchingProblem;

@@ -7,6 +7,7 @@
 //! "even with ill-conditioned problems"; Cholesky the fastest but the most
 //! restricted); CG degrades gracefully.
 
+#![forbid(unsafe_code)]
 use robustify_apps::least_squares::LeastSquares;
 use robustify_bench::workloads::{ill_conditioned_least_squares, paper_least_squares};
 use robustify_bench::{fmt_metric, ExperimentOptions, Table};

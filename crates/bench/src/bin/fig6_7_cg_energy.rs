@@ -31,6 +31,7 @@
 //! concurrently; targets tighter than the solver's noise floor surface as
 //! `clamped` rows instead of disappearing.
 
+#![forbid(unsafe_code)]
 use robustify_bench::workloads::{paper_least_squares, paper_registry};
 use robustify_bench::{fmt_metric, CampaignExecution, ExperimentOptions, Table};
 use robustify_core::SolverSpec;

@@ -8,6 +8,7 @@
 //! This harness runs basic `1/t` SGD with and without momentum `β = 0.5`
 //! on both workloads across fault rates.
 
+#![forbid(unsafe_code)]
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use robustify_apps::matching::MatchingProblem;

@@ -67,6 +67,9 @@ pub struct CgLeastSquares<'a, M: LinearOperator = Matrix> {
     max_iterations: usize,
     restart_interval: Option<usize>,
     tolerance: f64,
+    /// Inverse Jacobi preconditioner `M⁻¹ = diag(AᵀA)⁻¹`, applied on the
+    /// control plane. `None` leaves the recurrence untouched bit-for-bit.
+    inv_precond: Option<Vec<f64>>,
 }
 
 impl<'a, M: LinearOperator> CgLeastSquares<'a, M> {
@@ -90,7 +93,56 @@ impl<'a, M: LinearOperator> CgLeastSquares<'a, M> {
             max_iterations: a.cols(),
             restart_interval: None,
             tolerance: 1e-24,
+            inv_precond: None,
         })
+    }
+
+    /// Enables the Jacobi (diagonal) preconditioner from the diagonal of
+    /// the normal matrix, `normal_diagonal[j] = (AᵀA)ⱼⱼ = Σᵢ aᵢⱼ²` —
+    /// [`CsrMatrix::normal_diagonal`](robustify_linalg::CsrMatrix::normal_diagonal)
+    /// computes it for sparse systems.
+    ///
+    /// Each restart and update then preconditions the gradient,
+    /// `z = M⁻¹ s`, searches along `z`, and measures progress by
+    /// `γ = sᵀ z` instead of `‖s‖²` — on badly column-scaled systems this
+    /// undoes the scaling and recovers the well-conditioned iteration
+    /// count. The division happens once here; per-iteration application
+    /// is `n` control-plane multiplies, consistent with the scalar
+    /// recurrences (the data-plane FLOP stream of `A p` / `Aᵀ r` is
+    /// unchanged). Non-positive or non-finite diagonal entries (empty
+    /// columns) fall back to `1.0`, i.e. unpreconditioned on that
+    /// coordinate. The [`with_tolerance`](Self::with_tolerance) threshold
+    /// then applies to `sᵀ M⁻¹ s`, which matches `‖Aᵀ r‖²` only up to the
+    /// diagonal scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DimensionMismatch`] if
+    /// `normal_diagonal.len() != A.cols()`.
+    pub fn with_jacobi_preconditioner(
+        mut self,
+        normal_diagonal: &[f64],
+    ) -> Result<Self, CoreError> {
+        if normal_diagonal.len() != self.a.cols() {
+            return Err(CoreError::shape(
+                format!("normal diagonal of length {}", self.a.cols()),
+                format!("length {}", normal_diagonal.len()),
+            ));
+        }
+        self.inv_precond = Some(
+            normal_diagonal
+                .iter()
+                .map(|&d| {
+                    if d.is_finite() && d > 0.0 {
+                        // detlint::allow(fpu-routing, reason = "one-time control-plane inversion of the preconditioner diagonal")
+                        1.0 / d
+                    } else {
+                        1.0
+                    }
+                })
+                .collect(),
+        );
+        Ok(self)
     }
 
     /// Sets the iteration budget (the paper's Figure 6.6 uses `N = 10`).
@@ -141,6 +193,7 @@ impl<'a, M: LinearOperator> CgLeastSquares<'a, M> {
             }
             // q = A p (data plane).
             let q = self.a.matvec(fpu, &p).expect("p has n entries");
+            // detlint::allow(float-reassociation, reason = "reliable scalar control plane of robust CGLS (see ARCHITECTURE.md)")
             let qtq: f64 = q.iter().map(|v| v * v).sum();
             if !qtq.is_finite() || qtq <= 0.0 {
                 // Degenerate or corrupted direction: restart from steepest
@@ -158,9 +211,11 @@ impl<'a, M: LinearOperator> CgLeastSquares<'a, M> {
             // `alpha·p` enormous while still finite, after which no later
             // step recovers. Reject any move far beyond the iterate's own
             // scale and restart from steepest descent instead.
+            // detlint::allow(fpu-routing, reason = "step-rejection guard is reliable control-plane arithmetic")
             let x_scale = 1.0 + x.iter().fold(0.0f64, |m, v| m.max(v.abs()));
             let step_too_large = !alpha.is_finite()
                 || p.iter()
+                    // detlint::allow(fpu-routing, reason = "step-rejection guard is reliable control-plane arithmetic")
                     .any(|&pi| !(alpha * pi).is_finite() || (alpha * pi).abs() > 1e6 * x_scale);
             if step_too_large {
                 let state = self.restart_state(&x, fpu);
@@ -180,16 +235,16 @@ impl<'a, M: LinearOperator> CgLeastSquares<'a, M> {
             // s = Aᵀ r (data plane): the gradient of ½‖Ax − b‖² up to sign.
             let mut s = self.a.matvec_t(fpu, &r).expect("r has rows() entries");
             sanitize(&mut s);
-            let gamma_new: f64 = s.iter().map(|v| v * v).sum();
+            let (z, gamma_new) = self.precondition(s);
             let forced_restart = self.restart_interval.map(|k| t % k == 0).unwrap_or(false);
             if forced_restart {
-                // Steepest-descent reset: p = s.
-                p.copy_from_slice(&s);
+                // Steepest-descent reset: p = z.
+                p.copy_from_slice(&z);
                 restarts += 1;
             } else {
                 let beta = if gamma > 0.0 { gamma_new / gamma } else { 0.0 };
-                for (pi, &si) in p.iter_mut().zip(&s) {
-                    *pi = si + beta * *pi;
+                for (pi, &zi) in p.iter_mut().zip(&z) {
+                    *pi = zi + beta * *pi;
                 }
             }
             gamma = gamma_new;
@@ -209,15 +264,35 @@ impl<'a, M: LinearOperator> CgLeastSquares<'a, M> {
         }
     }
 
-    /// Computes the steepest-descent restart state `(r, p, γ)` at `x`.
+    /// Computes the steepest-descent restart state `(r, p, γ)` at `x`,
+    /// with `p = z = M⁻¹ s` and `γ = sᵀ z` when preconditioned.
     fn restart_state<F: Fpu>(&self, x: &[f64], fpu: &mut F) -> (Vec<f64>, Vec<f64>, f64) {
         let ax = self.a.matvec(fpu, x).expect("x has n entries");
         let mut r: Vec<f64> = self.b.iter().zip(&ax).map(|(&bi, &axi)| bi - axi).collect();
         sanitize(&mut r);
         let mut s = self.a.matvec_t(fpu, &r).expect("r has rows() entries");
         sanitize(&mut s);
-        let gamma: f64 = s.iter().map(|v| v * v).sum();
-        (r, s, gamma)
+        let (z, gamma) = self.precondition(s);
+        (r, z, gamma)
+    }
+
+    /// Control-plane preconditioning `(z, γ) = (M⁻¹ s, sᵀ z)`. Without a
+    /// preconditioner, `s` passes through untouched with `γ = ‖s‖²` —
+    /// bit-identical to the unpreconditioned recurrence.
+    fn precondition(&self, s: Vec<f64>) -> (Vec<f64>, f64) {
+        match &self.inv_precond {
+            None => {
+                // detlint::allow(float-reassociation, reason = "reliable scalar control plane of robust CGLS (see ARCHITECTURE.md)")
+                let gamma: f64 = s.iter().map(|v| v * v).sum();
+                (s, gamma)
+            }
+            Some(inv) => {
+                let z: Vec<f64> = s.iter().zip(inv).map(|(&si, &mi)| si * mi).collect();
+                // detlint::allow(float-reassociation, reason = "reliable scalar control plane of robust CGLS (see ARCHITECTURE.md)")
+                let gamma: f64 = s.iter().zip(&z).map(|(&si, &zi)| si * zi).sum();
+                (z, gamma)
+            }
+        }
     }
 
     fn reliable_cost(&self, x: &[f64], measure: &mut ReliableFpu) -> f64 {
@@ -337,6 +412,56 @@ mod tests {
     fn shape_validation() {
         let (a, _) = tall_system();
         assert!(CgLeastSquares::new(&a, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn identity_preconditioner_is_bitwise_unpreconditioned() {
+        let (a, b) = tall_system();
+        // diag = 1 inverts to 1, so z = s·1 reproduces s exactly; the whole
+        // report (iterates, trace, FLOP/fault counters) must be identical,
+        // fault schedule included.
+        for seed in [0, 5, 11] {
+            let solve = |jacobi: bool| {
+                let mut solver = CgLeastSquares::new(&a, &b)
+                    .expect("consistent")
+                    .with_max_iterations(10)
+                    .with_restart_interval(3);
+                if jacobi {
+                    solver = solver
+                        .with_jacobi_preconditioner(&[1.0; 3])
+                        .expect("length matches");
+                }
+                let mut fpu =
+                    NoisyFpu::new(FaultRate::per_flop(0.05), BitFaultModel::emulated(), seed);
+                solver.solve(&[0.0; 3], &mut fpu)
+            };
+            assert_eq!(solve(false), solve(true), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn jacobi_preconditioner_requires_matching_length() {
+        let (a, b) = tall_system();
+        let solver = CgLeastSquares::new(&a, &b).expect("consistent");
+        assert!(solver
+            .clone()
+            .with_jacobi_preconditioner(&[1.0; 2])
+            .is_err());
+        assert!(solver.with_jacobi_preconditioner(&[1.0; 3]).is_ok());
+    }
+
+    #[test]
+    fn jacobi_preconditioner_handles_degenerate_diagonal() {
+        let (a, b) = tall_system();
+        // Zero / non-finite entries fall back to identity on that
+        // coordinate instead of poisoning the search direction.
+        let solver = CgLeastSquares::new(&a, &b)
+            .expect("consistent")
+            .with_jacobi_preconditioner(&[0.0, f64::NAN, 4.0])
+            .expect("length matches");
+        let report = solver.solve(&[0.0; 3], &mut ReliableFpu::new());
+        assert!(report.x.iter().all(|v| v.is_finite()));
+        assert!(report.final_cost.is_finite());
     }
 
     #[test]

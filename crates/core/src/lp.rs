@@ -137,6 +137,7 @@ impl LinearProgram {
 
     /// Objective value `cᵀ x` with native arithmetic (a measurement).
     pub fn objective_value(&self, x: &[f64]) -> f64 {
+        // detlint::allow(float-reassociation, reason = "objective measurement is documented native verification arithmetic")
         self.c.iter().zip(x).map(|(c, x)| c * x).sum()
     }
 
@@ -145,17 +146,20 @@ impl LinearProgram {
         let mut total = 0.0;
         if let Some((a, b)) = &self.upper {
             for (i, bi) in b.iter().enumerate() {
+                // detlint::allow(float-reassociation, reason = "feasibility measurement is documented native verification arithmetic")
                 let row: f64 = a.row(i).iter().zip(x).map(|(aij, xj)| aij * xj).sum();
                 total += (row - bi).max(0.0);
             }
         }
         if let Some((e, d)) = &self.eq {
             for (i, di) in d.iter().enumerate() {
+                // detlint::allow(float-reassociation, reason = "feasibility measurement is documented native verification arithmetic")
                 let row: f64 = e.row(i).iter().zip(x).map(|(eij, xj)| eij * xj).sum();
                 total += (row - di).abs();
             }
         }
         if self.nonneg {
+            // detlint::allow(float-reassociation, reason = "feasibility measurement is documented native verification arithmetic")
             total += x.iter().map(|&v| (-v).max(0.0)).sum::<f64>();
         }
         total

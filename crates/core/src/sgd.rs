@@ -183,6 +183,8 @@ impl GuardState {
             GradientGuard::ZeroNonFinite => zero_non_finite(grad),
             GradientGuard::Clip { max_norm } => {
                 zero_non_finite(grad);
+                // detlint::allow(float-reassociation, reason = "gradient-guard norm is reliable control-plane arithmetic")
+                // detlint::allow(fpu-routing, reason = "gradient-guard norm is reliable control-plane arithmetic")
                 let norm = grad.iter().map(|g| g * g).sum::<f64>().sqrt();
                 if norm > max_norm {
                     let s = max_norm / norm;
@@ -208,6 +210,7 @@ impl GuardState {
                             grad.fill(0.0);
                             return;
                         }
+                        // detlint::allow(fpu-routing, reason = "guard smoothing is reliable control-plane arithmetic")
                         0.9 * s + 0.1 * med
                     }
                     None => med,
@@ -257,6 +260,7 @@ fn median_abs(v: &[f64]) -> f64 {
         *upper_mid
     } else {
         let lower_mid = below.iter().copied().fold(0.0f64, f64::max);
+        // detlint::allow(fpu-routing, reason = "guard median midpoint is reliable control-plane arithmetic")
         0.5 * (lower_mid + *upper_mid)
     }
 }
@@ -411,6 +415,7 @@ impl Sgd {
             match self.momentum {
                 Some(beta) => {
                     for (d, &g) in direction.iter_mut().zip(&grad) {
+                        // detlint::allow(fpu-routing, reason = "the update step runs on the reliable processor per the paper's split")
                         *d = beta * g + (1.0 - beta) * *d;
                     }
                 }

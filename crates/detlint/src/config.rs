@@ -1,0 +1,231 @@
+//! The `detlint.toml` configuration: which lints apply where.
+//!
+//! The vendor tree has no TOML crate, so this is a hand-written parser for
+//! the small, line-oriented subset the config actually uses:
+//!
+//! ```toml
+//! # comment
+//! [lint.fpu-routing]
+//! include = ["crates/linalg/src", "crates/core/src"]
+//! exempt = [
+//!     "crates/linalg/src/svd.rs", # trailing comments are fine
+//! ]
+//! receivers = ["fpu"]
+//! ```
+//!
+//! Sections are `[lint.<name>]` tables; every key holds an array of
+//! strings (single- or multi-line). Anything else is a parse error — the
+//! config is checked in, so failing loudly beats guessing.
+
+use std::collections::BTreeMap;
+
+/// Per-lint scoping, straight from one `[lint.<name>]` table.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintScope {
+    /// Workspace-relative path prefixes the lint applies to. An empty list
+    /// means the lint applies nowhere (scoping is explicit opt-in).
+    pub include: Vec<String>,
+    /// Workspace-relative path prefixes exempted from the lint even inside
+    /// an included prefix (blessed fast-lane modules, control-plane files).
+    pub exempt: Vec<String>,
+    /// `fpu-routing` only: receiver identifiers whose method calls count
+    /// as routed through the `Fpu` trait (e.g. `fpu.sqrt(x)`).
+    pub receivers: Vec<String>,
+    /// `flop-accounting` only: function-name suffixes that mark a batch
+    /// kernel (e.g. `_batch`).
+    pub suffixes: Vec<String>,
+    /// `flop-accounting` only: exact function names that mark a batch
+    /// kernel (e.g. `matvec`).
+    pub names: Vec<String>,
+}
+
+impl LintScope {
+    /// Does the lint apply to `path` (workspace-relative, `/`-separated)?
+    pub fn applies_to(&self, path: &str) -> bool {
+        self.include.iter().any(|p| path.starts_with(p.as_str()))
+            && !self.exempt.iter().any(|p| path.starts_with(p.as_str()))
+    }
+}
+
+/// The parsed configuration: one [`LintScope`] per lint name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Config {
+    scopes: BTreeMap<String, LintScope>,
+}
+
+impl Config {
+    /// The scope for `lint`, or an empty scope (applies nowhere) if the
+    /// config does not mention it.
+    pub fn scope(&self, lint: &str) -> LintScope {
+        self.scopes.get(lint).cloned().unwrap_or_default()
+    }
+
+    /// Lint names the config mentions, sorted.
+    pub fn lint_names(&self) -> Vec<&str> {
+        self.scopes.keys().map(String::as_str).collect()
+    }
+
+    /// Parses the `detlint.toml` subset described in the module docs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `line: message` string on the first malformed line.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut scopes: BTreeMap<String, LintScope> = BTreeMap::new();
+        let mut current: Option<String> = None;
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((idx, raw)) = lines.next() {
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('[') {
+                let name = rest
+                    .strip_suffix(']')
+                    .ok_or(format!("line {}: unclosed section header", idx + 1))?
+                    .trim();
+                let lint = name
+                    .strip_prefix("lint.")
+                    .ok_or(format!(
+                        "line {}: only [lint.<name>] sections are supported",
+                        idx + 1
+                    ))?
+                    .trim();
+                if lint.is_empty() {
+                    return Err(format!("line {}: empty lint name", idx + 1));
+                }
+                scopes.entry(lint.to_string()).or_default();
+                current = Some(lint.to_string());
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or(format!("line {}: expected `key = [..]`", idx + 1))?;
+            let key = key.trim();
+            // Gather the array text, consuming continuation lines until the
+            // brackets balance.
+            let mut array = value.trim().to_string();
+            while !array.ends_with(']') {
+                let (cont_idx, cont) = lines
+                    .next()
+                    .ok_or(format!("line {}: unterminated array for `{key}`", idx + 1))?;
+                let cont = strip_comment(cont).trim().to_string();
+                if cont.is_empty() {
+                    continue;
+                }
+                let _ = cont_idx;
+                array.push(' ');
+                array.push_str(&cont);
+            }
+            let items = parse_string_array(&array)
+                .map_err(|e| format!("line {}: `{key}`: {e}", idx + 1))?;
+            let lint = current.as_ref().ok_or(format!(
+                "line {}: `{key}` outside a [lint.<name>] section",
+                idx + 1
+            ))?;
+            let scope = scopes.get_mut(lint).expect("section inserted on entry");
+            match key {
+                "include" => scope.include = items,
+                "exempt" => scope.exempt = items,
+                "receivers" => scope.receivers = items,
+                "suffixes" => scope.suffixes = items,
+                "names" => scope.names = items,
+                other => return Err(format!("line {}: unknown key `{other}`", idx + 1)),
+            }
+        }
+        Ok(Config { scopes })
+    }
+}
+
+/// Strips a `#`-to-end-of-line comment, respecting double quotes.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses `["a", "b"]` (trailing comma allowed) into its items.
+fn parse_string_array(text: &str) -> Result<Vec<String>, String> {
+    let inner = text
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or("expected a [..] array of strings")?;
+    let mut items = Vec::new();
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue; // trailing comma
+        }
+        let unquoted = part
+            .strip_prefix('"')
+            .and_then(|p| p.strip_suffix('"'))
+            .ok_or_else(|| format!("expected a quoted string, got `{part}`"))?;
+        items.push(unquoted.to_string());
+    }
+    Ok(items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_and_arrays() {
+        let cfg = Config::parse(
+            r#"
+# top comment
+[lint.fpu-routing]
+include = ["crates/linalg/src", "crates/core/src"] # trailing
+exempt = [
+    "crates/linalg/src/svd.rs",
+]
+receivers = ["fpu"]
+
+[lint.forbid-unsafe]
+include = ["crates", "src"]
+"#,
+        )
+        .expect("valid config");
+        let scope = cfg.scope("fpu-routing");
+        assert_eq!(scope.include.len(), 2);
+        assert_eq!(scope.exempt, vec!["crates/linalg/src/svd.rs"]);
+        assert_eq!(scope.receivers, vec!["fpu"]);
+        assert!(scope.applies_to("crates/linalg/src/matrix.rs"));
+        assert!(!scope.applies_to("crates/linalg/src/svd.rs"));
+        assert!(!scope.applies_to("crates/engine/src/sweep.rs"));
+        assert_eq!(cfg.lint_names(), vec!["forbid-unsafe", "fpu-routing"]);
+    }
+
+    #[test]
+    fn unmentioned_lint_applies_nowhere() {
+        let cfg = Config::parse("[lint.a]\ninclude = [\"src\"]\n").expect("valid");
+        assert!(!cfg.scope("b").applies_to("src/lib.rs"));
+    }
+
+    #[test]
+    fn malformed_configs_fail_loudly() {
+        for bad in [
+            "[lint.a",                     // unclosed header
+            "[other.a]",                   // non-lint section
+            "include = [\"x\"]",           // key before any section
+            "[lint.a]\ninclude = \"x\"",   // non-array value
+            "[lint.a]\nmystery = [\"x\"]", // unknown key
+            "[lint.a]\ninclude = [x]",     // unquoted item
+            "[lint.a]\ninclude = [\"x\",", // unterminated array at EOF
+        ] {
+            assert!(Config::parse(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn hash_inside_strings_is_not_a_comment() {
+        let cfg = Config::parse("[lint.a]\ninclude = [\"a#b\"]\n").expect("valid");
+        assert_eq!(cfg.scope("a").include, vec!["a#b"]);
+    }
+}

@@ -1,0 +1,541 @@
+//! A small hand-written Rust lexer, sufficient for token-level linting.
+//!
+//! The lexer's one job is to classify source bytes well enough that the
+//! lint passes never mistake the inside of a comment, a string literal, a
+//! char literal, or a raw string for code — the classic false-positive
+//! traps of grep-style linting. It is not a full Rust front end: it has no
+//! notion of types or name resolution, and the lint passes that build on
+//! it are explicitly token-pattern heuristics.
+//!
+//! Handled faithfully:
+//!
+//! * line comments (`//`, and doc `///` / `//!` kept as [`TokenKind::DocComment`]),
+//! * nested block comments (`/* /* */ */`, doc `/** */`),
+//! * string literals with escapes (`"a\"b"`), byte strings (`b"..."`),
+//! * raw strings with any hash depth (`r"..."`, `r##"..."##`, `br#"..."#`),
+//! * char literals vs lifetimes (`'a'` vs `'a`), including `'\''`,
+//! * numeric literals: ints (`0xff`, `1_000`, `7u32`), floats
+//!   (`1.0`, `1e6`, `2.5e-3`, `2f64`, `1.`), and the `0..n` / `1.max(2)`
+//!   range/method ambiguities,
+//! * multi-character operators (`::`, `..=`, `+=`, `->`, …).
+
+/// What a token is, at the granularity the lint passes need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (the passes match on the text).
+    Ident,
+    /// Integer literal, including any suffix (`7u32`).
+    Int,
+    /// Floating-point literal, including any suffix (`2f64`).
+    Float,
+    /// String, byte-string, or raw-string literal.
+    Str,
+    /// Character literal (`'x'`, `'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'_`).
+    Lifetime,
+    /// Punctuation / operator, possibly multi-character (`::`, `+=`).
+    Punct,
+    /// Non-doc comment (`// …` or `/* … */`).
+    Comment,
+    /// Doc comment (`/// …`, `//! …`, `/** … */`, `/*! … */`).
+    DocComment,
+}
+
+/// One lexed token: kind, exact source text, and 1-based line number of
+/// its first character.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// The token's source text, verbatim.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    fn new(kind: TokenKind, text: &str, line: u32) -> Self {
+        Token {
+            kind,
+            text: text.to_string(),
+            line,
+        }
+    }
+}
+
+/// Multi-character operators, longest first so greedy matching is correct.
+const OPERATORS: &[&str] = &[
+    "..=", "...", "<<=", ">>=", "::", "..", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+/// Lexes `source` into a token stream (comments included).
+///
+/// The lexer never fails: unterminated constructs (a string or block
+/// comment running to end of file) are returned as a single token of the
+/// appropriate kind covering the rest of the input, which is the useful
+/// behaviour for linting work-in-progress code.
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer {
+        src: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos];
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(self.pos),
+                b'\'' => self.char_or_lifetime(),
+                b'b' | b'r' if self.is_literal_prefix() => self.prefixed_literal(),
+                _ if c == b'_' || c.is_ascii_alphabetic() || c >= 0x80 => self.ident(),
+                _ if c.is_ascii_digit() => self.number(),
+                _ => self.punct(),
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn slice(&self, start: usize) -> &str {
+        // Token boundaries always fall on ASCII delimiters, so the slice
+        // is valid UTF-8 whenever the input is.
+        std::str::from_utf8(&self.src[start..self.pos]).unwrap_or("")
+    }
+
+    fn bump_lines(&mut self, start: usize) {
+        self.line += self.src[start..self.pos]
+            .iter()
+            .filter(|&&b| b == b'\n')
+            .count() as u32;
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        let start_line = self.line;
+        while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        let text = self.slice(start);
+        let kind = if text.starts_with("///") || text.starts_with("//!") {
+            TokenKind::DocComment
+        } else {
+            TokenKind::Comment
+        };
+        self.out.push(Token::new(kind, text, start_line));
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.pos;
+        let start_line = self.line;
+        self.pos += 2;
+        let mut depth = 1u32;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.src[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.src[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                self.pos += 1;
+            }
+        }
+        let end = self.pos;
+        let text_is_doc = {
+            let t = &self.src[start..end];
+            t.starts_with(b"/**") && !t.starts_with(b"/**/") || t.starts_with(b"/*!")
+        };
+        let token = Token::new(
+            if text_is_doc {
+                TokenKind::DocComment
+            } else {
+                TokenKind::Comment
+            },
+            self.slice(start),
+            start_line,
+        );
+        self.bump_lines(start);
+        self.out.push(token);
+    }
+
+    /// A cooked (escaped) string starting at the current `"`.
+    fn string(&mut self, token_start: usize) {
+        let start_line = self.line;
+        self.pos += 1; // opening quote
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' => self.pos += 2,
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        let token = Token::new(TokenKind::Str, self.slice(token_start), start_line);
+        self.bump_lines(token_start);
+        self.out.push(token);
+    }
+
+    /// Is the `b` / `r` at the cursor a literal prefix (`b"`, `r"`, `r#"`,
+    /// `br"`, `br#"`…) rather than the start of an identifier?
+    fn is_literal_prefix(&self) -> bool {
+        let mut i = self.pos;
+        if self.src[i] == b'b' {
+            i += 1;
+        }
+        if self.src.get(i) == Some(&b'r') {
+            i += 1;
+            while self.src.get(i) == Some(&b'#') {
+                i += 1;
+            }
+        }
+        self.src.get(i) == Some(&b'"') && i > self.pos
+    }
+
+    fn prefixed_literal(&mut self) {
+        let token_start = self.pos;
+        let start_line = self.line;
+        if self.src[self.pos] == b'b' {
+            self.pos += 1;
+        }
+        if self.src.get(self.pos) == Some(&b'r') {
+            // Raw string: count hashes, then scan for `"` + hashes.
+            self.pos += 1;
+            let mut hashes = 0usize;
+            while self.src.get(self.pos) == Some(&b'#') {
+                hashes += 1;
+                self.pos += 1;
+            }
+            self.pos += 1; // opening quote
+            'scan: while self.pos < self.src.len() {
+                if self.src[self.pos] == b'"' {
+                    let mut ok = true;
+                    for h in 0..hashes {
+                        if self.src.get(self.pos + 1 + h) != Some(&b'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        self.pos += 1 + hashes;
+                        break 'scan;
+                    }
+                }
+                self.pos += 1;
+            }
+            let token = Token::new(TokenKind::Str, self.slice(token_start), start_line);
+            self.bump_lines(token_start);
+            self.out.push(token);
+        } else {
+            // b"..." cooked byte string.
+            self.string(token_start);
+        }
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let start = self.pos;
+        let start_line = self.line;
+        // 'x' / '\n' / '\'' are char literals; 'ident (no closing quote
+        // right after) is a lifetime.
+        let next = self.peek(1);
+        if next == Some(b'\\') {
+            // Escaped char literal: skip to the closing quote.
+            self.pos += 2; // ' and backslash
+            self.pos += 1; // escaped character (enough for \n, \', \\, \0; \x.. and \u{..} scan below)
+            while self.pos < self.src.len() && self.src[self.pos] != b'\'' {
+                self.pos += 1;
+            }
+            self.pos += 1;
+            self.out
+                .push(Token::new(TokenKind::Char, self.slice(start), start_line));
+            return;
+        }
+        let is_ident_start =
+            next.is_some_and(|b| b == b'_' || b.is_ascii_alphabetic() || b >= 0x80);
+        if is_ident_start && self.peek(2) != Some(b'\'') {
+            // Lifetime: consume the identifier.
+            self.pos += 1;
+            while self
+                .peek(1)
+                .is_some_and(|b| b == b'_' || b.is_ascii_alphanumeric() || b >= 0x80)
+            {
+                self.pos += 1;
+            }
+            self.pos += 1;
+            self.out.push(Token::new(
+                TokenKind::Lifetime,
+                self.slice(start),
+                start_line,
+            ));
+        } else {
+            // Plain char literal 'x' (or a stray quote: consume defensively).
+            self.pos += 1;
+            while self.pos < self.src.len() && self.src[self.pos] != b'\'' {
+                if self.src[self.pos] == b'\n' {
+                    break; // stray quote, don't eat the file
+                }
+                self.pos += 1;
+            }
+            if self.src.get(self.pos) == Some(&b'\'') {
+                self.pos += 1;
+            }
+            self.out
+                .push(Token::new(TokenKind::Char, self.slice(start), start_line));
+        }
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        while self
+            .src
+            .get(self.pos)
+            .is_some_and(|&b| b == b'_' || b.is_ascii_alphanumeric() || b >= 0x80)
+        {
+            self.pos += 1;
+        }
+        self.out
+            .push(Token::new(TokenKind::Ident, self.slice(start), self.line));
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        let mut is_float = false;
+        if self.src[self.pos] == b'0'
+            && matches!(self.peek(1), Some(b'x') | Some(b'o') | Some(b'b'))
+        {
+            // Radix literal: digits and underscores only, never a float.
+            self.pos += 2;
+            while self
+                .src
+                .get(self.pos)
+                .is_some_and(|&b| b.is_ascii_alphanumeric() || b == b'_')
+            {
+                self.pos += 1;
+            }
+        } else {
+            while self
+                .src
+                .get(self.pos)
+                .is_some_and(|&b| b.is_ascii_digit() || b == b'_')
+            {
+                self.pos += 1;
+            }
+            // Fractional part: `.` begins one unless it starts a range
+            // (`0..n`) or a method/field access (`1.max(2)`).
+            if self.src.get(self.pos) == Some(&b'.') {
+                let after = self.src.get(self.pos + 1).copied();
+                let is_range = after == Some(b'.');
+                let is_access =
+                    after.is_some_and(|b| b == b'_' || b.is_ascii_alphabetic() || b >= 0x80);
+                if !is_range && !is_access {
+                    is_float = true;
+                    self.pos += 1;
+                    while self
+                        .src
+                        .get(self.pos)
+                        .is_some_and(|&b| b.is_ascii_digit() || b == b'_')
+                    {
+                        self.pos += 1;
+                    }
+                }
+            }
+            // Exponent.
+            if matches!(self.src.get(self.pos), Some(b'e') | Some(b'E')) {
+                let mut i = self.pos + 1;
+                if matches!(self.src.get(i), Some(b'+') | Some(b'-')) {
+                    i += 1;
+                }
+                if self.src.get(i).is_some_and(|b| b.is_ascii_digit()) {
+                    is_float = true;
+                    self.pos = i;
+                    while self
+                        .src
+                        .get(self.pos)
+                        .is_some_and(|&b| b.is_ascii_digit() || b == b'_')
+                    {
+                        self.pos += 1;
+                    }
+                }
+            }
+            // Suffix (`u32`, `f64`, …): a float suffix forces Float.
+            if self
+                .src
+                .get(self.pos)
+                .is_some_and(|b| b.is_ascii_alphabetic() || *b == b'_')
+            {
+                let suffix_start = self.pos;
+                while self
+                    .src
+                    .get(self.pos)
+                    .is_some_and(|&b| b == b'_' || b.is_ascii_alphanumeric())
+                {
+                    self.pos += 1;
+                }
+                let suffix = &self.src[suffix_start..self.pos];
+                if suffix == b"f32" || suffix == b"f64" {
+                    is_float = true;
+                }
+            }
+        }
+        self.out.push(Token::new(
+            if is_float {
+                TokenKind::Float
+            } else {
+                TokenKind::Int
+            },
+            self.slice(start),
+            self.line,
+        ));
+    }
+
+    fn punct(&mut self) {
+        let rest = &self.src[self.pos..];
+        for op in OPERATORS {
+            if rest.starts_with(op.as_bytes()) {
+                self.out.push(Token::new(TokenKind::Punct, op, self.line));
+                self.pos += op.len();
+                return;
+            }
+        }
+        let start = self.pos;
+        self.pos += 1;
+        self.out
+            .push(Token::new(TokenKind::Punct, self.slice(start), self.line));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn comments_strings_and_chars_are_opaque() {
+        let toks = kinds(r#"let s = "a // not a comment"; // real ' comment"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("not a comment")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Comment && t.contains("real")));
+        // No stray char-literal token from the apostrophe in the comment.
+        assert!(!toks.iter().any(|(k, _)| *k == TokenKind::Char));
+    }
+
+    #[test]
+    fn nested_block_comments_terminate() {
+        let toks = kinds("/* a /* b */ c */ x");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].0, TokenKind::Comment);
+        assert_eq!(toks[1], (TokenKind::Ident, "x".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r###"let s = r#"1.0 * x"#; y"###);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("1.0 * x")));
+        assert!(toks.iter().any(|(_, t)| t == "y"));
+        assert!(!toks.iter().any(|(k, _)| *k == TokenKind::Float));
+    }
+
+    #[test]
+    fn chars_vs_lifetimes() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn numeric_literal_classification() {
+        for (src, kind) in [
+            ("1.0", TokenKind::Float),
+            ("1e6", TokenKind::Float),
+            ("2.5e-3", TokenKind::Float),
+            ("2f64", TokenKind::Float),
+            ("1_000.5", TokenKind::Float),
+            ("7", TokenKind::Int),
+            ("7u32", TokenKind::Int),
+            ("0xff", TokenKind::Int),
+            ("1_000", TokenKind::Int),
+        ] {
+            let toks = kinds(src);
+            assert_eq!(toks.len(), 1, "{src} lexed as {toks:?}");
+            assert_eq!(toks[0].0, kind, "{src}");
+        }
+    }
+
+    #[test]
+    fn range_and_method_on_int_are_not_floats() {
+        let toks = kinds("for i in 0..n { let m = 1.max(2); }");
+        assert!(!toks.iter().any(|(k, _)| *k == TokenKind::Float));
+        assert!(toks.iter().any(|(_, t)| t == ".."));
+    }
+
+    #[test]
+    fn multi_char_operators_are_single_tokens() {
+        let toks = kinds("x += 1; y ..= 2; a::b; c -> d");
+        for op in ["+=", "..=", "::", "->"] {
+            assert!(toks.iter().any(|(_, t)| t == op), "missing {op}");
+        }
+    }
+
+    #[test]
+    fn doc_comments_are_distinguished() {
+        let toks = kinds("/// docs\n//! inner\n// plain\nfn f() {}");
+        let docs = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::DocComment)
+            .count();
+        let plain = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Comment)
+            .count();
+        assert_eq!(docs, 2);
+        assert_eq!(plain, 1);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_tokens() {
+        let src = "/* a\nb */\nfn f() {}\n\"x\ny\"\nz";
+        let toks = lex(src);
+        let f = toks.iter().find(|t| t.text == "fn").expect("fn token");
+        assert_eq!(f.line, 3);
+        let z = toks.iter().find(|t| t.text == "z").expect("z token");
+        assert_eq!(z.line, 6);
+    }
+}

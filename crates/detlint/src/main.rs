@@ -1,0 +1,62 @@
+//! The `detlint` binary: lints the workspace and exits nonzero on any
+//! finding, clippy-style.
+//!
+//! ```text
+//! cargo run -p detlint               # lint the workspace rooted at CWD
+//! detlint --root /path/to/workspace  # explicit root
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("detlint: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: detlint [--root <workspace>]");
+                println!("Lints crates/*/src and src/ against detlint.toml; exits 1 on findings.");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("detlint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let cfg = match detlint::load_config(&root) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("detlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let findings = match detlint::run(&root, &cfg) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("detlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if findings.is_empty() {
+        println!("detlint: workspace clean");
+        return ExitCode::SUCCESS;
+    }
+    for f in &findings {
+        println!("{}:{}: [{}] {}", f.path, f.line, f.lint, f.message);
+    }
+    eprintln!("detlint: {} finding(s)", findings.len());
+    ExitCode::FAILURE
+}

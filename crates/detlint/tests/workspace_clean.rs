@@ -1,0 +1,35 @@
+//! Tier-1 enforcement: the whole workspace must pass `detlint` clean.
+//!
+//! This is the `cargo test` face of the same engine the binary and the CI
+//! job run — deleting any single `detlint::allow` annotation or reverting
+//! any routing fix fails this test with a file:line diagnostic.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_detlint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/detlint sits two levels below the workspace root");
+    assert!(
+        root.join("detlint.toml").is_file(),
+        "detlint.toml missing at workspace root {}",
+        root.display()
+    );
+    let cfg = detlint::load_config(root).expect("detlint.toml parses");
+    let findings = detlint::run(root, &cfg).expect("workspace walk succeeds");
+    if !findings.is_empty() {
+        let mut report = String::new();
+        for f in &findings {
+            report.push_str(&format!(
+                "{}:{}: [{}] {}\n",
+                f.path, f.line, f.lint, f.message
+            ));
+        }
+        panic!(
+            "detlint found {} violation(s) — fix or add `// detlint::allow(<lint>, reason = \"...\")`:\n{report}",
+            findings.len()
+        );
+    }
+}

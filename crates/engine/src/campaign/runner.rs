@@ -236,6 +236,7 @@ pub fn run_with_budget(
     cell_budget: Option<usize>,
     mut on_cell: impl FnMut(&CellUpdate),
 ) -> Result<CampaignOutcome, String> {
+    // detlint::allow(nondeterministic-order, reason = "wall-clock campaign timing; excluded from result bytes")
     let start = Instant::now();
     let jobs = resolve_jobs(spec, registry)?;
     let cells = resolve_cells(spec, registry)?;

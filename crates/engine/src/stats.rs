@@ -55,6 +55,7 @@ impl MetricSummary {
         if self.values.is_empty() {
             return f64::INFINITY;
         }
+        // detlint::allow(float-reassociation, reason = "engine-side mean over measured metrics; aggregation is reliable")
         self.values.iter().sum::<f64>() / self.values.len() as f64
     }
 

@@ -258,6 +258,7 @@ impl SweepSpec {
     /// Panics if `cases` is empty.
     pub fn run(&self, cases: &[SweepCase]) -> SweepResult {
         assert!(!cases.is_empty(), "sweep needs at least one case");
+        // detlint::allow(nondeterministic-order, reason = "wall-clock sweep timing; excluded from result bytes")
         let start = Instant::now();
 
         // Flatten the grid into a global work list: cells are
@@ -557,6 +558,7 @@ impl SweepResult {
             .iter()
             .flat_map(|c| c.cells.iter())
             .map(CellStats::trials)
+            // detlint::allow(float-reassociation, reason = "integer trial count, not a float reduction")
             .sum();
         let mut labels = Vec::with_capacity(cases.len());
         let mut specs_json = Vec::with_capacity(cases.len());

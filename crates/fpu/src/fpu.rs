@@ -323,7 +323,13 @@ pub trait Fpu {
     /// lane[i % LANE_WIDTH] = add(lane[i % LANE_WIDTH], p)`, then the
     /// lanes pairwise-combine (`t_j = add(lane_j, lane_{j+4})`,
     /// `u_j = add(t_j, t_{j+2})`, `s = add(u_0, u_1)`) and
-    /// `acc = add(init, s)` — `2·n + LANE_WIDTH` FLOPs total.
+    /// `acc = add(init, s)`.
+    ///
+    /// # FLOP accounting
+    ///
+    /// 2 FLOPs per element (`mul` + `add`); `2·n` total below
+    /// [`LANE_REDUCTION_MIN`], `2·n + LANE_WIDTH` from there on (the
+    /// pairwise lane combine plus the `init` add).
     ///
     /// # Panics
     ///
@@ -363,6 +369,11 @@ pub trait Fpu {
     ///
     /// [`gemv_row`]: Self::gemv_row
     ///
+    /// # FLOP accounting
+    ///
+    /// Identical to [`gemv_row`](Self::gemv_row): `2·n` FLOPs below
+    /// [`LANE_REDUCTION_MIN`], `2·n + LANE_WIDTH` from there on.
+    ///
     /// # Panics
     ///
     /// Panics if the slices differ in length.
@@ -382,8 +393,12 @@ pub trait Fpu {
     /// [`LANE_REDUCTION_MIN`] elements on, the products accumulate into
     /// [`LANE_WIDTH`] lanes exactly as in [`gemv_row`](Self::gemv_row)
     /// (`lane[i % LANE_WIDTH] = add(lane[i % LANE_WIDTH], p)`, pairwise
-    /// combine to `s`) and the result is `acc = sub(init, s)` —
-    /// `2·n + LANE_WIDTH` FLOPs total.
+    /// combine to `s`) and the result is `acc = sub(init, s)`.
+    ///
+    /// # FLOP accounting
+    ///
+    /// 2 FLOPs per element (`mul` + `sub`/`add`); `2·n` total below
+    /// [`LANE_REDUCTION_MIN`], `2·n + LANE_WIDTH` from there on.
     ///
     /// # Panics
     ///
@@ -416,7 +431,11 @@ pub trait Fpu {
     /// In-place `y ← α x + y` with the scalar as the first multiplicand.
     ///
     /// Bit-identical per-op expansion, for each `i` in order:
-    /// `p = mul(alpha, x[i]); y[i] = add(y[i], p)` — 2 FLOPs per element.
+    /// `p = mul(alpha, x[i]); y[i] = add(y[i], p)`.
+    ///
+    /// # FLOP accounting
+    ///
+    /// 2 FLOPs per element (`mul` + `add`), `2·n` total.
     ///
     /// # Panics
     ///
@@ -455,8 +474,11 @@ pub trait Fpu {
     /// operand-side fault models are sensitive to it).
     ///
     /// Bit-identical per-op expansion, for each `i` in order:
-    /// `p = mul(row[i], scale); out[i] = add(out[i], p)` — 2 FLOPs per
-    /// element.
+    /// `p = mul(row[i], scale); out[i] = add(out[i], p)`.
+    ///
+    /// # FLOP accounting
+    ///
+    /// 2 FLOPs per element (`mul` + `add`), `2·n` total.
     ///
     /// # Panics
     ///
@@ -493,7 +515,11 @@ pub trait Fpu {
     /// banded-diagonal product kernel.
     ///
     /// Bit-identical per-op expansion, for each `i` in order:
-    /// `p = mul(a[i], b[i]); y[i] = add(y[i], p)` — 2 FLOPs per element.
+    /// `p = mul(a[i], b[i]); y[i] = add(y[i], p)`.
+    ///
+    /// # FLOP accounting
+    ///
+    /// 2 FLOPs per element (`mul` + `add`), `2·n` total.
     ///
     /// # Panics
     ///
@@ -537,7 +563,11 @@ pub trait Fpu {
     /// In-place scaling `x[i] ← α·x[i]`.
     ///
     /// Bit-identical per-op expansion, for each `i` in order:
-    /// `x[i] = mul(alpha, x[i])` — 1 FLOP per element.
+    /// `x[i] = mul(alpha, x[i])`.
+    ///
+    /// # FLOP accounting
+    ///
+    /// 1 FLOP per element (`mul`), `n` total.
     fn scale_batch(&mut self, alpha: f64, x: &mut [f64])
     where
         Self: Sized,
@@ -569,7 +599,11 @@ pub trait Fpu {
     /// Element-wise difference `out[i] ← x[i] − y[i]` (residual kernels).
     ///
     /// Bit-identical per-op expansion, for each `i` in order:
-    /// `out[i] = sub(x[i], y[i])` — 1 FLOP per element.
+    /// `out[i] = sub(x[i], y[i])`.
+    ///
+    /// # FLOP accounting
+    ///
+    /// 1 FLOP per element (`sub`), `n` total.
     ///
     /// # Panics
     ///
@@ -613,7 +647,11 @@ pub trait Fpu {
     /// residual kernels).
     ///
     /// Bit-identical per-op expansion, for each `i` in order:
-    /// `y[i] = sub(y[i], x[i])` — 1 FLOP per element.
+    /// `y[i] = sub(y[i], x[i])`.
+    ///
+    /// # FLOP accounting
+    ///
+    /// 1 FLOP per element (`sub`), `n` total.
     ///
     /// # Panics
     ///
@@ -652,7 +690,11 @@ pub trait Fpu {
     /// In-place element-wise accumulation `y[i] ← y[i] + x[i]`.
     ///
     /// Bit-identical per-op expansion, for each `i` in order:
-    /// `y[i] = add(y[i], x[i])` — 1 FLOP per element.
+    /// `y[i] = add(y[i], x[i])`.
+    ///
+    /// # FLOP accounting
+    ///
+    /// 1 FLOP per element (`add`), `n` total.
     ///
     /// # Panics
     ///

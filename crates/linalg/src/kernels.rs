@@ -54,11 +54,19 @@ fn check_equal_len(a: &[f64], b: &[f64]) -> Result<(), LinalgError> {
 /// Runs on the FPU's batched fast path ([`Fpu::dot_batch`]): fault-free
 /// stretches execute as a tight native loop, bit-identical to the per-op
 /// expansion `p = mul(x[i], y[i]); acc = add(acc, p)`.
+///
+/// # FLOP accounting
+///
+/// `2·n` FLOPs ([`Fpu::dot_batch`]; `+ LANE_WIDTH` once lane-split).
 pub(crate) fn dot_unchecked<F: Fpu>(fpu: &mut F, x: &[f64], y: &[f64]) -> f64 {
     fpu.dot_batch(x, y)
 }
 
 /// Inner product `xᵀ y` through the FPU.
+///
+/// # FLOP accounting
+///
+/// `2·n` FLOPs ([`Fpu::dot_batch`]; `+ LANE_WIDTH` once lane-split).
 ///
 /// # Errors
 ///
@@ -83,6 +91,10 @@ pub fn dot<F: Fpu>(fpu: &mut F, x: &[f64], y: &[f64]) -> Result<f64, LinalgError
 
 /// Squared Euclidean norm `‖x‖²` through the FPU.
 ///
+/// # FLOP accounting
+///
+/// `2·n` FLOPs (a self inner product via [`Fpu::dot_batch`]).
+///
 /// # Examples
 ///
 /// ```
@@ -96,6 +108,10 @@ pub fn norm2_sq<F: Fpu>(fpu: &mut F, x: &[f64]) -> f64 {
 }
 
 /// Euclidean norm `‖x‖` through the FPU.
+///
+/// # FLOP accounting
+///
+/// `2·n + 1` FLOPs ([`norm2_sq`] plus one [`Fpu::sqrt`]).
 ///
 /// # Examples
 ///
@@ -111,6 +127,10 @@ pub fn norm2<F: Fpu>(fpu: &mut F, x: &[f64]) -> f64 {
 }
 
 /// In-place `y ← α x + y` through the FPU.
+///
+/// # FLOP accounting
+///
+/// `2·n` FLOPs ([`Fpu::axpy_batch`]: `mul` + `add` per element).
 ///
 /// # Errors
 ///
@@ -137,6 +157,10 @@ pub fn axpy<F: Fpu>(fpu: &mut F, alpha: f64, x: &[f64], y: &mut [f64]) -> Result
 
 /// In-place `x ← α x` through the FPU.
 ///
+/// # FLOP accounting
+///
+/// `n` FLOPs ([`Fpu::scale_batch`]: one `mul` per element).
+///
 /// # Examples
 ///
 /// ```
@@ -152,6 +176,10 @@ pub fn scale<F: Fpu>(fpu: &mut F, alpha: f64, x: &mut [f64]) {
 }
 
 /// Element-wise difference `x - y` through the FPU.
+///
+/// # FLOP accounting
+///
+/// `n` FLOPs ([`Fpu::sub_batch`]: one `sub` per element).
 ///
 /// # Errors
 ///
@@ -177,6 +205,10 @@ pub fn sub_vec<F: Fpu>(fpu: &mut F, x: &[f64], y: &[f64]) -> Result<Vec<f64>, Li
 }
 
 /// In-place element-wise `y ← y + x` through the FPU.
+///
+/// # FLOP accounting
+///
+/// `n` FLOPs ([`Fpu::add_assign_batch`]: one `add` per element).
 ///
 /// # Errors
 ///

@@ -108,6 +108,7 @@ impl QrFactorization {
         // zero after the reflections; reject it relative to the largest.
         let n = self.r.rows();
         let max_pivot = (0..n).map(|i| self.r[(i, i)].abs()).fold(0.0, f64::max);
+        // detlint::allow(fpu-routing, reason = "rank-deficiency guard is reliable control-plane arithmetic")
         if (0..n).any(|i| self.r[(i, i)].abs() <= 1e-12 * max_pivot) {
             return Err(LinalgError::Singular);
         }
@@ -172,6 +173,7 @@ fn apply_reflector_to_matrix<F: Fpu>(
     fpu.with_exact_windows(width, 2, |fpu, range, exact| {
         if exact {
             for c in &mut coef[range] {
+                // detlint::allow(fpu-routing, reason = "fault-free exact-window fast lane; FLOPs pre-committed via run_exact")
                 *c = 2.0 * (*c / vtv);
             }
         } else {

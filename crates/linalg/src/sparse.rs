@@ -204,6 +204,12 @@ impl CsrMatrix {
     /// scalar dispatch issues, with fault-free stretches running on the
     /// vectorizable `chunks_exact` lane.
     ///
+    /// # FLOP accounting
+    ///
+    /// `2·nnz` FLOPs (`mul` + `add` per stored entry; `+ LANE_WIDTH` per
+    /// row once its reduction lane-splits). Gathers are data movement,
+    /// not FLOPs.
+    ///
     /// # Errors
     ///
     /// Returns [`LinalgError::DimensionMismatch`] if
@@ -239,6 +245,12 @@ impl CsrMatrix {
     /// sensitive to), and scattered back. Column indices are strictly
     /// increasing within a row, so the gather/scatter never aliases.
     ///
+    /// # FLOP accounting
+    ///
+    /// `2·nnz` FLOPs over the rows with `y[i] != 0.0` (`mul` + `add` per
+    /// stored entry); skipped rows cost zero. Gather/scatter is data
+    /// movement, not FLOPs.
+    ///
     /// # Errors
     ///
     /// Returns [`LinalgError::DimensionMismatch`] if
@@ -269,6 +281,31 @@ impl CsrMatrix {
         Ok(out)
     }
 
+    /// The diagonal of the normal matrix `AᵀA` — per column `j`, the sum
+    /// of squares `Σᵢ aᵢⱼ²` over the stored entries — the Jacobi
+    /// preconditioner for CGLS
+    /// (`CgLeastSquares::with_jacobi_preconditioner` in the core crate).
+    ///
+    /// Walks the stored entries in row-major order, squaring and
+    /// scatter-accumulating per entry: `p = mul(a_ij, a_ij);
+    /// d[j] = add(d[j], p)`, bit-identical to scalar dispatch.
+    ///
+    /// # FLOP accounting
+    ///
+    /// `2·nnz` FLOPs (`mul` + `add` per stored entry). The scatter by
+    /// column index is data movement, not FLOPs.
+    pub fn normal_diagonal<F: Fpu>(&self, fpu: &mut F) -> Vec<f64> {
+        let mut d = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                let p = fpu.mul(v, v);
+                d[j] = fpu.add(d[j], p);
+            }
+        }
+        d
+    }
+
     /// Maximum absolute difference to another sparse matrix over the dense
     /// expansion (native arithmetic — a measurement, not solver work).
     ///
@@ -294,10 +331,17 @@ impl LinearOperator for CsrMatrix {
         self.cols
     }
 
+    /// # FLOP accounting
+    ///
+    /// `2·nnz` FLOPs — delegates to [`CsrMatrix::matvec`].
     fn matvec<F: Fpu>(&self, fpu: &mut F, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
         CsrMatrix::matvec(self, fpu, x)
     }
 
+    /// # FLOP accounting
+    ///
+    /// `2·nnz` FLOPs over nonzero `y` rows — delegates to
+    /// [`CsrMatrix::matvec_t`].
     fn matvec_t<F: Fpu>(&self, fpu: &mut F, y: &[f64]) -> Result<Vec<f64>, LinalgError> {
         CsrMatrix::matvec_t(self, fpu, y)
     }

@@ -90,6 +90,7 @@ impl SvdFactorization {
                     if !(app.is_finite() && aqq.is_finite() && apq.is_finite()) {
                         return Err(LinalgError::NotFinite);
                     }
+                    // detlint::allow(fpu-routing, reason = "rotation parameters are computed in the reliable sequencer (documented above)")
                     if apq.abs() <= ORTH_TOL * (app * aqq).sqrt() {
                         continue;
                     }
@@ -98,8 +99,11 @@ impl SvdFactorization {
                     // scalar math mirrors the rotation *parameters* being
                     // computed in the sequencer; the O(m) column updates
                     // below go through the FPU).
+                    // detlint::allow(fpu-routing, reason = "rotation parameters are computed in the reliable sequencer (documented above)")
                     let zeta = (aqq - app) / (2.0 * apq);
+                    // detlint::allow(fpu-routing, reason = "rotation parameters are computed in the reliable sequencer (documented above)")
                     let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+                    // detlint::allow(fpu-routing, reason = "rotation parameters are computed in the reliable sequencer (documented above)")
                     let c = 1.0 / (1.0 + t * t).sqrt();
                     let s = c * t;
                     rotate_columns(fpu, &mut work, p, q, c, s);
