@@ -14,10 +14,18 @@
 //! bit), so their ratio is pure dispatch overhead removed; the comparison
 //! asserts the per-trial verdicts and FLOP/fault counters match before
 //! timing counts. A separate rate-0 pass records the fault-free ceiling,
-//! where whole batches run on the vectorizable fast lane. The campaign timing runs the same grid twice through
-//! the content-addressed result cache: the cold pass executes and
-//! checkpoints every cell, the warm pass must replay byte-identically
-//! from disk, and their ratio is the cache's replay speedup. Finally a
+//! where whole batches run on the vectorizable fast lane. The campaign
+//! timing runs the same grid twice through the content-addressed result
+//! cache: the cold pass executes and checkpoints every cell, the warm
+//! pass must replay byte-identically from disk, and their ratio is the
+//! cache's replay speedup. A mixed-weight campaign (µs-scale sorting
+//! trials next to heavy paper-scale Poisson CG cells) is then timed
+//! three ways: serial, trial-granular on the work-stealing scheduler,
+//! and a cell-granular emulation of the pre-scheduler executor — the
+//! first ratio is the campaign's parallel speedup (asserted
+//! byte-identical first), the second is the straggler cost that
+//! whole-cell scheduling pays when one heavy cell pins a worker while
+//! the rest idle. Finally a
 //! sparse entry times CSR SpMV over the paper-scale Poisson matrix
 //! (10⁵ unknowns, ~5 entries/row) in stored-nonzeros per second,
 //! batched vs scalar, after asserting the same bit-identity contract on
@@ -32,9 +40,11 @@ use robustify_bench::workloads::{paper_registry, POISSON_GRID};
 use robustify_bench::ExperimentOptions;
 use robustify_core::{
     AggressiveStepping, GradientGuard, RobustProblem, SolverSpec, StepSchedule, Verdict,
+    WorkloadRegistry,
 };
-use robustify_engine::campaign::{self, JobSpec, ResultCache};
+use robustify_engine::campaign::{self, CampaignSpec, Instantiate, JobSpec, ResultCache};
 use robustify_engine::{derive_trial_seed, problem_seed, SweepCase, SweepResult, SweepSpec};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 use stochastic_fpu::{FaultRate, Fpu, NoisyFpu};
 
@@ -159,6 +169,129 @@ fn campaign_cache_timing(opts: &ExperimentOptions, trials: usize) -> (f64, f64, 
     (cold_s, warm_s, cold.cells_total)
 }
 
+/// One pass over `spec`'s grid with the pre-scheduler execution shape —
+/// workers claim whole cells from a shared counter and run every trial
+/// of a claimed cell themselves — to expose the straggler cost the
+/// trial-granular scheduler removes. Mirrors the runner's per-trial
+/// seeding and instantiation exactly; returns wall seconds.
+fn cell_granular_run(spec: &CampaignSpec, registry: &WorkloadRegistry, threads: usize) -> f64 {
+    let cells: Vec<(usize, f64)> = spec
+        .jobs()
+        .iter()
+        .enumerate()
+        .flat_map(|(j, _)| spec.rates_pct().iter().map(move |&r| (j, r)))
+        .collect();
+    let expected: usize = spec
+        .jobs()
+        .iter()
+        .map(|job| job.trials().unwrap_or(spec.trials_per_cell()) * spec.rates_pct().len())
+        .sum();
+    let next = AtomicUsize::new(0);
+    let ran = AtomicUsize::new(0);
+    // detlint::allow(nondeterministic-order, reason = "wall-clock throughput timing; never enters deterministic artifacts")
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(job_index, rate_pct)) = cells.get(i) else {
+                    break;
+                };
+                let job = &spec.jobs()[job_index];
+                let solver = job.solver().cloned().unwrap_or_else(|| {
+                    registry
+                        .default_solver(job.workload(), spec.base_seed())
+                        .expect("registered workload")
+                });
+                let model = job.fault_model().unwrap_or(spec.fault_model());
+                let trials = job.trials().unwrap_or(spec.trials_per_cell());
+                let fixed = (job.instantiate() == Instantiate::Fixed).then(|| {
+                    registry
+                        .materialize(job.workload(), spec.base_seed())
+                        .expect("registered workload")
+                });
+                for trial in 0..trials as u64 {
+                    let mut fpu = NoisyFpu::new(
+                        FaultRate::percent_of_flops(rate_pct),
+                        model.clone(),
+                        derive_trial_seed(spec.base_seed(), trial),
+                    );
+                    let verdict = match &fixed {
+                        Some(problem) => problem.run_trial_dyn(&solver, &mut fpu),
+                        None => registry
+                            .materialize(job.workload(), problem_seed(spec.base_seed(), trial))
+                            .expect("registered workload")
+                            .run_trial_dyn(&solver, &mut fpu),
+                    };
+                    std::hint::black_box(verdict);
+                    ran.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(
+        ran.load(Ordering::Relaxed),
+        expected,
+        "cell-granular emulation must run the full grid"
+    );
+    elapsed
+}
+
+/// The scheduler comparison on a deliberately mixed-weight grid: a
+/// per-trial sorting job (many µs-scale trials) next to a heavy
+/// paper-scale Poisson CG job. Times the campaign serial, trial-granular
+/// parallel (asserting byte-identity first — the speedup must be free),
+/// and through the cell-granular emulation at the same width. Returns
+/// the JSON fields for the trajectory document; on a single-core host
+/// every field is `null` (the "parallel" numbers would just be scheduler
+/// overhead misread as a regression).
+fn campaign_parallel_timing(opts: &ExperimentOptions, trials: usize, host_cores: usize) -> String {
+    if host_cores <= 1 {
+        return "\"campaign_parallel_speedup\":null,\"campaign_cell_granular_s\":null,\
+                \"campaign_trial_granular_s\":null,\"campaign_straggler_speedup\":null"
+            .to_string();
+    }
+    let registry = paper_registry();
+    let sgd = specs().remove(1).1;
+    let heavy_trials = (trials / 4).max(2);
+    let mixed = |threads: usize| {
+        opts.campaign("engine_throughput_mixed")
+            .rates(RATES_PCT.to_vec())
+            .trials(trials)
+            .threads(threads)
+            .job(
+                JobSpec::new("sort", "sorting")
+                    .per_trial()
+                    .with_solver(sgd.clone()),
+            )
+            .job(JobSpec::new("poisson", "poisson2d").with_trials(heavy_trials))
+    };
+    let timed = |threads: usize| {
+        let spec = mixed(threads);
+        // detlint::allow(nondeterministic-order, reason = "wall-clock throughput timing; never enters deterministic artifacts")
+        let start = Instant::now();
+        let run = campaign::run(&spec, &registry, None, |_| {}).expect("mixed campaign");
+        (start.elapsed().as_secs_f64(), run)
+    };
+    let (serial_s, serial_run) = timed(1);
+    let (trial_granular_s, parallel_run) = timed(host_cores);
+    assert_eq!(
+        serial_run.result.to_json(),
+        parallel_run.result.to_json(),
+        "determinism guarantee violated by the mixed campaign at {host_cores} threads"
+    );
+    let cell_granular_s = cell_granular_run(&mixed(host_cores), &registry, host_cores);
+    format!(
+        "\"campaign_parallel_speedup\":{:.2},\"campaign_cell_granular_s\":{:.3},\
+         \"campaign_trial_granular_s\":{:.3},\"campaign_straggler_speedup\":{:.2}",
+        serial_s / trial_granular_s,
+        cell_granular_s,
+        trial_granular_s,
+        cell_granular_s / trial_granular_s,
+    )
+}
+
 /// Sparse SpMV throughput on the large Poisson matrix: batched vs scalar
 /// dispatch over the identical FLOP sequence (asserted bit-identical
 /// first), at rate 0 (the fault-free fast-lane ceiling) and at a small
@@ -267,6 +400,7 @@ fn main() {
     let host_cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    let campaign_fields = campaign_parallel_timing(&opts, trials, host_cores);
     let mut curve = Vec::new();
     if host_cores > 1 {
         let mut counts: Vec<usize> = [2usize, 4, 8]
@@ -293,7 +427,7 @@ fn main() {
         }
     }
     let note = if host_cores == 1 {
-        ",\"note\":\"single-core host; speedup curve skipped\""
+        ",\"note\":\"single-core host; speedup curve and campaign scheduling timings skipped\""
     } else {
         ""
     };
@@ -306,7 +440,7 @@ fn main() {
          \"trials_per_s_batched_dispatch_rate0\":{:.2},\"batch_speedup_rate0\":{:.2},\
          \"host_cores\":{},\"speedup_curve\":[{}],\
          \"campaign_cells\":{},\"campaign_cold_s\":{:.3},\"campaign_warm_s\":{:.3},\
-         \"campaign_replay_speedup\":{:.1},{}{}}}",
+         \"campaign_replay_speedup\":{:.1},{campaign_fields},{}{}}}",
         serial.total_trials(),
         serial.elapsed().as_secs_f64(),
         serial.throughput(),

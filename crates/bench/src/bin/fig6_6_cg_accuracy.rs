@@ -6,36 +6,26 @@
 //! under faults (SVD being the most accurate on a *reliable* processor,
 //! "even with ill-conditioned problems"; Cholesky the fastest but the most
 //! restricted); CG degrades gracefully.
+//!
+//! Each table is a declarative campaign (4 solver jobs on the
+//! `least_squares` / `least_squares_ill` registry workloads), so this
+//! binary is also a *thin client*: with `--server ADDR` it submits both
+//! campaigns to a running `campaign_server` and prints the daemon's
+//! byte-identical documents; with `--cache-dir PATH` a local run
+//! checkpoints per cell and resumes after a kill.
 
 #![forbid(unsafe_code)]
-use robustify_apps::least_squares::LeastSquares;
-use robustify_bench::workloads::{ill_conditioned_least_squares, paper_least_squares};
-use robustify_bench::{fmt_metric, ExperimentOptions, Table};
+use robustify_bench::workloads::{paper_least_squares, paper_registry};
+use robustify_bench::{fmt_metric, CampaignExecution, ExperimentOptions, Table};
 use robustify_core::SolverSpec;
-use robustify_engine::{paper_fault_rates, SweepCase};
+use robustify_engine::campaign::JobSpec;
+use robustify_engine::paper_fault_rates;
 use stochastic_fpu::{Fpu, ReliableFpu};
 
 const CG_ITERATIONS: usize = 10;
 
-fn run_table(title: &str, problem: &LeastSquares, opts: &ExperimentOptions, trials: usize) {
-    let cases = vec![
-        SweepCase::fixed(
-            "Base:QR",
-            SolverSpec::baseline_variant("qr"),
-            problem.clone(),
-        ),
-        SweepCase::fixed(
-            "Base:SVD",
-            SolverSpec::baseline_variant("svd"),
-            problem.clone(),
-        ),
-        SweepCase::fixed(
-            "Base:Cholesky",
-            SolverSpec::baseline_variant("cholesky"),
-            problem.clone(),
-        ),
-        SweepCase::fixed("CG,N=10", SolverSpec::cg(CG_ITERATIONS), problem.clone()),
-    ];
+fn run_table(title: &str, name: &str, workload: &str, opts: &ExperimentOptions, trials: usize) {
+    let job = |label: &str, spec: SolverSpec| JobSpec::new(label, workload).with_solver(spec);
 
     // Rate 0 doubles as the reliable reference row of the paper's figure.
     // Its cells run `trials` identical deterministic solves; at this
@@ -43,7 +33,34 @@ fn run_table(title: &str, problem: &LeastSquares, opts: &ExperimentOptions, tria
     // faulted cells, and it keeps the grid a single rectangular sweep.
     let mut rates = vec![0.0];
     rates.extend(paper_fault_rates());
-    let result = opts.sweep("fig6_6_cg_accuracy", rates, trials).run(&cases);
+    let campaign = opts
+        .campaign(name)
+        .rates(rates)
+        .trials(trials)
+        .job(job("Base:QR", SolverSpec::baseline_variant("qr")))
+        .job(job("Base:SVD", SolverSpec::baseline_variant("svd")))
+        .job(job(
+            "Base:Cholesky",
+            SolverSpec::baseline_variant("cholesky"),
+        ))
+        .job(job("CG,N=10", SolverSpec::cg(CG_ITERATIONS)));
+
+    let result = match opts.execute_campaign(&campaign, &paper_registry()) {
+        Ok(CampaignExecution::Local(run)) => run.result,
+        Ok(CampaignExecution::Remote(outcome)) => {
+            // Thin-client mode: the daemon's documents are byte-identical
+            // to a local run's, so print them as the figure artifact.
+            println!("\n-- csv --\n{}", outcome.csv);
+            if opts.json {
+                println!("\n-- json --\n{}", outcome.json);
+            }
+            return;
+        }
+        Err(e) => {
+            eprintln!("fig6_6_cg_accuracy: {e}");
+            std::process::exit(1);
+        }
+    };
 
     let mut table = Table::new(
         title,
@@ -74,27 +91,28 @@ fn main() {
     let opts = ExperimentOptions::parse();
     let trials = opts.trials(20, 5);
 
-    let well = paper_least_squares(opts.seed);
     run_table(
         &format!(
             "Figure 6.6 — Accuracy of Least Squares, CG N={CG_ITERATIONS} \
              (well-conditioned, median over {trials} trials)"
         ),
-        &well,
+        "fig6_6_cg_accuracy",
+        "least_squares",
         &opts,
         trials,
     );
 
-    let ill = ill_conditioned_least_squares(opts.seed, 1e4);
     run_table(
         "Figure 6.6 (ill-conditioned κ=1e4) — SVD is the strongest reliable baseline",
-        &ill,
+        "fig6_6_cg_accuracy_ill",
+        "least_squares_ill",
         &opts,
         trials,
     );
 
     // The §6.3 runtime observation: FLOP counts of each solver on a
     // reliable FPU (CG ≈ 30% cheaper than QR/SVD; comparable to Cholesky).
+    let well = paper_least_squares(opts.seed);
     let mut flops_table = Table::new(
         "§6.3 — FLOP cost per solve (reliable FPU)",
         &["solver", "flops"],

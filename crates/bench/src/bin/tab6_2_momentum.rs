@@ -6,17 +6,19 @@
 //! matching."
 //!
 //! This harness runs basic `1/t` SGD with and without momentum `β = 0.5`
-//! on both workloads across fault rates.
+//! on both workloads across fault rates. The grid is a declarative
+//! campaign (per-trial jobs on the `sorting` and `matching` registry
+//! workloads), so this binary is also a *thin client*: with
+//! `--server ADDR` it submits the campaign to a running `campaign_server`
+//! and prints the daemon's byte-identical documents; with
+//! `--cache-dir PATH` a local run checkpoints per cell and resumes after
+//! a kill.
 
 #![forbid(unsafe_code)]
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use robustify_apps::matching::MatchingProblem;
-use robustify_apps::sorting::SortProblem;
-use robustify_bench::{success_table, ExperimentOptions};
+use robustify_bench::workloads::paper_registry;
+use robustify_bench::{success_table, CampaignExecution, ExperimentOptions};
 use robustify_core::{GradientGuard, SolverSpec, StepSchedule};
-use robustify_engine::SweepCase;
-use robustify_graph::generators::random_bipartite;
+use robustify_engine::campaign::JobSpec;
 
 const ITERATIONS: usize = 10_000;
 
@@ -35,26 +37,37 @@ fn main() {
     let match_plain = SolverSpec::sgd(ITERATIONS, StepSchedule::Linear { gamma0: 0.05 });
     let match_momentum = match_plain.clone().with_momentum(0.5);
 
-    let sort_case = |label: &str, spec: SolverSpec| {
-        SweepCase::problem(label, spec, |seed| {
-            SortProblem::random(&mut StdRng::seed_from_u64(seed), 5)
-        })
+    // A fresh random instance per trial (the registry factories are the
+    // exact constructors the old closure-based sweep called).
+    let job = |label: &str, workload: &str, spec: SolverSpec| {
+        JobSpec::new(label, workload).per_trial().with_solver(spec)
     };
-    let match_case = |label: &str, spec: SolverSpec| {
-        SweepCase::problem(label, spec, |seed| {
-            MatchingProblem::new(random_bipartite(&mut StdRng::seed_from_u64(seed), 5, 6, 30))
-        })
-    };
-    let cases = vec![
-        sort_case("sort", sort_plain),
-        sort_case("sort+mom", sort_momentum),
-        match_case("match", match_plain),
-        match_case("match+mom", match_momentum),
-    ];
+    let campaign = opts
+        .campaign("tab6_2_momentum")
+        .rates(vec![1.0, 2.0, 5.0, 10.0])
+        .trials(trials)
+        .job(job("sort", "sorting", sort_plain))
+        .job(job("sort+mom", "sorting", sort_momentum))
+        .job(job("match", "matching", match_plain))
+        .job(job("match+mom", "matching", match_momentum));
 
-    let result = opts
-        .sweep("tab6_2_momentum", vec![1.0, 2.0, 5.0, 10.0], trials)
-        .run(&cases);
+    let result = match opts.execute_campaign(&campaign, &paper_registry()) {
+        Ok(CampaignExecution::Local(run)) => run.result,
+        Ok(CampaignExecution::Remote(outcome)) => {
+            // Thin-client mode: the daemon's documents are byte-identical
+            // to a local run's, so print them as the figure artifact.
+            println!("\n-- csv --\n{}", outcome.csv);
+            if opts.json {
+                println!("\n-- json --\n{}", outcome.json);
+            }
+            return;
+        }
+        Err(e) => {
+            eprintln!("tab6_2_momentum: {e}");
+            std::process::exit(1);
+        }
+    };
+
     let table = success_table(
         &format!("§6.2.2 — momentum (β = 0.5) vs basic SGD ({trials} trials/point)"),
         &result,

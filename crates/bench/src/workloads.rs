@@ -143,9 +143,10 @@ pub fn paper_robust_solver(app: &str, lsq_gamma0: f64, iir_gamma0: f64) -> Solve
     }
 }
 
-/// The paper's 9 applications plus the large-sparse Poisson workload, as
-/// a named [`WorkloadRegistry`]: the vocabulary `campaign_server` and
-/// every campaign thin client resolve job specs against.
+/// The paper's 9 applications plus the large-sparse Poisson workload and
+/// the ill-conditioned least squares variant, as a named
+/// [`WorkloadRegistry`]: the vocabulary `campaign_server` and every
+/// campaign thin client resolve job specs against.
 ///
 /// Each factory is a deterministic function of the seed (the same
 /// constructors the figure binaries call directly), and each default
@@ -162,6 +163,17 @@ pub fn paper_registry() -> WorkloadRegistry {
             paper_robust_solver(
                 "least_squares",
                 paper_least_squares(seed).default_gamma0(),
+                0.0,
+            )
+        }),
+    );
+    reg.register(
+        "least_squares_ill",
+        Box::new(|seed| Box::new(ill_conditioned_least_squares(seed, 1e4))),
+        Box::new(|seed| {
+            paper_robust_solver(
+                "least_squares",
+                ill_conditioned_least_squares(seed, 1e4).default_gamma0(),
                 0.0,
             )
         }),
@@ -278,6 +290,7 @@ mod tests {
                 "eigen",
                 "iir",
                 "least_squares",
+                "least_squares_ill",
                 "matching",
                 "maxflow",
                 "poisson2d",

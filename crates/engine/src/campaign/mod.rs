@@ -20,10 +20,14 @@
 //!   cached cell is indistinguishable from re-running it — which is what
 //!   makes resuming a killed campaign sound.
 //! * [`run`] / [`run_with_budget`] — the executor: cache-hit cells replay
-//!   instantly, missing cells run across scoped worker threads and
-//!   checkpoint as they finish, and the assembled
+//!   instantly, missing cells decompose into trial-granular items on the
+//!   shared work-stealing [`Scheduler`](crate::Scheduler) (so a heavy
+//!   sparse cell load-balances across workers instead of serializing),
+//!   each cell checkpoints as its last trial lands, and the assembled
 //!   [`SweepResult`](crate::SweepResult) is emitted by the same
-//!   CSV/JSON code paths as an in-process sweep.
+//!   CSV/JSON code paths as an in-process sweep. The `_on` variants
+//!   ([`run_on`] / [`run_with_budget_on`]) execute on an already-running
+//!   pool — the daemon's process-wide scheduler.
 //! * [`protocol`] — newline-delimited JSON requests/events over
 //!   stdin/stdout or TCP, shared by the daemon and its thin clients.
 
@@ -34,6 +38,7 @@ mod spec;
 
 pub use cache::ResultCache;
 pub use runner::{
-    resolve_cells, run, run_with_budget, CampaignOutcome, CampaignRun, CellUpdate, ResolvedCell,
+    resolve_cells, run, run_on, run_with_budget, run_with_budget_on, CampaignOutcome, CampaignRun,
+    CellUpdate, ResolvedCell,
 };
 pub use spec::{CampaignSpec, Instantiate, JobSpec};

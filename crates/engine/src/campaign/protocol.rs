@@ -27,6 +27,7 @@
 use super::cache::ResultCache;
 use super::runner::{self, CellUpdate};
 use super::spec::CampaignSpec;
+use crate::scheduler::Scheduler;
 use robustify_core::WorkloadRegistry;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
@@ -55,11 +56,12 @@ fn cell_event(update: &CellUpdate) -> String {
     )
 }
 
-fn handle_submit(
+fn handle_submit<'env>(
     request: &JsonValue,
     writer: &mut impl Write,
-    registry: &WorkloadRegistry,
-    cache: Option<&ResultCache>,
+    registry: &'env WorkloadRegistry,
+    cache: Option<&'env ResultCache>,
+    pool: Option<&Scheduler<'env>>,
 ) -> io::Result<()> {
     let campaign = match request.get("campaign") {
         Some(v) => v,
@@ -84,14 +86,18 @@ fn handle_submit(
     // remembered and surfaced after the run (the run itself keeps its
     // checkpoints either way).
     let mut stream_error: Option<io::Error> = None;
-    let outcome = runner::run(&spec, registry, cache, |update| {
+    let mut on_cell = |update: &CellUpdate| {
         if stream_error.is_some() {
             return;
         }
         if let Err(e) = writeln!(writer, "{}", cell_event(update)).and_then(|()| writer.flush()) {
             stream_error = Some(e);
         }
-    });
+    };
+    let outcome = match pool {
+        Some(pool) => runner::run_on(&spec, registry, cache, pool, on_cell),
+        None => runner::run(&spec, registry, cache, &mut on_cell),
+    };
     if let Some(e) = stream_error {
         return Err(e);
     }
@@ -114,13 +120,37 @@ fn handle_submit(
 }
 
 /// Serves one line-delimited JSON connection (stdio or a TCP stream)
-/// until EOF or a `shutdown` request. Returns whether shutdown was
-/// requested.
+/// until EOF or a `shutdown` request, executing submissions on a private
+/// per-submit pool. Returns whether shutdown was requested.
 pub fn serve_connection(
     reader: &mut impl BufRead,
     writer: &mut impl Write,
     registry: &WorkloadRegistry,
     cache: Option<&ResultCache>,
+) -> io::Result<bool> {
+    serve_connection_impl(reader, writer, registry, cache, None)
+}
+
+/// [`serve_connection`], but executing submissions on an already-running
+/// shared [`Scheduler`] — the TCP daemon path, where every connection's
+/// trials interleave fairly (in submission order) on one process-wide
+/// pool.
+pub fn serve_connection_on<'env>(
+    reader: &mut impl BufRead,
+    writer: &mut impl Write,
+    registry: &'env WorkloadRegistry,
+    cache: Option<&'env ResultCache>,
+    pool: &Scheduler<'env>,
+) -> io::Result<bool> {
+    serve_connection_impl(reader, writer, registry, cache, Some(pool))
+}
+
+fn serve_connection_impl<'env>(
+    reader: &mut impl BufRead,
+    writer: &mut impl Write,
+    registry: &'env WorkloadRegistry,
+    cache: Option<&'env ResultCache>,
+    pool: Option<&Scheduler<'env>>,
 ) -> io::Result<bool> {
     for line in reader.lines() {
         let line = line?;
@@ -150,7 +180,7 @@ pub fn serve_connection(
                 writeln!(writer, "{{\"event\":\"workloads\",\"names\":[{names}]}}")?;
                 writer.flush()?;
             }
-            Some("submit") => handle_submit(&request, writer, registry, cache)?,
+            Some("submit") => handle_submit(&request, writer, registry, cache, pool)?,
             Some("shutdown") => {
                 writeln!(writer, "{{\"event\":\"bye\"}}")?;
                 writer.flush()?;
@@ -169,9 +199,13 @@ pub fn serve_connection(
     Ok(false)
 }
 
-/// Runs the TCP daemon on an already-bound listener: one thread per
-/// connection, all sharing the registry and cache, until some connection
-/// sends `shutdown`.
+/// Runs the TCP daemon on an already-bound listener until some connection
+/// sends `shutdown`. Each connection gets a lightweight handler thread
+/// for protocol I/O, but every submission's trials execute on one
+/// process-wide work-stealing [`Scheduler`] (sized to the host's
+/// available parallelism) — concurrent submissions multiplex onto the
+/// same workers and drain in submission order instead of each connection
+/// spawning its own pool.
 pub fn serve_tcp(
     listener: TcpListener,
     registry: &WorkloadRegistry,
@@ -179,12 +213,22 @@ pub fn serve_tcp(
 ) -> io::Result<()> {
     listener.set_nonblocking(true)?;
     let shutdown = AtomicBool::new(false);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let pool = Scheduler::new(workers);
     std::thread::scope(|scope| {
-        while !shutdown.load(Ordering::SeqCst) {
+        pool.start(scope);
+        let mut handlers = Vec::new();
+        let outcome = loop {
+            if shutdown.load(Ordering::SeqCst) {
+                break Ok(());
+            }
             match listener.accept() {
                 Ok((stream, _addr)) => {
                     let shutdown = &shutdown;
-                    scope.spawn(move || {
+                    let pool = &pool;
+                    handlers.push(scope.spawn(move || {
                         let _ = stream.set_nonblocking(false);
                         let mut reader = BufReader::new(match stream.try_clone() {
                             Ok(s) => s,
@@ -192,19 +236,26 @@ pub fn serve_tcp(
                         });
                         let mut writer = stream;
                         if let Ok(true) =
-                            serve_connection(&mut reader, &mut writer, registry, cache)
+                            serve_connection_on(&mut reader, &mut writer, registry, cache, pool)
                         {
                             shutdown.store(true, Ordering::SeqCst);
                         }
-                    });
+                    }));
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(25));
                 }
-                Err(e) => return Err(e),
+                Err(e) => break Err(e),
             }
+        };
+        // Handlers first, pool second: a handler mid-submit must finish
+        // enqueueing (and awaiting) its job before the workers are told
+        // to drain-and-exit — the reverse order could strand its chunks.
+        for handler in handlers {
+            let _ = handler.join();
         }
-        Ok(())
+        pool.shutdown();
+        outcome
     })
 }
 
@@ -434,6 +485,40 @@ mod tests {
             events[0].starts_with("{\"event\":\"error\""),
             "got {events:?}"
         );
+    }
+
+    /// Two clients submitting different campaigns *simultaneously* to one
+    /// daemon: their trials interleave on the single shared pool, and each
+    /// client still gets documents byte-identical to a local serial run.
+    #[test]
+    fn concurrent_clients_share_one_pool_deterministically() {
+        let reg = registry();
+        let spec_a = campaign();
+        let spec_b = CampaignSpec::new("proto_b")
+            .rates(vec![0.0, 5.0, 25.0])
+            .trials(9)
+            .seed(11)
+            .threads(2)
+            .job(JobSpec::new("w", "wobble").per_trial());
+        let local_a = super::super::runner::run(&spec_a, &reg, None, |_| {}).expect("local a");
+        let local_b = super::super::runner::run(&spec_b, &reg, None, |_| {}).expect("local b");
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        std::thread::scope(|scope| {
+            let reg = &reg;
+            let server = scope.spawn(move || serve_tcp(listener, reg, None));
+            let (addr_a, addr_b) = (addr.clone(), addr.clone());
+            let client_a = scope.spawn(move || submit_tcp(&addr_a, &spec_a, |_| {}));
+            let client_b = scope.spawn(move || submit_tcp(&addr_b, &spec_b, |_| {}));
+            let outcome_a = client_a.join().expect("client a").expect("submit a");
+            let outcome_b = client_b.join().expect("client b").expect("submit b");
+            assert_eq!(outcome_a.csv, local_a.result.to_csv());
+            assert_eq!(outcome_a.json, local_a.result.to_json());
+            assert_eq!(outcome_b.csv, local_b.result.to_csv());
+            assert_eq!(outcome_b.json, local_b.result.to_json());
+            shutdown_tcp(&addr).expect("shutdown");
+            server.join().expect("server thread").expect("serve_tcp");
+        });
     }
 
     #[test]

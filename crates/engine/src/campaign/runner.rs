@@ -1,15 +1,17 @@
 //! The campaign executor: resolve jobs against a registry, replay
-//! cache-hit cells, run the misses across scoped workers with per-cell
-//! checkpointing, and assemble a standard [`SweepResult`].
+//! cache-hit cells, decompose the misses into trial-granular items on the
+//! shared work-stealing [`Scheduler`], checkpoint each cell as its last
+//! trial lands, and assemble a standard [`SweepResult`].
 
 use super::cache::ResultCache;
 use super::spec::{CampaignSpec, Instantiate};
+use crate::scheduler::{self, Scheduler, WorkSet};
 use crate::stats::{CellStats, TrialRecord};
 use crate::sweep::{derive_trial_seed, problem_seed, CaseParts};
 use crate::SweepResult;
-use robustify_core::{SolverSpec, WorkloadRegistry};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use robustify_core::{DynProblem, SolverSpec, WorkloadRegistry};
+use std::sync::mpsc::{self, Sender};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 use stochastic_fpu::json::escape;
 use stochastic_fpu::{FaultModelSpec, FaultRate, Fpu, NoisyFpu};
@@ -160,45 +162,108 @@ pub fn resolve_cells(
     Ok(cells)
 }
 
-/// Executes one cell's trials serially, seeding trial `i` exactly like
-/// [`SweepSpec::run`](crate::SweepSpec::run) does — so a campaign cell and
-/// the equivalent in-process sweep cell produce bit-identical records.
-fn execute_cell(
-    job: &ResolvedJob,
-    registry: &WorkloadRegistry,
+/// One executing (cache-missed) cell inside the flattened trial space.
+struct ExecCell {
+    /// Index into the full resolved grid (`slots`).
+    slot: usize,
+    job_index: usize,
+    rate_index: usize,
+    /// First flat item index of this cell's trials.
+    offset: usize,
+    trials: usize,
+    key_json: String,
+    /// Fixed-instantiation problem, materialized once on first use and
+    /// shared by every worker that runs one of the cell's trials.
+    fixed: OnceLock<Box<dyn DynProblem>>,
+    /// Trials still missing. The worker that takes this to zero assembles
+    /// the cell in trial-index order, checkpoints it, and reports it.
+    remaining: Mutex<usize>,
+}
+
+/// `(grid slot, assembled records, checkpoint error)` — one per finished
+/// cell, streamed back to the submitting thread.
+type CellDone = (usize, Vec<TrialRecord>, Option<String>);
+
+/// A campaign's cache-missed cells as a flattened scheduler item space:
+/// item `i` is one trial, seeded exactly like
+/// [`SweepSpec::run`](crate::SweepSpec::run) seeds it — so a campaign
+/// cell and the equivalent in-process sweep cell produce bit-identical
+/// records no matter which worker runs which trial.
+///
+/// The set *owns* everything per-job (resolved jobs, cells, record slots,
+/// the report channel) and borrows only the registry and cache at `'env`:
+/// daemon connection handlers are shorter-lived than the shared pool, so
+/// their submissions must not borrow handler-local state.
+struct CampaignWorkSet<'env> {
+    jobs: Arc<Vec<ResolvedJob>>,
+    rates: Vec<f64>,
     base_seed: u64,
-    rate_pct: f64,
-) -> Vec<TrialRecord> {
-    let rate = FaultRate::percent_of_flops(rate_pct);
-    let fixed = match job.instantiate {
-        Instantiate::Fixed => Some(
-            registry
-                .materialize(&job.workload, base_seed)
-                .expect("resolved"),
-        ),
-        Instantiate::PerTrial => None,
-    };
-    let mut records = Vec::with_capacity(job.trials);
-    for trial in 0..job.trials as u64 {
+    registry: &'env WorkloadRegistry,
+    cache: Option<&'env ResultCache>,
+    cells: Vec<ExecCell>,
+    records: Vec<Mutex<Option<TrialRecord>>>,
+    tx: Sender<CellDone>,
+}
+
+impl WorkSet for CampaignWorkSet<'_> {
+    fn run_item(&self, index: usize) {
+        let position = self.cells.partition_point(|c| c.offset <= index) - 1;
+        let cell = &self.cells[position];
+        let trial = (index - cell.offset) as u64;
+        let job = &self.jobs[cell.job_index];
+        let rate = FaultRate::percent_of_flops(self.rates[cell.rate_index]);
         let mut fpu = NoisyFpu::new(
             rate,
             job.fault_model.clone(),
-            derive_trial_seed(base_seed, trial),
+            derive_trial_seed(self.base_seed, trial),
         );
-        let verdict = match &fixed {
-            Some(problem) => problem.run_trial_dyn(&job.solver, &mut fpu),
-            None => registry
-                .materialize(&job.workload, problem_seed(base_seed, trial))
+        let verdict = match job.instantiate {
+            Instantiate::Fixed => cell
+                .fixed
+                .get_or_init(|| {
+                    self.registry
+                        .materialize(&job.workload, self.base_seed)
+                        .expect("resolved")
+                })
+                .run_trial_dyn(&job.solver, &mut fpu),
+            Instantiate::PerTrial => self
+                .registry
+                .materialize(&job.workload, problem_seed(self.base_seed, trial))
                 .expect("resolved")
                 .run_trial_dyn(&job.solver, &mut fpu),
         };
-        records.push(TrialRecord {
+        *self.records[index].lock().expect("record slot") = Some(TrialRecord {
             verdict,
             flops: fpu.flops(),
             faults: fpu.faults(),
         });
+        let finished = {
+            let mut left = cell.remaining.lock().expect("cell counter");
+            *left -= 1;
+            *left == 0
+        };
+        if finished {
+            // Assemble in trial-index order: the steal schedule decided
+            // *when* each record was produced, never how they combine.
+            let records: Vec<TrialRecord> = (cell.offset..cell.offset + cell.trials)
+                .map(|i| {
+                    self.records[i]
+                        .lock()
+                        .expect("record slot")
+                        .take()
+                        .expect("every trial ran")
+                })
+                .collect();
+            // Checkpoint before reporting, so every reported cell is
+            // durable even if the process dies right after.
+            let store_err = self.cache.and_then(|c| {
+                c.store(&cell.key_json, &records)
+                    .err()
+                    .map(|e| e.to_string())
+            });
+            let _ = self.tx.send((cell.slot, records, store_err));
+        }
     }
-    records
 }
 
 fn stats_of(records: &[TrialRecord]) -> CellStats {
@@ -209,17 +274,34 @@ fn stats_of(records: &[TrialRecord]) -> CellStats {
     stats
 }
 
-/// Runs a campaign to completion. Cache-hit cells replay instantly;
-/// misses execute across scoped worker threads, checkpointing to `cache`
-/// as each cell finishes. `on_cell` observes every finished cell (cached
-/// ones first, in grid order; executed ones in completion order).
+/// Runs a campaign to completion on a private worker pool sized by the
+/// spec. Cache-hit cells replay instantly; missing cells decompose into
+/// trial-granular scheduler items, checkpointing to `cache` as each
+/// cell's last trial lands. `on_cell` observes every finished cell
+/// (cached ones first, in grid order; executed ones in completion order).
 pub fn run(
     spec: &CampaignSpec,
     registry: &WorkloadRegistry,
     cache: Option<&ResultCache>,
     on_cell: impl FnMut(&CellUpdate),
 ) -> Result<CampaignRun, String> {
-    match run_with_budget(spec, registry, cache, None, on_cell)? {
+    match run_internal(spec, registry, cache, None, None, on_cell)? {
+        CampaignOutcome::Complete(run) => Ok(*run),
+        CampaignOutcome::OutOfBudget { .. } => unreachable!("no budget was set"),
+    }
+}
+
+/// [`run`], but executing on an already-running shared [`Scheduler`] —
+/// the daemon path, where every connection's trials interleave on one
+/// process-wide pool instead of each spawning its own.
+pub fn run_on<'env>(
+    spec: &CampaignSpec,
+    registry: &'env WorkloadRegistry,
+    cache: Option<&'env ResultCache>,
+    pool: &Scheduler<'env>,
+    on_cell: impl FnMut(&CellUpdate),
+) -> Result<CampaignRun, String> {
+    match run_internal(spec, registry, cache, None, Some(pool), on_cell)? {
         CampaignOutcome::Complete(run) => Ok(*run),
         CampaignOutcome::OutOfBudget { .. } => unreachable!("no budget was set"),
     }
@@ -234,11 +316,34 @@ pub fn run_with_budget(
     registry: &WorkloadRegistry,
     cache: Option<&ResultCache>,
     cell_budget: Option<usize>,
+    on_cell: impl FnMut(&CellUpdate),
+) -> Result<CampaignOutcome, String> {
+    run_internal(spec, registry, cache, cell_budget, None, on_cell)
+}
+
+/// [`run_with_budget`] on an already-running shared [`Scheduler`].
+pub fn run_with_budget_on<'env>(
+    spec: &CampaignSpec,
+    registry: &'env WorkloadRegistry,
+    cache: Option<&'env ResultCache>,
+    cell_budget: Option<usize>,
+    pool: &Scheduler<'env>,
+    on_cell: impl FnMut(&CellUpdate),
+) -> Result<CampaignOutcome, String> {
+    run_internal(spec, registry, cache, cell_budget, Some(pool), on_cell)
+}
+
+fn run_internal<'env>(
+    spec: &CampaignSpec,
+    registry: &'env WorkloadRegistry,
+    cache: Option<&'env ResultCache>,
+    cell_budget: Option<usize>,
+    pool: Option<&Scheduler<'env>>,
     mut on_cell: impl FnMut(&CellUpdate),
 ) -> Result<CampaignOutcome, String> {
     // detlint::allow(nondeterministic-order, reason = "wall-clock campaign timing; excluded from result bytes")
     let start = Instant::now();
-    let jobs = resolve_jobs(spec, registry)?;
+    let jobs = Arc::new(resolve_jobs(spec, registry)?);
     let cells = resolve_cells(spec, registry)?;
     let base_seed = spec.base_seed();
     let rates = spec.rates_pct();
@@ -270,77 +375,131 @@ pub fn run_with_budget(
         }
     }
 
-    // Execution phase: a work queue over the missing cells.
-    let threads = if spec.thread_count() > 0 {
-        spec.thread_count()
-    } else {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    }
-    .clamp(1, misses.len().max(1));
+    // The budget is applied up front: exactly the first
+    // `min(budget, misses)` missing cells (in grid order) are enqueued.
+    // The pre-refactor design let each worker claim a budget slot before
+    // popping the queue, so a worker racing an empty queue consumed a
+    // slot without executing a cell and interrupted runs under-executed
+    // their budget; truncating the work list first cannot leak.
+    let executing: Vec<usize> = match cell_budget {
+        Some(budget) => misses.iter().copied().take(budget).collect(),
+        None => misses,
+    };
 
-    let next = AtomicUsize::new(0);
-    let claimed = AtomicUsize::new(0);
+    let threads = match pool {
+        Some(p) => p.workers(),
+        None => {
+            if spec.thread_count() > 0 {
+                spec.thread_count()
+            } else {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            }
+        }
+    };
+
     let mut store_error: Option<String> = None;
     let mut cells_executed = 0usize;
-    std::thread::scope(|scope| {
-        let (tx, rx) = mpsc::channel::<(usize, Vec<TrialRecord>, Option<String>)>();
-        for _ in 0..threads {
-            let tx = tx.clone();
-            let jobs = &jobs;
-            let cells = &cells;
-            let misses = &misses;
-            let next = &next;
-            let claimed = &claimed;
-            scope.spawn(move || {
-                loop {
-                    if let Some(budget) = cell_budget {
-                        if claimed.fetch_add(1, Ordering::Relaxed) >= budget {
-                            break;
-                        }
-                    }
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= misses.len() {
-                        break;
-                    }
-                    let cell_index = misses[i];
-                    let cell = &cells[cell_index];
-                    let job = &jobs[cell.job_index];
-                    let records = execute_cell(job, registry, base_seed, rates[cell.rate_index]);
-                    // Checkpoint before reporting, so every reported cell
-                    // is durable even if the process dies right after.
-                    let store_err = cache.and_then(|c| {
-                        c.store(&cell.key_json, &records)
-                            .err()
-                            .map(|e| e.to_string())
-                    });
-                    if tx.send((cell_index, records, store_err)).is_err() {
-                        break;
-                    }
-                }
-            });
-        }
-        drop(tx);
-        for (cell_index, records, store_err) in rx {
-            if let Some(err) = store_err {
-                store_error.get_or_insert(err);
-            }
-            let cell = &cells[cell_index];
-            let stats = stats_of(&records);
-            on_cell(&CellUpdate {
+    if !executing.is_empty() {
+        // Flatten the executing cells into one trial-granular item space.
+        let mut exec_cells = Vec::with_capacity(executing.len());
+        let mut offsets = Vec::with_capacity(executing.len() + 1);
+        let mut total = 0usize;
+        for &slot in &executing {
+            let cell = &cells[slot];
+            let trials = jobs[cell.job_index].trials;
+            offsets.push(total);
+            exec_cells.push(ExecCell {
+                slot,
                 job_index: cell.job_index,
                 rate_index: cell.rate_index,
-                label: jobs[cell.job_index].label.clone(),
-                rate_pct: rates[cell.rate_index],
-                cached: false,
-                trials: stats.trials(),
-                successes: stats.successes(),
+                offset: total,
+                trials,
+                key_json: cell.key_json.clone(),
+                fixed: OnceLock::new(),
+                remaining: Mutex::new(trials),
             });
-            slots[cell_index] = Some(records);
-            cells_executed += 1;
+            total += trials;
         }
-    });
+        offsets.push(total);
+
+        let (tx, rx) = mpsc::channel::<CellDone>();
+        let set: Arc<dyn WorkSet + 'env> = Arc::new(CampaignWorkSet {
+            jobs: Arc::clone(&jobs),
+            rates: rates.to_vec(),
+            base_seed,
+            registry,
+            cache,
+            cells: exec_cells,
+            records: (0..total).map(|_| Mutex::new(None)).collect(),
+            tx,
+        });
+        let chunks = scheduler::cell_chunks(&offsets, threads);
+
+        // The channel (unbounded, so workers never block on it) streams
+        // each finished cell back for progress reporting. A `recv` error
+        // means a worker died mid-cell and its cell can never arrive; the
+        // panic itself resurfaces when the worker's scope joins.
+        let mut drain = |rx: &mpsc::Receiver<CellDone>| {
+            while cells_executed < executing.len() {
+                let Ok((slot, records, store_err)) = rx.recv() else {
+                    break;
+                };
+                if let Some(err) = store_err {
+                    store_error.get_or_insert(err);
+                }
+                let cell = &cells[slot];
+                let stats = stats_of(&records);
+                on_cell(&CellUpdate {
+                    job_index: cell.job_index,
+                    rate_index: cell.rate_index,
+                    label: jobs[cell.job_index].label.clone(),
+                    rate_pct: rates[cell.rate_index],
+                    cached: false,
+                    trials: stats.trials(),
+                    successes: stats.successes(),
+                });
+                slots[slot] = Some(records);
+                cells_executed += 1;
+            }
+        };
+        match pool {
+            // Shared pool (the daemon): the pool is already running; the
+            // submitting thread streams cell events while workers execute.
+            // No `set` clone is retained here, so if a worker dies the
+            // channel disconnects and `drain` stops instead of hanging.
+            Some(p) => {
+                let handle = p.submit(set, chunks);
+                drain(&rx);
+                handle.wait();
+            }
+            // Private pool, parallel: identical wiring on a scoped
+            // scheduler owned by this call.
+            None if threads > 1 => {
+                let local = Scheduler::new(threads);
+                std::thread::scope(|scope| {
+                    local.start(scope);
+                    let handle = local.submit(set, chunks);
+                    drain(&rx);
+                    handle.wait();
+                    local.shutdown();
+                });
+            }
+            // Serial: run the chunks inline in submission order; events
+            // buffer in the channel and drain afterwards (the channel is
+            // unbounded, so the inline sends cannot block).
+            None => {
+                for chunk in chunks {
+                    for index in chunk {
+                        set.run_item(index);
+                    }
+                }
+                drop(set);
+                drain(&rx);
+            }
+        }
+    }
     if let Some(err) = store_error {
         return Err(format!("cache checkpoint failed: {err}"));
     }
@@ -499,6 +658,51 @@ mod tests {
         );
         assert_eq!(resumed.result.to_json(), fresh.result.to_json());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The budget-claim leak regression: the pre-refactor executor let a
+    /// worker claim a budget slot and then find the queue empty, so a
+    /// budget of exactly `misses` could under-execute. Now budget ==
+    /// misses must execute every cell and complete.
+    #[test]
+    fn budget_equal_to_misses_executes_every_cell() {
+        let reg = registry();
+        let spec = campaign();
+        let fresh = run(&spec, &reg, None, |_| {}).expect("uncached run");
+        let (dir, cache) = temp_cache("exact-budget");
+        let outcome =
+            run_with_budget(&spec, &reg, Some(&cache), Some(6), |_| {}).expect("budgeted run");
+        match outcome {
+            CampaignOutcome::Complete(run) => {
+                assert_eq!(run.cells_cached, 0);
+                assert_eq!(cache.len(), 6, "all six cells checkpointed");
+                assert_eq!(run.result.to_json(), fresh.result.to_json());
+            }
+            CampaignOutcome::OutOfBudget { cells_executed, .. } => {
+                panic!("budget == misses must complete, executed {cells_executed}")
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The shared-pool path (`run_on`) produces byte-identical documents
+    /// to the private-pool path, even under a forced-steal placement.
+    #[test]
+    fn shared_pool_run_matches_private_pool_run() {
+        let reg = registry();
+        let spec = campaign();
+        let local = run(&spec, &reg, None, |_| {}).expect("private-pool run");
+        let pool = crate::Scheduler::new(3).with_placement(crate::Placement::Pinned(1));
+        let pooled = std::thread::scope(|scope| {
+            pool.start(scope);
+            let run = run_on(&spec, &reg, None, &pool, |_| {});
+            pool.shutdown();
+            run
+        })
+        .expect("shared-pool run");
+        assert_eq!(pooled.result.to_csv(), local.result.to_csv());
+        assert_eq!(pooled.result.to_json(), local.result.to_json());
+        assert_eq!(pooled.cells_total, 6);
     }
 
     #[test]

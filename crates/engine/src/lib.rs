@@ -29,6 +29,11 @@
 //!   workloads, a content-addressed on-disk result cache, a resumable
 //!   parallel runner, and the line-delimited JSON protocol of the
 //!   `campaign_server` daemon.
+//! * [`scheduler`] — the shared work-stealing pool underneath all of the
+//!   above: a flattened `(cell × trial-chunk)` item space on per-worker
+//!   FIFO deques with front-stealing, so heterogeneous cells load-balance
+//!   and the daemon multiplexes concurrent submissions fairly onto one
+//!   process-wide pool.
 //!
 //! # Determinism
 //!
@@ -63,9 +68,11 @@
 #![forbid(unsafe_code)]
 
 pub mod campaign;
+pub mod scheduler;
 mod stats;
 mod sweep;
 
+pub use scheduler::{JobHandle, Placement, Scheduler, WorkSet};
 pub use stats::{CellStats, MetricSummary, TrialRecord};
 pub use sweep::{
     derive_trial_seed, extended_fault_rates, paper_fault_rates, problem_seed, SweepCase,

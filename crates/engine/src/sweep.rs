@@ -1,8 +1,9 @@
 //! The sweep grid, its multi-threaded executor, and result emitters.
 
+use crate::scheduler::{self, WorkSet};
 use crate::stats::{CellStats, TrialRecord};
 use robustify_core::{RobustProblem, SolverSpec, Verdict};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use stochastic_fpu::{FaultModelSpec, FaultRate, Fpu, NoisyFpu, VoltageErrorModel};
 
@@ -277,59 +278,58 @@ impl SweepSpec {
         offsets.push(total);
 
         let threads = self.resolve_threads(total);
-        let next = AtomicUsize::new(0);
-        let run_worker = || {
-            let mut local: Vec<(usize, TrialRecord)> = Vec::new();
-            loop {
-                let idx = next.fetch_add(1, Ordering::Relaxed);
-                if idx >= total {
-                    break;
-                }
-                let cell = offsets.partition_point(|&o| o <= idx) - 1;
-                let trial = (idx - offsets[cell]) as u64;
-                let case = &cases[cell / n_rates];
-                let rate = FaultRate::percent_of_flops(self.rates_pct[cell % n_rates]);
-                let model = case.model.as_ref().unwrap_or(&self.model);
+
+        /// The sweep grid as a flattened scheduler item space: item `idx`
+        /// is one trial, located by binary search over the cell offsets.
+        /// Each item writes only its own record slot, so the schedule
+        /// cannot reach the aggregates (folded in index order below).
+        struct SweepItems<'a> {
+            spec: &'a SweepSpec,
+            cases: &'a [SweepCase],
+            offsets: &'a [usize],
+            n_rates: usize,
+            records: Vec<Mutex<Option<TrialRecord>>>,
+        }
+
+        impl WorkSet for SweepItems<'_> {
+            fn run_item(&self, idx: usize) {
+                let cell = self.offsets.partition_point(|&o| o <= idx) - 1;
+                let trial = (idx - self.offsets[cell]) as u64;
+                let case = &self.cases[cell / self.n_rates];
+                let rate = FaultRate::percent_of_flops(self.spec.rates_pct[cell % self.n_rates]);
+                let model = case.model.as_ref().unwrap_or(&self.spec.model);
                 let mut fpu = NoisyFpu::new(
                     rate,
                     model.clone(),
-                    derive_trial_seed(self.base_seed, trial),
+                    derive_trial_seed(self.spec.base_seed, trial),
                 );
                 let ctx = TrialCtx {
                     trial,
-                    base_seed: self.base_seed,
-                    problem_seed: problem_seed(self.base_seed, trial),
+                    base_seed: self.spec.base_seed,
+                    problem_seed: problem_seed(self.spec.base_seed, trial),
                     rate,
                 };
                 let verdict = (case.runner)(&ctx, &mut fpu);
-                local.push((
-                    idx,
-                    TrialRecord {
-                        verdict,
-                        flops: fpu.flops(),
-                        faults: fpu.faults(),
-                    },
-                ));
+                *self.records[idx].lock().expect("record slot") = Some(TrialRecord {
+                    verdict,
+                    flops: fpu.flops(),
+                    faults: fpu.faults(),
+                });
             }
-            local
-        };
-
-        let mut records: Vec<Option<TrialRecord>> = vec![None; total];
-        if threads <= 1 {
-            for (idx, record) in run_worker() {
-                records[idx] = Some(record);
-            }
-        } else {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..threads).map(|_| scope.spawn(run_worker)).collect();
-                for handle in handles {
-                    let local = handle.join().expect("sweep worker panicked");
-                    for (idx, record) in local {
-                        records[idx] = Some(record);
-                    }
-                }
-            });
         }
+
+        let set = Arc::new(SweepItems {
+            spec: self,
+            cases,
+            offsets: &offsets,
+            n_rates,
+            records: (0..total).map(|_| Mutex::new(None)).collect(),
+        });
+        scheduler::run_standalone(
+            threads,
+            set.clone(),
+            scheduler::cell_chunks(&offsets, threads),
+        );
 
         // Stream records into per-cell aggregates in trial-index order so
         // float reductions are independent of the execution schedule.
@@ -339,8 +339,13 @@ impl SweepSpec {
             .collect();
         for (cell, _) in cell_trials.iter().enumerate() {
             let stats = &mut cells[cell / n_rates][cell % n_rates];
-            for record in &records[offsets[cell]..offsets[cell + 1]] {
-                stats.push(record.as_ref().expect("every trial ran"));
+            for idx in offsets[cell]..offsets[cell + 1] {
+                let record = set.records[idx]
+                    .lock()
+                    .expect("record slot")
+                    .take()
+                    .expect("every trial ran");
+                stats.push(&record);
             }
         }
 

@@ -5,7 +5,8 @@
 use proptest::prelude::*;
 use robustify_core::{DynProblem, SolverSpec, StepSchedule, Verdict, WorkloadRegistry};
 use robustify_engine::campaign::{self, CampaignSpec, JobSpec, ResultCache};
-use std::path::PathBuf;
+use robustify_engine::{Placement, Scheduler};
+use std::path::{Path, PathBuf};
 use stochastic_fpu::json::fnv1a_64;
 use stochastic_fpu::{
     BitFaultModel, BitWidth, DvfsStep, FaultModelSpec, FlopOp, Fpu, MemoryFaultModel, NoisyFpu,
@@ -59,6 +60,48 @@ fn campaign_named(name: &str, seed: u64, trials: usize) -> CampaignSpec {
 
 fn campaign(seed: u64, trials: usize) -> CampaignSpec {
     campaign_named("resume_property", seed, trials)
+}
+
+/// A grid whose cells differ wildly in weight and injector: per-job trial
+/// counts from 1 to `3 × trials + 1` and three fault-model families in one
+/// campaign — the adversarial input for the steal-schedule property.
+fn heterogeneous_campaign(seed: u64, trials: usize) -> CampaignSpec {
+    CampaignSpec::new("steal_property")
+        .rates(vec![0.0, 2.0, 20.0])
+        .trials(trials)
+        .seed(seed)
+        .job(JobSpec::new("fixed", "drift"))
+        .job(
+            JobSpec::new("fresh", "drift")
+                .per_trial()
+                .with_trials(trials * 3 + 1),
+        )
+        .job(
+            JobSpec::new("stuck", "drift")
+                .with_fault_model(FaultModelSpec::stuck_at(52, true, BitWidth::F64))
+                .with_trials(1),
+        )
+        .job(
+            JobSpec::new("burst", "drift")
+                .per_trial()
+                .with_fault_model(FaultModelSpec::burst(2, BitFaultModel::emulated())),
+        )
+}
+
+/// Sorted `(file name, bytes)` listing of a cache directory, for
+/// byte-comparing the checkpoint contents two runs produced.
+fn dir_contents(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    let mut entries: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+        .expect("cache dir")
+        .map(|entry| {
+            let entry = entry.expect("dir entry");
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let bytes = std::fs::read(entry.path()).expect("cache file");
+            (name, bytes)
+        })
+        .collect();
+    entries.sort();
+    entries
 }
 
 fn temp_cache(tag: &str) -> (PathBuf, ResultCache) {
@@ -137,6 +180,57 @@ proptest! {
         prop_assert_eq!(resumed.result.to_csv(), fresh.result.to_csv());
         prop_assert_eq!(resumed.result.to_json(), fresh.result.to_json());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The steal-schedule guarantee: a heterogeneous campaign (per-cell
+    /// trial counts 1…3N+1, three fault-model families) run serially, in
+    /// parallel with round-robin placement, and on a shared pool under a
+    /// forced-steal `Pinned` placement emits byte-identical CSV/JSON —
+    /// and checkpoints byte-identical `ResultCache` key contents.
+    #[test]
+    fn steal_schedules_never_change_bytes_or_cache_contents(
+        seed in 0u64..1_000_000,
+        trials in 1usize..6,
+        threads in 2usize..6,
+        pin in 0usize..6,
+    ) {
+        let reg = registry();
+        let base = heterogeneous_campaign(seed, trials);
+
+        let (dir_serial, cache_serial) = temp_cache("steal-serial");
+        let serial = campaign::run(&base.clone().threads(1), &reg, Some(&cache_serial), |_| {})
+            .expect("serial run");
+
+        let (dir_rr, cache_rr) = temp_cache("steal-rr");
+        let parallel =
+            campaign::run(&base.clone().threads(threads), &reg, Some(&cache_rr), |_| {})
+                .expect("parallel run");
+
+        // Forced steals: every chunk lands on one worker's deque, so the
+        // other `threads − 1` workers execute only by stealing.
+        let (dir_pin, cache_pin) = temp_cache("steal-pin");
+        let pool = Scheduler::new(threads).with_placement(Placement::Pinned(pin));
+        let stolen = std::thread::scope(|scope| {
+            pool.start(scope);
+            let run = campaign::run_on(&base, &reg, Some(&cache_pin), &pool, |_| {});
+            pool.shutdown();
+            run
+        })
+        .expect("pinned run");
+
+        prop_assert_eq!(parallel.result.to_csv(), serial.result.to_csv());
+        prop_assert_eq!(parallel.result.to_json(), serial.result.to_json());
+        prop_assert_eq!(stolen.result.to_csv(), serial.result.to_csv());
+        prop_assert_eq!(stolen.result.to_json(), serial.result.to_json());
+
+        let expected = dir_contents(&dir_serial);
+        prop_assert_eq!(expected.len(), 12, "4 jobs × 3 rates checkpointed");
+        prop_assert_eq!(&dir_contents(&dir_rr), &expected);
+        prop_assert_eq!(&dir_contents(&dir_pin), &expected);
+
+        for dir in [dir_serial, dir_rr, dir_pin] {
+            let _ = std::fs::remove_dir_all(&dir);
+        }
     }
 
     /// Cache keys are pure content: resolving the same campaign twice
